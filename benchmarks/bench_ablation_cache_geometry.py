@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the ablation_cache_geometry experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_cache_geometry(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("ablation_cache_geometry", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the ablation_dram experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_dram(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("ablation_dram", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the ablation_flush experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_flush(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("ablation_flush", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the ablation_latency_hiding experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_latency_hiding(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("ablation_latency_hiding", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the ablation_turnaround experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_turnaround(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("ablation_turnaround", quick), rounds=1, iterations=1
+    )

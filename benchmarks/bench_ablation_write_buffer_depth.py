@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the ablation_write_buffer_depth experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_write_buffer_depth(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment,
+        args=("ablation_write_buffer_depth", quick),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Example 1 (bus width vs cache size pricing)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_example1(benchmark, quick):
+    result = benchmark(run_experiment, "example1", quick)
+    assert result.tables

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the extension_interleaving experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_interleaving(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("extension_interleaving", quick), rounds=1, iterations=1
+    )

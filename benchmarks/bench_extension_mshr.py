@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the extension_mshr experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_mshr(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("extension_mshr", quick), rounds=1, iterations=1
+    )

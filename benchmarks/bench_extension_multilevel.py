@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the extension_multilevel experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_multilevel(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("extension_multilevel", quick), rounds=1, iterations=1
+    )

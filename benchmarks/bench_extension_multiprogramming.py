@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the extension_multiprogramming experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_multiprogramming(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment,
+        args=("extension_multiprogramming", quick),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the extension_nb_dependency experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_nb_dependency(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment,
+        args=("extension_nb_dependency", quick),
+        rounds=1,
+        iterations=1,
+    )

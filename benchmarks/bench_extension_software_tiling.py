@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the extension_software_tiling experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_software_tiling(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment,
+        args=("extension_software_tiling", quick),
+        rounds=1,
+        iterations=1,
+    )

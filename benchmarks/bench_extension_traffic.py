@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the extension_traffic experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extension_traffic(benchmark, quick):
+    result = benchmark(run_experiment, "extension_traffic", quick)
+    assert result.tables

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (trace-measured stalling factors).
+
+The heaviest experiment — six traces x four policies x the beta sweep —
+so the benchmark uses one round with few iterations.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure1(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("figure1", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the figure1_eq8 experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure1_eq8(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("figure1_eq8", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 2 (bus width vs hit ratio sweep)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure2(benchmark, quick):
+    result = benchmark(run_experiment, "figure2", quick)
+    assert "HR=98% L=8" in result.series

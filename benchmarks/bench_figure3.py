@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 3 (unified tradeoff, L=8)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure3(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("figure3", quick), rounds=1, iterations=1
+    )

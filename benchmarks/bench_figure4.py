@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 4 (unified tradeoff, L=32)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure4(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("figure4", quick), rounds=1, iterations=1
+    )

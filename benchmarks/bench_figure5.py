@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (unified tradeoff with BNL3)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure5(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("figure5", quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 6 (Smith validation panels)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_figure6(benchmark, quick):
+    result = benchmark(run_experiment, "figure6", quick)
+    assert "agree at every swept bus speed: yes" in " ".join(result.notes)

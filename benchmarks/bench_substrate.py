@@ -1,0 +1,60 @@
+"""Substrate micro-benchmarks: raw simulator throughput.
+
+These are not paper artifacts; they keep the simulators honest as the
+codebase evolves (a 10x regression in cache throughput would silently
+multiply every figure's runtime).
+"""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.spec92 import spec92_trace
+
+TRACE_LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return spec92_trace("nasa7", TRACE_LENGTH, seed=1)
+
+
+def test_functional_cache_throughput(benchmark, trace):
+    """Pure hit/miss simulation, no timing."""
+
+    def run():
+        cache = Cache(CacheConfig(8192, 32, 2))
+        for inst in trace:
+            if inst.kind.is_memory:
+                cache.read(inst.address)
+        return cache.stats.accesses
+
+    accesses = benchmark(run)
+    assert accesses > 0
+
+
+def test_timing_simulator_throughput_fs(benchmark, trace):
+    def run():
+        sim = TimingSimulator(CacheConfig(8192, 32, 2), MainMemory(8.0, 4))
+        return sim.run(trace).cycles
+
+    assert benchmark(run) > 0
+
+
+def test_timing_simulator_throughput_bnl3(benchmark, trace):
+    def run():
+        sim = TimingSimulator(
+            CacheConfig(8192, 32, 2),
+            MainMemory(8.0, 4),
+            policy=StallPolicy.BUS_NOT_LOCKED_3,
+        )
+        return sim.run(trace).cycles
+
+    assert benchmark(run) > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    result = benchmark(spec92_trace, "swm256", TRACE_LENGTH, 2)
+    assert len(result) == TRACE_LENGTH

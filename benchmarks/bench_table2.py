@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 2 (stalling factor bounds)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2(benchmark, quick):
+    result = benchmark(run_experiment, "table2", quick)
+    assert len(result.tables) == 2

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 3 (per-feature miss-volume ratios)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table3(benchmark, quick):
+    result = benchmark(run_experiment, "table3", quick)
+    assert "doubling-bus" in result.tables[0]

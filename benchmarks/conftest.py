@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each ``bench_*`` file
+regenerates one paper artifact (table or figure) through the same code
+path as ``python -m repro.experiments.runner``; the ``bench_substrate``
+file measures raw simulator throughput.  Experiments use quick mode so a
+full benchmark pass stays under a couple of minutes.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick():
+    """All experiment benchmarks run in quick mode."""
+    return True

@@ -1,0 +1,85 @@
+"""Blocked matrix multiply through the methodology's lens.
+
+Generates the exact reference stream of a 48x48 double-precision matmul
+(55 KB of matrices against an 8 KB cache), untiled and tiled, and asks
+the paper's questions of it:
+
+1. what does tiling do to the hit ratio (the software knob the paper's
+   hardware features compete with)?
+2. what line size does the Smith/Eq. 19 criterion pick for each variant?
+3. what is each hardware feature worth on each variant (Eq. 6)?
+
+Run:  python examples/blocked_matmul.py
+"""
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.bus_width import doubling_tradeoff
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_tradeoff
+from repro.core.smith import smith_optimal_line
+from repro.trace.loops import square_matmul_trace
+from repro.trace.record import OpKind
+from repro.util.tables import format_table
+
+N = 48
+CACHE_BYTES = 8192
+CONFIG = SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+def miss_table(trace, line_sizes=(8, 16, 32, 64, 128)):
+    table = {}
+    for line in line_sizes:
+        cache = Cache(CacheConfig(CACHE_BYTES, line, 2))
+        for inst in trace:
+            if inst.kind is OpKind.LOAD:
+                cache.read(inst.address)
+            elif inst.kind is OpKind.STORE:
+                cache.write(inst.address)
+        table[line] = cache.stats.miss_ratio
+    return table
+
+
+def main() -> None:
+    variants = {
+        "untiled ijk": square_matmul_trace(N),
+        "tiled 8x8x8": square_matmul_trace(N, tile=8),
+    }
+    rows = []
+    for name, trace in variants.items():
+        table = miss_table(trace)
+        hit_ratio = 1.0 - table[32]
+        optimal = smith_optimal_line(table, latency=8.0, transfer=2.0, bus_width=4)
+        bus = doubling_tradeoff(CONFIG, hit_ratio).hit_ratio_delta
+        pipe = pipelined_tradeoff(CONFIG, hit_ratio).hit_ratio_delta
+        rows.append(
+            (
+                name,
+                f"{hit_ratio:.1%}",
+                optimal,
+                f"{bus:.2%}",
+                f"{pipe:.2%}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "variant",
+                "HR (L=32)",
+                "optimal L (Smith/Eq.19)",
+                "2x bus worth",
+                "pipelining worth",
+            ],
+            rows,
+            title=f"{N}x{N} double matmul on an 8K 2-way cache, beta_m=8",
+        )
+    )
+    print(
+        "\nTiling raises the hit ratio so much that every hardware feature\n"
+        "is worth *less* afterwards (Eq. 6 scales with 1-HR): good software\n"
+        "shrinks the hardware problem — and the methodology quantifies by\n"
+        "exactly how much."
+    )
+
+
+if __name__ == "__main__":
+    main()

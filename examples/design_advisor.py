@@ -1,0 +1,45 @@
+"""Design advisor: "I have one budget line — what do I buy?"
+
+Feeds a design brief (current geometry, memory speed, cache size and a
+hit-ratio-vs-size curve) to the advisor, which prices every paper
+feature in the unified hit-ratio currency plus pins/area, and explains
+how the recommendation flips as the memory gets slower.
+
+Run:  python examples/design_advisor.py
+"""
+
+from repro.analysis.design_advisor import DesignBrief, recommend
+from repro.analysis.short_levy import short_levy_curve
+from repro.core.params import SystemConfig
+
+KIB = 1024
+
+
+def advise(memory_cycle: float) -> None:
+    brief = DesignBrief(
+        config=SystemConfig(4, 32, memory_cycle, pipeline_turnaround=2.0),
+        cache_bytes=8 * KIB,
+        hit_ratio_curve=short_levy_curve(),
+        measured_stall_factor=0.92 * 8,  # BNL1 from the Figure 1 runs
+    )
+    print(
+        f"--- beta_m = {memory_cycle:g} clocks, 8K cache "
+        f"(HR {brief.base_hit_ratio:.1%}) ---"
+    )
+    for rank, rec in enumerate(recommend(brief), start=1):
+        print(f"  {rank}. {rec.summary}")
+    print()
+
+
+def main() -> None:
+    print(
+        "Advisor output for three memory speeds (the paper's Section 5.3\n"
+        "story: fast memory -> buy the bus; slow memory -> buy the\n"
+        "pipelined memory system).\n"
+    )
+    for memory_cycle in (2.5, 4.7, 12.0):
+        advise(memory_cycle)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Pareto frontier over feature bundles — including "just grow the cache".
+
+The paper prices features one at a time; a design team combines them and
+always has the baseline alternative of a bigger cache.  Using the
+numeric equivalence solver under the hood, this script evaluates all
+eight bundles of {2x bus, write buffers, pipelined memory} plus 2x/4x
+cache growth, prices each in pins / rbe area / memory banks, and prints
+the Pareto-efficient set.  At a 32K cache, growing the cache is
+dominated by cheap features — Section 5.2's conclusion falling out of
+the frontier.
+
+Run:  python examples/pareto_frontier.py
+"""
+
+from repro.analysis.pareto import evaluate_bundles, pareto_front
+from repro.analysis.short_levy import short_levy_curve
+from repro.core.params import SystemConfig
+from repro.util.tables import format_table
+
+KIB = 1024
+
+
+def show(memory_cycle: float) -> None:
+    # The design's current cache is 32K at HR 95.5% (Short & Levy).
+    curve = short_levy_curve()
+    cache_bytes = 32 * KIB
+    config = SystemConfig(4, 32, memory_cycle, pipeline_turnaround=2.0)
+    points = evaluate_bundles(
+        config,
+        base_hit_ratio=curve.hit_ratio(cache_bytes),
+        hit_ratio_curve=curve,
+        cache_bytes=cache_bytes,
+    )
+    front = pareto_front(points)
+    front_bundles = {p.bundle for p in front}
+
+    rows = [
+        (
+            point.bundle.label,
+            f"{point.speedup:.3f}x",
+            f"{point.pin_cost:.0f}",
+            f"{point.area_cost_rbe:.0f}",
+            point.memory_banks,
+            "*" if point.bundle in front_bundles else "",
+        )
+        for point in sorted(points, key=lambda p: -p.speedup)
+    ]
+    print(
+        format_table(
+            ["bundle", "speedup", "pins", "area (rbe)", "banks", "Pareto"],
+            rows,
+            title=f"beta_m = {memory_cycle:g} clocks, 32K cache (HR 95.5%)",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    print(
+        "Feature bundles priced with the numeric equivalence solver;\n"
+        "'*' marks the Pareto-efficient set.\n"
+    )
+    for memory_cycle in (4.0, 12.0):
+        show(memory_cycle)
+    print(
+        "Cache growth is dominated (huge area for modest speedup at an\n"
+        "already-large cache: Section 5.2); among features, fast memory\n"
+        "favors the wide bus and slow memory the pipelined bundles — the\n"
+        "Figures 3-5 story, now with costs attached."
+    )
+
+
+if __name__ == "__main__":
+    main()

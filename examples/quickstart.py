@@ -1,0 +1,65 @@
+"""Quickstart: the unified tradeoff methodology in five minutes.
+
+The paper's question: you have a design budget — spend it on a bigger
+cache, a wider bus, write buffers, or a pipelined memory?  The answer is
+expressed in one currency: cache hit ratio.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, doubling_tradeoff, pipelined_tradeoff, write_buffer_tradeoff
+from repro.core import (
+    hit_ratio_gain_equivalent_to_doubling,
+    pipelined_vs_doubling_crossover,
+)
+
+
+def main() -> None:
+    # A 1994-vintage RISC system: 4-byte bus, 32-byte lines, memory that
+    # needs 8 CPU clocks per bus transfer, best-case pipelining (q = 2).
+    config = SystemConfig(
+        bus_width=4, line_size=32, memory_cycle=8.0, pipeline_turnaround=2.0
+    )
+    base_hr = 0.95  # the data cache we can afford today
+
+    print("System: D=4 B, L=32 B, beta_m=8 clocks, q=2, base HR=95%\n")
+
+    # 1. What is doubling the bus worth, in hit ratio?
+    bus = doubling_tradeoff(config, base_hr)
+    print(
+        f"Doubling the bus lets the cache shrink until HR = "
+        f"{bus.feature_hit_ratio:.2%} (a {bus.hit_ratio_delta:.2%} trade)."
+    )
+
+    # 2. Same question for read-bypassing write buffers...
+    buffers = write_buffer_tradeoff(config, base_hr)
+    print(
+        f"Write buffers (best case) are worth {buffers.hit_ratio_delta:.2%} "
+        "of hit ratio."
+    )
+
+    # 3. ...and for a pipelined memory system.
+    pipe = pipelined_tradeoff(config, base_hr)
+    print(f"A pipelined memory is worth {pipe.hit_ratio_delta:.2%}.")
+
+    # 4. The reverse question: how much must the cache grow to match a
+    #    doubled bus?  (The paper's 0.5-0.6 x (1-HR) rule.)
+    gain = hit_ratio_gain_equivalent_to_doubling(config, base_hr)
+    print(
+        f"\nKeeping the narrow bus instead requires raising HR by "
+        f"{gain:.2%} ({gain / (1 - base_hr):.2f} x (1-HR))."
+    )
+
+    # 5. When does pipelining overtake the wider bus?
+    crossover = pipelined_vs_doubling_crossover(
+        config.line_size, config.bus_width, config.pipeline_turnaround
+    )
+    print(
+        f"\nPipelining overtakes the doubled bus once beta_m exceeds "
+        f"{crossover:.2f} clocks — at beta_m=8 it is already the best "
+        "single feature."
+    )
+
+
+if __name__ == "__main__":
+    main()

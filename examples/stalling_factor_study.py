@@ -1,0 +1,86 @@
+"""Stalling-factor study: measure phi for your workload and use it.
+
+The paper measures the stalling factor phi by trace-driven simulation
+(Figure 1) and feeds it into the tradeoff model (Section 4.2).  This
+script does the full loop on one SPEC92 stand-in workload:
+
+1. build the trace;
+2. simulate every Table 2 blocking policy and measure phi;
+3. verify the Eq. (2) model reproduces the simulated cycles exactly;
+4. convert the measured BNL1/BNL3 phi into traded hit ratio.
+
+Run:  python examples/stalling_factor_study.py [program] [instructions]
+"""
+
+import sys
+
+from repro.analysis.characterize import characterize
+from repro.cache.cache import CacheConfig
+from repro.core import SystemConfig, execution_time, partial_stall_tradeoff
+from repro.core.stalling import MEASURED_POLICIES, StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.spec92 import SPEC92_PROFILES, spec92_trace
+from repro.util.tables import format_table
+
+CACHE = CacheConfig(total_bytes=8192, line_size=32, associativity=2)
+BETA_M = 8.0
+BUS_WIDTH = 4
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "swm256"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+    if program not in SPEC92_PROFILES:
+        raise SystemExit(
+            f"unknown program {program!r}; choose from {sorted(SPEC92_PROFILES)}"
+        )
+
+    trace = spec92_trace(program, length, seed=7)
+    run = characterize(trace, CACHE)
+    print(
+        f"{program}: {length} instructions, data hit ratio "
+        f"{run.hit_ratio:.1%}, alpha={run.workload.flush_ratio:.2f}\n"
+    )
+
+    config = SystemConfig(BUS_WIDTH, 32, BETA_M)
+    rows = []
+    for policy in (StallPolicy.FULL_STALL, *MEASURED_POLICIES):
+        sim = TimingSimulator(CACHE, MainMemory(BETA_M, BUS_WIDTH), policy=policy)
+        result = sim.run(trace)
+        predicted = execution_time(
+            run.workload, config, stall_factor=result.stall_factor, policy=policy
+        )
+        rows.append(
+            (
+                policy.value,
+                result.stall_factor,
+                result.stall_percentage(8),
+                result.cycles,
+                "yes" if abs(predicted - result.cycles) < 1e-6 else "NO",
+            )
+        )
+    print(
+        format_table(
+            ["policy", "phi", "% of L/D", "cycles", "Eq.(2) exact?"],
+            rows,
+            title=f"Measured stalling factors at beta_m={BETA_M:.0f}",
+        )
+    )
+
+    # What the measured partial stalling is worth in hit ratio.
+    print()
+    for policy in (StallPolicy.BUS_NOT_LOCKED_1, StallPolicy.BUS_NOT_LOCKED_3):
+        sim = TimingSimulator(CACHE, MainMemory(BETA_M, BUS_WIDTH), policy=policy)
+        phi = sim.run(trace).stall_factor
+        trade = partial_stall_tradeoff(
+            config, 0.95, measured_stall_factor=phi, policy=policy
+        )
+        print(
+            f"Switching FS -> {policy.value} (phi={phi:.2f}) is worth "
+            f"{trade.hit_ratio_delta:.2%} of hit ratio at a 95% base."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "A Unified Architectural Tradeoff Methodology"
+(Chung-Ho Chen and Arun K. Somani, ISCA 1994).
+
+The package quantifies architectural features — external data bus width,
+processor stalling behaviour, read-bypassing write buffers, pipelined
+memory, and cache line size — in a common currency: cache hit ratio,
+via the equivalence of mean memory delay time.
+
+Layout
+------
+``repro.core``
+    The analytic methodology (the paper's contribution).
+``repro.cache`` / ``repro.cpu`` / ``repro.memory``
+    The trace-driven simulation substrate that measures stalling factors
+    and workload characterizations.
+``repro.trace``
+    Synthetic workload generators standing in for the SPEC92 traces.
+``repro.analysis``
+    Characterization, hit-ratio-vs-size models, chip-area/pin models.
+``repro.experiments``
+    One module per paper table/figure; ``python -m repro.experiments.runner``.
+"""
+
+from repro.core import (
+    ArchFeature,
+    StallPolicy,
+    SystemConfig,
+    TradeoffResult,
+    WorkloadCharacter,
+    doubling_tradeoff,
+    execution_time,
+    hit_ratio_traded,
+    partial_stall_tradeoff,
+    pipelined_tradeoff,
+    smith_optimal_line,
+    tradeoff_optimal_line,
+    unified_comparison,
+    workload_from_hit_ratio,
+    write_buffer_tradeoff,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "WorkloadCharacter",
+    "workload_from_hit_ratio",
+    "StallPolicy",
+    "ArchFeature",
+    "TradeoffResult",
+    "execution_time",
+    "hit_ratio_traded",
+    "doubling_tradeoff",
+    "partial_stall_tradeoff",
+    "write_buffer_tradeoff",
+    "pipelined_tradeoff",
+    "unified_comparison",
+    "smith_optimal_line",
+    "tradeoff_optimal_line",
+    "__version__",
+]

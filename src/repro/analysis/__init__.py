@@ -1,0 +1,77 @@
+"""Analysis layer: from simulations to the paper's model parameters.
+
+* :mod:`repro.analysis.characterize` — extract ``{E, R, W, alpha, phi}``
+  from a trace run (Table 1);
+* :mod:`repro.analysis.hit_ratio_model` — hit-ratio-versus-cache-size
+  models (power-law fits, table interpolation);
+* :mod:`repro.analysis.short_levy` — the Short & Levy hit-ratio points
+  behind Example 1;
+* :mod:`repro.analysis.smith_targets` — design-target miss-ratio tables
+  for the Figure 6 validation;
+* :mod:`repro.analysis.chip_area` — cache area and pin-count models for
+  the Section 5.2 implications.
+"""
+
+from repro.analysis.calibration import (
+    CalibrationResult,
+    bisect_knob,
+    calibrate_hit_ratio,
+    calibrate_spatial_locality,
+)
+from repro.analysis.characterize import CharacterizedRun, characterize
+from repro.analysis.design_advisor import (
+    DesignBrief,
+    Recommendation,
+    best_single_feature,
+    recommend,
+)
+from repro.analysis.chip_area import (
+    CacheAreaModel,
+    PackageModel,
+    bus_width_pin_delta,
+)
+from repro.analysis.pareto import (
+    Bundle,
+    BundlePoint,
+    design_frontier,
+    evaluate_bundles,
+    pareto_front,
+)
+from repro.analysis.hit_ratio_model import (
+    HitRatioCurve,
+    PowerLawMissModel,
+    fit_power_law,
+)
+from repro.analysis.short_levy import SHORT_LEVY_HIT_RATIOS, short_levy_curve
+from repro.analysis.smith_targets import (
+    DESIGN_TARGET_MISS_RATIOS,
+    design_target_table,
+)
+
+__all__ = [
+    "characterize",
+    "CharacterizedRun",
+    "HitRatioCurve",
+    "PowerLawMissModel",
+    "fit_power_law",
+    "SHORT_LEVY_HIT_RATIOS",
+    "short_levy_curve",
+    "DESIGN_TARGET_MISS_RATIOS",
+    "design_target_table",
+    "CacheAreaModel",
+    "PackageModel",
+    "bus_width_pin_delta",
+    "DesignBrief",
+    "Recommendation",
+    "recommend",
+    "best_single_feature",
+    "Bundle",
+    "BundlePoint",
+    "evaluate_bundles",
+    "pareto_front",
+    "design_frontier",
+    "CalibrationResult",
+    "bisect_knob",
+    "calibrate_hit_ratio",
+    "calibrate_spatial_locality",
+]

@@ -1,0 +1,186 @@
+"""Workload calibration: make a synthetic stream hit a target statistic.
+
+The SPEC92 stand-ins (DESIGN.md, substitutions) were tuned by hand; this
+module provides the systematic version, used to build new stand-ins and
+to document how the shipped ones were obtained.  The central tool is a
+robust bisection over one generator knob against a measured statistic:
+
+* :func:`calibrate_hit_ratio` — size a working set so a cache
+  configuration sees a target hit ratio;
+* :func:`calibrate_spatial_locality` — tune a mix's run length until
+  consecutive references co-locate on lines at a target rate.
+
+Both return the knob value and the achieved statistic, so calibration
+results are reproducible artifacts rather than folklore.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.trace.record import Instruction, OpKind
+from repro.trace.stats import summarize
+from repro.trace.synthetic import (
+    SyntheticTraceBuilder,
+    mix,
+    sequential_sweep,
+    working_set,
+)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration search."""
+
+    knob: float
+    achieved: float
+    target: float
+    iterations: int
+
+    @property
+    def error(self) -> float:
+        """Absolute target miss."""
+        return abs(self.achieved - self.target)
+
+
+def bisect_knob(
+    measure: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    increasing: bool,
+    tolerance: float = 0.01,
+    max_iterations: int = 24,
+) -> CalibrationResult:
+    """Bisection on a monotone (possibly noisy) knob-to-statistic map.
+
+    ``increasing`` declares the direction of monotonicity; the search
+    stops at ``tolerance`` on the statistic or after ``max_iterations``.
+    Raises when the target lies outside the bracket's achieved range.
+    """
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    value_low, value_high = measure(low), measure(high)
+    lo_stat, hi_stat = (
+        (value_low, value_high) if increasing else (value_high, value_low)
+    )
+    if not lo_stat - tolerance <= target <= hi_stat + tolerance:
+        raise ValueError(
+            f"target {target:.4f} outside achievable range "
+            f"[{lo_stat:.4f}, {hi_stat:.4f}]"
+        )
+    best = (low, value_low) if abs(value_low - target) < abs(
+        value_high - target
+    ) else (high, value_high)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        mid = 0.5 * (low + high)
+        achieved = measure(mid)
+        if abs(achieved - target) < abs(best[1] - target):
+            best = (mid, achieved)
+        if abs(achieved - target) <= tolerance:
+            break
+        if (achieved < target) == increasing:
+            low = mid
+        else:
+            high = mid
+    return CalibrationResult(
+        knob=best[0], achieved=best[1], target=target, iterations=iterations
+    )
+
+
+def _measure_hit_ratio(
+    instructions: list[Instruction], config: CacheConfig
+) -> float:
+    cache = Cache(config)
+    for inst in instructions:
+        if inst.kind is OpKind.LOAD:
+            cache.read(inst.address)
+        elif inst.kind is OpKind.STORE:
+            cache.write(inst.address)
+    return cache.stats.hit_ratio
+
+
+def calibrate_hit_ratio(
+    target_hit_ratio: float,
+    cache_config: CacheConfig,
+    n_instructions: int = 20_000,
+    seed: int = 0,
+    tolerance: float = 0.02,
+) -> CalibrationResult:
+    """Size a hot working set so the cache sees ``target_hit_ratio``.
+
+    The knob is the hot-region size as a multiple of the cache size
+    (log-ish range [0.25, 16]); bigger hot sets mean lower hit ratios,
+    so the statistic is decreasing in the knob.
+    """
+    if not 0.05 < target_hit_ratio < 0.999:
+        raise ValueError(
+            f"target_hit_ratio must be in (0.05, 0.999), got {target_hit_ratio}"
+        )
+
+    def measure(multiple: float) -> float:
+        rng = random.Random(seed)
+        builder = SyntheticTraceBuilder(seed=seed, loadstore_fraction=0.3)
+        hot = max(1024, int(cache_config.total_bytes * multiple))
+        pattern = working_set(
+            0, hot, 16 * hot, hot_probability=0.95, rng=rng, align=8
+        )
+        return _measure_hit_ratio(
+            builder.build(pattern, n_instructions), cache_config
+        )
+
+    return bisect_knob(
+        measure,
+        target_hit_ratio,
+        low=0.25,
+        high=16.0,
+        increasing=False,
+        tolerance=tolerance,
+    )
+
+
+def calibrate_spatial_locality(
+    target_locality: float,
+    line_size: int = 32,
+    n_instructions: int = 20_000,
+    n_streams: int = 3,
+    seed: int = 0,
+    tolerance: float = 0.03,
+) -> CalibrationResult:
+    """Tune a sequential mix's run length to a target spatial locality.
+
+    Longer runs keep consecutive references on one stream (hence often
+    one line), raising :attr:`repro.trace.stats.TraceStats.spatial_locality`.
+    """
+    if not 0.0 < target_locality < 0.95:
+        raise ValueError(
+            f"target_locality must be in (0, 0.95), got {target_locality}"
+        )
+
+    def measure(run_length: float) -> float:
+        rng = random.Random(seed)
+        streams = [
+            sequential_sweep(i << 24, 1 << 20, 8) for i in range(n_streams)
+        ]
+        pattern = mix(
+            streams,
+            weights=[1.0] * n_streams,
+            rng=rng,
+            run_length=max(1, int(round(run_length))),
+        )
+        builder = SyntheticTraceBuilder(seed=seed, loadstore_fraction=0.3)
+        trace = builder.build(pattern, n_instructions)
+        return summarize(trace, line_size=line_size).spatial_locality
+
+    return bisect_knob(
+        measure,
+        target_locality,
+        low=1.0,
+        high=256.0,
+        increasing=True,
+        tolerance=tolerance,
+    )

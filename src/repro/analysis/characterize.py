@@ -1,0 +1,90 @@
+"""Extract the paper's Table 1 characterization from a trace run.
+
+``characterize`` runs a functional (untimed) cache simulation and maps
+the statistics onto ``{E, R, W, alpha}``; with ``measure_phi=True`` it
+also runs the timing simulator per requested stalling policy to measure
+``phi``.  The result feeds straight into :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.params import WorkloadCharacter
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.record import Instruction, OpKind
+
+
+@dataclass(frozen=True)
+class CharacterizedRun:
+    """A workload characterization plus its bookkeeping.
+
+    ``workload`` is directly usable by the Eq. (2) model; ``references``
+    is ``Lambda_h + Lambda_m`` (needed to convert between miss counts and
+    miss ratios); ``stall_factors`` maps each measured policy to its
+    ``phi`` (empty when ``measure_phi`` was off).
+    """
+
+    workload: WorkloadCharacter
+    references: int
+    hit_ratio: float
+    stall_factors: dict[StallPolicy, float]
+
+
+def characterize(
+    instructions: list[Instruction],
+    cache_config: CacheConfig,
+    measure_phi: bool = False,
+    policies: tuple[StallPolicy, ...] = (StallPolicy.BUS_NOT_LOCKED_1,),
+    memory_cycle: float = 8.0,
+    bus_width: int = 4,
+) -> CharacterizedRun:
+    """Run a trace through a cache and produce its Table 1 parameters.
+
+    Parameters
+    ----------
+    instructions:
+        The instruction stream (``E`` = its length).
+    cache_config:
+        Data-cache configuration to characterize against; ``R``, ``W``
+        and ``alpha`` are configuration-dependent quantities.
+    measure_phi:
+        Also run the timing simulator for each of ``policies`` at
+        ``memory_cycle``/``bus_width`` to measure stalling factors.
+    """
+    cache = Cache(cache_config)
+    count = 0
+    for inst in instructions:
+        count += 1
+        if inst.kind is OpKind.LOAD:
+            cache.read(inst.address)
+        elif inst.kind is OpKind.STORE:
+            cache.write(inst.address)
+    stats = cache.stats
+
+    workload = WorkloadCharacter(
+        instructions=count,
+        read_bytes=stats.read_miss_bytes,
+        write_around_misses=stats.write_around_count,
+        flush_ratio=stats.flush_ratio,
+    )
+
+    stall_factors: dict[StallPolicy, float] = {}
+    if measure_phi:
+        for policy in policies:
+            simulator = TimingSimulator(
+                cache_config,
+                MainMemory(memory_cycle, bus_width),
+                policy=policy,
+            )
+            stall_factors[policy] = simulator.run(instructions).stall_factor
+
+    return CharacterizedRun(
+        workload=workload,
+        references=stats.accesses,
+        hit_ratio=stats.hit_ratio,
+        stall_factors=stall_factors,
+    )

@@ -1,0 +1,112 @@
+"""Chip-area and pin-count models for the Section 5.2 implications.
+
+The paper's Example 1 argues that for small caches, growing the cache
+(chip area) buys the same performance as doubling the external bus
+(package pins), while for large caches the bus is the cheaper currency.
+Quantifying that argument needs two cost models:
+
+* :class:`CacheAreaModel` — on-chip SRAM area in register-bit
+  equivalents (rbe), following the classic Mulder/Quach/Flynn accounting:
+  data bits cost ~0.6 rbe, tag/status bits likewise, plus per-line and
+  per-set overheads.  Absolute calibration does not matter for the
+  paper's argument; *ratios* between configurations do.
+* :class:`PackageModel` — package pins as a function of bus widths and
+  overhead pins; doubling the data bus from 32 to 64 bits costs 32
+  signal pins plus extra power/ground pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheAreaModel:
+    """SRAM-bit-based cache area estimate.
+
+    Parameters
+    ----------
+    address_bits:
+        Physical address width (tags are derived from it).
+    rbe_per_bit:
+        Area of one SRAM cell in register-bit equivalents.
+    line_overhead_rbe:
+        Fixed per-line overhead (comparators, valid/dirty logic).
+    """
+
+    address_bits: int = 32
+    rbe_per_bit: float = 0.6
+    line_overhead_rbe: float = 20.0
+
+    def tag_bits(self, total_bytes: int, line_size: int, associativity: int) -> int:
+        """Tag width for the geometry (address minus index/offset bits)."""
+        if total_bytes <= 0 or line_size <= 0 or associativity <= 0:
+            raise ValueError("geometry values must be positive")
+        n_sets = total_bytes // (line_size * associativity)
+        if n_sets < 1:
+            raise ValueError("cache too small for the line size/associativity")
+        offset_bits = int(math.log2(line_size))
+        index_bits = int(math.log2(n_sets))
+        return self.address_bits - offset_bits - index_bits
+
+    def area(self, total_bytes: int, line_size: int, associativity: int) -> float:
+        """Total area in rbe: data + tag + status + per-line overhead.
+
+        Larger lines amortize tags over more data — the Alpert & Flynn
+        cost-effectiveness point the paper cites in Section 2.
+        """
+        n_lines = total_bytes // line_size
+        data_bits = total_bytes * 8
+        tag = self.tag_bits(total_bytes, line_size, associativity)
+        status_bits = 2  # valid + dirty
+        control_bits = n_lines * (tag + status_bits)
+        return (
+            (data_bits + control_bits) * self.rbe_per_bit
+            + n_lines * self.line_overhead_rbe
+        )
+
+    def area_ratio(
+        self,
+        bytes_a: int,
+        bytes_b: int,
+        line_size: int,
+        associativity: int,
+    ) -> float:
+        """Area of configuration A over configuration B (same geometry)."""
+        return self.area(bytes_a, line_size, associativity) / self.area(
+            bytes_b, line_size, associativity
+        )
+
+
+@dataclass(frozen=True)
+class PackageModel:
+    """Package pin budget for a microprocessor.
+
+    ``power_ground_per_signal`` models the extra supply pairs wide,
+    fast buses demand (one pair per 8 signals is a common early-90s
+    rule of thumb).
+    """
+
+    address_pins: int = 32
+    control_pins: int = 24
+    power_ground_per_signal: float = 0.125
+
+    def total_pins(self, data_bus_bits: int) -> float:
+        """Pins needed for a given external data bus width."""
+        if data_bus_bits <= 0 or data_bus_bits % 8:
+            raise ValueError(
+                f"data_bus_bits must be a positive multiple of 8, got {data_bus_bits}"
+            )
+        signals = data_bus_bits + self.address_pins + self.control_pins
+        return signals * (1.0 + self.power_ground_per_signal)
+
+
+def bus_width_pin_delta(
+    narrow_bits: int, wide_bits: int, package: PackageModel | None = None
+) -> float:
+    """Extra pins from widening the data bus ``narrow -> wide``."""
+    model = package or PackageModel()
+    if wide_bits <= narrow_bits:
+        raise ValueError("wide_bits must exceed narrow_bits")
+    return model.total_pins(wide_bits) - model.total_pins(narrow_bits)

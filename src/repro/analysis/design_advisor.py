@@ -1,0 +1,132 @@
+"""Design advisor: the methodology as a decision tool.
+
+The paper's point is practical — a designer with one budget line should
+know which feature buys the most performance.  The advisor combines the
+tradeoff engine (performance value, in hit ratio) with the cost models
+(package pins, chip area, design-complexity flags) and ranks every
+candidate, including "just grow the cache" as the baseline alternative.
+
+All performance values are expressed as the *cache size* the feature is
+worth: the feature's traded hit ratio is mapped through a hit-ratio-vs-
+size curve to the equivalent extra kilobytes of on-chip cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.chip_area import CacheAreaModel, bus_width_pin_delta
+from repro.analysis.hit_ratio_model import HitRatioCurve
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import hit_ratio_traded
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One candidate feature, priced and valued."""
+
+    feature: ArchFeature
+    hit_ratio_value: float
+    equivalent_cache_bytes: float
+    pin_cost: float
+    area_cost_rbe: float
+    note: str
+
+    @property
+    def summary(self) -> str:
+        """One-line human rendering."""
+        kib = self.equivalent_cache_bytes / 1024
+        return (
+            f"{self.feature.value}: worth {self.hit_ratio_value:.2%} hit ratio "
+            f"(~{kib:.0f} KiB of cache); costs {self.pin_cost:.0f} pins, "
+            f"{self.area_cost_rbe:.0f} rbe. {self.note}"
+        )
+
+
+@dataclass(frozen=True)
+class DesignBrief:
+    """The designer's current system and constraints."""
+
+    config: SystemConfig
+    cache_bytes: int
+    hit_ratio_curve: HitRatioCurve
+    flush_ratio: float = 0.5
+    measured_stall_factor: float | None = None
+
+    @property
+    def base_hit_ratio(self) -> float:
+        """The current cache's hit ratio per the curve."""
+        return self.hit_ratio_curve.hit_ratio(self.cache_bytes)
+
+
+_NOTES = {
+    ArchFeature.DOUBLING_BUS: "needs a wider package and memory datapath.",
+    ArchFeature.WRITE_BUFFERS: "small on-chip FIFO; verify read-bypass hazards.",
+    ArchFeature.PIPELINED_MEMORY: "requires pipelined DRAM/bus control.",
+    ArchFeature.PARTIAL_STALLING: "cache controller complexity (lockup-free fill).",
+}
+
+
+def recommend(brief: DesignBrief) -> list[Recommendation]:
+    """Rank every applicable feature, best hit-ratio value first.
+
+    The partially-stalling feature appears only when the brief carries a
+    trace-measured stalling factor (Section 4.2's requirement).
+    """
+    base_hr = brief.base_hit_ratio
+    area_model = CacheAreaModel()
+    recommendations = []
+    features = [
+        ArchFeature.DOUBLING_BUS,
+        ArchFeature.WRITE_BUFFERS,
+        ArchFeature.PIPELINED_MEMORY,
+    ]
+    if brief.measured_stall_factor is not None:
+        features.append(ArchFeature.PARTIAL_STALLING)
+
+    for feature in features:
+        r = feature_miss_ratio(
+            feature,
+            brief.config,
+            flush_ratio=brief.flush_ratio,
+            measured_stall_factor=brief.measured_stall_factor,
+        )
+        value = hit_ratio_traded(r, base_hr)
+        # The cache size that would deliver the same hit-ratio gain.
+        target_hr = min(base_hr + value, brief.hit_ratio_curve.hit_ratio(1 << 40))
+        try:
+            equivalent = brief.hit_ratio_curve.size_for_hit_ratio(target_hr)
+        except ValueError:
+            equivalent = float("inf")
+        equivalent_extra = max(0.0, equivalent - brief.cache_bytes)
+
+        pins = (
+            bus_width_pin_delta(
+                brief.config.bus_width * 8, brief.config.bus_width * 16
+            )
+            if feature is ArchFeature.DOUBLING_BUS
+            else 0.0
+        )
+        if feature is ArchFeature.WRITE_BUFFERS:
+            # A 4-deep line-wide FIFO, priced with the same rbe model.
+            area = 4 * brief.config.line_size * 8 * area_model.rbe_per_bit
+        else:
+            area = 0.0
+        recommendations.append(
+            Recommendation(
+                feature=feature,
+                hit_ratio_value=value,
+                equivalent_cache_bytes=equivalent_extra,
+                pin_cost=pins,
+                area_cost_rbe=area,
+                note=_NOTES[feature],
+            )
+        )
+    recommendations.sort(key=lambda rec: rec.hit_ratio_value, reverse=True)
+    return recommendations
+
+
+def best_single_feature(brief: DesignBrief) -> Recommendation:
+    """The top-ranked feature for this brief."""
+    return recommend(brief)[0]

@@ -1,0 +1,130 @@
+"""Hit-ratio versus cache-size models.
+
+The tradeoff results convert hit-ratio differences into cache-size
+differences ("reducing the hit ratio, hence the cache size").  Two model
+families support that conversion:
+
+* :class:`HitRatioCurve` — log-size interpolation through measured or
+  published (size, hit-ratio) points, e.g. the Short & Levy table;
+* :class:`PowerLawMissModel` — the classic ``MR(C) = MR(C0) (C/C0)^-k``
+  power law (k around 0.3-0.5 for real workloads), fit from points with
+  :func:`fit_power_law`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawMissModel:
+    """``MR(C) = reference_miss * (C / reference_size) ** -exponent``."""
+
+    reference_size: float
+    reference_miss: float
+    exponent: float
+
+    def __post_init__(self) -> None:
+        if self.reference_size <= 0:
+            raise ValueError("reference_size must be positive")
+        if not 0.0 < self.reference_miss <= 1.0:
+            raise ValueError("reference_miss must be in (0, 1]")
+        if self.exponent < 0:
+            raise ValueError("exponent must be non-negative")
+
+    def miss_ratio(self, cache_bytes: float) -> float:
+        """Miss ratio at ``cache_bytes`` (clipped into (0, 1])."""
+        if cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive")
+        value = self.reference_miss * (cache_bytes / self.reference_size) ** (
+            -self.exponent
+        )
+        return min(1.0, value)
+
+    def hit_ratio(self, cache_bytes: float) -> float:
+        """``1 - MR``."""
+        return 1.0 - self.miss_ratio(cache_bytes)
+
+    def size_for_hit_ratio(self, hit_ratio: float) -> float:
+        """Invert the law: bytes needed to reach ``hit_ratio``."""
+        if not 0.0 <= hit_ratio < 1.0:
+            raise ValueError("hit_ratio must be in [0, 1)")
+        if self.exponent == 0:
+            raise ValueError("a flat model cannot be inverted")
+        target_miss = 1.0 - hit_ratio
+        return self.reference_size * (target_miss / self.reference_miss) ** (
+            -1.0 / self.exponent
+        )
+
+
+def fit_power_law(points: dict[float, float]) -> PowerLawMissModel:
+    """Least-squares power-law fit through ``{cache_bytes: miss_ratio}``.
+
+    Fits ``log MR = log MR0 - k log(C/C0)`` with the smallest size as the
+    reference; needs at least two points.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two (size, miss) points")
+    sizes = np.array(sorted(points))
+    misses = np.array([points[s] for s in sizes])
+    if (sizes <= 0).any() or (misses <= 0).any() or (misses > 1).any():
+        raise ValueError("sizes must be positive and miss ratios in (0, 1]")
+    reference = sizes[0]
+    x = np.log(sizes / reference)
+    y = np.log(misses)
+    slope, intercept = np.polyfit(x, y, 1)
+    return PowerLawMissModel(
+        reference_size=float(reference),
+        reference_miss=float(math.exp(intercept)),
+        exponent=float(-slope),
+    )
+
+
+class HitRatioCurve:
+    """Monotone log-size interpolation through (size, hit-ratio) points.
+
+    Outside the sampled range the curve clamps to its end points rather
+    than extrapolating — design decisions should not ride on invented
+    hit ratios.
+    """
+
+    def __init__(self, points: dict[float, float]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two (size, hit-ratio) points")
+        sizes = sorted(points)
+        ratios = [points[s] for s in sizes]
+        if any(s <= 0 for s in sizes):
+            raise ValueError("cache sizes must be positive")
+        if any(not 0.0 <= hr <= 1.0 for hr in ratios):
+            raise ValueError("hit ratios must be in [0, 1]")
+        if any(b < a for a, b in zip(ratios, ratios[1:])):
+            raise ValueError("hit ratios must be non-decreasing with size")
+        self._log_sizes = np.log(np.array(sizes, dtype=float))
+        self._ratios = np.array(ratios, dtype=float)
+        self._sizes = sizes
+
+    def hit_ratio(self, cache_bytes: float) -> float:
+        """Interpolated hit ratio at ``cache_bytes``."""
+        if cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive")
+        return float(
+            np.interp(math.log(cache_bytes), self._log_sizes, self._ratios)
+        )
+
+    def size_for_hit_ratio(self, hit_ratio: float) -> float:
+        """Smallest sampled-range size achieving ``hit_ratio``.
+
+        Raises when the target exceeds the best sampled hit ratio.
+        """
+        if hit_ratio > self._ratios[-1]:
+            raise ValueError(
+                f"hit ratio {hit_ratio} above the curve's maximum "
+                f"{self._ratios[-1]}"
+            )
+        if hit_ratio <= self._ratios[0]:
+            return float(self._sizes[0])
+        log_size = float(np.interp(hit_ratio, self._ratios, self._log_sizes))
+        return math.exp(log_size)

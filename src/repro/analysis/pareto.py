@@ -1,0 +1,194 @@
+"""Pareto frontier over feature bundles.
+
+The advisor ranks single features; real designs combine them.  The
+closed forms do not compose, but the numeric solver
+(:mod:`repro.core.solver`) does: this module enumerates feature bundles
+(bus doubling x write buffers x pipelined memory), evaluates each
+bundle's performance as the speedup over the bare baseline, prices it in
+package pins and rbe area, and returns the Pareto-efficient set — the
+bundles no other bundle beats on every axis at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.analysis.chip_area import CacheAreaModel, bus_width_pin_delta
+from repro.core.params import SystemConfig, workload_from_hit_ratio
+from repro.core.execution import execution_time
+from repro.core.solver import SystemUnderTest
+from repro.memory.interleaved import banks_for_turnaround
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """One feature combination (plus optional cache growth).
+
+    ``cache_factor`` > 1 marks the paper's baseline alternative: spend
+    the budget on a bigger cache instead of (or on top of) features.
+    """
+
+    double_bus: bool
+    write_buffers: bool
+    pipelined: bool
+    cache_factor: int = 1
+
+    @property
+    def label(self) -> str:
+        """Human-readable bundle name."""
+        parts = []
+        if self.cache_factor > 1:
+            parts.append(f"{self.cache_factor}x cache")
+        if self.double_bus:
+            parts.append("2x bus")
+        if self.write_buffers:
+            parts.append("write buffers")
+        if self.pipelined:
+            parts.append("pipelined mem")
+        return " + ".join(parts) if parts else "baseline"
+
+
+@dataclass(frozen=True)
+class BundlePoint:
+    """A bundle with its value and costs.
+
+    ``memory_banks`` prices the pipelined memory in hardware: the banks
+    that realize Eq. (9)'s turnaround
+    (:func:`repro.memory.interleaved.banks_for_turnaround`); an
+    unpipelined memory needs one.
+    """
+
+    bundle: Bundle
+    speedup: float
+    pin_cost: float
+    area_cost_rbe: float
+    memory_banks: int
+
+    def dominates(self, other: BundlePoint) -> bool:
+        """Pareto dominance: at least as good everywhere, better somewhere."""
+        at_least = (
+            self.speedup >= other.speedup
+            and self.pin_cost <= other.pin_cost
+            and self.area_cost_rbe <= other.area_cost_rbe
+            and self.memory_banks <= other.memory_banks
+        )
+        strictly = (
+            self.speedup > other.speedup
+            or self.pin_cost < other.pin_cost
+            or self.area_cost_rbe < other.area_cost_rbe
+            or self.memory_banks < other.memory_banks
+        )
+        return at_least and strictly
+
+
+def evaluate_bundles(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+    write_buffer_depth_lines: int = 4,
+    hit_ratio_curve=None,
+    cache_bytes: int | None = None,
+    cache_factors: tuple[int, ...] = (2, 4),
+) -> list[BundlePoint]:
+    """Speedup and costs for all eight feature bundles.
+
+    The pipelined + doubled-bus combination pipelines the *wide* memory
+    (Eq. 9 on the doubled configuration).
+
+    Passing ``hit_ratio_curve`` and ``cache_bytes`` adds the paper's
+    baseline alternative — cache-growth points at ``cache_factors`` —
+    priced in the same rbe area as the write buffers, which is what
+    makes the frontier discriminate (feature-only bundles have pairwise
+    incomparable costs).
+    """
+    instructions = 1_000_000.0
+    baseline_workload = workload_from_hit_ratio(
+        base_hit_ratio, config, instructions, flush_ratio=flush_ratio
+    )
+    baseline_time = execution_time(baseline_workload, config)
+    area_model = CacheAreaModel()
+    points = []
+
+    if hit_ratio_curve is not None:
+        if cache_bytes is None:
+            raise ValueError("cache growth points need cache_bytes")
+        base_area = area_model.area(cache_bytes, config.line_size, 2)
+        for factor in cache_factors:
+            grown_hr = hit_ratio_curve.hit_ratio(cache_bytes * factor)
+            grown_workload = workload_from_hit_ratio(
+                grown_hr, config, instructions, flush_ratio=flush_ratio
+            )
+            grown_time = execution_time(grown_workload, config)
+            extra_area = (
+                area_model.area(cache_bytes * factor, config.line_size, 2)
+                - base_area
+            )
+            points.append(
+                BundlePoint(
+                    bundle=Bundle(False, False, False, cache_factor=factor),
+                    speedup=baseline_time / grown_time,
+                    pin_cost=0.0,
+                    area_cost_rbe=extra_area,
+                    memory_banks=1,
+                )
+            )
+
+    for double_bus, buffers, pipelined in product((False, True), repeat=3):
+        bundle = Bundle(double_bus, buffers, pipelined)
+        bundle_config = config.doubled_bus() if double_bus else config
+        under_test = SystemUnderTest(
+            bundle_config, write_buffers=buffers, pipelined=pipelined
+        )
+        time = under_test.execution_time_at(
+            base_hit_ratio, instructions, 0.3, flush_ratio
+        )
+        pins = (
+            bus_width_pin_delta(config.bus_width * 8, config.bus_width * 16)
+            if double_bus
+            else 0.0
+        )
+        area = (
+            write_buffer_depth_lines
+            * bundle_config.line_size
+            * 8
+            * area_model.rbe_per_bit
+            if buffers
+            else 0.0
+        )
+        banks = (
+            banks_for_turnaround(
+                config.memory_cycle, config.pipeline_turnaround
+            )
+            if pipelined
+            else 1
+        )
+        points.append(
+            BundlePoint(
+                bundle=bundle,
+                speedup=baseline_time / time,
+                pin_cost=pins,
+                area_cost_rbe=area,
+                memory_banks=banks,
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[BundlePoint]) -> list[BundlePoint]:
+    """The non-dominated subset, sorted by descending speedup."""
+    front = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(front, key=lambda p: -p.speedup)
+
+
+def design_frontier(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+) -> list[BundlePoint]:
+    """One-call: evaluate all bundles and return the Pareto front."""
+    return pareto_front(evaluate_bundles(config, base_hit_ratio, flush_ratio))

@@ -1,0 +1,33 @@
+"""Short & Levy hit-ratio data behind the paper's Example 1 (Section 5.2).
+
+The paper cites Short and Levy's trace-driven simulation [14] for two
+anchor facts:
+
+* raising the hit ratio from 91 % to 95.5 % requires growing the cache
+  from 8 KB to about 32 KB;
+* a 64-bit-bus, 32 KB-cache processor matches a 32-bit-bus, 128 KB-cache
+  processor, which (via the asymptotic rule ``HR2 = 2 HR1 - 1``) pins the
+  128 KB hit ratio at 97.75 %.
+
+Those three points are the table below; :func:`short_levy_curve` wraps
+them in an interpolating :class:`~repro.analysis.hit_ratio_model.HitRatioCurve`
+for sizes in between.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hit_ratio_model import HitRatioCurve
+
+KIB = 1024
+
+#: Hit ratios by cache size (bytes), from Example 1's anchor points.
+SHORT_LEVY_HIT_RATIOS: dict[float, float] = {
+    8 * KIB: 0.91,
+    32 * KIB: 0.955,
+    128 * KIB: 0.9775,
+}
+
+
+def short_levy_curve() -> HitRatioCurve:
+    """The Example 1 hit-ratio-versus-size curve."""
+    return HitRatioCurve(SHORT_LEVY_HIT_RATIOS)

@@ -1,0 +1,65 @@
+"""Design-target miss-ratio tables for the Figure 6 validation.
+
+Figure 6 evaluates the line-size tradeoff against Smith's *design target*
+miss ratios (Smith 1987).  Those tables are not reproduced in the paper
+and the original is unavailable offline, so the tables below are a
+**calibrated reconstruction** (see DESIGN.md, substitutions): the values
+follow the published qualitative law — miss ratio falls with line size at
+a diminishing rate (the ratio per doubling grows toward 1) — and are
+calibrated so that Smith's criterion reproduces the optimal line sizes
+annotated in the paper's Figure 6:
+
+=======  =====  ==============================  ==================
+panel    cache  timing (delay, bus width)        Smith's optimum
+=======  =====  ==============================  ==================
+(a)      16 K   360 ns + 15 ns/byte, D = 4       32 B at beta = 2
+(b)      16 K   160 ns + 15 ns/byte, D = 8       16 B at beta = 3
+(c)      16 K   600 ns + 4 ns/byte,  D = 8       64 or 128 B at beta = 1
+(d)       8 K   360 ns + 15 ns/byte, D = 8       32 B at beta = 2
+=======  =====  ==============================  ==================
+
+The equivalence theorem the figure validates (Eq. 19 == Eq. 16) holds
+for *any* miss table — the reconstruction only fixes which line sizes
+win at which bus speeds.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+
+#: Miss ratios by cache size (bytes) then line size (bytes).
+DESIGN_TARGET_MISS_RATIOS: dict[int, dict[int, float]] = {
+    8 * KIB: {
+        4: 0.125,
+        8: 0.082,
+        16: 0.054,
+        32: 0.037,
+        64: 0.0285,
+        128: 0.0235,
+        256: 0.021,
+    },
+    16 * KIB: {
+        4: 0.095,
+        8: 0.060,
+        16: 0.038,
+        32: 0.026,
+        64: 0.020,
+        128: 0.01535,
+        256: 0.013,
+    },
+}
+
+
+def design_target_table(cache_bytes: int) -> dict[int, float]:
+    """The miss-ratio table for one cache size (8 K or 16 K).
+
+    Returns a copy so callers can modify it freely.
+    """
+    try:
+        table = DESIGN_TARGET_MISS_RATIOS[cache_bytes]
+    except KeyError:
+        raise KeyError(
+            f"no design-target table for {cache_bytes} bytes; available: "
+            f"{sorted(DESIGN_TARGET_MISS_RATIOS)}"
+        ) from None
+    return dict(table)

@@ -1,0 +1,64 @@
+"""Cache simulator substrate.
+
+A trace-driven, set-associative cache model with the design axes the
+paper's Section 2 enumerates: replacement policy, write handling
+(write-back/write-through x write-allocate/write-around), line size, and
+split instruction/data organization.  The timing aspects (blocking
+behaviour during a fill) live in :mod:`repro.cpu`; this package decides
+*hit or miss* and tracks state and statistics.
+"""
+
+from repro.cache.address import AddressMap
+from repro.cache.cache import AccessOutcome, Cache, CacheConfig
+from repro.cache.hierarchy import SplitCacheSystem
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.multilevel import (
+    MultilevelStats,
+    TwoLevelCache,
+    effective_memory_cycle,
+    single_level_equivalent,
+)
+from repro.cache.prefetch import (
+    PrefetchingCache,
+    PrefetchPolicy,
+    PrefetchStats,
+    prefetch_covered_fraction,
+)
+from repro.cache.stats import CacheStats
+from repro.cache.victim import VictimCache, VictimStats, victim_hit_ratio_gain
+from repro.cache.write_policy import AllocatePolicy, WritePolicy
+
+__all__ = [
+    "AddressMap",
+    "Cache",
+    "CacheConfig",
+    "AccessOutcome",
+    "CacheStats",
+    "SplitCacheSystem",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "PLRUPolicy",
+    "make_policy",
+    "WritePolicy",
+    "AllocatePolicy",
+    "VictimCache",
+    "VictimStats",
+    "victim_hit_ratio_gain",
+    "PrefetchingCache",
+    "PrefetchPolicy",
+    "PrefetchStats",
+    "prefetch_covered_fraction",
+    "TwoLevelCache",
+    "MultilevelStats",
+    "effective_memory_cycle",
+    "single_level_equivalent",
+]

@@ -1,0 +1,51 @@
+"""Address decomposition: byte address -> (tag, set index, line offset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps byte addresses onto a cache geometry.
+
+    Parameters
+    ----------
+    line_size:
+        Bytes per line; power of two.
+    n_sets:
+        Number of sets; power of two (1 for fully associative).
+    """
+
+    line_size: int
+    n_sets: int
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+        if not _is_power_of_two(self.n_sets):
+            raise ValueError(f"n_sets must be a power of two, got {self.n_sets}")
+
+    def line_address(self, address: int) -> int:
+        """The line-aligned address containing ``address``."""
+        return address & ~(self.line_size - 1)
+
+    def offset(self, address: int) -> int:
+        """Byte offset of ``address`` within its line."""
+        return address & (self.line_size - 1)
+
+    def set_index(self, address: int) -> int:
+        """Which set the address maps to."""
+        return (address // self.line_size) & (self.n_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """The tag stored to disambiguate lines within a set."""
+        return address // self.line_size // self.n_sets
+
+    def rebuild_address(self, tag: int, set_index: int) -> int:
+        """Inverse of (tag, set_index) -> line address; used for flushes."""
+        return ((tag * self.n_sets) + set_index) * self.line_size

@@ -1,0 +1,283 @@
+"""Set-associative cache model.
+
+The cache answers hit/miss questions, manages line state (valid/dirty),
+applies the configured replacement and write policies, and reports every
+memory-side transfer its caller must perform: line fills, dirty-line
+copy-backs, write-arounds, and write-throughs.  Timing is the caller's
+job (:mod:`repro.cpu` charges the cycles), which keeps this model usable
+for both pure miss-ratio studies and cycle-accurate runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.address import AddressMap
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.cache.write_policy import AllocatePolicy, WritePolicy
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache.
+
+    The paper's Figure 1 configuration is
+    ``CacheConfig(total_bytes=8192, line_size=32, associativity=2)`` with
+    the default write-back/write-allocate policies.
+    """
+
+    total_bytes: int
+    line_size: int
+    associativity: int
+    replacement: str = "lru"
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    allocate_policy: AllocatePolicy = AllocatePolicy.WRITE_ALLOCATE
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.total_bytes):
+            raise ValueError(f"total_bytes must be a power of two, got {self.total_bytes}")
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+        if self.associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {self.associativity}")
+        if self.total_bytes % (self.line_size * self.associativity):
+            raise ValueError(
+                "total_bytes must be divisible by line_size * associativity "
+                f"({self.total_bytes} / {self.line_size}*{self.associativity})"
+            )
+        if not _is_power_of_two(self.n_sets):
+            raise ValueError(
+                f"derived set count {self.n_sets} must be a power of two"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.total_bytes // (self.line_size * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        """Total line frames."""
+        return self.total_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Everything the memory side must do for one access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the reference hit in the cache.
+    line_address:
+        Line-aligned address of the referenced data.
+    fill_line:
+        True when a full line must be fetched from memory.
+    flush_line_address:
+        Line address of a dirty victim to copy back, or ``None``.
+    write_around:
+        True when a store bypasses the cache straight to memory.
+    write_through:
+        True when a store hit must also update memory.
+    """
+
+    hit: bool
+    line_address: int
+    fill_line: bool = False
+    flush_line_address: int | None = None
+    write_around: bool = False
+    write_through: bool = False
+    #: line address of any evicted victim, clean or dirty (dirty victims
+    #: additionally appear in flush_line_address).  Lets wrappers such as
+    #: the victim cache capture clean victims too.
+    victim_line_address: int | None = None
+
+
+@dataclass
+class _Line:
+    valid: bool = False
+    dirty: bool = False
+    tag: int = 0
+
+
+class Cache:
+    """A set-associative cache with pluggable policies.
+
+    Use :meth:`read` / :meth:`write` per reference; each returns an
+    :class:`AccessOutcome` describing required memory transfers.
+    Statistics accumulate in :attr:`stats`.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.address_map = AddressMap(config.line_size, config.n_sets)
+        self._sets: list[list[_Line]] = [
+            [_Line() for _ in range(config.associativity)]
+            for _ in range(config.n_sets)
+        ]
+        self._policies: list[ReplacementPolicy] = [
+            make_policy(config.replacement, config.associativity)
+            for _ in range(config.n_sets)
+        ]
+        self.stats = CacheStats(line_size=config.line_size)
+
+    # -- lookup helpers -------------------------------------------------
+
+    def _find(self, set_index: int, tag: int) -> int | None:
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no side effects)."""
+        set_index = self.address_map.set_index(address)
+        tag = self.address_map.tag(address)
+        return self._find(set_index, tag) is not None
+
+    def is_dirty(self, address: int) -> bool:
+        """Whether the resident line holding ``address`` is dirty."""
+        set_index = self.address_map.set_index(address)
+        tag = self.address_map.tag(address)
+        way = self._find(set_index, tag)
+        return way is not None and self._sets[set_index][way].dirty
+
+    # -- fills and evictions --------------------------------------------
+
+    def _allocate(
+        self, set_index: int, tag: int, dirty: bool
+    ) -> tuple[int | None, bool]:
+        """Install a line; returns (victim line address or None, victim
+        was dirty).  Dirty victims are counted as flushed."""
+        policy = self._policies[set_index]
+        ways = self._sets[set_index]
+        victim_way = None
+        for way, line in enumerate(ways):
+            if not line.valid:
+                victim_way = way
+                break
+        victim_address = None
+        victim_dirty = False
+        if victim_way is None:
+            victim_way = policy.victim()
+            victim = ways[victim_way]
+            self.stats.evictions += 1
+            victim_address = self.address_map.rebuild_address(victim.tag, set_index)
+            victim_dirty = victim.dirty
+            if victim.dirty:
+                self.stats.flushed_lines += 1
+        ways[victim_way] = _Line(valid=True, dirty=dirty, tag=tag)
+        policy.touch(victim_way)
+        return victim_address, victim_dirty
+
+    # -- the access protocol --------------------------------------------
+
+    def read(self, address: int) -> AccessOutcome:
+        """A load touching ``address``."""
+        set_index = self.address_map.set_index(address)
+        tag = self.address_map.tag(address)
+        line_address = self.address_map.line_address(address)
+        way = self._find(set_index, tag)
+        if way is not None:
+            self.stats.read_hits += 1
+            self._policies[set_index].touch(way)
+            return AccessOutcome(hit=True, line_address=line_address)
+        self.stats.read_misses += 1
+        victim, victim_dirty = self._allocate(set_index, tag, dirty=False)
+        return AccessOutcome(
+            hit=False,
+            line_address=line_address,
+            fill_line=True,
+            flush_line_address=victim if victim_dirty else None,
+            victim_line_address=victim,
+        )
+
+    def write(self, address: int) -> AccessOutcome:
+        """A store touching ``address``."""
+        config = self.config
+        set_index = self.address_map.set_index(address)
+        tag = self.address_map.tag(address)
+        line_address = self.address_map.line_address(address)
+        way = self._find(set_index, tag)
+        if way is not None:
+            self.stats.write_hits += 1
+            self._policies[set_index].touch(way)
+            if config.write_policy is WritePolicy.WRITE_BACK:
+                self._sets[set_index][way].dirty = True
+                return AccessOutcome(hit=True, line_address=line_address)
+            self.stats.write_through_count += 1
+            return AccessOutcome(
+                hit=True, line_address=line_address, write_through=True
+            )
+
+        self.stats.write_misses += 1
+        if config.allocate_policy is AllocatePolicy.WRITE_AROUND:
+            self.stats.write_around_count += 1
+            return AccessOutcome(
+                hit=False, line_address=line_address, write_around=True
+            )
+
+        # Write-allocate: fetch the line, then perform the write into it.
+        self.stats.write_allocate_fills += 1
+        dirty = config.write_policy is WritePolicy.WRITE_BACK
+        victim, victim_dirty = self._allocate(set_index, tag, dirty=dirty)
+        write_through = config.write_policy is WritePolicy.WRITE_THROUGH
+        if write_through:
+            self.stats.write_through_count += 1
+        return AccessOutcome(
+            hit=False,
+            line_address=line_address,
+            fill_line=True,
+            flush_line_address=victim if victim_dirty else None,
+            victim_line_address=victim,
+            write_through=write_through,
+        )
+
+    def mark_dirty(self, address: int) -> bool:
+        """Mark the resident line holding ``address`` dirty (no stats).
+
+        Used by wrappers (e.g. the victim cache) that restore a line whose
+        dirtiness was tracked outside this cache.  Returns False when the
+        line is not resident.
+        """
+        set_index = self.address_map.set_index(address)
+        tag = self.address_map.tag(address)
+        way = self._find(set_index, tag)
+        if way is None:
+            return False
+        self._sets[set_index][way].dirty = True
+        return True
+
+    def invalidate(self, address: int) -> int | None:
+        """Drop the line holding ``address``; returns its line address if
+        it was dirty (the caller owes a copy-back), else ``None``."""
+        set_index = self.address_map.set_index(address)
+        tag = self.address_map.tag(address)
+        way = self._find(set_index, tag)
+        if way is None:
+            return None
+        line = self._sets[set_index][way]
+        was_dirty = line.dirty
+        self._sets[set_index][way] = _Line()
+        self._policies[set_index].reset_way(way)
+        self.stats.invalidations += 1
+        if was_dirty:
+            self.stats.flushed_lines += 1
+            return self.address_map.line_address(address)
+        return None
+
+    def resident_lines(self) -> list[int]:
+        """Line addresses of every valid line (diagnostics and tests)."""
+        addresses = []
+        for set_index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid:
+                    addresses.append(
+                        self.address_map.rebuild_address(line.tag, set_index)
+                    )
+        return sorted(addresses)

@@ -1,0 +1,163 @@
+"""Replacement policies for one cache set.
+
+Each policy tracks way usage for a single set; the cache owns one policy
+instance per set.  All policies share the same three-call protocol:
+
+* :meth:`ReplacementPolicy.touch` — a way was accessed (hit or fill);
+* :meth:`ReplacementPolicy.victim` — choose the way to evict;
+* :meth:`ReplacementPolicy.reset_way` — a way was invalidated.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state machine."""
+
+    def __init__(self, n_ways: int) -> None:
+        if n_ways <= 0:
+            raise ValueError(f"n_ways must be positive, got {n_ways}")
+        self.n_ways = n_ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record an access (hit or line fill) to ``way``."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """The way to evict next."""
+
+    def reset_way(self, way: int) -> None:
+        """A way was invalidated; default: no state change needed."""
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.n_ways:
+            raise ValueError(f"way {way} out of range [0, {self.n_ways})")
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via an access-ordered list."""
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        # Most recent at the end; starts in way order so victim() is way 0.
+        self._order = list(range(n_ways))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def reset_way(self, way: int) -> None:
+        self._check_way(way)
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Round-robin eviction in fill order; hits do not reorder."""
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        self._next = 0
+        self._filled: set[int] = set()
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        if way not in self._filled:
+            self._filled.add(way)
+            self._next = (way + 1) % self.n_ways
+
+    def victim(self) -> int:
+        return self._next
+
+    def reset_way(self, way: int) -> None:
+        self._check_way(way)
+        self._filled.discard(way)
+        self._next = way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random eviction (seeded for reproducibility)."""
+
+    def __init__(self, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.n_ways)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU; requires a power-of-two way count.
+
+    One bit per internal node of a balanced binary tree points away from
+    the most recent access; following the bits from the root finds the
+    pseudo-LRU way in O(log ways).
+    """
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        if n_ways & (n_ways - 1):
+            raise ValueError(f"PLRU needs a power-of-two way count, got {n_ways}")
+        self._bits = [0] * max(1, n_ways - 1)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        if self.n_ways == 1:
+            return
+        node = 0
+        low, high = 0, self.n_ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if way < mid:
+                self._bits[node] = 1  # point away: toward the upper half
+                node = 2 * node + 1
+                high = mid
+            else:
+                self._bits[node] = 0  # point toward the lower half
+                node = 2 * node + 2
+                low = mid
+
+    def victim(self) -> int:
+        if self.n_ways == 1:
+            return 0
+        node = 0
+        low, high = 0, self.n_ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self._bits[node]:
+                node = 2 * node + 2
+                low = mid
+            else:
+                node = 2 * node + 1
+                high = mid
+        return low
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUPolicy,
+}
+
+
+def make_policy(name: str, n_ways: int) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (lru/fifo/random/plru)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(n_ways)

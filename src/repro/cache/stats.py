@@ -1,0 +1,74 @@
+"""Cache statistics, aligned with the paper's Table 1 quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Mutable counters accumulated by one :class:`repro.cache.Cache`.
+
+    The derived properties map directly onto the paper's parameters:
+    ``read_miss_bytes`` is ``R`` (for write-allocate it already includes
+    write-miss fills), ``write_around_count`` is ``W``, and
+    ``flush_ratio`` is ``alpha``.
+    """
+
+    line_size: int
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    write_allocate_fills: int = 0
+    write_around_count: int = 0
+    write_through_count: int = 0
+    flushed_lines: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total references seen."""
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses (``Lambda_m`` when every miss costs a memory trip)."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """``HR`` over all references; 0 when nothing was accessed."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """``MR = 1 - HR``."""
+        return 1.0 - self.hit_ratio if self.accesses else 0.0
+
+    @property
+    def line_fills(self) -> int:
+        """Lines read from memory (read misses + allocated write misses)."""
+        return self.read_misses + self.write_allocate_fills
+
+    @property
+    def read_miss_bytes(self) -> float:
+        """``R`` — bytes fetched from memory on misses."""
+        return self.line_fills * self.line_size
+
+    @property
+    def flush_bytes(self) -> float:
+        """``alpha * R`` — dirty bytes copied back on evictions."""
+        return self.flushed_lines * self.line_size
+
+    @property
+    def flush_ratio(self) -> float:
+        """``alpha`` — copy-back traffic relative to fill traffic."""
+        fills = self.read_miss_bytes
+        return self.flush_bytes / fills if fills else 0.0

@@ -1,0 +1,182 @@
+"""Victim cache (Jouppi 1990, the paper's reference [7]).
+
+A small fully-associative buffer holding lines recently evicted from the
+main cache.  A main-cache miss that hits in the victim buffer swaps the
+line back at on-chip cost instead of paying a memory fill — one of the
+"other architectural features" the paper's related work positions
+against its hit-ratio currency.  The unified methodology prices it like
+everything else: the buffer's whole effect is an increase in *effective*
+hit ratio, measurable with :func:`victim_hit_ratio_gain` and directly
+comparable to, say, the 0.5–0.6 × (1−HR) a doubled bus is worth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cache.cache import AccessOutcome, Cache, CacheConfig
+from repro.trace.record import Instruction, OpKind
+
+
+@dataclass
+class VictimStats:
+    """Aggregate accounting for the cache + victim buffer combination."""
+
+    accesses: int = 0
+    main_hits: int = 0
+    rescues: int = 0
+    memory_fills: int = 0
+    flushes_to_memory: int = 0
+
+    @property
+    def effective_hits(self) -> int:
+        """Main hits plus victim rescues — no memory trip either way."""
+        return self.main_hits + self.rescues
+
+    @property
+    def effective_hit_ratio(self) -> float:
+        """Hit ratio with rescues counted as hits."""
+        return self.effective_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def rescue_ratio(self) -> float:
+        """Fraction of main-cache misses the buffer rescued."""
+        misses = self.accesses - self.main_hits
+        return self.rescues / misses if misses else 0.0
+
+
+class VictimCache:
+    """A main cache backed by a small fully-associative victim buffer.
+
+    Evicted lines (clean or dirty) enter the buffer in LRU order; a
+    miss that finds its line there swaps it back without touching
+    memory.  Dirty state survives the round trip.  Only lines displaced
+    out of a *full* buffer reach memory (flushed if dirty).
+    """
+
+    def __init__(self, config: CacheConfig, victim_lines: int = 4) -> None:
+        if victim_lines <= 0:
+            raise ValueError(f"victim_lines must be positive, got {victim_lines}")
+        self.main = Cache(config)
+        self.victim_lines = victim_lines
+        #: line address -> dirty, in LRU order (oldest first).
+        self._buffer: OrderedDict[int, bool] = OrderedDict()
+        self.stats = VictimStats()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def holds(self, line_address: int) -> bool:
+        """Whether the buffer currently holds ``line_address``."""
+        return line_address in self._buffer
+
+    def _stash(self, line_address: int, dirty: bool) -> int | None:
+        """Put an evicted line into the buffer; returns the line address
+        of a dirty overflow that must be flushed to memory, or None."""
+        if line_address in self._buffer:
+            dirty = dirty or self._buffer.pop(line_address)
+        flushed = None
+        if len(self._buffer) >= self.victim_lines:
+            oldest, oldest_dirty = self._buffer.popitem(last=False)
+            if oldest_dirty:
+                flushed = oldest
+        self._buffer[line_address] = dirty
+        return flushed
+
+    def _absorb_eviction(self, outcome: AccessOutcome, main: Cache) -> int | None:
+        """Route a main-cache eviction (clean or dirty) through the buffer.
+
+        Jouppi's buffer captures every victim; only what overflows the
+        buffer (and is dirty) reaches memory, so a dirty victim the
+        buffer absorbed must be uncounted from the main cache's flush
+        statistics.
+        """
+        if outcome.victim_line_address is None:
+            return None
+        dirty = outcome.flush_line_address is not None
+        if dirty:
+            # The main cache already counted a flush; the buffer
+            # intercepts it — memory only sees buffer overflows.
+            main.stats.flushed_lines -= 1
+        return self._stash(outcome.victim_line_address, dirty=dirty)
+
+    def access(self, inst: Instruction) -> AccessOutcome:
+        """One load/store through the combination.
+
+        The outcome describes memory-side work only: rescues report
+        ``hit=True`` without a fill; ``flush_line_address`` is a dirty
+        line overflowing the buffer.
+        """
+        if inst.kind is OpKind.ALU:
+            raise ValueError("victim cache handles memory operations only")
+        main = self.main
+        line_address = main.address_map.line_address(inst.address)
+        self.stats.accesses += 1
+
+        if main.contains(inst.address):
+            self.stats.main_hits += 1
+            outcome = (
+                main.read(inst.address)
+                if inst.kind is OpKind.LOAD
+                else main.write(inst.address)
+            )
+            return outcome
+
+        rescued = line_address in self._buffer
+        was_dirty = self._buffer.pop(line_address, False) if rescued else False
+
+        outcome = (
+            main.read(inst.address)
+            if inst.kind is OpKind.LOAD
+            else main.write(inst.address)
+        )
+        flushed = self._absorb_eviction(outcome, main)
+
+        if rescued:
+            self.stats.rescues += 1
+            if was_dirty:
+                main.mark_dirty(inst.address)
+            return AccessOutcome(
+                hit=True,
+                line_address=line_address,
+                fill_line=False,
+                flush_line_address=flushed,
+            )
+
+        self.stats.memory_fills += 1
+        if flushed is not None:
+            self.stats.flushes_to_memory += 1
+        return AccessOutcome(
+            hit=False,
+            line_address=line_address,
+            fill_line=outcome.fill_line,
+            flush_line_address=flushed,
+            write_around=outcome.write_around,
+            write_through=outcome.write_through,
+        )
+
+
+def victim_hit_ratio_gain(
+    instructions: list[Instruction],
+    config: CacheConfig,
+    victim_lines: int = 4,
+) -> float:
+    """Hit-ratio increase a victim buffer delivers on a trace.
+
+    This is the quantity the unified methodology prices directly:
+    compare it against
+    :func:`repro.core.bus_width.hit_ratio_gain_equivalent_to_doubling`
+    to decide whether the buffer out-values a wider bus.
+    """
+    plain = Cache(config)
+    combined = VictimCache(config, victim_lines)
+    for inst in instructions:
+        if inst.kind is OpKind.ALU:
+            continue
+        if inst.kind is OpKind.LOAD:
+            plain.read(inst.address)
+        else:
+            plain.write(inst.address)
+        combined.access(inst)
+    return combined.stats.effective_hit_ratio - plain.stats.hit_ratio

@@ -1,0 +1,40 @@
+"""Write-handling policy enums (paper Sections 2 and 3.1).
+
+The paper's model distinguishes two write-miss modes:
+
+* **write-allocate** — the missing line is read into the cache first, so
+  write misses are folded into the read volume ``R`` and ``W = 0``;
+* **write-around** — the store goes straight to memory over the external
+  bus (one ``beta_m`` cycle for operands up to ``D`` bytes), counted by
+  ``W``.
+
+Orthogonally, hits update memory **write-back** (dirty lines flushed on
+eviction, producing the ``alpha R`` copy-back traffic) or
+**write-through** (every store also goes to memory).  The paper's
+analyses all use the write-back/write-allocate combination; the others
+exist to let the simulator explore the full design space.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class WritePolicy(Enum):
+    """How store *hits* propagate to memory."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AllocatePolicy(Enum):
+    """How store *misses* are handled."""
+
+    WRITE_ALLOCATE = "write-allocate"
+    WRITE_AROUND = "write-around"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,223 @@
+"""The paper's analytic contribution: the unified tradeoff methodology.
+
+Public surface:
+
+* :class:`SystemConfig`, :class:`WorkloadCharacter` — Table 1 parameters;
+* :class:`StallPolicy` and stall-factor bounds — Table 2;
+* :func:`execution_time` and friends — the Eq. (2) CPU model;
+* per-feature tradeoffs — bus width (Section 4.1), partial stalling
+  (Section 4.2), write buffers (Section 4.3), pipelined memory
+  (Section 4.4), line size (Section 5.4);
+* :func:`unified_comparison` — the Figures 3-5 sweep and ranking;
+* Smith-criterion validation (Section 5.4.2);
+* the Section 6 multiple-issue extension.
+"""
+
+from repro.core.bounds import TradeoffBounds, feature_bounds, guaranteed_winner
+from repro.core.bus_width import (
+    asymptotic_hit_ratio,
+    design_limit_hit_ratio,
+    doubling_tradeoff,
+    hit_ratio_gain_equivalent_to_doubling,
+    miss_volume_ratio_for_doubling,
+)
+from repro.core.execution import (
+    ExecutionBreakdown,
+    execution_breakdown,
+    execution_time,
+    full_stall_factor,
+    hit_ratio,
+    mean_memory_delay,
+    memory_delay_cycles,
+    miss_ratio,
+)
+from repro.core.features import ArchFeature, Table3Row, feature_miss_ratio, table3
+from repro.core.line_size import (
+    LineSizeDecision,
+    evaluate_line_size,
+    line_fill_time,
+    line_size_miss_count_ratio,
+    required_hit_ratio_gain,
+)
+from repro.core.icache import (
+    instruction_cache_doubling_tradeoff,
+    instruction_miss_cost_factor,
+    unified_cache_doubling_tradeoff,
+    unified_miss_cost_factor,
+)
+from repro.core.multi_issue import (
+    multi_issue_execution_time,
+    multi_issue_tradeoff,
+)
+from repro.core.sensitivity import (
+    PARAMETER_NAMES,
+    OperatingPoint,
+    sensitivity,
+    sensitivity_report,
+)
+from repro.core.traffic import (
+    TrafficReport,
+    ranking_disagreement,
+    traffic_optimal_line,
+    traffic_report,
+)
+from repro.core.write_around import (
+    WriteAroundSystem,
+    write_around_buffer_tradeoff,
+    write_around_doubling_tradeoff,
+    write_around_miss_volume_ratio,
+)
+from repro.core.params import (
+    VALID_BUS_WIDTHS,
+    SystemConfig,
+    WorkloadCharacter,
+    workload_from_hit_ratio,
+)
+from repro.core.pipelined import (
+    pipelined_line_fill_time,
+    pipelined_miss_volume_ratio,
+    pipelined_tradeoff,
+    pipelined_vs_doubling_crossover,
+)
+from repro.core.ranking import FeatureSweep, UnifiedComparison, unified_comparison
+from repro.core.solver import SystemUnderTest, solve_equivalent_hit_ratio
+from repro.core.speedup import (
+    equivalence_check,
+    feature_speedup,
+    hit_ratio_speedup,
+)
+from repro.core.smith import (
+    ReducedDelayPoint,
+    criteria_agree,
+    reduced_memory_delay,
+    smith_optimal_line,
+    tradeoff_optimal_line,
+)
+from repro.core.stall_tradeoff import (
+    partial_stall_miss_volume_ratio,
+    partial_stall_tradeoff,
+    stall_factor_from_percentage,
+)
+from repro.core.stalling import (
+    MEASURED_POLICIES,
+    StallFactorBounds,
+    StallPolicy,
+    stall_factor_bounds,
+    validate_stall_factor,
+)
+from repro.core.tradeoff import (
+    TradeoffResult,
+    equivalence,
+    hit_ratio_traded,
+    miss_cost_factor,
+    miss_volume_ratio,
+    odds,
+    reverse_hit_ratio_traded,
+)
+from repro.core.write_buffer import (
+    write_buffer_miss_volume_ratio,
+    write_buffer_tradeoff,
+)
+
+__all__ = [
+    # params
+    "SystemConfig",
+    "WorkloadCharacter",
+    "workload_from_hit_ratio",
+    "VALID_BUS_WIDTHS",
+    # stalling
+    "StallPolicy",
+    "StallFactorBounds",
+    "stall_factor_bounds",
+    "validate_stall_factor",
+    "MEASURED_POLICIES",
+    # execution
+    "ExecutionBreakdown",
+    "execution_breakdown",
+    "execution_time",
+    "full_stall_factor",
+    "memory_delay_cycles",
+    "mean_memory_delay",
+    "miss_ratio",
+    "hit_ratio",
+    # tradeoff engine
+    "TradeoffResult",
+    "equivalence",
+    "miss_cost_factor",
+    "miss_volume_ratio",
+    "odds",
+    "hit_ratio_traded",
+    "reverse_hit_ratio_traded",
+    # envelopes
+    "TradeoffBounds",
+    "feature_bounds",
+    "guaranteed_winner",
+    # bus width
+    "doubling_tradeoff",
+    "miss_volume_ratio_for_doubling",
+    "hit_ratio_gain_equivalent_to_doubling",
+    "design_limit_hit_ratio",
+    "asymptotic_hit_ratio",
+    # stalling tradeoff
+    "partial_stall_tradeoff",
+    "partial_stall_miss_volume_ratio",
+    "stall_factor_from_percentage",
+    # write buffers
+    "write_buffer_tradeoff",
+    "write_buffer_miss_volume_ratio",
+    # pipelined memory
+    "pipelined_tradeoff",
+    "pipelined_miss_volume_ratio",
+    "pipelined_line_fill_time",
+    "pipelined_vs_doubling_crossover",
+    # features / Table 3
+    "ArchFeature",
+    "Table3Row",
+    "feature_miss_ratio",
+    "table3",
+    # ranking
+    "unified_comparison",
+    "UnifiedComparison",
+    "FeatureSweep",
+    # line size & Smith
+    "LineSizeDecision",
+    "evaluate_line_size",
+    "line_fill_time",
+    "line_size_miss_count_ratio",
+    "required_hit_ratio_gain",
+    "ReducedDelayPoint",
+    "reduced_memory_delay",
+    "smith_optimal_line",
+    "tradeoff_optimal_line",
+    "criteria_agree",
+    # multi-issue extension
+    "multi_issue_execution_time",
+    "multi_issue_tradeoff",
+    # instruction / unified caches
+    "instruction_miss_cost_factor",
+    "instruction_cache_doubling_tradeoff",
+    "unified_miss_cost_factor",
+    "unified_cache_doubling_tradeoff",
+    # write-around equivalence
+    "WriteAroundSystem",
+    "write_around_miss_volume_ratio",
+    "write_around_doubling_tradeoff",
+    "write_around_buffer_tradeoff",
+    # speedup conversions
+    "feature_speedup",
+    "hit_ratio_speedup",
+    "equivalence_check",
+    # numeric equivalence solver
+    "SystemUnderTest",
+    "solve_equivalent_hit_ratio",
+    # traffic model
+    "TrafficReport",
+    "traffic_report",
+    "traffic_optimal_line",
+    "ranking_disagreement",
+    # sensitivity
+    "OperatingPoint",
+    "sensitivity",
+    "sensitivity_report",
+    "PARAMETER_NAMES",
+]

@@ -1,0 +1,158 @@
+"""Worst/best-case envelopes for the feature tradeoffs.
+
+Designers rarely know ``beta_m`` or ``alpha`` exactly — the memory part
+is chosen late and the copy-back ratio is workload-dependent.  Each
+feature's miss-volume ratio ``r`` is monotone in both parameters
+(directions proved below and property-tested against grid sampling), so
+its exact range over a ``(beta_m, alpha)`` rectangle is attained at two
+corners; :func:`feature_bounds` evaluates them.
+
+Monotonicity directions (write-allocate, full-stalling baseline):
+
+* **doubling bus** — ``r`` *decreases* in ``beta_m`` (the −1 per-miss
+  issue-cycle credit matters less as misses get costlier) and
+  *decreases* in ``alpha`` for ``L > 2D`` (flush cycles halve rather
+  than scale with ``φ``); at ``L = 2D`` it is alpha-independent... not
+  quite: both fill and flush halve, so ``r`` is alpha-independent only
+  in the asymptote.  The corner evaluation needs no case analysis —
+  both directions are verified numerically at construction.
+* **write buffers** — ``r`` increases in ``alpha`` (more to hide) and
+  decreases in ``beta_m`` toward the ``1 + alpha`` asymptote.
+* **pipelined memory** — ``r`` increases in ``beta_m`` (Figures 3-5)
+  and is alpha-independent (cancels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import hit_ratio_traded
+
+
+@dataclass(frozen=True)
+class TradeoffBounds:
+    """Exact range of r (and traded hit ratio) over a parameter box."""
+
+    feature: ArchFeature
+    r_min: float
+    r_max: float
+    base_hit_ratio: float
+
+    @property
+    def traded_min(self) -> float:
+        """Least hit ratio the feature is worth anywhere in the box."""
+        return hit_ratio_traded(self.r_min, self.base_hit_ratio)
+
+    @property
+    def traded_max(self) -> float:
+        """Most hit ratio the feature is worth anywhere in the box."""
+        return hit_ratio_traded(self.r_max, self.base_hit_ratio)
+
+    def contains(self, r: float) -> bool:
+        """Whether an observed r lies inside the envelope."""
+        return self.r_min - 1e-12 <= r <= self.r_max + 1e-12
+
+
+def _corner_values(
+    feature: ArchFeature,
+    config: SystemConfig,
+    beta_range: tuple[float, float],
+    alpha_range: tuple[float, float],
+    measured_stall_factor: float | None,
+) -> list[float]:
+    values = []
+    for beta in beta_range:
+        for alpha in alpha_range:
+            values.append(
+                feature_miss_ratio(
+                    feature,
+                    config.with_memory_cycle(beta),
+                    flush_ratio=alpha,
+                    measured_stall_factor=measured_stall_factor,
+                )
+            )
+    return values
+
+
+def feature_bounds(
+    feature: ArchFeature,
+    config: SystemConfig,
+    base_hit_ratio: float,
+    beta_range: tuple[float, float],
+    alpha_range: tuple[float, float] = (0.0, 1.0),
+    measured_stall_factor: float | None = None,
+    monotonicity_probes: int = 5,
+) -> TradeoffBounds:
+    """Exact r-range of ``feature`` over a ``(beta_m, alpha)`` box.
+
+    Corner evaluation is exact only under coordinate-wise monotonicity,
+    which holds for every supported feature; a cheap probe grid guards
+    the assumption and raises if an interior value escapes the corner
+    range (which would indicate a model change broke monotonicity).
+    """
+    beta_low, beta_high = beta_range
+    alpha_low, alpha_high = alpha_range
+    if beta_low > beta_high or alpha_low > alpha_high:
+        raise ValueError("ranges must be (low, high)")
+    corners = _corner_values(
+        feature, config, (beta_low, beta_high), (alpha_low, alpha_high),
+        measured_stall_factor,
+    )
+    r_min, r_max = min(corners), max(corners)
+
+    if monotonicity_probes > 1:
+        for i in range(monotonicity_probes):
+            t = i / (monotonicity_probes - 1)
+            beta = beta_low + t * (beta_high - beta_low)
+            alpha = alpha_low + t * (alpha_high - alpha_low)
+            r = feature_miss_ratio(
+                feature,
+                config.with_memory_cycle(beta),
+                flush_ratio=alpha,
+                measured_stall_factor=measured_stall_factor,
+            )
+            if not (r_min - 1e-9 <= r <= r_max + 1e-9):
+                raise AssertionError(
+                    f"monotonicity violated for {feature}: r={r} outside "
+                    f"corner range [{r_min}, {r_max}] at "
+                    f"(beta={beta}, alpha={alpha})"
+                )
+    return TradeoffBounds(
+        feature=feature, r_min=r_min, r_max=r_max, base_hit_ratio=base_hit_ratio
+    )
+
+
+def guaranteed_winner(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    beta_range: tuple[float, float],
+    alpha_range: tuple[float, float] = (0.1, 0.9),
+) -> ArchFeature | None:
+    """The feature that beats every rival across the WHOLE box, if any.
+
+    Feature A is a guaranteed winner when its worst-case r exceeds every
+    rival's best-case r.  Returns ``None`` when no feature dominates —
+    the box straddles a crossover and the designer must pin the
+    parameters down first.
+    """
+    features = (
+        ArchFeature.DOUBLING_BUS,
+        ArchFeature.WRITE_BUFFERS,
+        ArchFeature.PIPELINED_MEMORY,
+    )
+    bounds = {
+        feature: feature_bounds(
+            feature, config, base_hit_ratio, beta_range, alpha_range
+        )
+        for feature in features
+    }
+    for feature, own in bounds.items():
+        if all(
+            own.r_min > other.r_max
+            for rival, other in bounds.items()
+            if rival is not feature
+        ):
+            return feature
+    return None

@@ -1,0 +1,111 @@
+"""Data bus width versus hit ratio (paper Section 4.1).
+
+Doubling the processor's external data bus from ``D`` to ``2D`` halves
+both the line-fill bus cycles (``phi: L/D -> L/2D`` for a full-stalling
+cache) and the per-line flush transfer length.  Equating execution times
+gives Eq. (3)::
+
+    r = R'/R = ((phi + (L/D) alpha) beta_m - 1)
+             / ((phi' + (L/2D) alpha') beta_m - 1)
+
+and the traded hit ratio follows Eq. (6).  Two closed-form limits anchor
+the analysis (both for ``alpha = alpha' = 0.5``):
+
+* **Design limit** ``L = 2D, beta_m = 2``: ``r = 2.5`` so
+  ``HR_2 = 2.5 HR_1 - 1.5``.
+* **Long-memory-cycle limit** ``beta_m -> inf``: ``r -> 2`` so
+  ``HR_2 = 2 HR_1 - 1``.
+
+In the reverse direction (Eq. 7) the gain from doubling the bus equals
+raising the hit ratio by ``0.5 (1 - HR)`` to ``0.6 (1 - HR)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import (
+    TradeoffResult,
+    equivalence,
+    miss_cost_factor,
+    reverse_hit_ratio_traded,
+)
+
+
+def miss_volume_ratio_for_doubling(
+    config: SystemConfig,
+    flush_ratio: float = 0.5,
+    flush_ratio_doubled: float | None = None,
+) -> float:
+    """Eq. (3) with full-stalling caches on both sides.
+
+    ``phi = L/D`` in the base system and ``phi' = L/2D`` after doubling;
+    the flush ratio may differ between the systems (the paper uses
+    ``alpha = alpha' = 0.5`` throughout).
+    """
+    doubled = config.doubled_bus()
+    if flush_ratio_doubled is None:
+        flush_ratio_doubled = flush_ratio
+    kappa_base = miss_cost_factor(
+        stall_factor=config.bus_cycles_per_line,
+        flush_ratio=flush_ratio,
+        bus_cycles_per_line=config.bus_cycles_per_line,
+        memory_cycle=config.memory_cycle,
+    )
+    kappa_doubled = miss_cost_factor(
+        stall_factor=doubled.bus_cycles_per_line,
+        flush_ratio=flush_ratio_doubled,
+        bus_cycles_per_line=doubled.bus_cycles_per_line,
+        memory_cycle=config.memory_cycle,
+    )
+    return kappa_base / kappa_doubled
+
+
+def doubling_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+) -> TradeoffResult:
+    """Hit ratio the 2D-width system can give up at equal performance.
+
+    ``base_hit_ratio`` belongs to the D-width system (the paper's Figure 2
+    uses 98 % and 90 %).
+    """
+    doubled = config.doubled_bus()
+    kappa_base = miss_cost_factor(
+        config.bus_cycles_per_line,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    kappa_doubled = miss_cost_factor(
+        doubled.bus_cycles_per_line,
+        flush_ratio,
+        doubled.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    return equivalence(kappa_base, kappa_doubled, base_hit_ratio)
+
+
+def hit_ratio_gain_equivalent_to_doubling(
+    config: SystemConfig,
+    narrow_bus_hit_ratio: float,
+    flush_ratio: float = 0.5,
+) -> float:
+    """Eq. (7): hit-ratio increase worth the same as doubling the bus.
+
+    Anchored at the hit ratio of the (narrow-bus) system being improved;
+    for ``L >= 2D`` and ``alpha = 0.5`` the result lies in
+    ``[0.5 (1-HR), 0.6 (1-HR)]``.
+    """
+    r = miss_volume_ratio_for_doubling(config, flush_ratio)
+    return reverse_hit_ratio_traded(r, narrow_bus_hit_ratio)
+
+
+def design_limit_hit_ratio(base_hit_ratio: float) -> float:
+    """The ``beta_m = 2, L = 2D`` limit: ``HR_2 = 2.5 HR_1 - 1.5``."""
+    return 2.5 * base_hit_ratio - 1.5
+
+
+def asymptotic_hit_ratio(base_hit_ratio: float) -> float:
+    """The ``beta_m -> inf`` limit: ``HR_2 = 2 HR_1 - 1``."""
+    return 2.0 * base_hit_ratio - 1.0

@@ -1,0 +1,212 @@
+"""CPU execution-time model (paper Section 3.3, Eq. 2) and the mean
+memory delay equivalence (Section 4.5).
+
+Eq. (2), for a RISC processor with on-chip write-back data cache where
+every non-memory instruction and every cache hit takes one cycle::
+
+    X = (E - Lambda_m) + (R/L) * phi * beta_m + (alpha*R/D) * beta_m + W * beta_m
+
+* ``(E - Lambda_m)`` — cycles for non-load/store instructions plus hits;
+* ``(R/L) * phi * beta_m`` — read-miss stall cycles (``phi`` from Table 2);
+* ``(alpha*R/D) * beta_m`` — dirty-line flush (copy-back) cycles when no
+  write buffers hide them;
+* ``W * beta_m`` — write-around miss cycles.
+
+When the instruction cache cannot be neglected (multiprogramming), the
+term ``(RI/D) * phi_i * beta_m`` is added (Section 3.4); the model shape
+is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.core.stalling import StallPolicy, validate_stall_factor
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Eq. (2) with each contribution exposed, all in processor cycles."""
+
+    base_cycles: float
+    read_miss_stall_cycles: float
+    flush_cycles: float
+    write_around_cycles: float
+    instruction_fetch_cycles: float
+
+    @property
+    def total(self) -> float:
+        """X — total CPU execution time in cycles."""
+        return (
+            self.base_cycles
+            + self.read_miss_stall_cycles
+            + self.flush_cycles
+            + self.write_around_cycles
+            + self.instruction_fetch_cycles
+        )
+
+
+def full_stall_factor(config: SystemConfig) -> float:
+    """``phi = L/D`` — the stalling factor of a full-blocking cache."""
+    return float(config.bus_cycles_per_line)
+
+
+def execution_breakdown(
+    workload: WorkloadCharacter,
+    config: SystemConfig,
+    stall_factor: float | None = None,
+    policy: StallPolicy = StallPolicy.FULL_STALL,
+    write_buffers: bool = False,
+    include_instruction_fetch: bool = False,
+    instruction_stall_factor: float | None = None,
+) -> ExecutionBreakdown:
+    """Evaluate Eq. (2) term by term.
+
+    Parameters
+    ----------
+    workload, config:
+        The application characterization and hardware parameters.
+    stall_factor:
+        ``phi``; defaults to the policy-appropriate extreme (``L/D`` for
+        FS).  Partially-stalling policies require an explicit measured
+        value (Section 4.2 obtains it from trace-driven simulation).
+    policy:
+        Stalling feature used to validate ``phi`` against Table 2.
+    write_buffers:
+        When True, read-bypassing write buffers hide the flush term
+        entirely — the best-possible behaviour of Section 4.3.
+    include_instruction_fetch:
+        Add the Section 3.4 instruction-miss term ``(RI/D) * phi_i * beta_m``.
+    instruction_stall_factor:
+        ``phi_i`` for the (full-blocking) instruction cache; defaults to
+        ``L/D``.
+    """
+    if stall_factor is None:
+        if policy is not StallPolicy.FULL_STALL:
+            raise ValueError(
+                f"policy {policy.value} needs an explicit measured stall_factor"
+            )
+        stall_factor = full_stall_factor(config)
+    validate_stall_factor(policy, stall_factor, config.bus_cycles_per_line)
+
+    misses = workload.miss_instructions(config.line_size)
+    if misses > workload.instructions:
+        raise ValueError(
+            f"workload implies {misses} missing load/stores but only "
+            f"{workload.instructions} instructions"
+        )
+
+    read_lines = workload.read_bytes / config.line_size
+    flush = (
+        0.0
+        if write_buffers
+        else (workload.flush_ratio * workload.read_bytes / config.bus_width)
+        * config.memory_cycle
+    )
+    ifetch = 0.0
+    if include_instruction_fetch:
+        phi_i = (
+            full_stall_factor(config)
+            if instruction_stall_factor is None
+            else instruction_stall_factor
+        )
+        ifetch = (
+            workload.instruction_bytes / config.line_size
+        ) * phi_i * config.memory_cycle
+
+    return ExecutionBreakdown(
+        base_cycles=workload.instructions - misses,
+        read_miss_stall_cycles=read_lines * stall_factor * config.memory_cycle,
+        flush_cycles=flush,
+        write_around_cycles=workload.write_around_misses * config.memory_cycle,
+        instruction_fetch_cycles=ifetch,
+    )
+
+
+def execution_time(
+    workload: WorkloadCharacter,
+    config: SystemConfig,
+    stall_factor: float | None = None,
+    policy: StallPolicy = StallPolicy.FULL_STALL,
+    write_buffers: bool = False,
+) -> float:
+    """Eq. (2): total CPU execution time X in processor cycles."""
+    return execution_breakdown(
+        workload,
+        config,
+        stall_factor=stall_factor,
+        policy=policy,
+        write_buffers=write_buffers,
+    ).total
+
+
+def memory_delay_cycles(
+    workload: WorkloadCharacter,
+    config: SystemConfig,
+    stall_factor: float | None = None,
+    policy: StallPolicy = StallPolicy.FULL_STALL,
+    write_buffers: bool = False,
+) -> float:
+    """Total memory-induced delay: ``X - (E - Lambda_m)`` cycles."""
+    breakdown = execution_breakdown(
+        workload,
+        config,
+        stall_factor=stall_factor,
+        policy=policy,
+        write_buffers=write_buffers,
+    )
+    return breakdown.total - breakdown.base_cycles
+
+
+def mean_memory_delay(
+    workload: WorkloadCharacter,
+    config: SystemConfig,
+    data_references: float,
+    stall_factor: float | None = None,
+    policy: StallPolicy = StallPolicy.FULL_STALL,
+    write_buffers: bool = False,
+) -> float:
+    """Section 4.5: mean memory delay per data reference.
+
+    ``(phi*(R/L)*beta_m + alpha*(R/D)*beta_m + W*beta_m + Lambda_m hit-part)``
+    ... concretely, the paper shows that equating the execution times of two
+    systems with the same program is the same as equating::
+
+        (memory stall cycles + Lambda_h + Lambda_m) / (Lambda_h + Lambda_m)
+
+    i.e. the *mean memory delay time per (data) memory reference*, which is
+    independent of the non-load/store instruction count.  This function
+    returns exactly that quantity, with ``data_references = Lambda_h +
+    Lambda_m`` held fixed across the systems being compared.
+    """
+    misses = workload.miss_instructions(config.line_size)
+    if data_references < misses:
+        raise ValueError(
+            f"data_references ({data_references}) below miss count ({misses})"
+        )
+    stall = memory_delay_cycles(
+        workload,
+        config,
+        stall_factor=stall_factor,
+        policy=policy,
+        write_buffers=write_buffers,
+    )
+    # Hits and the issue cycle of each miss contribute one cycle per
+    # reference; stalls add on top.
+    return (data_references + stall) / data_references
+
+
+def miss_ratio(workload: WorkloadCharacter, config: SystemConfig, data_references: float) -> float:
+    """Eq. (4): ``MR = Lambda_m / (Lambda_h + Lambda_m)``."""
+    misses = workload.miss_instructions(config.line_size)
+    if data_references <= 0:
+        raise ValueError("data_references must be positive")
+    if misses > data_references:
+        raise ValueError("miss count exceeds total references")
+    return misses / data_references
+
+
+def hit_ratio(workload: WorkloadCharacter, config: SystemConfig, data_references: float) -> float:
+    """``HR = 1 - MR`` for the same accounting as :func:`miss_ratio`."""
+    return 1.0 - miss_ratio(workload, config, data_references)

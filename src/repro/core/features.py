@@ -1,0 +1,107 @@
+"""Per-feature miss-volume ratios in one place (paper Table 3).
+
+Table 3 tabulates, for a write-allocate cache, the execution time and the
+ratio of cache misses ``r`` each architectural feature affords against the
+common baseline — a full-stalling cache on a non-pipelined memory.  This
+module exposes that table programmatically: :func:`feature_miss_ratio`
+dispatches on :class:`ArchFeature`, and :func:`table3` renders the whole
+row set for a configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.bus_width import miss_volume_ratio_for_doubling
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_miss_volume_ratio
+from repro.core.stall_tradeoff import partial_stall_miss_volume_ratio
+from repro.core.tradeoff import hit_ratio_traded
+from repro.core.write_buffer import write_buffer_miss_volume_ratio
+
+
+class ArchFeature(Enum):
+    """The four performance-improving features of Table 3."""
+
+    DOUBLING_BUS = "doubling-bus"
+    PARTIAL_STALLING = "partially-stalling"
+    WRITE_BUFFERS = "write-buffers"
+    PIPELINED_MEMORY = "pipelined-memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def feature_miss_ratio(
+    feature: ArchFeature,
+    config: SystemConfig,
+    flush_ratio: float = 0.5,
+    measured_stall_factor: float | None = None,
+) -> float:
+    """Table 3: the miss-volume ratio ``r`` for ``feature``.
+
+    ``measured_stall_factor`` is required for
+    :attr:`ArchFeature.PARTIAL_STALLING` (a trace-measured ``phi``) and
+    ignored otherwise.
+    """
+    if feature is ArchFeature.DOUBLING_BUS:
+        return miss_volume_ratio_for_doubling(config, flush_ratio)
+    if feature is ArchFeature.WRITE_BUFFERS:
+        return write_buffer_miss_volume_ratio(config, flush_ratio)
+    if feature is ArchFeature.PIPELINED_MEMORY:
+        return pipelined_miss_volume_ratio(config, flush_ratio)
+    if feature is ArchFeature.PARTIAL_STALLING:
+        if measured_stall_factor is None:
+            raise ValueError(
+                "PARTIAL_STALLING needs a trace-measured stall factor phi"
+            )
+        return partial_stall_miss_volume_ratio(
+            config, measured_stall_factor, flush_ratio
+        )
+    raise ValueError(f"unknown feature {feature!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One Table 3 row: a feature, its ``r``, and the traded hit ratio."""
+
+    feature: ArchFeature
+    miss_volume_ratio: float
+    hit_ratio_traded: float
+
+
+def table3(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+    measured_stall_factor: float | None = None,
+) -> list[Table3Row]:
+    """Every Table 3 row for ``config`` at ``base_hit_ratio``.
+
+    The partially-stalling row is included only when a measured ``phi``
+    is supplied (the paper obtains it from trace-driven simulation).
+    """
+    features = [
+        ArchFeature.DOUBLING_BUS,
+        ArchFeature.WRITE_BUFFERS,
+        ArchFeature.PIPELINED_MEMORY,
+    ]
+    if measured_stall_factor is not None:
+        features.insert(1, ArchFeature.PARTIAL_STALLING)
+    rows = []
+    for feature in features:
+        r = feature_miss_ratio(
+            feature,
+            config,
+            flush_ratio=flush_ratio,
+            measured_stall_factor=measured_stall_factor,
+        )
+        rows.append(
+            Table3Row(
+                feature=feature,
+                miss_volume_ratio=r,
+                hit_ratio_traded=hit_ratio_traded(r, base_hit_ratio),
+            )
+        )
+    return rows

@@ -1,0 +1,109 @@
+"""Instruction-cache and unified-cache tradeoffs (paper Sections 3.4, 4.5).
+
+Section 4.5 closes with: "Since the mean memory delay time of an
+instruction cache, or a unified cache can also be represented in the
+same form as a data cache[,] the tradeoff model can also be applied to
+an instruction cache or a unified cache."  This module carries that
+statement out:
+
+* instruction caches are full-blocking (Section 3.3: "Instruction caches
+  with a full blocking feature can be found in most of the current
+  processors") and clean (no flush traffic), so their per-miss cost is
+  ``kappa_i = (L/D) * beta_m - 1``;
+* a unified cache mixes instruction fetches and data references; its
+  per-miss cost is the reference-weighted blend.
+
+The same Eq. (6) conversion then prices any feature against the
+instruction or unified hit ratio.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import TradeoffResult, miss_cost_factor
+
+
+def instruction_miss_cost_factor(config: SystemConfig) -> float:
+    """``kappa_i = (L/D) beta_m - 1`` — full-blocking, no copy-backs."""
+    return miss_cost_factor(
+        stall_factor=config.bus_cycles_per_line,
+        flush_ratio=0.0,
+        bus_cycles_per_line=config.bus_cycles_per_line,
+        memory_cycle=config.memory_cycle,
+    )
+
+
+def instruction_cache_doubling_tradeoff(
+    config: SystemConfig, base_hit_ratio: float
+) -> TradeoffResult:
+    """Bus doubling priced in *instruction*-cache hit ratio.
+
+    Because instruction caches carry no flush traffic, the asymptotic
+    ``r`` is exactly 2 and the design-limit ``r`` is
+    ``(2*beta_m - 1)/(beta_m - 1)`` — a wider envelope than the data
+    cache's alpha=0.5 case.
+    """
+    doubled = config.doubled_bus()
+    kappa_base = instruction_miss_cost_factor(config)
+    kappa_doubled = instruction_miss_cost_factor(doubled.with_memory_cycle(config.memory_cycle))
+    return TradeoffResult(
+        miss_ratio_of_misses=kappa_base / kappa_doubled,
+        base_hit_ratio=base_hit_ratio,
+    )
+
+
+def unified_miss_cost_factor(
+    config: SystemConfig,
+    data_fraction: float,
+    flush_ratio: float = 0.5,
+    data_stall_factor: float | None = None,
+) -> float:
+    """Reference-weighted per-miss cost of a unified cache.
+
+    Parameters
+    ----------
+    data_fraction:
+        Fraction of the unified cache's *misses* that are data misses
+        (the rest are instruction fetches: clean, full-blocking).
+    flush_ratio:
+        alpha for the data side (only data lines get dirty).
+    data_stall_factor:
+        phi for the data side; defaults to full stalling (L/D).
+    """
+    if not 0.0 <= data_fraction <= 1.0:
+        raise ValueError(f"data_fraction must be in [0, 1], got {data_fraction}")
+    phi = (
+        float(config.bus_cycles_per_line)
+        if data_stall_factor is None
+        else data_stall_factor
+    )
+    kappa_data = miss_cost_factor(
+        phi, flush_ratio, config.bus_cycles_per_line, config.memory_cycle
+    )
+    kappa_inst = instruction_miss_cost_factor(config)
+    return data_fraction * kappa_data + (1.0 - data_fraction) * kappa_inst
+
+
+def unified_cache_doubling_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    data_fraction: float,
+    flush_ratio: float = 0.5,
+) -> TradeoffResult:
+    """Bus doubling priced in unified-cache hit ratio.
+
+    The result interpolates between the instruction-only and data-only
+    tradeoffs as ``data_fraction`` moves from 0 to 1 (the Section 4.5
+    claim, testable directly).
+    """
+    doubled = config.doubled_bus()
+    kappa_base = unified_miss_cost_factor(config, data_fraction, flush_ratio)
+    kappa_feature = unified_miss_cost_factor(
+        doubled.with_memory_cycle(config.memory_cycle),
+        data_fraction,
+        flush_ratio,
+    )
+    return TradeoffResult(
+        miss_ratio_of_misses=kappa_base / kappa_feature,
+        base_hit_ratio=base_hit_ratio,
+    )

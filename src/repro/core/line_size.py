@@ -1,0 +1,139 @@
+"""Line size versus hit ratio (paper Section 5.4, Eqs. 11-14).
+
+For the line-size study the paper switches to Smith's latency model: an
+L-byte line fill costs ``c + (L/D) * beta`` cycles, where ``c`` is the
+memory access latency and ``beta`` the bus transfer time per D bytes.
+Equating the full-stalling execution times of a base line size ``L0``
+and a candidate ``L*`` (Eqs. 11-12) yields Eq. (13)::
+
+    R* = R0 * (L*/L0) * ((1 + alpha)(c + (L0/D) beta) - 1)
+                      / ((1 + alpha*)(c + (L*/D) beta) - 1)
+
+so the miss-count ratio ``r = (R*/L*) / (R0/L0)`` is below one, and the
+*required* extra hit ratio for the larger line to break even (Eq. 14) is
+
+    delta_EHR = (1 - r) / (s + 1) = (1 - r)(1 - HR_L0)  > 0.
+
+A larger line size only pays off when the application's *actual* hit
+ratio improvement ``delta_HR`` exceeds ``delta_EHR`` (Section 5.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def line_fill_time(latency: float, transfer: float, line_size: float, bus_width: float) -> float:
+    """Smith's fill-time model: ``c + (L/D) * beta`` cycles."""
+    if latency < 1.0:
+        raise ValueError(f"latency c must be >= 1 cycle, got {latency}")
+    if transfer < 0.0:
+        raise ValueError(f"transfer beta must be non-negative, got {transfer}")
+    if line_size <= 0 or bus_width <= 0:
+        raise ValueError("line_size and bus_width must be positive")
+    return latency + (line_size / bus_width) * transfer
+
+
+def line_size_miss_count_ratio(
+    base_line: float,
+    larger_line: float,
+    latency: float,
+    transfer: float,
+    bus_width: float,
+    flush_ratio: float = 0.0,
+    flush_ratio_larger: float | None = None,
+) -> float:
+    """Eq. (13) reduced to the miss-count ratio ``r = Lambda_m*/Lambda_m``.
+
+    With write-allocate caches ``Lambda_m = R/L``, so Eq. (13) gives::
+
+        r = ((1 + alpha )(c + (L0/D) beta) - 1)
+          / ((1 + alpha*)(c + (L*/D) beta) - 1)
+
+    which is < 1 whenever ``L* > L0`` (a larger line makes each miss more
+    expensive, so fewer misses are affordable).  Smith's model carries no
+    copy-back term, hence ``flush_ratio`` defaults to 0 for the Figure 6
+    validation.
+    """
+    if larger_line < base_line:
+        raise ValueError(
+            f"larger_line ({larger_line}) must be >= base_line ({base_line})"
+        )
+    alpha_larger = flush_ratio if flush_ratio_larger is None else flush_ratio_larger
+    cost_base = (1.0 + flush_ratio) * line_fill_time(
+        latency, transfer, base_line, bus_width
+    ) - 1.0
+    cost_larger = (1.0 + alpha_larger) * line_fill_time(
+        latency, transfer, larger_line, bus_width
+    ) - 1.0
+    if cost_base <= 0 or cost_larger <= 0:
+        raise ValueError("per-miss costs must be positive; increase c or beta")
+    return cost_base / cost_larger
+
+
+def required_hit_ratio_gain(
+    base_line: float,
+    larger_line: float,
+    latency: float,
+    transfer: float,
+    bus_width: float,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.0,
+) -> float:
+    """Eq. (14): ``delta_EHR = (1 - r)(1 - HR_L0)`` — break-even gain.
+
+    The minimum hit-ratio improvement a larger line must deliver to match
+    the smaller line's mean memory delay.
+    """
+    if not 0.0 <= base_hit_ratio < 1.0:
+        raise ValueError(f"base_hit_ratio must be in [0, 1), got {base_hit_ratio}")
+    r = line_size_miss_count_ratio(
+        base_line, larger_line, latency, transfer, bus_width, flush_ratio
+    )
+    return (1.0 - r) * (1.0 - base_hit_ratio)
+
+
+@dataclass(frozen=True)
+class LineSizeDecision:
+    """Section 5.4.1 verdict for one candidate line size."""
+
+    line_size: float
+    actual_gain: float
+    required_gain: float
+
+    @property
+    def beneficial(self) -> bool:
+        """True when the actual hit-ratio gain exceeds the break-even gain."""
+        return self.actual_gain > self.required_gain
+
+    @property
+    def margin(self) -> float:
+        """``delta_HR - delta_EHR`` — positive when the larger line wins."""
+        return self.actual_gain - self.required_gain
+
+
+def evaluate_line_size(
+    base_line: float,
+    larger_line: float,
+    latency: float,
+    transfer: float,
+    bus_width: float,
+    base_hit_ratio: float,
+    larger_hit_ratio: float,
+    flush_ratio: float = 0.0,
+) -> LineSizeDecision:
+    """Compare a larger line's actual gain against its break-even gain."""
+    required = required_hit_ratio_gain(
+        base_line,
+        larger_line,
+        latency,
+        transfer,
+        bus_width,
+        base_hit_ratio,
+        flush_ratio,
+    )
+    return LineSizeDecision(
+        line_size=larger_line,
+        actual_gain=larger_hit_ratio - base_hit_ratio,
+        required_gain=required,
+    )

@@ -1,0 +1,117 @@
+"""Multiple-instruction-issue extension (paper Section 6, future work).
+
+The paper closes by announcing a CPU execution-time model "for systems
+where the throughput could be more than one instruction per clock cycle",
+developed "similar to the one above".  This module carries that program
+out: with a base throughput of ``ipc`` instructions per cycle, Eq. (2)
+generalizes to::
+
+    X = (E - Lambda_m) / ipc + (R/L) * phi * beta_m
+        + (alpha R / D) * beta_m + W * beta_m
+
+— memory stalls are serialization points and do not scale with issue
+width.  The per-miss cost factor (see :mod:`repro.core.tradeoff`) becomes
+
+    kappa = (phi + (L/D) alpha) * beta_m - 1/ipc
+
+because a hit would have retired in ``1/ipc`` cycles rather than one.
+Consequences, derivable with :func:`multi_issue_tradeoff`:
+
+* as ``ipc`` grows, the saved hit cycle vanishes and every feature's
+  ``r`` converges to the pure ratio of per-miss memory costs — a small
+  (second-order) shift from the single-issue value;
+* the qualitative ranking of Section 5.3 is unchanged, while the
+  *absolute* weight of memory stalls in total execution time rises
+  sharply (the ``(E - Lambda_m)/ipc`` term shrinks), which is why the
+  paper flags multiple issue as the natural next study.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.core.tradeoff import TradeoffResult
+
+
+def multi_issue_execution_time(
+    workload: WorkloadCharacter,
+    config: SystemConfig,
+    ipc: float,
+    stall_factor: float | None = None,
+    write_buffers: bool = False,
+) -> float:
+    """Generalized Eq. (2) with base throughput ``ipc`` instr/cycle."""
+    if ipc < 1.0:
+        raise ValueError(f"ipc must be >= 1, got {ipc}")
+    if stall_factor is None:
+        stall_factor = float(config.bus_cycles_per_line)
+    misses = workload.miss_instructions(config.line_size)
+    read_lines = workload.read_bytes / config.line_size
+    flush = (
+        0.0
+        if write_buffers
+        else workload.flush_ratio * workload.read_bytes / config.bus_width
+        * config.memory_cycle
+    )
+    return (
+        (workload.instructions - misses) / ipc
+        + read_lines * stall_factor * config.memory_cycle
+        + flush
+        + workload.write_around_misses * config.memory_cycle
+    )
+
+
+def multi_issue_miss_cost_factor(
+    stall_factor: float,
+    flush_ratio: float,
+    bus_cycles_per_line: float,
+    memory_cycle: float,
+    ipc: float,
+) -> float:
+    """``kappa = (phi + (L/D) alpha) beta_m - 1/ipc`` for issue width > 1."""
+    if ipc < 1.0:
+        raise ValueError(f"ipc must be >= 1, got {ipc}")
+    kappa = (
+        (stall_factor + bus_cycles_per_line * flush_ratio) * memory_cycle
+        - 1.0 / ipc
+    )
+    if kappa <= 0:
+        raise ValueError(f"non-positive per-miss cost {kappa}")
+    return kappa
+
+
+def multi_issue_doubling_ratio(
+    config: SystemConfig, flush_ratio: float, ipc: float
+) -> float:
+    """Bus-doubling ``r`` under multiple issue (cf. Eq. 3)."""
+    doubled = config.doubled_bus()
+    kappa_base = multi_issue_miss_cost_factor(
+        config.bus_cycles_per_line,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+        ipc,
+    )
+    kappa_doubled = multi_issue_miss_cost_factor(
+        doubled.bus_cycles_per_line,
+        flush_ratio,
+        doubled.bus_cycles_per_line,
+        config.memory_cycle,
+        ipc,
+    )
+    return kappa_base / kappa_doubled
+
+
+def multi_issue_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    ipc: float,
+    flush_ratio: float = 0.5,
+) -> TradeoffResult:
+    """Bus-doubling hit-ratio tradeoff at issue width ``ipc``.
+
+    At ``ipc = 1`` this reproduces :func:`repro.core.bus_width.doubling_tradeoff`
+    exactly; larger ``ipc`` yields a slightly larger ``r`` (memory features
+    gain value as the core gets faster).
+    """
+    r = multi_issue_doubling_ratio(config, flush_ratio, ipc)
+    return TradeoffResult(miss_ratio_of_misses=r, base_hit_ratio=base_hit_ratio)

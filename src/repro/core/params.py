@@ -1,0 +1,228 @@
+"""Architectural and workload parameters (paper Table 1).
+
+Two dataclasses carry everything the execution-time model of Eq. (2) needs:
+
+* :class:`SystemConfig` — the hardware: external data bus width ``D``,
+  cache line size ``L``, memory cycle time ``beta_m`` (cycles per D-byte
+  read/write), and the pipelined-memory turnaround ``q``.
+* :class:`WorkloadCharacter` — the application as seen through the caches:
+  instruction count ``E``, read-miss bytes ``R`` (data) and ``RI``
+  (instruction), write-around miss count ``W``, and the dirty-line flush
+  ratio ``alpha``.
+
+The paper's ``{E, RI, R, W, alpha, phi}`` tuple characterizes an
+application on a specific configuration; ``phi`` (the stalling factor)
+lives separately in :mod:`repro.core.stalling` because it is a property of
+the cache's blocking behaviour, not of the workload alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Bus widths the paper admits (Table 1): "D can be any number in {4, 8, 16, 32}".
+VALID_BUS_WIDTHS = (4, 8, 16, 32)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Hardware parameters of one system under study.
+
+    Parameters
+    ----------
+    bus_width:
+        ``D`` — processor external data bus width in bytes.
+    line_size:
+        ``L`` — cache line size in bytes; must be a positive multiple
+        of ``bus_width``.
+    memory_cycle:
+        ``beta_m`` — memory cycle time, in processor clock cycles, for one
+        D-byte read/write cycle.  The paper treats ``beta_m = 2`` as the
+        design limit of a non-pipelined memory.
+    pipeline_turnaround:
+        ``q`` — clock cycles before a pipelined memory can accept the next
+        request (Section 4.4).  ``q = 2`` is the paper's "best possible"
+        pipelined implementation.  Must satisfy ``q <= beta_m`` for the
+        pipelined cycle to be an improvement.
+    """
+
+    bus_width: int
+    line_size: int
+    memory_cycle: float
+    pipeline_turnaround: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require(self.bus_width > 0, f"bus_width must be positive, got {self.bus_width}")
+        _require(
+            self.line_size > 0 and self.line_size % self.bus_width == 0,
+            f"line_size ({self.line_size}) must be a positive multiple of "
+            f"bus_width ({self.bus_width})",
+        )
+        _require(
+            self.memory_cycle >= 1.0,
+            f"memory_cycle must be >= 1 processor clock, got {self.memory_cycle}",
+        )
+        _require(
+            self.pipeline_turnaround >= 1.0,
+            f"pipeline_turnaround must be >= 1, got {self.pipeline_turnaround}",
+        )
+
+    @property
+    def bus_cycles_per_line(self) -> int:
+        """``L/D`` — bus cycles needed to transfer one full cache line."""
+        return self.line_size // self.bus_width
+
+    @property
+    def line_fill_time(self) -> float:
+        """Non-pipelined time to fill one line: ``(L/D) * beta_m`` cycles."""
+        return self.bus_cycles_per_line * self.memory_cycle
+
+    @property
+    def pipelined_line_fill_time(self) -> float:
+        """Eq. (9): ``beta_p = beta_m + q * (L/D - 1)`` cycles per line."""
+        return self.memory_cycle + self.pipeline_turnaround * (
+            self.bus_cycles_per_line - 1
+        )
+
+    def with_bus_width(self, bus_width: int) -> SystemConfig:
+        """A copy of this configuration with a different bus width."""
+        return replace(self, bus_width=bus_width)
+
+    def with_line_size(self, line_size: int) -> SystemConfig:
+        """A copy of this configuration with a different line size."""
+        return replace(self, line_size=line_size)
+
+    def with_memory_cycle(self, memory_cycle: float) -> SystemConfig:
+        """A copy of this configuration with a different memory cycle time."""
+        return replace(self, memory_cycle=memory_cycle)
+
+    def doubled_bus(self) -> SystemConfig:
+        """The 2D-width system of Section 4.1.  Requires ``L >= 2D``."""
+        _require(
+            self.line_size >= 2 * self.bus_width,
+            "doubling the bus requires L >= 2D "
+            f"(L={self.line_size}, D={self.bus_width})",
+        )
+        return self.with_bus_width(2 * self.bus_width)
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Application characterization ``{E, RI, R, W, alpha}`` (Table 1).
+
+    Parameters
+    ----------
+    instructions:
+        ``E`` — instructions executed.
+    read_bytes:
+        ``R`` — data bytes read in full bus width on read misses (for a
+        write-allocate cache this also includes the lines read on write
+        misses).  Excludes instruction fetches.
+    instruction_bytes:
+        ``RI`` — instruction bytes read on instruction-cache misses.
+    write_around_misses:
+        ``W`` — write-around miss instructions using the external bus.
+        Zero for a write-allocate cache (the paper folds those reads
+        into ``R``).
+    flush_ratio:
+        ``alpha`` in [0, 1] — dirty-line copy-back traffic as a fraction
+        of ``R``.  The paper follows Smith in using 0.5 as the typical
+        value.
+    """
+
+    instructions: float
+    read_bytes: float
+    instruction_bytes: float = 0.0
+    write_around_misses: float = 0.0
+    flush_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(self.instructions > 0, "instructions must be positive")
+        _require(self.read_bytes >= 0, "read_bytes must be non-negative")
+        _require(self.instruction_bytes >= 0, "instruction_bytes must be non-negative")
+        _require(
+            self.write_around_misses >= 0, "write_around_misses must be non-negative"
+        )
+        _require(
+            0.0 <= self.flush_ratio <= 1.0,
+            f"flush_ratio must be within [0, 1], got {self.flush_ratio}",
+        )
+
+    @property
+    def uses_write_allocate(self) -> bool:
+        """True when write misses allocate lines (the paper's W = 0 case)."""
+        return self.write_around_misses == 0
+
+    def miss_instructions(self, line_size: int) -> float:
+        """Eq. (1): ``Lambda_m = R/L + W`` — load/stores missing in cache."""
+        _require(line_size > 0, "line_size must be positive")
+        return self.read_bytes / line_size + self.write_around_misses
+
+    def flush_bytes(self) -> float:
+        """``alpha * R`` — bytes of dirty lines copied back to memory."""
+        return self.flush_ratio * self.read_bytes
+
+    def scaled(self, factor: float) -> WorkloadCharacter:
+        """Scale every extensive quantity (E, R, RI, W) by ``factor``.
+
+        Useful for normalizing characterizations taken over different
+        instruction counts onto a common basis; ``flush_ratio`` is
+        intensive and unchanged.
+        """
+        _require(factor > 0, "factor must be positive")
+        return WorkloadCharacter(
+            instructions=self.instructions * factor,
+            read_bytes=self.read_bytes * factor,
+            instruction_bytes=self.instruction_bytes * factor,
+            write_around_misses=self.write_around_misses * factor,
+            flush_ratio=self.flush_ratio,
+        )
+
+
+def workload_from_hit_ratio(
+    hit_ratio: float,
+    config: SystemConfig,
+    instructions: float = 1_000_000.0,
+    loadstore_fraction: float = 0.3,
+    flush_ratio: float = 0.5,
+) -> WorkloadCharacter:
+    """Construct a write-allocate workload exhibiting a given data hit ratio.
+
+    The paper's tradeoff curves are parameterized by a *base hit ratio*
+    rather than raw byte counts; this helper inverts Eq. (1) and Eq. (4):
+    with ``Lambda_h + Lambda_m = loadstore_fraction * E`` memory references
+    and miss ratio ``1 - hit_ratio``, the read-miss volume is
+    ``R = Lambda_m * L``.
+
+    Parameters
+    ----------
+    hit_ratio:
+        Data-cache hit ratio ``HR`` in (0, 1].
+    config:
+        Supplies the line size ``L`` that converts misses to bytes.
+    instructions:
+        ``E``; the tradeoff results are independent of this scale.
+    loadstore_fraction:
+        Fraction of instructions that reference data memory (the paper's
+        trace-driven studies have roughly 30 % load/stores).
+    flush_ratio:
+        ``alpha``, forwarded to the workload.
+    """
+    _require(0.0 < hit_ratio <= 1.0, f"hit_ratio must be in (0, 1], got {hit_ratio}")
+    _require(
+        0.0 < loadstore_fraction < 1.0,
+        f"loadstore_fraction must be in (0, 1), got {loadstore_fraction}",
+    )
+    references = instructions * loadstore_fraction
+    misses = references * (1.0 - hit_ratio)
+    return WorkloadCharacter(
+        instructions=instructions,
+        read_bytes=misses * config.line_size,
+        write_around_misses=0.0,
+        flush_ratio=flush_ratio,
+    )

@@ -1,0 +1,94 @@
+"""Pipelined memory system versus hit ratio (paper Section 4.4, Eq. 9).
+
+A pipelined memory accepts a new D-byte request every ``q`` cycles, so
+an L-byte line fill costs
+
+    beta_p = beta_m + q * (L/D - 1)            (Eq. 9)
+
+instead of ``(L/D) * beta_m``.  With a full-blocking write-allocate
+cache the flush traffic pipelines too, giving the per-miss cost
+``kappa_p = (1 + alpha) * beta_p - 1`` and
+
+    r = ((L/D)(1 + alpha) beta_m - 1) / ((1 + alpha) beta_p - 1)
+
+against the non-pipelined baseline (Table 3).  At ``beta_m = q`` the two
+systems coincide (``beta_p = (L/D) * beta_m``) and ``r = 1`` — the solid
+curves in Figures 3-5 meet the x-axis at ``beta_m = q = 2``.
+
+:func:`pipelined_vs_doubling_crossover` solves for the memory cycle time
+beyond which pipelining beats doubling the bus width — the paper's
+"about five or six clock cycles for q = 2 and L/D >= 2".
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import TradeoffResult, miss_cost_factor
+
+
+def pipelined_line_fill_time(config: SystemConfig) -> float:
+    """Eq. (9): ``beta_p = beta_m + q (L/D - 1)``."""
+    return config.pipelined_line_fill_time
+
+
+def pipelined_miss_cost_factor(config: SystemConfig, flush_ratio: float = 0.5) -> float:
+    """``kappa_p = (1 + alpha) beta_p - 1`` (read fill + pipelined flush)."""
+    kappa = (1.0 + flush_ratio) * pipelined_line_fill_time(config) - 1.0
+    if kappa <= 0:
+        raise ValueError(f"non-positive pipelined per-miss cost {kappa}")
+    return kappa
+
+
+def pipelined_miss_volume_ratio(config: SystemConfig, flush_ratio: float = 0.5) -> float:
+    """``r`` for the pipelined system against the non-pipelined baseline."""
+    kappa_base = miss_cost_factor(
+        config.bus_cycles_per_line,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    return kappa_base / pipelined_miss_cost_factor(config, flush_ratio)
+
+
+def pipelined_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+) -> TradeoffResult:
+    """Hit ratio traded by pipelining the memory system.
+
+    ``base_hit_ratio`` (HR_1) belongs to the non-pipelined system.
+    """
+    r = pipelined_miss_volume_ratio(config, flush_ratio)
+    return TradeoffResult(miss_ratio_of_misses=r, base_hit_ratio=base_hit_ratio)
+
+
+def pipelined_vs_doubling_crossover(
+    line_size: int,
+    bus_width: int,
+    pipeline_turnaround: float = 2.0,
+    flush_ratio: float = 0.5,
+) -> float | None:
+    """Memory cycle time where pipelining overtakes doubling the bus.
+
+    Pipelining wins when its per-miss cost drops below the doubled-bus
+    per-miss cost::
+
+        (1 + alpha)(beta_m + q (L/D - 1)) < (L/2D)(1 + alpha) beta_m
+
+    which is linear in ``beta_m``; the closed-form root is
+
+        beta_m* = q (L/D - 1) / (L/2D - 1).
+
+    Returns ``None`` when ``L = 2D`` (the doubled bus then transfers the
+    whole line in one cycle-group and pipelining never catches up —
+    Figure 3's observation).
+    """
+    if line_size % bus_width != 0 or line_size < 2 * bus_width:
+        raise ValueError("need L >= 2D with D | L")
+    ratio = line_size / bus_width
+    half_ratio = ratio / 2.0
+    if half_ratio <= 1.0:
+        return None
+    del flush_ratio  # cancels out of the inequality; kept for API symmetry
+    return pipeline_turnaround * (ratio - 1.0) / (half_ratio - 1.0)

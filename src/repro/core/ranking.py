@@ -1,0 +1,133 @@
+"""Unified comparison and ranking of architectural features
+(paper Section 5.3, Figures 3-5).
+
+All features are compared on the same ground — a full-blocking cache on a
+non-pipelined memory — by sweeping the memory cycle time ``beta_m`` and
+recording how much hit ratio each feature trades (Eq. 6).  The paper's
+conclusions, which this module lets you regenerate for any configuration:
+
+* except for pipelined memory, doubling the bus width is the best choice,
+  then read-bypassing write buffers, then a bus-not-locked cache;
+* the pipelined system overtakes doubling the bus once ``beta_m`` passes
+  the crossover (about 5-6 cycles for ``q = 2`` and ``L/D >= 2``), and
+  never does when ``L = 2D``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import hit_ratio_traded
+from repro.util.interp import crossover
+
+
+@dataclass(frozen=True)
+class FeatureSweep:
+    """One feature's traded-hit-ratio curve over memory cycle times."""
+
+    feature: ArchFeature
+    memory_cycles: tuple[float, ...]
+    hit_ratio_traded: tuple[float, ...]
+
+    def value_at(self, memory_cycle: float) -> float:
+        """The traded hit ratio at an exact swept ``beta_m``."""
+        try:
+            index = self.memory_cycles.index(memory_cycle)
+        except ValueError:
+            raise ValueError(
+                f"beta_m={memory_cycle} was not swept for {self.feature}"
+            ) from None
+        return self.hit_ratio_traded[index]
+
+
+@dataclass(frozen=True)
+class UnifiedComparison:
+    """Figures 3-5: every feature's curve plus derived rankings."""
+
+    config_template: SystemConfig
+    base_hit_ratio: float
+    sweeps: dict[ArchFeature, FeatureSweep] = field(default_factory=dict)
+
+    def ranking_at(self, memory_cycle: float) -> list[ArchFeature]:
+        """Features ordered best-first at one memory cycle time."""
+        return sorted(
+            self.sweeps,
+            key=lambda f: self.sweeps[f].value_at(memory_cycle),
+            reverse=True,
+        )
+
+    def pipelined_crossover_vs(self, rival: ArchFeature) -> float | None:
+        """First swept ``beta_m`` where pipelining overtakes ``rival``."""
+        pipe = self.sweeps[ArchFeature.PIPELINED_MEMORY]
+        other = self.sweeps[rival]
+        return crossover(
+            list(pipe.memory_cycles),
+            list(pipe.hit_ratio_traded),
+            list(other.hit_ratio_traded),
+        )
+
+
+def unified_comparison(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    memory_cycles: Sequence[float],
+    flush_ratio: float = 0.5,
+    measured_stall_factors: dict[float, float] | None = None,
+    stall_feature_label: ArchFeature = ArchFeature.PARTIAL_STALLING,
+) -> UnifiedComparison:
+    """Sweep ``beta_m`` and build every feature's traded-hit-ratio curve.
+
+    Parameters
+    ----------
+    config:
+        Template configuration; its ``memory_cycle`` is replaced by each
+        swept value.
+    base_hit_ratio:
+        Hit ratio of the common baseline (95 % in Figures 3-5).
+    memory_cycles:
+        The swept non-pipelined ``beta_m`` values (x axis).
+    measured_stall_factors:
+        Optional map ``beta_m -> phi`` from trace simulation; enables the
+        partially-stalling (BNL) curve.  Each ``phi`` must be supplied at
+        the swept ``beta_m`` values (missing entries raise ``KeyError``).
+    """
+    cycles = tuple(float(b) for b in memory_cycles)
+    if not cycles:
+        raise ValueError("memory_cycles must be non-empty")
+
+    always_on = (
+        ArchFeature.DOUBLING_BUS,
+        ArchFeature.WRITE_BUFFERS,
+        ArchFeature.PIPELINED_MEMORY,
+    )
+    sweeps: dict[ArchFeature, FeatureSweep] = {}
+    for feature in always_on:
+        traded = []
+        for beta_m in cycles:
+            r = feature_miss_ratio(
+                feature, config.with_memory_cycle(beta_m), flush_ratio
+            )
+            traded.append(hit_ratio_traded(r, base_hit_ratio))
+        sweeps[feature] = FeatureSweep(feature, cycles, tuple(traded))
+
+    if measured_stall_factors is not None:
+        traded = []
+        for beta_m in cycles:
+            phi = measured_stall_factors[beta_m]
+            r = feature_miss_ratio(
+                ArchFeature.PARTIAL_STALLING,
+                config.with_memory_cycle(beta_m),
+                flush_ratio,
+                measured_stall_factor=phi,
+            )
+            traded.append(hit_ratio_traded(r, base_hit_ratio))
+        sweeps[stall_feature_label] = FeatureSweep(
+            stall_feature_label, cycles, tuple(traded)
+        )
+
+    return UnifiedComparison(
+        config_template=config, base_hit_ratio=base_hit_ratio, sweeps=sweeps
+    )

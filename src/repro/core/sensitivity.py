@@ -1,0 +1,123 @@
+"""Sensitivity analysis of the tradeoff results.
+
+The paper fixes alpha = 0.5 ("the other value of alpha can also be
+used"), q = 2 ("the best possible implementation"), and a 95-98 % base
+hit ratio.  The ablation benches quantify how much each conclusion
+depends on those choices; this module supplies the machinery: central
+finite differences of any feature's traded hit ratio with respect to a
+named model parameter, plus a one-call summary across all parameters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import hit_ratio_traded
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Everything a traded-hit-ratio evaluation depends on."""
+
+    config: SystemConfig
+    base_hit_ratio: float
+    flush_ratio: float = 0.5
+    measured_stall_factor: float | None = None
+
+    def traded(self, feature: ArchFeature) -> float:
+        """delta_HR for ``feature`` at this operating point."""
+        r = feature_miss_ratio(
+            feature,
+            self.config,
+            flush_ratio=self.flush_ratio,
+            measured_stall_factor=self.measured_stall_factor,
+        )
+        return hit_ratio_traded(r, self.base_hit_ratio)
+
+
+#: Parameter name -> (getter, setter) over an OperatingPoint.
+_PARAMETERS: dict[
+    str,
+    tuple[
+        Callable[[OperatingPoint], float],
+        Callable[[OperatingPoint, float], OperatingPoint],
+    ],
+] = {
+    "memory_cycle": (
+        lambda p: p.config.memory_cycle,
+        lambda p, v: replace(p, config=p.config.with_memory_cycle(v)),
+    ),
+    "flush_ratio": (
+        lambda p: p.flush_ratio,
+        lambda p, v: replace(p, flush_ratio=v),
+    ),
+    "base_hit_ratio": (
+        lambda p: p.base_hit_ratio,
+        lambda p, v: replace(p, base_hit_ratio=v),
+    ),
+    "pipeline_turnaround": (
+        lambda p: p.config.pipeline_turnaround,
+        lambda p, v: replace(
+            p, config=replace(p.config, pipeline_turnaround=v)
+        ),
+    ),
+}
+
+PARAMETER_NAMES = tuple(_PARAMETERS)
+
+
+def sensitivity(
+    point: OperatingPoint,
+    feature: ArchFeature,
+    parameter: str,
+    relative_step: float = 0.01,
+) -> float:
+    """d(delta_HR)/d(parameter) by central finite difference.
+
+    ``relative_step`` scales the probe around the current value; the
+    probes stay inside each parameter's validity range (clamped below).
+    """
+    try:
+        getter, setter = _PARAMETERS[parameter]
+    except KeyError:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; choose from {PARAMETER_NAMES}"
+        ) from None
+    value = getter(point)
+    step = max(abs(value) * relative_step, 1e-6)
+    low, high = value - step, value + step
+    if parameter == "flush_ratio":
+        low, high = max(0.0, low), min(1.0, high)
+    if parameter == "base_hit_ratio":
+        low, high = max(1e-6, low), min(1.0 - 1e-9, high)
+    if parameter in ("memory_cycle", "pipeline_turnaround"):
+        low = max(1.0, low)
+    if high == low:
+        raise ValueError(f"degenerate probe for {parameter} at {value}")
+    delta_low = setter(point, low).traded(feature)
+    delta_high = setter(point, high).traded(feature)
+    return (delta_high - delta_low) / (high - low)
+
+
+def sensitivity_report(
+    point: OperatingPoint, feature: ArchFeature
+) -> dict[str, float]:
+    """All parameter sensitivities for one feature at one point.
+
+    ``pipeline_turnaround`` only moves the pipelined-memory feature; it
+    is reported as exactly 0.0 for the others (their r does not contain
+    q), keeping the report uniform.
+    """
+    report = {}
+    for name in PARAMETER_NAMES:
+        if (
+            name == "pipeline_turnaround"
+            and feature is not ArchFeature.PIPELINED_MEMORY
+        ):
+            report[name] = 0.0
+            continue
+        report[name] = sensitivity(point, feature, name)
+    return report

@@ -1,0 +1,177 @@
+"""Optimal line-size selection and validation against Smith's criterion
+(paper Section 5.4.2, Eqs. 15-19).
+
+Smith (1987) picks the line size minimizing the mean cache-miss delay per
+memory reference (Eq. 16)::
+
+    min_i  MR(L_i) * (c' + beta * L_i / D),        c' = c - 1.
+
+The paper's methodology instead maximizes the *reduced memory delay* of
+each candidate over a base line ``L0`` (Eq. 19)::
+
+    max_i  (delta_MR(L_i) - delta_EMR(L_i)) * (c - 1 + beta * L_i / D)
+
+where ``delta_MR`` is the measured miss-ratio improvement and
+``delta_EMR`` the Eq. (14) break-even requirement.  Expanding the
+definitions shows the Eq. (19) objective equals::
+
+    MR(L0) * (c - 1 + beta * L0 / D)  -  MR(L_i) * (c - 1 + beta * L_i / D)
+
+— a constant minus Smith's objective, so **the two criteria select the
+same line size for every miss-ratio table** (the paper's Figure 6
+validation; property-tested in ``tests/core/test_smith.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.line_size import required_hit_ratio_gain
+
+
+def _check_table(miss_ratios: dict[int, float]) -> None:
+    if not miss_ratios:
+        raise ValueError("miss-ratio table is empty")
+    for line, mr in miss_ratios.items():
+        if line <= 0:
+            raise ValueError(f"line size must be positive, got {line}")
+        if not 0.0 < mr <= 1.0:
+            raise ValueError(f"miss ratio for L={line} must be in (0, 1], got {mr}")
+
+
+def mean_memory_delay_per_reference(
+    miss_ratio: float, latency: float, transfer: float, line_size: float, bus_width: float
+) -> float:
+    """Eq. (15) objective: ``(1 - HR)(c + beta L/D) + HR`` with hit cost 1."""
+    return miss_ratio * (latency + transfer * line_size / bus_width) + (1.0 - miss_ratio)
+
+
+def smith_miss_delay(
+    miss_ratio: float, latency: float, transfer: float, line_size: float, bus_width: float
+) -> float:
+    """Eq. (16) objective: ``MR * (c' + beta L/D)`` with ``c' = c - 1``."""
+    return miss_ratio * (latency - 1.0 + transfer * line_size / bus_width)
+
+
+def smith_optimal_line(
+    miss_ratios: dict[int, float],
+    latency: float,
+    transfer: float,
+    bus_width: float,
+) -> int:
+    """Smith's criterion (Eq. 16): line size with the least miss delay.
+
+    Ties break toward the smaller line (cheaper cache control storage).
+    """
+    _check_table(miss_ratios)
+    return min(
+        sorted(miss_ratios),
+        key=lambda line: (
+            smith_miss_delay(miss_ratios[line], latency, transfer, line, bus_width),
+            line,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ReducedDelayPoint:
+    """Eq. (19) evaluation for one candidate line size.
+
+    ``reduced_delay`` is evaluated in the algebraically expanded form
+    ``MR(L0) * w(L0) - MR(L_i) * w(L_i)`` (module docstring) rather than
+    as ``(actual_gain - required_gain) * w(L_i)``: the two are equal in
+    exact arithmetic, but the expanded form makes the Eq. 19 ranking
+    float-for-float identical to Smith's Eq. 16 ranking, so exact ties
+    break the same way in both criteria.
+    """
+
+    line_size: int
+    actual_gain: float
+    required_gain: float
+    reduced_delay: float
+    miss_delay: float
+
+    @property
+    def beneficial(self) -> bool:
+        """Positive reduced delay — the larger line beats the base line."""
+        return self.reduced_delay > 0.0
+
+
+def reduced_memory_delay(
+    miss_ratios: dict[int, float],
+    base_line: int,
+    latency: float,
+    transfer: float,
+    bus_width: float,
+) -> list[ReducedDelayPoint]:
+    """Eq. (19) for every candidate line ``L_i >= L0`` in the table.
+
+    ``reduced_delay`` is the per-reference memory-delay saving of
+    switching from ``base_line`` to the candidate; negative values mean
+    the candidate's higher hit ratio cannot justify its longer fill.
+    """
+    _check_table(miss_ratios)
+    if base_line not in miss_ratios:
+        raise ValueError(f"base line {base_line} not in miss-ratio table")
+    base_mr = miss_ratios[base_line]
+    base_hr = 1.0 - base_mr
+    base_term = smith_miss_delay(base_mr, latency, transfer, base_line, bus_width)
+    points = []
+    for line in sorted(miss_ratios):
+        if line < base_line:
+            continue
+        actual_gain = base_mr - miss_ratios[line]  # = delta_HR = delta_MR
+        required_gain = required_hit_ratio_gain(
+            base_line, line, latency, transfer, bus_width, base_hr
+        )
+        miss_delay = smith_miss_delay(
+            miss_ratios[line], latency, transfer, line, bus_width
+        )
+        points.append(
+            ReducedDelayPoint(
+                line_size=line,
+                actual_gain=actual_gain,
+                required_gain=required_gain,
+                reduced_delay=base_term - miss_delay,
+                miss_delay=miss_delay,
+            )
+        )
+    return points
+
+
+def tradeoff_optimal_line(
+    miss_ratios: dict[int, float],
+    base_line: int,
+    latency: float,
+    transfer: float,
+    bus_width: float,
+) -> int:
+    """The paper's criterion (Eq. 19): maximize the reduced memory delay.
+
+    Ties break toward the smaller line, mirroring
+    :func:`smith_optimal_line`; the theorem in the module docstring
+    guarantees both functions agree.
+    """
+    points = reduced_memory_delay(miss_ratios, base_line, latency, transfer, bus_width)
+    # Maximizing reduced_delay == minimizing miss_delay (they differ by the
+    # constant base term); ranking on miss_delay keeps the comparison
+    # float-for-float identical to smith_optimal_line's.
+    best = min(points, key=lambda p: (p.miss_delay, p.line_size))
+    return best.line_size
+
+
+def criteria_agree(
+    miss_ratios: dict[int, float],
+    latency: float,
+    transfer: float,
+    bus_width: float,
+) -> bool:
+    """Check the Figure 6 validation: Eq. (19) picks Smith's line size.
+
+    Uses the smallest table entry as the base line, as in the paper
+    (candidates are the lines at least as large as the base).
+    """
+    base_line = min(miss_ratios)
+    return smith_optimal_line(
+        miss_ratios, latency, transfer, bus_width
+    ) == tradeoff_optimal_line(miss_ratios, base_line, latency, transfer, bus_width)

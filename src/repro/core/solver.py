@@ -1,0 +1,132 @@
+"""Brute-force equivalence solver.
+
+The closed forms of Sections 4.1-4.4 all answer the same question: *what
+hit ratio makes system B run exactly as fast as system A?*  This module
+answers it numerically instead — build both systems' Eq. (2) execution
+times from raw workloads and bisect on system B's hit ratio — providing
+an independent check on every derivation: for each feature,
+
+    solve_equivalent_hit_ratio(...) == TradeoffResult.feature_hit_ratio
+
+to solver tolerance (asserted in ``tests/core/test_solver.py``).  It
+also handles combinations the paper has no closed form for, e.g. a
+doubled bus *plus* write buffers at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.execution import execution_time
+from repro.core.params import SystemConfig, workload_from_hit_ratio
+from repro.core.stalling import StallPolicy
+
+
+@dataclass(frozen=True)
+class SystemUnderTest:
+    """One side of an equivalence: configuration + feature set.
+
+    ``stall_factor``/``policy`` select the blocking behaviour (defaults
+    to full stalling); ``write_buffers`` drops the flush term;
+    ``pipelined`` swaps the line-fill time to Eq. (9)'s ``beta_p``.
+    """
+
+    config: SystemConfig
+    policy: StallPolicy = StallPolicy.FULL_STALL
+    stall_factor: float | None = None
+    write_buffers: bool = False
+    pipelined: bool = False
+
+    def execution_time_at(
+        self,
+        hit_ratio: float,
+        instructions: float,
+        loadstore_fraction: float,
+        flush_ratio: float,
+    ) -> float:
+        """Eq. (2) at a given hit ratio, honoring the feature flags."""
+        workload = workload_from_hit_ratio(
+            hit_ratio,
+            self.config,
+            instructions=instructions,
+            loadstore_fraction=loadstore_fraction,
+            flush_ratio=flush_ratio,
+        )
+        phi = self.stall_factor
+        if self.pipelined:
+            if phi is not None:
+                raise ValueError(
+                    "pipelined systems use Eq. (9); a measured phi cannot "
+                    "be combined with pipelining in this solver"
+                )
+            phi = (
+                self.config.pipelined_line_fill_time / self.config.memory_cycle
+            )
+            # Pipelined copy-backs: fold the flush saving into phi-space by
+            # scaling alpha the same way the fill scaled.
+            flush_scale = phi / self.config.bus_cycles_per_line
+            workload = workload_from_hit_ratio(
+                hit_ratio,
+                self.config,
+                instructions=instructions,
+                loadstore_fraction=loadstore_fraction,
+                flush_ratio=min(1.0, flush_ratio * flush_scale),
+            )
+        return execution_time(
+            workload,
+            self.config,
+            stall_factor=phi,
+            policy=StallPolicy.NON_BLOCKING if self.pipelined else self.policy,
+            write_buffers=self.write_buffers,
+        )
+
+
+def solve_equivalent_hit_ratio(
+    base: SystemUnderTest,
+    feature: SystemUnderTest,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+    instructions: float = 1_000_000.0,
+    loadstore_fraction: float = 0.3,
+    tolerance: float = 1e-10,
+) -> float:
+    """Hit ratio at which ``feature`` matches ``base``'s execution time.
+
+    Bisects on the feature system's hit ratio in (0, 1].  Raises when no
+    hit ratio in (0, base_hit_ratio + headroom] can slow the feature
+    system down enough (an unphysical Eq. 6 case) or when even a perfect
+    cache leaves it slower.
+    """
+    if not 0.0 < base_hit_ratio < 1.0:
+        raise ValueError(f"base_hit_ratio must be in (0, 1), got {base_hit_ratio}")
+    target = base.execution_time_at(
+        base_hit_ratio, instructions, loadstore_fraction, flush_ratio
+    )
+
+    def feature_time(hr: float) -> float:
+        return feature.execution_time_at(
+            hr, instructions, loadstore_fraction, flush_ratio
+        )
+
+    # Execution time decreases in hit ratio: bracket the root.
+    low, high = 1e-9, 1.0 - 1e-12
+    time_low, time_high = feature_time(low), feature_time(high)
+    if time_high > target:
+        raise ValueError(
+            "feature system is slower than the base even with a perfect "
+            "cache; no equivalence exists"
+        )
+    if time_low < target:
+        raise ValueError(
+            "feature system beats the base even with a useless cache "
+            "(HR -> 0); the Eq. 6 physical-validity bound is violated"
+        )
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if feature_time(mid) > target:
+            low = mid
+        else:
+            high = mid
+        if high - low < tolerance:
+            break
+    return 0.5 * (low + high)

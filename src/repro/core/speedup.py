@@ -1,0 +1,164 @@
+"""Speedup conversions: from hit-ratio currency back to wall-clock.
+
+The methodology prices features in hit ratio; designers usually also
+want the raw execution-time ratio.  These helpers convert in both
+directions for a concrete workload:
+
+* :func:`feature_speedup` — execution-time ratio from adding a feature
+  at a fixed cache (the naive question the paper refines);
+* :func:`hit_ratio_speedup` — execution-time ratio from growing the
+  cache at fixed features;
+* :func:`equivalence_check` — the methodology's defining identity: the
+  feature speedup equals the speedup of the Eq. (6)-traded hit-ratio
+  increase, for any workload shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.execution import execution_time
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig, workload_from_hit_ratio
+from repro.core.pipelined import pipelined_line_fill_time
+from repro.core.stalling import StallPolicy
+
+
+def _feature_time(
+    feature: ArchFeature,
+    config: SystemConfig,
+    hit_ratio: float,
+    flush_ratio: float,
+    measured_stall_factor: float | None,
+    instructions: float,
+    loadstore_fraction: float,
+) -> float:
+    """Eq. (2) with ``feature`` applied, at ``hit_ratio``."""
+    if feature is ArchFeature.DOUBLING_BUS:
+        wide = config.doubled_bus()
+        workload = workload_from_hit_ratio(
+            hit_ratio, wide, instructions, loadstore_fraction, flush_ratio
+        )
+        return execution_time(workload, wide)
+    workload = workload_from_hit_ratio(
+        hit_ratio, config, instructions, loadstore_fraction, flush_ratio
+    )
+    if feature is ArchFeature.WRITE_BUFFERS:
+        return execution_time(workload, config, write_buffers=True)
+    if feature is ArchFeature.PIPELINED_MEMORY:
+        phi = pipelined_line_fill_time(config) / config.memory_cycle
+        scale = phi / config.bus_cycles_per_line
+        workload = workload_from_hit_ratio(
+            hit_ratio,
+            config,
+            instructions,
+            loadstore_fraction,
+            flush_ratio * scale,
+        )
+        return execution_time(
+            workload, config, stall_factor=phi, policy=StallPolicy.NON_BLOCKING
+        )
+    if feature is ArchFeature.PARTIAL_STALLING:
+        if measured_stall_factor is None:
+            raise ValueError("PARTIAL_STALLING needs a measured stall factor")
+        return execution_time(
+            workload,
+            config,
+            stall_factor=measured_stall_factor,
+            policy=StallPolicy.BUS_NOT_LOCKED_1,
+        )
+    raise ValueError(f"unknown feature {feature!r}")  # pragma: no cover
+
+
+def feature_speedup(
+    feature: ArchFeature,
+    config: SystemConfig,
+    hit_ratio: float,
+    flush_ratio: float = 0.5,
+    measured_stall_factor: float | None = None,
+    loadstore_fraction: float = 0.3,
+) -> float:
+    """Execution-time ratio baseline/feature at a fixed cache.
+
+    Always >= 1 for the paper's features; grows with the miss volume
+    (lower hit ratio means more for the feature to accelerate).
+    """
+    instructions = 1_000_000.0
+    baseline_workload = workload_from_hit_ratio(
+        hit_ratio, config, instructions, loadstore_fraction, flush_ratio
+    )
+    baseline = execution_time(baseline_workload, config)
+    improved = _feature_time(
+        feature,
+        config,
+        hit_ratio,
+        flush_ratio,
+        measured_stall_factor,
+        instructions,
+        loadstore_fraction,
+    )
+    return baseline / improved
+
+
+def hit_ratio_speedup(
+    config: SystemConfig,
+    from_hit_ratio: float,
+    to_hit_ratio: float,
+    flush_ratio: float = 0.5,
+    loadstore_fraction: float = 0.3,
+) -> float:
+    """Execution-time ratio from raising the hit ratio (growing the cache)."""
+    if to_hit_ratio < from_hit_ratio:
+        raise ValueError(
+            f"to_hit_ratio ({to_hit_ratio}) below from_hit_ratio "
+            f"({from_hit_ratio}); that is a slowdown, not a speedup"
+        )
+    instructions = 1_000_000.0
+    before = execution_time(
+        workload_from_hit_ratio(
+            from_hit_ratio, config, instructions, loadstore_fraction, flush_ratio
+        ),
+        config,
+    )
+    after = execution_time(
+        workload_from_hit_ratio(
+            to_hit_ratio, config, instructions, loadstore_fraction, flush_ratio
+        ),
+        config,
+    )
+    return before / after
+
+
+def equivalence_check(
+    feature: ArchFeature,
+    config: SystemConfig,
+    base_hit_ratio: float,
+    flush_ratio: float = 0.5,
+    measured_stall_factor: float | None = None,
+) -> tuple[float, float]:
+    """(feature speedup, equivalent-hit-ratio speedup) — must match.
+
+    The second element raises the hit ratio by the Eq. (7) reverse-traded
+    amount instead of adding the feature; the methodology's soundness is
+    that both deliver the same speedup.
+    """
+    from repro.core.features import feature_miss_ratio
+    from repro.core.tradeoff import reverse_hit_ratio_traded
+
+    r = feature_miss_ratio(
+        feature,
+        config,
+        flush_ratio=flush_ratio,
+        measured_stall_factor=measured_stall_factor,
+    )
+    gain = reverse_hit_ratio_traded(r, base_hit_ratio)
+    return (
+        feature_speedup(
+            feature,
+            config,
+            base_hit_ratio,
+            flush_ratio,
+            measured_stall_factor,
+        ),
+        hit_ratio_speedup(
+            config, base_hit_ratio, base_hit_ratio + gain, flush_ratio
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Stalling feature versus hit ratio (paper Section 4.2).
+
+Replacing a full-stalling cache (``phi = L/D``) by a partially-stalling
+one (BL, BNL1-3, NB) with measured stalling factor ``phi_ps < L/D``
+reduces the per-miss cost; the equivalent hit-ratio difference follows
+Eq. (6) with
+
+    r = ((L/D + (L/D) alpha) beta_m - 1) / ((phi_ps + (L/D) alpha) beta_m - 1).
+
+The measured ``phi_ps`` comes from trace-driven simulation
+(:mod:`repro.cpu.stall_measure` implements Eq. 8); the paper's Figure 1
+reports it as a percentage of ``L/D``.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SystemConfig
+from repro.core.stalling import StallPolicy, validate_stall_factor
+from repro.core.tradeoff import TradeoffResult, equivalence, miss_cost_factor
+
+
+def partial_stall_miss_volume_ratio(
+    config: SystemConfig,
+    measured_stall_factor: float,
+    flush_ratio: float = 0.5,
+    policy: StallPolicy = StallPolicy.BUS_NOT_LOCKED_1,
+) -> float:
+    """``r`` for a partially-stalling cache against the FS baseline."""
+    validate_stall_factor(policy, measured_stall_factor, config.bus_cycles_per_line)
+    kappa_fs = miss_cost_factor(
+        config.bus_cycles_per_line,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    kappa_ps = miss_cost_factor(
+        measured_stall_factor,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    return kappa_fs / kappa_ps
+
+
+def partial_stall_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    measured_stall_factor: float,
+    flush_ratio: float = 0.5,
+    policy: StallPolicy = StallPolicy.BUS_NOT_LOCKED_1,
+) -> TradeoffResult:
+    """Hit ratio traded by switching FS -> partially-stalling.
+
+    ``base_hit_ratio`` is the full-stalling system's hit ratio (HR_1);
+    the partially-stalling system matches its performance at
+    ``HR_2 = HR_1 - delta``.
+    """
+    validate_stall_factor(policy, measured_stall_factor, config.bus_cycles_per_line)
+    kappa_fs = miss_cost_factor(
+        config.bus_cycles_per_line,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    kappa_ps = miss_cost_factor(
+        measured_stall_factor,
+        flush_ratio,
+        config.bus_cycles_per_line,
+        config.memory_cycle,
+    )
+    return equivalence(kappa_fs, kappa_ps, base_hit_ratio)
+
+
+def stall_factor_from_percentage(config: SystemConfig, percent_of_full: float) -> float:
+    """Convert a Figure 1 style percentage of ``L/D`` into ``phi``.
+
+    Clamps to the BL/BNL admissible minimum of 1 so that percentages
+    measured on other configurations remain usable.
+    """
+    if not 0.0 <= percent_of_full <= 100.0:
+        raise ValueError(f"percentage must be in [0, 100], got {percent_of_full}")
+    phi = config.bus_cycles_per_line * percent_of_full / 100.0
+    return max(1.0, phi)

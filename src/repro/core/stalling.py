@@ -1,0 +1,118 @@
+"""Processor stalling features and stalling-factor bounds (paper Table 2).
+
+A cache miss delays the processor by ``phi * beta_m`` cycles, where the
+*stalling factor* ``phi`` depends on how the cache blocks during a line
+fill:
+
+========  ===========================================  ================
+feature   behaviour during a line fill                 phi bounds
+========  ===========================================  ================
+FS        full stalling — wait for the whole line      phi = L/D
+BL        bus-locked — resume once the requested
+          word arrives, but any load/store during
+          the rest of the fill stalls to fill end      1 <= phi <= L/D
+BNL1      bus not locked — other lines accessible;
+          a second access to the in-flight line
+          stalls until the whole line arrives          1 <= phi <= L/D
+BNL2      like BNL1 but the second access stalls
+          only if it touches a not-yet-fetched part
+          (then waits for the whole line)              1 <= phi <= L/D
+BNL3      the second access stalls only until its
+          own word arrives (partial-line reads)        1 <= phi <= L/D
+NB        non-blocking — misses overlap execution      0 <= phi <= L/D
+========  ===========================================  ================
+
+FS is the paper's *full-stalling* baseline; every other feature is
+*partially stalling* (PS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class StallPolicy(Enum):
+    """The six stalling features of Table 2."""
+
+    FULL_STALL = "FS"
+    BUS_LOCKED = "BL"
+    BUS_NOT_LOCKED_1 = "BNL1"
+    BUS_NOT_LOCKED_2 = "BNL2"
+    BUS_NOT_LOCKED_3 = "BNL3"
+    NON_BLOCKING = "NB"
+
+    @property
+    def is_full_stalling(self) -> bool:
+        """True only for the FS baseline."""
+        return self is StallPolicy.FULL_STALL
+
+    @property
+    def is_partially_stalling(self) -> bool:
+        """True for BL, BNL1-3 and NB (the paper's PS class)."""
+        return not self.is_full_stalling
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class StallFactorBounds:
+    """Closed interval of admissible stalling factors for a policy."""
+
+    minimum: float
+    maximum: float
+
+    def contains(self, phi: float) -> bool:
+        """Whether ``phi`` lies within the (inclusive) bounds."""
+        return self.minimum <= phi <= self.maximum
+
+    def clamp(self, phi: float) -> float:
+        """``phi`` clipped into the bounds."""
+        return min(self.maximum, max(self.minimum, phi))
+
+
+def stall_factor_bounds(policy: StallPolicy, bus_cycles_per_line: float) -> StallFactorBounds:
+    """Table 2: the admissible ``phi`` interval for ``policy``.
+
+    Parameters
+    ----------
+    policy:
+        The stalling feature.
+    bus_cycles_per_line:
+        ``L/D``, the upper bound for every policy.
+    """
+    if bus_cycles_per_line < 1:
+        raise ValueError(f"L/D must be >= 1, got {bus_cycles_per_line}")
+    top = float(bus_cycles_per_line)
+    if policy is StallPolicy.FULL_STALL:
+        return StallFactorBounds(top, top)
+    if policy is StallPolicy.NON_BLOCKING:
+        return StallFactorBounds(0.0, top)
+    return StallFactorBounds(1.0, top)
+
+
+def validate_stall_factor(
+    policy: StallPolicy, phi: float, bus_cycles_per_line: float
+) -> float:
+    """Return ``phi`` unchanged if admissible for ``policy``, else raise.
+
+    The FS policy pins ``phi`` to exactly ``L/D``; partially-stalling
+    policies accept measured values within their Table 2 interval.
+    """
+    bounds = stall_factor_bounds(policy, bus_cycles_per_line)
+    if not bounds.contains(phi):
+        raise ValueError(
+            f"stalling factor {phi} outside {policy.value} bounds "
+            f"[{bounds.minimum}, {bounds.maximum}] for L/D={bus_cycles_per_line}"
+        )
+    return phi
+
+
+#: Policies evaluated by trace-driven simulation in Figure 1.
+MEASURED_POLICIES = (
+    StallPolicy.BUS_LOCKED,
+    StallPolicy.BUS_NOT_LOCKED_1,
+    StallPolicy.BUS_NOT_LOCKED_2,
+    StallPolicy.BUS_NOT_LOCKED_3,
+)

@@ -1,0 +1,149 @@
+"""The unified tradeoff engine (paper Section 4, Eqs. 3-7).
+
+Every tradeoff in the paper reduces to the same three steps:
+
+1. Write the execution time of the base system and of the system with the
+   candidate feature.  For a write-allocate cache both collapse to::
+
+       X = E + Lambda_m * kappa,
+       kappa = (phi + (L/D) * alpha) * beta_m - 1,
+
+   where ``kappa`` is the *per-miss cost factor*: the extra cycles each
+   missing load/store adds beyond its single issue cycle.  ``phi`` is the
+   stalling factor, the ``(L/D) * alpha * beta_m`` part is the dirty-line
+   flush, and the ``-1`` removes the issue cycle already counted in ``E``.
+
+2. Equate the two execution times.  With the program fixed, the feature
+   system can tolerate ``r = kappa_base / kappa_feature`` times the base
+   system's miss volume: ``Lambda_m' = r * Lambda_m`` (Eq. 3 is exactly
+   this ratio for bus-width doubling).
+
+3. Convert the miss-volume ratio into a hit-ratio difference (Eqs. 4-6)::
+
+       delta_HR = HR_base - HR_feature = (r - 1) / (s + 1)
+                = (r - 1) * (1 - HR_base),       s = HR_base / (1 - HR_base).
+
+The reverse direction (Eq. 7) uses the *feature* system as the base:
+``delta_HR = (1 - 1/r) * (1 - HR_feature)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def miss_cost_factor(
+    stall_factor: float,
+    flush_ratio: float,
+    bus_cycles_per_line: float,
+    memory_cycle: float,
+) -> float:
+    """``kappa = (phi + (L/D)*alpha) * beta_m - 1`` for a write-allocate cache.
+
+    ``bus_cycles_per_line`` is the flush transfer length ``L/D`` on the bus
+    that carries the copy-back traffic (halved when the bus is doubled).
+    Raises when the result is non-positive — the model needs each miss to
+    cost at least one extra cycle (the paper's ``beta_m >= 2`` design limit
+    guarantees this).
+    """
+    if stall_factor < 0:
+        raise ValueError(f"stall_factor must be non-negative, got {stall_factor}")
+    if not 0.0 <= flush_ratio <= 1.0:
+        raise ValueError(f"flush_ratio must be in [0, 1], got {flush_ratio}")
+    kappa = (stall_factor + bus_cycles_per_line * flush_ratio) * memory_cycle - 1.0
+    if kappa <= 0:
+        raise ValueError(
+            "per-miss cost factor must be positive; got "
+            f"kappa={kappa} (phi={stall_factor}, alpha={flush_ratio}, "
+            f"L/D={bus_cycles_per_line}, beta_m={memory_cycle})"
+        )
+    return kappa
+
+
+def miss_volume_ratio(kappa_base: float, kappa_feature: float) -> float:
+    """``r = kappa_base / kappa_feature`` (Eq. 3 in per-miss-cost form).
+
+    ``r > 1`` means the feature system tolerates more misses — i.e. a
+    smaller cache — at equal performance.
+    """
+    if kappa_base <= 0 or kappa_feature <= 0:
+        raise ValueError("per-miss cost factors must be positive")
+    return kappa_base / kappa_feature
+
+
+def odds(hit_ratio: float) -> float:
+    """``s = HR / (1 - HR)`` — the hit/miss odds of Eq. (4)."""
+    if not 0.0 <= hit_ratio < 1.0:
+        raise ValueError(f"hit_ratio must be in [0, 1), got {hit_ratio}")
+    return hit_ratio / (1.0 - hit_ratio)
+
+
+def hit_ratio_traded(r: float, base_hit_ratio: float) -> float:
+    """Eq. (6): ``delta_HR = (r - 1) / (s + 1) = (r - 1)(1 - HR_base)``.
+
+    Positive when the feature improves performance (``r > 1``): the base
+    system's hit-ratio advantage that the feature is worth.
+    """
+    if r <= 0:
+        raise ValueError(f"miss-volume ratio must be positive, got {r}")
+    return (r - 1.0) / (odds(base_hit_ratio) + 1.0)
+
+
+def reverse_hit_ratio_traded(r: float, feature_hit_ratio: float) -> float:
+    """Eq. (7): hit ratio the base system must *gain* to match the feature.
+
+    Uses the feature system's hit ratio as the anchor:
+    ``delta_HR = (1 - 1/r)(1 - HR_feature)``.
+    """
+    if r <= 0:
+        raise ValueError(f"miss-volume ratio must be positive, got {r}")
+    return (1.0 - 1.0 / r) / (odds(feature_hit_ratio) + 1.0)
+
+
+@dataclass(frozen=True)
+class TradeoffResult:
+    """Outcome of one feature-vs-hit-ratio equivalence.
+
+    Attributes
+    ----------
+    miss_ratio_of_misses:
+        ``r`` — feature-to-base miss volume ratio at equal performance.
+    base_hit_ratio:
+        ``HR_1`` of the system *without* the feature.
+    feature_hit_ratio:
+        ``HR_2 = HR_1 - delta`` the feature system can afford.
+    """
+
+    miss_ratio_of_misses: float
+    base_hit_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_hit_ratio < 1.0:
+            raise ValueError(
+                f"base_hit_ratio must be in [0, 1), got {self.base_hit_ratio}"
+            )
+        if self.miss_ratio_of_misses <= 0:
+            raise ValueError("miss-volume ratio must be positive")
+
+    @property
+    def hit_ratio_delta(self) -> float:
+        """``delta_HR = HR_1 - HR_2`` (Eq. 6)."""
+        return hit_ratio_traded(self.miss_ratio_of_misses, self.base_hit_ratio)
+
+    @property
+    def feature_hit_ratio(self) -> float:
+        """Hit ratio the feature system needs for equal performance."""
+        return self.base_hit_ratio - self.hit_ratio_delta
+
+    @property
+    def is_physical(self) -> bool:
+        """Eq. (6) validity: the implied feature hit ratio must be >= 0."""
+        return self.feature_hit_ratio >= 0.0
+
+
+def equivalence(
+    kappa_base: float, kappa_feature: float, base_hit_ratio: float
+) -> TradeoffResult:
+    """Full pipeline: per-miss costs -> r -> traded hit ratio."""
+    r = miss_volume_ratio(kappa_base, kappa_feature)
+    return TradeoffResult(miss_ratio_of_misses=r, base_hit_ratio=base_hit_ratio)

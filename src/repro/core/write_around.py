@@ -1,0 +1,145 @@
+"""Tradeoff equivalence for write-around caches (W > 0).
+
+The paper's worked tradeoffs use write-allocate caches (W = 0, Eq. 3
+onward); for write-around mode it notes only that ``W = W'`` between the
+compared systems.  This module carries the algebra through: with
+
+    X = E + (R/L) * kappa_read + W * (c_W - 1)
+
+where ``kappa_read = (phi + (L/D) alpha) * beta_m - 1`` and ``c_W`` is
+the cycles one write-around miss costs (``beta_m`` unbuffered, 1 when a
+write buffer absorbs it), equating the execution times of a base and a
+feature system at fixed W yields::
+
+    R'/L = ((R/L) * kappa_base + W * (cW_base - cW_feature)) / kappa_feature
+
+and the miss-volume ratio the hit-ratio conversion needs is
+
+    r = Lambda_m' / Lambda_m = (R'/L + W) / (R/L + W).
+
+When both systems charge writes the same (``cW_base == cW_feature``) the
+W terms cancel and ``r = (1 - omega) * r_R + omega`` with ``omega``
+the write-around share of misses — write traffic *dilutes* every
+feature's hit-ratio value, which is itself a finding the write-allocate
+analysis cannot show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import TradeoffResult, miss_cost_factor
+
+
+@dataclass(frozen=True)
+class WriteAroundSystem:
+    """Per-system costs for the write-around equivalence.
+
+    ``kappa_read`` is the read-miss cost factor; ``write_cost`` is the
+    cycles one write-around miss spends on the bus (``beta_m`` without
+    buffers, 1.0 with a fully-hiding read-bypassing write buffer).
+    """
+
+    kappa_read: float
+    write_cost: float
+
+    def __post_init__(self) -> None:
+        if self.kappa_read <= 0:
+            raise ValueError("kappa_read must be positive")
+        if self.write_cost < 1.0:
+            raise ValueError(
+                f"write_cost must be >= 1 cycle, got {self.write_cost}"
+            )
+
+
+def write_around_miss_volume_ratio(
+    base: WriteAroundSystem,
+    feature: WriteAroundSystem,
+    write_share: float,
+) -> float:
+    """``r`` for a write-around workload with miss mix ``write_share``.
+
+    ``write_share`` (omega) is ``W / Lambda_m`` in the base system:
+    the fraction of misses that are write-arounds.  Raises when the
+    implied feature system would need negative read traffic.
+    """
+    if not 0.0 <= write_share < 1.0:
+        raise ValueError(f"write_share must be in [0, 1), got {write_share}")
+    read_share = 1.0 - write_share
+    # Normalize Lambda_m = 1: R/L = read_share, W = write_share.
+    feature_reads = (
+        read_share * base.kappa_read
+        + write_share * (base.write_cost - feature.write_cost)
+    ) / feature.kappa_read
+    if feature_reads < 0:
+        raise ValueError(
+            "write-cost savings exceed the read-miss budget; the feature "
+            "system cannot reach equal performance by shrinking its cache"
+        )
+    return feature_reads + write_share
+
+
+def write_around_doubling_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    write_share: float,
+    flush_ratio: float = 0.5,
+) -> TradeoffResult:
+    """Bus-doubling tradeoff for a write-around cache.
+
+    Write-around misses cost ``beta_m`` on either bus width (operands at
+    or below D bytes), so their only effect is dilution:
+    ``r = (1 - omega) r_R + omega < r_R``.
+    """
+    doubled = config.doubled_bus()
+    base = WriteAroundSystem(
+        kappa_read=miss_cost_factor(
+            config.bus_cycles_per_line,
+            flush_ratio,
+            config.bus_cycles_per_line,
+            config.memory_cycle,
+        ),
+        write_cost=config.memory_cycle,
+    )
+    feature = WriteAroundSystem(
+        kappa_read=miss_cost_factor(
+            doubled.bus_cycles_per_line,
+            flush_ratio,
+            doubled.bus_cycles_per_line,
+            config.memory_cycle,
+        ),
+        write_cost=config.memory_cycle,
+    )
+    r = write_around_miss_volume_ratio(base, feature, write_share)
+    return TradeoffResult(miss_ratio_of_misses=r, base_hit_ratio=base_hit_ratio)
+
+
+def write_around_buffer_tradeoff(
+    config: SystemConfig,
+    base_hit_ratio: float,
+    write_share: float,
+    flush_ratio: float = 0.5,
+) -> TradeoffResult:
+    """Read-bypassing write buffers on a write-around cache.
+
+    Buffers hide both the copy-back traffic (flush term) and the
+    write-around misses themselves (each shrinking from ``beta_m``
+    cycles to its single issue cycle), so unlike bus doubling the W
+    terms do NOT cancel.  Even so, in hit-ratio currency the write share
+    still *dilutes* the feature — W misses are fixed and cannot be
+    converted into cache-size savings — the W-hiding merely offsets part
+    of the dilution (r sits above the dilution-only value but below the
+    write-allocate one).
+    """
+    ld = config.bus_cycles_per_line
+    base = WriteAroundSystem(
+        kappa_read=miss_cost_factor(ld, flush_ratio, ld, config.memory_cycle),
+        write_cost=config.memory_cycle,
+    )
+    feature = WriteAroundSystem(
+        kappa_read=miss_cost_factor(ld, 0.0, ld, config.memory_cycle),
+        write_cost=1.0,
+    )
+    r = write_around_miss_volume_ratio(base, feature, write_share)
+    return TradeoffResult(miss_ratio_of_misses=r, base_hit_ratio=base_hit_ratio)

@@ -1,0 +1,28 @@
+"""Processor timing substrate.
+
+An in-order RISC timing model (one instruction per cycle when nothing
+stalls — paper assumption 4) that composes the cache state model with the
+memory timing models and charges stall cycles according to the Table 2
+blocking policies.  Its headline product is the measured stalling factor
+``phi`` that the analytic tradeoffs consume (Figure 1, Eq. 8).
+"""
+
+from repro.cpu.nonblocking import MSHRSimulator, mshr_stall_factors
+from repro.cpu.processor import TimingResult, TimingSimulator
+from repro.cpu.stall_engine import StallEngine
+from repro.cpu.stall_measure import (
+    average_stall_percentages,
+    measure_stall_factor,
+    stall_factor_eq8,
+)
+
+__all__ = [
+    "TimingSimulator",
+    "TimingResult",
+    "MSHRSimulator",
+    "mshr_stall_factors",
+    "StallEngine",
+    "measure_stall_factor",
+    "stall_factor_eq8",
+    "average_stall_percentages",
+]

@@ -1,0 +1,260 @@
+"""In-order processor timing simulator.
+
+Composes the cache state model (:mod:`repro.cache`), a memory timing
+model (:mod:`repro.memory`) and the Table 2 stall semantics
+(:mod:`repro.cpu.stall_engine`) into a cycle-count simulation of an
+instruction stream.  Beyond the total cycle count it keeps the stall
+cycles *attributed by cause* — read misses, copy-backs, write traffic —
+because the paper's Eq. (2) models exactly those three terms and the
+measured stalling factor is ``phi = read-miss stalls / (Lambda_m *
+beta_m)``.
+
+Model notes (all per the paper's assumptions in Section 3):
+
+* one instruction retires per cycle when nothing stalls;
+* at most one line fill is outstanding (single fill port);
+* fills are critical-word-first;
+* without write buffers, a dirty victim's copy-back stalls the processor
+  for the full ``(L/D) * beta_m`` right at the miss;
+* with read-bypassing write buffers, copy-backs are posted and drain
+  while the bus is idle; a read conflicting with a buffered line first
+  forces a full drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.stall_engine import AccessContext, StallEngine
+from repro.memory.bus import Bus
+from repro.memory.mainmem import FillSchedule, MainMemory
+from repro.memory.write_buffer import WriteBuffer
+from repro.trace.record import Instruction, OpKind
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Cycle accounting of one simulated run."""
+
+    instructions: int
+    cycles: float
+    read_miss_stall_cycles: float
+    flush_stall_cycles: float
+    write_stall_cycles: float
+    line_fills: int
+    memory_cycle: float
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def stall_factor(self) -> float:
+        """Measured ``phi``: read-miss stall per miss, in ``beta_m`` units."""
+        if self.line_fills == 0:
+            return 0.0
+        return self.read_miss_stall_cycles / (self.line_fills * self.memory_cycle)
+
+    def stall_percentage(self, bus_cycles_per_line: int) -> float:
+        """Figure 1's y axis: ``phi`` as a percentage of ``L/D``."""
+        if bus_cycles_per_line <= 0:
+            raise ValueError("bus_cycles_per_line must be positive")
+        return 100.0 * self.stall_factor / bus_cycles_per_line
+
+
+class TimingSimulator:
+    """Cycle-count simulation of an instruction stream.
+
+    Parameters
+    ----------
+    cache_config:
+        Data-cache geometry/policies.
+    memory:
+        Timing model — :class:`~repro.memory.MainMemory` or
+        :class:`~repro.memory.PipelinedMemory`.
+    policy:
+        Blocking behaviour during fills (Table 2).
+    write_buffer_depth:
+        ``None`` disables write buffers (copy-backs stall synchronously);
+        otherwise a read-bypassing buffer of that depth is used.
+    """
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        memory: MainMemory,
+        policy: StallPolicy = StallPolicy.FULL_STALL,
+        write_buffer_depth: int | None = None,
+        issue_rate: float = 1.0,
+    ) -> None:
+        if cache_config.line_size % memory.bus_width:
+            raise ValueError(
+                f"cache line ({cache_config.line_size}) must be a multiple "
+                f"of the bus width ({memory.bus_width})"
+            )
+        if issue_rate < 1.0:
+            raise ValueError(f"issue_rate must be >= 1, got {issue_rate}")
+        #: instructions retired per cycle when nothing stalls (Section 6
+        #: extension); memory stalls are serialization points and do not
+        #: scale with issue width.
+        self.issue_rate = float(issue_rate)
+        self.cache = Cache(cache_config)
+        self.memory = memory
+        self.policy = policy
+        self.engine = StallEngine(policy, memory.bus_width)
+        self.bus = Bus()
+        self.write_buffer = (
+            WriteBuffer(write_buffer_depth) if write_buffer_depth else None
+        )
+        self._active_fill: FillSchedule | None = None
+
+    def run(self, instructions: Iterable[Instruction]) -> TimingResult:
+        """Simulate a stream and return the cycle accounting."""
+        time = 0.0
+        read_miss_stall = 0.0
+        flush_stall = 0.0
+        write_stall = 0.0
+        count = 0
+
+        issue_cost = 1.0 / self.issue_rate
+        for inst in instructions:
+            count += 1
+            if inst.kind is OpKind.ALU:
+                time += issue_cost
+                continue
+            time, dr, df, dw = self._memory_op(inst, time)
+            read_miss_stall += dr
+            flush_stall += df
+            write_stall += dw
+
+        stats = self.cache.stats
+        return TimingResult(
+            instructions=count,
+            cycles=time,
+            read_miss_stall_cycles=read_miss_stall,
+            flush_stall_cycles=flush_stall,
+            write_stall_cycles=write_stall,
+            line_fills=stats.line_fills,
+            memory_cycle=self.memory.memory_cycle,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _memory_op(
+        self, inst: Instruction, time: float
+    ) -> tuple[float, float, float, float]:
+        """One load/store; returns (new_time, d_read, d_flush, d_write)."""
+        read_stall = flush_stall = write_stall = 0.0
+        amap = self.cache.address_map
+        line_address = amap.line_address(inst.address)
+        offset = amap.offset(inst.address)
+
+        # 1. Stalls imposed by an in-flight fill (partial policies).
+        fill = self._active_fill
+        if fill is not None and time < fill.end_time:
+            resume = self.engine.subsequent_access_resume(
+                fill,
+                AccessContext(
+                    time=time,
+                    line_address=line_address,
+                    offset_in_line=offset,
+                    would_hit=self.cache.contains(inst.address),
+                ),
+            )
+            read_stall += resume - time
+            time = resume
+        if fill is not None and time >= fill.end_time:
+            self._active_fill = None
+
+        # 2. Read-bypass conflict: a reference to a buffered dirty line
+        #    forces the write buffer to drain before memory is consistent.
+        if (
+            self.write_buffer is not None
+            and not self.cache.contains(inst.address)
+            and self.write_buffer.conflicts_with(line_address)
+        ):
+            drained = self.write_buffer.flush_all(time)
+            write_stall += drained - time
+            time = drained
+
+        # 3. The cache access itself.
+        if inst.kind is OpKind.LOAD:
+            outcome = self.cache.read(inst.address)
+        else:
+            outcome = self.cache.write(inst.address)
+
+        # 4. Memory-side consequences.
+        if outcome.fill_line:
+            time, dr, df = self._start_fill(line_address, offset, time, outcome)
+            read_stall += dr
+            flush_stall += df
+        if outcome.write_around or outcome.write_through:
+            duration = self.memory.write_duration(inst.size)
+            if self.write_buffer is not None:
+                stall = self.write_buffer.post(line_address, duration, time)
+                write_stall += stall
+                time += stall
+            else:
+                start = self.bus.reserve(time, duration)
+                done = start + duration
+                write_stall += done - time
+                time = done
+
+        # 5. The instruction's own issue slot.  Eq. (2) charges a missing
+        # load/store phi*beta_m (or beta_m for a write-around) *instead of*
+        # its issue slot — the (E - Lambda_m) term excludes misses — so
+        # the slot (1/issue_rate cycles) applies only to hits.
+        if not (outcome.fill_line or outcome.write_around):
+            time += 1.0 / self.issue_rate
+        return time, read_stall, flush_stall, write_stall
+
+    def _start_fill(
+        self,
+        line_address: int,
+        offset: int,
+        time: float,
+        outcome,
+    ) -> tuple[float, float, float]:
+        """Launch a line fill (and handle the victim copy-back)."""
+        read_stall = flush_stall = 0.0
+        line_size = self.cache.config.line_size
+
+        # Give the write buffer any idle bus time that has elapsed.
+        if self.write_buffer is not None:
+            freed = self.write_buffer.drain_idle(self.bus.busy_until, time)
+            if freed > self.bus.busy_until:
+                self.bus.busy_until = freed
+
+        duration = self.memory.line_fill_duration(line_size)
+        start = self.bus.reserve(time, duration)
+        schedule = self.memory.schedule_fill(line_address, line_size, offset, start)
+
+        resume = self.engine.miss_resume_time(schedule)
+        read_stall += max(0.0, resume - time)
+        time = max(time, resume)
+        if self.policy is StallPolicy.FULL_STALL:
+            self._active_fill = None
+        else:
+            self._active_fill = schedule
+
+        if outcome.flush_line_address is not None:
+            flush_duration = self.memory.copy_back_duration(line_size)
+            if self.write_buffer is not None:
+                stall = self.write_buffer.post(
+                    outcome.flush_line_address, flush_duration, time
+                )
+                flush_stall += stall
+                time += stall
+            else:
+                # Eq. (2) charges flushes exactly (alpha R / D) * beta_m —
+                # the transfer time, not any wait for the fill to clear the
+                # bus — so the processor stalls for the duration only; the
+                # bus reservation keeps occupancy accounting honest.
+                self.bus.reserve(time, flush_duration)
+                flush_stall += flush_duration
+                time += flush_duration
+        return time, read_stall, flush_stall

@@ -1,0 +1,100 @@
+"""Per-policy stall semantics during a line fill (paper Section 3.2).
+
+Given an in-flight fill and a subsequent memory access, each Table 2
+policy answers two questions:
+
+1. *miss resume* — after a miss issues its fill, when may the processor
+   continue?  FS waits for the whole line; every partial policy resumes
+   when the critical (requested) chunk arrives.
+2. *subsequent access* — a load/store issued while the fill is still in
+   progress may stall depending on what it touches:
+
+   ========  ===========================  ==========================
+   policy    access to the filling line    miss to another line
+   ========  ===========================  ==========================
+   BL        wait for fill end             wait for fill end (and any
+                                           *hit* also waits: the whole
+                                           cache bus is locked)
+   BNL1      wait for fill end             wait for fill end
+   BNL2      proceed if its chunk has      wait for fill end
+             arrived, else fill end
+   BNL3      wait for its chunk            wait for fill end
+   NB        wait for its chunk            wait for fill end
+   ========  ===========================  ==========================
+
+   (NB additionally does not stall on the *original* miss at all —
+   modelling an ideal non-blocking load whose value is not needed until
+   the data returns.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stalling import StallPolicy
+from repro.memory.mainmem import FillSchedule
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """What the engine needs to know about a pending access."""
+
+    time: float
+    line_address: int
+    offset_in_line: int
+    would_hit: bool
+
+
+class StallEngine:
+    """Implements the Table 2 blocking semantics for one policy."""
+
+    def __init__(self, policy: StallPolicy, bus_width: int) -> None:
+        self.policy = policy
+        self.bus_width = bus_width
+
+    def miss_resume_time(self, fill: FillSchedule) -> float:
+        """When the processor resumes after its own miss starts ``fill``."""
+        if self.policy is StallPolicy.FULL_STALL:
+            return fill.end_time
+        if self.policy is StallPolicy.NON_BLOCKING:
+            return fill.start_time  # ideal non-blocking load: no stall
+        return fill.first_arrival
+
+    def subsequent_access_resume(
+        self, fill: FillSchedule, access: AccessContext
+    ) -> float:
+        """Earliest time ``access`` may proceed while ``fill`` is active.
+
+        Returns ``access.time`` when no stall applies.  Callers must only
+        invoke this while ``access.time < fill.end_time``.
+        """
+        policy = self.policy
+        time = access.time
+        if policy is StallPolicy.FULL_STALL:
+            # FS never leaves a fill outstanding past the miss itself.
+            return time
+
+        on_fill_line = access.line_address == fill.line_address
+
+        if policy is StallPolicy.BUS_LOCKED:
+            # The cache bus is locked for the remainder of the fill:
+            # every load/store waits, hit or miss, any line.
+            return max(time, fill.end_time)
+
+        if not on_fill_line:
+            # BNL*/NB: other lines are accessible, but a second *miss*
+            # must wait for the single fill port to free up.
+            if access.would_hit:
+                return time
+            return max(time, fill.end_time)
+
+        # Access to the line currently being filled.
+        if policy is StallPolicy.BUS_NOT_LOCKED_1:
+            return max(time, fill.end_time)
+        word_arrival = fill.arrival_for_offset(access.offset_in_line, self.bus_width)
+        if policy is StallPolicy.BUS_NOT_LOCKED_2:
+            # Satisfied by a partially filled line only if the word is
+            # already there; otherwise wait for the entire line.
+            return time if word_arrival <= time else max(time, fill.end_time)
+        # BNL3 and NB: wait just for the word itself.
+        return max(time, word_arrival)

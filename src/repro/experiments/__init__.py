@@ -1,0 +1,13 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment exposes ``run(quick=False) -> ExperimentResult`` and is
+registered in :mod:`repro.experiments.registry`; the CLI
+(``python -m repro.experiments.runner``) runs any subset and writes text
+renderings and CSV series.  ``quick=True`` shrinks trace lengths and
+sweep densities for use in test suites and benchmarks.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment", "run_experiment"]

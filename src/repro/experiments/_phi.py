@@ -1,0 +1,82 @@
+"""Shared stall-factor measurement for the simulation-backed figures.
+
+Figures 1 and 3-5 all need trace-measured stalling factors.  This module
+builds the six SPEC92 stand-in traces once per (length, seed) and caches
+measured ``phi`` maps per (policy, geometry, beta grid) so that running
+several figures in one process does not re-simulate identical sweeps.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cache.cache import CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.stall_measure import average_stall_percentages
+from repro.trace.record import Instruction
+from repro.trace.spec92 import SPEC92_PROFILES
+
+#: Instruction counts for full and quick runs.  The paper used 50 M per
+#: program; the synthetic streams reach steady state much sooner.
+FULL_INSTRUCTIONS = 60_000
+QUICK_INSTRUCTIONS = 8_000
+
+
+@lru_cache(maxsize=4)
+def spec92_traces(n_instructions: int, seed: int = 7) -> dict[str, tuple[Instruction, ...]]:
+    """The six stand-in traces, materialized once per (length, seed)."""
+    return {
+        name: tuple(profile.trace(n_instructions, seed=seed))
+        for name, profile in SPEC92_PROFILES.items()
+    }
+
+
+@lru_cache(maxsize=32)
+def measured_phi_percentages(
+    policy: StallPolicy,
+    line_size: int,
+    cache_bytes: int,
+    associativity: int,
+    betas: tuple[float, ...],
+    bus_width: int,
+    n_instructions: int,
+) -> tuple[float, ...]:
+    """Average ``phi`` (% of L/D) across the six traces per ``beta_m``."""
+    traces = {
+        name: list(instructions)
+        for name, instructions in spec92_traces(n_instructions).items()
+    }
+    config = CacheConfig(
+        total_bytes=cache_bytes, line_size=line_size, associativity=associativity
+    )
+    data = average_stall_percentages(
+        traces, config, (policy,), list(betas), bus_width
+    )
+    return tuple(data[policy])
+
+
+def measured_phi_map(
+    policy: StallPolicy,
+    line_size: int,
+    betas: tuple[float, ...],
+    quick: bool,
+    cache_bytes: int = 8192,
+    associativity: int = 2,
+    bus_width: int = 4,
+) -> dict[float, float]:
+    """``beta_m -> phi`` (absolute stalling factor) for the ranking sweep."""
+    n_instructions = QUICK_INSTRUCTIONS if quick else FULL_INSTRUCTIONS
+    percentages = measured_phi_percentages(
+        policy,
+        line_size,
+        cache_bytes,
+        associativity,
+        betas,
+        bus_width,
+        n_instructions,
+    )
+    full = line_size / bus_width
+    return {
+        beta: max(1.0, pct / 100.0 * full)
+        for beta, pct in zip(betas, percentages)
+    }

@@ -1,0 +1,103 @@
+"""Shared builder for the Figures 3-5 unified-comparison sweeps."""
+
+from __future__ import annotations
+
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig
+from repro.core.ranking import unified_comparison
+from repro.core.stalling import StallPolicy
+from repro.experiments._phi import measured_phi_map
+from repro.experiments.base import ExperimentResult
+
+BASE_HIT_RATIO = 0.95
+FLUSH_RATIO = 0.5
+TURNAROUND = 2.0
+BUS_WIDTH = 4
+
+FULL_BETAS = tuple(float(b) for b in range(2, 21, 2))
+QUICK_BETAS = (2.0, 6.0, 10.0, 14.0, 20.0)
+
+_SERIES_LABELS = {
+    ArchFeature.DOUBLING_BUS: "doubling bus",
+    ArchFeature.WRITE_BUFFERS: "write buffers",
+    ArchFeature.PIPELINED_MEMORY: "pipelined mem",
+}
+
+
+def build_unified_figure(
+    experiment_id: str,
+    line_size: int,
+    stall_policy: StallPolicy,
+    quick: bool,
+) -> ExperimentResult:
+    """One Figure 3/4/5 panel: all feature curves plus the BNL curve.
+
+    ``stall_policy`` selects which measured partially-stalling feature
+    (BNL1 for Figures 3-4, BNL3 for Figure 5) appears alongside the
+    analytic curves.
+    """
+    betas = QUICK_BETAS if quick else FULL_BETAS
+    config = SystemConfig(
+        bus_width=BUS_WIDTH,
+        line_size=line_size,
+        memory_cycle=betas[0],
+        pipeline_turnaround=TURNAROUND,
+    )
+    phi_map = measured_phi_map(stall_policy, line_size, betas, quick)
+    comparison = unified_comparison(
+        config,
+        BASE_HIT_RATIO,
+        betas,
+        flush_ratio=FLUSH_RATIO,
+        measured_stall_factors=phi_map,
+    )
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Architectural tradeoff, 50% flushes, L={line_size}, D=4, "
+            f"q=2, base HR=95% ({stall_policy.value} measured)"
+        ),
+        x_label="non-pipelined memory cycle time per 4 bytes (beta_m)",
+        x_values=list(betas),
+    )
+    for feature, label in _SERIES_LABELS.items():
+        result.add_series(
+            label,
+            [100.0 * v for v in comparison.sweeps[feature].hit_ratio_traded],
+        )
+    result.add_series(
+        stall_policy.value,
+        [
+            100.0 * v
+            for v in comparison.sweeps[ArchFeature.PARTIAL_STALLING].hit_ratio_traded
+        ],
+    )
+
+    crossover = comparison.pipelined_crossover_vs(ArchFeature.DOUBLING_BUS)
+    if line_size == 2 * BUS_WIDTH:
+        expectation = (
+            "pipelining never overtakes doubling the bus at L = 2D "
+            "(paper Figure 3)"
+        )
+    else:
+        expectation = "paper: about five to six clock cycles for q=2, L/D>=2"
+    if crossover is None:
+        result.notes.append(f"pipelined-vs-bus crossover: none ({expectation}).")
+    else:
+        result.notes.append(
+            f"pipelined-vs-bus crossover at beta_m = {crossover:.2f} "
+            f"({expectation})."
+        )
+    ranking = comparison.ranking_at(betas[-1])
+    labels = [
+        _SERIES_LABELS.get(feature, stall_policy.value) for feature in ranking
+    ]
+    result.notes.append(
+        "ranking at beta_m="
+        f"{betas[-1]:.0f}: {' > '.join(labels)}"
+    )
+    result.notes.append(
+        "solid pipelined curve meets the x axis at beta_m = q = 2."
+    )
+    return result

@@ -1,0 +1,86 @@
+"""Ablation: constant-beta_m versus page-mode DRAM.
+
+Eq. (2) treats the memory cycle as a constant beta_m.  Real early-90s
+DRAM had fast-page mode, where a transfer inside the open row is much
+cheaper.  This ablation runs the six stand-in traces on a page-mode
+model, extracts the *effective* beta_m each workload saw, and checks the
+paper's abstraction: replaying the constant-cycle model at that
+effective beta_m reproduces the page-mode execution time within a few
+percent — sequential workloads see an effective cycle near the page-hit
+cost, scattered ones near the page-miss cost.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.experiments.base import ExperimentResult
+from repro.memory.dram import PageModeDram
+from repro.memory.mainmem import MainMemory
+from repro.trace.spec92 import SPEC92_PROFILES
+from repro.util.tables import format_table
+
+PAGE_HIT = 4.0
+PAGE_MISS = 12.0
+ROW_BYTES = 2048
+CACHE = CacheConfig(8192, 32, 2)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Page-mode vs constant-cycle execution time per program."""
+    length = 6_000 if quick else 20_000
+    result = ExperimentResult(
+        experiment_id="ablation_dram",
+        title=(
+            "Page-mode DRAM vs constant beta_m "
+            f"(hit {PAGE_HIT:.0f} / miss {PAGE_MISS:.0f} cycles, 2 KB rows)"
+        ),
+    )
+    rows = []
+    max_error = 0.0
+    for name, profile in SPEC92_PROFILES.items():
+        trace = profile.trace(length, seed=7)
+        dram = PageModeDram(PAGE_HIT, PAGE_MISS, ROW_BYTES, 4)
+        dram_run = TimingSimulator(
+            CACHE, dram, policy=StallPolicy.FULL_STALL
+        ).run(trace)
+        effective = dram.effective_memory_cycle()
+        flat_run = TimingSimulator(
+            CACHE, MainMemory(effective, 4), policy=StallPolicy.FULL_STALL
+        ).run(trace)
+        error = abs(flat_run.cycles - dram_run.cycles) / dram_run.cycles
+        max_error = max(max_error, error)
+        rows.append(
+            (
+                name,
+                f"{dram.page_hit_ratio:.0%}",
+                effective,
+                dram_run.cycles,
+                flat_run.cycles,
+                f"{100 * error:.2f}%",
+            )
+        )
+    result.tables.append(
+        format_table(
+            [
+                "program",
+                "page hits",
+                "effective beta_m",
+                "page-mode cycles",
+                "constant-cycle cycles",
+                "error",
+            ],
+            rows,
+        )
+    )
+    result.notes.append(
+        f"worst-case abstraction error {100 * max_error:.2f}% — the "
+        "paper's constant-beta_m model is a faithful stand-in once "
+        "beta_m is set to the workload's effective value."
+    )
+    result.notes.append(
+        "sequential programs ride the open row (high page-hit ratio, low "
+        "effective beta_m); scattered programs pay page misses."
+    )
+    return result

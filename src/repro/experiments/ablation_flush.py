@@ -1,0 +1,92 @@
+"""Ablation: sensitivity of the unified comparison to the flush ratio.
+
+The paper fixes alpha = 0.5 everywhere ("the other value of alpha can
+also be used", Section 5.1).  This ablation sweeps alpha over [0, 1] at
+the Figure 4 operating point and reports each feature's traded hit
+ratio, showing which conclusions are alpha-robust:
+
+* the bus > write buffers ranking holds for every alpha > 0 (at alpha=0
+  the write buffers have nothing to hide and drop to zero);
+* the pipelined crossover does NOT move with alpha (it cancels from the
+  crossover inequality — verified numerically here).
+"""
+
+from __future__ import annotations
+
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_miss_volume_ratio
+from repro.core.bus_width import miss_volume_ratio_for_doubling
+from repro.core.tradeoff import hit_ratio_traded
+from repro.experiments.base import ExperimentResult
+from repro.util.interp import crossover
+
+BASE_HIT_RATIO = 0.95
+FLUSH_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _crossover_for_alpha(alpha: float, line_size: int = 32) -> float | None:
+    betas = [2.0 + 0.25 * i for i in range(73)]  # 2 .. 20
+    pipe, bus = [], []
+    for beta in betas:
+        config = SystemConfig(4, line_size, beta, pipeline_turnaround=2.0)
+        pipe.append(hit_ratio_traded(pipelined_miss_volume_ratio(config, alpha), BASE_HIT_RATIO))
+        bus.append(
+            hit_ratio_traded(
+                miss_volume_ratio_for_doubling(config, alpha), BASE_HIT_RATIO
+            )
+        )
+    return crossover(betas, pipe, bus)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep alpha at (L=32, D=4, beta_m=8, q=2)."""
+    del quick
+    config = SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+    result = ExperimentResult(
+        experiment_id="ablation_flush",
+        title="Flush-ratio (alpha) sensitivity at L=32, D=4, beta_m=8",
+        x_label="flush ratio alpha",
+        x_values=list(FLUSH_GRID),
+    )
+    for feature in (
+        ArchFeature.DOUBLING_BUS,
+        ArchFeature.WRITE_BUFFERS,
+        ArchFeature.PIPELINED_MEMORY,
+    ):
+        traded = [
+            100.0
+            * hit_ratio_traded(
+                feature_miss_ratio(feature, config, alpha), BASE_HIT_RATIO
+            )
+            for alpha in FLUSH_GRID
+        ]
+        result.add_series(feature.value, traded)
+
+    bus = result.series[ArchFeature.DOUBLING_BUS.value]
+    buffers = result.series[ArchFeature.WRITE_BUFFERS.value]
+    interior = [
+        (b, w) for b, w, a in zip(bus, buffers, FLUSH_GRID) if 0.0 < a < 1.0
+    ]
+    ranking_holds = all(b > w for b, w in interior)
+    boundary_tie = abs(bus[-1] - buffers[-1]) < 1e-9
+    result.notes.append(
+        "bus > write buffers for every 0 < alpha < 1: "
+        + ("yes" if ranking_holds else "NO")
+    )
+    result.notes.append(
+        "at alpha = 1 the two tie exactly"
+        + (" (verified)" if boundary_tie else " — EXPECTED TIE MISSING")
+        + ": hiding all copy-backs equals halving all memory traffic."
+    )
+    crossings = {alpha: _crossover_for_alpha(alpha) for alpha in FLUSH_GRID}
+    values = [v for v in crossings.values() if v is not None]
+    spread = max(values) - min(values) if values else float("nan")
+    result.notes.append(
+        f"pipelined-vs-bus crossover vs alpha: spread {spread:.3f} cycles "
+        "(analytically zero — alpha cancels from the inequality)."
+    )
+    result.notes.append(
+        "at alpha=0 write buffers are worth exactly 0 (nothing to hide)."
+    )
+    return result

@@ -1,0 +1,62 @@
+"""Ablation: pipelined-memory turnaround q.
+
+The paper evaluates q = 2 as "the best possible implementation of a
+pipelined system" and notes the crossover against bus doubling sits at
+"about five or six clock cycles" for that q.  This ablation sweeps q and
+reports (a) the traded hit ratio at the Figure 4 operating point and
+(b) the closed-form crossover, showing how quickly a slower pipeline
+erodes the feature: the crossover grows linearly in q
+(``beta* = q (L/D - 1)/(L/2D - 1)``), so at q = 6 pipelining only pays
+for memories slower than ~14 cycles.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SystemConfig
+from repro.core.pipelined import (
+    pipelined_miss_volume_ratio,
+    pipelined_vs_doubling_crossover,
+)
+from repro.core.tradeoff import hit_ratio_traded
+from repro.experiments.base import ExperimentResult
+
+BASE_HIT_RATIO = 0.95
+Q_GRID = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep q at (L=32, D=4, beta_m=8) and report crossovers."""
+    del quick
+    result = ExperimentResult(
+        experiment_id="ablation_turnaround",
+        title="Pipeline turnaround (q) sensitivity at L=32, D=4, beta_m=8",
+        x_label="pipeline turnaround q (cycles)",
+        x_values=list(Q_GRID),
+    )
+    traded, crossovers = [], []
+    for q in Q_GRID:
+        config = SystemConfig(4, 32, 8.0, pipeline_turnaround=q)
+        traded.append(
+            100.0
+            * hit_ratio_traded(pipelined_miss_volume_ratio(config), BASE_HIT_RATIO)
+        )
+        crossovers.append(pipelined_vs_doubling_crossover(32, 4, q))
+    result.add_series("pipelined traded HR (%)", traded)
+    result.add_series("crossover beta_m", crossovers)
+
+    assert traded == sorted(traded, reverse=True)
+    result.notes.append(
+        "traded hit ratio falls monotonically with q: a slower pipeline "
+        "is directly a smaller feature."
+    )
+    per_q = crossovers[1] / Q_GRID[1]
+    result.notes.append(
+        f"crossover grows linearly at {per_q:.2f} cycles per unit q "
+        "(closed form: (L/D - 1)/(L/2D - 1))."
+    )
+    result.notes.append(
+        f"paper's q=2 point: crossover {crossovers[1]:.2f} "
+        "(the 'about five' claim); at q=6 it is "
+        f"{crossovers[4]:.1f} — pipelining only pays for slow memories."
+    )
+    return result

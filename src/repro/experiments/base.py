@@ -1,0 +1,82 @@
+"""Common result container for all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.ascii_plot import AsciiPlot
+from repro.util.csvout import series_to_csv, write_csv
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id matching the paper artifact (e.g. ``"figure3"``).
+    title:
+        Human-readable description.
+    x_label:
+        Meaning of :attr:`x_values` (empty for table-only experiments).
+    x_values:
+        Common abscissae for every series.
+    series:
+        ``name -> y values`` (same length as ``x_values``).
+    tables:
+        Pre-rendered text tables.
+    notes:
+        Findings and paper-agreement remarks, printed after the plot.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str = ""
+    x_values: list[float] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    tables: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        """Attach a series; must match the x grid length."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"x grid has {len(self.x_values)}"
+            )
+        self.series[name] = list(values)
+
+    def render(self) -> str:
+        """Full text rendering: plot (if any), tables, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.series:
+            plot = AsciiPlot(title="", xlabel=self.x_label, ylabel="")
+            for name, values in self.series.items():
+                plot.add_series(name, self.x_values, values)
+            parts.append(plot.render())
+        parts.extend(self.tables)
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def to_csv(self) -> str:
+        """CSV of the x grid and every series (empty when table-only)."""
+        if not self.series:
+            return ""
+        return series_to_csv(self.x_label or "x", self.x_values, self.series)
+
+    def save(self, directory: str | Path) -> list[Path]:
+        """Write ``<id>.txt`` and (when applicable) ``<id>.csv``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        text_path = directory / f"{self.experiment_id}.txt"
+        text_path.write_text(self.render() + "\n")
+        written.append(text_path)
+        csv_content = self.to_csv()
+        if csv_content:
+            written.append(write_csv(directory / f"{self.experiment_id}.csv", csv_content))
+        return written

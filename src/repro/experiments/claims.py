@@ -1,0 +1,248 @@
+"""The paper's quantitative claims as checkable objects.
+
+EXPERIMENTS.md records paper-vs-measured by hand; this module makes the
+comparison executable.  Each :class:`Claim` names the paper statement,
+where it appears, and a check function over the experiment results; the
+report generator (:mod:`repro.experiments.report`) runs the lot and
+prints a reproduction scorecard, and the test suite asserts every claim
+passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.experiments.base import ExperimentResult
+
+#: result map the checks receive: experiment id -> result.
+Results = dict[str, ExperimentResult]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper statement and its check."""
+
+    claim_id: str
+    section: str
+    statement: str
+    experiments: tuple[str, ...]
+    check: Callable[[Results], bool]
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    """A claim's verdict after running its check."""
+
+    claim: Claim
+    passed: bool
+    error: str = ""
+
+
+def _figure2_anchor(results: Results) -> bool:
+    series = results["figure2"].series["HR=98% L=8"]
+    return abs(series[0] - 3.0) < 0.05
+
+
+def _figure2_monotone(results: Results) -> bool:
+    result = results["figure2"]
+    for name, values in result.series.items():
+        if values != sorted(values, reverse=True):
+            return False
+    return True
+
+
+def _figure1_ordering(results: Results) -> bool:
+    series = results["figure1"].series
+    n = len(results["figure1"].x_values)
+    return all(
+        series["BNL3"][i]
+        <= min(series["BNL1"][i], series["BNL2"][i])
+        <= max(series["BNL1"][i], series["BNL2"][i])
+        <= series["BL"][i]
+        for i in range(n)
+    )
+
+
+def _figure1_rising(results: Results) -> bool:
+    return all(
+        values == sorted(values)
+        for values in results["figure1"].series.values()
+    )
+
+
+def _figure3_no_crossover(results: Results) -> bool:
+    series = results["figure3"].series
+    return all(
+        p < b for p, b in zip(series["pipelined mem"], series["doubling bus"])
+    )
+
+
+def _figure4_crossover_band(results: Results) -> bool:
+    note = next(
+        n for n in results["figure4"].notes if "crossover at beta_m" in n
+    )
+    value = float(note.split("beta_m = ")[1].split(" ")[0])
+    return 4.0 <= value <= 6.0
+
+
+def _figure45_ranking(results: Results) -> bool:
+    for figure, stall in (("figure4", "BNL1"), ("figure5", "BNL3")):
+        series = results[figure].series
+        n = len(results[figure].x_values)
+        if not all(
+            series["doubling bus"][i]
+            > series["write buffers"][i]
+            > series[stall][i]
+            for i in range(n)
+        ):
+            return False
+    return True
+
+
+def _pipelined_zero_at_q(results: Results) -> bool:
+    for figure in ("figure3", "figure4", "figure5"):
+        result = results[figure]
+        index = result.x_values.index(2.0)
+        if abs(result.series["pipelined mem"][index]) > 1e-9:
+            return False
+    return True
+
+
+def _figure6_agreement(results: Results) -> bool:
+    return "agree at every swept bus speed: yes" in " ".join(
+        results["figure6"].notes
+    )
+
+
+def _figure6_panels(results: Results) -> bool:
+    table = results["figure6"].tables[0]
+    return all(
+        line.strip().endswith("yes")
+        for line in table.splitlines()
+        if line.strip().startswith(("a ", "b ", "c ", "d "))
+    )
+
+
+def _example1_pairs(results: Results) -> bool:
+    rendered = results["example1"].render()
+    return "32K + 32-bit bus" in rendered and "128K + 32-bit bus" in rendered
+
+
+def _bnl3_reduction_band(results: Results) -> bool:
+    result = results["figure1"]
+    reductions = [
+        100.0 - v
+        for beta, v in zip(result.x_values, result.series["BNL3"])
+        if beta < 15
+    ]
+    # Band must overlap the paper's 20-30 % and stay plausible (< 55 %).
+    return reductions and max(reductions) >= 20.0 and max(reductions) < 55.0
+
+
+#: The paper's evaluation claims, in section order.
+CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        "fig1-ordering",
+        "Figure 1 / Section 4.2",
+        "Stalling factors are very high for BL, BNL1 and BNL2; BNL3 is lowest",
+        ("figure1",),
+        _figure1_ordering,
+    ),
+    Claim(
+        "fig1-rising",
+        "Figure 1",
+        "A longer memory latency has more stalling occurrences",
+        ("figure1",),
+        _figure1_rising,
+    ),
+    Claim(
+        "fig1-bnl3-band",
+        "Section 5.3 / summary",
+        "BNL3 cuts full-blocking read-miss latency 20-30% for beta_m < 15",
+        ("figure1",),
+        _bnl3_reduction_band,
+    ),
+    Claim(
+        "fig2-anchor",
+        "Section 5.1",
+        "At L=8, beta_m=2, a 3% hit-ratio increase trades a 64-bit bus",
+        ("figure2",),
+        _figure2_anchor,
+    ),
+    Claim(
+        "fig2-monotone",
+        "Section 5.1",
+        "The traded hit ratio falls as the memory cycle time grows",
+        ("figure2",),
+        _figure2_monotone,
+    ),
+    Claim(
+        "fig3-no-crossover",
+        "Figure 3",
+        "At L = 2D pipelining never overtakes doubling the bus",
+        ("figure3",),
+        _figure3_no_crossover,
+    ),
+    Claim(
+        "fig4-crossover",
+        "Section 5.3 / summary",
+        "Pipelining overtakes the bus at about five clocks (L/D >= 2, q=2)",
+        ("figure4",),
+        _figure4_crossover_band,
+    ),
+    Claim(
+        "fig45-ranking",
+        "Section 5.3 / summary",
+        "Best order: doubling bus > write buffers > bus-not-locked",
+        ("figure4", "figure5"),
+        _figure45_ranking,
+    ),
+    Claim(
+        "eq9-zero-at-q",
+        "Section 4.4",
+        "At beta_m = q the pipelined system equals the non-pipelined one",
+        ("figure3", "figure4", "figure5"),
+        _pipelined_zero_at_q,
+    ),
+    Claim(
+        "fig6-smith",
+        "Section 5.4.2",
+        "Eq. 19's optimal line sizes exactly match Smith's",
+        ("figure6",),
+        _figure6_agreement,
+    ),
+    Claim(
+        "fig6-panels",
+        "Figure 6",
+        "All four annotated panel optima are reproduced",
+        ("figure6",),
+        _figure6_panels,
+    ),
+    Claim(
+        "example1-pairs",
+        "Section 5.2",
+        "64-bit+8K == 32-bit+32K and 64-bit+32K == 32-bit+128K",
+        ("example1",),
+        _example1_pairs,
+    ),
+)
+
+
+def evaluate_claims(results: Results) -> list[ClaimOutcome]:
+    """Check every claim whose experiments are present in ``results``."""
+    outcomes = []
+    for claim in CLAIMS:
+        missing = [e for e in claim.experiments if e not in results]
+        if missing:
+            outcomes.append(
+                ClaimOutcome(
+                    claim, False, f"missing experiments: {', '.join(missing)}"
+                )
+            )
+            continue
+        try:
+            outcomes.append(ClaimOutcome(claim, bool(claim.check(results))))
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            outcomes.append(ClaimOutcome(claim, False, repr(error)))
+    return outcomes

@@ -1,0 +1,78 @@
+"""Example 1 (Section 5.2) — bus width versus cache size implications.
+
+Case 1: a 64-bit-bus/8 KB-cache processor matches a 32-bit-bus/32 KB
+processor.  Case 2: a 64-bit-bus/32 KB processor matches a 32-bit-bus/
+128 KB processor.  Both follow from the asymptotic rule
+``HR2 = 2 HR1 - 1`` applied to the Short & Levy hit-ratio curve.  The
+experiment also prices each alternative in package pins and cache area.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.chip_area import CacheAreaModel, bus_width_pin_delta
+from repro.analysis.short_levy import SHORT_LEVY_HIT_RATIOS, short_levy_curve
+from repro.core.bus_width import asymptotic_hit_ratio
+from repro.experiments.base import ExperimentResult
+from repro.util.tables import format_table
+
+KIB = 1024
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Evaluate both cases and the pin/area pricing."""
+    del quick
+    curve = short_levy_curve()
+    area = CacheAreaModel()
+    result = ExperimentResult(
+        experiment_id="example1",
+        title="Bus width vs cache size (Short & Levy hit ratios)",
+    )
+
+    rows = []
+    for big_cache in (32 * KIB, 128 * KIB):
+        big_hr = curve.hit_ratio(big_cache)
+        small_hr = asymptotic_hit_ratio(big_hr)
+        small_cache = curve.size_for_hit_ratio(small_hr)
+        rows.append(
+            (
+                f"{big_cache // KIB}K + 32-bit bus",
+                f"{big_hr:.4f}",
+                f"{small_cache / KIB:.0f}K + 64-bit bus",
+                f"{small_hr:.4f}",
+            )
+        )
+    result.tables.append(
+        format_table(
+            ["wide-cache system", "its HR", "equal-performance system", "its HR"],
+            rows,
+            title="Equal-performance pairs (asymptotic rule HR2 = 2*HR1 - 1)",
+        )
+    )
+
+    pin_cost = bus_width_pin_delta(32, 64)
+    area_8_32 = area.area_ratio(32 * KIB, 8 * KIB, line_size=32, associativity=2)
+    area_32_128 = area.area_ratio(128 * KIB, 32 * KIB, line_size=32, associativity=2)
+    result.tables.append(
+        format_table(
+            ["alternative", "cost"],
+            [
+                ("double the 32-bit bus", f"+{pin_cost:.0f} package pins"),
+                ("8K -> 32K cache", f"{area_8_32:.2f}x cache area"),
+                ("32K -> 128K cache", f"{area_32_128:.2f}x cache area"),
+            ],
+            title="What each side of the trade costs",
+        )
+    )
+    result.notes.append(
+        "Small caches: quadrupling 8K is a modest area cost and saves 40+ "
+        "pins.  Large caches: the same performance step needs 4x of an "
+        "already-large array, so widening the bus becomes the better buy "
+        "(paper Section 5.2)."
+    )
+    result.notes.append(
+        "Hit ratios: 8K=91%, 32K=95.5% (Short & Levy), 128K=97.75% "
+        "(implied by Case 2)."
+    )
+    for size, ratio in sorted(SHORT_LEVY_HIT_RATIOS.items()):
+        result.notes.append(f"  anchor: {int(size) // KIB}K -> {ratio:.2%}")
+    return result

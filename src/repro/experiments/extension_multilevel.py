@@ -1,0 +1,117 @@
+"""Extension: the tradeoff methodology with a two-level cache hierarchy.
+
+Section 4.5's equivalence argument only needs the mean memory delay per
+reference, so the whole methodology survives an L2: fold the L2 into an
+*effective* memory cycle time and every Section 4/5 result applies
+unchanged.  This experiment demonstrates it:
+
+* an L2 slashes the effective beta_m the L1 sees — e.g. from 12 clocks
+  of DRAM toward the 2-3 clock L2 SRAM cost, per workload;
+* the Figures 3-5 conclusions then follow at the *effective* operating
+  point: adding an L2 moves designs from "pipelining wins" territory
+  back to "doubling the bus wins" (the crossover is at ~4.7 clocks).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheConfig
+from repro.cache.multilevel import single_level_equivalent
+from repro.core.bus_width import miss_volume_ratio_for_doubling
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_miss_volume_ratio
+from repro.experiments.base import ExperimentResult
+from repro.trace.spec92 import SPEC92_PROFILES
+from repro.util.tables import format_table
+
+L1 = CacheConfig(8192, 32, 2)
+L2 = CacheConfig(128 * 1024, 32, 4)
+L2_HIT_CYCLES = 2.0
+MEMORY_CYCLE = 12.0
+
+
+def _l2_sized_traces(length: int) -> dict[str, list]:
+    """Workloads whose working sets land between L1 and L2 — the regime
+    an L2 is built for (the SPEC92 stand-ins mostly stream past it)."""
+    import random
+
+    from repro.trace.synthetic import SyntheticTraceBuilder, working_set
+
+    traces = {}
+    for name, hot_kib in (("ws-16K", 16), ("ws-32K", 32)):
+        rng = random.Random(11)
+        builder = SyntheticTraceBuilder(seed=11, loadstore_fraction=0.3)
+        pattern = working_set(
+            0, hot_kib * 1024, 1 << 20, hot_probability=0.97, rng=rng, align=8
+        )
+        # Long enough that the hot set is resident, not compulsory-missing.
+        traces[name] = builder.build(pattern, max(length, 6 * hot_kib * 256))
+    return traces
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Effective beta_m per workload and the resulting feature winner."""
+    length = 10_000 if quick else 40_000
+    result = ExperimentResult(
+        experiment_id="extension_multilevel",
+        title=(
+            "Two-level hierarchy folded into an effective beta_m "
+            f"(8K L1 + 128K L2, L2 hit {L2_HIT_CYCLES:g}, memory {MEMORY_CYCLE:g})"
+        ),
+    )
+    traces = {
+        name: profile.trace(length, seed=7)
+        for name, profile in SPEC92_PROFILES.items()
+    }
+    traces.update(_l2_sized_traces(length))
+    rows = []
+    for name, trace in traces.items():
+        stats, beta_eff = single_level_equivalent(
+            trace, L1, L2, L2_HIT_CYCLES, MEMORY_CYCLE
+        )
+        config = SystemConfig(4, 32, beta_eff, pipeline_turnaround=2.0)
+        bus_r = miss_volume_ratio_for_doubling(config, 0.5)
+        pipe_r = pipelined_miss_volume_ratio(config, 0.5)
+        winner = "pipelined" if pipe_r > bus_r else "doubling bus"
+        rows.append(
+            (
+                name,
+                f"{stats.l1_miss_ratio:.1%}",
+                f"{stats.l2_local_miss_ratio:.1%}",
+                beta_eff,
+                winner,
+            )
+        )
+    result.tables.append(
+        format_table(
+            ["program", "L1 MR", "L2 local MR", "effective beta_m", "best feature"],
+            rows,
+        )
+    )
+
+    no_l2_winner = (
+        "pipelined"
+        if pipelined_miss_volume_ratio(
+            SystemConfig(4, 32, MEMORY_CYCLE, pipeline_turnaround=2.0), 0.5
+        )
+        > miss_volume_ratio_for_doubling(
+            SystemConfig(4, 32, MEMORY_CYCLE, pipeline_turnaround=2.0), 0.5
+        )
+        else "doubling bus"
+    )
+    winners = {row[0]: row[4] for row in rows}
+    flipped = [name for name, winner in winners.items() if winner != no_l2_winner]
+    result.notes.append(
+        f"without an L2 (beta_m = {MEMORY_CYCLE:g}) the best feature is "
+        f"{no_l2_winner}; with the L2, the effective beta_m drops below "
+        f"the ~4.7-cycle crossover and flips the winner for: "
+        f"{', '.join(flipped) if flipped else 'none'}."
+    )
+    result.notes.append(
+        "streaming stand-ins blow through the 128K L2 (local MR ~100%): "
+        "for them the L2 only adds its lookup tax (effective beta_m "
+        "slightly ABOVE memory) — an L2 is not free; workloads with "
+        "L2-sized working sets (ws-16K/32K) get effective beta_m near "
+        "the SRAM cost.  Either way Eq. (2) applies unchanged at the "
+        "effective operating point (Section 4.5)."
+    )
+    return result

@@ -1,0 +1,70 @@
+"""Extension: where in Table 2's NB interval does a real design land?
+
+Table 2 bounds the non-blocking stalling factor by ``0 <= phi <= L/D``
+without picking a point — the location depends on how soon a missing
+load's value is consumed.  This extension sweeps that load-use distance
+on the MSHR simulator: distance 0 (consumer right behind the load) is
+blocking-on-use, large distances recover the ideal NB bound.  The
+resulting curve interpolates phi across the paper's interval and shows
+the compiler-scheduling headroom a non-blocking cache needs to pay off —
+the "register preloading" Section 3.3 alludes to.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheConfig
+from repro.cpu.nonblocking import MSHRSimulator
+from repro.experiments.base import ExperimentResult
+from repro.memory.mainmem import MainMemory
+from repro.trace.spec92 import SPEC92_PROFILES
+
+CACHE = CacheConfig(8192, 32, 2)
+BETA_M = 8.0
+BUS_WIDTH = 4
+FULL_DISTANCES = (0.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+QUICK_DISTANCES = (0.0, 4.0, 16.0, 64.0)
+PROGRAMS = ("swm256", "ear", "doduc")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """NB phi (% of L/D) versus load-use distance, per program."""
+    distances = QUICK_DISTANCES if quick else FULL_DISTANCES
+    length = 6_000 if quick else 20_000
+    result = ExperimentResult(
+        experiment_id="extension_nb_dependency",
+        title=(
+            "Non-blocking cache phi vs load-use distance "
+            f"(4 MSHRs, beta_m={BETA_M:g})"
+        ),
+        x_label="load-use distance (instructions)",
+        x_values=list(distances),
+    )
+    for name in PROGRAMS:
+        trace = SPEC92_PROFILES[name].trace(length, seed=7)
+        row = []
+        for distance in distances:
+            simulator = MSHRSimulator(
+                CACHE,
+                MainMemory(BETA_M, BUS_WIDTH),
+                mshr_count=4,
+                load_use_distance=distance,
+            )
+            row.append(simulator.run(trace).stall_percentage(8))
+        result.add_series(name, row)
+
+    worst_at_zero = max(result.series[name][0] for name in PROGRAMS)
+    best_at_end = min(result.series[name][-1] for name in PROGRAMS)
+    result.notes.append(
+        f"measured phi only moves from {worst_at_zero:.0f}% down to "
+        f"{best_at_end:.0f}% of L/D across the whole distance sweep: "
+        "scheduling headroom hides the missing load's own wait, but the "
+        "*subsequent* accesses to the in-flight line still stall for "
+        "their words, and those dominate."
+    )
+    result.notes.append(
+        "so even with perfect compiler scheduling, NB phi stays far from "
+        "Table 2's 0 lower bound on locality-rich codes — a sharper, "
+        "measured version of the paper's Section 5.3 caution about "
+        "non-blocking caches."
+    )
+    return result

@@ -1,0 +1,109 @@
+"""Extension: software tiling versus hardware features.
+
+The paper prices hardware features in hit ratio; compilers buy hit ratio
+directly by restructuring loops.  This extension runs an exact blocked
+matmul reference stream (``repro.trace.loops``) across tile sizes and
+prices both sides in the same currency:
+
+* each tile size's *measured* hit-ratio gain over the untiled nest;
+* the hit-ratio worth of doubling the bus and of pipelining the memory
+  at each variant's operating point (Eq. 6).
+
+The finding: moderate tiles out-buy every hardware feature at once, and
+because Eq. 6 scales with ``1 - HR``, every hardware feature is worth
+*less after* the software fix — software and hardware compete for the
+same shrinking miss budget.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.bus_width import doubling_tradeoff
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_tradeoff
+from repro.experiments.base import ExperimentResult
+from repro.trace.loops import square_matmul_trace
+from repro.trace.record import OpKind
+from repro.util.tables import format_table
+
+CACHE = CacheConfig(8192, 32, 2)
+CONFIG = SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+FULL_N = 48
+QUICK_N = 32
+TILES = (None, 4, 8, 16)
+
+
+def _hit_ratio(trace) -> float:
+    cache = Cache(CACHE)
+    for inst in trace:
+        if inst.kind is OpKind.LOAD:
+            cache.read(inst.address)
+        elif inst.kind is OpKind.STORE:
+            cache.write(inst.address)
+    return cache.stats.hit_ratio
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Hit ratio and feature worth per tile size."""
+    n = QUICK_N if quick else FULL_N
+    result = ExperimentResult(
+        experiment_id="extension_software_tiling",
+        title=(
+            f"Software tiling vs hardware features ({n}x{n} matmul, "
+            "8K 2-way, beta_m=8)"
+        ),
+    )
+    rows = []
+    gains: list[float] = []
+    feature_worth: list[tuple[float, float]] = []
+    base_hr = None
+    for tile in TILES:
+        trace = square_matmul_trace(n, tile=tile)
+        hit_ratio = _hit_ratio(trace)
+        if base_hr is None:
+            base_hr = hit_ratio
+        gains.append(hit_ratio - base_hr)
+        bus = doubling_tradeoff(CONFIG, hit_ratio).hit_ratio_delta
+        pipe = pipelined_tradeoff(CONFIG, hit_ratio).hit_ratio_delta
+        feature_worth.append((bus, pipe))
+        rows.append(
+            (
+                "untiled" if tile is None else f"tile {tile}",
+                f"{hit_ratio:.1%}",
+                f"{hit_ratio - base_hr:+.1%}",
+                f"{bus:.2%}",
+                f"{pipe:.2%}",
+            )
+        )
+    result.tables.append(
+        format_table(
+            [
+                "variant",
+                "hit ratio",
+                "tiling gain",
+                "2x bus worth",
+                "pipelining worth",
+            ],
+            rows,
+        )
+    )
+    best_gain = max(gains[1:])
+    untiled_bus, untiled_pipe = feature_worth[0]
+    comparison = (
+        "out-buying every single hardware feature"
+        if best_gain > max(untiled_bus, untiled_pipe)
+        else "comparable to the hardware features"
+    )
+    result.notes.append(
+        f"the best tile buys {best_gain:+.1%} of hit ratio vs the untiled "
+        f"nest ({comparison} at this matrix size; the gap widens as the "
+        "matrices outgrow the cache further)."
+    )
+    best_index = max(range(1, len(gains)), key=lambda i: gains[i])
+    worth_drop = untiled_pipe - feature_worth[best_index][1]
+    result.notes.append(
+        f"after the best tiling, pipelining's Eq. 6 worth drops by "
+        f"{worth_drop:.1%} (the (1 - HR) factor): software restructuring "
+        "and hardware features compete for the same miss budget."
+    )
+    return result

@@ -1,0 +1,21 @@
+"""Figure 3 — architectural tradeoff for L = 8 bytes.
+
+Hit ratio traded (Eq. 6) by doubling the bus, read-bypassing write
+buffers, the measured BNL1 feature, and a pipelined memory system, all
+against the full-stalling non-pipelined baseline at base HR = 95 %,
+alpha = 0.5, D = 4 B, q = 2.  At L/D = 2, pipelining never overtakes
+doubling the bus.
+"""
+
+from __future__ import annotations
+
+from repro.core.stalling import StallPolicy
+from repro.experiments._unified import build_unified_figure
+from repro.experiments.base import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Build the L=8 unified-comparison sweep."""
+    return build_unified_figure(
+        "figure3", line_size=8, stall_policy=StallPolicy.BUS_NOT_LOCKED_1, quick=quick
+    )

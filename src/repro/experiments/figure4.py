@@ -1,0 +1,19 @@
+"""Figure 4 — architectural tradeoff for L = 32 bytes.
+
+Same sweep as Figure 3 at L/D = 8: the pipelined memory system now
+overtakes doubling the bus at beta_m around five cycles and trades a
+large hit ratio at long memory cycle times.
+"""
+
+from __future__ import annotations
+
+from repro.core.stalling import StallPolicy
+from repro.experiments._unified import build_unified_figure
+from repro.experiments.base import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Build the L=32 unified-comparison sweep (BNL1 measured)."""
+    return build_unified_figure(
+        "figure4", line_size=32, stall_policy=StallPolicy.BUS_NOT_LOCKED_1, quick=quick
+    )

@@ -1,0 +1,19 @@
+"""Figure 5 — architectural tradeoff for BNL3, L = 32 bytes.
+
+Same as Figure 4 but the measured partially-stalling curve is BNL3 —
+subsequent accesses stall only until their own word arrives — which has
+a markedly higher payoff than BNL1 when the memory cycle time is small.
+"""
+
+from __future__ import annotations
+
+from repro.core.stalling import StallPolicy
+from repro.experiments._unified import build_unified_figure
+from repro.experiments.base import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Build the L=32 unified-comparison sweep (BNL3 measured)."""
+    return build_unified_figure(
+        "figure5", line_size=32, stall_policy=StallPolicy.BUS_NOT_LOCKED_3, quick=quick
+    )

@@ -1,0 +1,77 @@
+"""Experiment registry: ids -> run callables."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation_cache_geometry,
+    ablation_dram,
+    ablation_flush,
+    ablation_latency_hiding,
+    ablation_turnaround,
+    ablation_write_buffer_depth,
+    example1,
+    extension_interleaving,
+    extension_mshr,
+    extension_nb_dependency,
+    extension_software_tiling,
+    extension_multilevel,
+    extension_multiprogramming,
+    extension_traffic,
+    figure1,
+    figure1_eq8,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table2,
+    table3,
+)
+from repro.experiments.base import ExperimentResult
+
+#: Every reproducible paper artifact, in paper order.
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "figure1": figure1.run,
+    "figure1_eq8": figure1_eq8.run,
+    "figure2": figure2.run,
+    "example1": example1.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    # Ablations of the paper's fixed modelling choices (DESIGN.md).
+    "ablation_flush": ablation_flush.run,
+    "ablation_turnaround": ablation_turnaround.run,
+    "ablation_cache_geometry": ablation_cache_geometry.run,
+    "ablation_dram": ablation_dram.run,
+    "ablation_latency_hiding": ablation_latency_hiding.run,
+    "ablation_write_buffer_depth": ablation_write_buffer_depth.run,
+    # Extensions beyond the paper (DESIGN.md: open curves it names).
+    "extension_mshr": extension_mshr.run,
+    "extension_interleaving": extension_interleaving.run,
+    "extension_traffic": extension_traffic.run,
+    "extension_multiprogramming": extension_multiprogramming.run,
+    "extension_multilevel": extension_multilevel.run,
+    "extension_nb_dependency": extension_nb_dependency.run,
+    "extension_software_tiling": extension_software_tiling.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[bool], ExperimentResult]:
+    """Look up one experiment's run callable by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(quick)

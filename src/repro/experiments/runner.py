@@ -1,0 +1,96 @@
+"""Command-line experiment runner.
+
+Examples::
+
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner figure3 figure4 --quick
+    python -m repro.experiments.runner --all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'A Unified Architectural "
+            "Tradeoff Methodology' (Chen & Somani, ISCA 1994)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (available: {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller traces and sparser sweeps (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write <id>.txt and <id>.csv into DIR",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="run the paper experiments, check every claim, write a "
+        "markdown reproduction scorecard to FILE, and print it",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit status."""
+    args = _parse_args(argv)
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if args.report:
+        from repro.experiments.report import write_report
+
+        path = write_report(args.report, quick=args.quick)
+        print(path.read_text())
+        print(f"[report written to {path}]")
+        return 0
+    ids = list(EXPERIMENTS) if args.all else args.experiments
+    if not ids:
+        print("nothing to run: pass experiment ids or --all", file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, quick=args.quick)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+        if args.out:
+            for path in result.save(args.out):
+                print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Generic parameter-sweep driver.
+
+The figures sweep fixed grids; designers want their own.  ``sweep``
+evaluates any feature's traded hit ratio over a cartesian product of
+parameter ranges and returns a flat record list, exposed on the CLI as
+``python -m repro sweep``.
+
+Sweepable parameters: ``memory_cycle``, ``line_size``, ``bus_width``,
+``pipeline_turnaround``, ``flush_ratio``, ``base_hit_ratio``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import hit_ratio_traded
+
+#: Defaults for any parameter not swept.
+DEFAULTS = {
+    "memory_cycle": 8.0,
+    "line_size": 32.0,
+    "bus_width": 4.0,
+    "pipeline_turnaround": 2.0,
+    "flush_ratio": 0.5,
+    "base_hit_ratio": 0.95,
+}
+
+SWEEPABLE = tuple(DEFAULTS)
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated grid point."""
+
+    parameters: dict[str, float]
+    miss_volume_ratio: float
+    hit_ratio_traded: float
+
+
+def parse_range(spec: str) -> list[float]:
+    """Parse ``start:stop:step`` (inclusive) or a comma list into floats.
+
+    ``"2:8:2"`` -> [2, 4, 6, 8]; ``"0.9,0.95,0.98"`` -> as given.
+    """
+    spec = spec.strip()
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"range spec must be start:stop:step, got {spec!r}")
+        start, stop, step = (float(p) for p in parts)
+        if step <= 0 or stop < start:
+            raise ValueError(f"bad range {spec!r}")
+        values = []
+        value = start
+        while value <= stop + 1e-9:
+            values.append(round(value, 10))
+            value += step
+        return values
+    return [float(p) for p in spec.split(",") if p.strip()]
+
+
+def sweep(
+    feature: ArchFeature,
+    ranges: dict[str, list[float]],
+    measured_stall_factor: float | None = None,
+) -> list[SweepRecord]:
+    """Evaluate ``feature`` over the cartesian product of ``ranges``.
+
+    Grid points with invalid geometry (e.g. L < 2D for bus doubling)
+    are skipped rather than fatal — sweeps cross validity borders.
+    """
+    unknown = [name for name in ranges if name not in SWEEPABLE]
+    if unknown:
+        raise ValueError(
+            f"unsweepable parameter(s) {unknown}; choose from {SWEEPABLE}"
+        )
+    if not ranges:
+        raise ValueError("nothing to sweep")
+    names = list(ranges)
+    records = []
+    for values in product(*(ranges[name] for name in names)):
+        point = dict(DEFAULTS)
+        point.update(dict(zip(names, values)))
+        try:
+            config = SystemConfig(
+                bus_width=int(point["bus_width"]),
+                line_size=int(point["line_size"]),
+                memory_cycle=point["memory_cycle"],
+                pipeline_turnaround=point["pipeline_turnaround"],
+            )
+            r = feature_miss_ratio(
+                feature,
+                config,
+                flush_ratio=point["flush_ratio"],
+                measured_stall_factor=measured_stall_factor,
+            )
+            traded = hit_ratio_traded(r, point["base_hit_ratio"])
+        except ValueError:
+            continue
+        records.append(
+            SweepRecord(
+                parameters={name: point[name] for name in names},
+                miss_volume_ratio=r,
+                hit_ratio_traded=traded,
+            )
+        )
+    return records
+
+
+def records_to_csv(records: list[SweepRecord]) -> str:
+    """Flatten sweep records to CSV (columns: parameters, r, delta_HR)."""
+    if not records:
+        return ""
+    names = list(records[0].parameters)
+    lines = [",".join([*names, "r", "hit_ratio_traded"])]
+    for record in records:
+        lines.append(
+            ",".join(
+                [
+                    *(str(record.parameters[name]) for name in names),
+                    str(record.miss_volume_ratio),
+                    str(record.hit_ratio_traded),
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,49 @@
+"""Table 2 — processor stalling features and their stalling-factor bounds."""
+
+from __future__ import annotations
+
+from repro.core.stalling import StallPolicy, stall_factor_bounds
+from repro.experiments.base import ExperimentResult
+from repro.util.tables import format_table
+
+_DESCRIPTIONS = {
+    StallPolicy.FULL_STALL: "full stalling",
+    StallPolicy.BUS_LOCKED: "bus-locked",
+    StallPolicy.BUS_NOT_LOCKED_1: "bus-not-locked (stall to fill end)",
+    StallPolicy.BUS_NOT_LOCKED_2: "bus-not-locked (stall if part missing)",
+    StallPolicy.BUS_NOT_LOCKED_3: "bus-not-locked (stall for the word)",
+    StallPolicy.NON_BLOCKING: "non-blocking",
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Render Table 2 for a representative set of L/D ratios."""
+    del quick  # table is analytic; nothing to shrink
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Processor stalling features (stalling factor bounds)",
+    )
+    for ratio in (2, 8):
+        rows = []
+        for policy in StallPolicy:
+            bounds = stall_factor_bounds(policy, ratio)
+            rows.append(
+                (
+                    policy.value,
+                    _DESCRIPTIONS[policy],
+                    bounds.minimum,
+                    bounds.maximum,
+                )
+            )
+        result.tables.append(
+            format_table(
+                ["feature", "description", "phi min", "phi max"],
+                rows,
+                title=f"L/D = {ratio}",
+            )
+        )
+    result.notes.append(
+        "FS pins phi to L/D; BL/BNL variants have phi in [1, L/D]; "
+        "NB admits phi down to 0 (paper Table 2)."
+    )
+    return result

@@ -1,0 +1,29 @@
+"""Memory-system substrate: main memory, pipelined memory, bus, write buffer.
+
+These models supply *timing* — when each D-byte chunk of a line fill
+arrives, when a copy-back completes — while :mod:`repro.cache` supplies
+*state*.  The CPU timing simulator composes the two.
+"""
+
+from repro.memory.bus import Bus
+from repro.memory.dram import PageModeDram
+from repro.memory.interleaved import (
+    InterleavedMemory,
+    banks_for_turnaround,
+    effective_turnaround,
+)
+from repro.memory.mainmem import FillSchedule, MainMemory
+from repro.memory.pipelined import PipelinedMemory
+from repro.memory.write_buffer import WriteBuffer
+
+__all__ = [
+    "Bus",
+    "MainMemory",
+    "PipelinedMemory",
+    "PageModeDram",
+    "InterleavedMemory",
+    "banks_for_turnaround",
+    "effective_turnaround",
+    "FillSchedule",
+    "WriteBuffer",
+]

@@ -1,0 +1,40 @@
+"""External data bus occupancy model.
+
+A single shared resource: line fills, copy-backs and write-arounds all
+serialize on it.  The bus does not know what a transfer means — it only
+guarantees transfers never overlap and reports when each one starts.
+"""
+
+from __future__ import annotations
+
+
+class Bus:
+    """Serializes transfers; tracks utilization for reporting."""
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.busy_cycles = 0.0
+        self.transfers = 0
+
+    def reserve(self, earliest_start: float, duration: float) -> float:
+        """Claim the bus for ``duration`` cycles at or after ``earliest_start``.
+
+        Returns the actual start time (delayed if the bus is busy).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        start = max(earliest_start, self.busy_until)
+        self.busy_until = start + duration
+        self.busy_cycles += duration
+        self.transfers += 1
+        return start
+
+    def idle_at(self, time: float) -> bool:
+        """Whether the bus is free at ``time``."""
+        return time >= self.busy_until
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over ``elapsed`` cycles."""
+        if elapsed <= 0:
+            raise ValueError(f"elapsed must be positive, got {elapsed}")
+        return min(1.0, self.busy_cycles / elapsed)

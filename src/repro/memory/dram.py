@@ -1,0 +1,129 @@
+"""Page-mode DRAM timing — an ablation substrate for the constant-beta_m
+assumption.
+
+The paper models memory as a constant ``beta_m`` per D-byte cycle.  Real
+early-90s DRAM already had fast-page mode: an access within the open row
+costs much less than one that must precharge and re-activate.  This
+model lets the ablation benches ask how sensitive the tradeoffs are to
+that idealization: sequential line fills ride page hits, so the
+*effective* beta_m a workload sees sits between ``page_hit_cycle`` and
+``page_miss_cycle`` depending on its locality.
+
+The class is plug-compatible with :class:`~repro.memory.MainMemory` for
+the timing simulator; ``memory_cycle`` reports the page-miss (worst
+case) value so the Table 2 bounds remain sound.
+"""
+
+from __future__ import annotations
+
+from repro.memory.mainmem import FillSchedule, MainMemory, _critical_first_order
+
+
+class PageModeDram(MainMemory):
+    """DRAM with one open row per bank and fast-page-mode access.
+
+    Parameters
+    ----------
+    page_hit_cycle:
+        Cycles per D-byte transfer within the open row.
+    page_miss_cycle:
+        Cycles for a transfer that must precharge + activate first.
+    row_bytes:
+        Row (page) size; addresses in the same row hit the open page.
+    bus_width:
+        D in bytes.
+    """
+
+    def __init__(
+        self,
+        page_hit_cycle: float,
+        page_miss_cycle: float,
+        row_bytes: int,
+        bus_width: int,
+    ) -> None:
+        if page_hit_cycle < 1:
+            raise ValueError(f"page_hit_cycle must be >= 1, got {page_hit_cycle}")
+        if page_miss_cycle < page_hit_cycle:
+            raise ValueError(
+                "page_miss_cycle must be at least page_hit_cycle "
+                f"({page_miss_cycle} < {page_hit_cycle})"
+            )
+        if row_bytes <= 0 or row_bytes % bus_width:
+            raise ValueError(
+                f"row_bytes ({row_bytes}) must be a positive multiple of the "
+                f"bus width ({bus_width})"
+            )
+        super().__init__(page_miss_cycle, bus_width)
+        self.page_hit_cycle = float(page_hit_cycle)
+        self.page_miss_cycle = float(page_miss_cycle)
+        self.row_bytes = row_bytes
+        self._open_row: int | None = None
+        self.page_hits = 0
+        self.page_misses = 0
+
+    def _row_of(self, address: int) -> int:
+        return address // self.row_bytes
+
+    def _chunk_cost(self, address: int) -> float:
+        row = self._row_of(address)
+        if row == self._open_row:
+            self.page_hits += 1
+            return self.page_hit_cycle
+        self.page_misses += 1
+        self._open_row = row
+        return self.page_miss_cycle
+
+    def line_fill_duration(self, line_size: int) -> float:
+        """Worst-case duration (page miss then hits within the row).
+
+        Used for bus reservation; the schedule itself is exact.  A line
+        never spans rows (rows are megabyte-scale vs 32-byte lines).
+        """
+        self._check_line(line_size)
+        chunks = line_size // self.bus_width
+        return self.page_miss_cycle + (chunks - 1) * self.page_hit_cycle
+
+    def schedule_fill(
+        self, line_address: int, line_size: int, critical_offset: int, start_time: float
+    ) -> FillSchedule:
+        """Chunk arrivals with the first chunk paying the page state."""
+        self._check_line(line_size)
+        n_chunks = line_size // self.bus_width
+        critical = (critical_offset % line_size) // self.bus_width
+        arrival = [0.0] * n_chunks
+        time = start_time
+        for chunk in _critical_first_order(n_chunks, critical):
+            time += self._chunk_cost(line_address + chunk * self.bus_width)
+            arrival[chunk] = time
+        return FillSchedule(line_address, start_time, tuple(arrival))
+
+    def write_duration(self, n_bytes: int) -> float:
+        """Writes pay the page-state-dependent cost per chunk."""
+        if n_bytes <= 0:
+            raise ValueError(f"n_bytes must be positive, got {n_bytes}")
+        chunks = -(-n_bytes // self.bus_width)
+        # Conservative: charge one page check for the first chunk.
+        return self.page_miss_cycle + (chunks - 1) * self.page_hit_cycle
+
+    def copy_back_duration(self, line_size: int) -> float:
+        return self.line_fill_duration(line_size)
+
+    @property
+    def page_hit_ratio(self) -> float:
+        """Fraction of chunk transfers that rode the open row."""
+        total = self.page_hits + self.page_misses
+        return self.page_hits / total if total else 0.0
+
+    def effective_memory_cycle(self) -> float:
+        """The constant beta_m this DRAM behaved like, post hoc.
+
+        This is the number to feed the analytic model when replacing the
+        DRAM with the paper's constant-cycle memory.
+        """
+        total = self.page_hits + self.page_misses
+        if total == 0:
+            return self.page_miss_cycle
+        return (
+            self.page_hits * self.page_hit_cycle
+            + self.page_misses * self.page_miss_cycle
+        ) / total

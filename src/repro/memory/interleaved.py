@@ -1,0 +1,133 @@
+"""Interleaved (banked) memory — the classic realization of Section 4.4's
+pipelined memory system.
+
+The paper's pipelined memory accepts a request every ``q`` cycles
+(Eq. 9) and calls ``q = 2`` "the best possible implementation".  In 1994
+hardware, that pipeline was built from ``B`` interleaved banks: bank
+``(address / D) mod B`` serves each D-byte chunk, a bank is busy for the
+full ``beta_m`` after accepting a request, and chunks return over a bus
+that moves one chunk per ``transfer_cycles``.
+
+For a sequential line fill (the cache's access pattern) the achieved
+inter-chunk cadence is ``q_eff = max(transfer_cycles, ceil(beta_m / B))``
+— enough banks make the bus the limit, too few make the banks the limit.
+:func:`banks_for_turnaround` inverts that: how many banks realize the
+paper's target ``q``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.memory.mainmem import FillSchedule, MainMemory, _critical_first_order
+
+
+def effective_turnaround(
+    memory_cycle: float, banks: int, transfer_cycles: float = 1.0
+) -> float:
+    """``q_eff = max(transfer, ceil(beta_m / B))`` for sequential fills.
+
+    Capped at ``beta_m`` itself: a single bank is plain serial access,
+    and rounding up must never make banking look slower than no banking.
+    """
+    if banks <= 0:
+        raise ValueError(f"banks must be positive, got {banks}")
+    if transfer_cycles < 1:
+        raise ValueError(f"transfer_cycles must be >= 1, got {transfer_cycles}")
+    cadence = min(float(memory_cycle), float(math.ceil(memory_cycle / banks)))
+    return max(transfer_cycles, cadence)
+
+
+def banks_for_turnaround(
+    memory_cycle: float, target_turnaround: float, transfer_cycles: float = 1.0
+) -> int:
+    """Fewest banks achieving the target ``q`` (Eq. 9's parameter).
+
+    Raises when the bus alone (``transfer_cycles``) exceeds the target —
+    no amount of banking can beat the bus.
+    """
+    if target_turnaround < transfer_cycles:
+        raise ValueError(
+            f"target q ({target_turnaround}) below the bus transfer time "
+            f"({transfer_cycles}); unreachable by interleaving"
+        )
+    if target_turnaround < 1:
+        raise ValueError("target q must be >= 1")
+    return max(1, math.ceil(memory_cycle / target_turnaround))
+
+
+class InterleavedMemory(MainMemory):
+    """Banked memory with per-bank occupancy tracking.
+
+    Plug-compatible with :class:`~repro.memory.MainMemory` for the
+    timing simulator.  Unlike the idealized
+    :class:`~repro.memory.PipelinedMemory`, bank conflicts are modelled:
+    a chunk whose bank is still busy waits for it, so strided access
+    patterns that hammer one bank degrade toward non-pipelined timing.
+    """
+
+    def __init__(
+        self,
+        memory_cycle: float,
+        bus_width: int,
+        banks: int,
+        transfer_cycles: float = 1.0,
+    ) -> None:
+        super().__init__(memory_cycle, bus_width)
+        if banks <= 0 or banks & (banks - 1):
+            raise ValueError(f"banks must be a positive power of two, got {banks}")
+        if transfer_cycles < 1:
+            raise ValueError(f"transfer_cycles must be >= 1, got {transfer_cycles}")
+        self.banks = banks
+        self.transfer_cycles = float(transfer_cycles)
+        self._bank_free = [0.0] * banks
+        self.bank_conflicts = 0
+
+    def _bank_of(self, address: int) -> int:
+        return (address // self.bus_width) % self.banks
+
+    def line_fill_duration(self, line_size: int) -> float:
+        """Sequential-fill envelope: ``beta_m + (chunks-1) * q_eff``.
+
+        This is the Eq. (9)-mapped *conservative* duration used for bus
+        reservation; :meth:`schedule_fill`'s exact per-bank timing can
+        finish earlier when the request bus runs ahead of the bank
+        round-trip (chunks within a bank group arrive at bus cadence).
+        """
+        self._check_line(line_size)
+        chunks = line_size // self.bus_width
+        q_eff = effective_turnaround(
+            self.memory_cycle, self.banks, self.transfer_cycles
+        )
+        return self.memory_cycle + (chunks - 1) * q_eff
+
+    def schedule_fill(
+        self, line_address: int, line_size: int, critical_offset: int, start_time: float
+    ) -> FillSchedule:
+        """Chunk arrivals honoring per-bank occupancy and the bus.
+
+        Requests issue in critical-word-first order, one per
+        ``transfer_cycles`` on the request bus; each waits for its bank,
+        occupies it for ``beta_m``, and delivers on completion.
+        """
+        self._check_line(line_size)
+        n_chunks = line_size // self.bus_width
+        critical = (critical_offset % line_size) // self.bus_width
+        arrival = [0.0] * n_chunks
+        issue_time = start_time
+        for chunk in _critical_first_order(n_chunks, critical):
+            bank = self._bank_of(line_address + chunk * self.bus_width)
+            ready = max(issue_time, self._bank_free[bank])
+            if self._bank_free[bank] > issue_time:
+                self.bank_conflicts += 1
+            done = ready + self.memory_cycle
+            self._bank_free[bank] = done
+            arrival[chunk] = done
+            issue_time += self.transfer_cycles
+        return FillSchedule(line_address, start_time, tuple(arrival))
+
+    def as_pipelined_turnaround(self) -> float:
+        """The Eq. 9 ``q`` this banking realizes for sequential fills."""
+        return effective_turnaround(
+            self.memory_cycle, self.banks, self.transfer_cycles
+        )

@@ -1,0 +1,108 @@
+"""Non-pipelined main memory timing (paper Section 3.1).
+
+Every D-byte read/write cycle takes ``beta_m`` processor clocks; an
+L-byte line fill is ``L/D`` back-to-back cycles, delivered
+critical-word-first: the chunk containing the requested word arrives
+after the first ``beta_m``, then the rest of the line wraps around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FillSchedule:
+    """Arrival timing of one line fill.
+
+    ``chunk_arrival[i]`` is when chunk ``i`` of the line (chunk = D-byte
+    slice, indexed by position *within the line*, not transfer order)
+    becomes available to the processor.
+    """
+
+    line_address: int
+    start_time: float
+    chunk_arrival: tuple[float, ...]
+
+    @property
+    def end_time(self) -> float:
+        """When the whole line is resident."""
+        return max(self.chunk_arrival)
+
+    @property
+    def first_arrival(self) -> float:
+        """When the critical (requested) chunk arrives."""
+        return min(self.chunk_arrival)
+
+    def arrival_for_offset(self, offset: int, chunk_size: int) -> float:
+        """Arrival time of the chunk holding byte ``offset`` of the line."""
+        index = offset // chunk_size
+        if not 0 <= index < len(self.chunk_arrival):
+            raise ValueError(
+                f"offset {offset} outside line of "
+                f"{len(self.chunk_arrival)} x {chunk_size} bytes"
+            )
+        return self.chunk_arrival[index]
+
+    def complete_at(self, time: float) -> bool:
+        """Whether the fill has fully finished by ``time``."""
+        return time >= self.end_time
+
+
+def _critical_first_order(n_chunks: int, critical: int) -> list[int]:
+    """Transfer order: critical chunk first, then wrap-around sequential."""
+    return [(critical + k) % n_chunks for k in range(n_chunks)]
+
+
+class MainMemory:
+    """Fixed-cycle memory: ``beta_m`` clocks per D-byte transfer."""
+
+    def __init__(self, memory_cycle: float, bus_width: int) -> None:
+        if memory_cycle < 1:
+            raise ValueError(f"memory_cycle must be >= 1, got {memory_cycle}")
+        if bus_width <= 0:
+            raise ValueError(f"bus_width must be positive, got {bus_width}")
+        self.memory_cycle = float(memory_cycle)
+        self.bus_width = bus_width
+
+    def line_fill_duration(self, line_size: int) -> float:
+        """``(L/D) * beta_m`` — bus occupancy of one fill."""
+        self._check_line(line_size)
+        return (line_size // self.bus_width) * self.memory_cycle
+
+    def schedule_fill(
+        self, line_address: int, line_size: int, critical_offset: int, start_time: float
+    ) -> FillSchedule:
+        """Critical-word-first fill starting at ``start_time``.
+
+        The k-th transferred chunk arrives at ``start + (k+1) * beta_m``.
+        """
+        self._check_line(line_size)
+        n_chunks = line_size // self.bus_width
+        critical = (critical_offset % line_size) // self.bus_width
+        arrival = [0.0] * n_chunks
+        for position, chunk in enumerate(_critical_first_order(n_chunks, critical)):
+            arrival[chunk] = start_time + (position + 1) * self.memory_cycle
+        return FillSchedule(line_address, start_time, tuple(arrival))
+
+    def write_duration(self, n_bytes: int) -> float:
+        """Cycles to write ``n_bytes``: one ``beta_m`` per D-byte chunk.
+
+        Operands at or under the bus width cost a single cycle (the
+        paper's ``W * beta_m`` term assumes write sizes <= D).
+        """
+        if n_bytes <= 0:
+            raise ValueError(f"n_bytes must be positive, got {n_bytes}")
+        chunks = -(-n_bytes // self.bus_width)  # ceil division
+        return chunks * self.memory_cycle
+
+    def copy_back_duration(self, line_size: int) -> float:
+        """Cycles to flush one dirty line: ``(L/D) * beta_m``."""
+        return self.line_fill_duration(line_size)
+
+    def _check_line(self, line_size: int) -> None:
+        if line_size <= 0 or line_size % self.bus_width:
+            raise ValueError(
+                f"line_size {line_size} must be a positive multiple of "
+                f"bus width {self.bus_width}"
+            )

@@ -1,0 +1,51 @@
+"""Pipelined memory timing (paper Section 4.4, Eq. 9).
+
+The memory accepts a new D-byte request every ``q`` clocks, so a line
+fill delivers its first chunk after ``beta_m`` and one more every ``q``:
+
+    beta_p = beta_m + q * (L/D - 1).
+
+At ``L = D`` the pipelined and non-pipelined systems coincide, as the
+paper notes below Eq. (9).
+"""
+
+from __future__ import annotations
+
+from repro.memory.mainmem import FillSchedule, MainMemory, _critical_first_order
+
+
+class PipelinedMemory(MainMemory):
+    """Main memory with request pipelining at turnaround ``q``."""
+
+    def __init__(self, memory_cycle: float, bus_width: int, turnaround: float = 2.0) -> None:
+        super().__init__(memory_cycle, bus_width)
+        if turnaround < 1:
+            raise ValueError(f"turnaround q must be >= 1, got {turnaround}")
+        if turnaround > memory_cycle:
+            raise ValueError(
+                f"turnaround q ({turnaround}) cannot exceed the memory cycle "
+                f"({memory_cycle}); the pipeline would be slower than no pipeline"
+            )
+        self.turnaround = float(turnaround)
+
+    def line_fill_duration(self, line_size: int) -> float:
+        """Eq. (9): ``beta_m + q * (L/D - 1)``."""
+        self._check_line(line_size)
+        n_chunks = line_size // self.bus_width
+        return self.memory_cycle + self.turnaround * (n_chunks - 1)
+
+    def schedule_fill(
+        self, line_address: int, line_size: int, critical_offset: int, start_time: float
+    ) -> FillSchedule:
+        """Critical chunk after ``beta_m``, then one chunk every ``q``."""
+        self._check_line(line_size)
+        n_chunks = line_size // self.bus_width
+        critical = (critical_offset % line_size) // self.bus_width
+        arrival = [0.0] * n_chunks
+        for position, chunk in enumerate(_critical_first_order(n_chunks, critical)):
+            arrival[chunk] = start_time + self.memory_cycle + position * self.turnaround
+        return FillSchedule(line_address, start_time, tuple(arrival))
+
+    def copy_back_duration(self, line_size: int) -> float:
+        """Copy-backs pipeline the same way as fills."""
+        return self.line_fill_duration(line_size)

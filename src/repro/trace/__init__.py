@@ -1,0 +1,73 @@
+"""Workload substrate: instruction/memory-reference streams.
+
+The paper characterizes applications by trace-driven simulation of six
+SPEC92 programs.  Those traces are not redistributable, so this package
+provides synthetic generators whose locality structure drives the same
+code paths (see DESIGN.md, substitutions):
+
+* :mod:`repro.trace.synthetic` — building-block reference patterns
+  (sequential sweeps, strides, working sets, pointer chasing);
+* :mod:`repro.trace.spec92` — six named workload profiles standing in
+  for nasa7, swm256, wave5, ear, doduc and hydro2d;
+* :mod:`repro.trace.io` — a plain-text trace format for persistence;
+* :mod:`repro.trace.stats` — stream summary statistics.
+"""
+
+from repro.trace.record import Instruction, OpKind
+from repro.trace.io import read_trace, write_trace
+from repro.trace.loops import (
+    Matrix,
+    matmul,
+    matvec,
+    square_matmul_trace,
+    with_compute,
+)
+from repro.trace.markov import MarkovWorkload, Phase, three_phase_example
+from repro.trace.multiprogram import (
+    MultiprogramComparison,
+    disjoint_address_spaces,
+    interleave,
+    measure_pollution,
+    rebase,
+)
+from repro.trace.spec92 import SPEC92_PROFILES, WorkloadProfile, spec92_trace
+from repro.trace.stats import TraceStats, summarize
+from repro.trace.synthetic import (
+    SyntheticTraceBuilder,
+    pointer_chase,
+    random_uniform,
+    sequential_sweep,
+    strided_sweep,
+    working_set,
+)
+
+__all__ = [
+    "Instruction",
+    "OpKind",
+    "read_trace",
+    "write_trace",
+    "SyntheticTraceBuilder",
+    "sequential_sweep",
+    "strided_sweep",
+    "random_uniform",
+    "working_set",
+    "pointer_chase",
+    "WorkloadProfile",
+    "SPEC92_PROFILES",
+    "spec92_trace",
+    "TraceStats",
+    "summarize",
+    "MarkovWorkload",
+    "Phase",
+    "three_phase_example",
+    "MultiprogramComparison",
+    "interleave",
+    "rebase",
+    "disjoint_address_spaces",
+    "measure_pollution",
+    "Matrix",
+    "matvec",
+    "matmul",
+    "with_compute",
+    "square_matmul_trace",
+]

@@ -1,0 +1,76 @@
+"""Plain-text trace persistence.
+
+Format ("UAT1", one record per line after the header)::
+
+    #UAT1
+    a                 <- ALU instruction
+    l <hexaddr> <size>
+    s <hexaddr> <size>
+
+The format deliberately resembles classic `din` traces but keeps ALU
+instructions explicit, because the execution-time model charges them one
+cycle each (Eq. 2's ``E - Lambda_m`` term).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.trace.record import ALU_OP, Instruction, OpKind
+
+_HEADER = "#UAT1"
+_KIND_TO_CODE = {OpKind.ALU: "a", OpKind.LOAD: "l", OpKind.STORE: "s"}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+
+def write_trace(path: str | Path, instructions: Iterable[Instruction]) -> int:
+    """Write a trace file; returns the number of records written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w") as fh:
+        fh.write(_HEADER + "\n")
+        for inst in instructions:
+            if inst.kind is OpKind.ALU:
+                fh.write("a\n")
+            else:
+                fh.write(
+                    f"{_KIND_TO_CODE[inst.kind]} {inst.address:x} {inst.size}\n"
+                )
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[Instruction]:
+    """Stream instructions back from a trace file.
+
+    Raises ``ValueError`` on a bad header or malformed record, naming the
+    offending line number.
+    """
+    target = Path(path)
+    with target.open() as fh:
+        header = fh.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ValueError(
+                f"{target}: bad header {header!r}, expected {_HEADER!r}"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "a":
+                yield ALU_OP
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in _CODE_TO_KIND:
+                raise ValueError(f"{target}:{lineno}: malformed record {line!r}")
+            code, addr_hex, size_str = parts
+            try:
+                address = int(addr_hex, 16)
+                size = int(size_str)
+            except ValueError:
+                raise ValueError(
+                    f"{target}:{lineno}: bad address/size in {line!r}"
+                ) from None
+            yield Instruction(_CODE_TO_KIND[code], address, size)

@@ -1,0 +1,175 @@
+"""Markov-phase workload generator.
+
+Table 1 defines an application as "a task, a subroutine, or a phase of
+computation" — real programs move through phases with different locality
+(initialization sweeps, compute kernels, pointer-heavy bookkeeping).
+This generator strings the synthetic archetypes of
+:mod:`repro.trace.synthetic` together with a Markov chain over named
+phases, each with its own reference pattern, dwell time, and load/store
+density, producing long traces whose *aggregate* characterization is
+stable but whose local behaviour shifts the way real SPEC programs do.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.trace.record import ALU_OP, Instruction, OpKind
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One computation phase.
+
+    Parameters
+    ----------
+    name:
+        Label for diagnostics.
+    pattern_factory:
+        Builds the phase's (infinite) address stream from an RNG.
+    mean_instructions:
+        Mean dwell time before the chain re-draws (geometric).
+    loadstore_fraction, store_fraction:
+        Reference density and write share while in this phase.
+    """
+
+    name: str
+    pattern_factory: Callable[[random.Random], Iterator[int]]
+    mean_instructions: int
+    loadstore_fraction: float = 0.3
+    store_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.mean_instructions < 1:
+            raise ValueError(
+                f"phase {self.name!r}: mean_instructions must be >= 1"
+            )
+        if not 0.0 < self.loadstore_fraction <= 1.0:
+            raise ValueError(
+                f"phase {self.name!r}: loadstore_fraction must be in (0, 1]"
+            )
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError(
+                f"phase {self.name!r}: store_fraction must be in [0, 1]"
+            )
+
+
+@dataclass
+class MarkovWorkload:
+    """A phase set plus a transition matrix.
+
+    ``transitions[i][j]`` is the probability of moving from phase i to
+    phase j at a phase boundary; rows must sum to ~1.  With no matrix
+    given, transitions are uniform over the other phases.
+    """
+
+    phases: list[Phase]
+    transitions: list[list[float]] | None = None
+    _phase_log: list[tuple[str, int]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("need at least one phase")
+        n = len(self.phases)
+        if self.transitions is None:
+            if n == 1:
+                self.transitions = [[1.0]]
+            else:
+                off = 1.0 / (n - 1)
+                self.transitions = [
+                    [0.0 if i == j else off for j in range(n)] for i in range(n)
+                ]
+        if len(self.transitions) != n or any(
+            len(row) != n for row in self.transitions
+        ):
+            raise ValueError(f"transition matrix must be {n}x{n}")
+        for i, row in enumerate(self.transitions):
+            if any(p < 0 for p in row) or abs(sum(row) - 1.0) > 1e-9:
+                raise ValueError(
+                    f"transition row {i} must be non-negative and sum to 1"
+                )
+
+    @property
+    def phase_log(self) -> list[tuple[str, int]]:
+        """(phase name, instructions spent) per visit, last build only."""
+        return list(self._phase_log)
+
+    def build(self, n_instructions: int, seed: int = 0) -> list[Instruction]:
+        """Materialize a trace of ``n_instructions`` instructions."""
+        if n_instructions <= 0:
+            raise ValueError("n_instructions must be positive")
+        rng = random.Random(seed)
+        pattern_rng = random.Random(seed ^ 0xA5A5)
+        streams = [phase.pattern_factory(pattern_rng) for phase in self.phases]
+        self._phase_log.clear()
+
+        current = rng.randrange(len(self.phases))
+        trace: list[Instruction] = []
+        visit_start = 0
+        while len(trace) < n_instructions:
+            phase = self.phases[current]
+            leave_probability = 1.0 / phase.mean_instructions
+            if rng.random() < phase.loadstore_fraction:
+                kind = (
+                    OpKind.STORE
+                    if rng.random() < phase.store_fraction
+                    else OpKind.LOAD
+                )
+                trace.append(Instruction(kind, next(streams[current]), 4))
+            else:
+                trace.append(ALU_OP)
+            if rng.random() < leave_probability:
+                self._phase_log.append(
+                    (phase.name, len(trace) - visit_start)
+                )
+                visit_start = len(trace)
+                current = rng.choices(
+                    range(len(self.phases)), weights=self.transitions[current]
+                )[0]
+        self._phase_log.append(
+            (self.phases[current].name, len(trace) - visit_start)
+        )
+        return trace
+
+
+def three_phase_example(seed: int = 0) -> MarkovWorkload:
+    """A ready-made init/compute/update workload for examples and tests."""
+    from repro.trace.synthetic import (
+        pointer_chase,
+        random_uniform,
+        sequential_sweep,
+    )
+
+    del seed  # pattern RNG comes from build(); kept for API symmetry
+    return MarkovWorkload(
+        phases=[
+            Phase(
+                "init-sweep",
+                lambda rng: sequential_sweep(0x0000_0000, 1 << 20, 8),
+                mean_instructions=400,
+                loadstore_fraction=0.4,
+                store_fraction=0.6,
+            ),
+            Phase(
+                "compute",
+                lambda rng: random_uniform(0x0010_0000, 16 << 10, rng, 8),
+                mean_instructions=1200,
+                loadstore_fraction=0.25,
+                store_fraction=0.2,
+            ),
+            Phase(
+                "update-lists",
+                lambda rng: pointer_chase(0x0100_0000, 300, 64, rng),
+                mean_instructions=300,
+                loadstore_fraction=0.35,
+                store_fraction=0.4,
+            ),
+        ],
+        transitions=[
+            [0.0, 0.9, 0.1],
+            [0.2, 0.0, 0.8],
+            [0.1, 0.9, 0.0],
+        ],
+    )

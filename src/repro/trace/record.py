@@ -1,0 +1,64 @@
+"""Instruction records flowing through the timing simulator.
+
+The RISC model of the paper (Section 3.1) distinguishes only how an
+instruction touches memory: not at all, a load, or a store.  Instruction
+fetches are modelled separately (Section 3.4) and are optional in the
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpKind(Enum):
+    """Instruction classes relevant to the execution-time model."""
+
+    ALU = "alu"      # any non-memory instruction; one cycle
+    LOAD = "load"    # data read
+    STORE = "store"  # data write
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self is not OpKind.ALU
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One retired instruction.
+
+    ``address`` and ``size`` are meaningful only for memory operations;
+    ALU instructions carry ``address = 0, size = 0``.  ``size`` is the
+    operand size in bytes (the paper assumes write operands no larger
+    than the bus width for the W term).
+    """
+
+    kind: OpKind
+    address: int = 0
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind.is_memory:
+            if self.address < 0:
+                raise ValueError(f"negative address {self.address:#x}")
+            if self.size <= 0:
+                raise ValueError(f"memory op needs positive size, got {self.size}")
+
+
+#: Shared singleton for the (very common) non-memory instruction.
+ALU_OP = Instruction(kind=OpKind.ALU, address=0, size=0)
+
+
+def load(address: int, size: int = 4) -> Instruction:
+    """Convenience constructor for a load."""
+    return Instruction(OpKind.LOAD, address, size)
+
+
+def store(address: int, size: int = 4) -> Instruction:
+    """Convenience constructor for a store."""
+    return Instruction(OpKind.STORE, address, size)

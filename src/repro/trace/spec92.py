@@ -1,0 +1,210 @@
+"""SPEC92 stand-in workload profiles.
+
+The paper's Figure 1 averages stalling factors over six SPEC92 programs —
+nasa7, swm256, wave5, ear, doduc and hydro2d — each traced for 50 M
+instructions.  The original traces are unavailable, so each program is
+replaced by a synthetic profile whose reference mix matches the program's
+published character (see DESIGN.md, substitutions):
+
+============  =====================================================
+program       character reproduced
+============  =====================================================
+nasa7         seven FP kernels: long unit-stride array sweeps with a
+              matrix-column (strided) component
+swm256        shallow-water grid: almost purely sequential sweeps
+              over several large arrays
+wave5         particle/plasma code: sequential field sweeps plus
+              gather/scatter (random) particle accesses
+ear           human-ear model: small resident working set, high
+              temporal locality
+doduc         Monte-Carlo reactor kinetics: irregular control flow,
+              modest working set, scattered accesses
+hydro2d       2-D hydrodynamics: row sweeps with a vertical-stencil
+              strided component
+============  =====================================================
+
+The quantity that matters downstream is how often consecutive references
+touch the line currently being filled (spatial locality) versus other
+lines (miss clustering); the profiles span that spectrum.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.trace.record import Instruction
+from repro.trace.synthetic import (
+    SyntheticTraceBuilder,
+    mix,
+    pointer_chase,
+    random_uniform,
+    sequential_sweep,
+    strided_sweep,
+    working_set,
+)
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A named synthetic stand-in for one SPEC92 program."""
+
+    name: str
+    description: str
+    loadstore_fraction: float
+    store_fraction: float
+
+    def pattern(self, rng: random.Random) -> Iterator[int]:
+        """The program's address stream (infinite)."""
+        builder = _PATTERNS[self.name]
+        return builder(rng)
+
+    def trace(self, n_instructions: int, seed: int = 0) -> list[Instruction]:
+        """Materialize an instruction stream for this profile."""
+        # zlib.crc32 is deterministic across processes (unlike hash(),
+        # which is salted and would make traces irreproducible run-to-run).
+        rng = random.Random(seed ^ zlib.crc32(self.name.encode()))
+        builder = SyntheticTraceBuilder(
+            seed=seed ^ 0x5EED,
+            loadstore_fraction=self.loadstore_fraction,
+            store_fraction=self.store_fraction,
+        )
+        return builder.build(self.pattern(rng), n_instructions)
+
+
+def _nasa7(rng: random.Random) -> Iterator[int]:
+    return mix(
+        [
+            sequential_sweep(0x0000_0000, 2 * MIB, element_size=4),
+            sequential_sweep(0x0080_0000, 1 * MIB, element_size=8),
+            strided_sweep(0x0100_0000, 1 * MIB, stride=64),
+        ],
+        weights=[0.6, 0.3, 0.1],
+        rng=rng,
+        run_length=24,
+    )
+
+
+def _swm256(rng: random.Random) -> Iterator[int]:
+    return mix(
+        [
+            sequential_sweep(0x0000_0000, 2 * MIB, element_size=4),
+            sequential_sweep(0x0040_0000, 2 * MIB, element_size=8),
+            sequential_sweep(0x0100_0000, 2 * MIB, element_size=8),
+        ],
+        weights=[0.4, 0.35, 0.25],
+        rng=rng,
+        run_length=32,
+    )
+
+
+def _wave5(rng: random.Random) -> Iterator[int]:
+    return mix(
+        [
+            sequential_sweep(0x0000_0000, 4 * MIB, element_size=4),
+            random_uniform(0x0100_0000, 24 * KIB, rng, align=8),
+            strided_sweep(0x0200_0000, 1 * MIB, stride=256),
+        ],
+        weights=[0.65, 0.25, 0.10],
+        rng=rng,
+        run_length=16,
+    )
+
+
+def _ear(rng: random.Random) -> Iterator[int]:
+    # Small resident filter state (fits the 8K cache) plus a sequential
+    # scan of the input signal.
+    return mix(
+        [
+            working_set(
+                0x0000_0000,
+                hot_bytes=4 * KIB,
+                cold_bytes=16 * KIB,
+                hot_probability=0.9,
+                rng=rng,
+                align=8,
+            ),
+            sequential_sweep(0x0010_0000, 512 * KIB, element_size=8),
+        ],
+        weights=[0.75, 0.25],
+        rng=rng,
+        run_length=8,
+    )
+
+
+def _doduc(rng: random.Random) -> Iterator[int]:
+    return mix(
+        [
+            working_set(
+                0x0000_0000,
+                hot_bytes=6 * KIB,
+                cold_bytes=64 * KIB,
+                hot_probability=0.85,
+                rng=rng,
+            ),
+            pointer_chase(0x0100_0000, nodes=200, node_bytes=64, rng=rng),
+        ],
+        weights=[0.9, 0.1],
+        rng=rng,
+        run_length=4,
+    )
+
+
+def _hydro2d(rng: random.Random) -> Iterator[int]:
+    return mix(
+        [
+            sequential_sweep(0x0000_0000, 3 * MIB, element_size=4),
+            strided_sweep(0x0000_0000, 3 * MIB, stride=4096),
+        ],
+        weights=[0.85, 0.15],
+        rng=rng,
+        run_length=20,
+    )
+
+
+_PATTERNS = {
+    "nasa7": _nasa7,
+    "swm256": _swm256,
+    "wave5": _wave5,
+    "ear": _ear,
+    "doduc": _doduc,
+    "hydro2d": _hydro2d,
+}
+
+#: The six Figure 1 programs, keyed by name.
+SPEC92_PROFILES: dict[str, WorkloadProfile] = {
+    "nasa7": WorkloadProfile(
+        "nasa7", "FP kernels: unit-stride sweeps + matrix columns", 0.34, 0.28
+    ),
+    "swm256": WorkloadProfile(
+        "swm256", "shallow-water grid: sequential array sweeps", 0.32, 0.30
+    ),
+    "wave5": WorkloadProfile(
+        "wave5", "plasma: field sweeps + particle gather/scatter", 0.33, 0.30
+    ),
+    "ear": WorkloadProfile(
+        "ear", "ear model: small hot working set", 0.28, 0.25
+    ),
+    "doduc": WorkloadProfile(
+        "doduc", "Monte-Carlo kinetics: irregular, scattered", 0.27, 0.30
+    ),
+    "hydro2d": WorkloadProfile(
+        "hydro2d", "2-D hydrodynamics: row sweeps + vertical stencil", 0.31, 0.32
+    ),
+}
+
+
+def spec92_trace(name: str, n_instructions: int, seed: int = 0) -> list[Instruction]:
+    """Materialize the stand-in trace for one SPEC92 program by name."""
+    try:
+        profile = SPEC92_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; choose from {sorted(SPEC92_PROFILES)}"
+        ) from None
+    return profile.trace(n_instructions, seed=seed)

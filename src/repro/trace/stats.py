@@ -1,0 +1,80 @@
+"""Summary statistics over instruction streams.
+
+Used by tests and examples to confirm a synthetic trace has the intended
+character (density of memory operations, store share, footprint, spatial
+locality) before it is fed to the simulators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.trace.record import Instruction, OpKind
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate measurements of one instruction stream."""
+
+    instructions: int
+    loads: int
+    stores: int
+    unique_lines: int
+    same_line_pairs: int
+
+    @property
+    def memory_references(self) -> int:
+        """Loads plus stores."""
+        return self.loads + self.stores
+
+    @property
+    def loadstore_fraction(self) -> float:
+        """Memory references per instruction."""
+        return self.memory_references / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        """Stores per memory reference."""
+        refs = self.memory_references
+        return self.stores / refs if refs else 0.0
+
+    @property
+    def spatial_locality(self) -> float:
+        """Fraction of consecutive reference pairs landing on one line.
+
+        This is the property that drives the Figure 1 stalling factors:
+        high values mean the processor re-touches the line being filled
+        almost immediately after a miss.
+        """
+        pairs = self.memory_references - 1
+        return self.same_line_pairs / pairs if pairs > 0 else 0.0
+
+
+def summarize(instructions: Iterable[Instruction], line_size: int = 32) -> TraceStats:
+    """Single-pass statistics for a stream, at the given line granularity."""
+    if line_size <= 0:
+        raise ValueError(f"line_size must be positive, got {line_size}")
+    total = loads = stores = same_line = 0
+    lines: set[int] = set()
+    previous_line: int | None = None
+    for inst in instructions:
+        total += 1
+        if inst.kind is OpKind.ALU:
+            continue
+        if inst.kind is OpKind.LOAD:
+            loads += 1
+        else:
+            stores += 1
+        line = inst.address // line_size
+        lines.add(line)
+        if previous_line is not None and line == previous_line:
+            same_line += 1
+        previous_line = line
+    return TraceStats(
+        instructions=total,
+        loads=loads,
+        stores=stores,
+        unique_lines=len(lines),
+        same_line_pairs=same_line,
+    )

@@ -1,0 +1,222 @@
+"""Synthetic memory-reference patterns.
+
+Each pattern function returns an **infinite iterator of byte addresses**
+capturing one locality archetype; :class:`SyntheticTraceBuilder`
+interleaves them with ALU instructions and a load/store mix to produce an
+instruction stream of any length.
+
+The archetypes — sequential sweeps, strides, working sets, pointer
+chases — are the building blocks from which the SPEC92 stand-in profiles
+(:mod:`repro.trace.spec92`) are composed.  What matters for the paper's
+Figure 1 is (a) how often consecutive references fall on the same cache
+line (spatial locality inside the missing line) and (b) how clustered
+misses are; both are directly controlled here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Sequence
+
+from repro.trace.record import ALU_OP, Instruction, OpKind
+
+
+def sequential_sweep(
+    base: int, array_bytes: int, element_size: int = 8
+) -> Iterator[int]:
+    """Endless forward sweeps over one array — vectorizable FP loops.
+
+    Touches ``base, base+e, base+2e, ...`` and wraps; maximal spatial
+    locality (every line is consumed word by word after its miss).
+    """
+    if array_bytes <= 0 or element_size <= 0:
+        raise ValueError("array_bytes and element_size must be positive")
+
+    def generate() -> Iterator[int]:
+        offset = 0
+        while True:
+            yield base + offset
+            offset = (offset + element_size) % array_bytes
+
+    return generate()
+
+
+def strided_sweep(
+    base: int, array_bytes: int, stride: int, element_size: int = 8
+) -> Iterator[int]:
+    """Endless sweeps with a fixed stride — column accesses, FFT shuffles.
+
+    A stride at or above the line size defeats spatial locality entirely;
+    intermediate strides hit every ``line/stride``-th word.
+    """
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    if array_bytes <= 0 or element_size <= 0:
+        raise ValueError("array_bytes and element_size must be positive")
+    del element_size  # the stride fully determines the footprint step
+
+    def generate() -> Iterator[int]:
+        offset = 0
+        while True:
+            yield base + offset
+            offset = (offset + stride) % array_bytes
+
+    return generate()
+
+
+def random_uniform(base: int, region_bytes: int, rng: random.Random, align: int = 4) -> Iterator[int]:
+    """Uniformly random references inside one region — hash tables, heaps."""
+    if region_bytes <= align:
+        raise ValueError("region must exceed the alignment")
+    slots = region_bytes // align
+
+    def generate() -> Iterator[int]:
+        while True:
+            yield base + rng.randrange(slots) * align
+
+    return generate()
+
+
+def working_set(
+    base: int,
+    hot_bytes: int,
+    cold_bytes: int,
+    hot_probability: float,
+    rng: random.Random,
+    align: int = 4,
+) -> Iterator[int]:
+    """Two-level working set: a hot region hit with ``hot_probability``.
+
+    Models codes with a small resident kernel plus occasional excursions;
+    temporal locality is tuned by the probability and the hot size.
+    """
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ValueError(f"hot_probability must be in [0, 1], got {hot_probability}")
+    hot = random_uniform(base, hot_bytes, rng, align)
+    cold = random_uniform(base + hot_bytes, cold_bytes, rng, align)
+
+    def generate() -> Iterator[int]:
+        while True:
+            yield next(hot) if rng.random() < hot_probability else next(cold)
+
+    return generate()
+
+
+def pointer_chase(
+    base: int, nodes: int, node_bytes: int, rng: random.Random
+) -> Iterator[int]:
+    """A permutation walk over linked nodes — no spatial locality at all.
+
+    The node order is a fixed random cycle, so the stream is deterministic
+    given the RNG yet defeats any prefetch-like locality.
+    """
+    if nodes < 2:
+        raise ValueError("need at least two nodes to chase")
+    order = list(range(nodes))
+    rng.shuffle(order)
+
+    def generate() -> Iterator[int]:
+        position = 0
+        while True:
+            yield base + order[position] * node_bytes
+            position = (position + 1) % nodes
+
+    return generate()
+
+
+def mix(
+    streams: Sequence[Iterator[int]],
+    weights: Sequence[float],
+    rng: random.Random,
+    run_length: int = 1,
+) -> Iterator[int]:
+    """Interleave ``streams``, drawing runs of references from each.
+
+    ``run_length`` is the mean length of a burst taken from one stream
+    before re-drawing (geometric distribution).  ``run_length = 1``
+    re-draws every reference — maximal interleaving; larger values model
+    inner loops that stay on one array for a stretch, which preserves the
+    within-line sequential runs that distinguish the BNL stalling
+    variants (Figure 1).
+    """
+    if len(streams) != len(weights) or not streams:
+        raise ValueError("streams and weights must be equal-length and non-empty")
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("weights must be non-negative with a positive sum")
+    if run_length < 1:
+        raise ValueError(f"run_length must be >= 1, got {run_length}")
+    stream_list = list(streams)
+    weight_list = list(weights)
+    switch_probability = 1.0 / run_length
+
+    def generate() -> Iterator[int]:
+        current = rng.choices(stream_list, weights=weight_list)[0]
+        while True:
+            yield next(current)
+            if rng.random() < switch_probability:
+                current = rng.choices(stream_list, weights=weight_list)[0]
+
+    return generate()
+
+
+class SyntheticTraceBuilder:
+    """Assemble an instruction stream from an address pattern.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the builder's RNG; the same seed reproduces the same trace.
+    loadstore_fraction:
+        Fraction of instructions that reference data memory (~0.3 in the
+        paper's trace studies).
+    store_fraction:
+        Fraction of memory references that are stores.
+    operand_size:
+        Bytes per reference (4 = word, matching the paper's D=4 baseline).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        loadstore_fraction: float = 0.3,
+        store_fraction: float = 0.3,
+        operand_size: int = 4,
+    ) -> None:
+        if not 0.0 < loadstore_fraction <= 1.0:
+            raise ValueError(
+                f"loadstore_fraction must be in (0, 1], got {loadstore_fraction}"
+            )
+        if not 0.0 <= store_fraction <= 1.0:
+            raise ValueError(
+                f"store_fraction must be in [0, 1], got {store_fraction}"
+            )
+        if operand_size <= 0:
+            raise ValueError(f"operand_size must be positive, got {operand_size}")
+        self.rng = random.Random(seed)
+        self.loadstore_fraction = loadstore_fraction
+        self.store_fraction = store_fraction
+        self.operand_size = operand_size
+
+    def build(self, pattern: Iterator[int], n_instructions: int) -> list[Instruction]:
+        """Materialize ``n_instructions`` instructions around ``pattern``.
+
+        Memory operations are spread pseudo-randomly at the configured
+        density; each consumes the next pattern address.
+        """
+        if n_instructions <= 0:
+            raise ValueError("n_instructions must be positive")
+        rng = self.rng
+        instructions: list[Instruction] = []
+        for _ in range(n_instructions):
+            if rng.random() < self.loadstore_fraction:
+                kind = (
+                    OpKind.STORE
+                    if rng.random() < self.store_fraction
+                    else OpKind.LOAD
+                )
+                instructions.append(
+                    Instruction(kind, next(pattern), self.operand_size)
+                )
+            else:
+                instructions.append(ALU_OP)
+        return instructions

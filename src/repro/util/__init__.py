@@ -1,0 +1,22 @@
+"""Shared utilities: ASCII plotting, table rendering, CSV output, interpolation.
+
+These helpers keep the experiment harness free of third-party plotting
+dependencies (matplotlib is not available in the reproduction environment);
+every figure is emitted as structured numeric series, a CSV file, and an
+ASCII rendering.
+"""
+
+from repro.util.ascii_plot import AsciiPlot, render_series
+from repro.util.csvout import series_to_csv, write_csv
+from repro.util.interp import crossover, linear_interp
+from repro.util.tables import format_table
+
+__all__ = [
+    "AsciiPlot",
+    "render_series",
+    "series_to_csv",
+    "write_csv",
+    "crossover",
+    "linear_interp",
+    "format_table",
+]

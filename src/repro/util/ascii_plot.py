@@ -1,0 +1,111 @@
+"""Minimal ASCII line-plot renderer.
+
+The reproduction environment has no matplotlib, so experiment modules render
+their figures as text.  The renderer maps each named series onto a character
+grid; later series overwrite earlier ones where they collide, and a legend
+names the glyph used for each series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+_GLYPHS = "*o+x#@%&$~^"
+
+
+@dataclass
+class _Series:
+    name: str
+    xs: list[float]
+    ys: list[float]
+    glyph: str
+
+
+@dataclass
+class AsciiPlot:
+    """Accumulates named (x, y) series and renders them on a text grid.
+
+    Parameters
+    ----------
+    title:
+        Heading printed above the grid.
+    xlabel, ylabel:
+        Axis captions printed below / beside the grid.
+    width, height:
+        Interior grid size in characters.
+    """
+
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+    width: int = 64
+    height: int = 20
+    _series: list[_Series] = field(default_factory=list)
+
+    def add_series(self, name: str, xs: list[float], ys: list[float]) -> None:
+        """Add a named series; x and y must have equal, non-zero length."""
+        if len(xs) != len(ys):
+            raise ValueError(
+                f"series {name!r}: len(xs)={len(xs)} != len(ys)={len(ys)}"
+            )
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        glyph = _GLYPHS[len(self._series) % len(_GLYPHS)]
+        self._series.append(_Series(name, list(xs), list(ys), glyph))
+
+    def render(self) -> str:
+        """Render the plot to a multi-line string."""
+        if not self._series:
+            return f"{self.title}\n(no data)"
+
+        all_x = [x for s in self._series for x in s.xs]
+        all_y = [y for s in self._series for y in s.ys if math.isfinite(y)]
+        if not all_y:
+            return f"{self.title}\n(no finite data)"
+        xmin, xmax = min(all_x), max(all_x)
+        ymin, ymax = min(all_y), max(all_y)
+        if xmax == xmin:
+            xmax = xmin + 1.0
+        if ymax == ymin:
+            ymax = ymin + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series in self._series:
+            for x, y in zip(series.xs, series.ys):
+                if not math.isfinite(y):
+                    continue
+                col = round((x - xmin) / (xmax - xmin) * (self.width - 1))
+                row = round((y - ymin) / (ymax - ymin) * (self.height - 1))
+                grid[self.height - 1 - row][col] = series.glyph
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(f"{ymax:12.4g} +" + "-" * self.width + "+")
+        for row in grid:
+            lines.append(" " * 13 + "|" + "".join(row) + "|")
+        lines.append(f"{ymin:12.4g} +" + "-" * self.width + "+")
+        lines.append(
+            " " * 14 + f"{xmin:<10.4g}" + " " * max(0, self.width - 20) + f"{xmax:>10.4g}"
+        )
+        if self.xlabel:
+            lines.append(" " * 14 + f"x: {self.xlabel}")
+        if self.ylabel:
+            lines.append(" " * 14 + f"y: {self.ylabel}")
+        for series in self._series:
+            lines.append(f"    {series.glyph} = {series.name}")
+        return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: dict[str, tuple[list[float], list[float]]],
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """One-shot helper: render a dict of ``name -> (xs, ys)`` series."""
+    plot = AsciiPlot(title=title, xlabel=xlabel, ylabel=ylabel)
+    for name, (xs, ys) in series.items():
+        plot.add_series(name, xs, ys)
+    return plot.render()

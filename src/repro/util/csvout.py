@@ -1,0 +1,38 @@
+"""CSV emission for experiment series."""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def series_to_csv(
+    x_name: str,
+    xs: Sequence[float],
+    columns: dict[str, Sequence[float]],
+) -> str:
+    """Serialize an x column plus named y columns to a CSV string.
+
+    All columns must have the same length as ``xs``.
+    """
+    for name, ys in columns.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"column {name!r} has {len(ys)} rows, expected {len(xs)}"
+            )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([x_name, *columns.keys()])
+    for i, x in enumerate(xs):
+        writer.writerow([x, *(columns[name][i] for name in columns)])
+    return buf.getvalue()
+
+
+def write_csv(path: str | Path, content: str) -> Path:
+    """Write CSV ``content`` to ``path``, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content)
+    return target

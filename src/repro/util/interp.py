@@ -1,0 +1,45 @@
+"""Interpolation helpers used by the tradeoff analyses.
+
+``crossover`` locates where one curve overtakes another — the paper uses
+this to find the memory cycle time beyond which a pipelined memory system
+beats doubling the bus width (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def linear_interp(x0: float, y0: float, x1: float, y1: float, x: float) -> float:
+    """Linearly interpolate/extrapolate y at ``x`` through two points."""
+    if x1 == x0:
+        raise ValueError("degenerate segment: x0 == x1")
+    t = (x - x0) / (x1 - x0)
+    return y0 + t * (y1 - y0)
+
+
+def crossover(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> float | None:
+    """Return the first x where series A rises to meet/exceed series B.
+
+    The curves are sampled at common abscissae ``xs``; the exact crossing
+    inside a bracketing interval is found by linear interpolation on the
+    difference ``A − B``.  Returns ``None`` when A never catches B.
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)):
+        raise ValueError("xs, ys_a, ys_b must have equal length")
+    diff = [a - b for a, b in zip(ys_a, ys_b)]
+    if diff and diff[0] >= 0:
+        return xs[0]
+    for i in range(1, len(xs)):
+        if diff[i] >= 0:
+            # Root of the linear difference inside [xs[i-1], xs[i]].
+            d0, d1 = diff[i - 1], diff[i]
+            if d1 == d0:
+                return xs[i]
+            t = -d0 / (d1 - d0)
+            return xs[i - 1] + t * (xs[i] - xs[i - 1])
+    return None

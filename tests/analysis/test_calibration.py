@@ -1,0 +1,86 @@
+"""Workload calibration tools."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    bisect_knob,
+    calibrate_hit_ratio,
+    calibrate_spatial_locality,
+)
+from repro.cache.cache import CacheConfig
+
+
+class TestBisect:
+    def test_exact_monotone_function(self):
+        result = bisect_knob(
+            lambda x: x * x, target=9.0, low=0.0, high=10.0,
+            increasing=True, tolerance=1e-6,
+        )
+        assert result.knob == pytest.approx(3.0, abs=1e-3)
+        assert result.error <= 1e-6
+
+    def test_decreasing_function(self):
+        result = bisect_knob(
+            lambda x: 10.0 - x, target=4.0, low=0.0, high=10.0,
+            increasing=False, tolerance=1e-6,
+        )
+        assert result.knob == pytest.approx(6.0, abs=1e-3)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="outside achievable"):
+            bisect_knob(
+                lambda x: x, target=20.0, low=0.0, high=10.0, increasing=True
+            )
+
+    def test_bad_bracket_rejected(self):
+        with pytest.raises(ValueError, match="low < high"):
+            bisect_knob(lambda x: x, 1.0, 5.0, 5.0, True)
+
+    def test_returns_best_seen_even_without_convergence(self):
+        result = bisect_knob(
+            lambda x: x, target=3.3333, low=0.0, high=10.0,
+            increasing=True, tolerance=1e-12, max_iterations=5,
+        )
+        assert result.iterations == 5
+        assert result.error < 1.0
+
+
+class TestHitRatioCalibration:
+    CACHE = CacheConfig(8192, 32, 2)
+
+    @pytest.mark.parametrize("target", [0.6, 0.8])
+    def test_hits_target(self, target):
+        result = calibrate_hit_ratio(
+            target, self.CACHE, n_instructions=8000, tolerance=0.04
+        )
+        assert result.error <= 0.04
+
+    def test_bigger_target_needs_smaller_working_set(self):
+        low = calibrate_hit_ratio(0.55, self.CACHE, n_instructions=8000,
+                                  tolerance=0.05)
+        high = calibrate_hit_ratio(0.85, self.CACHE, n_instructions=8000,
+                                   tolerance=0.05)
+        assert high.knob < low.knob
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError, match="target_hit_ratio"):
+            calibrate_hit_ratio(1.0, self.CACHE)
+
+
+class TestSpatialLocalityCalibration:
+    def test_hits_target(self):
+        result = calibrate_spatial_locality(
+            0.5, n_instructions=8000, tolerance=0.05
+        )
+        assert result.error <= 0.05
+
+    def test_higher_target_needs_longer_runs(self):
+        low = calibrate_spatial_locality(0.3, n_instructions=8000,
+                                         tolerance=0.05)
+        high = calibrate_spatial_locality(0.65, n_instructions=8000,
+                                          tolerance=0.05)
+        assert high.knob > low.knob
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError, match="target_locality"):
+            calibrate_spatial_locality(0.99)

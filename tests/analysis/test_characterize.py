@@ -1,0 +1,81 @@
+"""Trace characterization into Table 1 parameters."""
+
+import pytest
+
+from repro.analysis.characterize import characterize
+from repro.cache.cache import CacheConfig
+from repro.core.execution import execution_time
+from repro.core.params import SystemConfig
+from repro.core.stalling import StallPolicy
+from repro.trace.spec92 import spec92_trace
+
+CACHE = CacheConfig(total_bytes=8192, line_size=32, associativity=2)
+
+
+@pytest.fixture(scope="module")
+def run():
+    trace = spec92_trace("ear", 8000, seed=11)
+    return characterize(trace, CACHE)
+
+
+class TestCharacterize:
+    def test_instruction_count(self, run):
+        assert run.workload.instructions == 8000
+
+    def test_hit_ratio_in_range(self, run):
+        assert 0.0 < run.hit_ratio < 1.0
+
+    def test_write_allocate_means_w_zero(self, run):
+        assert run.workload.write_around_misses == 0
+
+    def test_r_is_line_multiples(self, run):
+        assert run.workload.read_bytes % 32 == 0
+
+    def test_miss_count_consistent_with_hit_ratio(self, run):
+        misses = run.workload.miss_instructions(32)
+        assert misses == pytest.approx(run.references * (1.0 - run.hit_ratio))
+
+    def test_flush_ratio_in_bounds(self, run):
+        assert 0.0 <= run.workload.flush_ratio <= 1.0
+
+    def test_no_phi_by_default(self, run):
+        assert run.stall_factors == {}
+
+
+class TestPhiMeasurement:
+    def test_measured_phi_usable_in_eq2(self):
+        """The characterization + Eq. (2) reproduces the simulated time."""
+        from repro.cpu.processor import TimingSimulator
+        from repro.memory.mainmem import MainMemory
+
+        trace = spec92_trace("swm256", 6000, seed=4)
+        run = characterize(
+            trace,
+            CACHE,
+            measure_phi=True,
+            policies=(StallPolicy.BUS_NOT_LOCKED_1,),
+            memory_cycle=8.0,
+            bus_width=4,
+        )
+        phi = run.stall_factors[StallPolicy.BUS_NOT_LOCKED_1]
+        predicted = execution_time(
+            run.workload,
+            SystemConfig(4, 32, 8.0),
+            stall_factor=phi,
+            policy=StallPolicy.BUS_NOT_LOCKED_1,
+        )
+        simulated = TimingSimulator(
+            CACHE, MainMemory(8.0, 4), policy=StallPolicy.BUS_NOT_LOCKED_1
+        ).run(trace)
+        assert predicted == pytest.approx(simulated.cycles)
+
+    def test_phi_respects_bounds(self):
+        trace = spec92_trace("doduc", 4000, seed=4)
+        run = characterize(
+            trace,
+            CACHE,
+            measure_phi=True,
+            policies=(StallPolicy.BUS_LOCKED, StallPolicy.BUS_NOT_LOCKED_3),
+        )
+        for phi in run.stall_factors.values():
+            assert 1.0 <= phi <= 8.0

@@ -1,0 +1,58 @@
+"""Chip-area and pin-count models (Section 5.2)."""
+
+import pytest
+
+from repro.analysis.chip_area import (
+    CacheAreaModel,
+    PackageModel,
+    bus_width_pin_delta,
+)
+
+KIB = 1024
+
+
+class TestArea:
+    MODEL = CacheAreaModel()
+
+    def test_tag_bits(self):
+        # 8K, 32B lines, 2-way: 128 sets -> 32 - 5 - 7 = 20 tag bits.
+        assert self.MODEL.tag_bits(8 * KIB, 32, 2) == 20
+
+    def test_area_scales_with_size(self):
+        small = self.MODEL.area(8 * KIB, 32, 2)
+        large = self.MODEL.area(32 * KIB, 32, 2)
+        assert 3.5 < large / small < 4.5
+
+    def test_larger_lines_are_cheaper_per_byte(self):
+        """Alpert & Flynn: larger lines amortize tag storage."""
+        narrow = self.MODEL.area(8 * KIB, 16, 2)
+        wide = self.MODEL.area(8 * KIB, 64, 2)
+        assert wide < narrow
+
+    def test_area_ratio(self):
+        assert self.MODEL.area_ratio(32 * KIB, 8 * KIB, 32, 2) == pytest.approx(
+            self.MODEL.area(32 * KIB, 32, 2) / self.MODEL.area(8 * KIB, 32, 2)
+        )
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            self.MODEL.tag_bits(0, 32, 2)
+        with pytest.raises(ValueError, match="too small"):
+            self.MODEL.tag_bits(64, 64, 2)
+
+
+class TestPins:
+    def test_total_pins(self):
+        package = PackageModel(address_pins=32, control_pins=24)
+        assert package.total_pins(32) == pytest.approx((32 + 32 + 24) * 1.125)
+
+    def test_doubling_delta_positive(self):
+        delta = bus_width_pin_delta(32, 64)
+        assert delta == pytest.approx(32 * 1.125)
+
+    def test_validation(self):
+        package = PackageModel()
+        with pytest.raises(ValueError, match="multiple of 8"):
+            package.total_pins(33)
+        with pytest.raises(ValueError, match="exceed"):
+            bus_width_pin_delta(64, 32)

@@ -1,0 +1,69 @@
+"""Design advisor."""
+
+import pytest
+
+from repro.analysis.design_advisor import DesignBrief, best_single_feature, recommend
+from repro.analysis.short_levy import short_levy_curve
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig
+
+KIB = 1024
+
+
+def brief(memory_cycle=8.0, cache_kib=8, phi=None):
+    return DesignBrief(
+        config=SystemConfig(4, 32, memory_cycle, pipeline_turnaround=2.0),
+        cache_bytes=cache_kib * KIB,
+        hit_ratio_curve=short_levy_curve(),
+        measured_stall_factor=phi,
+    )
+
+
+class TestRecommend:
+    def test_sorted_best_first(self):
+        recs = recommend(brief())
+        values = [r.hit_ratio_value for r in recs]
+        assert values == sorted(values, reverse=True)
+
+    def test_slow_memory_prefers_pipelining(self):
+        assert (
+            best_single_feature(brief(memory_cycle=12.0)).feature
+            is ArchFeature.PIPELINED_MEMORY
+        )
+
+    def test_fast_memory_prefers_bus(self):
+        assert (
+            best_single_feature(brief(memory_cycle=2.5)).feature
+            is ArchFeature.DOUBLING_BUS
+        )
+
+    def test_partial_stalling_needs_measured_phi(self):
+        without = {r.feature for r in recommend(brief())}
+        with_phi = {r.feature for r in recommend(brief(phi=7.0))}
+        assert ArchFeature.PARTIAL_STALLING not in without
+        assert ArchFeature.PARTIAL_STALLING in with_phi
+
+    def test_bus_has_pin_cost_others_do_not(self):
+        recs = {r.feature: r for r in recommend(brief())}
+        assert recs[ArchFeature.DOUBLING_BUS].pin_cost > 0
+        assert recs[ArchFeature.PIPELINED_MEMORY].pin_cost == 0
+
+    def test_write_buffers_priced_in_area(self):
+        recs = {r.feature: r for r in recommend(brief())}
+        assert recs[ArchFeature.WRITE_BUFFERS].area_cost_rbe > 0
+
+    def test_equivalent_cache_positive_when_curve_has_headroom(self):
+        recs = recommend(brief(cache_kib=8))
+        for rec in recs:
+            assert rec.equivalent_cache_bytes >= 0
+
+    def test_summary_renders(self):
+        rec = best_single_feature(brief())
+        assert rec.feature.value in rec.summary
+        assert "hit ratio" in rec.summary
+
+
+class TestBaseHitRatio:
+    def test_brief_reads_curve(self):
+        assert brief(cache_kib=8).base_hit_ratio == pytest.approx(0.91)
+        assert brief(cache_kib=32).base_hit_ratio == pytest.approx(0.955)

@@ -1,0 +1,88 @@
+"""Hit-ratio versus cache-size models."""
+
+import pytest
+
+from repro.analysis.hit_ratio_model import (
+    HitRatioCurve,
+    PowerLawMissModel,
+    fit_power_law,
+)
+
+
+class TestPowerLaw:
+    def test_reference_point_exact(self):
+        model = PowerLawMissModel(8192, 0.09, 0.5)
+        assert model.miss_ratio(8192) == pytest.approx(0.09)
+
+    def test_halving_rule(self):
+        model = PowerLawMissModel(8192, 0.08, exponent=1.0)
+        assert model.miss_ratio(16384) == pytest.approx(0.04)
+
+    def test_inversion_round_trip(self):
+        model = PowerLawMissModel(8192, 0.09, 0.5)
+        hr = model.hit_ratio(65536)
+        assert model.size_for_hit_ratio(hr) == pytest.approx(65536)
+
+    def test_miss_ratio_clipped_at_one(self):
+        model = PowerLawMissModel(8192, 0.5, 2.0)
+        assert model.miss_ratio(64) == 1.0
+
+    def test_flat_model_not_invertible(self):
+        model = PowerLawMissModel(8192, 0.09, 0.0)
+        with pytest.raises(ValueError, match="flat"):
+            model.size_for_hit_ratio(0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawMissModel(0, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            PowerLawMissModel(8192, 1.5, 0.5)
+
+
+class TestFit:
+    def test_exact_fit_recovers_exponent(self):
+        truth = PowerLawMissModel(8192, 0.09, 0.43)
+        points = {s: truth.miss_ratio(s) for s in (8192, 16384, 32768, 65536)}
+        fitted = fit_power_law(points)
+        assert fitted.exponent == pytest.approx(0.43, abs=1e-9)
+        assert fitted.reference_miss == pytest.approx(0.09, rel=1e-9)
+
+    def test_short_levy_fit_is_reasonable(self):
+        from repro.analysis.short_levy import SHORT_LEVY_HIT_RATIOS
+
+        points = {s: 1 - hr for s, hr in SHORT_LEVY_HIT_RATIOS.items()}
+        model = fit_power_law(points)
+        assert 0.2 < model.exponent < 1.0
+        for size, mr in points.items():
+            assert model.miss_ratio(size) == pytest.approx(mr, rel=0.15)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="two"):
+            fit_power_law({8192: 0.09})
+
+
+class TestCurve:
+    CURVE = HitRatioCurve({8192: 0.91, 32768: 0.955, 131072: 0.9775})
+
+    def test_exact_at_knots(self):
+        assert self.CURVE.hit_ratio(8192) == pytest.approx(0.91)
+        assert self.CURVE.hit_ratio(131072) == pytest.approx(0.9775)
+
+    def test_monotone_between_knots(self):
+        values = [self.CURVE.hit_ratio(2 ** k) for k in range(13, 18)]
+        assert values == sorted(values)
+
+    def test_clamps_outside_range(self):
+        assert self.CURVE.hit_ratio(1024) == pytest.approx(0.91)
+        assert self.CURVE.hit_ratio(1 << 30) == pytest.approx(0.9775)
+
+    def test_size_inversion(self):
+        assert self.CURVE.size_for_hit_ratio(0.955) == pytest.approx(32768)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="above"):
+            self.CURVE.size_for_hit_ratio(0.999)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            HitRatioCurve({8192: 0.95, 32768: 0.90})

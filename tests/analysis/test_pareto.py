@@ -1,0 +1,135 @@
+"""Pareto frontier over feature bundles."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    Bundle,
+    design_frontier,
+    evaluate_bundles,
+    pareto_front,
+)
+from repro.core.params import SystemConfig
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+class TestEvaluate:
+    def test_eight_bundles(self, config):
+        assert len(evaluate_bundles(config, 0.95)) == 8
+
+    def test_baseline_speedup_is_one(self, config):
+        points = evaluate_bundles(config, 0.95)
+        baseline = next(p for p in points if p.bundle.label == "baseline")
+        assert baseline.speedup == pytest.approx(1.0)
+
+    def test_every_feature_adds_speedup(self, config):
+        points = {p.bundle: p for p in evaluate_bundles(config, 0.95)}
+        baseline = points[Bundle(False, False, False)]
+        for bundle, point in points.items():
+            if bundle != baseline.bundle:
+                assert point.speedup > baseline.speedup
+
+    def test_all_features_is_fastest(self, config):
+        points = evaluate_bundles(config, 0.95)
+        best = max(points, key=lambda p: p.speedup)
+        assert best.bundle == Bundle(True, True, True)
+
+    def test_monotone_composition(self, config):
+        """Adding a feature to a bundle never slows it down."""
+        points = {p.bundle: p.speedup for p in evaluate_bundles(config, 0.95)}
+        for bundle, speedup in points.items():
+            for flag in ("double_bus", "write_buffers", "pipelined"):
+                if not getattr(bundle, flag):
+                    bigger = Bundle(
+                        **{
+                            f: (True if f == flag else getattr(bundle, f))
+                            for f in ("double_bus", "write_buffers", "pipelined")
+                        }
+                    )
+                    assert points[bigger] >= speedup
+
+    def test_costs_assigned(self, config):
+        points = {p.bundle: p for p in evaluate_bundles(config, 0.95)}
+        assert points[Bundle(True, False, False)].pin_cost > 0
+        assert points[Bundle(False, True, False)].area_cost_rbe > 0
+        assert points[Bundle(False, False, True)].pin_cost == 0
+
+
+class TestFront:
+    def test_front_is_subset_and_nonempty(self, config):
+        points = evaluate_bundles(config, 0.95)
+        front = pareto_front(points)
+        assert front
+        assert all(p in points for p in front)
+
+    def test_baseline_always_on_front(self, config):
+        """Zero cost, lowest speedup: nothing dominates it."""
+        front = design_frontier(config, 0.95)
+        assert any(p.bundle.label == "baseline" for p in front)
+
+    def test_front_sorted_by_speedup(self, config):
+        front = design_frontier(config, 0.95)
+        speedups = [p.speedup for p in front]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_nothing_on_front_is_dominated(self, config):
+        points = evaluate_bundles(config, 0.95)
+        front = pareto_front(points)
+        for member in front:
+            assert not any(other.dominates(member) for other in points)
+
+    def test_slow_memory_pipelining_out_speeds_bus(self):
+        """Past the crossover, pipelined-only out-speeds bus-only; both
+        can stay on the frontier (pins vs banks are incomparable), but
+        the speedup ordering must match Figures 4-5."""
+        config = SystemConfig(4, 32, 16.0, pipeline_turnaround=2.0)
+        points = {p.bundle.label: p for p in evaluate_bundles(config, 0.95)}
+        assert points["pipelined mem"].speedup > points["2x bus"].speedup
+        front_labels = [p.bundle.label for p in design_frontier(config, 0.95)]
+        assert "pipelined mem" in front_labels
+
+    def test_banks_priced_for_pipelined_bundles(self, config):
+        points = {p.bundle.label: p for p in evaluate_bundles(config, 0.95)}
+        assert points["pipelined mem"].memory_banks == 4  # beta=8, q=2
+        assert points["baseline"].memory_banks == 1
+
+
+class TestCacheGrowthPoints:
+    def test_growth_points_added_with_curve(self, config):
+        from repro.analysis.pareto import Bundle
+        from repro.analysis.short_levy import short_levy_curve
+
+        points = evaluate_bundles(
+            config,
+            0.955,
+            hit_ratio_curve=short_levy_curve(),
+            cache_bytes=32 * 1024,
+        )
+        assert len(points) == 10
+        labels = {p.bundle.label for p in points}
+        assert "2x cache" in labels and "4x cache" in labels
+
+    def test_curve_without_cache_bytes_rejected(self, config):
+        from repro.analysis.short_levy import short_levy_curve
+
+        with pytest.raises(ValueError, match="cache_bytes"):
+            evaluate_bundles(
+                config, 0.955, hit_ratio_curve=short_levy_curve()
+            )
+
+    def test_large_cache_growth_dominated_by_cheap_features(self, config):
+        """Section 5.2 via the frontier: at a 32K cache, doubling the
+        cache is dominated (write buffers beat it on speedup AND area)."""
+        from repro.analysis.short_levy import short_levy_curve
+
+        points = evaluate_bundles(
+            config,
+            0.955,
+            hit_ratio_curve=short_levy_curve(),
+            cache_bytes=32 * 1024,
+        )
+        front_labels = {p.bundle.label for p in pareto_front(points)}
+        assert "2x cache" not in front_labels

@@ -1,0 +1,33 @@
+"""Short & Levy anchors behind Example 1."""
+
+import pytest
+
+from repro.analysis.short_levy import SHORT_LEVY_HIT_RATIOS, short_levy_curve
+from repro.core.bus_width import asymptotic_hit_ratio
+
+KIB = 1024
+
+
+class TestAnchors:
+    def test_case1_pair(self):
+        """64-bit + 8K == 32-bit + 32K via HR2 = 2 HR1 - 1."""
+        hr_32k = SHORT_LEVY_HIT_RATIOS[32 * KIB]
+        assert asymptotic_hit_ratio(hr_32k) == pytest.approx(
+            SHORT_LEVY_HIT_RATIOS[8 * KIB]
+        )
+
+    def test_case2_pair(self):
+        """64-bit + 32K == 32-bit + 128K."""
+        hr_128k = SHORT_LEVY_HIT_RATIOS[128 * KIB]
+        assert asymptotic_hit_ratio(hr_128k) == pytest.approx(
+            SHORT_LEVY_HIT_RATIOS[32 * KIB]
+        )
+
+    def test_paper_quoted_values(self):
+        assert SHORT_LEVY_HIT_RATIOS[8 * KIB] == 0.91
+        assert SHORT_LEVY_HIT_RATIOS[32 * KIB] == 0.955
+
+    def test_curve_interpolates(self):
+        curve = short_levy_curve()
+        middle = curve.hit_ratio(16 * KIB)
+        assert 0.91 < middle < 0.955

@@ -1,0 +1,60 @@
+"""Design-target miss-ratio tables (Figure 6 calibration)."""
+
+import pytest
+
+from repro.analysis.smith_targets import DESIGN_TARGET_MISS_RATIOS, design_target_table
+from repro.core.smith import smith_optimal_line
+
+KIB = 1024
+
+
+class TestTableShape:
+    @pytest.mark.parametrize("cache", [8 * KIB, 16 * KIB])
+    def test_miss_ratio_falls_with_line_size(self, cache):
+        table = design_target_table(cache)
+        lines = sorted(table)
+        ratios = [table[line] for line in lines]
+        assert ratios == sorted(ratios, reverse=True)
+
+    @pytest.mark.parametrize("cache", [8 * KIB, 16 * KIB])
+    def test_diminishing_returns_per_doubling(self, cache):
+        """The miss-ratio ratio per doubling approaches 1 (less benefit)."""
+        table = design_target_table(cache)
+        lines = sorted(table)
+        ratios = [
+            table[b] / table[a] for a, b in zip(lines, lines[1:])
+        ]
+        assert all(0.4 < r < 1.0 for r in ratios)
+        assert ratios[-1] > ratios[0]
+
+    def test_bigger_cache_misses_less(self):
+        small = design_target_table(8 * KIB)
+        big = design_target_table(16 * KIB)
+        for line in small:
+            assert big[line] < small[line]
+
+    def test_copies_are_independent(self):
+        table = design_target_table(8 * KIB)
+        table[8] = 0.5
+        assert DESIGN_TARGET_MISS_RATIOS[8 * KIB][8] != 0.5
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(KeyError, match="design-target"):
+            design_target_table(4 * KIB)
+
+
+class TestPaperCalibration:
+    """The four Figure 6 annotated optima."""
+
+    def test_panel_a(self):
+        assert smith_optimal_line(design_target_table(16 * KIB), 12.0, 2.0, 4) == 32
+
+    def test_panel_b(self):
+        assert smith_optimal_line(design_target_table(16 * KIB), 4.0, 3.0, 8) == 16
+
+    def test_panel_c(self):
+        optimum = smith_optimal_line(design_target_table(16 * KIB), 18.75, 1.0, 8)
+        assert optimum in (64, 128)  # paper: "64 or 128 bytes"
+
+    def test_panel_d(self):
+        assert smith_optimal_line(design_target_table(8 * KIB), 6.0, 2.0, 8) == 32

@@ -1,0 +1,44 @@
+"""Address decomposition."""
+
+import pytest
+
+from repro.cache.address import AddressMap
+
+
+class TestAddressMap:
+    def test_line_address(self):
+        amap = AddressMap(line_size=32, n_sets=64)
+        assert amap.line_address(0x1234) == 0x1220
+
+    def test_offset(self):
+        amap = AddressMap(32, 64)
+        assert amap.offset(0x1234) == 0x14
+
+    def test_set_index_wraps(self):
+        amap = AddressMap(32, 64)
+        assert amap.set_index(0) == 0
+        assert amap.set_index(32) == 1
+        assert amap.set_index(32 * 64) == 0
+
+    def test_tag(self):
+        amap = AddressMap(32, 64)
+        assert amap.tag(32 * 64) == 1
+        assert amap.tag(31) == 0
+
+    def test_rebuild_round_trip(self):
+        amap = AddressMap(32, 64)
+        for address in (0x0, 0x1234, 0xDEADBEE0, 0x7FFF_FFFF):
+            line = amap.line_address(address)
+            rebuilt = amap.rebuild_address(amap.tag(address), amap.set_index(address))
+            assert rebuilt == line
+
+    def test_fully_associative_single_set(self):
+        amap = AddressMap(32, 1)
+        assert amap.set_index(0x12345) == 0
+        assert amap.tag(64) == 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            AddressMap(line_size=24, n_sets=64)
+        with pytest.raises(ValueError, match="power of two"):
+            AddressMap(line_size=32, n_sets=3)

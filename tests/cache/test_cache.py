@@ -1,0 +1,187 @@
+"""Set-associative cache behaviour."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.write_policy import AllocatePolicy, WritePolicy
+
+
+def small_cache(**overrides) -> Cache:
+    """A 4-set, 2-way, 32-byte-line cache (256 bytes total)."""
+    defaults = dict(total_bytes=256, line_size=32, associativity=2)
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(8192, 32, 2)
+        assert config.n_sets == 128
+        assert config.n_lines == 256
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(8000, 32, 2)
+        with pytest.raises(ValueError):
+            CacheConfig(8192, 24, 2)
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            CacheConfig(8192, 32, 3)
+
+    def test_fully_associative_allowed(self):
+        config = CacheConfig(256, 32, 8)
+        assert config.n_sets == 1
+
+
+class TestReads:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.read(0x40)
+        assert not first.hit and first.fill_line
+        second = cache.read(0x44)  # same line
+        assert second.hit and not second.fill_line
+
+    def test_line_address_reported(self):
+        cache = small_cache()
+        outcome = cache.read(0x47)
+        assert outcome.line_address == 0x40
+
+    def test_conflict_eviction(self):
+        cache = small_cache()  # 4 sets * 32B; addresses 128 apart collide
+        cache.read(0x000)
+        cache.read(0x080)
+        cache.read(0x100)  # third line in a 2-way set evicts LRU (0x000)
+        assert not cache.contains(0x000)
+        assert cache.contains(0x080)
+        assert cache.contains(0x100)
+
+    def test_clean_eviction_has_no_flush(self):
+        cache = small_cache()
+        cache.read(0x000)
+        cache.read(0x080)
+        outcome = cache.read(0x100)
+        assert outcome.flush_line_address is None
+        assert cache.stats.flushed_lines == 0
+
+
+class TestWriteBack:
+    def test_store_hit_marks_dirty(self):
+        cache = small_cache()
+        cache.read(0x40)
+        outcome = cache.write(0x44)
+        assert outcome.hit
+        assert cache.is_dirty(0x40)
+
+    def test_dirty_eviction_flushes(self):
+        cache = small_cache()
+        cache.write(0x000)  # write-allocate: fill + dirty
+        cache.read(0x080)
+        outcome = cache.read(0x100)  # evicts dirty 0x000
+        assert outcome.flush_line_address == 0x000
+        assert cache.stats.flushed_lines == 1
+
+    def test_write_allocate_fill_counts_in_r(self):
+        cache = small_cache()
+        cache.write(0x40)
+        assert cache.stats.write_allocate_fills == 1
+        assert cache.stats.read_miss_bytes == 32
+
+    def test_no_write_through_traffic(self):
+        cache = small_cache()
+        cache.read(0x40)
+        outcome = cache.write(0x44)
+        assert not outcome.write_through
+
+
+class TestWriteThrough:
+    def test_store_hit_propagates(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.read(0x40)
+        outcome = cache.write(0x44)
+        assert outcome.hit and outcome.write_through
+        assert not cache.is_dirty(0x40)
+
+    def test_allocate_miss_also_writes_through(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        outcome = cache.write(0x40)
+        assert outcome.fill_line and outcome.write_through
+
+    def test_evictions_never_flush(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.write(0x000)
+        cache.write(0x080)
+        cache.write(0x100)
+        assert cache.stats.flushed_lines == 0
+
+
+class TestWriteAround:
+    def test_store_miss_bypasses(self):
+        cache = small_cache(allocate_policy=AllocatePolicy.WRITE_AROUND)
+        outcome = cache.write(0x40)
+        assert outcome.write_around and not outcome.fill_line
+        assert not cache.contains(0x40)
+        assert cache.stats.write_around_count == 1
+
+    def test_store_hit_still_updates_cache(self):
+        cache = small_cache(allocate_policy=AllocatePolicy.WRITE_AROUND)
+        cache.read(0x40)
+        outcome = cache.write(0x44)
+        assert outcome.hit and not outcome.write_around
+
+
+class TestInvalidate:
+    def test_clean_invalidate(self):
+        cache = small_cache()
+        cache.read(0x40)
+        assert cache.invalidate(0x40) is None
+        assert not cache.contains(0x40)
+
+    def test_dirty_invalidate_returns_flush(self):
+        cache = small_cache()
+        cache.write(0x40)
+        assert cache.invalidate(0x40) == 0x40
+        assert cache.stats.flushed_lines == 1
+
+    def test_absent_invalidate_is_noop(self):
+        cache = small_cache()
+        assert cache.invalidate(0x40) is None
+        assert cache.stats.invalidations == 0
+
+
+class TestAccounting:
+    def test_hits_plus_misses_equals_accesses(self):
+        cache = small_cache()
+        addresses = [0x00, 0x20, 0x40, 0x00, 0x24, 0x80, 0x100, 0x180, 0x00]
+        for i, address in enumerate(addresses):
+            if i % 2:
+                cache.write(address)
+            else:
+                cache.read(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(addresses)
+
+    def test_resident_lines_within_capacity(self):
+        cache = small_cache()
+        for address in range(0, 4096, 32):
+            cache.read(address)
+        assert len(cache.resident_lines()) <= cache.config.n_lines
+
+    def test_flush_ratio_definition(self):
+        cache = small_cache()
+        cache.write(0x000)
+        cache.read(0x080)
+        cache.read(0x100)  # flushes 0x000
+        stats = cache.stats
+        assert stats.flush_ratio == pytest.approx(
+            stats.flush_bytes / stats.read_miss_bytes
+        )
+
+    def test_lru_within_set(self):
+        cache = small_cache()
+        cache.read(0x000)
+        cache.read(0x080)
+        cache.read(0x000)  # refresh 0x000; 0x080 is now LRU
+        cache.read(0x100)
+        assert cache.contains(0x000)
+        assert not cache.contains(0x080)

@@ -1,0 +1,51 @@
+"""Split instruction/data cache organization."""
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import SplitCacheSystem
+from repro.trace.record import ALU_OP, load, store
+
+
+def make_system(with_icache=True):
+    data = CacheConfig(256, 32, 2)
+    inst = CacheConfig(256, 32, 2) if with_icache else None
+    return SplitCacheSystem(data, inst)
+
+
+class TestRouting:
+    def test_loads_go_to_dcache(self):
+        system = make_system(with_icache=False)
+        result = system.execute(load(0x40))
+        assert result.data_outcome is not None
+        assert result.instruction_outcome is None
+        assert system.dcache.stats.read_misses == 1
+
+    def test_stores_go_to_dcache(self):
+        system = make_system(with_icache=False)
+        system.execute(store(0x40))
+        assert system.dcache.stats.write_misses == 1
+
+    def test_alu_touches_only_icache(self):
+        system = make_system()
+        result = system.execute(ALU_OP)
+        assert result.data_outcome is None
+        assert result.instruction_outcome is not None
+        assert system.dcache.stats.accesses == 0
+
+
+class TestInstructionStream:
+    def test_sequential_pc_gives_high_icache_hit_ratio(self):
+        """Section 3.4: instruction hit ratios are usually very high."""
+        system = make_system()
+        system.run([ALU_OP] * 1000)
+        assert system.icache.stats.hit_ratio > 0.85
+
+    def test_icache_wraps_with_small_footprint(self):
+        system = make_system()
+        # 64 instructions * 4B = 256 bytes: exactly the icache capacity.
+        system.run([ALU_OP] * 64)
+        assert system.icache.stats.read_misses == 8  # 8 lines of 32 bytes
+
+    def test_run_accumulates(self):
+        system = make_system(with_icache=False)
+        system.run([load(0x00), load(0x04), store(0x20), ALU_OP])
+        assert system.dcache.stats.accesses == 3

@@ -1,0 +1,102 @@
+"""Two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.multilevel import (
+    TwoLevelCache,
+    effective_memory_cycle,
+    single_level_equivalent,
+)
+from repro.trace.record import ALU_OP, load, store
+from repro.trace.spec92 import spec92_trace
+
+L1 = CacheConfig(256, 32, 2)
+L2 = CacheConfig(2048, 32, 4)
+
+
+class TestHierarchy:
+    def test_l1_hit_skips_l2(self):
+        hierarchy = TwoLevelCache(L1, L2)
+        hierarchy.access(load(0x40))
+        l2_before = hierarchy.l2.stats.accesses
+        assert hierarchy.access(load(0x44))  # L1 hit
+        assert hierarchy.l2.stats.accesses == l2_before
+
+    def test_l1_miss_probes_l2(self):
+        hierarchy = TwoLevelCache(L1, L2)
+        hierarchy.access(load(0x40))
+        before = hierarchy.l2.stats.accesses
+        hierarchy.access(load(0x4000))
+        assert hierarchy.l2.stats.accesses == before + 1
+
+    def test_l2_catches_l1_capacity_victims(self):
+        """Lines bouncing out of a tiny L1 stay resident in the L2."""
+        hierarchy = TwoLevelCache(L1, L2)
+        addresses = [0x000, 0x080, 0x100, 0x180]  # one L1 set, 4 lines
+        for _ in range(5):
+            for address in addresses:
+                hierarchy.access(load(address))
+        stats = hierarchy.stats()
+        assert stats.l1_miss_ratio > 0.5  # L1 thrashes
+        assert stats.l2_local_miss_ratio < 0.5  # L2 holds them all
+
+    def test_dirty_l1_victims_written_back_to_l2(self):
+        hierarchy = TwoLevelCache(L1, L2)
+        hierarchy.access(store(0x000))
+        hierarchy.access(load(0x080))
+        hierarchy.access(load(0x100))  # evicts dirty 0x000 into L2
+        assert hierarchy.l2.is_dirty(0x000)
+
+    def test_alu_rejected(self):
+        with pytest.raises(ValueError, match="memory operations"):
+            TwoLevelCache(L1, L2).access(ALU_OP)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError, match="at least as large"):
+            TwoLevelCache(L2, L1)
+        with pytest.raises(ValueError, match="L2 line"):
+            TwoLevelCache(
+                CacheConfig(256, 64, 2), CacheConfig(2048, 32, 4)
+            )
+
+
+class TestEffectiveCycle:
+    def test_between_l2_and_memory_cost(self):
+        trace = spec92_trace("ear", 6000, seed=7)
+        stats, beta_eff = single_level_equivalent(
+            trace, CacheConfig(8192, 32, 2), CacheConfig(65536, 32, 4), 2.0, 12.0
+        )
+        assert 2.0 <= beta_eff <= 2.0 + 12.0
+
+    def test_perfect_l2_gives_sram_cost(self):
+        from repro.cache.multilevel import MultilevelStats
+
+        stats = MultilevelStats(
+            l1_accesses=100, l1_misses=10, l2_accesses=10, l2_misses=0
+        )
+        assert effective_memory_cycle(stats, 2.0, 12.0) == 2.0
+
+    def test_useless_l2_adds_lookup_tax(self):
+        from repro.cache.multilevel import MultilevelStats
+
+        stats = MultilevelStats(
+            l1_accesses=100, l1_misses=10, l2_accesses=10, l2_misses=10
+        )
+        assert effective_memory_cycle(stats, 2.0, 12.0) == 14.0
+
+    def test_no_misses_defaults_to_l2_cost(self):
+        from repro.cache.multilevel import MultilevelStats
+
+        stats = MultilevelStats(100, 0, 0, 0)
+        assert effective_memory_cycle(stats, 2.0, 12.0) == 2.0
+
+    def test_bigger_l2_never_raises_effective_cycle(self):
+        trace = spec92_trace("doduc", 8000, seed=7)
+        small = single_level_equivalent(
+            trace, CacheConfig(8192, 32, 2), CacheConfig(32768, 32, 4), 2.0, 12.0
+        )[1]
+        large = single_level_equivalent(
+            trace, CacheConfig(8192, 32, 2), CacheConfig(262144, 32, 4), 2.0, 12.0
+        )[1]
+        assert large <= small + 1e-9

@@ -1,0 +1,125 @@
+"""Replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_untouched_evicts_way_zero(self):
+        assert LRUPolicy(4).victim() == 0
+
+    def test_least_recent_evicted(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.touch(0)  # order now 1,2,3,0
+        assert policy.victim() == 1
+
+    def test_touch_reorders(self):
+        policy = LRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_reset_makes_way_victim(self):
+        policy = LRUPolicy(4)
+        for way in range(4):
+            policy.touch(way)
+        policy.reset_way(2)
+        assert policy.victim() == 2
+
+    def test_way_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            LRUPolicy(4).touch(4)
+
+
+class TestFIFO:
+    def test_round_robin_fill_order(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        assert policy.victim() == 1
+        policy.touch(1)
+        assert policy.victim() == 0
+
+    def test_hits_do_not_reorder(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(0)  # a hit, not a new fill
+        assert policy.victim() == 0
+
+    def test_reset_targets_freed_way(self):
+        policy = FIFOPolicy(4)
+        for way in range(4):
+            policy.touch(way)
+        policy.reset_way(2)
+        assert policy.victim() == 2
+
+
+class TestRandom:
+    def test_victims_within_range_and_deterministic(self):
+        policy_a = RandomPolicy(4, seed=42)
+        policy_b = RandomPolicy(4, seed=42)
+        seq_a = [policy_a.victim() for _ in range(20)]
+        seq_b = [policy_b.victim() for _ in range(20)]
+        assert seq_a == seq_b
+        assert all(0 <= v < 4 for v in seq_a)
+
+    def test_covers_all_ways_eventually(self):
+        policy = RandomPolicy(4, seed=1)
+        assert {policy.victim() for _ in range(200)} == {0, 1, 2, 3}
+
+
+class TestPLRU:
+    def test_single_way(self):
+        policy = PLRUPolicy(1)
+        policy.touch(0)
+        assert policy.victim() == 0
+
+    def test_victim_is_not_most_recent(self):
+        policy = PLRUPolicy(4)
+        for way in range(4):
+            policy.touch(way)
+            assert policy.victim() != way
+
+    def test_tree_behaviour_two_ways_matches_lru(self):
+        plru = PLRUPolicy(2)
+        lru = LRUPolicy(2)
+        for way in (0, 1, 0, 0, 1):
+            plru.touch(way)
+            lru.touch(way)
+            assert plru.victim() == lru.victim()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            PLRUPolicy(3)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy),
+        ("fifo", FIFOPolicy),
+        ("random", RandomPolicy),
+        ("plru", PLRUPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 2), LRUPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_policy("mru", 4)
+
+    def test_nonpositive_ways_rejected(self):
+        with pytest.raises(ValueError, match="n_ways"):
+            make_policy("lru", 0)

@@ -1,0 +1,37 @@
+"""CacheStats derived quantities."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestDerived:
+    def test_empty_stats_are_zero(self):
+        stats = CacheStats(line_size=32)
+        assert stats.accesses == 0
+        assert stats.hit_ratio == 0.0
+        assert stats.miss_ratio == 0.0
+        assert stats.flush_ratio == 0.0
+
+    def test_hit_and_miss_ratio(self):
+        stats = CacheStats(line_size=32, read_hits=90, read_misses=10)
+        assert stats.hit_ratio == pytest.approx(0.9)
+        assert stats.miss_ratio == pytest.approx(0.1)
+
+    def test_r_includes_write_allocate_fills(self):
+        stats = CacheStats(
+            line_size=32, read_misses=10, write_misses=5, write_allocate_fills=5
+        )
+        assert stats.line_fills == 15
+        assert stats.read_miss_bytes == 480
+
+    def test_write_around_not_in_r(self):
+        stats = CacheStats(
+            line_size=32, read_misses=10, write_misses=5, write_around_count=5
+        )
+        assert stats.line_fills == 10
+
+    def test_flush_ratio_is_alpha(self):
+        stats = CacheStats(line_size=32, read_misses=10, flushed_lines=5)
+        assert stats.flush_ratio == pytest.approx(0.5)
+        assert stats.flush_bytes == 160

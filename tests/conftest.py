@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.params import SystemConfig
+from repro.trace.record import ALU_OP, Instruction, OpKind
+
+
+@pytest.fixture
+def paper_config() -> SystemConfig:
+    """The Figure 4/5 operating point: D=4, L=32, beta_m=8, q=2."""
+    return SystemConfig(
+        bus_width=4, line_size=32, memory_cycle=8.0, pipeline_turnaround=2.0
+    )
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """The Figure 3 operating point: D=4, L=8 (L/D = 2)."""
+    return SystemConfig(
+        bus_width=4, line_size=8, memory_cycle=8.0, pipeline_turnaround=2.0
+    )
+
+
+@pytest.fixture
+def figure1_cache() -> CacheConfig:
+    """The Figure 1 cache: 8K, 2-way, 32-byte lines, write-allocate."""
+    return CacheConfig(total_bytes=8192, line_size=32, associativity=2)
+
+
+def sequential_trace(
+    n_instructions: int,
+    loads_every: int = 3,
+    element_size: int = 8,
+    base: int = 0,
+) -> list[Instruction]:
+    """Deterministic sequential-load trace for hand-checkable timing."""
+    trace = []
+    address = base
+    for i in range(n_instructions):
+        if i % loads_every == 0:
+            trace.append(Instruction(OpKind.LOAD, address, 4))
+            address += element_size
+        else:
+            trace.append(ALU_OP)
+    return trace
+
+
+@pytest.fixture
+def seq_trace() -> list[Instruction]:
+    """3000-instruction sequential trace (1000 loads, 8-byte stride)."""
+    return sequential_trace(3000)

@@ -1,0 +1,87 @@
+"""Tradeoff envelopes over parameter boxes."""
+
+import pytest
+
+from repro.core.bounds import TradeoffBounds, feature_bounds, guaranteed_winner
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+class TestFeatureBounds:
+    @pytest.mark.parametrize(
+        "feature",
+        [
+            ArchFeature.DOUBLING_BUS,
+            ArchFeature.WRITE_BUFFERS,
+            ArchFeature.PIPELINED_MEMORY,
+        ],
+    )
+    def test_corners_bound_a_dense_grid(self, config, feature):
+        """Exactness check: 11x11 interior samples stay inside the
+        corner-derived envelope."""
+        bounds = feature_bounds(
+            feature, config, 0.95, beta_range=(2.0, 20.0),
+            alpha_range=(0.0, 1.0),
+        )
+        for i in range(11):
+            for j in range(11):
+                beta = 2.0 + 1.8 * i
+                alpha = 0.1 * j
+                r = feature_miss_ratio(
+                    feature, config.with_memory_cycle(beta), flush_ratio=alpha
+                )
+                assert bounds.contains(r), (beta, alpha, r)
+
+    def test_point_box_collapses(self, config):
+        bounds = feature_bounds(
+            ArchFeature.DOUBLING_BUS, config, 0.95, (8.0, 8.0), (0.5, 0.5)
+        )
+        assert bounds.r_min == bounds.r_max
+
+    def test_traded_hit_ratio_ordering(self, config):
+        bounds = feature_bounds(
+            ArchFeature.PIPELINED_MEMORY, config, 0.95, (2.0, 20.0)
+        )
+        assert bounds.traded_min <= bounds.traded_max
+        assert bounds.traded_min >= 0.0
+
+    def test_bad_range_rejected(self, config):
+        with pytest.raises(ValueError, match="low, high"):
+            feature_bounds(ArchFeature.DOUBLING_BUS, config, 0.95, (10.0, 2.0))
+
+    def test_partial_stalling_supported_with_phi(self, config):
+        bounds = feature_bounds(
+            ArchFeature.PARTIAL_STALLING,
+            config,
+            0.95,
+            (4.0, 12.0),
+            measured_stall_factor=7.0,
+        )
+        assert bounds.r_min >= 1.0
+
+
+class TestGuaranteedWinner:
+    def test_fast_memory_box_guarantees_bus(self, config):
+        winner = guaranteed_winner(config, 0.95, beta_range=(2.0, 3.5))
+        assert winner is ArchFeature.DOUBLING_BUS
+
+    def test_slow_memory_box_guarantees_pipelining(self, config):
+        winner = guaranteed_winner(config, 0.95, beta_range=(10.0, 20.0))
+        assert winner is ArchFeature.PIPELINED_MEMORY
+
+    def test_box_straddling_crossover_has_no_winner(self, config):
+        # The pipelined-vs-bus crossover sits at ~4.7 cycles.
+        winner = guaranteed_winner(config, 0.95, beta_range=(3.0, 8.0))
+        assert winner is None
+
+
+class TestBoundsObject:
+    def test_contains(self):
+        bounds = TradeoffBounds(ArchFeature.DOUBLING_BUS, 2.0, 2.5, 0.95)
+        assert bounds.contains(2.2)
+        assert not bounds.contains(2.6)

@@ -1,0 +1,88 @@
+"""Bus width versus hit ratio (paper Section 4.1)."""
+
+import pytest
+
+from repro.core.bus_width import (
+    asymptotic_hit_ratio,
+    design_limit_hit_ratio,
+    doubling_tradeoff,
+    hit_ratio_gain_equivalent_to_doubling,
+    miss_volume_ratio_for_doubling,
+)
+from repro.core.params import SystemConfig
+
+
+class TestPaperLimits:
+    """The two closed-form anchors of Section 4.1."""
+
+    def test_design_limit_r_is_2_5(self):
+        # L = 2D, beta_m = 2, alpha = 0.5  ->  R' = 2.5 R
+        config = SystemConfig(bus_width=4, line_size=8, memory_cycle=2)
+        assert miss_volume_ratio_for_doubling(config, 0.5) == pytest.approx(2.5)
+
+    def test_design_limit_hit_ratio_rule(self):
+        config = SystemConfig(4, 8, 2)
+        result = doubling_tradeoff(config, 0.95, flush_ratio=0.5)
+        assert result.feature_hit_ratio == pytest.approx(
+            design_limit_hit_ratio(0.95)
+        )
+        assert design_limit_hit_ratio(0.95) == pytest.approx(0.875)
+
+    def test_asymptotic_r_approaches_2(self):
+        config = SystemConfig(4, 8, 1e9)
+        assert miss_volume_ratio_for_doubling(config, 0.5) == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_asymptotic_hit_ratio_rule(self):
+        # Paper's worked numbers: 0.95 -> 0.90 and 0.98 -> 0.96.
+        assert asymptotic_hit_ratio(0.95) == pytest.approx(0.90)
+        assert asymptotic_hit_ratio(0.98) == pytest.approx(0.96)
+
+    def test_r_between_2_and_2_5_for_all_beta(self):
+        for beta in (2, 3, 5, 10, 50, 500):
+            config = SystemConfig(4, 8, beta)
+            r = miss_volume_ratio_for_doubling(config, 0.5)
+            assert 2.0 <= r <= 2.5
+
+    def test_reverse_gain_between_half_and_point_six(self):
+        # Eq. 7 limits: 0.5 (1-HR) .. 0.6 (1-HR) for L >= 2D, alpha=0.5.
+        for beta in (2, 4, 10, 100):
+            config = SystemConfig(4, 8, beta)
+            gain = hit_ratio_gain_equivalent_to_doubling(config, 0.95)
+            assert 0.5 * 0.05 <= gain <= 0.6 * 0.05 + 1e-12
+
+
+class TestBehaviour:
+    def test_traded_ratio_decreases_with_memory_cycle(self):
+        """Section 5.1: hit ratio is more precious at long memory cycles."""
+        deltas = []
+        for beta in (2, 4, 8, 16):
+            config = SystemConfig(4, 32, beta)
+            deltas.append(doubling_tradeoff(config, 0.98).hit_ratio_delta)
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_traded_ratio_smaller_for_larger_lines(self):
+        """Section 5.1: larger lines trade less hit ratio."""
+        small = doubling_tradeoff(SystemConfig(4, 8, 8), 0.98).hit_ratio_delta
+        large = doubling_tradeoff(SystemConfig(4, 32, 8), 0.98).hit_ratio_delta
+        assert large < small
+
+    def test_lower_base_hit_ratio_trades_more(self):
+        config = SystemConfig(4, 32, 8)
+        at_90 = doubling_tradeoff(config, 0.90).hit_ratio_delta
+        at_98 = doubling_tradeoff(config, 0.98).hit_ratio_delta
+        assert at_90 > at_98
+
+    def test_distinct_flush_ratios_supported(self):
+        config = SystemConfig(4, 32, 8)
+        r_equal = miss_volume_ratio_for_doubling(config, 0.5)
+        r_skewed = miss_volume_ratio_for_doubling(
+            config, 0.5, flush_ratio_doubled=0.0
+        )
+        assert r_skewed > r_equal  # no flush on the wide side helps it more
+
+    def test_requires_l_at_least_2d(self):
+        config = SystemConfig(8, 8, 8)
+        with pytest.raises(ValueError, match="L >= 2D"):
+            doubling_tradeoff(config, 0.95)

@@ -1,0 +1,119 @@
+"""CPU execution-time model (paper Eq. 2) and mean memory delay (4.5)."""
+
+import pytest
+
+from repro.core.execution import (
+    execution_breakdown,
+    execution_time,
+    full_stall_factor,
+    hit_ratio,
+    mean_memory_delay,
+    memory_delay_cycles,
+    miss_ratio,
+)
+from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.core.stalling import StallPolicy
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(bus_width=4, line_size=32, memory_cycle=8.0)
+
+
+@pytest.fixture
+def workload():
+    # 10 line fills (320 bytes / 32), alpha=0.5, write-allocate.
+    return WorkloadCharacter(instructions=1000, read_bytes=320, flush_ratio=0.5)
+
+
+class TestEq2:
+    def test_hand_computed_total(self, config, workload):
+        # X = (E - Lambda_m) + (R/L) phi beta + (alpha R/D) beta + W beta
+        #   = (1000-10)     + 10*8*8          + (160/4)*8       + 0
+        assert execution_time(workload, config) == 990 + 640 + 320
+
+    def test_breakdown_terms(self, config, workload):
+        breakdown = execution_breakdown(workload, config)
+        assert breakdown.base_cycles == 990
+        assert breakdown.read_miss_stall_cycles == 640
+        assert breakdown.flush_cycles == 320
+        assert breakdown.write_around_cycles == 0
+        assert breakdown.total == 1950
+
+    def test_write_around_term(self, config):
+        workload = WorkloadCharacter(
+            1000, read_bytes=320, write_around_misses=5, flush_ratio=0.5
+        )
+        breakdown = execution_breakdown(workload, config)
+        assert breakdown.write_around_cycles == 5 * 8
+        assert breakdown.base_cycles == 1000 - 15
+
+    def test_write_buffers_drop_flush_term(self, config, workload):
+        with_buffers = execution_time(workload, config, write_buffers=True)
+        without = execution_time(workload, config)
+        assert without - with_buffers == 320
+
+    def test_zero_misses_is_pure_e(self, config):
+        workload = WorkloadCharacter(instructions=500, read_bytes=0)
+        assert execution_time(workload, config) == 500
+
+    def test_full_stall_factor(self, config):
+        assert full_stall_factor(config) == 8.0
+
+    def test_partial_policy_requires_phi(self, config, workload):
+        with pytest.raises(ValueError, match="stall_factor"):
+            execution_time(workload, config, policy=StallPolicy.BUS_LOCKED)
+
+    def test_partial_policy_with_phi(self, config, workload):
+        faster = execution_time(
+            workload, config, stall_factor=4.0, policy=StallPolicy.BUS_LOCKED
+        )
+        assert faster == 990 + 10 * 4 * 8 + 320
+
+    def test_invalid_phi_rejected(self, config, workload):
+        with pytest.raises(ValueError, match="outside"):
+            execution_time(
+                workload, config, stall_factor=20.0, policy=StallPolicy.BUS_LOCKED
+            )
+
+    def test_instruction_fetch_term(self, config):
+        workload = WorkloadCharacter(
+            1000, read_bytes=0, instruction_bytes=64, flush_ratio=0.0
+        )
+        breakdown = execution_breakdown(
+            workload, config, include_instruction_fetch=True
+        )
+        # (RI/L) * (L/D) * beta = 2 * 8 * 8
+        assert breakdown.instruction_fetch_cycles == 128
+
+    def test_impossible_workload_rejected(self, config):
+        workload = WorkloadCharacter(instructions=5, read_bytes=3200)
+        with pytest.raises(ValueError, match="missing"):
+            execution_time(workload, config)
+
+
+class TestDelayAndRatios:
+    def test_memory_delay_cycles(self, config, workload):
+        assert memory_delay_cycles(workload, config) == 960
+
+    def test_miss_and_hit_ratio(self, config, workload):
+        assert miss_ratio(workload, config, data_references=200) == pytest.approx(0.05)
+        assert hit_ratio(workload, config, data_references=200) == pytest.approx(0.95)
+
+    def test_miss_ratio_rejects_insufficient_references(self, config, workload):
+        with pytest.raises(ValueError, match="exceeds"):
+            miss_ratio(workload, config, data_references=5)
+
+    def test_mean_memory_delay_independent_of_alu_count(self, config):
+        """Section 4.5: the mean delay per reference must not change when
+        non-load/store instructions are added."""
+        small = WorkloadCharacter(1000, read_bytes=320, flush_ratio=0.5)
+        big = WorkloadCharacter(50_000, read_bytes=320, flush_ratio=0.5)
+        refs = 200.0
+        assert mean_memory_delay(small, config, refs) == pytest.approx(
+            mean_memory_delay(big, config, refs)
+        )
+
+    def test_mean_memory_delay_rejects_refs_below_misses(self, config, workload):
+        with pytest.raises(ValueError, match="below"):
+            mean_memory_delay(workload, config, data_references=5)

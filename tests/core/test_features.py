@@ -1,0 +1,80 @@
+"""Per-feature dispatch and Table 3 (paper Table 3)."""
+
+import pytest
+
+from repro.core.features import ArchFeature, feature_miss_ratio, table3
+from repro.core.params import SystemConfig
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+class TestDispatch:
+    def test_doubling(self, config):
+        from repro.core.bus_width import miss_volume_ratio_for_doubling
+
+        assert feature_miss_ratio(
+            ArchFeature.DOUBLING_BUS, config
+        ) == miss_volume_ratio_for_doubling(config)
+
+    def test_write_buffers(self, config):
+        from repro.core.write_buffer import write_buffer_miss_volume_ratio
+
+        assert feature_miss_ratio(
+            ArchFeature.WRITE_BUFFERS, config
+        ) == write_buffer_miss_volume_ratio(config)
+
+    def test_pipelined(self, config):
+        from repro.core.pipelined import pipelined_miss_volume_ratio
+
+        assert feature_miss_ratio(
+            ArchFeature.PIPELINED_MEMORY, config
+        ) == pipelined_miss_volume_ratio(config)
+
+    def test_partial_stalling_needs_phi(self, config):
+        with pytest.raises(ValueError, match="stall factor"):
+            feature_miss_ratio(ArchFeature.PARTIAL_STALLING, config)
+
+    def test_partial_stalling_with_phi(self, config):
+        r = feature_miss_ratio(
+            ArchFeature.PARTIAL_STALLING, config, measured_stall_factor=6.0
+        )
+        assert r == pytest.approx(95.0 / 79.0)
+
+
+class TestTable3:
+    def test_rows_without_phi(self, config):
+        rows = table3(config, 0.95)
+        features = [row.feature for row in rows]
+        assert ArchFeature.PARTIAL_STALLING not in features
+        assert len(rows) == 3
+
+    def test_rows_with_phi(self, config):
+        rows = table3(config, 0.95, measured_stall_factor=7.0)
+        assert [row.feature for row in rows] == [
+            ArchFeature.DOUBLING_BUS,
+            ArchFeature.PARTIAL_STALLING,
+            ArchFeature.WRITE_BUFFERS,
+            ArchFeature.PIPELINED_MEMORY,
+        ]
+
+    def test_every_r_at_least_one(self, config):
+        for row in table3(config, 0.95, measured_stall_factor=7.0):
+            assert row.miss_volume_ratio >= 1.0
+            assert row.hit_ratio_traded >= 0.0
+
+    def test_ranking_at_moderate_beta(self, config):
+        """Section 5.3 at beta_m = 8, L/D = 8: pipelined leads (past the
+        crossover), then bus, buffers, BNL."""
+        rows = {
+            row.feature: row.hit_ratio_traded
+            for row in table3(config, 0.95, measured_stall_factor=0.92 * 8)
+        }
+        assert (
+            rows[ArchFeature.PIPELINED_MEMORY]
+            > rows[ArchFeature.DOUBLING_BUS]
+            > rows[ArchFeature.WRITE_BUFFERS]
+            > rows[ArchFeature.PARTIAL_STALLING]
+        )

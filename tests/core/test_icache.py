@@ -1,0 +1,80 @@
+"""Instruction-cache and unified-cache tradeoffs (Sections 3.4, 4.5)."""
+
+import pytest
+
+from repro.core.icache import (
+    instruction_cache_doubling_tradeoff,
+    instruction_miss_cost_factor,
+    unified_cache_doubling_tradeoff,
+    unified_miss_cost_factor,
+)
+from repro.core.params import SystemConfig
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0)
+
+
+class TestInstructionCache:
+    def test_kappa_has_no_flush_term(self, config):
+        # (L/D) beta - 1 = 63
+        assert instruction_miss_cost_factor(config) == 63.0
+
+    def test_doubling_r_asymptote_is_two(self):
+        config = SystemConfig(4, 32, 1e9)
+        r = instruction_cache_doubling_tradeoff(config, 0.99).miss_ratio_of_misses
+        assert r == pytest.approx(2.0, rel=1e-6)
+
+    def test_design_limit_wider_than_data_cache(self):
+        """Without flushes the beta=2 limit is (2b-1)/(b-1) = 3 > 2.5."""
+        config = SystemConfig(4, 8, 2.0)
+        r = instruction_cache_doubling_tradeoff(config, 0.99).miss_ratio_of_misses
+        assert r == pytest.approx(3.0)
+
+    def test_instruction_r_exceeds_data_r(self, config):
+        """Clean traffic gains more from a wider bus than dirty traffic."""
+        from repro.core.bus_width import miss_volume_ratio_for_doubling
+
+        data_r = miss_volume_ratio_for_doubling(config, 0.5)
+        inst_r = instruction_cache_doubling_tradeoff(
+            config, 0.99
+        ).miss_ratio_of_misses
+        assert inst_r > data_r
+
+
+class TestUnifiedCache:
+    def test_endpoints_match_pure_cases(self, config):
+        from repro.core.bus_width import miss_volume_ratio_for_doubling
+
+        pure_data = unified_cache_doubling_tradeoff(
+            config, 0.95, data_fraction=1.0
+        ).miss_ratio_of_misses
+        assert pure_data == pytest.approx(miss_volume_ratio_for_doubling(config, 0.5))
+        pure_inst = unified_cache_doubling_tradeoff(
+            config, 0.95, data_fraction=0.0
+        ).miss_ratio_of_misses
+        assert pure_inst == pytest.approx(
+            instruction_cache_doubling_tradeoff(config, 0.95).miss_ratio_of_misses
+        )
+
+    def test_mixture_between_endpoints(self, config):
+        lo = unified_cache_doubling_tradeoff(config, 0.95, 1.0).miss_ratio_of_misses
+        hi = unified_cache_doubling_tradeoff(config, 0.95, 0.0).miss_ratio_of_misses
+        mid = unified_cache_doubling_tradeoff(config, 0.95, 0.5).miss_ratio_of_misses
+        assert min(lo, hi) < mid < max(lo, hi)
+
+    def test_kappa_blend(self, config):
+        kappa = unified_miss_cost_factor(config, data_fraction=0.5, flush_ratio=0.5)
+        kappa_data = unified_miss_cost_factor(config, 1.0, 0.5)
+        kappa_inst = unified_miss_cost_factor(config, 0.0, 0.5)
+        assert kappa == pytest.approx(0.5 * kappa_data + 0.5 * kappa_inst)
+
+    def test_custom_data_stall_factor(self, config):
+        full = unified_miss_cost_factor(config, 0.5, 0.5)
+        partial = unified_miss_cost_factor(config, 0.5, 0.5, data_stall_factor=4.0)
+        assert partial < full
+
+    def test_data_fraction_validated(self, config):
+        with pytest.raises(ValueError, match="data_fraction"):
+            unified_miss_cost_factor(config, 1.5)

@@ -1,0 +1,92 @@
+"""Line size versus hit ratio (paper Section 5.4, Eqs. 11-14)."""
+
+import pytest
+
+from repro.core.line_size import (
+    evaluate_line_size,
+    line_fill_time,
+    line_size_miss_count_ratio,
+    required_hit_ratio_gain,
+)
+
+
+class TestFillTime:
+    def test_smith_model(self):
+        assert line_fill_time(10.0, 2.0, 32, 4) == 10 + 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="latency"):
+            line_fill_time(0.5, 2.0, 32, 4)
+        with pytest.raises(ValueError, match="transfer"):
+            line_fill_time(10.0, -1.0, 32, 4)
+
+
+class TestMissCountRatio:
+    def test_below_one_for_larger_line(self):
+        r = line_size_miss_count_ratio(8, 32, latency=10, transfer=2, bus_width=4)
+        assert 0 < r < 1
+
+    def test_equals_one_for_same_line(self):
+        r = line_size_miss_count_ratio(16, 16, latency=10, transfer=2, bus_width=4)
+        assert r == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # alpha=0: r = (c + (L0/D)b - 1)/(c + (L*/D)b - 1) = (10+4-1)/(10+16-1)
+        r = line_size_miss_count_ratio(8, 32, 10, 2, 4)
+        assert r == pytest.approx(13.0 / 25.0)
+
+    def test_flush_traffic_included_when_asked(self):
+        plain = line_size_miss_count_ratio(8, 32, 10, 2, 4)
+        with_flush = line_size_miss_count_ratio(8, 32, 10, 2, 4, flush_ratio=0.5)
+        assert with_flush != plain
+
+    def test_rejects_shrinking(self):
+        with pytest.raises(ValueError, match="larger_line"):
+            line_size_miss_count_ratio(32, 8, 10, 2, 4)
+
+
+class TestRequiredGain:
+    def test_eq14_positive(self):
+        gain = required_hit_ratio_gain(8, 32, 10, 2, 4, base_hit_ratio=0.9)
+        assert gain > 0
+
+    def test_eq14_hand_computed(self):
+        # (1 - 13/25) * (1 - 0.9)
+        gain = required_hit_ratio_gain(8, 32, 10, 2, 4, 0.9)
+        assert gain == pytest.approx((1 - 13 / 25) * 0.1)
+
+    def test_larger_required_gain_for_larger_lines(self):
+        gains = [
+            required_hit_ratio_gain(8, line, 10, 2, 4, 0.9)
+            for line in (16, 32, 64, 128)
+        ]
+        assert gains == sorted(gains)
+
+    def test_faster_bus_lowers_required_gain(self):
+        slow = required_hit_ratio_gain(8, 32, 10, transfer=4, bus_width=4,
+                                       base_hit_ratio=0.9)
+        fast = required_hit_ratio_gain(8, 32, 10, transfer=1, bus_width=4,
+                                       base_hit_ratio=0.9)
+        assert fast < slow
+
+    def test_hit_ratio_validated(self):
+        with pytest.raises(ValueError, match="base_hit_ratio"):
+            required_hit_ratio_gain(8, 32, 10, 2, 4, 1.0)
+
+
+class TestDecision:
+    def test_beneficial_when_actual_beats_required(self):
+        decision = evaluate_line_size(
+            8, 32, 10, 2, 4, base_hit_ratio=0.9, larger_hit_ratio=0.97
+        )
+        assert decision.beneficial
+        assert decision.margin > 0
+
+    def test_not_beneficial_when_gain_too_small(self):
+        """Section 5.4.1: a higher hit ratio alone does not justify the
+        larger line when delta_HR < delta_EHR."""
+        decision = evaluate_line_size(
+            8, 32, 10, 2, 4, base_hit_ratio=0.9, larger_hit_ratio=0.91
+        )
+        assert not decision.beneficial
+        assert decision.margin < 0

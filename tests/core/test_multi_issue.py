@@ -1,0 +1,72 @@
+"""Multiple-issue extension (paper Section 6 future work)."""
+
+import pytest
+
+from repro.core.bus_width import doubling_tradeoff, miss_volume_ratio_for_doubling
+from repro.core.multi_issue import (
+    multi_issue_execution_time,
+    multi_issue_miss_cost_factor,
+    multi_issue_tradeoff,
+)
+from repro.core.params import SystemConfig, WorkloadCharacter
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0)
+
+
+@pytest.fixture
+def workload():
+    return WorkloadCharacter(instructions=1000, read_bytes=320, flush_ratio=0.5)
+
+
+class TestExecutionTime:
+    def test_ipc_one_reduces_to_eq2(self, config, workload):
+        from repro.core.execution import execution_time
+
+        assert multi_issue_execution_time(workload, config, ipc=1.0) == execution_time(
+            workload, config
+        )
+
+    def test_wider_issue_is_faster(self, config, workload):
+        x1 = multi_issue_execution_time(workload, config, ipc=1.0)
+        x2 = multi_issue_execution_time(workload, config, ipc=2.0)
+        assert x2 < x1
+
+    def test_memory_terms_do_not_scale(self, config, workload):
+        """Only the (E - Lambda_m) term shrinks with issue width."""
+        x1 = multi_issue_execution_time(workload, config, ipc=1.0)
+        x4 = multi_issue_execution_time(workload, config, ipc=4.0)
+        base_cycles = workload.instructions - workload.miss_instructions(32)
+        assert x1 - x4 == pytest.approx(base_cycles * (1 - 0.25))
+
+    def test_ipc_below_one_rejected(self, config, workload):
+        with pytest.raises(ValueError, match="ipc"):
+            multi_issue_execution_time(workload, config, ipc=0.5)
+
+
+class TestTradeoff:
+    def test_ipc_one_matches_single_issue(self, config):
+        single = doubling_tradeoff(config, 0.95).miss_ratio_of_misses
+        multi = multi_issue_tradeoff(config, 0.95, ipc=1.0).miss_ratio_of_misses
+        assert multi == pytest.approx(single)
+
+    def test_r_converges_to_pure_memory_cost_ratio(self, config):
+        """As ipc grows, r tends to kappa's memory-only ratio (2.0 here)."""
+        pure_ratio = 12.0 / 6.0  # (phi + (L/D) alpha) base over doubled
+        r1 = multi_issue_tradeoff(config, 0.95, ipc=1.0).miss_ratio_of_misses
+        r4 = multi_issue_tradeoff(config, 0.95, ipc=4.0).miss_ratio_of_misses
+        r64 = multi_issue_tradeoff(config, 0.95, ipc=64.0).miss_ratio_of_misses
+        assert abs(r4 - pure_ratio) < abs(r1 - pure_ratio)
+        assert abs(r64 - pure_ratio) < abs(r4 - pure_ratio)
+
+    def test_r_stays_bounded(self, config):
+        """The effect is second order: r moves by far less than 2x."""
+        r1 = multi_issue_tradeoff(config, 0.95, ipc=1.0).miss_ratio_of_misses
+        r8 = multi_issue_tradeoff(config, 0.95, ipc=8.0).miss_ratio_of_misses
+        assert r8 / r1 < 1.05
+
+    def test_kappa_validation(self):
+        with pytest.raises(ValueError, match="ipc"):
+            multi_issue_miss_cost_factor(8, 0.5, 8, 8, ipc=0.9)

@@ -1,0 +1,118 @@
+"""SystemConfig and WorkloadCharacter (paper Table 1)."""
+
+import pytest
+
+from repro.core.params import (
+    SystemConfig,
+    WorkloadCharacter,
+    workload_from_hit_ratio,
+)
+
+
+class TestSystemConfig:
+    def test_bus_cycles_per_line(self):
+        config = SystemConfig(bus_width=4, line_size=32, memory_cycle=8)
+        assert config.bus_cycles_per_line == 8
+
+    def test_line_fill_time_is_ld_times_beta(self):
+        config = SystemConfig(bus_width=4, line_size=32, memory_cycle=8)
+        assert config.line_fill_time == 64.0
+
+    def test_pipelined_fill_time_eq9(self):
+        config = SystemConfig(4, 32, 8, pipeline_turnaround=2)
+        assert config.pipelined_line_fill_time == 8 + 2 * 7
+
+    def test_pipelined_equals_plain_when_line_is_bus(self):
+        config = SystemConfig(4, 4, 8, pipeline_turnaround=2)
+        assert config.pipelined_line_fill_time == config.line_fill_time
+
+    def test_doubled_bus(self):
+        config = SystemConfig(4, 32, 8)
+        doubled = config.doubled_bus()
+        assert doubled.bus_width == 8
+        assert doubled.bus_cycles_per_line == 4
+        assert doubled.line_size == config.line_size
+
+    def test_doubled_bus_requires_l_at_least_2d(self):
+        config = SystemConfig(8, 8, 8)
+        with pytest.raises(ValueError, match="L >= 2D"):
+            config.doubled_bus()
+
+    def test_line_must_be_multiple_of_bus(self):
+        with pytest.raises(ValueError, match="multiple"):
+            SystemConfig(bus_width=8, line_size=12, memory_cycle=4)
+
+    def test_memory_cycle_below_one_rejected(self):
+        with pytest.raises(ValueError, match="memory_cycle"):
+            SystemConfig(4, 32, 0.5)
+
+    def test_with_memory_cycle_creates_new_config(self):
+        config = SystemConfig(4, 32, 8)
+        faster = config.with_memory_cycle(2)
+        assert faster.memory_cycle == 2
+        assert config.memory_cycle == 8
+
+    def test_with_line_size(self):
+        config = SystemConfig(4, 32, 8)
+        assert config.with_line_size(8).line_size == 8
+
+    def test_negative_bus_width_rejected(self):
+        with pytest.raises(ValueError, match="bus_width"):
+            SystemConfig(-4, 32, 8)
+
+
+class TestWorkloadCharacter:
+    def test_miss_instructions_eq1(self):
+        # Lambda_m = R/L + W
+        workload = WorkloadCharacter(
+            instructions=1000, read_bytes=320, write_around_misses=5,
+        )
+        assert workload.miss_instructions(32) == 10 + 5
+
+    def test_write_allocate_detection(self):
+        assert WorkloadCharacter(100, 32).uses_write_allocate
+        assert not WorkloadCharacter(100, 32, write_around_misses=1).uses_write_allocate
+
+    def test_flush_bytes(self):
+        workload = WorkloadCharacter(100, 640, flush_ratio=0.5)
+        assert workload.flush_bytes() == 320
+
+    def test_flush_ratio_bounds(self):
+        with pytest.raises(ValueError, match="flush_ratio"):
+            WorkloadCharacter(100, 32, flush_ratio=1.5)
+
+    def test_scaled_preserves_flush_ratio(self):
+        workload = WorkloadCharacter(100, 640, instruction_bytes=64, flush_ratio=0.3)
+        scaled = workload.scaled(2.0)
+        assert scaled.instructions == 200
+        assert scaled.read_bytes == 1280
+        assert scaled.instruction_bytes == 128
+        assert scaled.flush_ratio == 0.3
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacter(100, 640).scaled(0)
+
+
+class TestWorkloadFromHitRatio:
+    def test_round_trip_hit_ratio(self):
+        config = SystemConfig(4, 32, 8)
+        workload = workload_from_hit_ratio(0.95, config, instructions=10_000)
+        references = 10_000 * 0.3
+        misses = workload.miss_instructions(config.line_size)
+        assert misses == pytest.approx(references * 0.05)
+
+    def test_perfect_hit_ratio_means_no_reads(self):
+        config = SystemConfig(4, 32, 8)
+        workload = workload_from_hit_ratio(1.0, config)
+        assert workload.read_bytes == 0
+
+    def test_invalid_hit_ratio(self):
+        config = SystemConfig(4, 32, 8)
+        with pytest.raises(ValueError, match="hit_ratio"):
+            workload_from_hit_ratio(0.0, config)
+
+    def test_invalid_loadstore_fraction(self):
+        config = SystemConfig(4, 32, 8)
+        with pytest.raises(ValueError, match="loadstore_fraction"):
+            workload_from_hit_ratio(0.9, config, loadstore_fraction=1.0)

@@ -1,0 +1,82 @@
+"""Pipelined memory versus hit ratio (paper Section 4.4, Eq. 9)."""
+
+import pytest
+
+from repro.core.params import SystemConfig
+from repro.core.pipelined import (
+    pipelined_line_fill_time,
+    pipelined_miss_volume_ratio,
+    pipelined_tradeoff,
+    pipelined_vs_doubling_crossover,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+class TestEq9:
+    def test_fill_time(self, config):
+        assert pipelined_line_fill_time(config) == 8 + 2 * 7
+
+    def test_equals_non_pipelined_at_l_equals_d(self):
+        config = SystemConfig(4, 4, 8.0, pipeline_turnaround=2.0)
+        assert pipelined_line_fill_time(config) == config.line_fill_time
+
+    def test_no_gain_at_beta_equals_q(self):
+        """Figures 3-5: the pipelined curve meets the x axis at beta = q."""
+        config = SystemConfig(4, 32, 2.0, pipeline_turnaround=2.0)
+        assert pipelined_miss_volume_ratio(config) == pytest.approx(1.0)
+        assert pipelined_tradeoff(config, 0.95).hit_ratio_delta == pytest.approx(0.0)
+
+
+class TestRatio:
+    def test_hand_computed(self, config):
+        # base kappa = 12*8 - 1 = 95; pipe kappa = 1.5*22 - 1 = 32
+        assert pipelined_miss_volume_ratio(config, 0.5) == pytest.approx(95.0 / 32.0)
+
+    def test_gain_grows_with_memory_cycle(self):
+        ratios = [
+            pipelined_miss_volume_ratio(SystemConfig(4, 32, b, pipeline_turnaround=2.0))
+            for b in (2, 4, 8, 16)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_large_hit_ratio_traded_at_long_cycles(self):
+        """Summary bullet: pipelining 'impacts the hit ratio considerably'."""
+        config = SystemConfig(4, 32, 20.0, pipeline_turnaround=2.0)
+        delta = pipelined_tradeoff(config, 0.95).hit_ratio_delta
+        assert delta > 0.15  # ~19% at the Figure 4 right edge
+
+
+class TestCrossover:
+    def test_closed_form_l32_d4(self):
+        # q (L/D - 1) / (L/2D - 1) = 2*7/3
+        assert pipelined_vs_doubling_crossover(32, 4, 2.0) == pytest.approx(14 / 3)
+
+    def test_paper_five_to_six_cycle_claim(self):
+        value = pipelined_vs_doubling_crossover(32, 4, 2.0)
+        assert value < 6.0
+
+    def test_no_crossover_at_l_equals_2d(self):
+        """Figure 3: at L = 2D pipelining never overtakes bus doubling."""
+        assert pipelined_vs_doubling_crossover(8, 4, 2.0) is None
+
+    def test_crossover_matches_ratio_comparison(self):
+        """The closed form agrees with direct kappa comparison."""
+        from repro.core.bus_width import miss_volume_ratio_for_doubling
+
+        beta_star = pipelined_vs_doubling_crossover(32, 4, 2.0)
+        just_below = SystemConfig(4, 32, beta_star - 0.01, pipeline_turnaround=2.0)
+        just_above = SystemConfig(4, 32, beta_star + 0.01, pipeline_turnaround=2.0)
+        assert pipelined_miss_volume_ratio(just_below) < miss_volume_ratio_for_doubling(
+            just_below
+        )
+        assert pipelined_miss_volume_ratio(just_above) > miss_volume_ratio_for_doubling(
+            just_above
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="L >= 2D"):
+            pipelined_vs_doubling_crossover(4, 4, 2.0)

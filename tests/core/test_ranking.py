@@ -1,0 +1,89 @@
+"""Unified comparison sweeps (paper Section 5.3, Figures 3-5)."""
+
+import pytest
+
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig
+from repro.core.ranking import unified_comparison
+
+
+@pytest.fixture
+def sweep_l32():
+    config = SystemConfig(4, 32, 2.0, pipeline_turnaround=2.0)
+    return unified_comparison(
+        config,
+        base_hit_ratio=0.95,
+        memory_cycles=[2, 4, 6, 8, 12, 16, 20],
+        flush_ratio=0.5,
+    )
+
+
+class TestSweeps:
+    def test_three_analytic_features_present(self, sweep_l32):
+        assert set(sweep_l32.sweeps) == {
+            ArchFeature.DOUBLING_BUS,
+            ArchFeature.WRITE_BUFFERS,
+            ArchFeature.PIPELINED_MEMORY,
+        }
+
+    def test_pipelined_starts_at_zero(self, sweep_l32):
+        assert sweep_l32.sweeps[ArchFeature.PIPELINED_MEMORY].value_at(
+            2.0
+        ) == pytest.approx(0.0)
+
+    def test_pipelined_monotone_increasing(self, sweep_l32):
+        values = sweep_l32.sweeps[ArchFeature.PIPELINED_MEMORY].hit_ratio_traded
+        assert list(values) == sorted(values)
+
+    def test_bus_and_buffers_roughly_flat(self, sweep_l32):
+        """Section 5.3: 'constant performance improvement over a
+        relatively large memory cycle times range'."""
+        for feature in (ArchFeature.DOUBLING_BUS, ArchFeature.WRITE_BUFFERS):
+            values = sweep_l32.sweeps[feature].hit_ratio_traded
+            assert max(values) - min(values) < 0.01
+
+    def test_ranking_flips_after_crossover(self, sweep_l32):
+        early = sweep_l32.ranking_at(4.0)
+        late = sweep_l32.ranking_at(20.0)
+        assert early[0] is ArchFeature.DOUBLING_BUS
+        assert late[0] is ArchFeature.PIPELINED_MEMORY
+
+    def test_crossover_near_analytic_value(self, sweep_l32):
+        crossover = sweep_l32.pipelined_crossover_vs(ArchFeature.DOUBLING_BUS)
+        assert crossover == pytest.approx(14 / 3, abs=0.25)
+
+    def test_value_at_unswept_beta_raises(self, sweep_l32):
+        with pytest.raises(ValueError, match="not swept"):
+            sweep_l32.sweeps[ArchFeature.DOUBLING_BUS].value_at(3.0)
+
+
+class TestMeasuredStalling:
+    def test_stall_curve_included_when_supplied(self):
+        config = SystemConfig(4, 32, 2.0)
+        comparison = unified_comparison(
+            config,
+            0.95,
+            [2, 8],
+            measured_stall_factors={2.0: 7.0, 8.0: 7.5},
+        )
+        assert ArchFeature.PARTIAL_STALLING in comparison.sweeps
+
+    def test_missing_phi_entry_raises(self):
+        config = SystemConfig(4, 32, 2.0)
+        with pytest.raises(KeyError):
+            unified_comparison(
+                config, 0.95, [2, 8], measured_stall_factors={2.0: 7.0}
+            )
+
+    def test_empty_sweep_rejected(self):
+        config = SystemConfig(4, 32, 2.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            unified_comparison(config, 0.95, [])
+
+    def test_l8_pipelined_never_beats_bus(self):
+        """Figure 3's observation at L = 2D."""
+        config = SystemConfig(4, 8, 2.0, pipeline_turnaround=2.0)
+        comparison = unified_comparison(config, 0.95, [2, 4, 8, 12, 16, 20])
+        pipe = comparison.sweeps[ArchFeature.PIPELINED_MEMORY].hit_ratio_traded
+        bus = comparison.sweeps[ArchFeature.DOUBLING_BUS].hit_ratio_traded
+        assert all(p < b for p, b in zip(pipe, bus))

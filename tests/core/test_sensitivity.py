@@ -1,0 +1,76 @@
+"""Sensitivity analysis of the tradeoff results."""
+
+import pytest
+
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig
+from repro.core.sensitivity import (
+    PARAMETER_NAMES,
+    OperatingPoint,
+    sensitivity,
+    sensitivity_report,
+)
+
+
+@pytest.fixture
+def point():
+    return OperatingPoint(
+        config=SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0),
+        base_hit_ratio=0.95,
+        flush_ratio=0.5,
+    )
+
+
+class TestSigns:
+    def test_bus_value_falls_with_memory_cycle(self, point):
+        """Figure 2: the traded ratio shrinks as beta_m grows."""
+        assert sensitivity(point, ArchFeature.DOUBLING_BUS, "memory_cycle") < 0
+
+    def test_pipelined_value_rises_with_memory_cycle(self, point):
+        assert sensitivity(point, ArchFeature.PIPELINED_MEMORY, "memory_cycle") > 0
+
+    def test_every_feature_falls_with_base_hit_ratio(self, point):
+        """Higher base HR -> less miss volume to trade, all features."""
+        for feature in (
+            ArchFeature.DOUBLING_BUS,
+            ArchFeature.WRITE_BUFFERS,
+            ArchFeature.PIPELINED_MEMORY,
+        ):
+            assert sensitivity(point, feature, "base_hit_ratio") < 0
+
+    def test_write_buffer_value_rises_with_flush_ratio(self, point):
+        assert sensitivity(point, ArchFeature.WRITE_BUFFERS, "flush_ratio") > 0
+
+    def test_pipelined_value_falls_with_turnaround(self, point):
+        assert (
+            sensitivity(point, ArchFeature.PIPELINED_MEMORY, "pipeline_turnaround")
+            < 0
+        )
+
+
+class TestNumerics:
+    def test_matches_analytic_slope_for_base_hit_ratio(self, point):
+        """delta = (r-1)(1-HR): d/dHR = -(r-1) exactly (linear)."""
+        from repro.core.features import feature_miss_ratio
+
+        r = feature_miss_ratio(ArchFeature.DOUBLING_BUS, point.config, 0.5)
+        slope = sensitivity(point, ArchFeature.DOUBLING_BUS, "base_hit_ratio")
+        assert slope == pytest.approx(-(r - 1.0), rel=1e-6)
+
+    def test_unknown_parameter_rejected(self, point):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            sensitivity(point, ArchFeature.DOUBLING_BUS, "voltage")
+
+
+class TestReport:
+    def test_report_covers_all_parameters(self, point):
+        report = sensitivity_report(point, ArchFeature.DOUBLING_BUS)
+        assert set(report) == set(PARAMETER_NAMES)
+
+    def test_turnaround_zero_for_non_pipelined_features(self, point):
+        report = sensitivity_report(point, ArchFeature.WRITE_BUFFERS)
+        assert report["pipeline_turnaround"] == 0.0
+
+    def test_turnaround_nonzero_for_pipelined(self, point):
+        report = sensitivity_report(point, ArchFeature.PIPELINED_MEMORY)
+        assert report["pipeline_turnaround"] != 0.0

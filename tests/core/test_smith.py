@@ -1,0 +1,89 @@
+"""Optimal line size and the Smith-criterion equivalence (Section 5.4.2)."""
+
+import pytest
+
+from repro.core.smith import (
+    criteria_agree,
+    mean_memory_delay_per_reference,
+    reduced_memory_delay,
+    smith_miss_delay,
+    smith_optimal_line,
+    tradeoff_optimal_line,
+)
+
+TABLE = {8: 0.060, 16: 0.038, 32: 0.026, 64: 0.020, 128: 0.01535}
+
+
+class TestObjectives:
+    def test_mean_delay_eq15(self):
+        # MR (c + b L/D) + HR
+        assert mean_memory_delay_per_reference(0.05, 10, 2, 32, 4) == pytest.approx(
+            0.05 * 26 + 0.95
+        )
+
+    def test_smith_delay_eq16(self):
+        assert smith_miss_delay(0.05, 10, 2, 32, 4) == pytest.approx(0.05 * 25)
+
+    def test_eq15_and_eq16_differ_by_constant(self):
+        """Minimizing either objective picks the same line (hit cost 1)."""
+        for line, mr in TABLE.items():
+            eq15 = mean_memory_delay_per_reference(mr, 10, 2, line, 4)
+            eq16 = smith_miss_delay(mr, 10, 2, line, 4)
+            assert eq15 - eq16 == pytest.approx(1.0)
+
+
+class TestOptimalLine:
+    def test_smith_matches_expected_at_figure6a(self):
+        assert smith_optimal_line(TABLE, latency=12, transfer=2, bus_width=4) == 32
+
+    def test_tradeoff_criterion_agrees(self):
+        assert tradeoff_optimal_line(TABLE, 8, 12, 2, 4) == 32
+
+    def test_agreement_over_bus_speed_sweep(self):
+        for beta in [0.5 * k for k in range(1, 21)]:
+            assert criteria_agree(TABLE, latency=12, transfer=beta, bus_width=4)
+
+    def test_fast_bus_prefers_larger_lines(self):
+        nearly_free = smith_optimal_line(TABLE, 12, 0.01, 4)
+        slow = smith_optimal_line(TABLE, 12, 8.0, 4)
+        assert nearly_free >= slow
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            smith_optimal_line({}, 12, 2, 4)
+
+    def test_bad_miss_ratio_rejected(self):
+        with pytest.raises(ValueError, match="miss ratio"):
+            smith_optimal_line({8: 1.5}, 12, 2, 4)
+
+
+class TestReducedDelay:
+    def test_base_line_has_zero_reduced_delay(self):
+        points = reduced_memory_delay(TABLE, 8, 12, 2, 4)
+        base = next(p for p in points if p.line_size == 8)
+        assert base.reduced_delay == pytest.approx(0.0)
+
+    def test_reduced_delay_identity(self):
+        """Eq. 19 equals MR0*w0 - MRi*wi (the theorem's algebraic core)."""
+        latency, beta, width = 12.0, 2.0, 4.0
+        points = reduced_memory_delay(TABLE, 8, latency, beta, width)
+        w0 = latency - 1 + beta * 8 / width
+        for point in points:
+            wi = latency - 1 + beta * point.line_size / width
+            direct = TABLE[8] * w0 - TABLE[point.line_size] * wi
+            assert point.reduced_delay == pytest.approx(direct)
+
+    def test_negative_at_slow_bus(self):
+        """Large lines lose when the bus is slow (Section 5.4.2)."""
+        points = reduced_memory_delay(TABLE, 8, 12, 10.0, 4)
+        largest = next(p for p in points if p.line_size == 128)
+        assert largest.reduced_delay < 0
+        assert not largest.beneficial
+
+    def test_candidates_below_base_excluded(self):
+        points = reduced_memory_delay(TABLE, 32, 12, 2, 4)
+        assert min(p.line_size for p in points) == 32
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError, match="not in"):
+            reduced_memory_delay(TABLE, 12, 12, 2, 4)

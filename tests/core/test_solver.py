@@ -1,0 +1,111 @@
+"""Numeric equivalence solver vs every closed form."""
+
+import pytest
+
+from repro.core.bus_width import doubling_tradeoff
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_tradeoff
+from repro.core.solver import SystemUnderTest, solve_equivalent_hit_ratio
+from repro.core.stalling import StallPolicy
+from repro.core.stall_tradeoff import partial_stall_tradeoff
+from repro.core.write_buffer import write_buffer_tradeoff
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+class TestClosedFormAgreement:
+    def test_doubling(self, config):
+        numeric = solve_equivalent_hit_ratio(
+            SystemUnderTest(config), SystemUnderTest(config.doubled_bus()), 0.95
+        )
+        assert numeric == pytest.approx(
+            doubling_tradeoff(config, 0.95).feature_hit_ratio, abs=1e-8
+        )
+
+    def test_write_buffers(self, config):
+        numeric = solve_equivalent_hit_ratio(
+            SystemUnderTest(config),
+            SystemUnderTest(config, write_buffers=True),
+            0.95,
+        )
+        assert numeric == pytest.approx(
+            write_buffer_tradeoff(config, 0.95).feature_hit_ratio, abs=1e-8
+        )
+
+    def test_pipelined(self, config):
+        numeric = solve_equivalent_hit_ratio(
+            SystemUnderTest(config), SystemUnderTest(config, pipelined=True), 0.95
+        )
+        assert numeric == pytest.approx(
+            pipelined_tradeoff(config, 0.95).feature_hit_ratio, abs=1e-8
+        )
+
+    def test_partial_stalling(self, config):
+        numeric = solve_equivalent_hit_ratio(
+            SystemUnderTest(config),
+            SystemUnderTest(
+                config, policy=StallPolicy.BUS_NOT_LOCKED_1, stall_factor=6.0
+            ),
+            0.95,
+        )
+        assert numeric == pytest.approx(
+            partial_stall_tradeoff(
+                config, 0.95, measured_stall_factor=6.0
+            ).feature_hit_ratio,
+            abs=1e-8,
+        )
+
+    @pytest.mark.parametrize("base_hr", [0.90, 0.95, 0.98])
+    def test_independent_of_trace_scale(self, config, base_hr):
+        """Section 4.5: equivalence is independent of instruction count."""
+        small = solve_equivalent_hit_ratio(
+            SystemUnderTest(config),
+            SystemUnderTest(config.doubled_bus()),
+            base_hr,
+            instructions=10_000.0,
+        )
+        large = solve_equivalent_hit_ratio(
+            SystemUnderTest(config),
+            SystemUnderTest(config.doubled_bus()),
+            base_hr,
+            instructions=100_000_000.0,
+        )
+        assert small == pytest.approx(large, abs=1e-7)
+
+
+class TestBeyondClosedForms:
+    def test_combined_features_compose(self, config):
+        """Doubled bus + write buffers trades more than either alone —
+        a case the paper has no closed form for."""
+        both = solve_equivalent_hit_ratio(
+            SystemUnderTest(config),
+            SystemUnderTest(config.doubled_bus(), write_buffers=True),
+            0.95,
+        )
+        bus_only = doubling_tradeoff(config, 0.95).feature_hit_ratio
+        buffers_only = write_buffer_tradeoff(config, 0.95).feature_hit_ratio
+        assert both < min(bus_only, buffers_only)
+
+    def test_unphysical_case_raises(self):
+        """Eq. 6's HR2 > 0 validity bound surfaces as a solver error."""
+        config = SystemConfig(4, 8, 2.0)
+        with pytest.raises(ValueError, match="useless cache|physical"):
+            solve_equivalent_hit_ratio(
+                SystemUnderTest(config),
+                SystemUnderTest(config.doubled_bus()),
+                0.55,  # 2.5 * 0.55 - 1.5 < 0
+            )
+
+    def test_pipelined_with_phi_rejected(self, config):
+        feature = SystemUnderTest(config, pipelined=True, stall_factor=4.0)
+        with pytest.raises(ValueError, match="cannot be combined"):
+            solve_equivalent_hit_ratio(SystemUnderTest(config), feature, 0.95)
+
+    def test_bad_base_hit_ratio(self, config):
+        with pytest.raises(ValueError, match="base_hit_ratio"):
+            solve_equivalent_hit_ratio(
+                SystemUnderTest(config), SystemUnderTest(config), 1.0
+            )

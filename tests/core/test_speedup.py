@@ -1,0 +1,86 @@
+"""Speedup conversions and the defining equivalence identity."""
+
+import pytest
+
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig
+from repro.core.speedup import (
+    equivalence_check,
+    feature_speedup,
+    hit_ratio_speedup,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0, pipeline_turnaround=2.0)
+
+
+class TestFeatureSpeedup:
+    def test_all_features_speed_up(self, config):
+        for feature in (
+            ArchFeature.DOUBLING_BUS,
+            ArchFeature.WRITE_BUFFERS,
+            ArchFeature.PIPELINED_MEMORY,
+        ):
+            assert feature_speedup(feature, config, 0.95) > 1.0
+
+    def test_lower_hit_ratio_bigger_speedup(self, config):
+        at_90 = feature_speedup(ArchFeature.DOUBLING_BUS, config, 0.90)
+        at_98 = feature_speedup(ArchFeature.DOUBLING_BUS, config, 0.98)
+        assert at_90 > at_98
+
+    def test_partial_stalling_needs_phi(self, config):
+        with pytest.raises(ValueError, match="stall factor"):
+            feature_speedup(ArchFeature.PARTIAL_STALLING, config, 0.95)
+
+    def test_partial_stalling_with_phi(self, config):
+        speedup = feature_speedup(
+            ArchFeature.PARTIAL_STALLING, config, 0.95, measured_stall_factor=6.0
+        )
+        assert speedup > 1.0
+
+
+class TestHitRatioSpeedup:
+    def test_raising_hit_ratio_speeds_up(self, config):
+        assert hit_ratio_speedup(config, 0.90, 0.95) > 1.0
+
+    def test_no_change_is_unity(self, config):
+        assert hit_ratio_speedup(config, 0.95, 0.95) == pytest.approx(1.0)
+
+    def test_lowering_rejected(self, config):
+        with pytest.raises(ValueError, match="slowdown"):
+            hit_ratio_speedup(config, 0.95, 0.90)
+
+
+class TestEquivalenceIdentity:
+    """The methodology's core: feature speedup == equivalent-HR speedup."""
+
+    @pytest.mark.parametrize(
+        "feature",
+        [
+            ArchFeature.DOUBLING_BUS,
+            ArchFeature.WRITE_BUFFERS,
+            ArchFeature.PIPELINED_MEMORY,
+        ],
+    )
+    @pytest.mark.parametrize("base_hr", [0.90, 0.95, 0.98])
+    def test_identity_holds(self, config, feature, base_hr):
+        feature_side, hit_ratio_side = equivalence_check(feature, config, base_hr)
+        assert feature_side == pytest.approx(hit_ratio_side, rel=1e-9)
+
+    def test_identity_for_partial_stalling(self, config):
+        feature_side, hit_ratio_side = equivalence_check(
+            ArchFeature.PARTIAL_STALLING,
+            config,
+            0.95,
+            measured_stall_factor=6.5,
+        )
+        assert feature_side == pytest.approx(hit_ratio_side, rel=1e-9)
+
+    def test_identity_across_flush_ratios(self, config):
+        for alpha in (0.0, 0.3, 0.8):
+            a, b = equivalence_check(
+                ArchFeature.DOUBLING_BUS, config, 0.95, flush_ratio=alpha
+            )
+            assert a == pytest.approx(b, rel=1e-9)

@@ -1,0 +1,68 @@
+"""Partial stalling versus hit ratio (paper Section 4.2)."""
+
+import pytest
+
+from repro.core.params import SystemConfig
+from repro.core.stall_tradeoff import (
+    partial_stall_miss_volume_ratio,
+    partial_stall_tradeoff,
+    stall_factor_from_percentage,
+)
+from repro.core.stalling import StallPolicy
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(bus_width=4, line_size=32, memory_cycle=8.0)
+
+
+class TestRatio:
+    def test_full_phi_means_no_gain(self, config):
+        r = partial_stall_miss_volume_ratio(config, measured_stall_factor=8.0)
+        assert r == pytest.approx(1.0)
+
+    def test_lower_phi_means_more_gain(self, config):
+        r_high = partial_stall_miss_volume_ratio(config, 7.0)
+        r_low = partial_stall_miss_volume_ratio(config, 4.0)
+        assert r_low > r_high > 1.0
+
+    def test_hand_computed(self, config):
+        # r = ((8 + 4)*8 - 1) / ((6 + 4)*8 - 1) = 95/79
+        r = partial_stall_miss_volume_ratio(config, 6.0, flush_ratio=0.5)
+        assert r == pytest.approx(95.0 / 79.0)
+
+    def test_phi_validated_against_policy(self, config):
+        with pytest.raises(ValueError, match="outside"):
+            partial_stall_miss_volume_ratio(
+                config, 0.5, policy=StallPolicy.BUS_LOCKED
+            )
+
+    def test_nb_policy_admits_zero_phi(self, config):
+        r = partial_stall_miss_volume_ratio(
+            config, 0.0, policy=StallPolicy.NON_BLOCKING
+        )
+        assert r == pytest.approx(95.0 / 31.0)
+
+
+class TestTradeoff:
+    def test_traded_hit_ratio(self, config):
+        result = partial_stall_tradeoff(config, 0.95, measured_stall_factor=6.0)
+        expected_delta = (95.0 / 79.0 - 1.0) * 0.05
+        assert result.hit_ratio_delta == pytest.approx(expected_delta)
+
+    def test_bnl_gain_is_modest(self, config):
+        """Section 5.3: the BNL1 payoff is quite limited at realistic phi."""
+        result = partial_stall_tradeoff(config, 0.95, measured_stall_factor=7.4)
+        assert result.hit_ratio_delta < 0.01
+
+
+class TestPercentConversion:
+    def test_basic(self, config):
+        assert stall_factor_from_percentage(config, 50.0) == 4.0
+
+    def test_floor_at_one(self, config):
+        assert stall_factor_from_percentage(config, 1.0) == 1.0
+
+    def test_range_check(self, config):
+        with pytest.raises(ValueError):
+            stall_factor_from_percentage(config, 150.0)

@@ -1,0 +1,72 @@
+"""Stalling features and stall-factor bounds (paper Table 2)."""
+
+import pytest
+
+from repro.core.stalling import (
+    MEASURED_POLICIES,
+    StallPolicy,
+    stall_factor_bounds,
+    validate_stall_factor,
+)
+
+
+class TestBounds:
+    def test_full_stall_pins_phi_to_ld(self):
+        bounds = stall_factor_bounds(StallPolicy.FULL_STALL, 8)
+        assert bounds.minimum == bounds.maximum == 8.0
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            StallPolicy.BUS_LOCKED,
+            StallPolicy.BUS_NOT_LOCKED_1,
+            StallPolicy.BUS_NOT_LOCKED_2,
+            StallPolicy.BUS_NOT_LOCKED_3,
+        ],
+    )
+    def test_partial_policies_floor_at_one(self, policy):
+        bounds = stall_factor_bounds(policy, 8)
+        assert bounds.minimum == 1.0
+        assert bounds.maximum == 8.0
+
+    def test_non_blocking_floor_at_zero(self):
+        bounds = stall_factor_bounds(StallPolicy.NON_BLOCKING, 8)
+        assert bounds.minimum == 0.0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError, match="L/D"):
+            stall_factor_bounds(StallPolicy.FULL_STALL, 0.5)
+
+    def test_contains_and_clamp(self):
+        bounds = stall_factor_bounds(StallPolicy.BUS_LOCKED, 8)
+        assert bounds.contains(4.0)
+        assert not bounds.contains(0.5)
+        assert bounds.clamp(0.5) == 1.0
+        assert bounds.clamp(10.0) == 8.0
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        assert validate_stall_factor(StallPolicy.BUS_NOT_LOCKED_1, 4.5, 8) == 4.5
+
+    def test_rejects_too_low_for_bl(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_stall_factor(StallPolicy.BUS_LOCKED, 0.5, 8)
+
+    def test_rejects_non_full_for_fs(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_stall_factor(StallPolicy.FULL_STALL, 4.0, 8)
+
+
+class TestClassification:
+    def test_fs_is_full_stalling(self):
+        assert StallPolicy.FULL_STALL.is_full_stalling
+        assert not StallPolicy.FULL_STALL.is_partially_stalling
+
+    def test_others_are_partially_stalling(self):
+        for policy in StallPolicy:
+            if policy is not StallPolicy.FULL_STALL:
+                assert policy.is_partially_stalling
+
+    def test_measured_policies_are_the_figure1_set(self):
+        assert [p.value for p in MEASURED_POLICIES] == ["BL", "BNL1", "BNL2", "BNL3"]

@@ -1,0 +1,96 @@
+"""The generic tradeoff engine (paper Eqs. 3-7)."""
+
+import pytest
+
+from repro.core.tradeoff import (
+    TradeoffResult,
+    equivalence,
+    hit_ratio_traded,
+    miss_cost_factor,
+    miss_volume_ratio,
+    odds,
+    reverse_hit_ratio_traded,
+)
+
+
+class TestMissCostFactor:
+    def test_full_stall_write_allocate(self):
+        # kappa = (phi + (L/D) alpha) beta - 1 = (8 + 4)*8 - 1
+        assert miss_cost_factor(8.0, 0.5, 8.0, 8.0) == 95.0
+
+    def test_no_flush(self):
+        assert miss_cost_factor(8.0, 0.0, 8.0, 8.0) == 63.0
+
+    def test_rejects_nonpositive_kappa(self):
+        with pytest.raises(ValueError, match="positive"):
+            miss_cost_factor(0.0, 0.0, 8.0, 1.0)
+
+    def test_rejects_bad_flush_ratio(self):
+        with pytest.raises(ValueError, match="flush_ratio"):
+            miss_cost_factor(8.0, 2.0, 8.0, 8.0)
+
+    def test_rejects_negative_phi(self):
+        with pytest.raises(ValueError, match="stall_factor"):
+            miss_cost_factor(-1.0, 0.5, 8.0, 8.0)
+
+
+class TestRatios:
+    def test_miss_volume_ratio(self):
+        assert miss_volume_ratio(10.0, 4.0) == 2.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            miss_volume_ratio(0.0, 4.0)
+
+    def test_odds(self):
+        assert odds(0.95) == pytest.approx(19.0)
+        assert odds(0.5) == pytest.approx(1.0)
+
+    def test_odds_rejects_one(self):
+        with pytest.raises(ValueError):
+            odds(1.0)
+
+
+class TestHitRatioTraded:
+    def test_eq6_form(self):
+        # delta = (r - 1)(1 - HR)
+        assert hit_ratio_traded(2.0, 0.95) == pytest.approx(0.05)
+        assert hit_ratio_traded(2.5, 0.95) == pytest.approx(0.075)
+
+    def test_identity_feature_trades_nothing(self):
+        assert hit_ratio_traded(1.0, 0.9) == 0.0
+
+    def test_reverse_direction_eq7(self):
+        # delta = (1 - 1/r)(1 - HR2); r=2.5 -> 0.6(1-HR2)
+        assert reverse_hit_ratio_traded(2.5, 0.95) == pytest.approx(0.6 * 0.05)
+        assert reverse_hit_ratio_traded(2.0, 0.95) == pytest.approx(0.5 * 0.05)
+
+    def test_rejects_nonpositive_r(self):
+        with pytest.raises(ValueError):
+            hit_ratio_traded(0.0, 0.9)
+        with pytest.raises(ValueError):
+            reverse_hit_ratio_traded(-1.0, 0.9)
+
+
+class TestTradeoffResult:
+    def test_feature_hit_ratio(self):
+        result = TradeoffResult(miss_ratio_of_misses=2.0, base_hit_ratio=0.95)
+        assert result.hit_ratio_delta == pytest.approx(0.05)
+        assert result.feature_hit_ratio == pytest.approx(0.90)
+        assert result.is_physical
+
+    def test_unphysical_detected(self):
+        # r huge at a low base hit ratio drives HR2 below zero.
+        result = TradeoffResult(miss_ratio_of_misses=5.0, base_hit_ratio=0.5)
+        assert not result.is_physical
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TradeoffResult(miss_ratio_of_misses=2.0, base_hit_ratio=1.0)
+        with pytest.raises(ValueError):
+            TradeoffResult(miss_ratio_of_misses=0.0, base_hit_ratio=0.9)
+
+    def test_equivalence_pipeline(self):
+        result = equivalence(10.0, 5.0, 0.98)
+        assert result.miss_ratio_of_misses == 2.0
+        assert result.hit_ratio_delta == pytest.approx(0.02)

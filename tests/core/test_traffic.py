@@ -1,0 +1,76 @@
+"""Memory traffic model and the Section 2 warning."""
+
+import pytest
+
+from repro.core.params import SystemConfig, WorkloadCharacter, workload_from_hit_ratio
+from repro.core.traffic import (
+    ranking_disagreement,
+    traffic_optimal_line,
+    traffic_report,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0)
+
+
+class TestReport:
+    def test_components(self, config):
+        workload = WorkloadCharacter(
+            1000, read_bytes=320, write_around_misses=5, flush_ratio=0.5
+        )
+        report = traffic_report(workload, config)
+        assert report.fill_bytes == 320
+        assert report.flush_bytes == 160
+        assert report.write_around_bytes == 20
+        assert report.total_bytes == 500
+
+    def test_bytes_per_instruction(self, config):
+        workload = WorkloadCharacter(1000, read_bytes=320, flush_ratio=0.5)
+        report = traffic_report(workload, config)
+        assert report.bytes_per_instruction == pytest.approx(0.48)
+
+    def test_utilization_in_unit_interval(self, config):
+        workload = workload_from_hit_ratio(0.95, config)
+        report = traffic_report(workload, config)
+        assert 0.0 < report.bus_utilization <= 1.0
+
+    def test_utilization_consistent_with_eq2(self, config):
+        """Busy cycles never exceed the execution time Eq. 2 predicts for
+        a full-stalling system (every transfer stalls the processor)."""
+        workload = workload_from_hit_ratio(0.90, config)
+        report = traffic_report(workload, config)
+        assert report.bus_busy_cycles <= report.execution_cycles
+
+
+class TestTrafficCriterion:
+    TABLE = {8: 0.060, 16: 0.038, 32: 0.026, 64: 0.020, 128: 0.01535}
+
+    def test_traffic_prefers_small_lines(self):
+        """MR*L grows with L on realistic tables (MR falls slower than
+        L grows), so the traffic criterion picks the smallest line."""
+        assert traffic_optimal_line(self.TABLE) == 8
+
+    def test_disagreement_with_delay_criterion(self):
+        traffic_line, delay_line, differ = ranking_disagreement(
+            self.TABLE, latency=12.0, transfer=2.0, bus_width=4
+        )
+        assert differ
+        assert traffic_line < delay_line
+
+    def test_agreement_possible_when_lines_halve_miss(self):
+        """A table where doubling the line halves the miss ratio makes
+        the traffic criterion indifferent; ties go small, and a fast
+        memory keeps the delay optimum small too."""
+        table = {8: 0.08, 16: 0.04, 32: 0.02}
+        traffic_line, delay_line, differ = ranking_disagreement(
+            table, latency=1.0, transfer=4.0, bus_width=4
+        )
+        assert traffic_line == 8
+        assert delay_line == 8
+        assert not differ
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            traffic_optimal_line({})

@@ -1,0 +1,99 @@
+"""Write-around tradeoff equivalence (W > 0 generalization)."""
+
+import pytest
+
+from repro.core.params import SystemConfig
+from repro.core.tradeoff import miss_cost_factor
+from repro.core.write_around import (
+    WriteAroundSystem,
+    write_around_buffer_tradeoff,
+    write_around_doubling_tradeoff,
+    write_around_miss_volume_ratio,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(4, 32, 8.0)
+
+
+class TestDilution:
+    def test_zero_write_share_matches_write_allocate(self, config):
+        """omega = 0 reduces exactly to the Eq. 3 result."""
+        from repro.core.bus_width import doubling_tradeoff
+
+        general = write_around_doubling_tradeoff(config, 0.95, write_share=0.0)
+        allocate = doubling_tradeoff(config, 0.95)
+        assert general.miss_ratio_of_misses == pytest.approx(
+            allocate.miss_ratio_of_misses
+        )
+
+    def test_write_share_dilutes_bus_doubling(self, config):
+        """r = (1 - omega) r_R + omega: more writes, less feature value."""
+        ratios = [
+            write_around_doubling_tradeoff(config, 0.95, omega).miss_ratio_of_misses
+            for omega in (0.0, 0.2, 0.5, 0.8)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_dilution_closed_form(self, config):
+        from repro.core.bus_width import miss_volume_ratio_for_doubling
+
+        r_read = miss_volume_ratio_for_doubling(config, 0.5)
+        omega = 0.4
+        r = write_around_doubling_tradeoff(
+            config, 0.95, write_share=omega
+        ).miss_ratio_of_misses
+        assert r == pytest.approx((1 - omega) * r_read + omega)
+
+    def test_all_writes_means_no_gain(self, config):
+        r = write_around_doubling_tradeoff(
+            config, 0.95, write_share=0.999
+        ).miss_ratio_of_misses
+        assert r == pytest.approx(1.0, abs=0.01)
+
+
+class TestWriteBuffers:
+    def test_write_share_still_dilutes_buffers(self, config):
+        """W misses cannot convert into cache-size savings, so r falls
+        with omega even though the buffers hide W's cycles."""
+        ratios = [
+            write_around_buffer_tradeoff(config, 0.95, omega).miss_ratio_of_misses
+            for omega in (0.0, 0.3, 0.6)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_w_hiding_offsets_part_of_the_dilution(self, config):
+        """Buffers that also hide W beat the dilution-only value."""
+        from repro.core.write_buffer import write_buffer_miss_volume_ratio
+
+        omega = 0.5
+        r_read = write_buffer_miss_volume_ratio(config, 0.5)
+        dilution_only = (1 - omega) * r_read + omega
+        with_w_hiding = write_around_buffer_tradeoff(
+            config, 0.95, write_share=omega
+        ).miss_ratio_of_misses
+        assert dilution_only < with_w_hiding < r_read
+
+
+class TestEngine:
+    def test_same_write_cost_cancels(self, config):
+        """When both systems charge writes identically, r is the dilution
+        formula regardless of the common write cost."""
+        kappa_base = miss_cost_factor(8, 0.5, 8, 8.0)
+        kappa_feat = miss_cost_factor(4, 0.5, 4, 8.0)
+        for write_cost in (2.0, 8.0, 20.0):
+            base = WriteAroundSystem(kappa_base, write_cost)
+            feature = WriteAroundSystem(kappa_feat, write_cost)
+            r = write_around_miss_volume_ratio(base, feature, 0.3)
+            expected = 0.7 * (kappa_base / kappa_feat) + 0.3
+            assert r == pytest.approx(expected)
+
+    def test_validation(self):
+        good = WriteAroundSystem(10.0, 8.0)
+        with pytest.raises(ValueError, match="write_share"):
+            write_around_miss_volume_ratio(good, good, 1.0)
+        with pytest.raises(ValueError, match="kappa_read"):
+            WriteAroundSystem(0.0, 8.0)
+        with pytest.raises(ValueError, match="write_cost"):
+            WriteAroundSystem(10.0, 0.5)

@@ -1,0 +1,61 @@
+"""Read-bypassing write buffers versus hit ratio (paper Section 4.3)."""
+
+import pytest
+
+from repro.core.params import SystemConfig
+from repro.core.write_buffer import (
+    write_buffer_miss_volume_ratio,
+    write_buffer_tradeoff,
+)
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(bus_width=4, line_size=32, memory_cycle=8.0)
+
+
+class TestRatio:
+    def test_best_case_hand_computed(self, config):
+        # r = ((L/D)(1+alpha)beta - 1) / ((L/D)beta - 1) = 95/63
+        r = write_buffer_miss_volume_ratio(config, flush_ratio=0.5)
+        assert r == pytest.approx(95.0 / 63.0)
+
+    def test_no_flush_traffic_means_no_gain(self, config):
+        assert write_buffer_miss_volume_ratio(config, flush_ratio=0.0) == 1.0
+
+    def test_zero_efficiency_means_no_gain(self, config):
+        r = write_buffer_miss_volume_ratio(config, 0.5, hiding_efficiency=0.0)
+        assert r == pytest.approx(1.0)
+
+    def test_partial_efficiency_between(self, config):
+        full = write_buffer_miss_volume_ratio(config, 0.5, 1.0)
+        half = write_buffer_miss_volume_ratio(config, 0.5, 0.5)
+        assert 1.0 < half < full
+
+    def test_efficiency_validated(self, config):
+        with pytest.raises(ValueError, match="hiding_efficiency"):
+            write_buffer_miss_volume_ratio(config, 0.5, hiding_efficiency=1.5)
+
+    def test_asymptotic_ratio(self):
+        """For large beta_m, r -> 1 + alpha."""
+        config = SystemConfig(4, 32, 1e9)
+        r = write_buffer_miss_volume_ratio(config, flush_ratio=0.5)
+        assert r == pytest.approx(1.5, rel=1e-6)
+
+
+class TestTradeoff:
+    def test_traded_hit_ratio(self, config):
+        result = write_buffer_tradeoff(config, 0.95, flush_ratio=0.5)
+        assert result.hit_ratio_delta == pytest.approx((95.0 / 63.0 - 1) * 0.05)
+
+    def test_second_best_ranking_claim(self, config):
+        """Section 5.3: write buffers beat BNL but lose to bus doubling."""
+        from repro.core.bus_width import doubling_tradeoff
+        from repro.core.stall_tradeoff import partial_stall_tradeoff
+
+        buffers = write_buffer_tradeoff(config, 0.95).hit_ratio_delta
+        bus = doubling_tradeoff(config, 0.95).hit_ratio_delta
+        bnl = partial_stall_tradeoff(
+            config, 0.95, measured_stall_factor=0.92 * 8
+        ).hit_ratio_delta
+        assert bus > buffers > bnl

@@ -1,0 +1,58 @@
+"""Multi-issue timing simulation (Section 6 extension, end to end)."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.multi_issue import multi_issue_execution_time
+from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.spec92 import spec92_trace
+
+CACHE = CacheConfig(8192, 32, 2)
+
+
+def characterize(sim, count):
+    stats = sim.cache.stats
+    return WorkloadCharacter(
+        instructions=count,
+        read_bytes=stats.read_miss_bytes,
+        write_around_misses=stats.write_around_count,
+        flush_ratio=stats.flush_ratio,
+    )
+
+
+class TestMultiIssueSimulator:
+    @pytest.mark.parametrize("ipc", [1.0, 2.0, 4.0])
+    def test_simulator_matches_section6_model(self, ipc):
+        """The generalized Eq. (2) reproduces the multi-issue simulator."""
+        trace = spec92_trace("ear", 6000, seed=9)
+        sim = TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=ipc)
+        result = sim.run(trace)
+        predicted = multi_issue_execution_time(
+            characterize(sim, result.instructions),
+            SystemConfig(4, 32, 8.0),
+            ipc=ipc,
+        )
+        assert result.cycles == pytest.approx(predicted)
+
+    def test_wider_issue_faster_but_bounded_by_memory(self):
+        """Memory stalls don't scale: the 4-wide speedup is well below 4x."""
+        trace = spec92_trace("swm256", 6000, seed=9)
+        narrow = TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=1.0).run(trace)
+        wide = TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=4.0).run(trace)
+        speedup = narrow.cycles / wide.cycles
+        assert 1.0 < speedup < 2.5
+
+    def test_memory_stall_cycles_identical_across_issue_widths(self):
+        trace = spec92_trace("hydro2d", 6000, seed=9)
+        one = TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=1.0).run(trace)
+        four = TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=4.0).run(trace)
+        assert one.read_miss_stall_cycles == pytest.approx(
+            four.read_miss_stall_cycles
+        )
+        assert one.flush_stall_cycles == pytest.approx(four.flush_stall_cycles)
+
+    def test_issue_rate_validated(self):
+        with pytest.raises(ValueError, match="issue_rate"):
+            TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=0.5)

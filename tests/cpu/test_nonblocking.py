@@ -1,0 +1,130 @@
+"""MSHR-based non-blocking cache simulation."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.nonblocking import MSHRSimulator, mshr_stall_factors
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.record import ALU_OP, load
+from repro.trace.spec92 import spec92_trace
+
+BIG_CACHE = CacheConfig(65536, 32, 2)
+CACHE = CacheConfig(8192, 32, 2)
+
+
+class TestBasics:
+    def test_miss_is_free_until_data_needed(self):
+        sim = MSHRSimulator(BIG_CACHE, MainMemory(8.0, 4), mshr_count=4)
+        result = sim.run([load(0x40), ALU_OP, ALU_OP])
+        # Miss retires free; two ALU cycles follow.
+        assert result.cycles == 2.0
+        assert result.read_miss_stall_cycles == 0.0
+
+    def test_reuse_waits_for_word(self):
+        sim = MSHRSimulator(BIG_CACHE, MainMemory(8.0, 4), mshr_count=4)
+        result = sim.run([load(0x40), load(0x44)])
+        # Chunk 1 arrives at 16; second load waits 16 then retires (+1).
+        assert result.cycles == 17.0
+
+    def test_two_misses_overlap_with_enough_mshrs(self):
+        sim = MSHRSimulator(BIG_CACHE, MainMemory(8.0, 4), mshr_count=4)
+        result = sim.run([load(0x40), load(0x4000)])
+        # Both misses retire free; fills proceed in background.
+        assert result.cycles == 0.0
+        assert sim.peak_outstanding == 2
+
+    def test_single_mshr_serializes_misses(self):
+        sim = MSHRSimulator(BIG_CACHE, MainMemory(8.0, 4), mshr_count=1)
+        result = sim.run([load(0x40), load(0x4000)])
+        # Second miss waits for the first fill to complete (64 cycles).
+        assert result.cycles == 64.0
+        assert result.read_miss_stall_cycles == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mshr_count"):
+            MSHRSimulator(BIG_CACHE, MainMemory(8.0, 4), mshr_count=0)
+        with pytest.raises(ValueError, match="multiple"):
+            MSHRSimulator(BIG_CACHE, MainMemory(8.0, 64))
+
+
+class TestAgainstBlockingPolicies:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return spec92_trace("doduc", 8000, seed=7)
+
+    def test_nb_never_slower_than_fs(self, trace):
+        fs = TimingSimulator(CACHE, MainMemory(8.0, 4)).run(trace)
+        nb = MSHRSimulator(CACHE, MainMemory(8.0, 4), mshr_count=4).run(trace)
+        assert nb.cycles <= fs.cycles
+
+    def test_nb_never_slower_than_bnl3(self, trace):
+        bnl3 = TimingSimulator(
+            CACHE, MainMemory(8.0, 4), policy=StallPolicy.BUS_NOT_LOCKED_3
+        ).run(trace)
+        nb = MSHRSimulator(CACHE, MainMemory(8.0, 4), mshr_count=4).run(trace)
+        assert nb.cycles <= bnl3.cycles
+
+    def test_phi_within_nb_bounds(self, trace):
+        for count in (1, 4):
+            phi = (
+                MSHRSimulator(CACHE, MainMemory(8.0, 4), mshr_count=count)
+                .run(trace)
+                .stall_factor
+            )
+            assert 0.0 <= phi <= 8.0
+
+    def test_more_mshrs_never_hurt(self, trace):
+        factors = mshr_stall_factors(trace, CACHE, 8.0, 4, (1, 2, 4, 8))
+        values = [factors[k] for k in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_bus_limits_mshr_benefit(self, trace):
+        """The extension's headline: fills serialize on one bus, so the
+        1 -> 8 MSHR spread is small."""
+        factors = mshr_stall_factors(trace, CACHE, 8.0, 4, (1, 8))
+        assert factors[1] - factors[8] < 1.0
+
+
+class TestLoadUseDistance:
+    """The NB idealization knob: dependent-use distance."""
+
+    def test_zero_distance_blocks_on_use(self):
+        sim = MSHRSimulator(
+            BIG_CACHE, MainMemory(8.0, 4), mshr_count=4, load_use_distance=0.0
+        )
+        result = sim.run([load(0x40)])
+        # Consumer immediately behind the load: waits the full beta_m.
+        assert result.cycles == 8.0
+        assert result.read_miss_stall_cycles == 8.0
+
+    def test_large_distance_recovers_ideal(self):
+        sim = MSHRSimulator(
+            BIG_CACHE, MainMemory(8.0, 4), mshr_count=4, load_use_distance=100.0
+        )
+        result = sim.run([load(0x40)])
+        assert result.read_miss_stall_cycles == 0.0
+
+    def test_phi_interpolates_monotonically(self):
+        trace = spec92_trace("swm256", 6000, seed=7)
+        phis = []
+        for distance in (0.0, 4.0, 16.0, 64.0):
+            sim = MSHRSimulator(
+                CACHE, MainMemory(8.0, 4), mshr_count=4,
+                load_use_distance=distance,
+            )
+            phis.append(sim.run(trace).stall_factor)
+        assert phis == sorted(phis, reverse=True)
+
+    def test_none_is_most_optimistic(self):
+        trace = spec92_trace("ear", 4000, seed=7)
+        ideal = MSHRSimulator(CACHE, MainMemory(8.0, 4), 4).run(trace)
+        blocking = MSHRSimulator(
+            CACHE, MainMemory(8.0, 4), 4, load_use_distance=0.0
+        ).run(trace)
+        assert ideal.cycles <= blocking.cycles
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="load_use_distance"):
+            MSHRSimulator(CACHE, MainMemory(8.0, 4), 4, load_use_distance=-1.0)

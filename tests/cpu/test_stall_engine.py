@@ -1,0 +1,125 @@
+"""Per-policy stall semantics (paper Table 2 behaviours)."""
+
+import pytest
+
+from repro.core.stalling import StallPolicy
+from repro.cpu.stall_engine import AccessContext, StallEngine
+from repro.memory.mainmem import MainMemory
+
+
+@pytest.fixture
+def fill():
+    """Line 0x100, 32 bytes, critical offset 0, started at t=0, beta=8."""
+    return MainMemory(8.0, 4).schedule_fill(0x100, 32, 0, 0.0)
+
+
+def ctx(time, line, offset=0, would_hit=True):
+    return AccessContext(
+        time=time, line_address=line, offset_in_line=offset, would_hit=would_hit
+    )
+
+
+class TestMissResume:
+    def test_fs_waits_for_whole_line(self, fill):
+        engine = StallEngine(StallPolicy.FULL_STALL, 4)
+        assert engine.miss_resume_time(fill) == 64.0
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            StallPolicy.BUS_LOCKED,
+            StallPolicy.BUS_NOT_LOCKED_1,
+            StallPolicy.BUS_NOT_LOCKED_2,
+            StallPolicy.BUS_NOT_LOCKED_3,
+        ],
+    )
+    def test_partial_policies_resume_at_critical_word(self, policy, fill):
+        engine = StallEngine(policy, 4)
+        assert engine.miss_resume_time(fill) == 8.0
+
+    def test_nb_does_not_stall_the_miss(self, fill):
+        engine = StallEngine(StallPolicy.NON_BLOCKING, 4)
+        assert engine.miss_resume_time(fill) == 0.0
+
+
+class TestBusLocked:
+    def test_any_access_waits_for_fill_end(self, fill):
+        engine = StallEngine(StallPolicy.BUS_LOCKED, 4)
+        # Hit on an unrelated line still waits: the cache bus is locked.
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x200)) == 64.0
+
+    def test_no_extra_wait_after_fill(self, fill):
+        engine = StallEngine(StallPolicy.BUS_LOCKED, 4)
+        assert engine.subsequent_access_resume(fill, ctx(70.0, 0x200)) == 70.0
+
+
+class TestBNL1:
+    def test_other_line_hit_proceeds(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_1, 4)
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x200)) == 20.0
+
+    def test_fill_line_access_waits_for_end(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_1, 4)
+        assert (
+            engine.subsequent_access_resume(fill, ctx(20.0, 0x100, offset=4)) == 64.0
+        )
+
+    def test_second_miss_waits_for_end(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_1, 4)
+        assert (
+            engine.subsequent_access_resume(
+                fill, ctx(20.0, 0x200, would_hit=False)
+            )
+            == 64.0
+        )
+
+
+class TestBNL2:
+    def test_arrived_word_proceeds(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_2, 4)
+        # Chunk 0 arrived at t=8; accessing it at t=20 is free.
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x100, 0)) == 20.0
+
+    def test_missing_word_waits_for_whole_line(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_2, 4)
+        # Chunk 7 arrives at t=64; accessing at t=20 waits for the END.
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x100, 28)) == 64.0
+
+
+class TestBNL3:
+    def test_waits_only_for_the_word(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_3, 4)
+        # Chunk 3 arrives at t=32.
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x100, 12)) == 32.0
+
+    def test_arrived_word_is_free(self, fill):
+        engine = StallEngine(StallPolicy.BUS_NOT_LOCKED_3, 4)
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x100, 0)) == 20.0
+
+    def test_nb_same_line_behaviour(self, fill):
+        engine = StallEngine(StallPolicy.NON_BLOCKING, 4)
+        assert engine.subsequent_access_resume(fill, ctx(20.0, 0x100, 12)) == 32.0
+
+
+class TestOrdering:
+    def test_bnl3_never_worse_than_bnl1(self, fill):
+        """BNL3's resume is at most BNL1's for any same-line access."""
+        bnl1 = StallEngine(StallPolicy.BUS_NOT_LOCKED_1, 4)
+        bnl3 = StallEngine(StallPolicy.BUS_NOT_LOCKED_3, 4)
+        for offset in range(0, 32, 4):
+            for time in (5.0, 20.0, 50.0):
+                access = ctx(time, 0x100, offset)
+                assert bnl3.subsequent_access_resume(
+                    fill, access
+                ) <= bnl1.subsequent_access_resume(fill, access)
+
+    def test_bnl2_between_bnl1_and_bnl3(self, fill):
+        bnl1 = StallEngine(StallPolicy.BUS_NOT_LOCKED_1, 4)
+        bnl2 = StallEngine(StallPolicy.BUS_NOT_LOCKED_2, 4)
+        bnl3 = StallEngine(StallPolicy.BUS_NOT_LOCKED_3, 4)
+        for offset in range(0, 32, 4):
+            access = ctx(20.0, 0x100, offset)
+            r1 = bnl1.subsequent_access_resume(fill, access)
+            r2 = bnl2.subsequent_access_resume(fill, access)
+            r3 = bnl3.subsequent_access_resume(fill, access)
+            assert r3 <= r2 <= r1

@@ -1,0 +1,110 @@
+"""Stalling-factor measurement (Eq. 8 and simulation)."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.stall_measure import (
+    average_stall_percentages,
+    measure_stall_factor,
+    miss_distances,
+    stall_factor_eq8,
+)
+from tests.conftest import sequential_trace
+
+CACHE = CacheConfig(total_bytes=8192, line_size=32, associativity=2)
+
+
+class TestMeasure:
+    def test_fs_measures_full(self, seq_trace):
+        phi = measure_stall_factor(
+            seq_trace, CACHE, StallPolicy.FULL_STALL, 8.0, 4
+        )
+        assert phi == pytest.approx(8.0)
+
+    def test_partial_within_table2_bounds(self, seq_trace):
+        for policy in (
+            StallPolicy.BUS_LOCKED,
+            StallPolicy.BUS_NOT_LOCKED_1,
+            StallPolicy.BUS_NOT_LOCKED_3,
+        ):
+            phi = measure_stall_factor(seq_trace, CACHE, policy, 8.0, 4)
+            assert 1.0 <= phi <= 8.0
+
+    def test_longer_memory_cycle_raises_phi(self, seq_trace):
+        """Figure 1: longer latency means more stalling occurrences."""
+        phis = [
+            measure_stall_factor(
+                seq_trace, CACHE, StallPolicy.BUS_NOT_LOCKED_1, beta, 4
+            )
+            for beta in (4.0, 8.0, 16.0)
+        ]
+        assert phis == sorted(phis)
+
+
+class TestEq8:
+    def test_distances_counted_for_sequential(self):
+        trace = sequential_trace(600)
+        distances = miss_distances(trace, CACHE)
+        # Sequential loads engage the in-flight line constantly.
+        assert len(distances) > 0
+        assert all(d > 0 for d in distances)
+
+    def test_eq8_bounds(self):
+        phi = stall_factor_eq8([1, 2, 3], n_misses=3, bus_cycles_per_line=8,
+                               memory_cycle=8.0)
+        assert 1.0 <= phi <= 8.0
+
+    def test_eq8_isolated_misses_give_floor(self):
+        # Distances far larger than the fill tail: no overlap stalls.
+        phi = stall_factor_eq8(
+            [10_000, 20_000], n_misses=2, bus_cycles_per_line=8, memory_cycle=8.0
+        )
+        assert phi == 1.0
+
+    def test_eq8_back_to_back_misses_saturate(self):
+        phi = stall_factor_eq8(
+            [0] * 10, n_misses=10, bus_cycles_per_line=8, memory_cycle=8.0
+        )
+        assert phi == 8.0
+
+    def test_eq8_matches_simulation_trend(self):
+        """Eq. 8 approximates the simulated BNL1 phi for a real stream."""
+        trace = sequential_trace(3000)
+        distances = miss_distances(trace, CACHE)
+        from repro.cache.cache import Cache
+
+        probe = Cache(CACHE)
+        for inst in trace:
+            if inst.kind.is_memory:
+                probe.read(inst.address)
+        n_misses = probe.stats.misses
+        analytic = stall_factor_eq8(distances, n_misses, 8, 8.0)
+        simulated = measure_stall_factor(
+            trace, CACHE, StallPolicy.BUS_NOT_LOCKED_1, 8.0, 4
+        )
+        assert analytic == pytest.approx(simulated, rel=0.15)
+
+    def test_eq8_validation(self):
+        with pytest.raises(ValueError, match="n_misses"):
+            stall_factor_eq8([1], 0, 8, 8.0)
+        with pytest.raises(ValueError, match="memory_cycle"):
+            stall_factor_eq8([1], 1, 8, 0.5)
+
+
+class TestAverages:
+    def test_average_over_traces(self):
+        traces = {
+            "a": sequential_trace(1200),
+            "b": sequential_trace(1200, loads_every=4),
+        }
+        data = average_stall_percentages(
+            traces, CACHE, (StallPolicy.BUS_LOCKED,), [4.0, 8.0], 4
+        )
+        row = data[StallPolicy.BUS_LOCKED]
+        assert len(row) == 2
+        assert all(0.0 <= v <= 100.0 for v in row)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError, match="trace"):
+            average_stall_percentages({}, CACHE, (StallPolicy.BUS_LOCKED,), [4.0], 4)

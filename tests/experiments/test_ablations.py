@@ -1,0 +1,106 @@
+"""Ablation experiments: shape claims."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def flush():
+    return run_experiment("ablation_flush", quick=True)
+
+
+@pytest.fixture(scope="module")
+def turnaround():
+    return run_experiment("ablation_turnaround", quick=True)
+
+
+class TestFlushAblation:
+    def test_bus_beats_buffers_strictly_inside(self, flush):
+        bus = flush.series["doubling-bus"]
+        buffers = flush.series["write-buffers"]
+        for b, w, alpha in zip(bus, buffers, flush.x_values):
+            if 0.0 < alpha < 1.0:
+                assert b > w
+
+    def test_tie_at_alpha_one(self, flush):
+        assert flush.series["doubling-bus"][-1] == pytest.approx(
+            flush.series["write-buffers"][-1]
+        )
+
+    def test_buffers_zero_at_alpha_zero(self, flush):
+        assert flush.series["write-buffers"][0] == pytest.approx(0.0)
+
+    def test_crossover_alpha_invariant(self, flush):
+        notes = " ".join(flush.notes)
+        assert "spread 0.000" in notes
+
+
+class TestTurnaroundAblation:
+    def test_traded_hr_falls_with_q(self, turnaround):
+        values = turnaround.series["pipelined traded HR (%)"]
+        assert values == sorted(values, reverse=True)
+
+    def test_crossover_linear_in_q(self, turnaround):
+        qs = turnaround.x_values
+        crossings = turnaround.series["crossover beta_m"]
+        slope = crossings[0] / qs[0]
+        for q, crossing in zip(qs, crossings):
+            assert crossing == pytest.approx(slope * q)
+
+    def test_q2_matches_closed_form(self, turnaround):
+        index = turnaround.x_values.index(2.0)
+        assert turnaround.series["crossover beta_m"][index] == pytest.approx(14 / 3)
+
+
+class TestGeometryAblation:
+    def test_phi_less_sensitive_than_miss_ratio(self):
+        result = run_experiment("ablation_cache_geometry", quick=True)
+        assert "less geometry-sensitive" in " ".join(result.notes)
+        assert result.tables
+
+
+class TestDramAblation:
+    def test_abstraction_error_small(self):
+        result = run_experiment("ablation_dram", quick=True)
+        note = next(n for n in result.notes if "abstraction error" in n)
+        error = float(note.split("error ")[1].split("%")[0])
+        assert error < 15.0
+
+
+class TestLatencyHidingAblation:
+    def test_table_produced(self):
+        result = run_experiment("ablation_latency_hiding", quick=True)
+        table = result.tables[0]
+        for program in ("swm256", "doduc"):
+            assert program in table
+
+
+class TestEq8Companion:
+    def test_eq8_tracks_simulation(self):
+        result = run_experiment("figure1_eq8", quick=True)
+        analytic = result.series["Eq. (8) analytic"]
+        simulated = result.series["simulated"]
+        for a, s in zip(analytic, simulated):
+            assert a >= s - 1e-9  # Eq. 8 is the conservative side
+            assert abs(a - s) < 10.0  # and stays close
+
+
+class TestWriteBufferDepthAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ablation_write_buffer_depth", quick=True)
+
+    def test_efficiency_monotone_in_depth(self, result):
+        for name, values in result.series.items():
+            assert values == sorted(values), name
+
+    def test_efficiency_bounded(self, result):
+        for values in result.series.values():
+            assert all(0.0 <= v <= 100.0 for v in values)
+
+    def test_locality_rich_workload_approaches_bound(self, result):
+        assert result.series["ear"][-1] > 80.0
+
+    def test_streaming_is_bus_bound(self, result):
+        assert result.series["swm256"][-1] < 70.0

@@ -1,0 +1,70 @@
+"""Claims checker and the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.claims import CLAIMS, evaluate_claims
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import PAPER_EXPERIMENT_IDS, build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        experiment_id: run_experiment(experiment_id, quick=True)
+        for experiment_id in PAPER_EXPERIMENT_IDS
+    }
+
+
+class TestClaims:
+    def test_every_claim_passes(self, results):
+        """The reproduction's headline assertion: all claims hold."""
+        outcomes = evaluate_claims(results)
+        failing = [o.claim.claim_id for o in outcomes if not o.passed]
+        assert not failing, f"failing claims: {failing}"
+
+    def test_claims_cover_every_paper_figure(self):
+        referenced = {e for claim in CLAIMS for e in claim.experiments}
+        for artifact in ("figure1", "figure2", "figure3", "figure4",
+                         "figure5", "figure6", "example1"):
+            assert artifact in referenced
+
+    def test_missing_experiment_reported_not_crashed(self, results):
+        partial = {k: v for k, v in results.items() if k != "figure6"}
+        outcomes = evaluate_claims(partial)
+        fig6 = [o for o in outcomes if o.claim.claim_id == "fig6-smith"]
+        assert fig6 and not fig6[0].passed
+        assert "missing" in fig6[0].error
+
+    def test_check_exception_becomes_failure(self, results):
+        """A broken result object fails its claim instead of crashing."""
+        from repro.experiments.base import ExperimentResult
+
+        broken = dict(results)
+        broken["figure2"] = ExperimentResult("figure2", "broken")
+        outcomes = evaluate_claims(broken)
+        anchor = next(o for o in outcomes if o.claim.claim_id == "fig2-anchor")
+        assert not anchor.passed
+        assert anchor.error
+
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+
+class TestReport:
+    def test_build_report_all_pass(self):
+        report = build_report(quick=True)
+        assert f"{len(CLAIMS)}/{len(CLAIMS)} claims reproduced" in report
+        assert "FAIL" not in report
+
+    def test_write_report(self, tmp_path):
+        target = write_report(tmp_path / "scorecard.md", quick=True)
+        assert target.exists()
+        assert "Reproduction scorecard" in target.read_text()
+
+    def test_runner_report_flag(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--report", str(tmp_path / "r.md"), "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out

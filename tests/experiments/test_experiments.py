@@ -1,0 +1,137 @@
+"""Every registered experiment runs (quick mode) and reproduces its
+paper-shape claims."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run everything once in quick mode; figures 1/3/4/5 share traces."""
+    return {
+        experiment_id: run_experiment(experiment_id, quick=True)
+        for experiment_id in EXPERIMENTS
+    }
+
+
+class TestHarness:
+    def test_all_ids_run(self, results):
+        assert set(results) == set(EXPERIMENTS)
+
+    def test_ids_match(self, results):
+        for experiment_id, result in results.items():
+            assert result.experiment_id == experiment_id
+
+    def test_render_produces_text(self, results):
+        for result in results.values():
+            text = result.render()
+            assert result.title in text
+
+    def test_series_lengths_consistent(self, results):
+        for result in results.values():
+            for name, values in result.series.items():
+                assert len(values) == len(result.x_values), name
+
+    def test_save_writes_files(self, results, tmp_path):
+        paths = results["figure2"].save(tmp_path)
+        assert any(p.suffix == ".txt" for p in paths)
+        assert any(p.suffix == ".csv" for p in paths)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            run_experiment("figure99")
+
+
+class TestFigure1Claims:
+    def test_partial_policies_below_full(self, results):
+        for values in results["figure1"].series.values():
+            assert all(v <= 100.0 for v in values)
+
+    def test_monotone_in_memory_cycle(self, results):
+        for name, values in results["figure1"].series.items():
+            assert values == sorted(values), name
+
+    def test_bnl3_is_lowest(self, results):
+        series = results["figure1"].series
+        for i in range(len(results["figure1"].x_values)):
+            assert series["BNL3"][i] <= min(
+                series["BL"][i], series["BNL1"][i], series["BNL2"][i]
+            )
+
+    def test_bl_is_highest(self, results):
+        series = results["figure1"].series
+        for i in range(len(results["figure1"].x_values)):
+            assert series["BL"][i] >= max(series["BNL1"][i], series["BNL2"][i])
+
+
+class TestFigure2Claims:
+    def test_anchor_3_percent_at_design_limit(self, results):
+        series = results["figure2"].series["HR=98% L=8"]
+        assert series[0] == pytest.approx(3.0, abs=0.1)
+
+    def test_larger_line_trades_less(self, results):
+        series = results["figure2"].series
+        for i in range(len(results["figure2"].x_values)):
+            assert series["HR=98% L=32"][i] < series["HR=98% L=8"][i]
+
+    def test_lower_base_trades_more(self, results):
+        series = results["figure2"].series
+        for i in range(len(results["figure2"].x_values)):
+            assert series["HR=90% L=8"][i] > series["HR=98% L=8"][i]
+
+
+class TestFigures345Claims:
+    def test_figure3_bus_always_beats_pipelining(self, results):
+        series = results["figure3"].series
+        for pipe, bus in zip(series["pipelined mem"], series["doubling bus"]):
+            assert pipe < bus
+
+    def test_figure4_pipelining_wins_late(self, results):
+        series = results["figure4"].series
+        assert series["pipelined mem"][-1] > series["doubling bus"][-1]
+
+    def test_figure4_ranking_bus_buffers_bnl(self, results):
+        series = results["figure4"].series
+        for i in range(len(results["figure4"].x_values)):
+            assert (
+                series["doubling bus"][i]
+                > series["write buffers"][i]
+                > series["BNL1"][i]
+            )
+
+    def test_figure5_bnl3_beats_figure4_bnl1(self, results):
+        """BNL3's curve lies above BNL1's at small memory cycles."""
+        bnl3 = results["figure5"].series["BNL3"]
+        bnl1 = results["figure4"].series["BNL1"]
+        assert bnl3[0] >= bnl1[0]
+
+    def test_pipelined_zero_at_beta_two(self, results):
+        for fig in ("figure3", "figure4", "figure5"):
+            result = results[fig]
+            index = result.x_values.index(2.0)
+            assert result.series["pipelined mem"][index] == pytest.approx(0.0)
+
+
+class TestFigure6Claims:
+    def test_agreement_note_positive(self, results):
+        notes = " ".join(results["figure6"].notes)
+        assert "agree at every swept bus speed: yes" in notes
+
+    def test_all_panels_match_paper(self, results):
+        table = results["figure6"].tables[0]
+        assert "NO" not in table.replace("NO — INVESTIGATE", "")
+
+
+class TestTableClaims:
+    def test_table2_has_two_ld_variants(self, results):
+        assert len(results["table2"].tables) == 2
+
+    def test_table3_lists_four_features(self, results):
+        assert "pipelined-memory" in results["table3"].tables[0]
+        assert "doubling-bus" in results["table3"].tables[0]
+
+    def test_example1_reports_pairs(self, results):
+        rendered = results["example1"].render()
+        assert "32K + 32-bit bus" in rendered
+        assert "8K + 64-bit bus" in rendered

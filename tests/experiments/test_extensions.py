@@ -1,0 +1,122 @@
+"""Extension experiments: shape claims."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+class TestMshrExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_mshr", quick=True)
+
+    def test_table_covers_all_programs(self, result):
+        for program in ("nasa7", "ear", "doduc"):
+            assert program in result.tables[0]
+
+    def test_single_bus_headline(self, result):
+        note = next(n for n in result.notes if "largest phi change" in n)
+        spread = float(note.split(": ")[1].split(" ")[0])
+        assert spread < 1.0
+
+
+class TestInterleavingExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_interleaving", quick=True)
+
+    def test_eq9_agreement(self, result):
+        assert "for every cell: yes" in " ".join(result.notes)
+
+    def test_q_eff_monotone_in_banks(self, result):
+        for name, values in result.series.items():
+            assert values == sorted(values, reverse=True), name
+
+    def test_bank_budget_table(self, result):
+        assert "banks needed" in result.tables[0]
+
+
+class TestTrafficExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_traffic", quick=True)
+
+    def test_criteria_disagree_somewhere(self, result):
+        note = next(n for n in result.notes if "disagree" in n)
+        count = int(note.split("disagree at ")[1].split("/")[0])
+        assert count >= 3
+
+    def test_equal_performance_pair_reported(self, result):
+        assert "equal performance" in result.tables[1]
+
+
+class TestMultiprogrammingExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_multiprogramming", quick=True)
+
+    def test_inflation_above_one(self, result):
+        series = result.series["miss-ratio inflation (x)"]
+        assert all(v >= 1.0 for v in series)
+
+    def test_decays_with_quantum(self, result):
+        series = result.series["miss-ratio inflation (x)"]
+        assert series[0] >= series[-1]
+
+
+class TestNbDependencyExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_nb_dependency", quick=True)
+
+    def test_phi_monotone_in_distance(self, result):
+        for name, values in result.series.items():
+            assert values == sorted(values, reverse=True), name
+
+    def test_phi_stays_well_above_zero(self, result):
+        """The headline: scheduling headroom cannot reach Table 2's
+        lower bound on locality-rich codes."""
+        for values in result.series.values():
+            assert values[-1] > 25.0
+
+    def test_within_table2_interval(self, result):
+        for values in result.series.values():
+            assert all(0.0 <= v <= 100.0 for v in values)
+
+
+class TestMultilevelExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_multilevel", quick=True)
+
+    def test_winner_flips_for_l2_sized_working_sets(self, result):
+        table = result.tables[0]
+        ws_rows = [l for l in table.splitlines() if l.startswith("ws-")]
+        assert ws_rows
+        assert all("doubling bus" in row for row in ws_rows)
+
+    def test_streaming_keeps_pipelining(self, result):
+        table = result.tables[0]
+        row = next(l for l in table.splitlines() if l.startswith("swm256"))
+        assert "pipelined" in row
+
+
+class TestSoftwareTilingExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension_software_tiling", quick=True)
+
+    def test_tiling_always_gains(self, result):
+        table = result.tables[0]
+        gains = [
+            line.split("|")[2].strip()
+            for line in table.splitlines()
+            if line.startswith("tile")
+        ]
+        assert gains
+        assert all(g.startswith("+") and g != "+0.0%" for g in gains)
+
+    def test_feature_worth_shrinks_after_tiling(self, result):
+        note = next(n for n in result.notes if "drops by" in n)
+        drop = float(note.split("drops by ")[1].split("%")[0])
+        assert drop > 0.0

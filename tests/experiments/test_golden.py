@@ -1,0 +1,48 @@
+"""Golden-file regression tests for the deterministic experiments.
+
+Figure 2, Figure 6 and Table 3 are pure analytics — bit-identical across
+runs — so their quick-mode outputs are pinned verbatim.  A diff here
+means the *model* changed, not noise; regenerate the goldens only after
+confirming the change is intended:
+
+    python - <<'PY'
+    from repro.experiments.registry import run_experiment
+    for exp in ("figure2", "figure6"):
+        r = run_experiment(exp, quick=True)
+        open(f"tests/data/golden_{exp}_quick.csv", "w").write(r.to_csv())
+    r = run_experiment("table3", quick=True)
+    open("tests/data/golden_table3_quick.txt", "w").write("\\n\\n".join(r.tables))
+    PY
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def _normalize(text: str) -> str:
+    """Neutralize csv's \\r\\n vs text-mode-read \\n."""
+    return text.replace("\r\n", "\n")
+
+
+@pytest.mark.parametrize("experiment_id", ["figure2", "figure6"])
+def test_analytic_figure_matches_golden(experiment_id):
+    result = run_experiment(experiment_id, quick=True)
+    golden = (DATA / f"golden_{experiment_id}_quick.csv").read_text()
+    assert _normalize(result.to_csv()) == _normalize(golden)
+
+
+def test_table3_matches_golden():
+    result = run_experiment("table3", quick=True)
+    golden = (DATA / "golden_table3_quick.txt").read_text()
+    assert "\n\n".join(result.tables) == golden
+
+
+def test_goldens_are_nontrivial():
+    for name in ("golden_figure2_quick.csv", "golden_figure6_quick.csv"):
+        content = (DATA / name).read_text()
+        assert len(content.splitlines()) > 3

@@ -1,0 +1,29 @@
+"""CLI runner behaviour."""
+
+from repro.experiments.runner import main
+
+
+class TestRunner:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "table3" in out
+
+    def test_no_args_is_error(self, capsys):
+        assert main([]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_unknown_id_is_error(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_and_prints(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "finished in" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["figure2", "--quick", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "figure2.txt").exists()
+        assert (tmp_path / "figure2.csv").exists()

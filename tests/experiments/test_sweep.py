@@ -1,0 +1,109 @@
+"""Generic parameter-sweep driver."""
+
+import pytest
+
+from repro.core.features import ArchFeature
+from repro.experiments.sweep import parse_range, records_to_csv, sweep
+
+
+class TestParseRange:
+    def test_colon_inclusive(self):
+        assert parse_range("2:8:2") == [2.0, 4.0, 6.0, 8.0]
+
+    def test_colon_non_multiple_end(self):
+        assert parse_range("2:7:2") == [2.0, 4.0, 6.0]
+
+    def test_comma_list(self):
+        assert parse_range("0.9,0.95,0.98") == [0.9, 0.95, 0.98]
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_range("1:2")
+        with pytest.raises(ValueError):
+            parse_range("5:1:1")
+        with pytest.raises(ValueError):
+            parse_range("1:5:0")
+
+
+class TestSweep:
+    def test_cartesian_size(self):
+        records = sweep(
+            ArchFeature.DOUBLING_BUS,
+            {"memory_cycle": [2.0, 4.0], "line_size": [8.0, 16.0, 32.0]},
+        )
+        assert len(records) == 6
+
+    def test_values_match_direct_evaluation(self):
+        from repro.core.bus_width import doubling_tradeoff
+        from repro.core.params import SystemConfig
+
+        records = sweep(ArchFeature.DOUBLING_BUS, {"memory_cycle": [8.0]})
+        direct = doubling_tradeoff(SystemConfig(4, 32, 8.0), 0.95)
+        assert records[0].miss_volume_ratio == pytest.approx(
+            direct.miss_ratio_of_misses
+        )
+        assert records[0].hit_ratio_traded == pytest.approx(
+            direct.hit_ratio_delta
+        )
+
+    def test_invalid_grid_points_skipped(self):
+        # line_size 4 with bus doubling violates L >= 2D: skipped.
+        records = sweep(
+            ArchFeature.DOUBLING_BUS, {"line_size": [4.0, 8.0, 32.0]}
+        )
+        assert len(records) == 2
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unsweepable"):
+            sweep(ArchFeature.DOUBLING_BUS, {"voltage": [1.0]})
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(ValueError, match="nothing"):
+            sweep(ArchFeature.DOUBLING_BUS, {})
+
+    def test_csv_output(self):
+        records = sweep(
+            ArchFeature.PIPELINED_MEMORY, {"memory_cycle": [4.0, 8.0]}
+        )
+        csv_text = records_to_csv(records)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "memory_cycle,r,hit_ratio_traded"
+        assert len(lines) == 3
+
+    def test_empty_records_csv(self):
+        assert records_to_csv([]) == ""
+
+
+class TestCli:
+    def test_sweep_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            ["sweep", "doubling-bus", "--range", "memory_cycle=2:4:2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("memory_cycle,")
+        assert "2.0909" in out  # r at beta=2, L=32 (default line size)
+
+    def test_sweep_default_range(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "write-buffers"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 11
+
+    def test_sweep_to_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        target = tmp_path / "sweep.csv"
+        assert main(
+            ["sweep", "pipelined-memory", "--range", "memory_cycle=2:6:2",
+             "--out", str(target)]
+        ) == 0
+        assert target.exists()
+        assert "grid points" in capsys.readouterr().out
+
+    def test_bad_range_spec(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "doubling-bus", "--range", "oops"]) == 2
+        assert "expected NAME=SPEC" in capsys.readouterr().err

@@ -1,0 +1,139 @@
+"""Edge cases and failure injection across module boundaries."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.record import ALU_OP, load, store
+
+
+class TestSimulatorLifecycle:
+    def test_run_accumulates_cache_state_across_calls(self):
+        """A second run() reuses the warmed cache — documented behaviour
+        (use a fresh simulator for independent experiments)."""
+        sim = TimingSimulator(CacheConfig(8192, 32, 2), MainMemory(8.0, 4))
+        first = sim.run([load(0x40)])
+        second = sim.run([load(0x40)])
+        assert first.cycles == 64.0
+        assert second.cycles == 1.0  # warmed: now a hit
+
+    def test_empty_stream(self):
+        sim = TimingSimulator(CacheConfig(8192, 32, 2), MainMemory(8.0, 4))
+        result = sim.run([])
+        assert result.instructions == 0
+        assert result.cycles == 0.0
+        assert result.stall_factor == 0.0
+        assert result.cpi == 0.0
+
+    def test_alu_only_stream_has_no_memory_side_effects(self):
+        sim = TimingSimulator(CacheConfig(8192, 32, 2), MainMemory(8.0, 4))
+        sim.run([ALU_OP] * 50)
+        assert sim.cache.stats.accesses == 0
+        assert sim.bus.transfers == 0
+
+    def test_write_through_hit_pays_memory_write(self):
+        from repro.cache.write_policy import WritePolicy
+
+        config = CacheConfig(8192, 32, 2, write_policy=WritePolicy.WRITE_THROUGH)
+        sim = TimingSimulator(config, MainMemory(8.0, 4))
+        result = sim.run([load(0x40), store(0x44)])
+        # store hit: 1 issue cycle + 8-cycle write-through.
+        assert result.write_stall_cycles == 8.0
+        assert result.cycles == 64.0 + 1.0 + 8.0
+
+    def test_write_through_with_buffer_hides_the_write(self):
+        from repro.cache.write_policy import WritePolicy
+
+        config = CacheConfig(8192, 32, 2, write_policy=WritePolicy.WRITE_THROUGH)
+        sim = TimingSimulator(config, MainMemory(8.0, 4), write_buffer_depth=4)
+        result = sim.run([load(0x40), store(0x44)])
+        assert result.write_stall_cycles == 0.0
+
+
+class TestCacheEdges:
+    def test_single_set_fully_associative(self):
+        cache = Cache(CacheConfig(256, 32, 8))  # one set, 8 ways
+        for address in range(0, 256, 32):
+            cache.read(address)
+        assert cache.stats.misses == 8
+        for address in range(0, 256, 32):
+            cache.read(address)
+        assert cache.stats.hits == 8
+
+    def test_direct_mapped(self):
+        cache = Cache(CacheConfig(256, 32, 1))
+        cache.read(0x000)
+        cache.read(0x100)  # same index, evicts
+        assert not cache.contains(0x000)
+
+    def test_invalidate_then_reaccess_misses(self):
+        cache = Cache(CacheConfig(256, 32, 2))
+        cache.read(0x40)
+        cache.invalidate(0x40)
+        outcome = cache.read(0x40)
+        assert not outcome.hit
+
+    def test_mark_dirty_on_absent_line_returns_false(self):
+        cache = Cache(CacheConfig(256, 32, 2))
+        assert not cache.mark_dirty(0x40)
+
+    def test_huge_addresses(self):
+        cache = Cache(CacheConfig(8192, 32, 2))
+        outcome = cache.read(2**48 - 4)
+        assert outcome.fill_line
+        assert cache.contains(2**48 - 4)
+
+
+class TestDegenerateGeometries:
+    def test_line_equals_bus_width(self):
+        """L = D: single-chunk fills; all partial policies collapse."""
+        sim_fs = TimingSimulator(
+            CacheConfig(1024, 4, 2), MainMemory(8.0, 4)
+        )
+        fs = sim_fs.run([load(0x40)])
+        sim_bl = TimingSimulator(
+            CacheConfig(1024, 4, 2),
+            MainMemory(8.0, 4),
+            policy=StallPolicy.BUS_LOCKED,
+        )
+        bl = sim_bl.run([load(0x40)])
+        assert fs.cycles == bl.cycles == 8.0
+
+    def test_memory_cycle_one(self):
+        """beta_m = 1: the design-limit guard territory."""
+        sim = TimingSimulator(CacheConfig(1024, 32, 2), MainMemory(1.0, 4))
+        result = sim.run([load(0x40)])
+        assert result.cycles == 8.0  # L/D chunks at 1 cycle each
+
+    def test_kappa_guard_fires_at_beta_one_no_flush(self):
+        """The analytic model refuses kappa <= 0 (phi=1, alpha=0, beta=1)."""
+        from repro.core.tradeoff import miss_cost_factor
+
+        with pytest.raises(ValueError, match="positive"):
+            miss_cost_factor(1.0, 0.0, 1.0, 1.0)
+
+
+class TestExperimentResultEdges:
+    def test_table_only_result_has_no_csv(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult("x", "table only")
+        result.tables.append("a | b")
+        assert result.to_csv() == ""
+        assert "table only" in result.render()
+
+    def test_save_table_only_writes_txt_only(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult("x", "t")
+        paths = result.save(tmp_path)
+        assert [p.suffix for p in paths] == [".txt"]
+
+    def test_mismatched_series_rejected(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult("x", "t", x_values=[1.0, 2.0])
+        with pytest.raises(ValueError, match="points"):
+            result.add_series("bad", [1.0])

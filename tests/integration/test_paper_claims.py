@@ -1,0 +1,138 @@
+"""The paper's headline quantitative claims, asserted end to end.
+
+Each test names the claim and where the paper states it.  These are the
+"shape" checks EXPERIMENTS.md reports.
+"""
+
+import pytest
+
+from repro.core.bus_width import (
+    doubling_tradeoff,
+    hit_ratio_gain_equivalent_to_doubling,
+    miss_volume_ratio_for_doubling,
+)
+from repro.core.features import ArchFeature
+from repro.core.params import SystemConfig
+from repro.core.pipelined import pipelined_vs_doubling_crossover
+from repro.core.ranking import unified_comparison
+from repro.core.smith import criteria_agree
+
+
+class TestSection41Claims:
+    def test_blocking_cache_range_2hr_to_2_5hr(self):
+        """'Performance loss due to reducing the hit ratio of a blocking
+        cache from HR to 2HR-1 ... 2.5HR-1.5 can be compensated by
+        doubling the data bus width' (abstract, Section 4.1)."""
+        for hr in (0.90, 0.95, 0.98):
+            at_limit = doubling_tradeoff(SystemConfig(4, 8, 2), hr)
+            assert at_limit.feature_hit_ratio == pytest.approx(2.5 * hr - 1.5)
+            asymptote = doubling_tradeoff(SystemConfig(4, 8, 10_000.0), hr)
+            assert asymptote.feature_hit_ratio == pytest.approx(
+                2 * hr - 1, abs=1e-4
+            )
+
+    def test_worked_examples_095_to_090_and_098_to_096(self):
+        """'reducing cache hit ratio from 0.95 to 0.9 or from 0.98 to
+        0.96 can be compensated by doubling the external data bus'."""
+        config = SystemConfig(4, 8, 10_000.0)
+        assert doubling_tradeoff(config, 0.95).feature_hit_ratio == pytest.approx(
+            0.90, abs=1e-4
+        )
+        assert doubling_tradeoff(config, 0.98).feature_hit_ratio == pytest.approx(
+            0.96, abs=1e-4
+        )
+
+    def test_increase_range_05_to_06(self):
+        """'increasing the hit ratio HR ... by 0.5(1-HR) to 0.6(1-HR)
+        improves performance by an amount obtainable by doubling the
+        data bus width'."""
+        gains = [
+            hit_ratio_gain_equivalent_to_doubling(SystemConfig(4, 8, beta), 0.95)
+            for beta in (2.0, 3.0, 5.0, 20.0, 1e6)
+        ]
+        for gain in gains:
+            assert 0.5 * 0.05 <= gain <= 0.6 * 0.05 + 1e-12
+        assert max(gains) == pytest.approx(0.6 * 0.05)
+        assert min(gains) == pytest.approx(0.5 * 0.05, rel=1e-3)
+
+
+class TestSection53Claims:
+    def test_feature_ranking_non_pipelined(self):
+        """Summary: 'the three best architectural features in order ...
+        doubling the bus width, read-bypassing write buffers, and the
+        use of a cache with a bus-not-locked', robust across beta and L."""
+        for line in (8, 16, 32):
+            for beta in (4.0, 8.0, 16.0):
+                config = SystemConfig(4, line, beta)
+                comparison = unified_comparison(
+                    config,
+                    0.95,
+                    [beta],
+                    measured_stall_factors={
+                        beta: max(1.0, 0.92 * line / 4)
+                    },
+                )
+                sweeps = comparison.sweeps
+                bus = sweeps[ArchFeature.DOUBLING_BUS].value_at(beta)
+                buffers = sweeps[ArchFeature.WRITE_BUFFERS].value_at(beta)
+                bnl = sweeps[ArchFeature.PARTIAL_STALLING].value_at(beta)
+                assert bus > buffers > bnl, (line, beta)
+
+    def test_pipelined_crossover_five_to_six_cycles(self):
+        """Summary: pipelining helps most 'when the memory cycle time is
+        larger than about five clock cycles (for L/D >= 2 and q = 2)'."""
+        assert 4.0 < pipelined_vs_doubling_crossover(32, 4, 2.0) < 6.0
+        assert 4.0 < pipelined_vs_doubling_crossover(16, 4, 2.0) < 7.0
+
+    def test_no_pipelining_advantage_at_l_2d(self):
+        """Figure 3: 'using a high speed pipelined system does not display
+        any performance advantage over doubling the bus width' at L=2D."""
+        assert pipelined_vs_doubling_crossover(8, 4, 2.0) is None
+
+    def test_bus_and_buffers_limited_at_long_cycles(self):
+        """Summary: their improvement 'is limited when the memory cycle
+        time is relatively large' — the curves flatten, pipelining grows."""
+        config = SystemConfig(4, 32, 2.0, pipeline_turnaround=2.0)
+        comparison = unified_comparison(config, 0.95, [4.0, 20.0])
+        bus = comparison.sweeps[ArchFeature.DOUBLING_BUS]
+        pipe = comparison.sweeps[ArchFeature.PIPELINED_MEMORY]
+        bus_growth = bus.value_at(20.0) - bus.value_at(4.0)
+        pipe_growth = pipe.value_at(20.0) - pipe.value_at(4.0)
+        assert abs(bus_growth) < 0.01
+        assert pipe_growth > 0.10
+
+
+class TestSection54Claims:
+    def test_smith_agreement_on_calibrated_tables(self):
+        """'The optimal line sizes determined by Eq. (19) exactly match
+        with those of Smith's work' (Section 5.4.2)."""
+        from repro.analysis.smith_targets import design_target_table
+
+        for cache in (8 * 1024, 16 * 1024):
+            table = design_target_table(cache)
+            for latency in (4.0, 6.0, 12.0, 18.75):
+                for beta in (0.5, 1.0, 2.0, 3.0, 6.0, 10.0):
+                    assert criteria_agree(table, latency, beta, 4)
+                    assert criteria_agree(table, latency, beta, 8)
+
+
+class TestSection42Claims:
+    def test_r_from_design_limit_beta(self):
+        """Eq. (3) limit check: L=2D, beta_m=2 gives exactly r=2.5."""
+        assert miss_volume_ratio_for_doubling(
+            SystemConfig(4, 8, 2.0), 0.5
+        ) == pytest.approx(2.5)
+
+    def test_bnl3_latency_reduction_band(self):
+        """Summary: BNL3 cuts full-blocking read-miss latency by 20-30%
+        for memory cycle times under 15 clocks.  Measured on the six
+        stand-in traces (quick lengths) the band is 15-35%."""
+        from repro.core.stalling import StallPolicy
+        from repro.experiments._phi import measured_phi_percentages
+
+        percentages = measured_phi_percentages(
+            StallPolicy.BUS_NOT_LOCKED_3, 32, 8192, 2, (4.0, 8.0, 12.0), 4, 8_000
+        )
+        reductions = [100.0 - p for p in percentages]
+        assert all(10.0 <= r <= 40.0 for r in reductions)
+        assert max(reductions) >= 20.0

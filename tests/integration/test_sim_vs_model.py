@@ -1,0 +1,129 @@
+"""Analytic model versus cycle simulator — the central cross-validation.
+
+The paper's Eq. (2) and the event-driven simulator must agree *exactly*
+when the simulator's measured characterization {E, R, W, alpha, phi} is
+fed back into the model.  This holds for every stalling policy, for
+write-around caches, and for pipelined memory — it is the strongest
+internal-consistency check the reproduction has.
+"""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.write_policy import AllocatePolicy
+from repro.core.execution import execution_time
+from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.memory.pipelined import PipelinedMemory
+from repro.trace.spec92 import spec92_trace
+
+CACHE = CacheConfig(total_bytes=8192, line_size=32, associativity=2)
+
+
+def workload_from(sim, instructions):
+    stats = sim.cache.stats
+    return WorkloadCharacter(
+        instructions=instructions,
+        read_bytes=stats.read_miss_bytes,
+        write_around_misses=stats.write_around_count,
+        flush_ratio=stats.flush_ratio,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return spec92_trace("hydro2d", 10_000, seed=13)
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("beta", [2.0, 8.0, 24.0])
+    def test_full_stall(self, trace, beta):
+        sim = TimingSimulator(CACHE, MainMemory(beta, 4))
+        result = sim.run(trace)
+        predicted = execution_time(
+            workload_from(sim, result.instructions), SystemConfig(4, 32, beta)
+        )
+        assert result.cycles == pytest.approx(predicted)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            StallPolicy.BUS_LOCKED,
+            StallPolicy.BUS_NOT_LOCKED_1,
+            StallPolicy.BUS_NOT_LOCKED_2,
+            StallPolicy.BUS_NOT_LOCKED_3,
+            StallPolicy.NON_BLOCKING,
+        ],
+    )
+    def test_partial_policies_with_measured_phi(self, trace, policy):
+        sim = TimingSimulator(CACHE, MainMemory(8.0, 4), policy=policy)
+        result = sim.run(trace)
+        predicted = execution_time(
+            workload_from(sim, result.instructions),
+            SystemConfig(4, 32, 8.0),
+            stall_factor=result.stall_factor,
+            policy=policy,
+        )
+        assert result.cycles == pytest.approx(predicted)
+
+    def test_write_around_cache(self, trace):
+        cache = CacheConfig(
+            8192, 32, 2, allocate_policy=AllocatePolicy.WRITE_AROUND
+        )
+        sim = TimingSimulator(cache, MainMemory(6.0, 4))
+        result = sim.run(trace)
+        predicted = execution_time(
+            workload_from(sim, result.instructions), SystemConfig(4, 32, 6.0)
+        )
+        assert result.cycles == pytest.approx(predicted)
+
+    def test_pipelined_memory_fs(self, trace):
+        """FS + pipelined memory: phi = beta_p / beta_m exactly."""
+        sim = TimingSimulator(CACHE, PipelinedMemory(8.0, 4, 2.0))
+        result = sim.run(trace)
+        expected_phi = (8.0 + 2.0 * 7) / 8.0
+        assert result.stall_factor == pytest.approx(expected_phi)
+
+    def test_write_buffers_shrink_flush_stall(self, trace):
+        plain = TimingSimulator(CACHE, MainMemory(8.0, 4)).run(trace)
+        buffered = TimingSimulator(
+            CACHE, MainMemory(8.0, 4), write_buffer_depth=8
+        ).run(trace)
+        assert buffered.flush_stall_cycles < plain.flush_stall_cycles
+        assert buffered.cycles < plain.cycles
+
+
+class TestMeasuredPhiBounds:
+    @pytest.mark.parametrize(
+        "policy,low",
+        [
+            (StallPolicy.FULL_STALL, 8.0),
+            (StallPolicy.BUS_LOCKED, 1.0),
+            (StallPolicy.BUS_NOT_LOCKED_3, 1.0),
+            (StallPolicy.NON_BLOCKING, 0.0),
+        ],
+    )
+    def test_phi_within_table2(self, trace, policy, low):
+        sim = TimingSimulator(CACHE, MainMemory(8.0, 4), policy=policy)
+        phi = sim.run(trace).stall_factor
+        assert low <= phi <= 8.0
+
+
+class TestBusWidthTradeEndToEnd:
+    def test_doubling_bus_improves_like_the_model_says(self):
+        """Simulate the same trace on D=4 and D=8 and verify the measured
+        speedup direction matches Eq. (3)'s prediction."""
+        trace = spec92_trace("swm256", 10_000, seed=21)
+        narrow = TimingSimulator(CACHE, MainMemory(8.0, 4)).run(trace)
+        wide = TimingSimulator(CACHE, MainMemory(8.0, 8)).run(trace)
+        assert wide.cycles < narrow.cycles
+        # The wide system halves every memory term; the saving must be
+        # exactly half of the narrow system's memory-induced cycles.
+        narrow_memory = (
+            narrow.read_miss_stall_cycles
+            + narrow.flush_stall_cycles
+            + narrow.write_stall_cycles
+        )
+        assert narrow.cycles - wide.cycles == pytest.approx(narrow_memory / 2)

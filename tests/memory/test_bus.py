@@ -1,0 +1,47 @@
+"""Bus occupancy model."""
+
+import pytest
+
+from repro.memory.bus import Bus
+
+
+class TestBus:
+    def test_idle_bus_starts_immediately(self):
+        bus = Bus()
+        assert bus.reserve(5.0, 10.0) == 5.0
+        assert bus.busy_until == 15.0
+
+    def test_busy_bus_delays(self):
+        bus = Bus()
+        bus.reserve(0.0, 10.0)
+        assert bus.reserve(5.0, 4.0) == 10.0
+        assert bus.busy_until == 14.0
+
+    def test_serialization_order(self):
+        bus = Bus()
+        starts = [bus.reserve(0.0, 3.0) for _ in range(4)]
+        assert starts == [0.0, 3.0, 6.0, 9.0]
+
+    def test_idle_at(self):
+        bus = Bus()
+        bus.reserve(0.0, 10.0)
+        assert not bus.idle_at(9.9)
+        assert bus.idle_at(10.0)
+
+    def test_utilization(self):
+        bus = Bus()
+        bus.reserve(0.0, 25.0)
+        assert bus.utilization(100.0) == pytest.approx(0.25)
+
+    def test_utilization_capped_at_one(self):
+        bus = Bus()
+        bus.reserve(0.0, 50.0)
+        assert bus.utilization(10.0) == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            Bus().reserve(0.0, -1.0)
+
+    def test_utilization_needs_positive_elapsed(self):
+        with pytest.raises(ValueError, match="elapsed"):
+            Bus().utilization(0.0)

@@ -1,0 +1,82 @@
+"""Page-mode DRAM model."""
+
+import pytest
+
+from repro.memory.dram import PageModeDram
+
+
+@pytest.fixture
+def dram():
+    return PageModeDram(page_hit_cycle=4.0, page_miss_cycle=12.0,
+                        row_bytes=2048, bus_width=4)
+
+
+class TestTiming:
+    def test_first_fill_pays_page_miss(self, dram):
+        schedule = dram.schedule_fill(0, 32, 0, 0.0)
+        # chunk 0: page miss (12), chunks 1-7: page hits (4 each).
+        assert schedule.arrival_for_offset(0, 4) == 12.0
+        assert schedule.arrival_for_offset(4, 4) == 16.0
+        assert schedule.end_time == 12.0 + 7 * 4.0
+
+    def test_same_row_refill_all_hits(self, dram):
+        dram.schedule_fill(0, 32, 0, 0.0)
+        schedule = dram.schedule_fill(64, 32, 0, 100.0)  # same 2KB row
+        assert schedule.arrival_for_offset(0, 4) == 104.0
+        assert schedule.end_time == 100.0 + 8 * 4.0
+
+    def test_row_change_pays_miss_again(self, dram):
+        dram.schedule_fill(0, 32, 0, 0.0)
+        schedule = dram.schedule_fill(4096, 32, 0, 100.0)  # new row
+        assert schedule.arrival_for_offset(4096 % 32, 4) == 112.0
+
+    def test_worst_case_duration(self, dram):
+        assert dram.line_fill_duration(32) == 12.0 + 7 * 4.0
+
+    def test_write_duration(self, dram):
+        assert dram.write_duration(4) == 12.0
+        assert dram.write_duration(8) == 16.0
+
+
+class TestAccounting:
+    def test_page_hit_ratio(self, dram):
+        dram.schedule_fill(0, 32, 0, 0.0)
+        dram.schedule_fill(32, 32, 0, 50.0)
+        # 1 miss + 15 hits over 16 chunks.
+        assert dram.page_hit_ratio == pytest.approx(15 / 16)
+
+    def test_effective_memory_cycle_between_extremes(self, dram):
+        dram.schedule_fill(0, 32, 0, 0.0)
+        dram.schedule_fill(8192, 32, 0, 50.0)
+        effective = dram.effective_memory_cycle()
+        assert 4.0 < effective < 12.0
+
+    def test_effective_cycle_before_any_traffic(self, dram):
+        assert dram.effective_memory_cycle() == 12.0
+
+
+class TestValidation:
+    def test_miss_cannot_be_cheaper_than_hit(self):
+        with pytest.raises(ValueError, match="page_miss_cycle"):
+            PageModeDram(8.0, 4.0, 2048, 4)
+
+    def test_row_must_be_bus_multiple(self):
+        with pytest.raises(ValueError, match="row_bytes"):
+            PageModeDram(4.0, 12.0, 2046, 4)
+
+    def test_hit_cycle_floor(self):
+        with pytest.raises(ValueError, match="page_hit_cycle"):
+            PageModeDram(0.5, 12.0, 2048, 4)
+
+
+class TestSimulatorIntegration:
+    def test_runs_under_timing_simulator(self):
+        from repro.cache.cache import CacheConfig
+        from repro.cpu.processor import TimingSimulator
+        from tests.conftest import sequential_trace
+
+        dram = PageModeDram(4.0, 12.0, 2048, 4)
+        sim = TimingSimulator(CacheConfig(8192, 32, 2), dram)
+        result = sim.run(sequential_trace(3000))
+        assert result.cycles > 0
+        assert dram.page_hit_ratio > 0.5  # sequential: mostly open-row

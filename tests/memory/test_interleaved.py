@@ -1,0 +1,80 @@
+"""Interleaved (banked) memory."""
+
+import pytest
+
+from repro.memory.interleaved import (
+    InterleavedMemory,
+    banks_for_turnaround,
+    effective_turnaround,
+)
+from repro.memory.pipelined import PipelinedMemory
+
+
+class TestEffectiveTurnaround:
+    def test_enough_banks_hit_the_bus_limit(self):
+        assert effective_turnaround(8.0, banks=16) == 1.0
+
+    def test_few_banks_limited_by_bank_busy(self):
+        assert effective_turnaround(8.0, banks=2) == 4.0
+
+    def test_one_bank_is_non_pipelined(self):
+        assert effective_turnaround(8.0, banks=1) == 8.0
+
+    def test_banks_for_turnaround(self):
+        assert banks_for_turnaround(8.0, 2.0) == 4
+        assert banks_for_turnaround(20.0, 2.0) == 10
+        assert banks_for_turnaround(4.0, 8.0) == 1
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            banks_for_turnaround(8.0, 0.5, transfer_cycles=1.0)
+
+
+class TestInterleavedTiming:
+    def test_sequential_fill_matches_eq9(self):
+        """For sequential fills, banking == Eq. (9) at q_eff exactly."""
+        for beta in (4.0, 8.0, 12.0):
+            for banks in (1, 2, 4, 8):
+                interleaved = InterleavedMemory(beta, 4, banks)
+                q_eff = interleaved.as_pipelined_turnaround()
+                pipelined = PipelinedMemory(beta, 4, turnaround=q_eff)
+                assert interleaved.line_fill_duration(
+                    32
+                ) == pipelined.line_fill_duration(32), (beta, banks)
+
+    def test_schedule_within_envelope(self):
+        """The exact per-bank schedule never exceeds the Eq. 9 envelope
+        and never beats the physical floor (beta_m + bus cadence)."""
+        memory = InterleavedMemory(8.0, 4, banks=4)
+        schedule = memory.schedule_fill(0, 32, 0, 0.0)
+        assert schedule.end_time <= memory.line_fill_duration(32)
+        assert schedule.end_time >= 8.0 + 7 * 1.0
+
+    def test_bank_conflicts_counted(self):
+        memory = InterleavedMemory(8.0, 4, banks=2)
+        memory.schedule_fill(0, 32, 0, 0.0)
+        assert memory.bank_conflicts > 0
+
+    def test_many_banks_no_conflicts_in_one_line(self):
+        memory = InterleavedMemory(8.0, 4, banks=8)
+        memory.schedule_fill(0, 32, 0, 0.0)
+        assert memory.bank_conflicts == 0
+
+    def test_power_of_two_banks_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            InterleavedMemory(8.0, 4, banks=3)
+
+    def test_usable_by_timing_simulator(self):
+        from repro.cache.cache import CacheConfig
+        from repro.cpu.processor import TimingSimulator
+        from tests.conftest import sequential_trace
+
+        interleaved = InterleavedMemory(8.0, 4, banks=4)
+        plain_result = TimingSimulator(
+            CacheConfig(8192, 32, 2),
+            InterleavedMemory(8.0, 4, banks=1),
+        ).run(sequential_trace(2000))
+        banked_result = TimingSimulator(
+            CacheConfig(8192, 32, 2), interleaved
+        ).run(sequential_trace(2000))
+        assert banked_result.cycles < plain_result.cycles

@@ -1,0 +1,71 @@
+"""Non-pipelined main memory timing."""
+
+import pytest
+
+from repro.memory.mainmem import MainMemory
+
+
+@pytest.fixture
+def memory():
+    return MainMemory(memory_cycle=8.0, bus_width=4)
+
+
+class TestDurations:
+    def test_line_fill_duration(self, memory):
+        assert memory.line_fill_duration(32) == 64.0
+
+    def test_copy_back_matches_fill(self, memory):
+        assert memory.copy_back_duration(32) == memory.line_fill_duration(32)
+
+    def test_write_duration_small_operand(self, memory):
+        assert memory.write_duration(4) == 8.0
+        assert memory.write_duration(1) == 8.0
+
+    def test_write_duration_wide_operand(self, memory):
+        assert memory.write_duration(8) == 16.0
+        assert memory.write_duration(10) == 24.0  # ceil(10/4) chunks
+
+    def test_bad_line_size(self, memory):
+        with pytest.raises(ValueError, match="multiple"):
+            memory.line_fill_duration(30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="memory_cycle"):
+            MainMemory(0.5, 4)
+        with pytest.raises(ValueError, match="bus_width"):
+            MainMemory(8, 0)
+
+
+class TestFillSchedule:
+    def test_critical_word_first(self, memory):
+        schedule = memory.schedule_fill(0x100, 32, critical_offset=20, start_time=10.0)
+        # Chunk 5 (offset 20) must be the first arrival.
+        assert schedule.arrival_for_offset(20, 4) == 18.0
+        assert schedule.first_arrival == 18.0
+
+    def test_wraparound_order(self, memory):
+        schedule = memory.schedule_fill(0, 32, critical_offset=20, start_time=0.0)
+        # Transfer order: chunks 5,6,7,0,1,2,3,4.
+        assert schedule.arrival_for_offset(24, 4) == 16.0  # chunk 6, 2nd
+        assert schedule.arrival_for_offset(0, 4) == 32.0  # chunk 0, 4th
+
+    def test_end_time(self, memory):
+        schedule = memory.schedule_fill(0, 32, 0, 0.0)
+        assert schedule.end_time == 64.0
+        assert schedule.complete_at(64.0)
+        assert not schedule.complete_at(63.9)
+
+    def test_zero_offset_is_sequential(self, memory):
+        schedule = memory.schedule_fill(0, 32, 0, 0.0)
+        arrivals = [schedule.arrival_for_offset(4 * k, 4) for k in range(8)]
+        assert arrivals == [8.0 * (k + 1) for k in range(8)]
+
+    def test_offset_out_of_line_rejected(self, memory):
+        schedule = memory.schedule_fill(0, 32, 0, 0.0)
+        with pytest.raises(ValueError, match="outside"):
+            schedule.arrival_for_offset(40, 4)
+
+    def test_single_chunk_line(self):
+        memory = MainMemory(8.0, 4)
+        schedule = memory.schedule_fill(0, 4, 0, 0.0)
+        assert schedule.end_time == schedule.first_arrival == 8.0

@@ -1,0 +1,51 @@
+"""Pipelined memory timing (Eq. 9)."""
+
+import pytest
+
+from repro.memory.pipelined import PipelinedMemory
+
+
+@pytest.fixture
+def memory():
+    return PipelinedMemory(memory_cycle=8.0, bus_width=4, turnaround=2.0)
+
+
+class TestEq9:
+    def test_line_fill_duration(self, memory):
+        # beta_p = 8 + 2*(8-1)
+        assert memory.line_fill_duration(32) == 22.0
+
+    def test_matches_non_pipelined_at_single_chunk(self, memory):
+        assert memory.line_fill_duration(4) == 8.0
+
+    def test_copy_back_pipelines(self, memory):
+        assert memory.copy_back_duration(32) == 22.0
+
+    def test_turnaround_cannot_exceed_cycle(self):
+        with pytest.raises(ValueError, match="turnaround"):
+            PipelinedMemory(4.0, 4, turnaround=8.0)
+
+    def test_turnaround_floor(self):
+        with pytest.raises(ValueError, match="turnaround"):
+            PipelinedMemory(8.0, 4, turnaround=0.5)
+
+
+class TestSchedule:
+    def test_chunk_cadence(self, memory):
+        schedule = memory.schedule_fill(0, 32, 0, 0.0)
+        arrivals = [schedule.arrival_for_offset(4 * k, 4) for k in range(8)]
+        assert arrivals == [8.0 + 2.0 * k for k in range(8)]
+
+    def test_end_time_is_eq9(self, memory):
+        schedule = memory.schedule_fill(0, 32, 0, 10.0)
+        assert schedule.end_time == 10.0 + 22.0
+
+    def test_critical_word_first_preserved(self, memory):
+        schedule = memory.schedule_fill(0, 32, critical_offset=16, start_time=0.0)
+        assert schedule.first_arrival == schedule.arrival_for_offset(16, 4) == 8.0
+
+    def test_faster_than_plain_fill(self, memory):
+        from repro.memory.mainmem import MainMemory
+
+        plain = MainMemory(8.0, 4)
+        assert memory.line_fill_duration(32) < plain.line_fill_duration(32)

@@ -1,0 +1,73 @@
+"""Read-bypassing write buffer."""
+
+import pytest
+
+from repro.memory.write_buffer import WriteBuffer
+
+
+class TestPosting:
+    def test_post_is_free_with_space(self):
+        buffer = WriteBuffer(depth=2)
+        assert buffer.post(0x100, 64.0, now=0.0) == 0.0
+        assert len(buffer) == 1
+
+    def test_full_buffer_stalls_for_head_drain(self):
+        buffer = WriteBuffer(depth=1)
+        buffer.post(0x100, 64.0, now=0.0)
+        stall = buffer.post(0x200, 64.0, now=10.0)
+        assert stall == 64.0  # must drain the head first
+        assert len(buffer) == 1
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError, match="depth"):
+            WriteBuffer(depth=0)
+
+    def test_is_full(self):
+        buffer = WriteBuffer(depth=2)
+        buffer.post(0x100, 1.0, 0.0)
+        assert not buffer.is_full
+        buffer.post(0x200, 1.0, 0.0)
+        assert buffer.is_full
+
+
+class TestDraining:
+    def test_drain_idle_empties_when_window_allows(self):
+        buffer = WriteBuffer(depth=4)
+        buffer.post(0x100, 10.0, 0.0)
+        buffer.post(0x200, 10.0, 0.0)
+        end = buffer.drain_idle(now=0.0, idle_until=100.0)
+        assert end == 20.0
+        assert len(buffer) == 0
+        assert buffer.total_drained == 2
+
+    def test_drain_idle_respects_window(self):
+        buffer = WriteBuffer(depth=4)
+        buffer.post(0x100, 10.0, 0.0)
+        buffer.post(0x200, 10.0, 0.0)
+        end = buffer.drain_idle(now=0.0, idle_until=15.0)
+        assert end == 10.0
+        assert len(buffer) == 1
+
+    def test_no_partial_drain(self):
+        buffer = WriteBuffer(depth=4)
+        buffer.post(0x100, 10.0, 0.0)
+        end = buffer.drain_idle(now=0.0, idle_until=5.0)
+        assert end == 0.0
+        assert len(buffer) == 1
+
+
+class TestConflicts:
+    def test_conflict_detection(self):
+        buffer = WriteBuffer(depth=4)
+        buffer.post(0x100, 10.0, 0.0)
+        assert buffer.conflicts_with(0x100)
+        assert not buffer.conflicts_with(0x200)
+
+    def test_flush_all_drains_everything(self):
+        buffer = WriteBuffer(depth=4)
+        buffer.post(0x100, 10.0, 0.0)
+        buffer.post(0x200, 15.0, 0.0)
+        done = buffer.flush_all(now=5.0)
+        assert done == 30.0
+        assert len(buffer) == 0
+        assert buffer.conflict_stalls == 1

@@ -1,0 +1,70 @@
+"""Property-based tests for envelopes and the numeric solver (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import feature_bounds
+from repro.core.bus_width import doubling_tradeoff
+from repro.core.features import ArchFeature, feature_miss_ratio
+from repro.core.params import SystemConfig
+from repro.core.solver import SystemUnderTest, solve_equivalent_hit_ratio
+
+features = st.sampled_from(
+    [
+        ArchFeature.DOUBLING_BUS,
+        ArchFeature.WRITE_BUFFERS,
+        ArchFeature.PIPELINED_MEMORY,
+    ]
+)
+line_exponents = st.integers(min_value=1, max_value=4)  # L = 8..64, D = 4
+
+
+@st.composite
+def boxes(draw):
+    beta_low = draw(st.floats(min_value=2.0, max_value=30.0))
+    beta_high = beta_low + draw(st.floats(min_value=0.0, max_value=30.0))
+    alpha_low = draw(st.floats(min_value=0.0, max_value=0.9))
+    alpha_high = alpha_low + draw(st.floats(min_value=0.0, max_value=1.0 - alpha_low))
+    return (beta_low, beta_high), (alpha_low, alpha_high)
+
+
+@settings(max_examples=100)
+@given(feature=features, box=boxes(), line_exp=line_exponents)
+def test_envelope_contains_random_interior_points(feature, box, line_exp):
+    (beta_low, beta_high), (alpha_low, alpha_high) = box
+    config = SystemConfig(4, 4 * 2**line_exp, beta_low, pipeline_turnaround=2.0)
+    bounds = feature_bounds(
+        feature, config, 0.95, (beta_low, beta_high), (alpha_low, alpha_high)
+    )
+    for i in range(4):
+        t = i / 3.0
+        beta = beta_low + t * (beta_high - beta_low)
+        alpha = alpha_high - t * (alpha_high - alpha_low)  # anti-diagonal
+        r = feature_miss_ratio(
+            feature, config.with_memory_cycle(beta), flush_ratio=alpha
+        )
+        assert bounds.contains(r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    beta=st.floats(min_value=2.0, max_value=50.0),
+    flush=st.floats(min_value=0.0, max_value=1.0),
+    hr=st.floats(min_value=0.80, max_value=0.99),
+    line_exp=line_exponents,
+)
+def test_solver_matches_closed_form_everywhere(beta, flush, hr, line_exp):
+    """The bisection solver and Eq. 6 agree at random operating points."""
+    config = SystemConfig(4, 4 * 2**line_exp, beta, pipeline_turnaround=2.0)
+    closed = doubling_tradeoff(config, hr, flush_ratio=flush)
+    if closed.feature_hit_ratio <= 0.01:
+        return  # outside Eq. 6 physical validity
+    numeric = solve_equivalent_hit_ratio(
+        SystemUnderTest(config),
+        SystemUnderTest(config.doubled_bus()),
+        hr,
+        flush_ratio=flush,
+    )
+    assert math.isclose(numeric, closed.feature_hit_ratio, abs_tol=1e-7)

@@ -1,0 +1,113 @@
+"""Property-based tests on the cache simulator (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.replacement import LRUPolicy
+from repro.cache.write_policy import AllocatePolicy
+
+addresses = st.integers(min_value=0, max_value=0xFFFF)
+operations = st.lists(
+    st.tuples(st.booleans(), addresses), min_size=1, max_size=300
+)
+
+
+def run_ops(cache: Cache, ops) -> None:
+    for is_write, address in ops:
+        if is_write:
+            cache.write(address)
+        else:
+            cache.read(address)
+
+
+@settings(max_examples=100)
+@given(ops=operations)
+def test_accounting_identity(ops):
+    """hits + misses == accesses, always."""
+    cache = Cache(CacheConfig(1024, 32, 2))
+    run_ops(cache, ops)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(ops)
+
+
+@settings(max_examples=100)
+@given(ops=operations)
+def test_capacity_never_exceeded(ops):
+    cache = Cache(CacheConfig(512, 32, 2))
+    run_ops(cache, ops)
+    assert len(cache.resident_lines()) <= cache.config.n_lines
+
+
+@settings(max_examples=100)
+@given(ops=operations)
+def test_immediate_rereference_always_hits(ops):
+    """Any address just accessed must be resident."""
+    cache = Cache(CacheConfig(1024, 32, 2))
+    for is_write, address in ops:
+        if is_write:
+            cache.write(address)
+        else:
+            cache.read(address)
+        assert cache.contains(address)
+
+
+@settings(max_examples=100)
+@given(ops=operations)
+def test_write_around_never_caches_missing_stores(ops):
+    cache = Cache(
+        CacheConfig(1024, 32, 2, allocate_policy=AllocatePolicy.WRITE_AROUND)
+    )
+    for is_write, address in ops:
+        if is_write and not cache.contains(address):
+            cache.write(address)
+            assert not cache.contains(address)
+        elif is_write:
+            cache.write(address)
+        else:
+            cache.read(address)
+
+
+@settings(max_examples=100)
+@given(ops=operations)
+def test_flush_accounting_consistent(ops):
+    """Flushed lines never exceed fills + write-allocate installs; alpha
+    stays in [0, 1] territory for write-back write-allocate caches."""
+    cache = Cache(CacheConfig(512, 32, 2))
+    run_ops(cache, ops)
+    stats = cache.stats
+    assert stats.flushed_lines <= stats.line_fills
+    if stats.line_fills:
+        assert 0.0 <= stats.flush_ratio <= 1.0
+
+
+@settings(max_examples=100)
+@given(ops=operations)
+def test_bigger_cache_never_misses_more(ops):
+    """Inclusion-style sanity: with the same line size and full LRU sets,
+    a 2x cache (same associativity scale-up) has <= misses.
+
+    Holds here because doubling total bytes doubles the sets while the
+    reference stream and line size stay fixed -- we assert the weaker,
+    always-true form: miss count does not increase when associativity
+    doubles at fixed set count (a pure LRU-stack property)."""
+    small = Cache(CacheConfig(512, 32, 2))
+    large = Cache(CacheConfig(1024, 32, 4))  # same 8 sets, 4-way
+    run_ops(small, ops)
+    run_ops(large, ops)
+    assert large.stats.misses <= small.stats.misses
+
+
+@settings(max_examples=50)
+@given(
+    touches=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60)
+)
+def test_lru_victim_is_least_recent(touches):
+    """The LRU victim is exactly the way whose last touch is oldest."""
+    policy = LRUPolicy(8)
+    last_touch = {way: -1 for way in range(8)}
+    for step, way in enumerate(touches):
+        policy.touch(way)
+        last_touch[way] = step
+    victim = policy.victim()
+    assert last_touch[victim] == min(last_touch.values())

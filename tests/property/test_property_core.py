@@ -1,0 +1,184 @@
+"""Property-based tests on the analytic core (hypothesis).
+
+The central theorem (Eq. 19 == Eq. 16 on any miss table) and the
+structural invariants of the tradeoff algebra are checked over random
+inputs, not just the paper's operating points.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bus_width import miss_volume_ratio_for_doubling
+from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.core.execution import execution_time
+from repro.core.pipelined import pipelined_miss_volume_ratio
+from repro.core.smith import criteria_agree, reduced_memory_delay
+from repro.core.tradeoff import (
+    hit_ratio_traded,
+    miss_cost_factor,
+    reverse_hit_ratio_traded,
+)
+from repro.core.write_buffer import write_buffer_miss_volume_ratio
+
+# -- strategies ----------------------------------------------------------
+
+betas = st.floats(min_value=2.0, max_value=200.0, allow_nan=False)
+hit_ratios = st.floats(min_value=0.5, max_value=0.999, allow_nan=False)
+flushes = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+line_exponents = st.integers(min_value=1, max_value=5)  # L = 4 * 2^e
+
+
+def config_from(beta: float, line_exp: int) -> SystemConfig:
+    return SystemConfig(4, 4 * 2**line_exp, beta, pipeline_turnaround=2.0)
+
+
+@st.composite
+def miss_tables(draw):
+    """A strictly decreasing miss-ratio table over doubling line sizes."""
+    n_lines = draw(st.integers(min_value=2, max_value=6))
+    top = draw(st.floats(min_value=0.01, max_value=0.5))
+    ratios = {}
+    current = top
+    line = 8
+    for _ in range(n_lines):
+        ratios[line] = current
+        current *= draw(st.floats(min_value=0.4, max_value=0.99))
+        line *= 2
+    return ratios
+
+
+# -- the Smith equivalence theorem ----------------------------------------
+
+
+@settings(max_examples=200)
+@given(
+    table=miss_tables(),
+    latency=st.floats(min_value=1.0, max_value=50.0),
+    beta=st.floats(min_value=0.1, max_value=20.0),
+    bus_width=st.sampled_from([4, 8, 16]),
+)
+def test_smith_equivalence_on_random_tables(table, latency, beta, bus_width):
+    """Eq. (19) picks Smith's optimal line for ANY miss-ratio table."""
+    assert criteria_agree(table, latency, beta, bus_width)
+
+
+@settings(max_examples=100)
+@given(
+    table=miss_tables(),
+    latency=st.floats(min_value=1.5, max_value=50.0),
+    beta=st.floats(min_value=0.1, max_value=20.0),
+)
+def test_reduced_delay_identity(table, latency, beta):
+    """Eq. (19) value == MR0*w0 - MRi*wi for every candidate."""
+    base = min(table)
+    points = reduced_memory_delay(table, base, latency, beta, 4)
+    w0 = latency - 1 + beta * base / 4
+    for point in points:
+        wi = latency - 1 + beta * point.line_size / 4
+        direct = table[base] * w0 - table[point.line_size] * wi
+        assert math.isclose(point.reduced_delay, direct, abs_tol=1e-9)
+
+
+# -- tradeoff algebra ------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(beta=betas, hr=hit_ratios, flush=flushes, line_exp=line_exponents)
+def test_doubling_r_always_above_one(beta, hr, flush, line_exp):
+    """Doubling the bus never hurts: r >= 1, so delta_HR >= 0."""
+    config = config_from(beta, line_exp)
+    r = miss_volume_ratio_for_doubling(config, flush)
+    assert r >= 1.0
+    assert hit_ratio_traded(r, hr) >= 0.0
+
+
+@settings(max_examples=200)
+@given(beta=betas, flush=flushes, line_exp=line_exponents)
+def test_doubling_r_within_global_bounds(beta, flush, line_exp):
+    """For any geometry/flush, 1 <= r <= 3: the supremum 3 occurs at the
+    flush-free design limit (alpha=0, beta_m=2, L=2D); the paper's 2.5
+    bound is the alpha=0.5 special case, checked separately."""
+    config = config_from(beta, line_exp)
+    r = miss_volume_ratio_for_doubling(config, flush)
+    assert 1.0 <= r <= 3.0 + 1e-9
+    r_half = miss_volume_ratio_for_doubling(config, 0.5)
+    assert 1.0 <= r_half <= 2.5 + 1e-9
+
+
+@settings(max_examples=200)
+@given(beta=betas, hr=hit_ratios, flush=flushes, line_exp=line_exponents)
+def test_forward_reverse_consistency(beta, hr, flush, line_exp):
+    """Applying Eq. (6) forward then Eq. (7) backward round-trips:
+    HR1 -(r)-> HR2, then the gain HR2 needs to get back is HR1 - HR2."""
+    config = config_from(beta, line_exp)
+    r = miss_volume_ratio_for_doubling(config, flush)
+    delta_forward = hit_ratio_traded(r, hr)
+    hr2 = hr - delta_forward
+    if hr2 <= 0.0:
+        return  # outside Eq. (6) validity (paper: HR2 > 0)
+    delta_back = reverse_hit_ratio_traded(r, hr2)
+    assert math.isclose(delta_back, delta_forward, rel_tol=1e-9)
+
+
+@settings(max_examples=200)
+@given(beta=betas, flush=flushes, line_exp=line_exponents)
+def test_pipelined_r_at_least_one_and_grows(beta, flush, line_exp):
+    config = config_from(beta, line_exp)
+    r = pipelined_miss_volume_ratio(config, flush)
+    assert r >= 1.0 - 1e-12
+    slower = config.with_memory_cycle(beta * 2)
+    assert pipelined_miss_volume_ratio(slower, flush) >= r - 1e-12
+
+
+@settings(max_examples=200)
+@given(beta=betas, flush=flushes, line_exp=line_exponents)
+def test_write_buffer_r_monotone_in_flush_traffic(beta, flush, line_exp):
+    """More copy-back traffic -> more to hide -> larger r."""
+    config = config_from(beta, line_exp)
+    r_low = write_buffer_miss_volume_ratio(config, flush * 0.5)
+    r_high = write_buffer_miss_volume_ratio(config, flush)
+    assert r_high >= r_low - 1e-12
+
+
+@settings(max_examples=200)
+@given(beta=betas, flush=flushes, line_exp=line_exponents, hr=hit_ratios)
+def test_equal_execution_time_at_traded_hit_ratio(beta, flush, line_exp, hr):
+    """The defining property of Eq. (6): a D-wide system at HR1 and a
+    2D-wide system at HR2 = HR1 - delta run the SAME execution time."""
+    config = config_from(beta, line_exp)
+    r = miss_volume_ratio_for_doubling(config, flush)
+    delta = hit_ratio_traded(r, hr)
+    hr2 = hr - delta
+    if hr2 <= 0.01:
+        return
+    instructions = 1_000_000.0
+    references = instructions * 0.3
+    line = config.line_size
+
+    def workload(h):
+        misses = references * (1.0 - h)
+        return WorkloadCharacter(
+            instructions=instructions,
+            read_bytes=misses * line,
+            flush_ratio=flush,
+        )
+
+    narrow = execution_time(workload(hr), config)
+    wide = execution_time(workload(hr2), config.doubled_bus())
+    assert math.isclose(narrow, wide, rel_tol=1e-9)
+
+
+@settings(max_examples=150)
+@given(
+    phi=st.floats(min_value=1.0, max_value=8.0),
+    flush=flushes,
+    beta=betas,
+)
+def test_kappa_positive_and_monotone_in_phi(phi, flush, beta):
+    """For any BL/BNL-admissible phi (>= 1) and beta_m >= 2, the per-miss
+    cost is positive and grows with phi."""
+    kappa_low = miss_cost_factor(phi, flush, 8.0, beta)
+    kappa_high = miss_cost_factor(phi + 0.5, flush, 8.0, beta)
+    assert 0.0 < kappa_low < kappa_high

@@ -1,0 +1,128 @@
+"""Property-based tests for the extension substrate (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.prefetch import PrefetchingCache, PrefetchPolicy
+from repro.cache.victim import VictimCache
+from repro.memory.interleaved import InterleavedMemory, effective_turnaround
+from repro.memory.pipelined import PipelinedMemory
+from repro.trace.multiprogram import interleave
+from repro.trace.record import ALU_OP, Instruction, OpKind
+
+CONFIG = CacheConfig(512, 32, 2)
+
+mem_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=0x3FF)),
+    min_size=1,
+    max_size=200,
+)
+
+
+def to_instructions(ops):
+    return [
+        Instruction(OpKind.STORE if w else OpKind.LOAD, a * 4, 4)
+        for w, a in ops
+    ]
+
+
+@settings(max_examples=80)
+@given(ops=mem_ops)
+def test_victim_never_lowers_effective_hit_ratio(ops):
+    """A victim buffer can only turn misses into rescues."""
+    plain = Cache(CONFIG)
+    combined = VictimCache(CONFIG, victim_lines=4)
+    for inst in to_instructions(ops):
+        if inst.kind is OpKind.LOAD:
+            plain.read(inst.address)
+        else:
+            plain.write(inst.address)
+        combined.access(inst)
+    assert combined.stats.effective_hit_ratio >= plain.stats.hit_ratio - 1e-12
+
+
+@settings(max_examples=80)
+@given(ops=mem_ops)
+def test_victim_buffer_capacity_respected(ops):
+    combined = VictimCache(CONFIG, victim_lines=3)
+    for inst in to_instructions(ops):
+        combined.access(inst)
+        assert len(combined) <= 3
+
+
+@settings(max_examples=80)
+@given(ops=mem_ops)
+def test_victim_accounting_identity(ops):
+    combined = VictimCache(CONFIG, victim_lines=4)
+    instructions = to_instructions(ops)
+    for inst in instructions:
+        combined.access(inst)
+    stats = combined.stats
+    assert stats.accesses == len(instructions)
+    assert stats.main_hits + stats.rescues + stats.memory_fills == stats.accesses
+
+
+@settings(max_examples=80)
+@given(ops=mem_ops, policy=st.sampled_from(list(PrefetchPolicy)))
+def test_prefetch_coverage_and_accuracy_bounded(ops, policy):
+    prefetcher = PrefetchingCache(CONFIG, policy)
+    for inst in to_instructions(ops):
+        prefetcher.access(inst)
+    assert 0.0 <= prefetcher.stats.coverage <= 1.0
+    assert 0.0 <= prefetcher.stats.accuracy <= 1.0
+    assert prefetcher.stats.useful <= prefetcher.stats.issued
+
+
+@settings(max_examples=80)
+@given(
+    beta=st.floats(min_value=2.0, max_value=64.0),
+    banks_exp=st.integers(min_value=0, max_value=5),
+)
+def test_interleaved_fill_between_pipelined_extremes(beta, banks_exp):
+    """Banked fill time sits between perfect pipelining and no pipelining."""
+    banks = 2**banks_exp
+    memory = InterleavedMemory(beta, 4, banks)
+    duration = memory.line_fill_duration(32)
+    best = PipelinedMemory(beta, 4, turnaround=1.0).line_fill_duration(32)
+    worst = 8 * beta  # non-pipelined
+    assert best - 1e-9 <= duration <= worst + 1e-9
+
+
+@settings(max_examples=80)
+@given(
+    beta=st.floats(min_value=2.0, max_value=64.0),
+    banks_exp=st.integers(min_value=0, max_value=6),
+)
+def test_more_banks_never_slow_fills(beta, banks_exp):
+    banks = 2**banks_exp
+    few = effective_turnaround(beta, banks)
+    more = effective_turnaround(beta, banks * 2)
+    assert more <= few
+
+
+@settings(max_examples=60)
+@given(
+    lengths=st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=5),
+    quantum=st.integers(min_value=1, max_value=30),
+)
+def test_interleave_is_a_permutation_of_inputs(lengths, quantum):
+    rng = random.Random(1)
+    traces = [
+        [Instruction(OpKind.LOAD, rng.randrange(1024) * 4, 4)] * n
+        for n in lengths
+    ]
+    merged = interleave(traces, quantum)
+    assert len(merged) == sum(lengths)
+
+
+@settings(max_examples=60)
+@given(quantum=st.integers(min_value=1, max_value=50))
+def test_interleave_preserves_per_task_order(quantum):
+    a = [Instruction(OpKind.LOAD, i * 4, 4) for i in range(40)]
+    b = [ALU_OP] * 25
+    merged = interleave([a, b], quantum)
+    addresses = [inst.address for inst in merged if inst.kind is OpKind.LOAD]
+    assert addresses == sorted(addresses)

@@ -1,0 +1,133 @@
+"""Property-based tests on the timing simulator (hypothesis).
+
+Random instruction streams are generated and the simulator's invariants
+are checked: Eq. (2) exactness, Table 2 bounds, and policy dominance.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.core.execution import execution_time
+from repro.core.params import SystemConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.record import ALU_OP, Instruction, OpKind
+
+CACHE = CacheConfig(total_bytes=512, line_size=32, associativity=2)
+
+
+@st.composite
+def instruction_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    stream = []
+    for _ in range(n):
+        roll = draw(st.integers(min_value=0, max_value=9))
+        if roll < 6:
+            stream.append(ALU_OP)
+        else:
+            kind = OpKind.STORE if roll == 9 else OpKind.LOAD
+            address = draw(st.integers(min_value=0, max_value=0x7FF)) * 4
+            stream.append(Instruction(kind, address, 4))
+    return stream
+
+
+def characterize(sim, count):
+    from repro.core.params import WorkloadCharacter
+
+    stats = sim.cache.stats
+    return WorkloadCharacter(
+        instructions=count,
+        read_bytes=stats.read_miss_bytes,
+        write_around_misses=stats.write_around_count,
+        flush_ratio=stats.flush_ratio,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=instruction_streams(), beta=st.sampled_from([2.0, 4.0, 8.0]))
+def test_eq2_exact_for_full_stall(stream, beta):
+    sim = TimingSimulator(CACHE, MainMemory(beta, 4))
+    result = sim.run(stream)
+    predicted = execution_time(
+        characterize(sim, result.instructions), SystemConfig(4, 32, beta)
+    )
+    assert abs(result.cycles - predicted) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stream=instruction_streams(),
+    policy=st.sampled_from(
+        [
+            StallPolicy.BUS_LOCKED,
+            StallPolicy.BUS_NOT_LOCKED_1,
+            StallPolicy.BUS_NOT_LOCKED_2,
+            StallPolicy.BUS_NOT_LOCKED_3,
+        ]
+    ),
+)
+def test_measured_phi_within_table2_bounds(stream, policy):
+    sim = TimingSimulator(CACHE, MainMemory(8.0, 4), policy=policy)
+    result = sim.run(stream)
+    if result.line_fills:
+        assert 1.0 - 1e-9 <= result.stall_factor <= 8.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=instruction_streams())
+def test_fs_dominates_every_partial_policy(stream):
+    """FS is the slowest configuration on any stream."""
+    fs = TimingSimulator(CACHE, MainMemory(8.0, 4)).run(stream).cycles
+    for policy in (
+        StallPolicy.BUS_LOCKED,
+        StallPolicy.BUS_NOT_LOCKED_1,
+        StallPolicy.BUS_NOT_LOCKED_3,
+        StallPolicy.NON_BLOCKING,
+    ):
+        other = TimingSimulator(CACHE, MainMemory(8.0, 4), policy=policy).run(
+            stream
+        )
+        assert other.cycles <= fs + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=instruction_streams())
+def test_bnl_refinements_are_ordered(stream):
+    """BNL1 >= BNL2 >= BNL3 in cycles on every stream."""
+    cycles = []
+    for policy in (
+        StallPolicy.BUS_NOT_LOCKED_1,
+        StallPolicy.BUS_NOT_LOCKED_2,
+        StallPolicy.BUS_NOT_LOCKED_3,
+    ):
+        cycles.append(
+            TimingSimulator(CACHE, MainMemory(8.0, 4), policy=policy)
+            .run(stream)
+            .cycles
+        )
+    assert cycles[0] >= cycles[1] >= cycles[2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=instruction_streams())
+def test_write_buffers_never_slow_things_down(stream):
+    plain = TimingSimulator(CACHE, MainMemory(8.0, 4)).run(stream).cycles
+    buffered = (
+        TimingSimulator(CACHE, MainMemory(8.0, 4), write_buffer_depth=8)
+        .run(stream)
+        .cycles
+    )
+    assert buffered <= plain + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=instruction_streams())
+def test_cycles_at_least_instruction_count_minus_misses(stream):
+    """Time is bounded below by the non-miss instruction count."""
+    sim = TimingSimulator(CACHE, MainMemory(8.0, 4))
+    result = sim.run(stream)
+    stats = sim.cache.stats
+    lower = result.instructions - stats.line_fills - stats.write_around_count
+    assert result.cycles >= lower - 1e-9

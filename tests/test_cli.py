@@ -1,0 +1,112 @@
+"""Unified CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.uat"
+    assert main(
+        [
+            "generate-trace",
+            str(path),
+            "--workload",
+            "ear",
+            "--instructions",
+            "3000",
+        ]
+    ) == 0
+    return path
+
+
+class TestGenerateTrace:
+    def test_writes_file(self, trace_file):
+        assert trace_file.exists()
+        assert trace_file.read_text().startswith("#UAT1")
+
+    def test_markov_workload(self, tmp_path, capsys):
+        path = tmp_path / "m.uat"
+        assert main(
+            ["generate-trace", str(path), "--workload", "markov3",
+             "--instructions", "2000"]
+        ) == 0
+        assert "wrote 2000 instructions" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate-trace", str(tmp_path / "x"), "--workload", "gcc"])
+
+
+class TestCharacterize:
+    def test_reports_table1_parameters(self, trace_file, capsys):
+        assert main(["characterize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "E      = 3000" in out
+        assert "alpha" in out
+        assert "HR" in out
+
+    def test_phi_measurement(self, trace_file, capsys):
+        assert main(["characterize", str(trace_file), "--measure-phi"]) == 0
+        out = capsys.readouterr().out
+        assert "phi[BNL1]" in out
+        assert "phi[BNL3]" in out
+
+
+class TestSimulate:
+    def test_basic_run(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "100.0% of L/D" in out  # FS default
+
+    def test_policy_selection(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--policy", "BNL3"]) == 0
+        out = capsys.readouterr().out
+        assert "100.0% of L/D" not in out
+
+    def test_pipelined_memory(self, trace_file, capsys):
+        assert main(
+            ["simulate", str(trace_file), "--pipelined-q", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        # beta_p/beta_m = 22/8 = 2.75 -> 34.4% of L/D
+        assert "34.4% of L/D" in out
+
+    def test_write_buffers_reduce_flush(self, trace_file, capsys):
+        main(["simulate", str(trace_file)])
+        plain = capsys.readouterr().out
+        main(["simulate", str(trace_file), "--write-buffer-depth", "8"])
+        buffered = capsys.readouterr().out
+
+        def flush_of(text):
+            return float(
+                next(l for l in text.splitlines() if "flush stall" in l)
+                .split("=")[1]
+            )
+
+        assert flush_of(buffered) < flush_of(plain)
+
+
+class TestAdvise:
+    def test_ranking_printed(self, capsys):
+        assert main(["advise", "--memory-cycle", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "1. pipelined-memory" in out
+
+    def test_fast_memory_prefers_bus(self, capsys):
+        assert main(["advise", "--memory-cycle", "2.5"]) == 0
+        assert "1. doubling-bus" in capsys.readouterr().out
+
+    def test_stall_factor_row(self, capsys):
+        assert main(
+            ["advise", "--memory-cycle", "8", "--stall-factor", "7.0"]
+        ) == 0
+        assert "partially-stalling" in capsys.readouterr().out
+
+
+class TestExperimentsDelegation:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "figure1" in capsys.readouterr().out

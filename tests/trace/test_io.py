@@ -1,0 +1,57 @@
+"""Trace file round trips."""
+
+import pytest
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import ALU_OP, load, store
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        trace = [load(0x1000, 4), ALU_OP, store(0xDEADBEE0, 8), ALU_OP, ALU_OP]
+        path = tmp_path / "t.uat"
+        assert write_trace(path, trace) == 5
+        assert list(read_trace(path)) == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.uat"
+        write_trace(path, [])
+        assert list(read_trace(path)) == []
+
+    def test_large_round_trip(self, tmp_path):
+        from repro.trace.spec92 import spec92_trace
+
+        trace = spec92_trace("ear", 2000, seed=5)
+        path = tmp_path / "ear.uat"
+        write_trace(path, trace)
+        assert list(read_trace(path)) == trace
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.uat"
+        write_trace(path, [ALU_OP])
+        assert path.exists()
+
+
+class TestErrors:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.uat"
+        path.write_text("#WRONG\na\n")
+        with pytest.raises(ValueError, match="header"):
+            list(read_trace(path))
+
+    def test_malformed_record_names_line(self, tmp_path):
+        path = tmp_path / "bad.uat"
+        path.write_text("#UAT1\na\nz 100 4\n")
+        with pytest.raises(ValueError, match=":3"):
+            list(read_trace(path))
+
+    def test_bad_numbers(self, tmp_path):
+        path = tmp_path / "bad.uat"
+        path.write_text("#UAT1\nl xyz four\n")
+        with pytest.raises(ValueError, match="address/size"):
+            list(read_trace(path))
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.uat"
+        path.write_text("#UAT1\n\n# a comment\nl 40 4\n")
+        assert list(read_trace(path)) == [load(0x40, 4)]

@@ -1,0 +1,121 @@
+"""Markov-phase workload generator."""
+
+import random
+
+import pytest
+
+from repro.trace.markov import MarkovWorkload, Phase, three_phase_example
+from repro.trace.stats import summarize
+from repro.trace.synthetic import sequential_sweep
+
+
+def single_phase(mean=500, loadstore=0.4):
+    return MarkovWorkload(
+        phases=[
+            Phase(
+                "only",
+                lambda rng: sequential_sweep(0, 1 << 16, 8),
+                mean_instructions=mean,
+                loadstore_fraction=loadstore,
+            )
+        ]
+    )
+
+
+class TestBuild:
+    def test_length_exact(self):
+        trace = single_phase().build(5000, seed=1)
+        assert len(trace) == 5000
+
+    def test_reproducible(self):
+        workload = three_phase_example()
+        assert workload.build(2000, seed=4) == workload.build(2000, seed=4)
+
+    def test_seeds_differ(self):
+        workload = three_phase_example()
+        assert workload.build(2000, seed=4) != workload.build(2000, seed=5)
+
+    def test_loadstore_density(self):
+        trace = single_phase(loadstore=0.4).build(20_000, seed=2)
+        stats = summarize(trace)
+        assert stats.loadstore_fraction == pytest.approx(0.4, abs=0.02)
+
+    def test_phase_log_accounts_for_everything(self):
+        workload = three_phase_example()
+        trace = workload.build(10_000, seed=3)
+        assert sum(n for _, n in workload.phase_log) == len(trace)
+
+    def test_all_phases_visited(self):
+        workload = three_phase_example()
+        workload.build(30_000, seed=3)
+        names = {name for name, _ in workload.phase_log}
+        assert names == {"init-sweep", "compute", "update-lists"}
+
+    def test_transition_matrix_respected(self):
+        """A chain that can never reach phase 2 never logs it."""
+        phases = [
+            Phase("a", lambda rng: sequential_sweep(0, 4096, 8), 100),
+            Phase("b", lambda rng: sequential_sweep(8192, 4096, 8), 100),
+            Phase("c", lambda rng: sequential_sweep(16384, 4096, 8), 100),
+        ]
+        workload = MarkovWorkload(
+            phases,
+            transitions=[
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.5, 0.5, 0.0],
+            ],
+        )
+        # Start phase is random; exclude runs that *start* in c.
+        random.seed(0)
+        trace = workload.build(20_000, seed=11)
+        names = [name for name, _ in workload.phase_log]
+        assert trace
+        assert "c" not in names[1:]
+
+
+class TestValidation:
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            MarkovWorkload(phases=[])
+
+    def test_bad_matrix_shape(self):
+        with pytest.raises(ValueError, match="transition matrix"):
+            MarkovWorkload(phases=single_phase().phases, transitions=[[0.5, 0.5]])
+
+    def test_rows_must_sum_to_one(self):
+        phases = single_phase().phases * 2
+        with pytest.raises(ValueError, match="sum to 1"):
+            MarkovWorkload(
+                phases=phases, transitions=[[0.5, 0.4], [0.5, 0.5]]
+            )
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError, match="mean_instructions"):
+            Phase("x", lambda rng: sequential_sweep(0, 64, 8), 0)
+        with pytest.raises(ValueError, match="loadstore_fraction"):
+            Phase("x", lambda rng: sequential_sweep(0, 64, 8), 10, 0.0)
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError, match="n_instructions"):
+            single_phase().build(0)
+
+
+class TestCharacter:
+    def test_phases_shift_locality(self):
+        """Aggregate spatial locality sits between the phases' extremes."""
+        workload = three_phase_example()
+        trace = workload.build(20_000, seed=6)
+        stats = summarize(trace, line_size=32)
+        assert 0.0 < stats.spatial_locality < 0.9
+
+    def test_usable_by_timing_simulator(self):
+        from repro.cache.cache import CacheConfig
+        from repro.cpu.processor import TimingSimulator
+        from repro.memory.mainmem import MainMemory
+
+        trace = three_phase_example().build(5000, seed=6)
+        result = TimingSimulator(
+            CacheConfig(8192, 32, 2), MainMemory(8.0, 4)
+        ).run(trace)
+        assert result.cycles > result.instructions

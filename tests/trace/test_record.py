@@ -1,0 +1,41 @@
+"""Instruction records."""
+
+import pytest
+
+from repro.trace.record import ALU_OP, Instruction, OpKind, load, store
+
+
+class TestOpKind:
+    def test_memory_classification(self):
+        assert OpKind.LOAD.is_memory
+        assert OpKind.STORE.is_memory
+        assert not OpKind.ALU.is_memory
+
+
+class TestInstruction:
+    def test_load_constructor(self):
+        inst = load(0x1000, 8)
+        assert inst.kind is OpKind.LOAD
+        assert inst.address == 0x1000
+        assert inst.size == 8
+
+    def test_store_constructor(self):
+        inst = store(0x2000)
+        assert inst.kind is OpKind.STORE
+        assert inst.size == 4
+
+    def test_alu_singleton(self):
+        assert ALU_OP.kind is OpKind.ALU
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            load(-1)
+
+    def test_zero_size_memory_op_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Instruction(OpKind.LOAD, 0x100, 0)
+
+    def test_frozen(self):
+        inst = load(0x100)
+        with pytest.raises(AttributeError):
+            inst.address = 0x200

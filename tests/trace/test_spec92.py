@@ -1,0 +1,61 @@
+"""SPEC92 stand-in profiles."""
+
+import pytest
+
+from repro.trace.spec92 import SPEC92_PROFILES, spec92_trace
+from repro.trace.stats import summarize
+
+
+class TestProfiles:
+    def test_all_six_programs_present(self):
+        assert sorted(SPEC92_PROFILES) == [
+            "doduc",
+            "ear",
+            "hydro2d",
+            "nasa7",
+            "swm256",
+            "wave5",
+        ]
+
+    def test_traces_have_requested_length(self):
+        trace = spec92_trace("nasa7", 5000)
+        assert len(trace) == 5000
+
+    def test_reproducible_per_seed(self):
+        assert spec92_trace("ear", 1000, seed=3) == spec92_trace("ear", 1000, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert spec92_trace("ear", 1000, seed=3) != spec92_trace("ear", 1000, seed=4)
+
+    def test_programs_differ_from_each_other(self):
+        a = spec92_trace("nasa7", 1000, seed=1)
+        b = spec92_trace("doduc", 1000, seed=1)
+        assert a != b
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            spec92_trace("gcc", 1000)
+
+
+class TestCharacter:
+    def test_loadstore_density_matches_profile(self):
+        for name, profile in SPEC92_PROFILES.items():
+            stats = summarize(profile.trace(8000, seed=2))
+            assert stats.loadstore_fraction == pytest.approx(
+                profile.loadstore_fraction, abs=0.03
+            ), name
+
+    def test_sequential_programs_have_high_spatial_locality(self):
+        seq = summarize(spec92_trace("swm256", 8000, seed=2), line_size=32)
+        scattered = summarize(spec92_trace("doduc", 8000, seed=2), line_size=32)
+        assert seq.spatial_locality > scattered.spatial_locality
+
+    def test_ear_has_smallest_footprint(self):
+        """ear's hot working set keeps its unique-line count low."""
+        footprints = {
+            name: summarize(profile.trace(8000, seed=2), 32).unique_lines
+            for name, profile in SPEC92_PROFILES.items()
+        }
+        assert footprints["ear"] <= min(
+            footprints[name] for name in ("nasa7", "swm256", "wave5", "hydro2d")
+        )

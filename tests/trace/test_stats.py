@@ -1,0 +1,43 @@
+"""Trace summary statistics."""
+
+import pytest
+
+from repro.trace.record import ALU_OP, load, store
+from repro.trace.stats import summarize
+
+
+class TestSummarize:
+    def test_counts(self):
+        stats = summarize([load(0), ALU_OP, store(64), load(4)])
+        assert stats.instructions == 4
+        assert stats.loads == 2
+        assert stats.stores == 1
+        assert stats.memory_references == 3
+
+    def test_fractions(self):
+        stats = summarize([load(0), ALU_OP, store(64), load(4)])
+        assert stats.loadstore_fraction == pytest.approx(0.75)
+        assert stats.store_fraction == pytest.approx(1 / 3)
+
+    def test_unique_lines(self):
+        stats = summarize([load(0), load(4), load(32), load(64)], line_size=32)
+        assert stats.unique_lines == 3
+
+    def test_spatial_locality_sequential(self):
+        stats = summarize([load(0), load(4), load(8), load(12)], line_size=32)
+        assert stats.spatial_locality == 1.0
+
+    def test_spatial_locality_scattered(self):
+        stats = summarize([load(0), load(64), load(128)], line_size=32)
+        assert stats.spatial_locality == 0.0
+
+    def test_empty_trace(self):
+        stats = summarize([])
+        assert stats.instructions == 0
+        assert stats.loadstore_fraction == 0.0
+        assert stats.spatial_locality == 0.0
+        assert stats.store_fraction == 0.0
+
+    def test_line_size_validated(self):
+        with pytest.raises(ValueError, match="line_size"):
+            summarize([load(0)], line_size=0)

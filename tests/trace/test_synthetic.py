@@ -1,0 +1,129 @@
+"""Synthetic reference patterns."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.trace.record import OpKind
+from repro.trace.synthetic import (
+    SyntheticTraceBuilder,
+    mix,
+    pointer_chase,
+    random_uniform,
+    sequential_sweep,
+    strided_sweep,
+    working_set,
+)
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+class TestPatterns:
+    def test_sequential_sweep_steps_and_wraps(self):
+        addresses = take(sequential_sweep(100, 32, element_size=8), 6)
+        assert addresses == [100, 108, 116, 124, 100, 108]
+
+    def test_strided_sweep(self):
+        addresses = take(strided_sweep(0, 1024, stride=256), 5)
+        assert addresses == [0, 256, 512, 768, 0]
+
+    def test_random_uniform_stays_in_region(self):
+        rng = random.Random(1)
+        addresses = take(random_uniform(1000, 4096, rng, align=8), 200)
+        assert all(1000 <= a < 1000 + 4096 for a in addresses)
+        assert all((a - 1000) % 8 == 0 for a in addresses)
+
+    def test_working_set_hot_share(self):
+        rng = random.Random(2)
+        stream = working_set(0, 1024, 1 << 20, hot_probability=0.9, rng=rng)
+        addresses = take(stream, 5000)
+        hot = sum(1 for a in addresses if a < 1024)
+        assert 0.85 < hot / len(addresses) < 0.95
+
+    def test_pointer_chase_visits_every_node(self):
+        rng = random.Random(3)
+        addresses = take(pointer_chase(0, nodes=16, node_bytes=64, rng=rng), 16)
+        assert sorted(addresses) == [64 * i for i in range(16)]
+
+    def test_pointer_chase_is_a_cycle(self):
+        rng = random.Random(3)
+        stream = pointer_chase(0, 16, 64, rng)
+        first_pass = take(stream, 16)
+        second_pass = take(stream, 16)
+        assert first_pass == second_pass
+
+    def test_mix_draws_from_all_streams(self):
+        rng = random.Random(4)
+        stream = mix(
+            [sequential_sweep(0, 64), sequential_sweep(1 << 20, 64)],
+            weights=[0.5, 0.5],
+            rng=rng,
+        )
+        addresses = take(stream, 100)
+        assert any(a < 1 << 20 for a in addresses)
+        assert any(a >= 1 << 20 for a in addresses)
+
+    def test_mix_run_length_creates_bursts(self):
+        rng = random.Random(5)
+        stream = mix(
+            [sequential_sweep(0, 1 << 16, 8), sequential_sweep(1 << 20, 1 << 16, 8)],
+            weights=[0.5, 0.5],
+            rng=rng,
+            run_length=32,
+        )
+        addresses = take(stream, 2000)
+        switches = sum(
+            1
+            for a, b in zip(addresses, addresses[1:])
+            if (a < 1 << 20) != (b < 1 << 20)
+        )
+        # Mean run 32 -> about 2000/32 switches; far fewer than per-ref.
+        assert switches < 200
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            take(sequential_sweep(0, 0), 1)
+        with pytest.raises(ValueError):
+            take(strided_sweep(0, 64, stride=0), 1)
+        with pytest.raises(ValueError):
+            mix([], [], rng)
+        with pytest.raises(ValueError):
+            next(mix([sequential_sweep(0, 64)], [1.0], rng, run_length=0))
+
+
+class TestBuilder:
+    def test_density_and_mix(self):
+        builder = SyntheticTraceBuilder(
+            seed=1, loadstore_fraction=0.3, store_fraction=0.3
+        )
+        trace = builder.build(sequential_sweep(0, 1 << 20, 8), 20_000)
+        assert len(trace) == 20_000
+        memory_ops = [i for i in trace if i.kind.is_memory]
+        stores = [i for i in memory_ops if i.kind is OpKind.STORE]
+        assert 0.27 < len(memory_ops) / len(trace) < 0.33
+        assert 0.25 < len(stores) / len(memory_ops) < 0.35
+
+    def test_reproducible(self):
+        def build():
+            builder = SyntheticTraceBuilder(seed=9)
+            return builder.build(sequential_sweep(0, 4096, 8), 500)
+
+        assert build() == build()
+
+    def test_memory_ops_consume_pattern_in_order(self):
+        builder = SyntheticTraceBuilder(seed=1, loadstore_fraction=1.0)
+        trace = builder.build(sequential_sweep(0, 1 << 20, 8), 10)
+        assert [i.address for i in trace] == [8 * k for k in range(10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceBuilder(loadstore_fraction=0.0)
+        with pytest.raises(ValueError):
+            SyntheticTraceBuilder(store_fraction=1.5)
+        builder = SyntheticTraceBuilder()
+        with pytest.raises(ValueError):
+            builder.build(sequential_sweep(0, 64), 0)

@@ -1,0 +1,61 @@
+"""ASCII plot rendering."""
+
+import pytest
+
+from repro.util.ascii_plot import AsciiPlot, render_series
+
+
+class TestAsciiPlot:
+    def test_renders_title_axes_and_legend(self):
+        plot = AsciiPlot(title="demo", xlabel="time", ylabel="value")
+        plot.add_series("linear", [0, 1, 2], [0.0, 1.0, 2.0])
+        output = plot.render()
+        assert "demo" in output
+        assert "x: time" in output
+        assert "y: value" in output
+        assert "* = linear" in output
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        plot = AsciiPlot()
+        plot.add_series("a", [0, 1], [0, 1])
+        plot.add_series("b", [0, 1], [1, 0])
+        output = plot.render()
+        assert "* = a" in output
+        assert "o = b" in output
+
+    def test_extremes_land_on_grid_edges(self):
+        plot = AsciiPlot(width=10, height=5)
+        plot.add_series("s", [0, 10], [0.0, 5.0])
+        lines = plot.render().splitlines()
+        grid = [line for line in lines if line.startswith(" " * 13 + "|")]
+        assert grid[0].rstrip().endswith("*|")  # max at top right
+        assert grid[-1][14] == "*"  # min at bottom left
+
+    def test_flat_series_does_not_crash(self):
+        plot = AsciiPlot()
+        plot.add_series("flat", [0, 1, 2], [3.0, 3.0, 3.0])
+        assert "flat" in plot.render()
+
+    def test_empty_plot(self):
+        assert "(no data)" in AsciiPlot(title="t").render()
+
+    def test_mismatched_lengths_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError, match="len"):
+            plot.add_series("bad", [0, 1], [0.0])
+
+    def test_empty_series_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError, match="empty"):
+            plot.add_series("bad", [], [])
+
+    def test_nan_values_skipped(self):
+        plot = AsciiPlot()
+        plot.add_series("s", [0, 1, 2], [0.0, float("nan"), 2.0])
+        assert plot.render()  # must not raise
+
+
+class TestRenderSeries:
+    def test_one_shot_helper(self):
+        output = render_series("t", {"a": ([0, 1], [0.0, 1.0])})
+        assert "* = a" in output

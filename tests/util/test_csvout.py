@@ -1,0 +1,28 @@
+"""CSV emission."""
+
+import pytest
+
+from repro.util.csvout import series_to_csv, write_csv
+
+
+class TestSeriesToCsv:
+    def test_header_and_rows(self):
+        csv_text = series_to_csv("x", [1, 2], {"a": [10, 20], "b": [30, 40]})
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,10,30"
+        assert lines[2] == "2,20,40"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            series_to_csv("x", [1, 2], {"a": [10]})
+
+    def test_empty_series(self):
+        assert series_to_csv("x", [], {}).strip() == "x"
+
+
+class TestWriteCsv:
+    def test_creates_directories(self, tmp_path):
+        target = write_csv(tmp_path / "a" / "b.csv", "x\n1\n")
+        assert target.exists()
+        assert target.read_text() == "x\n1\n"

@@ -1,0 +1,56 @@
+"""Interpolation helpers."""
+
+import pytest
+
+from repro.util.interp import crossover, linear_interp
+
+
+class TestLinearInterp:
+    def test_midpoint(self):
+        assert linear_interp(0, 0, 10, 10, 5) == 5.0
+
+    def test_extrapolation(self):
+        assert linear_interp(0, 0, 1, 2, 2) == 4.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            linear_interp(1, 0, 1, 5, 1)
+
+
+class TestCrossover:
+    def test_exact_intersection(self):
+        xs = [0, 1, 2, 3]
+        rising = [0, 1, 2, 3]
+        flat = [1.5, 1.5, 1.5, 1.5]
+        assert crossover(xs, rising, flat) == pytest.approx(1.5)
+
+    def test_no_crossover(self):
+        xs = [0, 1, 2]
+        low = [0, 0, 0]
+        high = [1, 1, 1]
+        assert crossover(xs, low, high) is None
+
+    def test_already_above_returns_first_x(self):
+        assert crossover([5, 6], [2, 2], [1, 1]) == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            crossover([0, 1], [0], [1, 1])
+
+    def test_pipelined_vs_bus_case(self):
+        """Matches the closed-form crossover from the paper's Figure 4."""
+        from repro.core.bus_width import miss_volume_ratio_for_doubling
+        from repro.core.params import SystemConfig
+        from repro.core.pipelined import pipelined_miss_volume_ratio
+        from repro.core.tradeoff import hit_ratio_traded
+
+        xs = [2.0, 4.0, 6.0, 8.0]
+        pipe, bus = [], []
+        for beta in xs:
+            config = SystemConfig(4, 32, beta, pipeline_turnaround=2.0)
+            pipe.append(hit_ratio_traded(pipelined_miss_volume_ratio(config), 0.95))
+            bus.append(
+                hit_ratio_traded(miss_volume_ratio_for_doubling(config), 0.95)
+            )
+        value = crossover(xs, pipe, bus)
+        assert value == pytest.approx(14 / 3, abs=0.3)

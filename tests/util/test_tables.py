@@ -1,0 +1,30 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        output = format_table(["name", "value"], [("a", 1), ("long-name", 2.5)])
+        lines = output.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in output
+        assert "2.5" in output
+
+    def test_title(self):
+        output = format_table(["c"], [("x",)], title="caption")
+        assert output.splitlines()[0] == "caption"
+
+    def test_float_formatting(self):
+        output = format_table(["v"], [(0.123456789,)])
+        assert "0.1235" in output
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        output = format_table(["a", "b"], [])
+        assert "a" in output
