@@ -1,0 +1,58 @@
+"""Benchmark: the two-phase engine's stages in isolation.
+
+Three measurements bracket the engine (see docs/ENGINE.md):
+
+* phase 1 — one functional cache pass over a 60k-instruction trace,
+  producing the compact event stream;
+* phase 2 — one timing replay over that stream, i.e. the marginal cost
+  of a (policy, ``beta_m``) grid point (compare ``test_step_simulator``
+  below: the cost of the same point through the legacy step simulator);
+* end to end — the full quick-mode Figure 1 through the registry.
+"""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.events import extract_events
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import replay
+from repro.experiments.registry import run_experiment
+from repro.memory.mainmem import MainMemory
+from repro.trace.spec92 import spec92_trace
+
+CACHE = CacheConfig(8192, 32, 2)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return spec92_trace("nasa7", 60_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def events(trace):
+    return extract_events(trace, CACHE)
+
+
+def test_phase1_extraction(benchmark, trace):
+    benchmark(extract_events, trace, CACHE)
+
+
+def test_phase2_replay_point(benchmark, events):
+    memory = MainMemory(8.0, 4)
+    events.derived  # build the per-fill structures once, outside the timer
+    benchmark(replay, events, memory, StallPolicy.BUS_NOT_LOCKED_1)
+
+
+def test_step_simulator_point(benchmark, trace):
+    """The same grid point through the legacy oracle, for comparison."""
+    simulator = TimingSimulator(
+        CACHE, MainMemory(8.0, 4), policy=StallPolicy.BUS_NOT_LOCKED_1
+    )
+    benchmark.pedantic(simulator.run, args=(trace,), rounds=3, iterations=1)
+
+
+def test_figure1_end_to_end(benchmark, quick):
+    benchmark.pedantic(
+        run_experiment, args=("figure1", quick), rounds=1, iterations=1
+    )

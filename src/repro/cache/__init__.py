@@ -10,6 +10,7 @@ behaviour during a fill) live in :mod:`repro.cpu`; this package decides
 
 from repro.cache.address import AddressMap
 from repro.cache.cache import AccessOutcome, Cache, CacheConfig
+from repro.cache.events import EventStream, extract_events
 from repro.cache.hierarchy import SplitCacheSystem
 from repro.cache.replacement import (
     FIFOPolicy,
@@ -41,6 +42,8 @@ __all__ = [
     "CacheConfig",
     "AccessOutcome",
     "CacheStats",
+    "EventStream",
+    "extract_events",
     "SplitCacheSystem",
     "ReplacementPolicy",
     "LRUPolicy",

@@ -1,0 +1,218 @@
+"""Phase 1 of the two-phase simulation engine: functional event extraction.
+
+The cache's hit/miss/copy-back behaviour is completely independent of
+memory timing: which references miss, which victims are dirty, and which
+later references re-touch an in-flight line are all decided by the cache
+geometry and the reference stream alone.  This module runs that untimed
+functional pass **once** per ``(trace, CacheConfig)`` and emits a compact
+:class:`EventStream` — numpy arrays over the memory references — from
+which the timing replay engines (:mod:`repro.cpu.replay`) can compute
+exact cycle accounting for any ``(policy, beta_m)`` point without ever
+stepping instructions again.
+
+Schema (all arrays are parallel, one entry per load/store, in program
+order; see ``docs/ENGINE.md``):
+
+==============  ======================================================
+array           meaning
+==============  ======================================================
+index           instruction index of the reference within the trace
+line            line-aligned address referenced
+offset          byte offset of the reference within its line
+is_miss         the reference filled a line (read miss or
+                write-allocate miss)
+dirty_victim    the fill evicted a dirty line (a copy-back is owed)
+is_store        the reference was a store
+==============  ======================================================
+
+Derived per-miss structures (the exact inputs Eq. 8 and the Table 2
+stall semantics need) are computed lazily and cached on the stream:
+
+* ``miss_index`` / ``miss_offset`` / ``miss_dirty`` — per-fill arrays;
+* ``first_access_after_miss`` — instruction index of the first
+  load/store after each miss that is *not* itself the next miss (what a
+  bus-locked cache stalls);
+* a CSR map from each miss to the in-fill-line re-touches inside its
+  window (what the BNL policies stall on);
+* ``inter_miss_distances`` — Eq. (8)'s ``dc_i`` sample.
+
+The functional pass reuses :class:`repro.cache.Cache` itself rather than
+a re-implementation, so the event stream is correct by construction for
+every replacement/write/allocate policy the cache model supports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.stats import CacheStats
+from repro.trace.record import Instruction, OpKind
+
+
+class EventStream:
+    """Compact functional summary of one ``(trace, geometry)`` pair."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        n_instructions: int,
+        index: np.ndarray,
+        line: np.ndarray,
+        offset: np.ndarray,
+        is_miss: np.ndarray,
+        dirty_victim: np.ndarray,
+        is_store: np.ndarray,
+        stats: CacheStats,
+    ) -> None:
+        self.config = config
+        self.n_instructions = n_instructions
+        self.index = index
+        self.line = line
+        self.offset = offset
+        self.is_miss = is_miss
+        self.dirty_victim = dirty_victim
+        self.is_store = is_store
+        #: final cache statistics of the functional pass (hit ratios,
+        #: fill/flush counts) — the timing-independent half of a
+        #: :class:`~repro.cpu.processor.TimingResult`.
+        self.stats = stats
+        self._derived: _Derived | None = None
+
+    # -- basic shape ----------------------------------------------------
+
+    @property
+    def n_accesses(self) -> int:
+        """Number of loads/stores in the trace."""
+        return int(self.index.shape[0])
+
+    @property
+    def n_fills(self) -> int:
+        """Number of line fills (== ``stats.line_fills``)."""
+        return int(self.is_miss.sum())
+
+    @property
+    def line_size(self) -> int:
+        """Line size of the extracted geometry."""
+        return self.config.line_size
+
+    # -- derived per-miss structures ------------------------------------
+
+    @property
+    def derived(self) -> "_Derived":
+        """Per-miss window structures, computed once on first use."""
+        if self._derived is None:
+            self._derived = _Derived(self)
+        return self._derived
+
+    def inter_miss_distances(self) -> list[int]:
+        """Eq. (8)'s ``dc_i``: per miss, the instruction distance to the
+        first subsequent access that engages the in-flight line (a
+        re-touch of the missed line or the next miss), omitting misses
+        whose fill is never engaged before the trace ends."""
+        d = self.derived
+        distances: list[int] = []
+        for k in range(len(d.miss_index)):
+            touch_lo, touch_hi = d.touch_ptr[k], d.touch_ptr[k + 1]
+            first_touch = d.touch_index[touch_lo] if touch_hi > touch_lo else None
+            next_miss = (
+                d.miss_index[k + 1] if k + 1 < len(d.miss_index) else None
+            )
+            candidates = [c for c in (first_touch, next_miss) if c is not None]
+            if candidates:
+                distances.append(min(candidates) - d.miss_index[k])
+        return distances
+
+
+class _Derived:
+    """Replay-ready views of an :class:`EventStream` (plain lists, which
+    the per-miss replay loop indexes far faster than numpy scalars)."""
+
+    def __init__(self, events: EventStream) -> None:
+        is_miss = events.is_miss
+        miss_pos = np.flatnonzero(is_miss)
+        n_miss = miss_pos.shape[0]
+        k = events.n_accesses
+
+        #: instruction index / critical offset / dirty flag per fill
+        self.miss_index: list[int] = events.index[miss_pos].tolist()
+        self.miss_offset: list[int] = events.offset[miss_pos].tolist()
+        self.miss_dirty: list[bool] = events.dirty_victim[miss_pos].tolist()
+
+        # Instruction index of the first load/store after each miss that
+        # is not itself the next miss; -1 when the window is empty.
+        nxt = miss_pos + 1
+        safe = np.minimum(nxt, max(k - 1, 0))
+        in_window = (nxt < k) & ~is_miss[safe] if k else np.zeros(0, bool)
+        first = np.where(in_window, events.index[safe], -1)
+        self.first_access_after_miss: list[int] = first.tolist()
+
+        # CSR: per miss, the subsequent accesses that re-touch the line
+        # while it could still be in flight (strictly before next miss).
+        if n_miss:
+            owner = np.cumsum(is_miss) - 1  # most recent miss per access
+            fill_line = events.line[miss_pos][np.maximum(owner, 0)]
+            touch = (~is_miss) & (owner >= 0) & (events.line == fill_line)
+            counts = np.bincount(owner[touch], minlength=n_miss)
+            ptr = np.zeros(n_miss + 1, dtype=np.int64)
+            np.cumsum(counts, out=ptr[1:])
+            self.touch_ptr: list[int] = ptr.tolist()
+            self.touch_index: list[int] = events.index[touch].tolist()
+            self.touch_offset: list[int] = events.offset[touch].tolist()
+        else:
+            self.touch_ptr = [0]
+            self.touch_index = []
+            self.touch_offset = []
+
+
+def extract_events(
+    instructions: Sequence[Instruction], config: CacheConfig
+) -> EventStream:
+    """Run the untimed functional cache pass and build the event stream.
+
+    One pass through :class:`~repro.cache.Cache` per call; memoize at
+    the caller when the same ``(trace, geometry)`` recurs (see
+    ``repro.experiments._phi.spec92_event_streams``).
+    """
+    cache = Cache(config)
+    amap = cache.address_map
+    read, write = cache.read, cache.write
+    line_address, line_offset = amap.line_address, amap.offset
+    alu = OpKind.ALU
+    store = OpKind.STORE
+
+    idx: list[int] = []
+    line: list[int] = []
+    offset: list[int] = []
+    miss: list[bool] = []
+    dirty: list[bool] = []
+    stores: list[bool] = []
+    n = 0
+    for i, inst in enumerate(instructions):
+        n += 1
+        kind = inst.kind
+        if kind is alu:
+            continue
+        address = inst.address
+        is_store = kind is store
+        outcome = write(address) if is_store else read(address)
+        idx.append(i)
+        line.append(line_address(address))
+        offset.append(line_offset(address))
+        miss.append(outcome.fill_line)
+        dirty.append(outcome.flush_line_address is not None)
+        stores.append(is_store)
+
+    return EventStream(
+        config=config,
+        n_instructions=n,
+        index=np.asarray(idx, dtype=np.int64),
+        line=np.asarray(line, dtype=np.int64),
+        offset=np.asarray(offset, dtype=np.int64),
+        is_miss=np.asarray(miss, dtype=bool),
+        dirty_victim=np.asarray(dirty, dtype=bool),
+        is_store=np.asarray(stores, dtype=bool),
+        stats=cache.stats,
+    )

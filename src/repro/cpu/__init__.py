@@ -9,6 +9,7 @@ blocking policies.  Its headline product is the measured stalling factor
 
 from repro.cpu.nonblocking import MSHRSimulator, mshr_stall_factors
 from repro.cpu.processor import TimingResult, TimingSimulator
+from repro.cpu.replay import REPLAY_POLICIES, replay, simulate, supports_replay
 from repro.cpu.stall_engine import StallEngine
 from repro.cpu.stall_measure import (
     average_stall_percentages,
@@ -22,6 +23,10 @@ __all__ = [
     "MSHRSimulator",
     "mshr_stall_factors",
     "StallEngine",
+    "REPLAY_POLICIES",
+    "replay",
+    "simulate",
+    "supports_replay",
     "measure_stall_factor",
     "stall_factor_eq8",
     "average_stall_percentages",

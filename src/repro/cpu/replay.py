@@ -1,0 +1,274 @@
+"""Phase 2 of the two-phase simulation engine: timing replay.
+
+Given an :class:`~repro.cache.events.EventStream` (the functional pass
+of :func:`repro.cache.events.extract_events`), the replay engine
+computes the **exact** cycle accounting that
+:class:`~repro.cpu.processor.TimingSimulator` would produce — by
+iterating over the trace's line fills (typically 5-10 % of references,
+under 1 % of instructions) instead of stepping every instruction.
+
+Why this is exact, not approximate: between timing-relevant events every
+instruction retires in exactly one cycle, so time between events is pure
+index arithmetic; at the events themselves (misses, copy-backs, and the
+Table 2 stalls of accesses that engage an in-flight fill), the replay
+performs the *same floating-point operations in the same order* as the
+step simulator.  The equivalence suite
+(``tests/cpu/test_replay_equivalence.py``) pins ``TimingResult``
+equality field by field for FS/BL/BNL1/BNL2/BNL3 across traces,
+geometries and ``beta_m``.
+
+The engine intentionally covers only what the event stream can express:
+
+* write-back, write-allocate caches (the paper's Figure 1 configuration
+  and everything built on it) — write-through/write-around traffic
+  interleaves timed writes between fills and is left to the oracle;
+* no write buffer (copy-backs stall synchronously);
+* plain non-pipelined :class:`~repro.memory.MainMemory`;
+* single-issue processors;
+* the FS, BL and BNL1-3 policies — NB and MSHR-style overlap depend on
+  per-access dependency timing the compact stream does not carry.
+
+Everything else falls back to the step simulator via :func:`simulate`,
+which keeps one call site for both engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cache.cache import CacheConfig
+from repro.cache.events import EventStream, extract_events
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingResult, TimingSimulator
+from repro.memory.mainmem import MainMemory
+from repro.trace.record import Instruction
+
+#: Policies the replay engine reproduces exactly.
+REPLAY_POLICIES = frozenset(
+    {
+        StallPolicy.FULL_STALL,
+        StallPolicy.BUS_LOCKED,
+        StallPolicy.BUS_NOT_LOCKED_1,
+        StallPolicy.BUS_NOT_LOCKED_2,
+        StallPolicy.BUS_NOT_LOCKED_3,
+    }
+)
+
+
+def supports_replay(
+    config: CacheConfig,
+    memory: MainMemory,
+    policy: StallPolicy,
+    write_buffer_depth: int | None = None,
+    issue_rate: float = 1.0,
+) -> bool:
+    """Whether :func:`replay` reproduces this configuration exactly."""
+    from repro.cache.write_policy import AllocatePolicy, WritePolicy
+
+    return (
+        policy in REPLAY_POLICIES
+        and write_buffer_depth is None
+        and issue_rate == 1.0
+        and type(memory) is MainMemory
+        and config.write_policy is WritePolicy.WRITE_BACK
+        and config.allocate_policy is AllocatePolicy.WRITE_ALLOCATE
+        and config.line_size % memory.bus_width == 0
+    )
+
+
+def replay(
+    events: EventStream, memory: MainMemory, policy: StallPolicy
+) -> TimingResult:
+    """Exact cycle accounting for one ``(policy, memory)`` point.
+
+    Walks the per-fill event structures; never touches the instruction
+    stream.  Use :func:`supports_replay` first — unsupported
+    configurations raise ``ValueError``.
+    """
+    if not supports_replay(events.config, memory, policy):
+        raise ValueError(
+            f"replay does not cover (policy={policy.value}, "
+            f"memory={type(memory).__name__}, config={events.config}); "
+            "use the TimingSimulator oracle"
+        )
+
+    beta = memory.memory_cycle
+    bus_width = memory.bus_width
+    n_chunks = events.line_size // bus_width
+    # Mirrors MainMemory.line_fill_duration / copy_back_duration.
+    fill_duration = n_chunks * beta
+
+    d = events.derived
+    miss_index = d.miss_index
+    miss_offset = d.miss_offset
+    miss_dirty = d.miss_dirty
+    first_after = d.first_access_after_miss
+    touch_ptr = d.touch_ptr
+    touch_index = d.touch_index
+    touch_offset = d.touch_offset
+
+    is_fs = policy is StallPolicy.FULL_STALL
+    is_bl = policy is StallPolicy.BUS_LOCKED
+    is_bnl1 = policy is StallPolicy.BUS_NOT_LOCKED_1
+    is_bnl2 = policy is StallPolicy.BUS_NOT_LOCKED_2
+
+    time = 0.0
+    bus_busy = 0.0
+    read_stall = 0.0
+    flush_stall = 0.0
+    last_index = -1  # instruction whose processing ended at `time`
+    # The in-flight fill left behind by the previous miss (partial
+    # policies only): (start, end, critical_chunk) or None.
+    fill: tuple[float, float, int] | None = None
+
+    for j, index in enumerate(miss_index):
+        # ---- the window of the previous fill -------------------------
+        if fill is not None:
+            start, end, critical = fill
+            if is_bl:
+                # Any load/store during the fill waits for fill end.
+                engaged = first_after[j - 1]
+                if engaged >= 0:
+                    at = time + (engaged - last_index - 1)
+                    if at < end:
+                        read_stall += end - at
+                        time = end + 1.0  # the engaged hit's issue slot
+                        last_index = engaged
+            elif is_bnl1:
+                # Only a re-touch of the in-flight line waits (to end).
+                lo, hi = touch_ptr[j - 1], touch_ptr[j]
+                if hi > lo:
+                    engaged = touch_index[lo]
+                    at = time + (engaged - last_index - 1)
+                    if at < end:
+                        read_stall += end - at
+                        time = end + 1.0
+                        last_index = engaged
+            else:
+                # BNL2/BNL3: walk the re-touches until the fill is over.
+                for p in range(touch_ptr[j - 1], touch_ptr[j]):
+                    engaged = touch_index[p]
+                    at = time + (engaged - last_index - 1)
+                    if at >= end:
+                        break
+                    position = (touch_offset[p] // bus_width - critical) % n_chunks
+                    arrival = start + (position + 1) * beta
+                    if is_bnl2:
+                        if arrival <= at:
+                            continue  # word already there: no stall
+                        read_stall += end - at
+                        time = end + 1.0
+                        last_index = engaged
+                        break
+                    # BNL3: wait just for the word itself.
+                    resume = arrival if arrival > at else at
+                    read_stall += resume - at
+                    time = resume + 1.0
+                    last_index = engaged
+
+        # ---- the miss itself -----------------------------------------
+        time += index - last_index - 1  # plain 1-cycle instructions
+        if fill is not None and time < fill[1]:
+            # A second miss waits for the single fill port (all
+            # partial policies; FS never leaves a fill outstanding).
+            read_stall += fill[1] - time
+            time = fill[1]
+        start = time if time > bus_busy else bus_busy
+        bus_busy = start + fill_duration
+        end = start + n_chunks * beta  # == FillSchedule.end_time
+        resume = end if is_fs else start + 1 * beta  # critical word
+        stall = resume - time
+        read_stall += stall if stall > 0.0 else 0.0
+        time = resume if resume > time else time
+        fill = None if is_fs else (start, end, miss_offset[j] // bus_width)
+        if miss_dirty[j]:
+            # Copy-back: the processor pays the transfer time only; the
+            # bus reservation starts once the fill clears the bus.
+            flush_start = time if time > bus_busy else bus_busy
+            bus_busy = flush_start + fill_duration
+            flush_stall += fill_duration
+            time += fill_duration
+        last_index = index
+
+    # ---- the window of the last fill, then the tail of the trace -----
+    if fill is not None:
+        n = events.n_instructions
+        start, end, critical = fill
+        j = len(miss_index)
+        if is_bl:
+            engaged = first_after[j - 1]
+            if engaged >= 0:
+                at = time + (engaged - last_index - 1)
+                if at < end:
+                    read_stall += end - at
+                    time = end + 1.0
+                    last_index = engaged
+        elif is_bnl1:
+            lo, hi = touch_ptr[j - 1], touch_ptr[j]
+            if hi > lo:
+                engaged = touch_index[lo]
+                at = time + (engaged - last_index - 1)
+                if at < end:
+                    read_stall += end - at
+                    time = end + 1.0
+                    last_index = engaged
+        else:
+            for p in range(touch_ptr[j - 1], touch_ptr[j]):
+                engaged = touch_index[p]
+                at = time + (engaged - last_index - 1)
+                if at >= end:
+                    break
+                position = (touch_offset[p] // bus_width - critical) % n_chunks
+                arrival = start + (position + 1) * beta
+                if is_bnl2:
+                    if arrival <= at:
+                        continue
+                    read_stall += end - at
+                    time = end + 1.0
+                    last_index = engaged
+                    break
+                resume = arrival if arrival > at else at
+                read_stall += resume - at
+                time = resume + 1.0
+                last_index = engaged
+
+    time += events.n_instructions - 1 - last_index
+
+    return TimingResult(
+        instructions=events.n_instructions,
+        cycles=time,
+        read_miss_stall_cycles=read_stall,
+        flush_stall_cycles=flush_stall,
+        write_stall_cycles=0.0,
+        line_fills=events.stats.line_fills,
+        memory_cycle=beta,
+    )
+
+
+def simulate(
+    instructions: Sequence[Instruction],
+    config: CacheConfig,
+    memory: MainMemory,
+    policy: StallPolicy = StallPolicy.FULL_STALL,
+    write_buffer_depth: int | None = None,
+    issue_rate: float = 1.0,
+    events: EventStream | None = None,
+) -> TimingResult:
+    """One call site for both engines.
+
+    Uses the two-phase replay when the configuration supports it (pass
+    ``events`` to reuse a memoized phase-1 extraction), otherwise falls
+    back to the step-simulator oracle.
+    """
+    if supports_replay(config, memory, policy, write_buffer_depth, issue_rate):
+        if events is None:
+            events = extract_events(instructions, config)
+        return replay(events, memory, policy)
+    simulator = TimingSimulator(
+        config,
+        memory,
+        policy=policy,
+        write_buffer_depth=write_buffer_depth,
+        issue_rate=issue_rate,
+    )
+    return simulator.run(instructions)

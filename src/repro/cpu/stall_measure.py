@@ -20,7 +20,7 @@ over the six SPEC92 stand-in programs.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.cache.cache import Cache, CacheConfig
 from repro.core.stalling import StallPolicy
@@ -36,13 +36,23 @@ def measure_stall_factor(
     memory_cycle: float,
     bus_width: int,
 ) -> float:
-    """Simulated ``phi`` for one trace/policy/``beta_m`` combination."""
-    simulator = TimingSimulator(
+    """Simulated ``phi`` for one trace/policy/``beta_m`` combination.
+
+    Routed through the two-phase engine (:mod:`repro.cpu.replay`) when
+    the configuration supports it; the step simulator otherwise.  The
+    two produce identical cycle counts (the replay equivalence suite
+    pins this), so callers see one oracle either way.
+    """
+    from repro.cpu.replay import simulate
+
+    if not isinstance(instructions, Sequence):
+        instructions = list(instructions)
+    return simulate(
+        instructions,
         cache_config,
         MainMemory(memory_cycle, bus_width),
         policy=policy,
-    )
-    return simulator.run(instructions).stall_factor
+    ).stall_factor
 
 
 def miss_distances(
@@ -107,7 +117,7 @@ def stall_factor_eq8(
 
 
 def average_stall_percentages(
-    traces: dict[str, list[Instruction]],
+    traces: Mapping[str, Sequence[Instruction]],
     cache_config: CacheConfig,
     policies: Sequence[StallPolicy],
     memory_cycles: Sequence[float],
@@ -115,25 +125,44 @@ def average_stall_percentages(
 ) -> dict[StallPolicy, list[float]]:
     """Figure 1's data: mean ``phi`` (% of L/D) per policy per ``beta_m``.
 
-    Each trace is simulated once per (policy, ``beta_m``) pair and the
-    percentage is averaged across traces, exactly as the paper averages
-    its six SPEC92 programs.
+    Accepts any sequence type per trace (tuples pass straight through
+    from the memoized trace cache — no defensive copies).  Phase 1 of
+    the two-phase engine runs once per trace; every (policy,
+    ``beta_m``) grid point is then a timing replay over the event
+    stream, averaged across traces exactly as the paper averages its
+    six SPEC92 programs.  Policies the replay cannot express fall back
+    to the step simulator with identical results.
     """
+    from repro.cache.events import extract_events
+    from repro.cpu.replay import replay, supports_replay
+
     if not traces:
         raise ValueError("need at least one trace")
     bus_cycles_per_line = cache_config.line_size // bus_width
+    probe = MainMemory(memory_cycles[0] if memory_cycles else 1.0, bus_width)
+    any_fast = any(supports_replay(cache_config, probe, p) for p in policies)
+    events = (
+        {
+            name: extract_events(instructions, cache_config)
+            for name, instructions in traces.items()
+        }
+        if any_fast
+        else {}
+    )
     result: dict[StallPolicy, list[float]] = {}
     for policy in policies:
         row: list[float] = []
         for beta_m in memory_cycles:
+            memory = MainMemory(beta_m, bus_width)
+            fast = supports_replay(cache_config, memory, policy)
             total = 0.0
-            for instructions in traces.values():
-                simulator = TimingSimulator(
-                    cache_config,
-                    MainMemory(beta_m, bus_width),
-                    policy=policy,
-                )
-                timing = simulator.run(instructions)
+            for name, instructions in traces.items():
+                if fast:
+                    timing = replay(events[name], memory, policy)
+                else:
+                    timing = TimingSimulator(
+                        cache_config, memory, policy=policy
+                    ).run(instructions)
                 total += timing.stall_percentage(bus_cycles_per_line)
             row.append(total / len(traces))
         result[policy] = row

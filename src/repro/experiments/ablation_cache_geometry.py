@@ -13,8 +13,9 @@ across the tradeoff curves.
 from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
+from repro.cache.events import extract_events
 from repro.core.stalling import StallPolicy
-from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import replay
 from repro.memory.mainmem import MainMemory
 from repro.trace.spec92 import SPEC92_PROFILES
 from repro.experiments.base import ExperimentResult
@@ -47,12 +48,13 @@ def run(quick: bool = False) -> ExperimentResult:
         config = CacheConfig(total_bytes, 32, ways)
         phi_sum = mr_sum = 0.0
         for trace in traces.values():
-            sim = TimingSimulator(
-                config, MainMemory(BETA_M, 4), policy=StallPolicy.BUS_NOT_LOCKED_1
+            # Phase 1 gives the miss ratio for free; phase 2 the timing.
+            events = extract_events(trace, config)
+            timing = replay(
+                events, MainMemory(BETA_M, 4), StallPolicy.BUS_NOT_LOCKED_1
             )
-            timing = sim.run(trace)
             phi_sum += timing.stall_percentage(8)
-            mr_sum += sim.cache.stats.miss_ratio
+            mr_sum += events.stats.miss_ratio
         phi = phi_sum / len(traces)
         mr = mr_sum / len(traces)
         phis.append(phi)

@@ -10,14 +10,13 @@ form tracks the simulation across the full memory-cycle range.
 
 from __future__ import annotations
 
-from repro.cache.cache import Cache, CacheConfig
+from repro.cache.cache import CacheConfig
+from repro.cache.events import extract_events
 from repro.core.stalling import StallPolicy
-from repro.cpu.stall_measure import (
-    measure_stall_factor,
-    miss_distances,
-    stall_factor_eq8,
-)
+from repro.cpu.replay import replay
+from repro.cpu.stall_measure import stall_factor_eq8
 from repro.experiments.base import ExperimentResult
+from repro.memory.mainmem import MainMemory
 from repro.trace.spec92 import SPEC92_PROFILES
 
 CACHE = CacheConfig(8192, 32, 2)
@@ -37,35 +36,29 @@ def run(quick: bool = False) -> ExperimentResult:
         x_values=list(betas),
     )
 
-    traces = {
-        name: profile.trace(length, seed=7)
-        for name, profile in SPEC92_PROFILES.items()
-    }
-    # Distances and miss counts are beta-independent; compute them once.
+    # One functional pass (phase 1) per trace; the event stream carries
+    # both Eq. (8)'s inputs (distances, miss counts) and everything the
+    # per-beta timing replays need.
     per_trace = {}
-    for name, trace in traces.items():
-        distances = miss_distances(trace, CACHE)
-        probe = Cache(CACHE)
-        for inst in trace:
-            if inst.kind.is_memory:
-                probe.read(inst.address)
-        per_trace[name] = (distances, probe.stats.misses)
+    for name, profile in SPEC92_PROFILES.items():
+        events = extract_events(profile.trace(length, seed=7), CACHE)
+        per_trace[name] = (events, events.inter_miss_distances())
 
     analytic_rows, simulated_rows = [], []
     for beta in betas:
+        memory = MainMemory(beta, BUS_WIDTH)
         analytic = simulated = 0.0
-        for name, trace in traces.items():
-            distances, n_misses = per_trace[name]
-            analytic += stall_factor_eq8(distances, n_misses, 8, beta) / 8 * 100
+        for name, (events, distances) in per_trace.items():
+            analytic += (
+                stall_factor_eq8(distances, events.n_fills, 8, beta) / 8 * 100
+            )
             simulated += (
-                measure_stall_factor(
-                    trace, CACHE, StallPolicy.BUS_NOT_LOCKED_1, beta, BUS_WIDTH
-                )
+                replay(events, memory, StallPolicy.BUS_NOT_LOCKED_1).stall_factor
                 / 8
                 * 100
             )
-        analytic_rows.append(analytic / len(traces))
-        simulated_rows.append(simulated / len(traces))
+        analytic_rows.append(analytic / len(per_trace))
+        simulated_rows.append(simulated / len(per_trace))
     result.add_series("Eq. (8) analytic", analytic_rows)
     result.add_series("simulated", simulated_rows)
 

@@ -4,7 +4,14 @@ Examples::
 
     python -m repro.experiments.runner --all
     python -m repro.experiments.runner figure3 figure4 --quick
-    python -m repro.experiments.runner --all --out results/
+    python -m repro.experiments.runner --all --out results/ --jobs 4
+
+``--jobs N`` fans independent experiments out over N worker processes
+(and, when a single experiment is requested, parallelizes its phase-1
+functional cache passes instead).  Every experiment is deterministic, so
+results — including ``--out`` files — are byte-identical for any job
+count; only wall-clock changes.  Results print in request order either
+way.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 from collections.abc import Sequence
 
+from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
@@ -44,12 +52,35 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent experiments (default: 1); "
+        "results are identical for any N",
+    )
+    parser.add_argument(
         "--report",
         metavar="FILE",
         help="run the paper experiments, check every claim, write a "
         "markdown reproduction scorecard to FILE, and print it",
     )
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    return args
+
+
+def _run_one(experiment_id: str, quick: bool) -> tuple[ExperimentResult, float]:
+    """Worker: run one experiment and time it.
+
+    Top-level so it pickles for :class:`ProcessPoolExecutor`; each worker
+    process recomputes from scratch (the memoization caches in
+    :mod:`repro.experiments._phi` are per-process).
+    """
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, quick=quick)
+    return result, time.perf_counter() - started
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -79,10 +110,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
-    for experiment_id in ids:
-        started = time.perf_counter()
-        result = run_experiment(experiment_id, quick=args.quick)
-        elapsed = time.perf_counter() - started
+    if args.jobs > 1 and len(ids) > 1:
+        # Fan whole experiments out across processes; consume futures in
+        # request order so stdout and --out files match a sequential run.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(args.jobs, len(ids))) as pool:
+            futures = [
+                pool.submit(_run_one, experiment_id, args.quick)
+                for experiment_id in ids
+            ]
+            outcomes = [future.result() for future in futures]
+    elif args.jobs > 1:
+        # One experiment: parallelize inside it (phase-1 extraction).
+        from repro.experiments._phi import set_phase1_jobs
+
+        set_phase1_jobs(args.jobs)
+        try:
+            outcomes = [_run_one(experiment_id, args.quick) for experiment_id in ids]
+        finally:
+            set_phase1_jobs(1)
+    else:
+        outcomes = [_run_one(experiment_id, args.quick) for experiment_id in ids]
+
+    for experiment_id, (result, elapsed) in zip(ids, outcomes):
         print(result.render())
         print(f"[{experiment_id} finished in {elapsed:.1f}s]")
         print()

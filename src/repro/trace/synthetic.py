@@ -1,9 +1,13 @@
 """Synthetic memory-reference patterns.
 
-Each pattern function returns an **infinite iterator of byte addresses**
-capturing one locality archetype; :class:`SyntheticTraceBuilder`
-interleaves them with ALU instructions and a load/store mix to produce an
-instruction stream of any length.
+Each pattern function returns an :class:`AddressStream` — an **infinite
+iterator of byte addresses** capturing one locality archetype that can
+also be drained in bulk (``take(n)`` -> numpy array);
+:class:`SyntheticTraceBuilder` interleaves the addresses with ALU
+instructions and a load/store mix to produce an instruction stream of
+any length.  Address generation and the builder's load/store draws are
+vectorized with numpy, so materializing a 60k-instruction trace costs a
+handful of array operations rather than per-instruction RNG calls.
 
 The archetypes — sequential sweeps, strides, working sets, pointer
 chases — are the building blocks from which the SPEC92 stand-in profiles
@@ -11,19 +15,90 @@ chases — are the building blocks from which the SPEC92 stand-in profiles
 Figure 1 is (a) how often consecutive references fall on the same cache
 line (spatial locality inside the missing line) and (b) how clustered
 misses are; both are directly controlled here.
+
+Determinism: patterns that need randomness take a ``random.Random`` and
+seed a private numpy generator from it, so the same seed reproduces the
+same trace (and the draw is deterministic across processes).
 """
 
 from __future__ import annotations
 
+import itertools
 import random
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.trace.record import ALU_OP, Instruction, OpKind
+
+#: Buffer refill size when an AddressStream is consumed one ``next()``
+#: at a time (markov-phase traces do this); bulk ``take`` calls bypass it.
+_ITER_BATCH = 1024
+
+
+class AddressStream(Iterator[int]):
+    """An infinite address stream with scalar and bulk interfaces.
+
+    Iterating yields one Python ``int`` per reference (the historical
+    pattern contract, still used by phase-switching trace builders);
+    ``take(n)`` returns the next ``n`` addresses as one ``int64`` array
+    without per-element Python overhead.  Both views consume the same
+    underlying stream, in order.
+    """
+
+    __slots__ = ("_batch", "_buffer", "_cursor")
+
+    def __init__(self, batch: Callable[[int], np.ndarray]) -> None:
+        self._batch = batch
+        self._buffer: np.ndarray | None = None
+        self._cursor = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` addresses as an ``int64`` array."""
+        if n < 0:
+            raise ValueError(f"cannot take {n} addresses")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._buffer is None or self._cursor >= self._buffer.shape[0]:
+            return self._batch(n)
+        head = self._buffer[self._cursor : self._cursor + n]
+        self._cursor += head.shape[0]
+        if head.shape[0] == n:
+            return head
+        return np.concatenate([head, self._batch(n - head.shape[0])])
+
+    def __iter__(self) -> AddressStream:
+        return self
+
+    def __next__(self) -> int:
+        if self._buffer is None or self._cursor >= self._buffer.shape[0]:
+            self._buffer = self._batch(_ITER_BATCH)
+            self._cursor = 0
+        value = int(self._buffer[self._cursor])
+        self._cursor += 1
+        return value
+
+
+def _as_stream(source: Iterable[int]) -> AddressStream:
+    """Adapt a plain address iterator to the bulk interface."""
+    if isinstance(source, AddressStream):
+        return source
+    iterator = iter(source)
+
+    def batch(n: int) -> np.ndarray:
+        return np.fromiter(itertools.islice(iterator, n), dtype=np.int64, count=n)
+
+    return AddressStream(batch)
+
+
+def _generator_from(rng: random.Random) -> np.random.Generator:
+    """A numpy generator seeded deterministically from ``rng``."""
+    return np.random.default_rng(rng.getrandbits(128))
 
 
 def sequential_sweep(
     base: int, array_bytes: int, element_size: int = 8
-) -> Iterator[int]:
+) -> AddressStream:
     """Endless forward sweeps over one array — vectorizable FP loops.
 
     Touches ``base, base+e, base+2e, ...`` and wraps; maximal spatial
@@ -31,19 +106,20 @@ def sequential_sweep(
     """
     if array_bytes <= 0 or element_size <= 0:
         raise ValueError("array_bytes and element_size must be positive")
+    offset = 0
 
-    def generate() -> Iterator[int]:
-        offset = 0
-        while True:
-            yield base + offset
-            offset = (offset + element_size) % array_bytes
+    def batch(n: int) -> np.ndarray:
+        nonlocal offset
+        steps = offset + element_size * np.arange(n, dtype=np.int64)
+        offset = (offset + element_size * n) % array_bytes
+        return base + steps % array_bytes
 
-    return generate()
+    return AddressStream(batch)
 
 
 def strided_sweep(
     base: int, array_bytes: int, stride: int, element_size: int = 8
-) -> Iterator[int]:
+) -> AddressStream:
     """Endless sweeps with a fixed stride — column accesses, FFT shuffles.
 
     A stride at or above the line size defeats spatial locality entirely;
@@ -54,27 +130,30 @@ def strided_sweep(
     if array_bytes <= 0 or element_size <= 0:
         raise ValueError("array_bytes and element_size must be positive")
     del element_size  # the stride fully determines the footprint step
+    offset = 0
 
-    def generate() -> Iterator[int]:
-        offset = 0
-        while True:
-            yield base + offset
-            offset = (offset + stride) % array_bytes
+    def batch(n: int) -> np.ndarray:
+        nonlocal offset
+        steps = offset + stride * np.arange(n, dtype=np.int64)
+        offset = (offset + stride * n) % array_bytes
+        return base + steps % array_bytes
 
-    return generate()
+    return AddressStream(batch)
 
 
-def random_uniform(base: int, region_bytes: int, rng: random.Random, align: int = 4) -> Iterator[int]:
+def random_uniform(
+    base: int, region_bytes: int, rng: random.Random, align: int = 4
+) -> AddressStream:
     """Uniformly random references inside one region — hash tables, heaps."""
     if region_bytes <= align:
         raise ValueError("region must exceed the alignment")
     slots = region_bytes // align
+    generator = _generator_from(rng)
 
-    def generate() -> Iterator[int]:
-        while True:
-            yield base + rng.randrange(slots) * align
+    def batch(n: int) -> np.ndarray:
+        return base + generator.integers(0, slots, size=n) * align
 
-    return generate()
+    return AddressStream(batch)
 
 
 def working_set(
@@ -84,7 +163,7 @@ def working_set(
     hot_probability: float,
     rng: random.Random,
     align: int = 4,
-) -> Iterator[int]:
+) -> AddressStream:
     """Two-level working set: a hot region hit with ``hot_probability``.
 
     Models codes with a small resident kernel plus occasional excursions;
@@ -92,19 +171,26 @@ def working_set(
     """
     if not 0.0 <= hot_probability <= 1.0:
         raise ValueError(f"hot_probability must be in [0, 1], got {hot_probability}")
-    hot = random_uniform(base, hot_bytes, rng, align)
-    cold = random_uniform(base + hot_bytes, cold_bytes, rng, align)
+    if hot_bytes <= align or cold_bytes <= align:
+        raise ValueError("region must exceed the alignment")
+    hot_slots = hot_bytes // align
+    cold_slots = cold_bytes // align
+    generator = _generator_from(rng)
 
-    def generate() -> Iterator[int]:
-        while True:
-            yield next(hot) if rng.random() < hot_probability else next(cold)
+    def batch(n: int) -> np.ndarray:
+        is_hot = generator.random(n) < hot_probability
+        hot_addresses = base + generator.integers(0, hot_slots, size=n) * align
+        cold_addresses = (
+            base + hot_bytes + generator.integers(0, cold_slots, size=n) * align
+        )
+        return np.where(is_hot, hot_addresses, cold_addresses)
 
-    return generate()
+    return AddressStream(batch)
 
 
 def pointer_chase(
     base: int, nodes: int, node_bytes: int, rng: random.Random
-) -> Iterator[int]:
+) -> AddressStream:
     """A permutation walk over linked nodes — no spatial locality at all.
 
     The node order is a fixed random cycle, so the stream is deterministic
@@ -114,22 +200,24 @@ def pointer_chase(
         raise ValueError("need at least two nodes to chase")
     order = list(range(nodes))
     rng.shuffle(order)
+    table = base + np.asarray(order, dtype=np.int64) * node_bytes
+    position = 0
 
-    def generate() -> Iterator[int]:
-        position = 0
-        while True:
-            yield base + order[position] * node_bytes
-            position = (position + 1) % nodes
+    def batch(n: int) -> np.ndarray:
+        nonlocal position
+        indices = (position + np.arange(n, dtype=np.int64)) % nodes
+        position = (position + n) % nodes
+        return table[indices]
 
-    return generate()
+    return AddressStream(batch)
 
 
 def mix(
-    streams: Sequence[Iterator[int]],
+    streams: Sequence[Iterable[int]],
     weights: Sequence[float],
     rng: random.Random,
     run_length: int = 1,
-) -> Iterator[int]:
+) -> AddressStream:
     """Interleave ``streams``, drawing runs of references from each.
 
     ``run_length`` is the mean length of a burst taken from one stream
@@ -145,18 +233,30 @@ def mix(
         raise ValueError("weights must be non-negative with a positive sum")
     if run_length < 1:
         raise ValueError(f"run_length must be >= 1, got {run_length}")
-    stream_list = list(streams)
-    weight_list = list(weights)
+    sources = [_as_stream(stream) for stream in streams]
+    probabilities = np.asarray(weights, dtype=float)
+    probabilities = probabilities / probabilities.sum()
     switch_probability = 1.0 / run_length
+    generator = _generator_from(rng)
+    n_sources = len(sources)
+    current = 0
+    remaining = 0  # references left in the current burst
 
-    def generate() -> Iterator[int]:
-        current = rng.choices(stream_list, weights=weight_list)[0]
-        while True:
-            yield next(current)
-            if rng.random() < switch_probability:
-                current = rng.choices(stream_list, weights=weight_list)[0]
+    def batch(n: int) -> np.ndarray:
+        nonlocal current, remaining
+        parts: list[np.ndarray] = []
+        filled = 0
+        while filled < n:
+            if remaining <= 0:
+                current = int(generator.choice(n_sources, p=probabilities))
+                remaining = int(generator.geometric(switch_probability))
+            segment = min(remaining, n - filled)
+            parts.append(sources[current].take(segment))
+            remaining -= segment
+            filled += segment
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
-    return generate()
+    return AddressStream(batch)
 
 
 class SyntheticTraceBuilder:
@@ -193,30 +293,34 @@ class SyntheticTraceBuilder:
         if operand_size <= 0:
             raise ValueError(f"operand_size must be positive, got {operand_size}")
         self.rng = random.Random(seed)
+        self._generator = _generator_from(self.rng)
         self.loadstore_fraction = loadstore_fraction
         self.store_fraction = store_fraction
         self.operand_size = operand_size
 
-    def build(self, pattern: Iterator[int], n_instructions: int) -> list[Instruction]:
+    def build(
+        self, pattern: Iterable[int], n_instructions: int
+    ) -> list[Instruction]:
         """Materialize ``n_instructions`` instructions around ``pattern``.
 
         Memory operations are spread pseudo-randomly at the configured
-        density; each consumes the next pattern address.
+        density; each consumes the next pattern address, in order.
         """
         if n_instructions <= 0:
             raise ValueError("n_instructions must be positive")
-        rng = self.rng
-        instructions: list[Instruction] = []
-        for _ in range(n_instructions):
-            if rng.random() < self.loadstore_fraction:
-                kind = (
-                    OpKind.STORE
-                    if rng.random() < self.store_fraction
-                    else OpKind.LOAD
-                )
-                instructions.append(
-                    Instruction(kind, next(pattern), self.operand_size)
-                )
-            else:
-                instructions.append(ALU_OP)
+        generator = self._generator
+        is_memory = generator.random(n_instructions) < self.loadstore_fraction
+        positions = np.flatnonzero(is_memory)
+        is_store = generator.random(positions.shape[0]) < self.store_fraction
+        addresses = _as_stream(pattern).take(positions.shape[0])
+
+        instructions: list[Instruction] = [ALU_OP] * n_instructions
+        size = self.operand_size
+        load_kind, store_kind = OpKind.LOAD, OpKind.STORE
+        for index, address, store in zip(
+            positions.tolist(), addresses.tolist(), is_store.tolist()
+        ):
+            instructions[index] = Instruction(
+                store_kind if store else load_kind, address, size
+            )
         return instructions

@@ -1,0 +1,217 @@
+"""Replay engine vs. step simulator: exact cycle-count agreement.
+
+The two-phase engine's contract is *exactness*, not approximation: for
+every supported configuration the replayed :class:`TimingResult` must
+equal the :class:`TimingSimulator` oracle field by field — cycles,
+read-miss stalls, flush stalls, fill counts — with ``==`` on floats.
+
+Coverage: all five blocking policies (FS/BL/BNL1/BNL2/BNL3), all six
+SPEC92 stand-in traces, several geometries (including line == bus width
+and a tiny thrashing cache), integer and dyadic-fraction ``beta_m``,
+plus Hypothesis property tests over random traces and geometries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.cache.events import extract_events
+from repro.core.stalling import StallPolicy
+from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import REPLAY_POLICIES, replay, simulate, supports_replay
+from repro.cpu.stall_measure import miss_distances
+from repro.memory.mainmem import MainMemory
+from repro.memory.pipelined import PipelinedMemory
+from repro.trace.record import ALU_OP, Instruction, OpKind, load, store
+from repro.trace.spec92 import SPEC92_PROFILES, spec92_trace
+
+POLICIES = sorted(REPLAY_POLICIES, key=lambda p: p.value)
+
+GEOMETRIES = [
+    CacheConfig(8192, 32, 2),     # the paper's Figure 1 cache
+    CacheConfig(1024, 16, 1),     # direct-mapped, short lines
+    CacheConfig(512, 64, 4),      # tiny + long lines: heavy thrashing
+    CacheConfig(4096, 32, 4),
+]
+
+
+def assert_results_equal(oracle, fast):
+    assert fast.instructions == oracle.instructions
+    assert fast.line_fills == oracle.line_fills
+    assert fast.cycles == oracle.cycles
+    assert fast.read_miss_stall_cycles == oracle.read_miss_stall_cycles
+    assert fast.flush_stall_cycles == oracle.flush_stall_cycles
+    assert fast.write_stall_cycles == oracle.write_stall_cycles
+    assert fast.memory_cycle == oracle.memory_cycle
+
+
+def run_both(trace, config, policy, beta, bus_width=4):
+    oracle = TimingSimulator(
+        config, MainMemory(beta, bus_width), policy=policy
+    ).run(trace)
+    fast = replay(
+        extract_events(trace, config), MainMemory(beta, bus_width), policy
+    )
+    return oracle, fast
+
+
+class TestSpec92Equivalence:
+    """Exact agreement on the actual Figure 1 workloads."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return {
+            name: profile.trace(4000, seed=7)
+            for name, profile in SPEC92_PROFILES.items()
+        }
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+    @pytest.mark.parametrize("beta", [2.0, 8.0, 48.0])
+    def test_all_traces(self, traces, policy, beta):
+        config = CacheConfig(8192, 32, 2)
+        for name, trace in traces.items():
+            events = extract_events(trace, config)
+            for bus_width in (4, 8):
+                memory = MainMemory(beta, bus_width)
+                oracle = TimingSimulator(config, memory, policy=policy).run(trace)
+                fast = replay(events, memory, policy)
+                assert_results_equal(oracle, fast), (name, bus_width)
+
+    @pytest.mark.parametrize("config", GEOMETRIES, ids=str)
+    def test_geometries(self, traces, config):
+        trace = traces["doduc"]
+        for policy in POLICIES:
+            for beta in (1.0, 7.0, 16.0):
+                oracle, fast = run_both(trace, config, policy, beta)
+                assert_results_equal(oracle, fast)
+
+    def test_dyadic_fractional_beta(self, traces):
+        """Non-integer (but binary-fraction) memory cycles stay exact."""
+        config = CacheConfig(1024, 32, 2)
+        for beta in (1.5, 2.25, 6.5):
+            for policy in POLICIES:
+                oracle, fast = run_both(traces["ear"], config, policy, beta)
+                assert_results_equal(oracle, fast)
+
+
+class TestEdgeCases:
+    def test_empty_window_back_to_back_misses(self):
+        trace = [load(i * 64) for i in range(64)]  # every access misses
+        config = CacheConfig(512, 32, 1)
+        for policy in POLICIES:
+            oracle, fast = run_both(trace, config, policy, 8.0)
+            assert_results_equal(oracle, fast)
+
+    def test_line_equals_bus_width(self):
+        """One-chunk fills: no partial-fill window at all."""
+        trace = spec92_trace("wave5", 2000, seed=1)
+        config = CacheConfig(1024, 4, 2)
+        for policy in POLICIES:
+            oracle, fast = run_both(trace, config, policy, 5.0)
+            assert_results_equal(oracle, fast)
+
+    def test_no_memory_ops(self):
+        trace = [ALU_OP] * 100
+        oracle, fast = run_both(trace, CacheConfig(8192, 32, 2),
+                                StallPolicy.BUS_LOCKED, 4.0)
+        assert_results_equal(oracle, fast)
+        assert fast.cycles == 100.0
+
+    def test_trace_ends_inside_fill_window(self):
+        """Re-touches after the final miss still stall correctly."""
+        trace = [load(0), load(4), load(8), load(28)]
+        config = CacheConfig(512, 32, 1)
+        for policy in POLICIES:
+            oracle, fast = run_both(trace, config, policy, 16.0)
+            assert_results_equal(oracle, fast)
+
+    def test_dirty_victims_and_stores(self):
+        """Write-allocate store misses + copy-backs, tiny cache."""
+        trace = []
+        for i in range(300):
+            trace.append(store((i * 32) % 1024))
+            trace.append(ALU_OP)
+            trace.append(load(((i + 3) * 32) % 1024))
+        config = CacheConfig(256, 32, 2)
+        for policy in POLICIES:
+            for beta in (2.0, 24.0):
+                oracle, fast = run_both(trace, config, policy, beta)
+                assert_results_equal(oracle, fast)
+
+    def test_simulate_falls_back_to_oracle(self):
+        """Unsupported configs route to the step simulator."""
+        trace = spec92_trace("ear", 500, seed=3)
+        config = CacheConfig(8192, 32, 2)
+        memory = MainMemory(8.0, 4)
+        assert not supports_replay(config, memory, StallPolicy.NON_BLOCKING)
+        assert not supports_replay(
+            config, memory, StallPolicy.FULL_STALL, write_buffer_depth=4
+        )
+        assert not supports_replay(
+            config, PipelinedMemory(8.0, 4, 2.0), StallPolicy.FULL_STALL
+        )
+        assert not supports_replay(
+            config, memory, StallPolicy.FULL_STALL, issue_rate=2.0
+        )
+        result = simulate(trace, config, memory, StallPolicy.NON_BLOCKING)
+        oracle = TimingSimulator(
+            config, memory, policy=StallPolicy.NON_BLOCKING
+        ).run(trace)
+        assert result.cycles == oracle.cycles
+
+    def test_replay_rejects_unsupported(self):
+        events = extract_events([load(0)], CacheConfig(8192, 32, 2))
+        with pytest.raises(ValueError, match="replay does not cover"):
+            replay(events, MainMemory(8.0, 4), StallPolicy.NON_BLOCKING)
+
+
+class TestEventStreamDerived:
+    def test_inter_miss_distances_match_legacy(self):
+        """EventStream's Eq. (8) distances == stall_measure.miss_distances."""
+        config = CacheConfig(8192, 32, 2)
+        for name in ("nasa7", "ear", "doduc"):
+            trace = spec92_trace(name, 3000, seed=7)
+            events = extract_events(trace, config)
+            assert events.inter_miss_distances() == miss_distances(trace, config)
+
+    def test_fill_count_matches_functional_stats(self):
+        trace = spec92_trace("swm256", 2000, seed=5)
+        events = extract_events(trace, CacheConfig(1024, 32, 2))
+        assert events.n_fills == events.stats.line_fills
+        assert events.n_instructions == len(trace)
+
+
+@st.composite
+def instruction_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=250))
+    stream = []
+    for _ in range(n):
+        roll = draw(st.integers(min_value=0, max_value=9))
+        if roll < 5:
+            stream.append(ALU_OP)
+        else:
+            kind = OpKind.STORE if roll >= 8 else OpKind.LOAD
+            address = draw(st.integers(min_value=0, max_value=0x7FF)) * 4
+            stream.append(Instruction(kind, address, 4))
+    return stream
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    stream=instruction_streams(),
+    policy=st.sampled_from(POLICIES),
+    beta=st.sampled_from([1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.5, 32.0]),
+    config=st.sampled_from(
+        [
+            CacheConfig(256, 16, 1),
+            CacheConfig(256, 32, 2),
+            CacheConfig(512, 32, 2),
+            CacheConfig(1024, 64, 4),
+        ]
+    ),
+)
+def test_replay_equals_oracle_property(stream, policy, beta, config):
+    oracle = TimingSimulator(config, MainMemory(beta, 4), policy=policy).run(stream)
+    fast = replay(extract_events(stream, config), MainMemory(beta, 4), policy)
+    assert_results_equal(oracle, fast)

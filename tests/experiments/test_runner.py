@@ -1,5 +1,7 @@
 """CLI runner behaviour."""
 
+import pytest
+
 from repro.experiments.runner import main
 
 
@@ -27,3 +29,32 @@ class TestRunner:
         assert main(["figure2", "--quick", "--out", str(tmp_path)]) == 0
         assert (tmp_path / "figure2.txt").exists()
         assert (tmp_path / "figure2.csv").exists()
+
+
+class TestJobs:
+    def test_invalid_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--quick", "--jobs", "0"])
+
+    def test_parallel_output_matches_sequential(self, tmp_path, capsys):
+        """--jobs must not change a single byte of the saved results."""
+        ids = ["figure2", "table2"]
+        sequential, parallel = tmp_path / "seq", tmp_path / "par"
+        assert main([*ids, "--quick", "--out", str(sequential)]) == 0
+        assert main([*ids, "--quick", "--jobs", "2", "--out", str(parallel)]) == 0
+        produced = sorted(path.name for path in sequential.iterdir())
+        assert produced  # at least the .txt renders
+        assert sorted(path.name for path in parallel.iterdir()) == produced
+        for name in produced:
+            assert (parallel / name).read_bytes() == (
+                sequential / name
+            ).read_bytes()
+
+    def test_single_experiment_jobs(self, capsys):
+        """--jobs with one id routes to phase-1 parallelism and resets it."""
+        from repro.experiments import _phi
+
+        assert main(["figure1", "--quick", "--jobs", "2"]) == 0
+        assert _phi._PHASE1_JOBS == 1
+        out = capsys.readouterr().out
+        assert "figure1 finished" in out
