@@ -29,9 +29,10 @@ from repro.analysis.short_levy import short_levy_curve
 from repro.cache.cache import CacheConfig
 from repro.core.params import SystemConfig
 from repro.core.stalling import StallPolicy
-from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import simulate
 from repro.memory.mainmem import MainMemory
 from repro.memory.pipelined import PipelinedMemory
+from repro.obs import logs, metrics, tracing
 from repro.trace.io import read_trace, write_trace
 from repro.trace.markov import three_phase_example
 from repro.trace.spec92 import SPEC92_PROFILES, spec92_trace
@@ -53,6 +54,30 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="diagnostics on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="explicit log level (debug/info/warning/error); wins over -v",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_out",
+        metavar="FILE",
+        help="record spans into a Chrome-trace JSON (view in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics_out",
+        metavar="FILE",
+        help="write the collected metrics snapshot as JSON",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -208,13 +233,16 @@ def _cmd_simulate(options: argparse.Namespace) -> int:
         )
     else:
         memory = MainMemory(options.memory_cycle, options.bus_width)
-    simulator = TimingSimulator(
+    # One call site for both engines: the two-phase replay when the
+    # configuration supports it, the step-simulator oracle otherwise
+    # (identical results either way — the equivalence suite pins it).
+    result = simulate(
+        trace,
         _cache_config(options),
         memory,
         policy=StallPolicy(options.policy),
         write_buffer_depth=options.write_buffer_depth,
     )
-    result = simulator.run(trace)
     ld = options.line_size // options.bus_width
     print(f"instructions    = {result.instructions}")
     print(f"cycles          = {result.cycles:.0f}  (CPI {result.cpi:.3f})")
@@ -270,13 +298,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = sys.argv[1:]
     argv = list(argv)
     if argv and argv[0] == "experiments":
-        # Delegate wholesale — the runner owns its option parsing, and
-        # argparse's REMAINDER cannot capture leading options like --list.
+        # Delegate wholesale — the runner owns its option parsing
+        # (including --trace/--metrics/-v), and argparse's REMAINDER
+        # cannot capture leading options like --list.
         from repro.experiments.runner import main as runner_main
 
         return runner_main(argv[1:])
     options = _build_parser().parse_args(argv)
-    return _COMMANDS[options.command](options)
+    logs.configure(verbosity=options.verbose, level=options.log_level)
+    tracer = tracing.enable_tracing() if options.trace_out else None
+    registry = metrics.enable_metrics() if options.metrics_out else None
+    try:
+        status = _COMMANDS[options.command](options)
+    finally:
+        if registry is not None:
+            from repro.util.jsonout import write_json
+
+            metrics.disable_metrics()
+            path = write_json(
+                options.metrics_out,
+                {"schema": metrics.SNAPSHOT_SCHEMA, **registry.snapshot()},
+            )
+            print(f"[metrics written to {path}]")
+        if tracer is not None:
+            tracing.disable_tracing()
+            path = tracer.write(options.trace_out)
+            print(
+                f"[trace written to {path}; open in https://ui.perfetto.dev]"
+            )
+    return status
 
 
 if __name__ == "__main__":

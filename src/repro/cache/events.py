@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.stats import CacheStats
+from repro.obs import tracing
 from repro.trace.record import Instruction, OpKind
 
 
@@ -190,20 +191,27 @@ def extract_events(
     dirty: list[bool] = []
     stores: list[bool] = []
     n = 0
-    for i, inst in enumerate(instructions):
-        n += 1
-        kind = inst.kind
-        if kind is alu:
-            continue
-        address = inst.address
-        is_store = kind is store
-        outcome = write(address) if is_store else read(address)
-        idx.append(i)
-        line.append(line_address(address))
-        offset.append(line_offset(address))
-        miss.append(outcome.fill_line)
-        dirty.append(outcome.flush_line_address is not None)
-        stores.append(is_store)
+    with tracing.span(
+        "phase1.extract_events",
+        cache_bytes=config.total_bytes,
+        line_size=config.line_size,
+        associativity=config.associativity,
+    ) as sp:
+        for i, inst in enumerate(instructions):
+            n += 1
+            kind = inst.kind
+            if kind is alu:
+                continue
+            address = inst.address
+            is_store = kind is store
+            outcome = write(address) if is_store else read(address)
+            idx.append(i)
+            line.append(line_address(address))
+            offset.append(line_offset(address))
+            miss.append(outcome.fill_line)
+            dirty.append(outcome.flush_line_address is not None)
+            stores.append(is_store)
+        sp.set(instructions=n, accesses=len(idx), fills=sum(miss))
 
     return EventStream(
         config=config,

@@ -29,6 +29,7 @@ from collections.abc import Iterable
 from repro.cache.cache import Cache, CacheConfig
 from repro.core.stalling import StallPolicy
 from repro.cpu.stall_engine import AccessContext, StallEngine
+from repro.obs import metrics as obs_metrics
 from repro.memory.bus import Bus
 from repro.memory.mainmem import FillSchedule, MainMemory
 from repro.memory.write_buffer import WriteBuffer
@@ -132,7 +133,7 @@ class TimingSimulator:
             write_stall += dw
 
         stats = self.cache.stats
-        return TimingResult(
+        result = TimingResult(
             instructions=count,
             cycles=time,
             read_miss_stall_cycles=read_miss_stall,
@@ -141,6 +142,11 @@ class TimingSimulator:
             line_fills=stats.line_fills,
             memory_cycle=self.memory.memory_cycle,
         )
+        obs_metrics.record_timing("step", result)
+        if self.write_buffer is not None:
+            for name, value in self.write_buffer.counter_snapshot().items():
+                obs_metrics.inc(f"write_buffer.{name}", value)
+        return result
 
     # -- internals -------------------------------------------------------
 

@@ -41,6 +41,7 @@ from repro.cache.events import EventStream, extract_events
 from repro.core.stalling import StallPolicy
 from repro.cpu.processor import TimingResult, TimingSimulator
 from repro.memory.mainmem import MainMemory
+from repro.obs import metrics, tracing
 from repro.trace.record import Instruction
 
 #: Policies the replay engine reproduces exactly.
@@ -91,7 +92,21 @@ def replay(
             f"memory={type(memory).__name__}, config={events.config}); "
             "use the TimingSimulator oracle"
         )
+    if not tracing.tracing_enabled():
+        return _replay(events, memory, policy)
+    with tracing.span(
+        "phase2.replay",
+        policy=policy.value,
+        beta=memory.memory_cycle,
+        fills=events.n_fills,
+    ):
+        return _replay(events, memory, policy)
 
+
+def _replay(
+    events: EventStream, memory: MainMemory, policy: StallPolicy
+) -> TimingResult:
+    """The replay kernel (pre-validated inputs)."""
     beta = memory.memory_cycle
     bus_width = memory.bus_width
     n_chunks = events.line_size // bus_width
@@ -234,7 +249,7 @@ def replay(
 
     time += events.n_instructions - 1 - last_index
 
-    return TimingResult(
+    result = TimingResult(
         instructions=events.n_instructions,
         cycles=time,
         read_miss_stall_cycles=read_stall,
@@ -243,6 +258,8 @@ def replay(
         line_fills=events.stats.line_fills,
         memory_cycle=beta,
     )
+    metrics.record_timing("replay", result)
+    return result
 
 
 def simulate(
@@ -264,6 +281,7 @@ def simulate(
         if events is None:
             events = extract_events(instructions, config)
         return replay(events, memory, policy)
+    metrics.inc("engine.step_fallback.dispatches")
     simulator = TimingSimulator(
         config,
         memory,
@@ -271,4 +289,10 @@ def simulate(
         write_buffer_depth=write_buffer_depth,
         issue_rate=issue_rate,
     )
-    return simulator.run(instructions)
+    with tracing.span(
+        "engine.step_simulate",
+        policy=policy.value,
+        beta=memory.memory_cycle,
+        write_buffer_depth=write_buffer_depth,
+    ):
+        return simulator.run(instructions)

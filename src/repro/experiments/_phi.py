@@ -7,6 +7,15 @@ and caches measured ``phi`` maps per (policy, geometry, beta grid) so
 that running several figures in one process does not re-simulate
 identical sweeps.  Phase-1 passes can optionally fan out across a
 process pool (the runner's ``--jobs`` flag wires this up).
+
+Observability: every memoization point is wrapped with hit/miss
+counters (``phi.*_memo.{hit,miss}``), the trace build and functional
+passes run under spans, and per-(trace, geometry) cache counters are
+recorded from the extracted event streams.  :func:`clear_caches` resets
+all three memo caches — the runner calls it per experiment while
+metrics collection is on, so per-experiment counts are independent of
+what ran earlier in the process (the basis of the ``--jobs N``
+byte-identical-aggregate guarantee; see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from repro.core.stalling import StallPolicy
 from repro.cpu.replay import replay, supports_replay
 from repro.cpu.stall_measure import average_stall_percentages
 from repro.memory.mainmem import MainMemory
+from repro.obs import metrics, tracing
 from repro.trace.record import Instruction
 from repro.trace.spec92 import SPEC92_PROFILES
 
@@ -26,6 +36,9 @@ from repro.trace.spec92 import SPEC92_PROFILES
 #: program; the synthetic streams reach steady state much sooner.
 FULL_INSTRUCTIONS = 60_000
 QUICK_INSTRUCTIONS = 8_000
+
+#: The seed behind every memoized trace build (manifests record it).
+DEFAULT_SEED = 7
 
 #: Process count for phase-1 extraction; 1 = in-process.  Set via
 #: :func:`set_phase1_jobs` (the experiment runner's ``--jobs`` flag).
@@ -44,13 +57,33 @@ def set_phase1_jobs(jobs: int) -> None:
     _PHASE1_JOBS = jobs
 
 
+def _memo_counter(name: str, cached, before_hits: int) -> None:
+    """Record whether the just-made call hit or missed an lru_cache."""
+    hit = cached.cache_info().hits > before_hits
+    metrics.inc(f"phi.{name}_memo.{'hit' if hit else 'miss'}")
+
+
 @lru_cache(maxsize=4)
-def spec92_traces(n_instructions: int, seed: int = 7) -> dict[str, tuple[Instruction, ...]]:
+def _spec92_traces_cached(
+    n_instructions: int, seed: int
+) -> dict[str, tuple[Instruction, ...]]:
+    with tracing.span(
+        "phase1.traces", n_instructions=n_instructions, seed=seed
+    ):
+        return {
+            name: tuple(profile.trace(n_instructions, seed=seed))
+            for name, profile in SPEC92_PROFILES.items()
+        }
+
+
+def spec92_traces(
+    n_instructions: int, seed: int = DEFAULT_SEED
+) -> dict[str, tuple[Instruction, ...]]:
     """The six stand-in traces, materialized once per (length, seed)."""
-    return {
-        name: tuple(profile.trace(n_instructions, seed=seed))
-        for name, profile in SPEC92_PROFILES.items()
-    }
+    before = _spec92_traces_cached.cache_info().hits
+    result = _spec92_traces_cached(n_instructions, seed)
+    _memo_counter("traces", _spec92_traces_cached, before)
+    return result
 
 
 def _extract_one(
@@ -74,13 +107,87 @@ def _extract_one(
     )
 
 
+def _record_stream_counters(
+    streams: dict[str, EventStream], geometry: tuple[int, int, int]
+) -> None:
+    """Per-(trace, geometry) functional-pass counters.
+
+    Recorded in the parent from the returned streams so the pool path
+    (whose workers are transient processes) is covered identically to
+    the in-process path.
+    """
+    if not metrics.metrics_enabled():
+        return
+    cache_bytes, line_size, associativity = geometry
+    label = f"{cache_bytes}B/L{line_size}/A{associativity}"
+    for name, events in streams.items():
+        stats = events.stats
+        metrics.inc("cache.hits", stats.hits, trace=name, geometry=label)
+        metrics.inc("cache.misses", stats.misses, trace=name, geometry=label)
+        metrics.inc(
+            "cache.dirty_victims",
+            int(events.dirty_victim.sum()),
+            trace=name,
+            geometry=label,
+        )
+        metrics.inc(
+            "cache.accesses", stats.accesses, trace=name, geometry=label
+        )
+
+
 @lru_cache(maxsize=16)
+def _spec92_event_streams_cached(
+    n_instructions: int,
+    cache_bytes: int,
+    line_size: int,
+    associativity: int,
+    seed: int,
+) -> dict[str, EventStream]:
+    geometry = (cache_bytes, line_size, associativity)
+    if _PHASE1_JOBS > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with tracing.span(
+            "phase1.extract_pool", jobs=_PHASE1_JOBS, line_size=line_size
+        ):
+            with ProcessPoolExecutor(
+                max_workers=min(_PHASE1_JOBS, 6)
+            ) as pool:
+                futures = {
+                    name: pool.submit(
+                        _extract_one, name, n_instructions, seed, geometry
+                    )
+                    for name in SPEC92_PROFILES
+                }
+                streams = {
+                    name: future.result() for name, future in futures.items()
+                }
+        _record_stream_counters(streams, geometry)
+        return streams
+    config = CacheConfig(
+        total_bytes=cache_bytes, line_size=line_size, associativity=associativity
+    )
+    traces = spec92_traces(n_instructions, seed)
+    streams = {}
+    for name, instructions in traces.items():
+        with tracing.span(
+            "phase1.extract",
+            trace=name,
+            cache_bytes=cache_bytes,
+            line_size=line_size,
+            associativity=associativity,
+        ):
+            streams[name] = extract_events(instructions, config)
+    _record_stream_counters(streams, geometry)
+    return streams
+
+
 def spec92_event_streams(
     n_instructions: int,
     cache_bytes: int,
     line_size: int,
     associativity: int,
-    seed: int = 7,
+    seed: int = DEFAULT_SEED,
 ) -> dict[str, EventStream]:
     """Phase-1 event streams for all six traces, keyed on geometry.
 
@@ -88,28 +195,16 @@ def spec92_event_streams(
     ``beta_m``, write-buffer, memory-model) replay over the same
     (trace, geometry) pair shares one functional pass.
     """
-    geometry = (cache_bytes, line_size, associativity)
-    if _PHASE1_JOBS > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(_PHASE1_JOBS, 6)) as pool:
-            futures = {
-                name: pool.submit(_extract_one, name, n_instructions, seed, geometry)
-                for name in SPEC92_PROFILES
-            }
-            return {name: future.result() for name, future in futures.items()}
-    config = CacheConfig(
-        total_bytes=cache_bytes, line_size=line_size, associativity=associativity
+    before = _spec92_event_streams_cached.cache_info().hits
+    result = _spec92_event_streams_cached(
+        n_instructions, cache_bytes, line_size, associativity, seed
     )
-    traces = spec92_traces(n_instructions, seed)
-    return {
-        name: extract_events(instructions, config)
-        for name, instructions in traces.items()
-    }
+    _memo_counter("events", _spec92_event_streams_cached, before)
+    return result
 
 
 @lru_cache(maxsize=32)
-def measured_phi_percentages(
+def _measured_phi_cached(
     policy: StallPolicy,
     line_size: int,
     cache_bytes: int,
@@ -118,7 +213,6 @@ def measured_phi_percentages(
     bus_width: int,
     n_instructions: int,
 ) -> tuple[float, ...]:
-    """Average ``phi`` (% of L/D) across the six traces per ``beta_m``."""
     config = CacheConfig(
         total_bytes=cache_bytes, line_size=line_size, associativity=associativity
     )
@@ -132,20 +226,71 @@ def measured_phi_percentages(
         )
         bus_cycles_per_line = line_size // bus_width
         row = []
-        for beta in betas:
-            memory = MainMemory(beta, bus_width)
-            total = 0.0
-            for events in streams.values():
-                total += replay(events, memory, policy).stall_percentage(
-                    bus_cycles_per_line
-                )
-            row.append(total / len(streams))
+        with tracing.span(
+            "phi.measure",
+            policy=policy.value,
+            n_betas=len(betas),
+            line_size=line_size,
+        ):
+            for beta in betas:
+                memory = MainMemory(beta, bus_width)
+                total = 0.0
+                for events in streams.values():
+                    pct = replay(events, memory, policy).stall_percentage(
+                        bus_cycles_per_line
+                    )
+                    metrics.observe(
+                        "phi.stall_percentage", pct, policy=policy.value
+                    )
+                    total += pct
+                row.append(total / len(streams))
         return tuple(row)
     # Oracle fallback (NB etc.): the memoized traces pass through as
     # tuples — no per-call list materialization.
     traces = spec92_traces(n_instructions)
-    data = average_stall_percentages(traces, config, (policy,), betas, bus_width)
+    with tracing.span(
+        "phi.measure_fallback", policy=policy.value, n_betas=len(betas)
+    ):
+        data = average_stall_percentages(
+            traces, config, (policy,), betas, bus_width
+        )
     return tuple(data[policy])
+
+
+def measured_phi_percentages(
+    policy: StallPolicy,
+    line_size: int,
+    cache_bytes: int,
+    associativity: int,
+    betas: tuple[float, ...],
+    bus_width: int,
+    n_instructions: int,
+) -> tuple[float, ...]:
+    """Average ``phi`` (% of L/D) across the six traces per ``beta_m``."""
+    before = _measured_phi_cached.cache_info().hits
+    result = _measured_phi_cached(
+        policy,
+        line_size,
+        cache_bytes,
+        associativity,
+        betas,
+        bus_width,
+        n_instructions,
+    )
+    _memo_counter("phi", _measured_phi_cached, before)
+    return result
+
+
+def clear_caches() -> None:
+    """Reset every memo cache (traces, event streams, phi maps).
+
+    The runner calls this per experiment while metrics collection is on
+    so each experiment's counters describe a cold start — independent of
+    job count and of whatever ran earlier in the process.
+    """
+    _spec92_traces_cached.cache_clear()
+    _spec92_event_streams_cached.cache_clear()
+    _measured_phi_cached.cache_clear()
 
 
 def floor_phi_to_table2(phi: float) -> float:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import tracing
 from repro.util.ascii_plot import AsciiPlot
 from repro.util.csvout import series_to_csv, write_csv
 
@@ -73,10 +74,13 @@ class ExperimentResult:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = []
-        text_path = directory / f"{self.experiment_id}.txt"
-        text_path.write_text(self.render() + "\n")
-        written.append(text_path)
-        csv_content = self.to_csv()
-        if csv_content:
-            written.append(write_csv(directory / f"{self.experiment_id}.csv", csv_content))
+        with tracing.span("experiment.save", experiment=self.experiment_id):
+            text_path = directory / f"{self.experiment_id}.txt"
+            text_path.write_text(self.render() + "\n")
+            written.append(text_path)
+            csv_content = self.to_csv()
+            if csv_content:
+                written.append(
+                    write_csv(directory / f"{self.experiment_id}.csv", csv_content)
+                )
         return written

@@ -5,6 +5,8 @@ Examples::
     python -m repro.experiments.runner --all
     python -m repro.experiments.runner figure3 figure4 --quick
     python -m repro.experiments.runner --all --out results/ --jobs 4
+    python -m repro.experiments.runner figure1 --quick --out tmp \\
+        --trace trace.json --metrics metrics.json -v
 
 ``--jobs N`` fans independent experiments out over N worker processes
 (and, when a single experiment is requested, parallelizes its phase-1
@@ -12,17 +14,33 @@ functional cache passes instead).  Every experiment is deterministic, so
 results — including ``--out`` files — are byte-identical for any job
 count; only wall-clock changes.  Results print in request order either
 way.
+
+Observability (see ``docs/OBSERVABILITY.md``):
+
+* ``--trace FILE`` records spans into a Chrome-trace JSON (open in
+  Perfetto); worker processes get their own thread tracks.
+* ``--metrics FILE`` writes the aggregated counters/histograms.  Workers
+  collect per-experiment snapshots that the parent merges in request
+  order, so the aggregate is byte-identical for any ``--jobs N``.
+* every ``--out`` run additionally writes ``<id>.meta.json`` — a run
+  manifest with config, seeds, engine path, the Eq. (2) cycle
+  breakdown, and the per-experiment metrics snapshot.
+* ``-v`` / ``-vv`` / ``--log-level`` control diagnostics on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import logging
 import time
 from collections.abc import Sequence
+from typing import Any
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import logs, manifest, metrics, tracing
+
+logger = logging.getLogger(__name__)
 
 
 def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
@@ -48,7 +66,8 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--out",
         metavar="DIR",
-        help="also write <id>.txt and <id>.csv into DIR",
+        help="also write <id>.txt, <id>.csv and a <id>.meta.json run "
+        "manifest into DIR",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
@@ -65,27 +84,85 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         help="run the paper experiments, check every claim, write a "
         "markdown reproduction scorecard to FILE, and print it",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record spans into a Chrome-trace JSON (view in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the aggregated metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="diagnostics on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="explicit log level (debug/info/warning/error); wins over -v",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     return args
 
 
-def _run_one(experiment_id: str, quick: bool) -> tuple[ExperimentResult, float]:
-    """Worker: run one experiment and time it.
+def _run_one(
+    experiment_id: str,
+    quick: bool,
+    with_tracing: bool = False,
+    with_metrics: bool = False,
+    worker: bool = False,
+) -> tuple[ExperimentResult, float, dict[str, Any] | None, list | None]:
+    """Run one experiment; returns (result, seconds, metrics, spans).
 
-    Top-level so it pickles for :class:`ProcessPoolExecutor`; each worker
-    process recomputes from scratch (the memoization caches in
-    :mod:`repro.experiments._phi` are per-process).
+    Top-level so it pickles for :class:`ProcessPoolExecutor`.  Collection
+    is scoped per experiment: a fresh metrics registry is installed and
+    the φ memo caches are cleared first, so the snapshot describes a cold
+    start regardless of process reuse — sequential and worker runs
+    produce identical snapshots.  ``worker`` marks a pool-process call:
+    a fresh local tracer is installed (a forked child would otherwise
+    append to its useless copy of the parent's tracer) and its events
+    are returned for the parent to adopt; in the parent, spans land on
+    the already-active tracer.
     """
+    local_tracer = None
+    if with_tracing and worker:
+        local_tracer = tracing.enable_tracing(name=f"worker:{experiment_id}")
+    registry = None
+    if with_metrics:
+        registry = metrics.enable_metrics()
+    if with_metrics or with_tracing:
+        # Cold-start the φ memo caches so the collected spans/counters
+        # describe this experiment completely and independently of what
+        # ran earlier in the process (or of the job count).
+        from repro.experiments._phi import clear_caches
+
+        clear_caches()
     started = time.perf_counter()
-    result = run_experiment(experiment_id, quick=quick)
-    return result, time.perf_counter() - started
+    with tracing.span("runner.run", experiment=experiment_id, quick=quick):
+        result = run_experiment(experiment_id, quick=quick)
+    elapsed = time.perf_counter() - started
+    snapshot = None
+    if registry is not None:
+        snapshot = registry.snapshot()
+        metrics.disable_metrics()
+    events = None
+    if local_tracer is not None:
+        events = local_tracer.events
+        tracing.disable_tracing()
+    return result, elapsed, snapshot, events
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit status."""
     args = _parse_args(argv)
+    logs.configure(verbosity=args.verbose, level=args.log_level)
     if args.list:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -93,54 +170,138 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.report:
         from repro.experiments.report import write_report
 
-        path = write_report(args.report, quick=args.quick)
+        path = write_report(args.report, quick=args.quick, jobs=args.jobs)
         print(path.read_text())
         print(f"[report written to {path}]")
         return 0
     ids = list(EXPERIMENTS) if args.all else args.experiments
     if not ids:
-        print("nothing to run: pass experiment ids or --all", file=sys.stderr)
+        logger.error("nothing to run: pass experiment ids or --all")
         return 2
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
-        print(
-            f"unknown experiment(s): {', '.join(unknown)}; "
-            f"available: {', '.join(EXPERIMENTS)}",
-            file=sys.stderr,
+        logger.error(
+            "unknown experiment(s): %s; available: %s",
+            ", ".join(unknown),
+            ", ".join(EXPERIMENTS),
         )
         return 2
 
+    # Collection plan: tracing follows --trace; metrics are needed for a
+    # --metrics file and for the manifest every --out run writes.  While
+    # metrics are on, each experiment starts from cleared φ memo caches
+    # so its counts are complete and job-count independent.
+    with_tracing = bool(args.trace)
+    with_metrics = bool(args.metrics or args.out)
+    tracer = tracing.enable_tracing() if with_tracing else None
+    aggregate = metrics.MetricsRegistry() if with_metrics else None
+    logger.info(
+        "running %d experiment(s) with jobs=%d quick=%s tracing=%s metrics=%s",
+        len(ids),
+        args.jobs,
+        args.quick,
+        with_tracing,
+        with_metrics,
+    )
+
     if args.jobs > 1 and len(ids) > 1:
         # Fan whole experiments out across processes; consume futures in
-        # request order so stdout and --out files match a sequential run.
+        # request order so stdout, --out files and merged metrics match a
+        # sequential run.
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(args.jobs, len(ids))) as pool:
             futures = [
-                pool.submit(_run_one, experiment_id, args.quick)
+                pool.submit(
+                    _run_one,
+                    experiment_id,
+                    args.quick,
+                    with_tracing,
+                    with_metrics,
+                    True,
+                )
                 for experiment_id in ids
             ]
             outcomes = [future.result() for future in futures]
-    elif args.jobs > 1:
-        # One experiment: parallelize inside it (phase-1 extraction).
-        from repro.experiments._phi import set_phase1_jobs
-
-        set_phase1_jobs(args.jobs)
-        try:
-            outcomes = [_run_one(experiment_id, args.quick) for experiment_id in ids]
-        finally:
-            set_phase1_jobs(1)
+        if tracer is not None:
+            for worker_tid, (experiment_id, outcome) in enumerate(
+                zip(ids, outcomes), start=1
+            ):
+                events = outcome[3]
+                if events:
+                    tracer.adopt(
+                        events, tid=worker_tid, name=f"worker:{experiment_id}"
+                    )
     else:
-        outcomes = [_run_one(experiment_id, args.quick) for experiment_id in ids]
+        if args.jobs > 1:
+            # One experiment: parallelize inside it (phase-1 extraction).
+            from repro.experiments._phi import set_phase1_jobs
 
-    for experiment_id, (result, elapsed) in zip(ids, outcomes):
+            set_phase1_jobs(args.jobs)
+        try:
+            outcomes = [
+                _run_one(experiment_id, args.quick, with_tracing, with_metrics)
+                for experiment_id in ids
+            ]
+        finally:
+            if args.jobs > 1:
+                from repro.experiments._phi import set_phase1_jobs
+
+                set_phase1_jobs(1)
+
+    status = 0
+    for experiment_id, (result, elapsed, snapshot, _events) in zip(ids, outcomes):
+        logger.info("%s finished in %.1fs", experiment_id, elapsed)
         print(result.render())
         print(f"[{experiment_id} finished in {elapsed:.1f}s]")
         print()
+        if aggregate is not None and snapshot is not None:
+            aggregate.merge(snapshot)
         if args.out:
-            for path in result.save(args.out):
+            written = result.save(args.out)
+            manifest_path = manifest.write_manifest(
+                args.out,
+                experiment_id,
+                manifest.build_manifest(
+                    experiment_id=experiment_id,
+                    title=result.title,
+                    quick=args.quick,
+                    jobs=args.jobs,
+                    seed=_default_seed(),
+                    n_instructions=_instruction_count(args.quick),
+                    wall_time_s=elapsed,
+                    outputs=[path.name for path in written],
+                    metrics_snapshot=snapshot,
+                ),
+            )
+            for path in (*written, manifest_path):
                 print(f"  wrote {path}")
-    return 0
+
+    if args.metrics and aggregate is not None:
+        from repro.util.jsonout import write_json
+
+        metrics_path = write_json(
+            args.metrics,
+            {"schema": metrics.SNAPSHOT_SCHEMA, **aggregate.snapshot()},
+        )
+        print(f"[metrics written to {metrics_path}]")
+    if tracer is not None:
+        tracing.disable_tracing()
+        trace_path = tracer.write(args.trace)
+        print(f"[trace written to {trace_path}; open in https://ui.perfetto.dev]")
+    return status
+
+
+def _default_seed() -> int:
+    from repro.experiments._phi import DEFAULT_SEED
+
+    return DEFAULT_SEED
+
+
+def _instruction_count(quick: bool) -> int:
+    from repro.experiments._phi import FULL_INSTRUCTIONS, QUICK_INSTRUCTIONS
+
+    return QUICK_INSTRUCTIONS if quick else FULL_INSTRUCTIONS
 
 
 if __name__ == "__main__":

@@ -41,6 +41,19 @@ class WriteBuffer:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def counter_snapshot(self) -> dict[str, int]:
+        """Lifetime counters for the metrics layer (``write_buffer.*``).
+
+        Read once at end of simulation rather than incrementing global
+        metrics per posted write — the buffer sits on the oracle's
+        per-reference path.
+        """
+        return {
+            "posted": self.total_posted,
+            "drained": self.total_drained,
+            "conflict_drains": self.conflict_stalls,
+        }
+
     @property
     def is_full(self) -> bool:
         """No slot free for another posted write."""

@@ -1,0 +1,93 @@
+"""Observability layer: span tracing, simulator metrics, run manifests.
+
+The paper's whole point is *decomposable accounting* — Eq. (2) splits
+execution time into execute / read-stall / write-stall terms — and this
+package exposes the same decomposition live, for the code itself:
+
+``repro.obs.tracing``
+    Nested wall-clock spans with a Chrome-trace-event exporter
+    (open the ``--trace`` file in https://ui.perfetto.dev).
+``repro.obs.metrics``
+    Labeled counters/histograms from the hot layers (cache events,
+    engine dispatch, φ memoization) plus the per-run Eq. (2) cycle
+    breakdown with a sums-to-total self-check.
+``repro.obs.manifest``
+    ``<id>.meta.json`` provenance for every ``--out`` run.
+``repro.obs.logs``
+    ``-v`` / ``--log-level`` logging configuration for the CLIs.
+``repro.obs.schemas`` / ``repro.obs.validate``
+    Structural validation of the emitted JSON artifacts.
+
+Both tracing and metrics are **disabled by default** and cost one
+module-global load per instrumentation site while off, so the engine's
+hot paths carry their probes permanently (the replay benchmark pins the
+overhead budget; see ``docs/OBSERVABILITY.md``).
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    VOLATILE_KEYS,
+    build_manifest,
+    git_revision,
+    stable_view,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    EQ2_TERMS,
+    Eq2MismatchError,
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    current_metrics,
+    disable_metrics,
+    enable_metrics,
+    eq2_breakdown,
+    inc,
+    metrics_enabled,
+    observe,
+    record_timing,
+)
+from repro.obs.schemas import (
+    SchemaError,
+    validate_chrome_trace,
+    validate_manifest,
+    validate_metrics,
+)
+from repro.obs.tracing import (
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "VOLATILE_KEYS",
+    "EQ2_TERMS",
+    "Eq2MismatchError",
+    "MetricsRegistry",
+    "SchemaError",
+    "Tracer",
+    "build_manifest",
+    "current_metrics",
+    "current_tracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "eq2_breakdown",
+    "git_revision",
+    "inc",
+    "metrics_enabled",
+    "observe",
+    "record_timing",
+    "span",
+    "stable_view",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "validate_manifest",
+    "validate_metrics",
+    "write_manifest",
+]

@@ -1,0 +1,58 @@
+"""Logging configuration for the CLI entry points.
+
+One ``repro``-rooted logger hierarchy; every module logs through
+``logging.getLogger(__name__)`` and the CLIs call :func:`configure`
+once per invocation to translate ``-v`` counts or an explicit
+``--log-level`` into a handler on the ``repro`` logger.
+
+The handler is installed on the ``repro`` logger (never the root
+logger) and tagged, so repeated configuration replaces our handler
+without clobbering anything the host application — or pytest's caplog —
+hangs off the root.  Propagation stays on for the same reason.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Marker attribute identifying the handler :func:`configure` installs.
+_HANDLER_TAG = "_repro_obs_handler"
+
+#: ``-v`` count to level: default WARNING, -v INFO, -vv DEBUG.
+_VERBOSITY_LEVELS = (logging.WARNING, logging.INFO, logging.DEBUG)
+
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def resolve_level(verbosity: int = 0, level: str | None = None) -> int:
+    """Map ``(-v count, --log-level name)`` to a logging level.
+
+    An explicit ``level`` name wins over the verbosity count.
+    """
+    if level is not None:
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        return resolved
+    index = min(max(verbosity, 0), len(_VERBOSITY_LEVELS) - 1)
+    return _VERBOSITY_LEVELS[index]
+
+
+def configure(verbosity: int = 0, level: str | None = None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger for one CLI invocation.
+
+    Binds a fresh ``StreamHandler`` to the *current* ``sys.stderr``
+    (tests that capture stderr re-enter through the CLI, so the handler
+    must not cache a stale stream) and returns the ``repro`` logger.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolve_level(verbosity, level))
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    return logger

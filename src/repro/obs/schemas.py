@@ -1,0 +1,153 @@
+"""Lightweight schema validation for the observability artifacts.
+
+The reproduction environment is offline (no ``jsonschema``), so each
+artifact gets a hand-rolled structural validator: Chrome trace files
+(``--trace``), metrics snapshots (``--metrics``), and run manifests
+(``<id>.meta.json``).  Validators raise :class:`SchemaError` with a
+JSON-path-style message on the first violation; CI runs them over the
+smoke run's artifacts via ``python -m repro.obs.validate``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.metrics import SNAPSHOT_SCHEMA
+
+
+class SchemaError(ValueError):
+    """An artifact does not match its documented schema."""
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"{path}: {message}")
+
+
+def _require_number(value: Any, path: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        path,
+        f"expected a number, got {type(value).__name__}",
+    )
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Validate a Chrome trace-event document (Perfetto-loadable)."""
+    _require(isinstance(document, dict), "$", "trace must be a JSON object")
+    events = document.get("traceEvents")
+    _require(isinstance(events, list), "$.traceEvents", "must be a list")
+    for i, event in enumerate(events):
+        path = f"$.traceEvents[{i}]"
+        _require(isinstance(event, dict), path, "must be an object")
+        _require(
+            isinstance(event.get("name"), str), f"{path}.name", "must be a string"
+        )
+        phase = event.get("ph")
+        _require(
+            isinstance(phase, str) and len(phase) == 1,
+            f"{path}.ph",
+            "must be a 1-char phase code",
+        )
+        _require_number(event.get("pid"), f"{path}.pid")
+        _require_number(event.get("tid"), f"{path}.tid")
+        if phase == "X":
+            _require_number(event.get("ts"), f"{path}.ts")
+            _require_number(event.get("dur"), f"{path}.dur")
+            _require(event["dur"] >= 0, f"{path}.dur", "must be >= 0")
+        if "args" in event:
+            _require(
+                isinstance(event["args"], dict), f"{path}.args", "must be an object"
+            )
+
+
+def _validate_snapshot_body(snapshot: Any, path: str) -> None:
+    _require(isinstance(snapshot, dict), path, "must be an object")
+    counters = snapshot.get("counters")
+    _require(isinstance(counters, dict), f"{path}.counters", "must be an object")
+    for key, value in counters.items():
+        _require_number(value, f"{path}.counters[{key!r}]")
+    histograms = snapshot.get("histograms")
+    _require(
+        isinstance(histograms, dict), f"{path}.histograms", "must be an object"
+    )
+    for key, entry in histograms.items():
+        entry_path = f"{path}.histograms[{key!r}]"
+        _require(isinstance(entry, dict), entry_path, "must be an object")
+        for field in ("count", "sum", "min", "max"):
+            _require(field in entry, f"{entry_path}.{field}", "is required")
+            _require_number(entry[field], f"{entry_path}.{field}")
+        _require(
+            entry["min"] <= entry["max"],
+            entry_path,
+            "min must be <= max",
+        )
+
+
+def validate_metrics(document: Any) -> None:
+    """Validate an exported metrics snapshot (``--metrics`` file)."""
+    _require(isinstance(document, dict), "$", "metrics must be a JSON object")
+    _require(
+        document.get("schema") == SNAPSHOT_SCHEMA,
+        "$.schema",
+        f"must be {SNAPSHOT_SCHEMA!r}",
+    )
+    _validate_snapshot_body(document, "$")
+
+
+def validate_manifest(document: Any) -> None:
+    """Validate a run manifest (``<id>.meta.json``)."""
+    _require(isinstance(document, dict), "$", "manifest must be a JSON object")
+    _require(
+        document.get("schema") == MANIFEST_SCHEMA,
+        "$.schema",
+        f"must be {MANIFEST_SCHEMA!r}",
+    )
+    _require(
+        isinstance(document.get("experiment"), str),
+        "$.experiment",
+        "must be a string",
+    )
+    config = document.get("config")
+    _require(isinstance(config, dict), "$.config", "must be an object")
+    _require(
+        isinstance(config.get("quick"), bool), "$.config.quick", "must be a bool"
+    )
+    engine = document.get("engine")
+    _require(isinstance(engine, dict), "$.engine", "must be an object")
+    _require(
+        engine.get("path") in ("replay", "step", "mixed", "analytic"),
+        "$.engine.path",
+        "must be one of replay/step/mixed/analytic",
+    )
+    eq2 = document.get("eq2")
+    _require(isinstance(eq2, dict), "$.eq2", "must be an object")
+    terms = (
+        "execute_cycles",
+        "read_stall_cycles",
+        "flush_stall_cycles",
+        "write_buffer_stall_cycles",
+    )
+    for term in (*terms, "total_cycles"):
+        _require(term in eq2, f"$.eq2.{term}", "is required")
+        _require_number(eq2[term], f"$.eq2.{term}")
+    total = sum(eq2[term] for term in terms)
+    _require(
+        total == eq2["total_cycles"],
+        "$.eq2",
+        f"terms sum to {total!r}, total_cycles says {eq2['total_cycles']!r}",
+    )
+    _require(
+        isinstance(document.get("outputs"), list), "$.outputs", "must be a list"
+    )
+    _validate_snapshot_body(document.get("metrics"), "$.metrics")
+    _require_number(document.get("wall_time_s"), "$.wall_time_s")
+    provenance = document.get("provenance")
+    _require(isinstance(provenance, dict), "$.provenance", "must be an object")
+    for field in ("python", "created_at"):
+        _require(
+            isinstance(provenance.get(field), str),
+            f"$.provenance.{field}",
+            "must be a string",
+        )

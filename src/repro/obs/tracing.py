@@ -1,0 +1,201 @@
+"""Span tracing with a Chrome-trace-event exporter.
+
+A *span* is a named wall-clock interval with optional key/value
+arguments.  Spans nest naturally — the exporter emits Chrome
+``"ph": "X"`` (complete) events, which ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_ render as a flame graph purely
+from interval containment, so nesting needs no explicit bookkeeping.
+
+Design constraints (see ``docs/OBSERVABILITY.md``):
+
+* **Near-zero overhead when disabled.**  Tracing is off by default;
+  :func:`span` then returns a shared no-op context manager after a
+  single module-global load.  No clock is read, nothing is allocated
+  beyond the callers' keyword dict.
+* **Mergeable across processes.**  Worker processes (the runner's
+  ``--jobs N``) collect events into their own :class:`Tracer` and ship
+  the plain-dict event list back over the pipe; the parent adopts them
+  onto a distinct Chrome thread id so each worker gets its own track.
+
+Usage::
+
+    from repro.obs import tracing
+
+    tracer = tracing.enable_tracing()
+    with tracing.span("phase1.extract", trace="nasa7", line_size=32):
+        ...
+    tracer.write("trace.json")   # open in Perfetto
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.util.jsonout import write_json
+
+#: Chrome trace category attached to every span event.
+CATEGORY = "repro"
+
+
+class _NullSpan:
+    """Shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NullSpan":
+        """Accept (and drop) late argument updates."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """One open span; appends a complete event to its tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def set(self, **args: Any) -> "_LiveSpan":
+        """Attach arguments discovered mid-span (e.g. result counts)."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        tracer.events.append(
+            {
+                "name": self.name,
+                "cat": CATEGORY,
+                "ph": "X",
+                "ts": (self._start - tracer.epoch) * 1e6,
+                "dur": (end - self._start) * 1e6,
+                "pid": tracer.pid,
+                "tid": tracer.tid,
+                "args": self.args,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects span events; exports the Chrome trace-event format.
+
+    Timestamps are microseconds relative to the tracer's creation
+    (``time.perf_counter`` based), which is what the Chrome ``ts`` field
+    expects.  Events adopted from worker processes keep their own epoch
+    and are placed on separate thread tracks instead of being rebased.
+    """
+
+    def __init__(self, pid: int = 0, tid: int = 0, name: str = "runner") -> None:
+        self.pid = pid
+        self.tid = tid
+        self.epoch = time.perf_counter()
+        self.events: list[dict[str, Any]] = []
+        self._thread_names: dict[int, str] = {tid: name}
+
+    def span(self, name: str, **args: Any) -> _LiveSpan:
+        """Open a span on this tracer (context manager)."""
+        return _LiveSpan(self, name, args)
+
+    def adopt(
+        self,
+        events: list[dict[str, Any]],
+        tid: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        """Merge events collected in another process onto this trace.
+
+        ``tid`` moves the batch onto its own thread track; ``name``
+        labels that track in the viewer.
+        """
+        if tid is None:
+            self.events.extend(events)
+            return
+        if name is not None:
+            self._thread_names[tid] = name
+        for event in events:
+            rebased = dict(event)
+            rebased["pid"] = self.pid
+            rebased["tid"] = tid
+            self.events.append(rebased)
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The full trace document (``{"traceEvents": [...], ...}``)."""
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+            for tid, label in sorted(self._thread_names.items())
+        ]
+        return {
+            "traceEvents": meta + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.tracing"},
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the Chrome trace JSON; load it in Perfetto to view."""
+        return write_json(path, self.chrome_trace())
+
+
+#: The process-wide tracer, or ``None`` while tracing is disabled.
+_ACTIVE: Tracer | None = None
+
+
+def enable_tracing(tid: int = 0, name: str = "runner") -> Tracer:
+    """Install (and return) a fresh process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = Tracer(tid=tid, name=name)
+    return _ACTIVE
+
+
+def disable_tracing() -> Tracer | None:
+    """Stop collecting; returns the tracer that was active, if any."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _ACTIVE is not None
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer, or ``None``."""
+    return _ACTIVE
+
+
+def span(name: str, **args: Any) -> _LiveSpan | _NullSpan:
+    """Open a span on the active tracer; no-op when tracing is off.
+
+    The fast path is a single global load and one shared object return —
+    safe to leave in hot code permanently.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return _LiveSpan(tracer, name, args)

@@ -1,0 +1,75 @@
+"""CLI: validate observability artifacts against their schemas.
+
+Usage::
+
+    python -m repro.obs.validate --trace trace.json \\
+        --metrics metrics.json --manifest results/figure1.meta.json
+
+Exit status 0 when every given artifact validates, 1 otherwise.  CI
+runs this over the smoke run's artifacts so a schema regression fails
+the build rather than silently shipping malformed JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.obs import logs
+from repro.obs.schemas import (
+    SchemaError,
+    validate_chrome_trace,
+    validate_manifest,
+    validate_metrics,
+)
+
+logger = logging.getLogger(__name__)
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-validate",
+        description="Validate trace/metrics/manifest JSON artifacts.",
+    )
+    parser.add_argument("--trace", action="append", default=[], metavar="FILE")
+    parser.add_argument("--metrics", action="append", default=[], metavar="FILE")
+    parser.add_argument("--manifest", action="append", default=[], metavar="FILE")
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.manifest):
+        parser.error("nothing to validate: pass --trace/--metrics/--manifest")
+    return args
+
+
+def _check(path: str, validator: Callable[[Any], None]) -> bool:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+        validator(document)
+    except (OSError, json.JSONDecodeError, SchemaError) as error:
+        logger.error("%s: INVALID: %s", path, error)
+        return False
+    print(f"{path}: ok")
+    return True
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit status."""
+    args = _parse_args(argv)
+    logs.configure(verbosity=args.verbose)
+    ok = True
+    for path in args.trace:
+        ok &= _check(path, validate_chrome_trace)
+    for path in args.metrics:
+        ok &= _check(path, validate_metrics)
+    for path in args.manifest:
+        ok &= _check(path, validate_manifest)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

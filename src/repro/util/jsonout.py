@@ -1,0 +1,35 @@
+"""Stable JSON serialization for machine-readable artifacts.
+
+Every JSON artifact this repository emits — Chrome traces, metrics
+snapshots, run manifests, benchmark records — goes through
+:func:`dump_json` / :func:`write_json` so the byte-level format is
+uniform: sorted keys, two-space indent, a trailing newline, and plain
+``repr``-style floats.  Sorted keys are what make the observability
+layer's determinism guarantees testable as *byte* equality rather than
+semantic equality (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+def dump_json(obj: Any) -> str:
+    """Render ``obj`` as deterministic, diff-friendly JSON text."""
+    return json.dumps(obj, sort_keys=True, indent=2) + "\n"
+
+
+def write_json(path: str | Path, obj: Any) -> Path:
+    """Write ``obj`` as stable JSON; creates parent dirs, returns path."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dump_json(obj))
+    return target
+
+
+def read_json(path: str | Path) -> Any:
+    """Load a JSON artifact (inverse of :func:`write_json`)."""
+    return json.loads(Path(path).read_text())

@@ -1,8 +1,11 @@
 """CLI runner behaviour."""
 
+import json
+
 import pytest
 
 from repro.experiments.runner import main
+from repro.obs import schemas, stable_view
 
 
 class TestRunner:
@@ -29,6 +32,9 @@ class TestRunner:
         assert main(["figure2", "--quick", "--out", str(tmp_path)]) == 0
         assert (tmp_path / "figure2.txt").exists()
         assert (tmp_path / "figure2.csv").exists()
+        # Every --out run also writes a validating run manifest.
+        manifest = json.loads((tmp_path / "figure2.meta.json").read_text())
+        schemas.validate_manifest(manifest)
 
 
 class TestJobs:
@@ -37,7 +43,11 @@ class TestJobs:
             main(["figure2", "--quick", "--jobs", "0"])
 
     def test_parallel_output_matches_sequential(self, tmp_path, capsys):
-        """--jobs must not change a single byte of the saved results."""
+        """--jobs must not change a single byte of the saved results.
+
+        Manifests are compared on their stable view — wall time and
+        provenance timestamps legitimately differ between runs.
+        """
         ids = ["figure2", "table2"]
         sequential, parallel = tmp_path / "seq", tmp_path / "par"
         assert main([*ids, "--quick", "--out", str(sequential)]) == 0
@@ -46,9 +56,17 @@ class TestJobs:
         assert produced  # at least the .txt renders
         assert sorted(path.name for path in parallel.iterdir()) == produced
         for name in produced:
-            assert (parallel / name).read_bytes() == (
-                sequential / name
-            ).read_bytes()
+            seq_bytes = (sequential / name).read_bytes()
+            par_bytes = (parallel / name).read_bytes()
+            if name.endswith(".meta.json"):
+                seq_manifest = stable_view(json.loads(seq_bytes))
+                par_manifest = stable_view(json.loads(par_bytes))
+                # jobs is part of the config on purpose; normalize it.
+                seq_manifest["config"].pop("jobs")
+                par_manifest["config"].pop("jobs")
+                assert par_manifest == seq_manifest
+            else:
+                assert par_bytes == seq_bytes
 
     def test_single_experiment_jobs(self, capsys):
         """--jobs with one id routes to phase-1 parallelism and resets it."""
@@ -58,3 +76,78 @@ class TestJobs:
         assert _phi._PHASE1_JOBS == 1
         out = capsys.readouterr().out
         assert "figure1 finished" in out
+
+
+class TestObservability:
+    def test_trace_file_is_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["figure1", "--quick", "--trace", str(trace_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        schemas.validate_chrome_trace(document)
+        names = {event["name"] for event in document["traceEvents"]}
+        # The advertised instrumentation points all fired.
+        assert {"runner.run", "phase1.extract", "phase2.replay"} <= names
+
+    def test_metrics_byte_identical_across_jobs(self, tmp_path, capsys):
+        """The merged --metrics aggregate is byte-identical for any N."""
+        ids = ["figure1", "figure2", "table2"]
+        seq, par = tmp_path / "seq.json", tmp_path / "par.json"
+        assert main([*ids, "--quick", "--metrics", str(seq)]) == 0
+        assert main(
+            [*ids, "--quick", "--jobs", "4", "--metrics", str(par)]
+        ) == 0
+        assert par.read_bytes() == seq.read_bytes()
+        document = json.loads(seq.read_text())
+        schemas.validate_metrics(document)
+        assert document["counters"]["engine.replay.calls"] > 0
+
+    def test_manifest_deterministic_across_runs(self, tmp_path, capsys):
+        """Two runs agree on everything but timestamps/wall time."""
+        first, second = tmp_path / "a", tmp_path / "b"
+        assert main(["figure1", "--quick", "--out", str(first)]) == 0
+        assert main(["figure1", "--quick", "--out", str(second)]) == 0
+        load = lambda d: json.loads((d / "figure1.meta.json").read_text())
+        assert stable_view(load(first)) == stable_view(load(second))
+
+    def test_manifest_eq2_terms_sum_to_total(self, tmp_path, capsys):
+        assert main(["figure1", "--quick", "--out", str(tmp_path)]) == 0
+        manifest = json.loads((tmp_path / "figure1.meta.json").read_text())
+        eq2 = manifest["eq2"]
+        terms = (
+            eq2["execute_cycles"]
+            + eq2["read_stall_cycles"]
+            + eq2["flush_stall_cycles"]
+            + eq2["write_buffer_stall_cycles"]
+        )
+        assert terms == eq2["total_cycles"]  # exact, not approximate
+        assert eq2["total_cycles"] > 0
+        assert manifest["engine"]["path"] == "replay"
+
+    def test_quiet_by_default_verbose_opt_in(self, capsys, caplog):
+        """-v surfaces runner diagnostics; default stays warnings-only."""
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro"):
+            assert main(["table2", "--quick"]) == 0
+            quiet_records = [
+                r for r in caplog.records if r.levelno < logging.WARNING
+            ]
+            caplog.clear()
+            assert main(["table2", "--quick", "-v"]) == 0
+            verbose_err = capsys.readouterr().err
+        assert not quiet_records
+        assert "finished" in verbose_err
+
+    def test_report_honours_jobs(self, tmp_path, capsys):
+        """--report fans out over --jobs workers (same scorecard)."""
+        from repro.experiments.report import build_report
+
+        sequential = build_report(quick=True, jobs=1)
+        parallel = build_report(quick=True, jobs=4)
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if "s)" not in line  # drop wall-time suffixed lines
+        ]
+        assert strip(parallel) == strip(sequential)
+        assert "claims reproduced" in parallel

@@ -1,0 +1,21 @@
+"""Stable JSON serialization helpers."""
+
+from repro.util.jsonout import dump_json, read_json, write_json
+
+
+class TestDumpJson:
+    def test_sorted_keys_and_trailing_newline(self):
+        text = dump_json({"b": 1, "a": 2})
+        assert text.index('"a"') < text.index('"b"')
+        assert text.endswith("}\n")
+
+    def test_byte_stable_across_insertion_orders(self):
+        assert dump_json({"x": 1, "y": [2, 3]}) == dump_json({"y": [2, 3], "x": 1})
+
+
+class TestWriteJson:
+    def test_round_trip_and_parent_creation(self, tmp_path):
+        target = tmp_path / "nested" / "dir" / "doc.json"
+        path = write_json(target, {"k": [1, 2.5, "s"]})
+        assert path == target
+        assert read_json(path) == {"k": [1, 2.5, "s"]}
