@@ -86,10 +86,44 @@ def _timed(fn, rounds):
     return best
 
 
+def _dispatch_counts(snapshot: dict) -> dict:
+    """Per-engine dispatch summary from an ``--all --quick`` snapshot."""
+    counters = snapshot["counters"]
+    prefix = "engine.step_fallback.dispatches{reason="
+    reasons = {}
+    for key, value in counters.items():
+        if key.startswith(prefix):
+            reasons[key[len(prefix):].rstrip("}")] = value
+    return {
+        "replay_calls": counters.get("engine.replay.calls", 0),
+        "step_calls": counters.get("engine.step.calls", 0),
+        "step_fallback_reasons": reasons,
+    }
+
+
+def _run_all(quick: bool) -> None:
+    from repro.experiments.registry import EXPERIMENTS
+
+    for experiment_id in EXPERIMENTS:
+        run_experiment(experiment_id, quick=quick)
+
+
 def collect(full: bool = False) -> dict:
-    """Measure every stage and return the BENCH_engine document."""
+    """Measure every stage and return the BENCH_engine document.
+
+    The whole collection runs against a private, initially empty
+    on-disk events cache (a temp dir), so timings are reproducible:
+    ``all_quick_s`` and ``all_full_cold_s`` measure a cold store,
+    ``all_full_warm_s`` the same sweep again with the store populated.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
     from repro.experiments._phi import clear_caches
     from repro.obs import manifest, metrics
+    from repro.obs.schemas import BENCH_ENGINE_SCHEMA
 
     bench_trace = spec92_trace("nasa7", 60_000, seed=7)
     bench_events = extract_events(bench_trace, CACHE)
@@ -99,6 +133,9 @@ def collect(full: bool = False) -> dict:
         CACHE, memory, policy=StallPolicy.BUS_NOT_LOCKED_1
     )
 
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-events-")
+    previous_dir = os.environ.get(EVENTS_CACHE_DIR_ENV)
+    os.environ[EVENTS_CACHE_DIR_ENV] = store_dir
     registry = metrics.enable_metrics()
     clear_caches()
     try:
@@ -119,26 +156,57 @@ def collect(full: bool = False) -> dict:
                 lambda: run_experiment("figure1", quick=True), rounds=1
             ),
         }
+        snapshot = registry.snapshot()
+        metrics.disable_metrics()
+
+        # The full registry sweep in quick mode, with its own registry so
+        # the dispatch section reflects exactly this run.
+        all_quick_registry = metrics.enable_metrics()
+        clear_caches()
+        benchmarks["all_quick_s"] = _timed(
+            lambda: _run_all(quick=True), rounds=1
+        )
+        dispatch = _dispatch_counts(all_quick_registry.snapshot())
+
         if full:
+            metrics.disable_metrics()
             clear_caches()
             benchmarks["figure1_full_s"] = _timed(
                 lambda: run_experiment("figure1", quick=False), rounds=1
             )
-        snapshot = registry.snapshot()
+            # Cold: fresh store (and memos); warm: same sweep again,
+            # phase 1 now served entirely from disk.
+            shutil.rmtree(store_dir, ignore_errors=True)
+            clear_caches()
+            benchmarks["all_full_cold_s"] = _timed(
+                lambda: _run_all(quick=False), rounds=1
+            )
+            clear_caches()
+            benchmarks["all_full_warm_s"] = _timed(
+                lambda: _run_all(quick=False), rounds=1
+            )
     finally:
-        metrics.disable_metrics()
+        if metrics.metrics_enabled():
+            metrics.disable_metrics()
+        if previous_dir is None:
+            os.environ.pop(EVENTS_CACHE_DIR_ENV, None)
+        else:
+            os.environ[EVENTS_CACHE_DIR_ENV] = previous_dir
+        shutil.rmtree(store_dir, ignore_errors=True)
+        clear_caches()
 
     import platform
     import sys
 
     return {
-        "schema": "repro.bench.engine/1",
+        "schema": BENCH_ENGINE_SCHEMA,
         "benchmarks": {k: round(v, 4) for k, v in benchmarks.items()},
         "speedup_replay_vs_step": round(
             benchmarks["step_simulator_point_s"]
             / benchmarks["phase2_replay_point_s"],
             1,
         ),
+        "dispatch": dispatch,
         "metrics": snapshot,
         "provenance": {
             "git_sha": manifest.git_revision(),
@@ -162,7 +230,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--full",
         action="store_true",
-        help="also time the full (non-quick) Figure 1 run",
+        help="also time the full (non-quick) Figure 1 and --all sweeps "
+        "(cold and warm events store)",
     )
     args = parser.parse_args(argv)
     document = collect(full=args.full)
@@ -170,6 +239,11 @@ def main(argv=None) -> int:
     for name, seconds in document["benchmarks"].items():
         print(f"{name:28s} {seconds:.4f}")
     print(f"replay vs step speedup: {document['speedup_replay_vs_step']}x")
+    dispatch = document["dispatch"]
+    print(
+        f"--all --quick dispatch: replay={dispatch['replay_calls']} "
+        f"step={dispatch['step_calls']}"
+    )
     print(f"wrote {path}")
     return 0
 

@@ -1,8 +1,9 @@
 """Phase 1 of the two-phase simulation engine: functional event extraction.
 
 The cache's hit/miss/copy-back behaviour is completely independent of
-memory timing: which references miss, which victims are dirty, and which
-later references re-touch an in-flight line are all decided by the cache
+memory timing: which references miss, which victims are dirty, which
+stores generate write-through/write-around traffic, and which later
+references re-touch an in-flight line are all decided by the cache
 geometry and the reference stream alone.  This module runs that untimed
 functional pass **once** per ``(trace, CacheConfig)`` and emits a compact
 :class:`EventStream` — numpy arrays over the memory references — from
@@ -23,6 +24,12 @@ is_miss         the reference filled a line (read miss or
                 write-allocate miss)
 dirty_victim    the fill evicted a dirty line (a copy-back is owed)
 is_store        the reference was a store
+flush_line      line address of the dirty victim owed a copy-back,
+                -1 when none (== dirty_victim as a flag)
+write_through   the store was propagated to memory (write-through hit,
+                or a write-allocate miss under write-through)
+write_around    the store missed and went straight to memory (no fill)
+size            operand size in bytes (drives ``write_duration``)
 ==============  ======================================================
 
 Derived per-miss structures (the exact inputs Eq. 8 and the Table 2
@@ -34,6 +41,11 @@ stall semantics need) are computed lazily and cached on the stream:
   bus-locked cache stalls);
 * a CSR map from each miss to the in-fill-line re-touches inside its
   window (what the BNL policies stall on);
+* ``general_walk`` — the sparse subset of accesses the general replay
+  kernel (write buffers / pipelined memory / write-through traffic)
+  must visit; every skipped access is a provable timing no-op;
+* ``mshr_walk(k)`` — the analogous subset for the k-MSHR non-blocking
+  replay kernel;
 * ``inter_miss_distances`` — Eq. (8)'s ``dc_i`` sample.
 
 The functional pass reuses :class:`repro.cache.Cache` itself rather than
@@ -52,6 +64,25 @@ from repro.cache.stats import CacheStats
 from repro.obs import tracing
 from repro.trace.record import Instruction, OpKind
 
+#: Bumped whenever the array schema or its semantics change; part of the
+#: on-disk cache key (``repro.cache.events_store``), so stale cached
+#: streams are invalidated automatically.
+EVENT_SCHEMA_VERSION = 2
+
+#: Array fields persisted by the on-disk cache, in schema order.
+EVENT_ARRAYS = (
+    "index",
+    "line",
+    "offset",
+    "is_miss",
+    "dirty_victim",
+    "is_store",
+    "flush_line",
+    "write_through",
+    "write_around",
+    "size",
+)
+
 
 class EventStream:
     """Compact functional summary of one ``(trace, geometry)`` pair."""
@@ -67,6 +98,10 @@ class EventStream:
         dirty_victim: np.ndarray,
         is_store: np.ndarray,
         stats: CacheStats,
+        flush_line: np.ndarray | None = None,
+        write_through: np.ndarray | None = None,
+        write_around: np.ndarray | None = None,
+        size: np.ndarray | None = None,
     ) -> None:
         self.config = config
         self.n_instructions = n_instructions
@@ -76,6 +111,25 @@ class EventStream:
         self.is_miss = is_miss
         self.dirty_victim = dirty_victim
         self.is_store = is_store
+        n = index.shape[0]
+        # The v1 constructor predates these arrays; synthesizing the
+        # write-back/write-allocate defaults keeps old callers working.
+        self.flush_line = (
+            flush_line
+            if flush_line is not None
+            else np.full(n, -1, dtype=np.int64)
+        )
+        self.write_through = (
+            write_through
+            if write_through is not None
+            else np.zeros(n, dtype=bool)
+        )
+        self.write_around = (
+            write_around
+            if write_around is not None
+            else np.zeros(n, dtype=bool)
+        )
+        self.size = size if size is not None else np.full(n, 4, dtype=np.int64)
         #: final cache statistics of the functional pass (hit ratios,
         #: fill/flush counts) — the timing-independent half of a
         #: :class:`~repro.cpu.processor.TimingResult`.
@@ -127,13 +181,71 @@ class EventStream:
         return distances
 
 
+class GeneralWalk:
+    """The access subset the general replay kernel visits, as parallel
+    plain lists (position order == program order).
+
+    Skipped accesses are hits with no memory traffic and provably no
+    Table 2 window interaction — timing no-ops under every policy the
+    kernel covers (see ``docs/ENGINE.md``)."""
+
+    def __init__(
+        self,
+        index: list[int],
+        line: list[int],
+        offset: list[int],
+        is_miss: list[bool],
+        flush_line: list[int],
+        timed_write: list[bool],
+        write_around: list[bool],
+        size: list[int],
+    ) -> None:
+        self.index = index
+        self.line = line
+        self.offset = offset
+        self.is_miss = is_miss
+        self.flush_line = flush_line
+        #: the access posts a timed write (write-through or write-around)
+        self.timed_write = timed_write
+        self.write_around = write_around
+        self.size = size
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class MshrWalk:
+    """The access subset the k-MSHR replay kernel visits."""
+
+    def __init__(
+        self,
+        index: list[int],
+        line: list[int],
+        offset: list[int],
+        is_miss: list[bool],
+        flush_line: list[int],
+        is_load: list[bool],
+    ) -> None:
+        self.index = index
+        self.line = line
+        self.offset = offset
+        self.is_miss = is_miss
+        self.flush_line = flush_line
+        self.is_load = is_load
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
 class _Derived:
     """Replay-ready views of an :class:`EventStream` (plain lists, which
     the per-miss replay loop indexes far faster than numpy scalars)."""
 
     def __init__(self, events: EventStream) -> None:
+        self._events = events
         is_miss = events.is_miss
         miss_pos = np.flatnonzero(is_miss)
+        self._miss_pos = miss_pos
         n_miss = miss_pos.shape[0]
         k = events.n_accesses
 
@@ -149,6 +261,7 @@ class _Derived:
         in_window = (nxt < k) & ~is_miss[safe] if k else np.zeros(0, bool)
         first = np.where(in_window, events.index[safe], -1)
         self.first_access_after_miss: list[int] = first.tolist()
+        self._first_after_pos = safe[in_window] if k else np.zeros(0, np.int64)
 
         # CSR: per miss, the subsequent accesses that re-touch the line
         # while it could still be in flight (strictly before next miss).
@@ -162,10 +275,119 @@ class _Derived:
             self.touch_ptr: list[int] = ptr.tolist()
             self.touch_index: list[int] = events.index[touch].tolist()
             self.touch_offset: list[int] = events.offset[touch].tolist()
+            self._touch_mask = touch
         else:
             self.touch_ptr = [0]
             self.touch_index = []
             self.touch_offset = []
+            self._touch_mask = np.zeros(k, dtype=bool)
+
+        self._general_walk: GeneralWalk | None = None
+        self._mshr_walks: dict[int, MshrWalk] = {}
+        self._owner_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # -- general kernel walk --------------------------------------------
+
+    @property
+    def general_walk(self) -> GeneralWalk:
+        """Accesses the general replay kernel must visit.
+
+        The union over the policies it covers: every miss, every timed
+        write (write-through/write-around traffic), every in-window
+        re-touch of the most recent fill line (BNL1-3/NB word waits),
+        and the first access after each miss (the single access a
+        bus-locked fill can stall).  Any other access is a hit with no
+        memory traffic, off the fill line, generating no float ops in
+        the oracle — skipping it is exact."""
+        if self._general_walk is not None:
+            return self._general_walk
+        ev = self._events
+        relevant = ev.is_miss | ev.write_through | ev.write_around
+        relevant[self._first_after_pos] = True
+        relevant |= self._touch_mask
+        pos = np.flatnonzero(relevant)
+        timed = (ev.write_through | ev.write_around)[pos]
+        self._general_walk = GeneralWalk(
+            index=ev.index[pos].tolist(),
+            line=ev.line[pos].tolist(),
+            offset=ev.offset[pos].tolist(),
+            is_miss=ev.is_miss[pos].tolist(),
+            flush_line=ev.flush_line[pos].tolist(),
+            timed_write=timed.tolist(),
+            write_around=ev.write_around[pos].tolist(),
+            size=ev.size[pos].tolist(),
+        )
+        return self._general_walk
+
+    # -- MSHR kernel walk -----------------------------------------------
+
+    def _owners(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per access: id of the last same-line fill strictly before it
+        (-1 if none) and the number of fills strictly before it; per
+        fill (prefix-summed): whether its line had been filled before
+        (the conservative superset of MSHR-table overwrites)."""
+        if self._owner_arrays is not None:
+            return self._owner_arrays
+        ev = self._events
+        lines = ev.line.tolist()
+        misses = ev.is_miss.tolist()
+        n = len(lines)
+        owner = np.empty(n, dtype=np.int64)
+        fills_before = np.empty(n, dtype=np.int64)
+        refill_prefix = [0]
+        last_fill_of_line: dict[int, int] = {}
+        fid = 0
+        for p in range(n):
+            ln = lines[p]
+            owner[p] = last_fill_of_line.get(ln, -1)
+            fills_before[p] = fid
+            if misses[p]:
+                refill_prefix.append(refill_prefix[-1] + (ln in last_fill_of_line))
+                last_fill_of_line[ln] = fid
+                fid += 1
+        self._owner_arrays = (
+            owner,
+            fills_before,
+            np.asarray(refill_prefix, dtype=np.int64),
+        )
+        return self._owner_arrays
+
+    def mshr_walk(self, mshr_count: int) -> MshrWalk:
+        """Accesses the k-MSHR replay kernel must visit.
+
+        Every miss, plus every hit whose owning fill can still be in
+        flight when the hit issues.  A hit is skippable when at least
+        ``k`` *distinct-line* fills were issued between its owner and
+        itself: issuing the k-th of those forced a wait for the
+        earliest outstanding completion, and fill end times are
+        monotone in issue order, so the owner's fill had completed by
+        then.  Same-line re-fills may silently replace an MSHR entry
+        without a wait, so they are excluded from the count (the
+        ``refill_prefix`` correction)."""
+        cached = self._mshr_walks.get(mshr_count)
+        if cached is not None:
+            return cached
+        ev = self._events
+        is_miss = ev.is_miss
+        owner, fills_before, refill_prefix = self._owners()
+        between = fills_before - owner - 1
+        refills_between = refill_prefix[fills_before] - refill_prefix[
+            np.minimum(owner + 1, refill_prefix.shape[0] - 1)
+        ]
+        may_wait = (
+            (~is_miss) & (owner >= 0) & (between - refills_between < mshr_count)
+        )
+        pos = np.flatnonzero(is_miss | may_wait)
+        walk = MshrWalk(
+            index=ev.index[pos].tolist(),
+            line=ev.line[pos].tolist(),
+            offset=ev.offset[pos].tolist(),
+            is_miss=is_miss[pos].tolist(),
+            flush_line=ev.flush_line[pos].tolist(),
+            is_load=(~ev.is_store[pos]).tolist(),
+        )
+        self._mshr_walks[mshr_count] = walk
+        return walk
 
 
 def extract_events(
@@ -175,7 +397,8 @@ def extract_events(
 
     One pass through :class:`~repro.cache.Cache` per call; memoize at
     the caller when the same ``(trace, geometry)`` recurs (see
-    ``repro.experiments._phi.spec92_event_streams``).
+    ``repro.experiments._phi.spec92_event_streams``), and use
+    :mod:`repro.cache.events_store` to persist streams across runs.
     """
     cache = Cache(config)
     amap = cache.address_map
@@ -190,6 +413,10 @@ def extract_events(
     miss: list[bool] = []
     dirty: list[bool] = []
     stores: list[bool] = []
+    flush_line: list[int] = []
+    write_through: list[bool] = []
+    write_around: list[bool] = []
+    size: list[int] = []
     n = 0
     with tracing.span(
         "phase1.extract_events",
@@ -209,8 +436,13 @@ def extract_events(
             line.append(line_address(address))
             offset.append(line_offset(address))
             miss.append(outcome.fill_line)
-            dirty.append(outcome.flush_line_address is not None)
+            flushed = outcome.flush_line_address
+            dirty.append(flushed is not None)
+            flush_line.append(-1 if flushed is None else flushed)
             stores.append(is_store)
+            write_through.append(outcome.write_through)
+            write_around.append(outcome.write_around)
+            size.append(inst.size)
         sp.set(instructions=n, accesses=len(idx), fills=sum(miss))
 
     return EventStream(
@@ -223,4 +455,8 @@ def extract_events(
         dirty_victim=np.asarray(dirty, dtype=bool),
         is_store=np.asarray(stores, dtype=bool),
         stats=cache.stats,
+        flush_line=np.asarray(flush_line, dtype=np.int64),
+        write_through=np.asarray(write_through, dtype=bool),
+        write_around=np.asarray(write_around, dtype=bool),
+        size=np.asarray(size, dtype=np.int64),
     )

@@ -1,0 +1,220 @@
+"""Content-addressed on-disk cache of extracted :class:`EventStream`\\ s.
+
+Phase 1 of the two-phase engine (the functional cache pass of
+:func:`repro.cache.events.extract_events`) is deterministic: the same
+trace run against the same :class:`~repro.cache.cache.CacheConfig`
+always yields the same event arrays.  This module persists those arrays
+so repeated runs — benchmark reruns, ``--all`` invocations, CI — skip
+both trace generation and the pure-Python cache stepping entirely.
+
+Key derivation (see ``docs/ENGINE.md``): the cache key is the SHA-256 of
+a human-readable *key material* string joining
+
+* the store layout version (:data:`STORE_VERSION`),
+* the event-array schema version
+  (:data:`repro.cache.events.EVENT_SCHEMA_VERSION`),
+* the trace fingerprint (e.g. ``spec92/1/swm256/60000/7`` from
+  :func:`repro.trace.spec92.trace_fingerprint` — generator version,
+  program, length, seed), and
+* every :class:`CacheConfig` field that can influence the functional
+  pass.
+
+Bumping any version constant therefore invalidates exactly the entries
+it should; no mtime heuristics, no manual cleanup required.  Payloads
+are ``.npz`` files (the arrays named by
+:data:`~repro.cache.events.EVENT_ARRAYS`) next to a JSON sidecar holding
+the metadata and :class:`~repro.cache.stats.CacheStats` counters, both
+written atomically (temp file + ``os.replace``) so a killed run never
+leaves a truncated entry.  Any load failure — corrupt file, schema
+mismatch, partial write — silently falls back to re-extraction.
+
+Opt-out / redirection:
+
+* ``REPRO_EVENTS_CACHE=0`` (or ``off``) disables the store entirely
+  (the experiment runner's ``--no-events-cache`` flag sets this, which
+  also propagates to ``--jobs`` worker processes);
+* ``REPRO_EVENTS_CACHE_DIR=<path>`` overrides the default location
+  ``$XDG_CACHE_HOME/repro/events`` (``~/.cache/repro/events``).
+
+Determinism note: the store intentionally records **no metrics
+counters** — a cold and a warm run must produce byte-identical metrics
+snapshots.  Cache activity is visible through span tracing
+(``events_store.load`` / ``events_store.save``) and debug logging only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.cache import CacheConfig
+from repro.cache.events import (
+    EVENT_ARRAYS,
+    EVENT_SCHEMA_VERSION,
+    EventStream,
+    extract_events,
+)
+from repro.cache.stats import CacheStats
+from repro.obs import tracing
+from repro.trace.record import Instruction
+
+log = logging.getLogger("repro.events_store")
+
+#: Bump when the on-disk layout (file naming, sidecar format) changes.
+STORE_VERSION = 1
+
+#: Set to ``0``/``off``/``false`` to disable the store.
+EVENTS_CACHE_ENV = "REPRO_EVENTS_CACHE"
+
+#: Overrides the default cache directory.
+EVENTS_CACHE_DIR_ENV = "REPRO_EVENTS_CACHE_DIR"
+
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk store is active (checked per call, so tests
+    and ``--no-events-cache`` can flip it at runtime)."""
+    value = os.environ.get(EVENTS_CACHE_ENV)
+    return value is None or value.strip().lower() not in _DISABLED_VALUES
+
+
+def cache_dir() -> Path:
+    """Resolved cache directory (not created until first save)."""
+    override = os.environ.get(EVENTS_CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "events"
+
+
+def key_material(trace_fingerprint: str, config: CacheConfig) -> str:
+    """The human-readable string whose SHA-256 addresses one entry."""
+    return (
+        f"store/{STORE_VERSION}"
+        f"|events/{EVENT_SCHEMA_VERSION}"
+        f"|trace/{trace_fingerprint}"
+        f"|cache/{config.total_bytes}/{config.line_size}"
+        f"/{config.associativity}/{config.replacement}"
+        f"/{config.write_policy.name}/{config.allocate_policy.name}"
+    )
+
+
+def entry_key(trace_fingerprint: str, config: CacheConfig) -> str:
+    """Content address (hex SHA-256) of one ``(trace, geometry)`` entry."""
+    material = key_material(trace_fingerprint, config)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _paths(key: str) -> tuple[Path, Path]:
+    root = cache_dir()
+    return root / f"{key}.npz", root / f"{key}.json"
+
+
+def _atomic_write(path: Path, writer: Callable[[str], None]) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    os.close(fd)
+    try:
+        writer(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save(trace_fingerprint: str, config: CacheConfig, events: EventStream) -> None:
+    """Persist one extracted stream (best-effort: failures only log)."""
+    if not cache_enabled():
+        return
+    key = entry_key(trace_fingerprint, config)
+    npz_path, meta_path = _paths(key)
+    stats = {
+        f.name: getattr(events.stats, f.name)
+        for f in dataclasses.fields(events.stats)
+    }
+    meta = {
+        "store_version": STORE_VERSION,
+        "event_schema_version": EVENT_SCHEMA_VERSION,
+        "key_material": key_material(trace_fingerprint, config),
+        "n_instructions": events.n_instructions,
+        "stats": stats,
+    }
+    arrays = {name: getattr(events, name) for name in EVENT_ARRAYS}
+
+    def _write_npz(tmp: str) -> None:
+        with open(tmp, "wb") as handle:  # a file object keeps the name as-is
+            np.savez(handle, **arrays)
+
+    def _write_meta(tmp: str) -> None:
+        Path(tmp).write_text(
+            json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    try:
+        with tracing.span("events_store.save", key=key[:12]):
+            npz_path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write(npz_path, _write_npz)
+            _atomic_write(meta_path, _write_meta)
+    except OSError as exc:
+        log.debug("events_store: save failed for %s: %s", key[:12], exc)
+
+
+def load(trace_fingerprint: str, config: CacheConfig) -> EventStream | None:
+    """Load one entry, or None on miss/corruption/schema mismatch."""
+    if not cache_enabled():
+        return None
+    key = entry_key(trace_fingerprint, config)
+    npz_path, meta_path = _paths(key)
+    try:
+        with tracing.span("events_store.load", key=key[:12]):
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if (
+                meta.get("store_version") != STORE_VERSION
+                or meta.get("event_schema_version") != EVENT_SCHEMA_VERSION
+                or meta.get("key_material") != key_material(trace_fingerprint, config)
+            ):
+                return None
+            with np.load(npz_path) as payload:
+                arrays = {name: payload[name] for name in EVENT_ARRAYS}
+            stats = CacheStats(**meta["stats"])
+            return EventStream(
+                config=config,
+                n_instructions=int(meta["n_instructions"]),
+                stats=stats,
+                **arrays,
+            )
+    except Exception as exc:  # noqa: BLE001 - any corruption => re-extract
+        if not isinstance(exc, FileNotFoundError):
+            log.debug("events_store: load failed for %s: %s", key[:12], exc)
+        return None
+
+
+def get_or_extract(
+    trace_fingerprint: str,
+    config: CacheConfig,
+    trace_factory: Callable[[], Sequence[Instruction]],
+) -> EventStream:
+    """The main entry point: disk hit, or extract + persist.
+
+    ``trace_factory`` is only invoked on a miss, so warm runs skip trace
+    generation entirely (a significant cost for the loop-nest traces).
+    """
+    cached = load(trace_fingerprint, config)
+    if cached is not None:
+        log.debug("events_store: hit %s", trace_fingerprint)
+        return cached
+    events = extract_events(trace_factory(), config)
+    save(trace_fingerprint, config, events)
+    return events

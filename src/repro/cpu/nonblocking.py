@@ -178,12 +178,28 @@ def mshr_stall_factors(
     memory_cycle: float,
     bus_width: int,
     mshr_counts: tuple[int, ...] = (1, 2, 4, 8),
+    events=None,
 ) -> dict[int, float]:
     """Measured NB ``phi`` per MSHR count — the paper's open curve.
 
     Diminishing returns appear quickly: most of the benefit of multiple
     outstanding misses is captured by 2-4 MSHRs on cache-friendly codes.
+
+    Pass a pre-extracted ``events`` stream (phase 1 of the two-phase
+    engine) to run each count through the exact
+    :func:`repro.cpu.replay.replay_mshr` kernel instead of stepping the
+    simulator; results are bitwise identical either way.
     """
+    if events is not None:
+        # Lazy import keeps this module importable without the replay
+        # engine (and guards against future import cycles).
+        from repro.cpu.replay import replay_mshr
+
+        memory = MainMemory(memory_cycle, bus_width)
+        return {
+            count: replay_mshr(events, memory, mshr_count=count).stall_factor
+            for count in mshr_counts
+        }
     result = {}
     for count in mshr_counts:
         simulator = MSHRSimulator(

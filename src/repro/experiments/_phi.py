@@ -23,14 +23,15 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.cache.cache import CacheConfig
-from repro.cache.events import EventStream, extract_events
+from repro.cache.events import EventStream
+from repro.cache import events_store
 from repro.core.stalling import StallPolicy
 from repro.cpu.replay import replay, supports_replay
 from repro.cpu.stall_measure import average_stall_percentages
 from repro.memory.mainmem import MainMemory
 from repro.obs import metrics, tracing
 from repro.trace.record import Instruction
-from repro.trace.spec92 import SPEC92_PROFILES
+from repro.trace.spec92 import SPEC92_PROFILES, trace_fingerprint
 
 #: Instruction counts for full and quick runs.  The paper used 50 M per
 #: program; the synthetic streams reach steady state much sooner.
@@ -79,11 +80,14 @@ def _spec92_traces_cached(
 def spec92_traces(
     n_instructions: int, seed: int = DEFAULT_SEED
 ) -> dict[str, tuple[Instruction, ...]]:
-    """The six stand-in traces, materialized once per (length, seed)."""
-    before = _spec92_traces_cached.cache_info().hits
-    result = _spec92_traces_cached(n_instructions, seed)
-    _memo_counter("traces", _spec92_traces_cached, before)
-    return result
+    """The six stand-in traces, materialized once per (length, seed).
+
+    No memo hit/miss counter here: with the on-disk event-stream store
+    (:mod:`repro.cache.events_store`) warm runs never materialize the
+    traces at all, and a counter would make cold and warm metrics
+    snapshots differ.
+    """
+    return _spec92_traces_cached(n_instructions, seed)
 
 
 def _extract_one(
@@ -93,17 +97,19 @@ def _extract_one(
 
     Top-level so it pickles for :class:`ProcessPoolExecutor`; workers
     regenerate the trace from its (name, length, seed) key instead of
-    shipping 60k instruction objects over the pipe.
+    shipping 60k instruction objects over the pipe.  The on-disk store
+    is consulted first (workers inherit the opt-out environment).
     """
     cache_bytes, line_size, associativity = geometry
-    trace = SPEC92_PROFILES[name].trace(n_instructions, seed=seed)
-    return extract_events(
-        trace,
-        CacheConfig(
-            total_bytes=cache_bytes,
-            line_size=line_size,
-            associativity=associativity,
-        ),
+    config = CacheConfig(
+        total_bytes=cache_bytes,
+        line_size=line_size,
+        associativity=associativity,
+    )
+    return events_store.get_or_extract(
+        trace_fingerprint(name, n_instructions, seed),
+        config,
+        lambda: SPEC92_PROFILES[name].trace(n_instructions, seed=seed),
     )
 
 
@@ -144,7 +150,22 @@ def _spec92_event_streams_cached(
     seed: int,
 ) -> dict[str, EventStream]:
     geometry = (cache_bytes, line_size, associativity)
-    if _PHASE1_JOBS > 1:
+    config = CacheConfig(
+        total_bytes=cache_bytes, line_size=line_size, associativity=associativity
+    )
+    # Warm path first: disk hits are cheap and need no trace build, so
+    # resolve them in-process before considering the worker pool.
+    streams: dict[str, EventStream] = {}
+    missing = []
+    for name in SPEC92_PROFILES:
+        cached = events_store.load(
+            trace_fingerprint(name, n_instructions, seed), config
+        )
+        if cached is not None:
+            streams[name] = cached
+        else:
+            missing.append(name)
+    if missing and _PHASE1_JOBS > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         with tracing.span(
@@ -157,27 +178,27 @@ def _spec92_event_streams_cached(
                     name: pool.submit(
                         _extract_one, name, n_instructions, seed, geometry
                     )
-                    for name in SPEC92_PROFILES
+                    for name in missing
                 }
-                streams = {
-                    name: future.result() for name, future in futures.items()
-                }
-        _record_stream_counters(streams, geometry)
-        return streams
-    config = CacheConfig(
-        total_bytes=cache_bytes, line_size=line_size, associativity=associativity
-    )
-    traces = spec92_traces(n_instructions, seed)
-    streams = {}
-    for name, instructions in traces.items():
-        with tracing.span(
-            "phase1.extract",
-            trace=name,
-            cache_bytes=cache_bytes,
-            line_size=line_size,
-            associativity=associativity,
-        ):
-            streams[name] = extract_events(instructions, config)
+                for name, future in futures.items():
+                    streams[name] = future.result()
+    elif missing:
+        traces = spec92_traces(n_instructions, seed)
+        for name in missing:
+            with tracing.span(
+                "phase1.extract",
+                trace=name,
+                cache_bytes=cache_bytes,
+                line_size=line_size,
+                associativity=associativity,
+            ):
+                streams[name] = events_store.get_or_extract(
+                    trace_fingerprint(name, n_instructions, seed),
+                    config,
+                    lambda name=name: traces[name],
+                )
+    # Deterministic order regardless of which entries were disk hits.
+    streams = {name: streams[name] for name in SPEC92_PROFILES}
     _record_stream_counters(streams, geometry)
     return streams
 
@@ -203,8 +224,75 @@ def spec92_event_streams(
     return result
 
 
-@lru_cache(maxsize=32)
-def _measured_phi_cached(
+@lru_cache(maxsize=64)
+def _spec92_stream_cached(
+    name: str, n_instructions: int, seed: int, config: CacheConfig
+) -> EventStream:
+    with tracing.span(
+        "phase1.extract_one",
+        trace=name,
+        cache_bytes=config.total_bytes,
+        line_size=config.line_size,
+        associativity=config.associativity,
+    ):
+        return events_store.get_or_extract(
+            trace_fingerprint(name, n_instructions, seed),
+            config,
+            lambda: SPEC92_PROFILES[name].trace(n_instructions, seed=seed),
+        )
+
+
+def spec92_events(
+    name: str,
+    n_instructions: int,
+    config: CacheConfig,
+    seed: int = DEFAULT_SEED,
+) -> EventStream:
+    """Phase-1 event stream for a single trace and arbitrary geometry.
+
+    The entry point for experiments that sweep something *other* than
+    the phi grid (write-buffer depths, DRAM models, MSHR counts): one
+    functional pass per ``(trace, geometry)``, shared in-process via
+    the memo and across processes via the on-disk store.
+    """
+    before = _spec92_stream_cached.cache_info().hits
+    result = _spec92_stream_cached(name, n_instructions, seed, config)
+    _memo_counter("stream", _spec92_stream_cached, before)
+    return result
+
+
+#: Per-*point* phi memo: ``(policy, geometry, beta, bus_width, length)
+#: -> percentage``.  Memoizing whole beta grids (the previous design)
+#: never hit — different figures sweep different grids, so overlapping
+#: points such as ``beta_m = 8`` were recomputed every time and the
+#: ``phi.phi_memo.hit`` counter stayed at zero (the BENCH_engine.json
+#: anomaly).  Points are batch-computed with the identical float
+#: operations in the identical order regardless of which grid requests
+#: them, so results are independent of request history.
+_phi_point_memo: dict[tuple, float] = {}
+
+
+def _phi_point_key(
+    policy: StallPolicy,
+    line_size: int,
+    cache_bytes: int,
+    associativity: int,
+    beta: float,
+    bus_width: int,
+    n_instructions: int,
+) -> tuple:
+    return (
+        policy,
+        line_size,
+        cache_bytes,
+        associativity,
+        beta,
+        bus_width,
+        n_instructions,
+    )
+
+
+def _measure_phi_points(
     policy: StallPolicy,
     line_size: int,
     cache_bytes: int,
@@ -212,7 +300,8 @@ def _measured_phi_cached(
     betas: tuple[float, ...],
     bus_width: int,
     n_instructions: int,
-) -> tuple[float, ...]:
+) -> list[float]:
+    """Measure phi for ``betas`` (no memo): per-beta replay averages."""
     config = CacheConfig(
         total_bytes=cache_bytes, line_size=line_size, associativity=associativity
     )
@@ -244,9 +333,9 @@ def _measured_phi_cached(
                     )
                     total += pct
                 row.append(total / len(streams))
-        return tuple(row)
-    # Oracle fallback (NB etc.): the memoized traces pass through as
-    # tuples — no per-call list materialization.
+        return row
+    # Oracle fallback: kept for configurations a future caller might
+    # request outside replay coverage; no registry experiment needs it.
     traces = spec92_traces(n_instructions)
     with tracing.span(
         "phi.measure_fallback", policy=policy.value, n_betas=len(betas)
@@ -254,7 +343,7 @@ def _measured_phi_cached(
         data = average_stall_percentages(
             traces, config, (policy,), betas, bus_width
         )
-    return tuple(data[policy])
+    return list(data[policy])
 
 
 def measured_phi_percentages(
@@ -267,30 +356,54 @@ def measured_phi_percentages(
     n_instructions: int,
 ) -> tuple[float, ...]:
     """Average ``phi`` (% of L/D) across the six traces per ``beta_m``."""
-    before = _measured_phi_cached.cache_info().hits
-    result = _measured_phi_cached(
-        policy,
-        line_size,
-        cache_bytes,
-        associativity,
-        betas,
-        bus_width,
-        n_instructions,
+    keys = {
+        beta: _phi_point_key(
+            policy,
+            line_size,
+            cache_bytes,
+            associativity,
+            beta,
+            bus_width,
+            n_instructions,
+        )
+        for beta in betas
+    }
+    missing = tuple(
+        beta for beta in betas if keys[beta] not in _phi_point_memo
     )
-    _memo_counter("phi", _measured_phi_cached, before)
-    return result
+    hits = len(betas) - len(missing)
+    if hits:
+        metrics.inc("phi.phi_memo.hit", hits)
+    if missing:
+        metrics.inc("phi.phi_memo.miss", len(missing))
+        values = _measure_phi_points(
+            policy,
+            line_size,
+            cache_bytes,
+            associativity,
+            missing,
+            bus_width,
+            n_instructions,
+        )
+        for beta, value in zip(missing, values):
+            _phi_point_memo[keys[beta]] = value
+    return tuple(_phi_point_memo[keys[beta]] for beta in betas)
 
 
 def clear_caches() -> None:
-    """Reset every memo cache (traces, event streams, phi maps).
+    """Reset every memo cache (traces, event streams, phi points).
 
     The runner calls this per experiment while metrics collection is on
     so each experiment's counters describe a cold start — independent of
-    job count and of whatever ran earlier in the process.
+    job count and of whatever ran earlier in the process.  The on-disk
+    event-stream store is *not* touched: its contents are deterministic
+    and its use is counter-free, so warm entries cannot perturb either
+    results or metrics.
     """
     _spec92_traces_cached.cache_clear()
     _spec92_event_streams_cached.cache_clear()
-    _measured_phi_cached.cache_clear()
+    _spec92_stream_cached.cache_clear()
+    _phi_point_memo.clear()
 
 
 def floor_phi_to_table2(phi: float) -> float:

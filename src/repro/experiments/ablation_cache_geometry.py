@@ -13,11 +13,10 @@ across the tradeoff curves.
 from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
-from repro.cache.events import extract_events
 from repro.core.stalling import StallPolicy
 from repro.cpu.replay import replay
+from repro.experiments._phi import spec92_events
 from repro.memory.mainmem import MainMemory
-from repro.trace.spec92 import SPEC92_PROFILES
 from repro.experiments.base import ExperimentResult
 from repro.util.tables import format_table
 
@@ -35,9 +34,6 @@ PROGRAMS = ("swm256", "ear", "doduc")
 def run(quick: bool = False) -> ExperimentResult:
     """Measure BNL1 phi and miss ratio across cache geometries."""
     length = 8_000 if quick else 30_000
-    traces = {
-        name: SPEC92_PROFILES[name].trace(length, seed=7) for name in PROGRAMS
-    }
     result = ExperimentResult(
         experiment_id="ablation_cache_geometry",
         title="Stalling factor vs cache geometry (BNL1, beta_m=8, L=32)",
@@ -47,16 +43,16 @@ def run(quick: bool = False) -> ExperimentResult:
     for total_bytes, ways in GEOMETRIES:
         config = CacheConfig(total_bytes, 32, ways)
         phi_sum = mr_sum = 0.0
-        for trace in traces.values():
+        for name in PROGRAMS:
             # Phase 1 gives the miss ratio for free; phase 2 the timing.
-            events = extract_events(trace, config)
+            events = spec92_events(name, length, config, seed=7)
             timing = replay(
                 events, MainMemory(BETA_M, 4), StallPolicy.BUS_NOT_LOCKED_1
             )
             phi_sum += timing.stall_percentage(8)
             mr_sum += events.stats.miss_ratio
-        phi = phi_sum / len(traces)
-        mr = mr_sum / len(traces)
+        phi = phi_sum / len(PROGRAMS)
+        mr = mr_sum / len(PROGRAMS)
         phis.append(phi)
         miss_ratios.append(mr)
         rows.append((f"{total_bytes // 1024}K", ways, phi, 100.0 * mr))

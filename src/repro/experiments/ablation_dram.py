@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
 from repro.core.stalling import StallPolicy
-from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import replay
 from repro.experiments.base import ExperimentResult
+from repro.experiments._phi import spec92_events
 from repro.memory.dram import PageModeDram
 from repro.memory.mainmem import MainMemory
 from repro.trace.spec92 import SPEC92_PROFILES
@@ -39,16 +40,17 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     rows = []
     max_error = 0.0
-    for name, profile in SPEC92_PROFILES.items():
-        trace = profile.trace(length, seed=7)
+    for name in SPEC92_PROFILES:
+        events = spec92_events(name, length, CACHE, seed=7)
+        # The replay kernel drives the stateful DRAM model's
+        # schedule_fill in program order, so the page-hit counters read
+        # below match the step simulator's exactly.
         dram = PageModeDram(PAGE_HIT, PAGE_MISS, ROW_BYTES, 4)
-        dram_run = TimingSimulator(
-            CACHE, dram, policy=StallPolicy.FULL_STALL
-        ).run(trace)
+        dram_run = replay(events, dram, StallPolicy.FULL_STALL)
         effective = dram.effective_memory_cycle()
-        flat_run = TimingSimulator(
-            CACHE, MainMemory(effective, 4), policy=StallPolicy.FULL_STALL
-        ).run(trace)
+        flat_run = replay(
+            events, MainMemory(effective, 4), StallPolicy.FULL_STALL
+        )
         error = abs(flat_run.cycles - dram_run.cycles) / dram_run.cycles
         max_error = max(max_error, error)
         rows.append(

@@ -19,10 +19,11 @@ analytic model.
 from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
-from repro.cpu.processor import TimingSimulator
+from repro.core.stalling import StallPolicy
+from repro.cpu.replay import replay
 from repro.experiments.base import ExperimentResult
+from repro.experiments._phi import spec92_events
 from repro.memory.mainmem import MainMemory
-from repro.trace.spec92 import SPEC92_PROFILES
 
 CACHE = CacheConfig(8192, 32, 2)
 BETA_M = 8.0
@@ -41,15 +42,16 @@ def run(quick: bool = False) -> ExperimentResult:
         x_values=[float(d) for d in DEPTHS],
     )
     for name in PROGRAMS:
-        trace = SPEC92_PROFILES[name].trace(length, seed=7)
-        baseline = TimingSimulator(CACHE, MainMemory(BETA_M, BUS_WIDTH)).run(trace)
+        events = spec92_events(name, length, CACHE, seed=7)
+        memory = MainMemory(BETA_M, BUS_WIDTH)
+        baseline = replay(events, memory, StallPolicy.FULL_STALL)
         if baseline.flush_stall_cycles == 0:
             continue
         efficiencies = []
         for depth in DEPTHS:
-            buffered = TimingSimulator(
-                CACHE, MainMemory(BETA_M, BUS_WIDTH), write_buffer_depth=depth
-            ).run(trace)
+            buffered = replay(
+                events, memory, StallPolicy.FULL_STALL, write_buffer_depth=depth
+            )
             efficiencies.append(
                 100.0
                 * (1.0 - buffered.flush_stall_cycles / baseline.flush_stall_cycles)

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
 from repro.cpu.nonblocking import mshr_stall_factors
-from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import replay
 from repro.core.stalling import StallPolicy
 from repro.experiments.base import ExperimentResult
+from repro.experiments._phi import spec92_events
 from repro.memory.mainmem import MainMemory
 from repro.trace.spec92 import SPEC92_PROFILES
 from repro.util.tables import format_table
@@ -42,13 +43,13 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     rows = []
     spreads = []
-    for name, profile in SPEC92_PROFILES.items():
-        trace = profile.trace(length, seed=7)
-        fs = TimingSimulator(
-            CACHE, MainMemory(BETA_M, BUS_WIDTH), policy=StallPolicy.FULL_STALL
-        ).run(trace)
+    for name in SPEC92_PROFILES:
+        events = spec92_events(name, length, CACHE, seed=7)
+        fs = replay(
+            events, MainMemory(BETA_M, BUS_WIDTH), StallPolicy.FULL_STALL
+        )
         by_count = mshr_stall_factors(
-            trace, CACHE, BETA_M, BUS_WIDTH, MSHR_COUNTS
+            [], CACHE, BETA_M, BUS_WIDTH, MSHR_COUNTS, events=events
         )
         spreads.append(by_count[MSHR_COUNTS[0]] - by_count[MSHR_COUNTS[-1]])
         rows.append(

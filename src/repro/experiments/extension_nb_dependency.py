@@ -13,10 +13,10 @@ the "register preloading" Section 3.3 alludes to.
 from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
-from repro.cpu.nonblocking import MSHRSimulator
+from repro.cpu.replay import replay_mshr
 from repro.experiments.base import ExperimentResult
+from repro.experiments._phi import spec92_events
 from repro.memory.mainmem import MainMemory
-from repro.trace.spec92 import SPEC92_PROFILES
 
 CACHE = CacheConfig(8192, 32, 2)
 BETA_M = 8.0
@@ -40,16 +40,14 @@ def run(quick: bool = False) -> ExperimentResult:
         x_values=list(distances),
     )
     for name in PROGRAMS:
-        trace = SPEC92_PROFILES[name].trace(length, seed=7)
+        events = spec92_events(name, length, CACHE, seed=7)
+        memory = MainMemory(BETA_M, BUS_WIDTH)
         row = []
         for distance in distances:
-            simulator = MSHRSimulator(
-                CACHE,
-                MainMemory(BETA_M, BUS_WIDTH),
-                mshr_count=4,
-                load_use_distance=distance,
+            timing = replay_mshr(
+                events, memory, mshr_count=4, load_use_distance=distance
             )
-            row.append(simulator.run(trace).stall_percentage(8))
+            row.append(timing.stall_percentage(8))
         result.add_series(name, row)
 
     worst_at_zero = max(result.series[name][0] for name in PROGRAMS)

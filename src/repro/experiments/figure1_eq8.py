@@ -11,11 +11,11 @@ form tracks the simulation across the full memory-cycle range.
 from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
-from repro.cache.events import extract_events
 from repro.core.stalling import StallPolicy
 from repro.cpu.replay import replay
 from repro.cpu.stall_measure import stall_factor_eq8
 from repro.experiments.base import ExperimentResult
+from repro.experiments._phi import spec92_events
 from repro.memory.mainmem import MainMemory
 from repro.trace.spec92 import SPEC92_PROFILES
 
@@ -40,8 +40,8 @@ def run(quick: bool = False) -> ExperimentResult:
     # both Eq. (8)'s inputs (distances, miss counts) and everything the
     # per-beta timing replays need.
     per_trace = {}
-    for name, profile in SPEC92_PROFILES.items():
-        events = extract_events(profile.trace(length, seed=7), CACHE)
+    for name in SPEC92_PROFILES:
+        events = spec92_events(name, length, CACHE, seed=7)
         per_trace[name] = (events, events.inter_miss_distances())
 
     analytic_rows, simulated_rows = [], []

@@ -85,6 +85,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "markdown reproduction scorecard to FILE, and print it",
     )
     parser.add_argument(
+        "--no-events-cache",
+        action="store_true",
+        help="disable the on-disk event-stream cache for this run "
+        "(results are identical either way; see docs/ENGINE.md)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help="record spans into a Chrome-trace JSON (view in Perfetto)",
@@ -163,6 +169,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit status."""
     args = _parse_args(argv)
     logs.configure(verbosity=args.verbose, level=args.log_level)
+    if args.no_events_cache:
+        # Via the environment so --jobs worker processes inherit it.
+        import os
+
+        from repro.cache.events_store import EVENTS_CACHE_ENV
+
+        os.environ[EVENTS_CACHE_ENV] = "0"
     if args.list:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

@@ -20,6 +20,13 @@ class SchemaError(ValueError):
     """An artifact does not match its documented schema."""
 
 
+#: Committed engine scoreboard (``BENCH_engine.json``).  ``/2`` added
+#: ``all_quick_s`` and the per-engine ``dispatch`` section, and made
+#: ``dispatch.step_calls == 0`` a validity requirement: every registry
+#: experiment must go through the replay engine.
+BENCH_ENGINE_SCHEMA = "repro.bench.engine/2"
+
+
 def _require(condition: bool, path: str, message: str) -> None:
     if not condition:
         raise SchemaError(f"{path}: {message}")
@@ -94,6 +101,61 @@ def validate_metrics(document: Any) -> None:
         f"must be {SNAPSHOT_SCHEMA!r}",
     )
     _validate_snapshot_body(document, "$")
+
+
+def validate_bench_engine(document: Any) -> None:
+    """Validate a committed engine scoreboard (``BENCH_engine.json``).
+
+    Beyond shape, this enforces the engine-coverage invariant: the
+    ``--all --quick`` dispatch counts must show zero step-simulator
+    calls (CI fails otherwise; see docs/ENGINE.md).
+    """
+    _require(isinstance(document, dict), "$", "bench must be a JSON object")
+    _require(
+        document.get("schema") == BENCH_ENGINE_SCHEMA,
+        "$.schema",
+        f"must be {BENCH_ENGINE_SCHEMA!r}",
+    )
+    benchmarks = document.get("benchmarks")
+    _require(isinstance(benchmarks, dict), "$.benchmarks", "must be an object")
+    for required in (
+        "phase1_extract_60k_s",
+        "phase2_replay_point_s",
+        "step_simulator_point_s",
+        "figure1_quick_s",
+        "all_quick_s",
+    ):
+        _require(required in benchmarks, f"$.benchmarks.{required}", "is required")
+    for key, value in benchmarks.items():
+        _require_number(value, f"$.benchmarks[{key!r}]")
+        _require(value >= 0, f"$.benchmarks[{key!r}]", "must be >= 0")
+    _require_number(
+        document.get("speedup_replay_vs_step"), "$.speedup_replay_vs_step"
+    )
+    dispatch = document.get("dispatch")
+    _require(isinstance(dispatch, dict), "$.dispatch", "must be an object")
+    for field in ("replay_calls", "step_calls"):
+        _require_number(dispatch.get(field), f"$.dispatch.{field}")
+    _require(
+        dispatch["replay_calls"] > 0,
+        "$.dispatch.replay_calls",
+        "must be positive (the replay engine ran)",
+    )
+    _require(
+        dispatch["step_calls"] == 0,
+        "$.dispatch.step_calls",
+        "must be 0: a registry experiment fell back to the step simulator "
+        "(reasons in $.dispatch.step_fallback_reasons)",
+    )
+    reasons = dispatch.get("step_fallback_reasons")
+    _require(
+        isinstance(reasons, dict),
+        "$.dispatch.step_fallback_reasons",
+        "must be an object",
+    )
+    for key, value in reasons.items():
+        _require_number(value, f"$.dispatch.step_fallback_reasons[{key!r}]")
+    _validate_snapshot_body(document.get("metrics"), "$.metrics")
 
 
 def validate_manifest(document: Any) -> None:

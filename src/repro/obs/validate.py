@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.obs.validate --trace trace.json \\
-        --metrics metrics.json --manifest results/figure1.meta.json
+        --metrics metrics.json --manifest results/figure1.meta.json \\
+        --bench BENCH_engine.json
 
 Exit status 0 when every given artifact validates, 1 otherwise.  CI
 runs this over the smoke run's artifacts so a schema regression fails
@@ -22,6 +23,7 @@ from typing import Any
 from repro.obs import logs
 from repro.obs.schemas import (
     SchemaError,
+    validate_bench_engine,
     validate_chrome_trace,
     validate_manifest,
     validate_metrics,
@@ -38,10 +40,20 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("--trace", action="append", default=[], metavar="FILE")
     parser.add_argument("--metrics", action="append", default=[], metavar="FILE")
     parser.add_argument("--manifest", action="append", default=[], metavar="FILE")
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_engine.json scoreboard; also fails when the --all "
+        "--quick dispatch counts show any step-simulator calls",
+    )
     parser.add_argument("-v", "--verbose", action="count", default=0)
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.manifest):
-        parser.error("nothing to validate: pass --trace/--metrics/--manifest")
+    if not (args.trace or args.metrics or args.manifest or args.bench):
+        parser.error(
+            "nothing to validate: pass --trace/--metrics/--manifest/--bench"
+        )
     return args
 
 
@@ -68,6 +80,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok &= _check(path, validate_metrics)
     for path in args.manifest:
         ok &= _check(path, validate_manifest)
+    for path in args.bench:
+        ok &= _check(path, validate_bench_engine)
     return 0 if ok else 1
 
 

@@ -134,3 +134,25 @@ def square_matmul_trace(
     b = Matrix(a.bytes, n, n, element_size)
     c = Matrix(a.bytes + b.bytes, n, n, element_size)
     return list(with_compute(matmul(a, b, c, tile), alu_per_reference))
+
+
+#: Bump whenever the loop generators change the reference stream for a
+#: given parameter tuple (invalidates ``repro.cache.events_store``).
+LOOP_GENERATOR_VERSION = 1
+
+
+def matmul_fingerprint(
+    n: int,
+    tile: int | None = None,
+    element_size: int = 8,
+    alu_per_reference: int = 2,
+) -> str:
+    """Content identity of one :func:`square_matmul_trace` stream.
+
+    The generator is a pure function of its parameters, so they (plus
+    the generator version) identify the trace without hashing it.
+    """
+    return (
+        f"matmul/{LOOP_GENERATOR_VERSION}/{n}/{tile}/"
+        f"{element_size}/{alu_per_reference}"
+    )

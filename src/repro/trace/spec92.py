@@ -208,3 +208,24 @@ def spec92_trace(name: str, n_instructions: int, seed: int = 0) -> list[Instruct
             f"unknown program {name!r}; choose from {sorted(SPEC92_PROFILES)}"
         ) from None
     return profile.trace(n_instructions, seed=seed)
+
+
+#: Bump whenever a change to the profiles, patterns or
+#: ``SyntheticTraceBuilder`` alters the instruction stream a given
+#: ``(name, n_instructions, seed)`` produces — it invalidates every
+#: cached artifact derived from these traces (``repro.cache.events_store``).
+TRACE_GENERATOR_VERSION = 1
+
+
+def trace_fingerprint(name: str, n_instructions: int, seed: int = 0) -> str:
+    """Content identity of one SPEC92 stand-in trace.
+
+    The generators are deterministic functions of ``(name,
+    n_instructions, seed)``, so those parameters (plus the generator
+    version) identify the instruction stream without hashing it.
+    """
+    if name not in SPEC92_PROFILES:
+        raise KeyError(
+            f"unknown program {name!r}; choose from {sorted(SPEC92_PROFILES)}"
+        )
+    return f"spec92/{TRACE_GENERATOR_VERSION}/{name}/{n_instructions}/{seed}"

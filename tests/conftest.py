@@ -2,11 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cache.cache import CacheConfig
+from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
 from repro.core.params import SystemConfig
 from repro.trace.record import ALU_OP, Instruction, OpKind
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_events_cache(tmp_path_factory):
+    """Point the on-disk event-stream cache at a per-session temp dir.
+
+    Tests must never read (or pollute) the user's real cache: a stale
+    entry there could mask an extraction bug, and test entries would
+    leak into real runs.
+    """
+    directory = tmp_path_factory.mktemp("events-cache")
+    previous = os.environ.get(EVENTS_CACHE_DIR_ENV)
+    os.environ[EVENTS_CACHE_DIR_ENV] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop(EVENTS_CACHE_DIR_ENV, None)
+    else:
+        os.environ[EVENTS_CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture

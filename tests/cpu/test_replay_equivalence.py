@@ -3,12 +3,15 @@
 The two-phase engine's contract is *exactness*, not approximation: for
 every supported configuration the replayed :class:`TimingResult` must
 equal the :class:`TimingSimulator` oracle field by field — cycles,
-read-miss stalls, flush stalls, fill counts — with ``==`` on floats.
+read-miss stalls, flush stalls, write stalls, fill counts — with ``==``
+on floats.
 
-Coverage: all five blocking policies (FS/BL/BNL1/BNL2/BNL3), all six
-SPEC92 stand-in traces, several geometries (including line == bus width
-and a tiny thrashing cache), integer and dyadic-fraction ``beta_m``,
-plus Hypothesis property tests over random traces and geometries.
+Coverage: all six policies (FS/BL/BNL1/BNL2/BNL3/NB), write-buffer
+depths, pipelined memory, page-mode DRAM, write-through/write-around
+caches, the k-MSHR non-blocking kernel, all six SPEC92 stand-in traces,
+several geometries (including line == bus width and a tiny thrashing
+cache), integer and dyadic-fraction ``beta_m``, plus Hypothesis
+property tests over random traces and geometries.
 """
 
 import pytest
@@ -17,10 +20,21 @@ from hypothesis import strategies as st
 
 from repro.cache.cache import CacheConfig
 from repro.cache.events import extract_events
+from repro.cache.write_policy import AllocatePolicy, WritePolicy
 from repro.core.stalling import StallPolicy
+from repro.cpu.nonblocking import MSHRSimulator
 from repro.cpu.processor import TimingSimulator
-from repro.cpu.replay import REPLAY_POLICIES, replay, simulate, supports_replay
+from repro.cpu.replay import (
+    REPLAY_POLICIES,
+    replay,
+    replay_fs_sweep,
+    replay_mshr,
+    simulate,
+    supports_replay,
+    unsupported_reason,
+)
 from repro.cpu.stall_measure import miss_distances
+from repro.memory.dram import PageModeDram
 from repro.memory.mainmem import MainMemory
 from repro.memory.pipelined import PipelinedMemory
 from repro.trace.record import ALU_OP, Instruction, OpKind, load, store
@@ -139,31 +153,331 @@ class TestEdgeCases:
                 oracle, fast = run_both(trace, config, policy, beta)
                 assert_results_equal(oracle, fast)
 
-    def test_simulate_falls_back_to_oracle(self):
-        """Unsupported configs route to the step simulator."""
+    def test_simulate_covers_former_fallback_configs(self):
+        """NB / write-buffer / pipelined configs now replay exactly."""
         trace = spec92_trace("ear", 500, seed=3)
         config = CacheConfig(8192, 32, 2)
         memory = MainMemory(8.0, 4)
-        assert not supports_replay(config, memory, StallPolicy.NON_BLOCKING)
-        assert not supports_replay(
-            config, memory, StallPolicy.FULL_STALL, write_buffer_depth=4
-        )
-        assert not supports_replay(
-            config, PipelinedMemory(8.0, 4, 2.0), StallPolicy.FULL_STALL
-        )
+        cases = [
+            dict(policy=StallPolicy.NON_BLOCKING),
+            dict(policy=StallPolicy.FULL_STALL, write_buffer_depth=4),
+            dict(policy=StallPolicy.BUS_NOT_LOCKED_2, write_buffer_depth=1),
+        ]
+        for case in cases:
+            assert supports_replay(config, memory, **case)
+            result = simulate(trace, config, memory, **case)
+            oracle = TimingSimulator(config, memory, **case).run(trace)
+            assert_results_equal(oracle, result)
+        pipelined = PipelinedMemory(8.0, 4, 2.0)
+        assert supports_replay(config, pipelined, StallPolicy.FULL_STALL)
+        result = simulate(trace, config, pipelined, StallPolicy.FULL_STALL)
+        oracle = TimingSimulator(
+            config, pipelined, policy=StallPolicy.FULL_STALL
+        ).run(trace)
+        assert_results_equal(oracle, result)
+
+    def test_simulate_falls_back_for_multi_issue(self):
+        """Multi-issue remains the one step-simulator configuration."""
+        trace = spec92_trace("ear", 500, seed=3)
+        config = CacheConfig(8192, 32, 2)
+        memory = MainMemory(8.0, 4)
         assert not supports_replay(
             config, memory, StallPolicy.FULL_STALL, issue_rate=2.0
         )
-        result = simulate(trace, config, memory, StallPolicy.NON_BLOCKING)
+        assert (
+            unsupported_reason(
+                config, memory, StallPolicy.FULL_STALL, issue_rate=2.0
+            )
+            == "multi-issue"
+        )
+        result = simulate(
+            trace, config, memory, StallPolicy.FULL_STALL, issue_rate=2.0
+        )
         oracle = TimingSimulator(
-            config, memory, policy=StallPolicy.NON_BLOCKING
+            config, memory, policy=StallPolicy.FULL_STALL, issue_rate=2.0
         ).run(trace)
         assert result.cycles == oracle.cycles
 
+    def test_unsupported_reason_labels(self):
+        config = CacheConfig(8192, 32, 2)
+        memory = MainMemory(8.0, 4)
+        assert unsupported_reason(config, memory, StallPolicy.FULL_STALL) is None
+
+        class TweakedMemory(MainMemory):
+            """Subclasses may override timing hooks — not vetted."""
+
+        assert (
+            unsupported_reason(
+                config, TweakedMemory(8.0, 4), StallPolicy.FULL_STALL
+            )
+            == "memory-model"
+        )
+        assert (
+            unsupported_reason(
+                config, MainMemory(8.0, 64), StallPolicy.FULL_STALL
+            )
+            == "geometry"
+        )
+
     def test_replay_rejects_unsupported(self):
         events = extract_events([load(0)], CacheConfig(8192, 32, 2))
+
+        class TweakedMemory(MainMemory):
+            pass
+
         with pytest.raises(ValueError, match="replay does not cover"):
-            replay(events, MainMemory(8.0, 4), StallPolicy.NON_BLOCKING)
+            replay(events, TweakedMemory(8.0, 4), StallPolicy.FULL_STALL)
+
+
+class TestWriteBufferEquivalence:
+    """Read-bypassing write-buffer configs replay exactly."""
+
+    TRACES = ("swm256", "hydro2d")
+    GEOMETRIES = (CacheConfig(8192, 32, 2), CacheConfig(1024, 16, 1))
+    BETAS = (2.0, 8.0, 24.0)
+
+    @pytest.mark.parametrize("depth", [1, 4, 8])
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+    def test_depths(self, depth, policy):
+        for name in self.TRACES:
+            trace = spec92_trace(name, 2500, seed=7)
+            for config in self.GEOMETRIES:
+                events = extract_events(trace, config)
+                for beta in self.BETAS:
+                    memory = MainMemory(beta, 4)
+                    oracle = TimingSimulator(
+                        config, memory, policy=policy, write_buffer_depth=depth
+                    ).run(trace)
+                    fast = replay(
+                        events, memory, policy, write_buffer_depth=depth
+                    )
+                    assert_results_equal(oracle, fast)
+
+    def test_depth_zero_means_no_buffer(self):
+        trace = spec92_trace("ear", 1500, seed=7)
+        config = CacheConfig(8192, 32, 2)
+        events = extract_events(trace, config)
+        memory = MainMemory(8.0, 4)
+        plain = replay(events, memory, StallPolicy.FULL_STALL)
+        zero = replay(
+            events, memory, StallPolicy.FULL_STALL, write_buffer_depth=0
+        )
+        assert_results_equal(plain, zero)
+
+
+class TestPipelinedMemoryEquivalence:
+    """Eq. (9) pipelined memory replays exactly."""
+
+    TRACES = ("nasa7", "doduc")
+    GEOMETRIES = (CacheConfig(8192, 32, 2), CacheConfig(512, 64, 4))
+    BETAS = (4.0, 8.0, 16.0)
+
+    @pytest.mark.parametrize("turnaround", [1.0, 2.0])
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+    def test_turnarounds(self, turnaround, policy):
+        for name in self.TRACES:
+            trace = spec92_trace(name, 2500, seed=7)
+            for config in self.GEOMETRIES:
+                events = extract_events(trace, config)
+                for beta in self.BETAS:
+                    memory = PipelinedMemory(beta, 4, turnaround=turnaround)
+                    oracle = TimingSimulator(
+                        config, memory, policy=policy
+                    ).run(trace)
+                    fast = replay(events, memory, policy)
+                    assert_results_equal(oracle, fast)
+
+    def test_pipelined_with_write_buffer(self):
+        trace = spec92_trace("swm256", 2000, seed=7)
+        config = CacheConfig(8192, 32, 2)
+        events = extract_events(trace, config)
+        memory = PipelinedMemory(8.0, 4, turnaround=2.0)
+        for depth in (1, 4):
+            oracle = TimingSimulator(
+                config,
+                memory,
+                policy=StallPolicy.BUS_NOT_LOCKED_3,
+                write_buffer_depth=depth,
+            ).run(trace)
+            fast = replay(
+                events,
+                memory,
+                StallPolicy.BUS_NOT_LOCKED_3,
+                write_buffer_depth=depth,
+            )
+            assert_results_equal(oracle, fast)
+
+
+class TestWritePolicyEquivalence:
+    """Write-through and write-around traffic replays exactly."""
+
+    CONFIGS = [
+        CacheConfig(8192, 32, 2, write_policy=WritePolicy.WRITE_THROUGH),
+        CacheConfig(
+            8192,
+            32,
+            2,
+            write_policy=WritePolicy.WRITE_THROUGH,
+            allocate_policy=AllocatePolicy.WRITE_AROUND,
+        ),
+        CacheConfig(8192, 32, 2, allocate_policy=AllocatePolicy.WRITE_AROUND),
+        CacheConfig(
+            1024,
+            16,
+            1,
+            write_policy=WritePolicy.WRITE_THROUGH,
+            allocate_policy=AllocatePolicy.WRITE_AROUND,
+        ),
+    ]
+    BETAS = (2.0, 8.0, 24.0)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=str)
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+    def test_policies(self, config, policy):
+        for name in ("swm256", "ear"):
+            trace = spec92_trace(name, 2500, seed=7)
+            events = extract_events(trace, config)
+            for beta in self.BETAS:
+                memory = MainMemory(beta, 4)
+                oracle = TimingSimulator(config, memory, policy=policy).run(
+                    trace
+                )
+                fast = replay(events, memory, policy)
+                assert_results_equal(oracle, fast)
+
+    def test_write_through_with_buffer(self):
+        config = CacheConfig(
+            8192, 32, 2, write_policy=WritePolicy.WRITE_THROUGH
+        )
+        trace = spec92_trace("hydro2d", 2500, seed=7)
+        events = extract_events(trace, config)
+        memory = MainMemory(8.0, 4)
+        for depth in (1, 4, 8):
+            for policy in POLICIES:
+                oracle = TimingSimulator(
+                    config, memory, policy=policy, write_buffer_depth=depth
+                ).run(trace)
+                fast = replay(events, memory, policy, write_buffer_depth=depth)
+                assert_results_equal(oracle, fast)
+
+
+class TestPageModeDramEquivalence:
+    """The stateful DRAM model replays exactly, page counters included."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [StallPolicy.FULL_STALL, StallPolicy.BUS_NOT_LOCKED_3],
+        ids=lambda p: p.value,
+    )
+    def test_timing_and_page_counters(self, policy):
+        config = CacheConfig(8192, 32, 2)
+        for name in ("swm256", "doduc"):
+            trace = spec92_trace(name, 2500, seed=7)
+            events = extract_events(trace, config)
+            oracle_dram = PageModeDram(4.0, 12.0, 2048, 4)
+            oracle = TimingSimulator(config, oracle_dram, policy=policy).run(
+                trace
+            )
+            replay_dram = PageModeDram(4.0, 12.0, 2048, 4)
+            fast = replay(events, replay_dram, policy)
+            assert_results_equal(oracle, fast)
+            assert replay_dram.page_hits == oracle_dram.page_hits
+            assert replay_dram.page_misses == oracle_dram.page_misses
+
+
+class TestMshrReplayEquivalence:
+    """replay_mshr vs the MSHRSimulator oracle."""
+
+    @pytest.mark.parametrize("mshr_count", [1, 2, 4, 8])
+    @pytest.mark.parametrize("distance", [None, 0.0, 8.0, 64.0])
+    def test_counts_and_distances(self, mshr_count, distance):
+        for name in ("swm256", "ear"):
+            trace = spec92_trace(name, 2500, seed=7)
+            for config in (CacheConfig(8192, 32, 2), CacheConfig(1024, 16, 1)):
+                events = extract_events(trace, config)
+                for beta in (2.0, 8.0, 16.0):
+                    memory = MainMemory(beta, 4)
+                    oracle = MSHRSimulator(
+                        config,
+                        memory,
+                        mshr_count=mshr_count,
+                        load_use_distance=distance,
+                    ).run(trace)
+                    fast = replay_mshr(
+                        events,
+                        memory,
+                        mshr_count=mshr_count,
+                        load_use_distance=distance,
+                    )
+                    assert_results_equal(oracle, fast)
+
+    def test_rejects_invalid(self):
+        events = extract_events([load(0)], CacheConfig(8192, 32, 2))
+        with pytest.raises(ValueError, match="mshr_count"):
+            replay_mshr(events, MainMemory(8.0, 4), mshr_count=0)
+        with pytest.raises(ValueError, match="load_use_distance"):
+            replay_mshr(events, MainMemory(8.0, 4), load_use_distance=-1.0)
+        with pytest.raises(ValueError, match="replay_mshr covers"):
+            replay_mshr(events, PipelinedMemory(8.0, 4, 2.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=st.deferred(lambda: instruction_streams()),
+        mshr_count=st.sampled_from([1, 2, 4]),
+        distance=st.sampled_from([None, 0.0, 4.0, 32.0]),
+        beta=st.sampled_from([1.0, 2.0, 8.0, 12.5]),
+        config=st.sampled_from(
+            [CacheConfig(256, 16, 1), CacheConfig(512, 32, 2)]
+        ),
+    )
+    def test_mshr_property(self, stream, mshr_count, distance, beta, config):
+        memory = MainMemory(beta, 4)
+        oracle = MSHRSimulator(
+            config, memory, mshr_count=mshr_count, load_use_distance=distance
+        ).run(stream)
+        fast = replay_mshr(
+            extract_events(stream, config),
+            memory,
+            mshr_count=mshr_count,
+            load_use_distance=distance,
+        )
+        assert_results_equal(oracle, fast)
+
+
+class TestFsSweep:
+    """The vectorized FS beta sweep equals the per-point kernel."""
+
+    def test_integer_grid(self):
+        trace = spec92_trace("wave5", 2500, seed=7)
+        config = CacheConfig(8192, 32, 2)
+        events = extract_events(trace, config)
+        betas = (2.0, 8.0, 16.0, 48.0)
+        swept = replay_fs_sweep(events, betas, 4)
+        for beta, result in zip(betas, swept):
+            oracle = TimingSimulator(
+                config, MainMemory(beta, 4), policy=StallPolicy.FULL_STALL
+            ).run(trace)
+            assert_results_equal(oracle, result)
+
+    def test_fractional_grid_falls_back_exactly(self):
+        trace = spec92_trace("ear", 1500, seed=7)
+        config = CacheConfig(1024, 32, 2)
+        events = extract_events(trace, config)
+        betas = (1.5, 6.5, 8.0)
+        swept = replay_fs_sweep(events, betas, 4)
+        for beta, result in zip(betas, swept):
+            oracle = TimingSimulator(
+                config, MainMemory(beta, 4), policy=StallPolicy.FULL_STALL
+            ).run(trace)
+            assert_results_equal(oracle, result)
+
+    def test_rejects_non_writeback(self):
+        config = CacheConfig(
+            8192, 32, 2, write_policy=WritePolicy.WRITE_THROUGH
+        )
+        events = extract_events([load(0)], config)
+        with pytest.raises(ValueError, match="replay_fs_sweep"):
+            replay_fs_sweep(events, (8.0,), 4)
 
 
 class TestEventStreamDerived:

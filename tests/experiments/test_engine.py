@@ -71,3 +71,46 @@ class TestPhase1Memoization:
     def test_set_phase1_jobs_validates(self):
         with pytest.raises(ValueError, match="jobs"):
             set_phase1_jobs(0)
+
+
+class TestPhiPointMemo:
+    """Regression: the phi memo must hit across *overlapping* grids.
+
+    The memo used to key on the whole ``betas`` tuple, so the Figure 1
+    grid and the unified-tradeoff grid never shared entries even where
+    they requested identical points — BENCH_engine.json showed
+    ``phi.phi_memo.miss: 8`` with zero hits.  Keying per point fixes
+    that; this test locks the behavior in.
+    """
+
+    def _measure(self, betas):
+        return measured_phi_percentages(
+            StallPolicy.BUS_NOT_LOCKED_1, 32, 8192, 2, betas, 4, 2000
+        )
+
+    def test_overlapping_grids_share_points(self):
+        from repro.experiments._phi import clear_caches
+        from repro.obs import metrics
+
+        clear_caches()
+        registry = metrics.enable_metrics()
+        try:
+            first = self._measure((4.0, 8.0, 16.0))
+            second = self._measure((8.0, 16.0, 24.0))
+        finally:
+            metrics.disable_metrics()
+        counters = registry.snapshot()["counters"]
+        assert counters["phi.phi_memo.miss"] == 4  # 3 cold + 1 new point
+        assert counters["phi.phi_memo.hit"] == 2  # 8.0 and 16.0 reused
+        # Shared points are literally the same memoized value.
+        assert second[0] == first[1]
+        assert second[1] == first[2]
+
+    def test_values_independent_of_request_grouping(self):
+        from repro.experiments._phi import clear_caches
+
+        clear_caches()
+        together = self._measure((2.0, 8.0, 24.0))
+        clear_caches()
+        split = self._measure((2.0,)) + self._measure((8.0, 24.0))
+        assert together == split

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.cache.events_store import EVENTS_CACHE_ENV
 from repro.experiments.runner import main
 from repro.obs import schemas, stable_view
 
@@ -79,7 +80,10 @@ class TestJobs:
 
 
 class TestObservability:
-    def test_trace_file_is_valid_chrome_trace(self, tmp_path, capsys):
+    def test_trace_file_is_valid_chrome_trace(self, tmp_path, capsys, monkeypatch):
+        # A warm on-disk events cache would (correctly) skip phase-1
+        # extraction; disable it so every instrumentation point fires.
+        monkeypatch.setenv(EVENTS_CACHE_ENV, "0")
         trace_path = tmp_path / "trace.json"
         assert main(["figure1", "--quick", "--trace", str(trace_path)]) == 0
         document = json.loads(trace_path.read_text())

@@ -1,0 +1,78 @@
+"""The BENCH_engine.json scoreboard schema and its CLI hook."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import schemas, validate
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _document():
+    return {
+        "schema": schemas.BENCH_ENGINE_SCHEMA,
+        "benchmarks": {
+            "phase1_extract_60k_s": 0.06,
+            "phase2_replay_point_s": 0.002,
+            "step_simulator_point_s": 0.1,
+            "figure1_quick_s": 0.14,
+            "all_quick_s": 2.8,
+        },
+        "speedup_replay_vs_step": 50.0,
+        "dispatch": {
+            "replay_calls": 288,
+            "step_calls": 0,
+            "step_fallback_reasons": {},
+        },
+        "metrics": {"counters": {}, "histograms": {}},
+    }
+
+
+class TestValidateBenchEngine:
+    def test_accepts_valid_document(self):
+        schemas.validate_bench_engine(_document())
+
+    def test_committed_scoreboard_validates(self):
+        document = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        schemas.validate_bench_engine(document)
+        assert document["dispatch"]["step_calls"] == 0
+
+    def test_rejects_step_calls(self):
+        document = _document()
+        document["dispatch"]["step_calls"] = 3
+        with pytest.raises(schemas.SchemaError, match="step_calls"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_missing_all_quick(self):
+        document = _document()
+        del document["benchmarks"]["all_quick_s"]
+        with pytest.raises(schemas.SchemaError, match="all_quick_s"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_old_schema_version(self):
+        document = _document()
+        document["schema"] = "repro.bench.engine/1"
+        with pytest.raises(schemas.SchemaError, match="schema"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_zero_replay_calls(self):
+        document = _document()
+        document["dispatch"]["replay_calls"] = 0
+        with pytest.raises(schemas.SchemaError, match="replay_calls"):
+            schemas.validate_bench_engine(document)
+
+
+class TestValidateCli:
+    def test_bench_flag(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_document()))
+        assert validate.main(["--bench", str(good)]) == 0
+
+        bad_document = copy.deepcopy(_document())
+        bad_document["dispatch"]["step_calls"] = 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(bad_document))
+        assert validate.main(["--bench", str(bad)]) == 1
