@@ -1,0 +1,282 @@
+"""Closed-loop load generator for the tradeoff-query service.
+
+Starts an in-process :class:`repro.service.ServerThread`, drives it
+with 1 / 4 / 16 concurrent blocking clients (one request in flight per
+client, rounds synchronized so concurrency is real, not accidental),
+and writes the scoreboard the repo commits as ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+
+Each concurrency level sweeps ``beta_m`` over a *shared* (trace,
+geometry) key in a level-private range, so the run demonstrates all
+three serving layers at once:
+
+* within a round, concurrent distinct-``beta_m`` requests coalesce into
+  micro-batches (``coalescing_ratio`` = batched requests per batch
+  group — >1 at 16 clients is an acceptance criterion);
+* across rounds, repeated configurations hit the content-addressed
+  result cache (``cache_hit_rate``);
+* across the whole run, phase-1 extraction happens exactly once per
+  distinct key (``coalescing.phase1_extractions`` vs ``distinct_keys``).
+
+``python -m repro.obs.validate --bench-service BENCH_service.json``
+enforces those invariants plus zero errors and zero step-simulator
+dispatches; CI regenerates and validates the document on every push.
+"""
+
+import argparse
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
+from repro.obs import manifest, metrics
+from repro.obs.metrics import percentile
+from repro.obs.schemas import BENCH_SERVICE_SCHEMA, validate_bench_service
+from repro.service import ServerConfig, ServerThread, ServiceClient
+from repro.service import queries, schemas as request_schemas
+
+#: One shared trace per level keeps the (trace, geometry) key hot while
+#: every request still asks a distinct timing question (its own beta).
+LEVEL_TRACES = {
+    1: {"kind": "spec92", "name": "swm256", "instructions": 4000, "seed": 7},
+    4: {"kind": "spec92", "name": "swm256", "instructions": 4000, "seed": 7},
+    16: {"kind": "matmul", "n": 24, "tile": 8},
+}
+
+#: Disjoint beta_m ranges per level so one level's result-cache entries
+#: cannot mask another level's cold misses.
+LEVEL_BETA = {
+    1: lambda client, rnd: 2.0 + (rnd % 8),
+    4: lambda client, rnd: 50.0 + ((4 * rnd + client) % 24),
+    16: lambda client, rnd: 100.0 + ((16 * rnd + client) % 48),
+}
+
+ROUNDS_PER_CLIENT = 24
+WARM_REPEATS = 50
+
+
+def _level_params(level: int, client: int, rnd: int) -> dict:
+    return {
+        "trace": LEVEL_TRACES[level],
+        "memory_cycle": LEVEL_BETA[level](client, rnd),
+    }
+
+
+def run_level(port: int, level: int, registry) -> tuple[dict, set[str]]:
+    """Drive one concurrency level; returns (scoreboard entry, keys)."""
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(level)
+    keys: set[str] = set()
+    for client in range(level):
+        for rnd in range(ROUNDS_PER_CLIENT):
+            keys.add(
+                queries.events_key_of(
+                    request_schemas.validate_simulate(
+                        _level_params(level, client, rnd)
+                    )
+                )
+            )
+
+    def worker(client: int) -> None:
+        connection = ServiceClient("127.0.0.1", port)
+        try:
+            for rnd in range(ROUNDS_PER_CLIENT):
+                barrier.wait()  # one synchronized round in flight at a time
+                started = time.perf_counter()
+                try:
+                    envelope = connection.simulate(
+                        **_level_params(level, client, rnd)
+                    )
+                    assert envelope["result"]["cycles"] > 0
+                except Exception as error:  # noqa: BLE001 - scoreboard data
+                    with lock:
+                        errors.append(error)
+                    return
+                with lock:
+                    latencies.append((time.perf_counter() - started) * 1000.0)
+        finally:
+            connection.close()
+
+    before_requests = registry.counter("service.batch.requests")
+    before_groups = registry.counter("service.batch.groups")
+    before_hits = registry.counter("service.result_cache.hits")
+    before_misses = registry.counter("service.result_cache.misses")
+    threads = [
+        threading.Thread(target=worker, args=(client,), name=f"lg-{client}")
+        for client in range(level)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    batched = registry.counter("service.batch.requests") - before_requests
+    groups = registry.counter("service.batch.groups") - before_groups
+    hits = registry.counter("service.result_cache.hits") - before_hits
+    misses = registry.counter("service.result_cache.misses") - before_misses
+    lookups = hits + misses
+    entry = {
+        "clients": level,
+        "requests": len(latencies),
+        "errors": len(errors),
+        "throughput_rps": round(len(latencies) / elapsed, 1),
+        "coalescing_ratio": round(batched / groups, 2) if groups else 1.0,
+        "cache_hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50.0), 3),
+            "p99": round(percentile(latencies, 99.0), 3),
+            "mean": round(statistics.fmean(latencies), 3),
+            "max": round(max(latencies), 3),
+        },
+    }
+    if errors:
+        entry["first_error"] = repr(errors[0])
+    return entry, keys
+
+
+def run_warm_cache(port: int) -> tuple[dict, set[str]]:
+    """Cold-vs-warm on a config no level touched (fresh events key)."""
+    params = {
+        "trace": {"kind": "spec92", "name": "ear", "instructions": 4000, "seed": 11},
+        "memory_cycle": 8.0,
+    }
+    key = queries.events_key_of(request_schemas.validate_simulate(params))
+    connection = ServiceClient("127.0.0.1", port)
+    try:
+        started = time.perf_counter()
+        cold = connection.simulate(**params)
+        cold_ms = (time.perf_counter() - started) * 1000.0
+        assert cold["cached"] is False
+        warm_ms: list[float] = []
+        for _ in range(WARM_REPEATS):
+            started = time.perf_counter()
+            warm = connection.simulate(**params)
+            warm_ms.append((time.perf_counter() - started) * 1000.0)
+            assert warm["cached"] is True
+            assert warm["result"] == cold["result"]
+    finally:
+        connection.close()
+    p50 = percentile(warm_ms, 50.0)
+    return (
+        {
+            "p50_ms": round(p50, 3),
+            "p99_ms": round(percentile(warm_ms, 99.0), 3),
+            "cold_compute_ms": round(cold_ms, 3),
+            "speedup": round(cold_ms / p50, 1),
+        },
+        {key},
+    )
+
+
+def collect() -> dict:
+    """Run the whole load-generation session; returns the document."""
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    previous_dir = os.environ.get(EVENTS_CACHE_DIR_ENV)
+    os.environ[EVENTS_CACHE_DIR_ENV] = store_dir
+    if metrics.metrics_enabled():
+        metrics.disable_metrics()
+    config = ServerConfig(batch_window_s=0.002)
+    handle = ServerThread(config)  # shares the global metrics registry so
+    try:  # engine dispatch counters land in the same snapshot
+        handle.start()
+        registry = handle.server.registry
+        probe = ServiceClient("127.0.0.1", handle.port)
+        probe.wait_ready()
+        probe.close()
+        levels = {}
+        all_keys: set[str] = set()
+        for level in (1, 4, 16):
+            entry, keys = run_level(handle.port, level, registry)
+            levels[str(level)] = entry
+            all_keys |= keys
+            print(
+                f"level {level:2d}: {entry['requests']} requests, "
+                f"{entry['throughput_rps']} rps, "
+                f"coalescing {entry['coalescing_ratio']}, "
+                f"hit rate {entry['cache_hit_rate']}"
+            )
+        warm, warm_keys = run_warm_cache(handle.port)
+        all_keys |= warm_keys
+        print(
+            f"warm cache: p50 {warm['p50_ms']} ms vs cold "
+            f"{warm['cold_compute_ms']} ms ({warm['speedup']}x)"
+        )
+        document = {
+            "schema": BENCH_SERVICE_SCHEMA,
+            "server": {
+                "queue_limit": config.queue_limit,
+                "batch_window_ms": config.batch_window_s * 1000.0,
+                "result_cache_bytes": config.result_cache_bytes,
+                "events_memo_entries": config.events_memo_entries,
+            },
+            "workload": {
+                "requests_per_client": ROUNDS_PER_CLIENT,
+                "warm_repeats": WARM_REPEATS,
+                "traces": sorted(
+                    {
+                        queries.trace_fingerprint_of(
+                            request_schemas.validate_simulate(
+                                {"trace": trace}
+                            )["trace"]
+                        )
+                        for trace in LEVEL_TRACES.values()
+                    }
+                ),
+            },
+            "levels": levels,
+            "coalescing": {
+                "distinct_keys": len(all_keys),
+                "phase1_extractions": registry.counter(
+                    "service.phase1.resolves"
+                ),
+            },
+            "warm_cache": warm,
+            "dispatch": {
+                "replay_calls": registry.counter("engine.replay.calls"),
+                "step_calls": registry.counter("engine.step.calls"),
+            },
+            "provenance": {
+                "git_sha": manifest.git_revision(),
+                "python": sys.version.split()[0],
+            },
+        }
+    finally:
+        handle.stop()
+        if metrics.metrics_enabled():
+            metrics.disable_metrics()
+        if previous_dir is None:
+            os.environ.pop(EVENTS_CACHE_DIR_ENV, None)
+        else:
+            os.environ[EVENTS_CACHE_DIR_ENV] = previous_dir
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return document
+
+
+def main(argv=None) -> int:
+    from repro.util.jsonout import write_json
+
+    parser = argparse.ArgumentParser(
+        description="Load-generate the service; write BENCH_service.json"
+    )
+    parser.add_argument("--out", default="BENCH_service.json", help="output path")
+    args = parser.parse_args(argv)
+    document = collect()
+    validate_bench_service(document)
+    path = write_json(args.out, document)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,172 @@
+"""CI smoke for the tradeoff-query service: the real binary, end to end.
+
+Launches ``python -m repro serve`` as a subprocess, drives it with
+concurrent mixed requests (analytic + simulation, repeats for cache
+hits), writes every captured response envelope plus the stats snapshot
+to disk, and SIGTERMs the server to exercise the drain path.  The
+captured payloads are then validated offline::
+
+    PYTHONPATH=src python scripts/service_smoke.py --payload-dir payloads
+    PYTHONPATH=src python -m repro.obs.validate \
+        --service-response payloads/*.json
+
+Exit is non-zero if any request errors, if a *cached-config* simulation
+dispatched to the step simulator (the replay engine must cover every
+repeated query the smoke issues), or if the server fails to drain
+cleanly on SIGTERM.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import ServiceClient
+from repro.util.jsonout import write_json
+
+SIMULATE_CONFIGS = [
+    {
+        "trace": {"kind": "spec92", "name": "swm256", "instructions": 3000, "seed": 7},
+        "memory_cycle": beta,
+    }
+    for beta in (4.0, 8.0, 16.0)
+] + [
+    {"trace": {"kind": "matmul", "n": 16, "tile": 4}, "policy": "BNL3"},
+]
+
+ANALYTIC_REQUESTS = [
+    ("execution-time", {"hit_ratio": 0.95, "memory_cycle": 8.0}),
+    ("tradeoff", {"feature": "doubling-bus", "base_hit_ratio": 0.9}),
+    ("ranking", {"base_hit_ratio": 0.9, "betas": [2.0, 8.0, 32.0]}),
+    ("advise", {"memory_cycle": 12.0}),
+]
+
+
+def launch_server() -> tuple[subprocess.Popen, int]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--batch-window-ms", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": os.path.join(os.path.dirname(__file__), "..", "src"),
+            "PYTHONUNBUFFERED": "1",
+        },
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on .*:(\d+)", line)
+    if not match:
+        process.kill()
+        raise SystemExit(f"server did not announce a port: {line!r}")
+    return process, int(match.group(1))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--payload-dir",
+        default="service_payloads",
+        help="directory for captured response envelopes",
+    )
+    args = parser.parse_args(argv)
+    payload_dir = Path(args.payload_dir)
+    payload_dir.mkdir(parents=True, exist_ok=True)
+
+    process, port = launch_server()
+    captured: dict[str, dict] = {}
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def record(name: str, envelope: dict) -> None:
+        with lock:
+            captured[name] = envelope
+
+    def analytic_worker() -> None:
+        client = ServiceClient("127.0.0.1", port)
+        try:
+            for endpoint, params in ANALYTIC_REQUESTS * 3:
+                envelope = client.request("POST", f"/v1/{endpoint}", params)
+                record(f"analytic_{endpoint}", envelope)
+        except Exception as error:  # noqa: BLE001 - reported at exit
+            failures.append(f"analytic: {error!r}")
+        finally:
+            client.close()
+
+    def simulate_worker(worker_id: int) -> None:
+        client = ServiceClient("127.0.0.1", port)
+        try:
+            # Two passes over the same configs: the second is the
+            # cached-config pass that must not touch the step engine.
+            for round_id in range(2):
+                for index, params in enumerate(SIMULATE_CONFIGS):
+                    envelope = client.simulate(**params)
+                    if envelope["result"]["engine"] != "replay":
+                        failures.append(
+                            f"config {index} served by "
+                            f"{envelope['result']['engine']}, expected replay"
+                        )
+                    record(f"simulate_{index}_round{round_id}", envelope)
+        except Exception as error:  # noqa: BLE001 - reported at exit
+            failures.append(f"simulate[{worker_id}]: {error!r}")
+        finally:
+            client.close()
+
+    try:
+        probe = ServiceClient("127.0.0.1", port)
+        probe.wait_ready(timeout=30.0)
+        threads = [threading.Thread(target=analytic_worker)] + [
+            threading.Thread(target=simulate_worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = probe.stats()
+        record("stats", stats)
+        probe.close()
+
+        counters = stats["counters"]
+        step_calls = counters.get("engine.step.calls", 0)
+        if step_calls:
+            failures.append(f"{step_calls} step-simulator dispatches (want 0)")
+        if stats["result_cache"]["hits"] == 0:
+            failures.append("no result-cache hits despite repeated configs")
+        if counters.get("service.phase1.resolves", 0) > len(SIMULATE_CONFIGS):
+            failures.append("phase-1 ran more than once per distinct key")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            failures.append("server did not drain within 30s of SIGTERM")
+
+    if process.returncode != 0:
+        failures.append(f"server exited with status {process.returncode}")
+    tail = process.stdout.read()
+    if "drained" not in tail:
+        failures.append(f"server did not report a drain: {tail!r}")
+
+    for name, envelope in sorted(captured.items()):
+        write_json(payload_dir / f"{name}.json", envelope)
+    print(
+        f"captured {len(captured)} envelopes to {payload_dir}/ "
+        f"({stats['result_cache']['hits']} cache hits, "
+        f"{counters.get('engine.replay.calls', 0)} replay calls, "
+        f"{counters.get('engine.step.calls', 0)} step calls)"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(None))

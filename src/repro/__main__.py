@@ -15,6 +15,8 @@ simulate
     Run a trace file through the timing simulator and report cycles.
 sweep
     Evaluate a feature's traded hit ratio over custom parameter grids.
+serve
+    Start the HTTP/JSON tradeoff-query server (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -154,6 +156,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="use a pipelined memory with this turnaround",
     )
+
+    serve = commands.add_parser(
+        "serve", help="start the HTTP/JSON tradeoff-query server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8472)
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max simulate requests queued or computing before 429s",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="how long the scheduler waits for requests to coalesce",
+    )
+    serve.add_argument(
+        "--result-cache-mib",
+        type=float,
+        default=8.0,
+        help="byte budget for the in-process result cache",
+    )
+    serve.add_argument(
+        "--default-deadline-s",
+        type=float,
+        default=30.0,
+        help="deadline for requests that do not send deadline_ms",
+    )
     return parser
 
 
@@ -282,6 +314,22 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(options: argparse.Namespace) -> int:
+    from repro.service.server import ServerConfig, run_server
+
+    run_server(
+        ServerConfig(
+            host=options.host,
+            port=options.port,
+            queue_limit=options.queue_limit,
+            batch_window_s=options.batch_window_ms / 1000.0,
+            result_cache_bytes=int(options.result_cache_mib * 1024 * 1024),
+            default_deadline_s=options.default_deadline_s,
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "sweep": _cmd_sweep,
@@ -289,6 +337,7 @@ _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "characterize": _cmd_characterize,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
 }
 
 

@@ -176,6 +176,25 @@ def observe(name: str, value: float, **labels: Any) -> None:
         registry.observe(name, value, **labels)
 
 
+def percentile(values: "list[float] | tuple[float, ...]", q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Deterministic (no interpolation, so the result is always a member of
+    ``values``) and dependency-free; the service's latency summaries and
+    the load generator both use it so their p50/p99 agree by
+    construction.  Raises ``ValueError`` on an empty sample.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be within [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
 # -- Eq. (2) decomposition ----------------------------------------------
 
 

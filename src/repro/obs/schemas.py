@@ -26,18 +26,45 @@ class SchemaError(ValueError):
 #: experiment must go through the replay engine.
 BENCH_ENGINE_SCHEMA = "repro.bench.engine/2"
 
+#: Committed service scoreboard (``BENCH_service.json``), written by
+#: ``benchmarks/bench_service.py``.  Validity requires the batching and
+#: engine invariants, not particular timings: zero step-simulator
+#: dispatches, one phase-1 extraction per distinct (trace, geometry)
+#: key, and a batch-coalescing ratio above 1 at 16 concurrent clients.
+BENCH_SERVICE_SCHEMA = "repro.bench.service/1"
 
-def _require(condition: bool, path: str, message: str) -> None:
+#: Envelope of every successful ``repro.service`` JSON response.
+SERVICE_RESPONSE_SCHEMA = "repro.service.response/1"
+
+#: Envelope of every ``repro.service`` error response.
+SERVICE_ERROR_SCHEMA = "repro.service.error/1"
+
+#: Envelope of the ``/v1/stats`` response.
+SERVICE_STATS_SCHEMA = "repro.service.stats/1"
+
+
+def require(condition: bool, path: str, message: str) -> None:
+    """Raise :class:`SchemaError` at ``path`` unless ``condition`` holds.
+
+    Shared by every hand-rolled validator in the repository (including
+    the request validators in :mod:`repro.service.schemas`).
+    """
     if not condition:
         raise SchemaError(f"{path}: {message}")
 
 
-def _require_number(value: Any, path: str) -> None:
-    _require(
+def require_number(value: Any, path: str) -> None:
+    """Require a real JSON number (bools are not numbers)."""
+    require(
         isinstance(value, (int, float)) and not isinstance(value, bool),
         path,
         f"expected a number, got {type(value).__name__}",
     )
+
+
+# Internal aliases predating the public names.
+_require = require
+_require_number = require_number
 
 
 def validate_chrome_trace(document: Any) -> None:
@@ -156,6 +183,179 @@ def validate_bench_engine(document: Any) -> None:
     for key, value in reasons.items():
         _require_number(value, f"$.dispatch.step_fallback_reasons[{key!r}]")
     _validate_snapshot_body(document.get("metrics"), "$.metrics")
+
+
+def validate_service_response(document: Any) -> None:
+    """Validate one ``repro.service`` JSON payload (success or error).
+
+    The service promises that *every* body it emits — success, error,
+    stats — carries a ``schema`` tag and the documented envelope, so CI
+    can validate captured payloads without knowing which endpoint (or
+    which failure) produced them.
+    """
+    _require(isinstance(document, dict), "$", "payload must be a JSON object")
+    schema = document.get("schema")
+    if schema == SERVICE_ERROR_SCHEMA:
+        error = document.get("error")
+        _require(isinstance(error, dict), "$.error", "must be an object")
+        _require(
+            isinstance(error.get("code"), str) and error["code"],
+            "$.error.code",
+            "must be a non-empty string",
+        )
+        _require(
+            isinstance(error.get("message"), str),
+            "$.error.message",
+            "must be a string",
+        )
+        status = error.get("status")
+        _require(
+            isinstance(status, int) and 400 <= status <= 599,
+            "$.error.status",
+            "must be an HTTP 4xx/5xx integer",
+        )
+        return
+    if schema == SERVICE_STATS_SCHEMA:
+        _validate_snapshot_body(document, "$")
+        queue = document.get("queue")
+        _require(isinstance(queue, dict), "$.queue", "must be an object")
+        for field in ("depth", "limit"):
+            _require_number(queue.get(field), f"$.queue.{field}")
+        cache = document.get("result_cache")
+        _require(isinstance(cache, dict), "$.result_cache", "must be an object")
+        for field in ("entries", "bytes", "capacity_bytes", "hits", "misses"):
+            _require_number(cache.get(field), f"$.result_cache.{field}")
+        latency = document.get("latency")
+        _require(isinstance(latency, dict), "$.latency", "must be an object")
+        for endpoint, entry in latency.items():
+            path = f"$.latency[{endpoint!r}]"
+            _require(isinstance(entry, dict), path, "must be an object")
+            for field in ("count", "p50_ms", "p99_ms"):
+                _require_number(entry.get(field), f"{path}.{field}")
+        return
+    _require(
+        schema == SERVICE_RESPONSE_SCHEMA,
+        "$.schema",
+        f"must be {SERVICE_RESPONSE_SCHEMA!r}, {SERVICE_ERROR_SCHEMA!r} "
+        f"or {SERVICE_STATS_SCHEMA!r}",
+    )
+    _require(
+        isinstance(document.get("endpoint"), str),
+        "$.endpoint",
+        "must be a string",
+    )
+    _require(
+        isinstance(document.get("result"), (dict, list)),
+        "$.result",
+        "must be an object or list",
+    )
+    if "cached" in document:
+        _require(
+            isinstance(document["cached"], bool), "$.cached", "must be a bool"
+        )
+
+
+def validate_bench_service(document: Any) -> None:
+    """Validate a service scoreboard (``BENCH_service.json``).
+
+    Beyond shape, this enforces the serving invariants (see
+    ``docs/SERVICE.md``):
+
+    * zero step-simulator dispatches — every simulation-backed query the
+      generator issues is replay-covered;
+    * exactly one phase-1 extraction per distinct (trace, geometry) key
+      across the whole run — the micro-batch scheduler plus the event
+      memo did their job;
+    * a batch-coalescing ratio above 1 at 16 concurrent clients;
+    * zero request errors at every concurrency level.
+    """
+    _require(isinstance(document, dict), "$", "bench must be a JSON object")
+    _require(
+        document.get("schema") == BENCH_SERVICE_SCHEMA,
+        "$.schema",
+        f"must be {BENCH_SERVICE_SCHEMA!r}",
+    )
+    server = document.get("server")
+    _require(isinstance(server, dict), "$.server", "must be an object")
+    workload = document.get("workload")
+    _require(isinstance(workload, dict), "$.workload", "must be an object")
+    _require_number(
+        workload.get("requests_per_client"), "$.workload.requests_per_client"
+    )
+    levels = document.get("levels")
+    _require(isinstance(levels, dict), "$.levels", "must be an object")
+    for required in ("1", "4", "16"):
+        _require(required in levels, f"$.levels[{required!r}]", "is required")
+    for key, level in levels.items():
+        path = f"$.levels[{key!r}]"
+        _require(isinstance(level, dict), path, "must be an object")
+        _require(
+            level.get("clients") == int(key),
+            f"{path}.clients",
+            f"must equal the level key ({key})",
+        )
+        for field in ("requests", "errors", "throughput_rps", "coalescing_ratio", "cache_hit_rate"):
+            _require_number(level.get(field), f"{path}.{field}")
+        _require(level["errors"] == 0, f"{path}.errors", "must be 0")
+        _require(
+            level["throughput_rps"] > 0, f"{path}.throughput_rps", "must be > 0"
+        )
+        _require(
+            0.0 <= level["cache_hit_rate"] <= 1.0,
+            f"{path}.cache_hit_rate",
+            "must be within [0, 1]",
+        )
+        latency = level.get("latency_ms")
+        _require(isinstance(latency, dict), f"{path}.latency_ms", "must be an object")
+        for field in ("p50", "p99", "mean", "max"):
+            _require_number(latency.get(field), f"{path}.latency_ms.{field}")
+            _require(
+                latency[field] >= 0, f"{path}.latency_ms.{field}", "must be >= 0"
+            )
+        _require(
+            latency["p50"] <= latency["p99"],
+            f"{path}.latency_ms",
+            "p50 must be <= p99",
+        )
+    _require(
+        levels["16"]["coalescing_ratio"] > 1.0,
+        "$.levels['16'].coalescing_ratio",
+        "must be > 1: 16 concurrent clients over shared (trace, geometry) "
+        "keys must coalesce into shared batch groups",
+    )
+    coalescing = document.get("coalescing")
+    _require(isinstance(coalescing, dict), "$.coalescing", "must be an object")
+    for field in ("distinct_keys", "phase1_extractions"):
+        _require_number(coalescing.get(field), f"$.coalescing.{field}")
+    _require(
+        coalescing["phase1_extractions"] == coalescing["distinct_keys"],
+        "$.coalescing",
+        f"phase-1 must run once per key: {coalescing['phase1_extractions']!r} "
+        f"extractions for {coalescing['distinct_keys']!r} keys",
+    )
+    warm = document.get("warm_cache")
+    _require(isinstance(warm, dict), "$.warm_cache", "must be an object")
+    for field in ("p50_ms", "p99_ms", "cold_compute_ms", "speedup"):
+        _require_number(warm.get(field), f"$.warm_cache.{field}")
+    _require(
+        warm["speedup"] > 1.0,
+        "$.warm_cache.speedup",
+        "warm-cache queries must be faster than cold compute",
+    )
+    dispatch = document.get("dispatch")
+    _require(isinstance(dispatch, dict), "$.dispatch", "must be an object")
+    for field in ("replay_calls", "step_calls"):
+        _require_number(dispatch.get(field), f"$.dispatch.{field}")
+    _require(
+        dispatch["replay_calls"] > 0,
+        "$.dispatch.replay_calls",
+        "must be positive (the replay engine served queries)",
+    )
+    _require(
+        dispatch["step_calls"] == 0,
+        "$.dispatch.step_calls",
+        "must be 0: a service query fell back to the step simulator",
+    )
 
 
 def validate_manifest(document: Any) -> None:

@@ -24,9 +24,11 @@ from repro.obs import logs
 from repro.obs.schemas import (
     SchemaError,
     validate_bench_engine,
+    validate_bench_service,
     validate_chrome_trace,
     validate_manifest,
     validate_metrics,
+    validate_service_response,
 )
 
 logger = logging.getLogger(__name__)
@@ -48,11 +50,38 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         help="BENCH_engine.json scoreboard; also fails when the --all "
         "--quick dispatch counts show any step-simulator calls",
     )
+    parser.add_argument(
+        "--bench-service",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_service.json scoreboard; also fails on any "
+        "step-simulator dispatch, a phase-1 extraction count above one "
+        "per (trace, geometry) key, or a 16-client coalescing ratio <= 1",
+    )
+    parser.add_argument(
+        "--service-response",
+        action="extend",
+        nargs="+",
+        default=[],
+        metavar="FILE",
+        help="captured repro.service JSON payloads (response, error or "
+        "stats envelopes); accepts several files per flag so a shell "
+        "glob over a smoke run's payload directory just works",
+    )
     parser.add_argument("-v", "--verbose", action="count", default=0)
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.manifest or args.bench):
+    if not (
+        args.trace
+        or args.metrics
+        or args.manifest
+        or args.bench
+        or args.bench_service
+        or args.service_response
+    ):
         parser.error(
-            "nothing to validate: pass --trace/--metrics/--manifest/--bench"
+            "nothing to validate: pass --trace/--metrics/--manifest/"
+            "--bench/--bench-service/--service-response"
         )
     return args
 
@@ -82,6 +111,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok &= _check(path, validate_manifest)
     for path in args.bench:
         ok &= _check(path, validate_bench_engine)
+    for path in args.bench_service:
+        ok &= _check(path, validate_bench_service)
+    for path in args.service_response:
+        ok &= _check(path, validate_service_response)
     return 0 if ok else 1
 
 

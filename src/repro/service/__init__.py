@@ -1,0 +1,43 @@
+"""A batched, cached tradeoff-query server over the two-phase engine.
+
+``python -m repro serve`` starts an asyncio HTTP/JSON server (stdlib
+only — the HTTP/1.1 slice lives in :mod:`repro.service.http11`) that
+answers the paper's analytic queries inline and routes exact-simulation
+queries through a micro-batch scheduler and a content-addressed result
+cache.  See ``docs/SERVICE.md`` for the endpoint reference, the
+robustness contract (deadlines, backpressure, drain-then-shutdown), and
+the load-generator workflow.
+"""
+
+from repro.service.batching import EventsMemo, MicroBatcher, QueueFullError
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queries import InvalidQuery
+from repro.service.result_cache import (
+    RESULT_CACHE_VERSION,
+    ResultCache,
+    result_key,
+    simulate_key_material,
+)
+from repro.service.server import (
+    ReproServer,
+    ServerConfig,
+    ServerThread,
+    run_server,
+)
+
+__all__ = [
+    "EventsMemo",
+    "InvalidQuery",
+    "MicroBatcher",
+    "QueueFullError",
+    "RESULT_CACHE_VERSION",
+    "ReproServer",
+    "ResultCache",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "result_key",
+    "run_server",
+    "simulate_key_material",
+]

@@ -1,0 +1,271 @@
+"""Request routing, envelopes, and the result cache for the service.
+
+:class:`ServiceApp` is the transport-free core of the server: it maps a
+parsed :class:`~repro.service.http11.Request` to a status code and a
+JSON body, with every body carrying a ``schema`` tag
+(``repro.service.response/1``, ``repro.service.error/1`` or
+``repro.service.stats/1``) so captured payloads validate offline via
+``python -m repro.obs.validate --service-response``.
+
+Dispatch is two-tier, mirroring the engine split the service fronts:
+
+* the analytic endpoints (``execution-time``, ``tradeoff``, ``ranking``,
+  ``advise``) are closed-form float arithmetic and run inline on the
+  event loop;
+* ``simulate`` first consults the content-addressed
+  :class:`~repro.service.result_cache.ResultCache` (a hit costs one
+  dict lookup and returns the *identical* result bytes) and otherwise
+  awaits the micro-batch scheduler under the request's deadline.
+
+The ``result`` sub-object of a simulate response is byte-identical to
+:func:`repro.service.queries.timing_result_dict` rendered through
+:func:`repro.util.jsonout.dump_json` — the ``cached`` flag lives in the
+envelope precisely so caching can never change the result bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from typing import Any
+
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.schemas import (
+    SERVICE_ERROR_SCHEMA,
+    SERVICE_RESPONSE_SCHEMA,
+    SERVICE_STATS_SCHEMA,
+    SchemaError,
+)
+from repro.service import queries
+from repro.service import schemas as request_schemas
+from repro.service.batching import MicroBatcher, QueueFullError
+from repro.service.http11 import HttpError, Request
+from repro.service.result_cache import (
+    ResultCache,
+    result_key,
+    simulate_key_material,
+)
+from repro.util.jsonout import dump_json
+
+#: Fallback deadline for requests that do not send ``deadline_ms``.
+DEFAULT_DEADLINE_S = 30.0
+
+#: Per-endpoint latency samples retained for the stats percentiles.
+LATENCY_WINDOW = 2048
+
+_ANALYTIC = {
+    "execution-time": (
+        request_schemas.validate_execution_time,
+        queries.execution_time_query,
+    ),
+    "tradeoff": (request_schemas.validate_tradeoff, queries.tradeoff_query),
+    "ranking": (request_schemas.validate_ranking, queries.ranking_query),
+    "advise": (request_schemas.validate_advise, queries.advise_query),
+}
+
+_POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate"}
+_GET_ENDPOINTS = frozenset({"health", "stats"})
+
+
+def error_body(status: int, code: str, message: str) -> bytes:
+    """The structured error envelope every failure path emits."""
+    return dump_json(
+        {
+            "schema": SERVICE_ERROR_SCHEMA,
+            "error": {"code": code, "message": message, "status": status},
+        }
+    ).encode("utf-8")
+
+
+class ServiceApp:
+    """Routes parsed requests to queries; transport-independent."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        batcher: MicroBatcher,
+        result_cache: ResultCache,
+        default_deadline_s: float = DEFAULT_DEADLINE_S,
+    ) -> None:
+        self.registry = registry
+        self.batcher = batcher
+        self.result_cache = result_cache
+        self.default_deadline_s = default_deadline_s
+        self._latency_ms: dict[str, deque[float]] = {}
+
+    # -- entry point ------------------------------------------------------
+
+    async def handle(self, request: Request) -> tuple[int, bytes]:
+        """One request in, one (status, JSON body) out; never raises."""
+        endpoint = self._endpoint_of(request.path)
+        started = time.perf_counter()
+        try:
+            status, body = await self._dispatch(endpoint, request)
+        except HttpError as error:
+            status, body = error.status, error_body(
+                error.status, error.code, error.message
+            )
+        except SchemaError as error:
+            status, body = 400, error_body(400, "schema_error", str(error))
+        except queries.InvalidQuery as error:
+            status, body = 400, error_body(400, "invalid_params", str(error))
+        except QueueFullError as error:
+            status, body = 429, error_body(429, "backpressure", str(error))
+        except asyncio.TimeoutError:
+            status, body = 504, error_body(
+                504, "deadline_exceeded", "request deadline elapsed"
+            )
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            status, body = 500, error_body(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        label = endpoint or "unknown"
+        self.registry.inc("service.requests", endpoint=label, status=status)
+        self.registry.observe("service.latency_ms", elapsed_ms, endpoint=label)
+        self._latency_ms.setdefault(
+            label, deque(maxlen=LATENCY_WINDOW)
+        ).append(elapsed_ms)
+        return status, body
+
+    @staticmethod
+    def _endpoint_of(path: str) -> str | None:
+        path = path.partition("?")[0]
+        if not path.startswith("/v1/"):
+            return None
+        return path[len("/v1/") :] or None
+
+    async def _dispatch(
+        self, endpoint: str | None, request: Request
+    ) -> tuple[int, bytes]:
+        if endpoint is None or endpoint not in (_POST_ENDPOINTS | _GET_ENDPOINTS):
+            raise HttpError(404, "not_found", f"no such endpoint {request.path!r}")
+        expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
+        if request.method != expected:
+            raise HttpError(
+                405,
+                "method_not_allowed",
+                f"{endpoint} requires {expected}, got {request.method}",
+            )
+        if endpoint == "health":
+            return 200, self._success(endpoint, {"status": "ok"})
+        if endpoint == "stats":
+            return 200, self._stats_body()
+        with tracing.span("service.parse", endpoint=endpoint):
+            params = self._parse_params(request.body)
+        if endpoint == "simulate":
+            return await self._simulate(params)
+        validate, query = _ANALYTIC[endpoint]
+        with tracing.span("service.dispatch", endpoint=endpoint):
+            validated = validate(params)
+            result = query(validated)
+        with tracing.span("service.serialize", endpoint=endpoint):
+            return 200, self._success(endpoint, result)
+
+    @staticmethod
+    def _parse_params(body: bytes) -> Any:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise HttpError(
+                400, "invalid_json", f"request body is not JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, "invalid_json", "request body must be a JSON object"
+            )
+        unknown = sorted(set(payload) - {"params"})
+        if unknown:
+            raise HttpError(
+                400,
+                "invalid_json",
+                f"unknown top-level keys {unknown}; send {{'params': ...}}",
+            )
+        return payload.get("params", {})
+
+    # -- the simulation endpoint ------------------------------------------
+
+    async def _simulate(self, params: Any) -> tuple[int, bytes]:
+        with tracing.span("service.dispatch", endpoint="simulate"):
+            validated = request_schemas.validate_simulate(params)
+            key = result_key(
+                simulate_key_material(
+                    queries.trace_fingerprint_of(validated["trace"]),
+                    queries.cache_config_of(validated),
+                    validated["policy"],
+                    validated["memory_cycle"],
+                    validated["bus_width"],
+                    validated["write_buffer_depth"],
+                    validated["pipelined_q"],
+                    validated["issue_rate"],
+                )
+            )
+            payload = self.result_cache.get(key)
+        if payload is not None:
+            self.registry.inc("service.result_cache.hits")
+            with tracing.span("service.serialize", endpoint="simulate"):
+                return 200, self._success(
+                    "simulate", json.loads(payload), cached=True
+                )
+        self.registry.inc("service.result_cache.misses")
+        deadline_ms = validated["deadline_ms"]
+        deadline_s = (
+            deadline_ms / 1000.0
+            if deadline_ms is not None
+            else self.default_deadline_s
+        )
+        with tracing.span("service.batch_wait", key=key[:12]):
+            result = await asyncio.wait_for(
+                self.batcher.submit(validated), timeout=deadline_s
+            )
+        with tracing.span("service.serialize", endpoint="simulate"):
+            result_bytes = dump_json(result).encode("utf-8")
+            self.result_cache.put(key, result_bytes)
+            return 200, self._success("simulate", result, cached=False)
+
+    # -- envelopes ---------------------------------------------------------
+
+    @staticmethod
+    def _success(endpoint: str, result: Any, cached: bool | None = None) -> bytes:
+        envelope: dict[str, Any] = {
+            "schema": SERVICE_RESPONSE_SCHEMA,
+            "endpoint": endpoint,
+            "result": result,
+        }
+        if cached is not None:
+            envelope["cached"] = cached
+        return dump_json(envelope).encode("utf-8")
+
+    def _stats_body(self) -> bytes:
+        latency = {}
+        for endpoint, samples in sorted(self._latency_ms.items()):
+            values = list(samples)
+            latency[endpoint] = {
+                "count": len(values),
+                "p50_ms": percentile(values, 50.0),
+                "p99_ms": percentile(values, 99.0),
+            }
+        stats = {
+            "schema": SERVICE_STATS_SCHEMA,
+            **self.registry.snapshot(),
+            "queue": {
+                "depth": self.batcher.queue_depth,
+                "limit": self.batcher.max_pending,
+            },
+            "result_cache": {
+                "entries": len(self.result_cache),
+                "bytes": self.result_cache.size_bytes,
+                "capacity_bytes": self.result_cache.capacity_bytes,
+                "hits": self.result_cache.hits,
+                "misses": self.result_cache.misses,
+                "evictions": self.result_cache.evictions,
+                "hit_rate": self.result_cache.hit_rate,
+            },
+            "latency": latency,
+        }
+        return dump_json(stats).encode("utf-8")

@@ -1,0 +1,241 @@
+"""Micro-batch scheduler for simulation-backed queries.
+
+Concurrent ``/v1/simulate`` requests land in one bounded queue.  A
+single scheduler task drains the queue in arrival order, groups the
+drained requests by their (trace, geometry) content key, and hands the
+whole batch to one worker thread, which resolves phase 1 (event-stream
+extraction / store lookup / memo hit) **once per group** and then runs
+the cheap per-request phase-2 replay for every member.  Sixteen clients
+sweeping ``beta_m`` over a shared trace therefore pay for one functional
+pass, not sixteen — the batch-coalescing ratio the load generator
+reports (``service.batch.requests / service.batch.groups``).
+
+Robustness contract:
+
+* the queue is *bounded*; a submit that would exceed ``max_pending``
+  raises :class:`QueueFullError` immediately (the server maps it to a
+  429) instead of buffering without limit;
+* waiters can be cancelled (deadline timeouts): the worker checks each
+  future before computing and before resolving, so an abandoned request
+  is skipped, not raced;
+* :meth:`MicroBatcher.drain` lets in-flight and queued work finish,
+  then stops the scheduler — the SIGTERM path.
+
+The worker also keeps a small LRU memo of resolved
+:class:`~repro.cache.events.EventStream` objects so *successive*
+batches over a hot key skip straight to replay; the memo is counted
+(``service.events_memo.{hit,miss}``) and bounded by entry count — event
+streams for the service's capped trace sizes are a few hundred KiB.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cache.events import EventStream
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.service import queries
+
+
+class QueueFullError(Exception):
+    """The bounded request queue is at capacity (backpressure)."""
+
+
+@dataclass
+class _Pending:
+    """One queued request and the future its handler awaits."""
+
+    key: str
+    params: dict[str, Any]
+    future: asyncio.Future
+
+
+class EventsMemo:
+    """Count-bounded LRU of resolved event streams (worker-thread only)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, EventStream] = OrderedDict()
+
+    def get(self, key: str) -> EventStream | None:
+        events = self._entries.get(key)
+        if events is not None:
+            self._entries.move_to_end(key)
+        return events
+
+    def put(self, key: str, events: EventStream) -> None:
+        self._entries[key] = events
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class MicroBatcher:
+    """Coalesces concurrent simulate requests by (trace, geometry) key."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        max_pending: int = 64,
+        batch_window_s: float = 0.002,
+        events_memo_entries: int = 8,
+        resolve_events: Callable[[dict], EventStream] = queries.resolve_events,
+        compute: Callable[[dict, EventStream], dict] = queries.simulate_from_events,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self._registry = registry
+        self.max_pending = max_pending
+        self.batch_window_s = batch_window_s
+        self._resolve_events = resolve_events
+        self._compute = compute
+        self._memo = EventsMemo(events_memo_entries)
+        self._queue: list[_Pending] = []
+        self._pending = 0  # queued + computing, for backpressure
+        self._wakeup = asyncio.Event()
+        self._draining = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-batch"
+        )
+        self._task: asyncio.Task | None = None
+
+    # -- submission (event-loop thread) ----------------------------------
+
+    def start(self) -> None:
+        """Spawn the scheduler task (call once, on the server's loop)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued or computing."""
+        return self._pending
+
+    async def submit(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Enqueue one simulate request; resolves with its result dict.
+
+        Raises :class:`QueueFullError` when the queue is at capacity and
+        propagates any exception the compute raised for this request.
+        Cancelling the returned await (deadline) abandons the request —
+        the worker skips it if it has not started computing.
+        """
+        if self._draining:
+            raise QueueFullError("server is shutting down")
+        if self._pending >= self.max_pending:
+            self._registry.inc("service.queue.rejected")
+            raise QueueFullError(
+                f"request queue at capacity ({self.max_pending} pending)"
+            )
+        key = queries.events_key_of(params)
+        future = asyncio.get_running_loop().create_future()
+        entry = _Pending(key=key, params=params, future=future)
+        self._pending += 1
+        self._registry.observe("service.queue.depth", self._pending)
+        future.add_done_callback(self._on_done)
+        self._queue.append(entry)
+        self._wakeup.set()
+        return await future
+
+    def _on_done(self, _future: asyncio.Future) -> None:
+        self._pending -= 1
+
+    # -- scheduling (event-loop thread) -----------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._draining:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if self.batch_window_s > 0 and not self._draining:
+                # Let concurrent requests arrive and coalesce.
+                await asyncio.sleep(self.batch_window_s)
+            batch, self._queue = self._queue, []
+            if not batch:
+                continue
+            groups: OrderedDict[str, list[_Pending]] = OrderedDict()
+            for entry in batch:
+                groups.setdefault(entry.key, []).append(entry)
+            self._registry.inc("service.batch.batches")
+            self._registry.inc("service.batch.requests", len(batch))
+            self._registry.inc("service.batch.groups", len(groups))
+            self._registry.inc(
+                "service.batch.coalesced", len(batch) - len(groups)
+            )
+            self._registry.observe("service.batch.size", len(batch))
+            with tracing.span(
+                "service.batch", requests=len(batch), groups=len(groups)
+            ):
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._compute_batch, list(groups.values())
+                )
+            for entry, ok, value in outcomes:
+                if entry.future.done():
+                    continue  # deadline hit while we were computing
+                if ok:
+                    entry.future.set_result(value)
+                else:
+                    entry.future.set_exception(value)
+
+    # -- computation (single worker thread) -------------------------------
+
+    def _compute_batch(
+        self, groups: list[list[_Pending]]
+    ) -> list[tuple[_Pending, bool, Any]]:
+        """Resolve phase 1 once per group, then phase 2 per request."""
+        outcomes: list[tuple[_Pending, bool, Any]] = []
+        for group in groups:
+            live = [e for e in group if not e.future.done()]
+            skipped = len(group) - len(live)
+            if skipped:
+                self._registry.inc("service.batch.abandoned", skipped)
+            if not live:
+                continue
+            key = live[0].key
+            events = self._memo.get(key)
+            if events is None:
+                self._registry.inc("service.events_memo.miss")
+                try:
+                    with tracing.span("service.phase1", key=key[:12]):
+                        events = self._resolve_events(live[0].params)
+                except Exception as error:  # noqa: BLE001 - reported per request
+                    for entry in live:
+                        outcomes.append((entry, False, error))
+                    continue
+                self._registry.inc("service.phase1.resolves")
+                self._memo.put(key, events)
+            else:
+                self._registry.inc("service.events_memo.hit")
+            for entry in live:
+                if entry.future.done():
+                    self._registry.inc("service.batch.abandoned")
+                    continue
+                try:
+                    with tracing.span("service.phase2", key=key[:12]):
+                        result = self._compute(entry.params, events)
+                except Exception as error:  # noqa: BLE001 - reported per request
+                    outcomes.append((entry, False, error))
+                else:
+                    outcomes.append((entry, True, result))
+        return outcomes
+
+    # -- shutdown (event-loop thread) --------------------------------------
+
+    async def drain(self) -> None:
+        """Finish queued and in-flight work, then stop the scheduler."""
+        self._draining = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,129 @@
+"""Blocking client for :mod:`repro.service` (stdlib ``http.client``).
+
+One :class:`ServiceClient` holds one persistent connection, so a
+closed-loop load-generator thread maps one-to-one onto a server-side
+connection coroutine.  Methods mirror the endpoints; each returns the
+decoded ``result`` object and raises :class:`ServiceError` (carrying
+the structured error envelope) on any non-200 answer.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+
+class ServiceError(Exception):
+    """A non-200 answer, with the server's structured error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the connection (safe to call repeatedly)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, params: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """One round trip; returns the decoded response envelope."""
+        body = None
+        headers = {}
+        if params is not None:
+            body = json.dumps({"params": params})
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        except (ConnectionError, http.client.HTTPException, socket.timeout):
+            # A draining server answers with Connection: close; retry the
+            # request once on a fresh connection before giving up.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        if response.getheader("Connection", "keep-alive").lower() == "close":
+            self.close()
+        envelope = json.loads(payload)
+        if response.status != 200:
+            error = envelope.get("error", {})
+            raise ServiceError(
+                response.status,
+                error.get("code", "unknown"),
+                error.get("message", payload.decode("utf-8", "replace")),
+            )
+        return envelope
+
+    # -- endpoints --------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        """Poll ``/v1/health`` until the server answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except (OSError, http.client.HTTPException):
+                self.close()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/health")["result"]
+
+    def stats(self) -> dict[str, Any]:
+        """The full stats envelope (snapshot + queue + caches + latency)."""
+        return self.request("GET", "/v1/stats")
+
+    def execution_time(self, **params: Any) -> dict[str, Any]:
+        return self.request("POST", "/v1/execution-time", params)["result"]
+
+    def tradeoff(self, **params: Any) -> dict[str, Any]:
+        return self.request("POST", "/v1/tradeoff", params)["result"]
+
+    def ranking(self, **params: Any) -> dict[str, Any]:
+        return self.request("POST", "/v1/ranking", params)["result"]
+
+    def advise(self, **params: Any) -> dict[str, Any]:
+        return self.request("POST", "/v1/advise", params)["result"]
+
+    def simulate(self, **params: Any) -> dict[str, Any]:
+        """The full simulate envelope (``result`` plus ``cached``)."""
+        return self.request("POST", "/v1/simulate", params)

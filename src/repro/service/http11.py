@@ -1,0 +1,162 @@
+"""Minimal asyncio HTTP/1.1 framing for :mod:`repro.service`.
+
+The reproduction environment is stdlib-only, so the service speaks a
+deliberately small slice of HTTP/1.1 directly over asyncio streams:
+
+* request line + headers + optional ``Content-Length`` body (no chunked
+  transfer encoding, no trailers, no upgrades);
+* persistent connections by default (``Connection: close`` honoured in
+  both directions);
+* hard limits on header-block and body size, enforced *before* any
+  JSON parsing, so an oversized or malformed request costs the server
+  one bounded read and a 4xx — never memory.
+
+Anything outside that slice raises :class:`HttpError` with the
+appropriate status; the connection handler in
+:mod:`repro.service.server` turns it into a structured JSON error
+response (see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+#: Upper bound on the request line + headers block, in bytes.
+DEFAULT_MAX_HEADER_BYTES = 16 * 1024
+
+#: Upper bound on a request body, in bytes.
+DEFAULT_MAX_BODY_BYTES = 1024 * 1024
+
+#: Methods the service routes; anything else is a 405.
+ALLOWED_METHODS = frozenset({"GET", "POST"})
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be serviced, with its HTTP status."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Request | None:
+    """Read one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` on protocol violations and limit
+    breaches, ``ConnectionError``/``asyncio.IncompleteReadError`` on a
+    mid-request disconnect.
+    """
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise
+    except asyncio.LimitOverrunError:
+        raise HttpError(
+            431, "headers_too_large", "request header block exceeds the limit"
+        ) from None
+    if len(blob) > max_header_bytes:
+        raise HttpError(
+            431, "headers_too_large", "request header block exceeds the limit"
+        )
+
+    head, _, _ = blob.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad_request_line", f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    if method not in ALLOWED_METHODS:
+        raise HttpError(405, "method_not_allowed", f"method {method} not allowed")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "bad_header", f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(
+                400, "bad_content_length", f"bad Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise HttpError(
+                400, "bad_content_length", f"bad Content-Length {length_text!r}"
+            )
+        if length > max_body_bytes:
+            raise HttpError(
+                413,
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+            )
+        if length:
+            body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(
+            400,
+            "unsupported_transfer_encoding",
+            "chunked transfer encoding is not supported",
+        )
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int, body: bytes, keep_alive: bool, content_type: str = "application/json"
+) -> bytes:
+    """Serialize one HTTP/1.1 response (headers + body)."""
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

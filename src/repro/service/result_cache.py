@@ -1,0 +1,118 @@
+"""Content-addressed in-process result cache for simulation queries.
+
+Keys are derived exactly like :mod:`repro.cache.events_store` keys — the
+SHA-256 of a human-readable key-material string that joins every input
+that can influence the answer (trace fingerprint, cache geometry and
+policies, stall policy, memory model and its parameters, schema
+versions).  Two requests that normalise to the same material are the
+same query, whatever their JSON spelling was.
+
+The cache is a plain LRU bounded by *payload bytes*, not entry count:
+entries store the serialized ``result`` object (the bytes the server
+would send), so the bound is an honest memory budget and a hit skips
+both the engine and JSON re-serialization.  Single-threaded by design —
+the server only touches it from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from repro.cache.cache import CacheConfig
+from repro.cache.events import EVENT_SCHEMA_VERSION
+
+#: Bump when the response payload layout for a given query changes.
+RESULT_CACHE_VERSION = 1
+
+
+def simulate_key_material(
+    trace_fingerprint: str,
+    config: CacheConfig,
+    policy: str,
+    memory_cycle: float,
+    bus_width: int,
+    write_buffer_depth: int | None,
+    pipelined_q: float | None,
+    issue_rate: float,
+) -> str:
+    """The human-readable string whose SHA-256 addresses one query."""
+    return (
+        f"service/{RESULT_CACHE_VERSION}"
+        f"|events/{EVENT_SCHEMA_VERSION}"
+        f"|trace/{trace_fingerprint}"
+        f"|cache/{config.total_bytes}/{config.line_size}"
+        f"/{config.associativity}/{config.replacement}"
+        f"/{config.write_policy.name}/{config.allocate_policy.name}"
+        f"|policy/{policy}"
+        f"|mem/{memory_cycle!r}/{bus_width}"
+        f"|wb/{write_buffer_depth}"
+        f"|pipe/{pipelined_q!r}"
+        f"|issue/{issue_rate!r}"
+    )
+
+
+def result_key(material: str) -> str:
+    """Content address (hex SHA-256) of one query."""
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Byte-size-bounded LRU of serialized query results."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Current payload footprint."""
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: str) -> bytes | None:
+        """Look one key up, refreshing its recency."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Insert (or refresh) one entry, evicting LRU entries to fit.
+
+        A payload larger than the whole capacity is simply not cached —
+        it would evict everything and then miss anyway.
+        """
+        if len(payload) > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old)
+        self._entries[key] = payload
+        self._bytes += len(payload)
+        while self._bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+        self._bytes = 0

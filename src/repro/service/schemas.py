@@ -1,0 +1,433 @@
+"""Hand-rolled request schemas for the tradeoff-query service.
+
+Extends the :mod:`repro.obs.schemas` approach (offline environment, no
+``jsonschema``) to *inbound* payloads: every endpoint's parameters are
+structurally validated — types, ranges, enum membership, unknown-key
+rejection — before any domain object is built, so a malformed request
+costs a 400 with a JSON-path-style message, never a stack trace from
+deep inside the engine.
+
+Limits guard the simulation-backed path: ``instructions`` and matmul
+``n`` are capped so a single request cannot monopolise the batch worker
+(see ``docs/SERVICE.md`` for the knobs).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.stalling import StallPolicy
+from repro.obs.schemas import SchemaError, require, require_number
+from repro.trace.spec92 import SPEC92_PROFILES
+
+__all__ = [
+    "SchemaError",
+    "MAX_INSTRUCTIONS",
+    "MAX_MATMUL_N",
+    "validate_execution_time",
+    "validate_tradeoff",
+    "validate_ranking",
+    "validate_advise",
+    "validate_simulate",
+]
+
+#: Largest trace a single simulate request may ask for.
+MAX_INSTRUCTIONS = 500_000
+
+#: Largest square-matmul dimension a single simulate request may ask for.
+MAX_MATMUL_N = 96
+
+#: The analytic feature names accepted by ``/v1/tradeoff``.
+FEATURES = ("doubling-bus", "write-buffers", "pipelined-memory", "partial-stalling")
+
+_POLICIES = tuple(policy.value for policy in StallPolicy)
+
+
+def _object(params: Any, path: str) -> dict[str, Any]:
+    require(isinstance(params, dict), path, "must be a JSON object")
+    return params
+
+
+def _reject_unknown(params: dict[str, Any], allowed: set[str], path: str) -> None:
+    unknown = sorted(set(params) - allowed)
+    require(not unknown, path, f"unknown parameter(s) {unknown}")
+
+
+def _number(
+    params: dict[str, Any],
+    name: str,
+    path: str,
+    default: float | None = None,
+    minimum: float | None = None,
+    maximum: float | None = None,
+    required: bool = False,
+) -> float | None:
+    if name not in params:
+        require(not required, f"{path}.{name}", "is required")
+        return default
+    value = params[name]
+    require_number(value, f"{path}.{name}")
+    if minimum is not None:
+        require(value >= minimum, f"{path}.{name}", f"must be >= {minimum}")
+    if maximum is not None:
+        require(value <= maximum, f"{path}.{name}", f"must be <= {maximum}")
+    return float(value)
+
+
+def _integer(
+    params: dict[str, Any],
+    name: str,
+    path: str,
+    default: int | None = None,
+    minimum: int | None = None,
+    maximum: int | None = None,
+    required: bool = False,
+) -> int | None:
+    if name not in params:
+        require(not required, f"{path}.{name}", "is required")
+        return default
+    value = params[name]
+    require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{path}.{name}",
+        f"expected an integer, got {type(value).__name__}",
+    )
+    if minimum is not None:
+        require(value >= minimum, f"{path}.{name}", f"must be >= {minimum}")
+    if maximum is not None:
+        require(value <= maximum, f"{path}.{name}", f"must be <= {maximum}")
+    return value
+
+
+def _choice(
+    params: dict[str, Any],
+    name: str,
+    choices: tuple[str, ...],
+    path: str,
+    default: str | None = None,
+    required: bool = False,
+) -> str | None:
+    if name not in params:
+        require(not required, f"{path}.{name}", "is required")
+        return default
+    value = params[name]
+    require(
+        isinstance(value, str) and value in choices,
+        f"{path}.{name}",
+        f"must be one of {list(choices)}",
+    )
+    return value
+
+
+def _bool(
+    params: dict[str, Any], name: str, path: str, default: bool = False
+) -> bool:
+    if name not in params:
+        return default
+    value = params[name]
+    require(isinstance(value, bool), f"{path}.{name}", "must be a bool")
+    return value
+
+
+def _geometry(params: dict[str, Any], path: str) -> dict[str, Any]:
+    """Shared ``bus_width``/``line_size``/``memory_cycle`` block."""
+    return {
+        "bus_width": _integer(params, "bus_width", path, default=4, minimum=1),
+        "line_size": _integer(params, "line_size", path, default=32, minimum=1),
+        "memory_cycle": _number(
+            params, "memory_cycle", path, default=8.0, minimum=1.0
+        ),
+        "turnaround": _number(params, "turnaround", path, default=2.0, minimum=1.0),
+    }
+
+
+def validate_execution_time(params: Any) -> dict[str, Any]:
+    """``/v1/execution-time``: Eq. (2) on a hit-ratio-derived workload."""
+    params = _object(params, "$.params")
+    _reject_unknown(
+        params,
+        {
+            "hit_ratio",
+            "bus_width",
+            "line_size",
+            "memory_cycle",
+            "turnaround",
+            "flush_ratio",
+            "loadstore_fraction",
+            "instructions",
+            "policy",
+            "stall_factor",
+            "write_buffers",
+        },
+        "$.params",
+    )
+    out = _geometry(params, "$.params")
+    out["hit_ratio"] = _number(
+        params, "hit_ratio", "$.params", minimum=1e-9, maximum=1.0, required=True
+    )
+    out["flush_ratio"] = _number(
+        params, "flush_ratio", "$.params", default=0.5, minimum=0.0, maximum=1.0
+    )
+    out["loadstore_fraction"] = _number(
+        params,
+        "loadstore_fraction",
+        "$.params",
+        default=0.3,
+        minimum=1e-9,
+        maximum=1.0 - 1e-9,
+    )
+    out["instructions"] = _number(
+        params, "instructions", "$.params", default=1_000_000.0, minimum=1.0
+    )
+    out["policy"] = _choice(params, "policy", _POLICIES, "$.params", default="FS")
+    out["stall_factor"] = _number(params, "stall_factor", "$.params", minimum=0.0)
+    out["write_buffers"] = _bool(params, "write_buffers", "$.params")
+    return out
+
+
+def validate_tradeoff(params: Any) -> dict[str, Any]:
+    """``/v1/tradeoff``: one feature's traded hit ratio (Eq. 6)."""
+    params = _object(params, "$.params")
+    _reject_unknown(
+        params,
+        {
+            "feature",
+            "base_hit_ratio",
+            "bus_width",
+            "line_size",
+            "memory_cycle",
+            "turnaround",
+            "flush_ratio",
+            "stall_factor",
+        },
+        "$.params",
+    )
+    out = _geometry(params, "$.params")
+    out["feature"] = _choice(
+        params, "feature", FEATURES, "$.params", required=True
+    )
+    out["base_hit_ratio"] = _number(
+        params,
+        "base_hit_ratio",
+        "$.params",
+        minimum=0.0,
+        maximum=1.0 - 1e-9,
+        required=True,
+    )
+    out["flush_ratio"] = _number(
+        params, "flush_ratio", "$.params", default=0.5, minimum=0.0, maximum=1.0
+    )
+    out["stall_factor"] = _number(params, "stall_factor", "$.params", minimum=0.0)
+    require(
+        out["feature"] != "partial-stalling" or out["stall_factor"] is not None,
+        "$.params.stall_factor",
+        "is required for feature 'partial-stalling' (a trace-measured phi)",
+    )
+    return out
+
+
+def validate_ranking(params: Any) -> dict[str, Any]:
+    """``/v1/ranking``: the Table 3 / Figures 3-5 unified comparison."""
+    params = _object(params, "$.params")
+    _reject_unknown(
+        params,
+        {
+            "base_hit_ratio",
+            "bus_width",
+            "line_size",
+            "turnaround",
+            "flush_ratio",
+            "betas",
+            "stall_factors",
+        },
+        "$.params",
+    )
+    out = _geometry({k: v for k, v in params.items() if k != "betas"}, "$.params")
+    del out["memory_cycle"]
+    out["base_hit_ratio"] = _number(
+        params,
+        "base_hit_ratio",
+        "$.params",
+        minimum=0.0,
+        maximum=1.0 - 1e-9,
+        required=True,
+    )
+    out["flush_ratio"] = _number(
+        params, "flush_ratio", "$.params", default=0.5, minimum=0.0, maximum=1.0
+    )
+    betas = params.get("betas")
+    require(
+        isinstance(betas, list) and betas and len(betas) <= 64,
+        "$.params.betas",
+        "must be a non-empty list of at most 64 numbers",
+    )
+    for i, beta in enumerate(betas):
+        require_number(beta, f"$.params.betas[{i}]")
+        require(beta >= 1.0, f"$.params.betas[{i}]", "must be >= 1")
+    out["betas"] = [float(b) for b in betas]
+    stall_factors = params.get("stall_factors")
+    if stall_factors is not None:
+        require(
+            isinstance(stall_factors, list)
+            and len(stall_factors) == len(betas),
+            "$.params.stall_factors",
+            "must be a list parallel to betas (one measured phi per beta)",
+        )
+        for i, phi in enumerate(stall_factors):
+            require_number(phi, f"$.params.stall_factors[{i}]")
+            require(phi >= 0.0, f"$.params.stall_factors[{i}]", "must be >= 0")
+        out["stall_factors"] = [float(p) for p in stall_factors]
+    else:
+        out["stall_factors"] = None
+    return out
+
+
+def validate_advise(params: Any) -> dict[str, Any]:
+    """``/v1/advise``: the design advisor (Section 5.3 as a service)."""
+    params = _object(params, "$.params")
+    _reject_unknown(
+        params,
+        {
+            "bus_width",
+            "line_size",
+            "memory_cycle",
+            "turnaround",
+            "cache_kib",
+            "flush_ratio",
+            "stall_factor",
+        },
+        "$.params",
+    )
+    out = _geometry(params, "$.params")
+    out["cache_kib"] = _integer(
+        params, "cache_kib", "$.params", default=8, minimum=1, maximum=1 << 16
+    )
+    out["flush_ratio"] = _number(
+        params, "flush_ratio", "$.params", default=0.5, minimum=0.0, maximum=1.0
+    )
+    out["stall_factor"] = _number(params, "stall_factor", "$.params", minimum=0.0)
+    return out
+
+
+def _validate_trace(spec: Any) -> dict[str, Any]:
+    spec = _object(spec, "$.params.trace")
+    kind = _choice(
+        spec, "kind", ("spec92", "matmul"), "$.params.trace", required=True
+    )
+    if kind == "spec92":
+        _reject_unknown(
+            spec, {"kind", "name", "instructions", "seed"}, "$.params.trace"
+        )
+        name = spec.get("name", "swm256")
+        require(
+            isinstance(name, str) and name in SPEC92_PROFILES,
+            "$.params.trace.name",
+            f"must be one of {sorted(SPEC92_PROFILES)}",
+        )
+        return {
+            "kind": "spec92",
+            "name": name,
+            "instructions": _integer(
+                spec,
+                "instructions",
+                "$.params.trace",
+                default=8_000,
+                minimum=1,
+                maximum=MAX_INSTRUCTIONS,
+            ),
+            "seed": _integer(spec, "seed", "$.params.trace", default=7, minimum=0),
+        }
+    _reject_unknown(
+        spec,
+        {"kind", "n", "tile", "element_size", "alu_per_reference"},
+        "$.params.trace",
+    )
+    tile = None
+    if spec.get("tile") is not None:
+        tile = _integer(spec, "tile", "$.params.trace", minimum=1)
+    return {
+        "kind": "matmul",
+        "n": _integer(
+            spec, "n", "$.params.trace", minimum=1, maximum=MAX_MATMUL_N, required=True
+        ),
+        "tile": tile,
+        "element_size": _integer(
+            spec, "element_size", "$.params.trace", default=8, minimum=1
+        ),
+        "alu_per_reference": _integer(
+            spec, "alu_per_reference", "$.params.trace", default=2, minimum=0
+        ),
+    }
+
+
+def _validate_cache(spec: Any) -> dict[str, Any]:
+    spec = _object(spec, "$.params.cache")
+    _reject_unknown(
+        spec, {"total_bytes", "line_size", "associativity"}, "$.params.cache"
+    )
+    out = {
+        "total_bytes": _integer(
+            spec,
+            "total_bytes",
+            "$.params.cache",
+            default=8192,
+            minimum=1,
+            maximum=1 << 24,
+        ),
+        "line_size": _integer(
+            spec, "line_size", "$.params.cache", default=32, minimum=1
+        ),
+        "associativity": _integer(
+            spec, "associativity", "$.params.cache", default=2, minimum=1
+        ),
+    }
+    for name in ("total_bytes", "line_size"):
+        require(
+            out[name] & (out[name] - 1) == 0,
+            f"$.params.cache.{name}",
+            "must be a power of two",
+        )
+    return out
+
+
+def validate_simulate(params: Any) -> dict[str, Any]:
+    """``/v1/simulate``: an exact per-configuration ``TimingResult``."""
+    params = _object(params, "$.params")
+    _reject_unknown(
+        params,
+        {
+            "trace",
+            "cache",
+            "policy",
+            "memory_cycle",
+            "bus_width",
+            "write_buffer_depth",
+            "pipelined_q",
+            "issue_rate",
+            "deadline_ms",
+        },
+        "$.params",
+    )
+    out = {
+        "trace": _validate_trace(params.get("trace", {"kind": "spec92"})),
+        "cache": _validate_cache(params.get("cache", {})),
+        "policy": _choice(params, "policy", _POLICIES, "$.params", default="FS"),
+        "memory_cycle": _number(
+            params, "memory_cycle", "$.params", default=8.0, minimum=1.0
+        ),
+        "bus_width": _integer(params, "bus_width", "$.params", default=4, minimum=1),
+        "write_buffer_depth": _integer(
+            params, "write_buffer_depth", "$.params", minimum=0
+        ),
+        "pipelined_q": _number(params, "pipelined_q", "$.params", minimum=1.0),
+        "issue_rate": _number(
+            params, "issue_rate", "$.params", default=1.0, minimum=1.0
+        ),
+        "deadline_ms": _number(params, "deadline_ms", "$.params", minimum=1.0),
+    }
+    require(
+        out["cache"]["line_size"] % out["bus_width"] == 0,
+        "$.params.cache.line_size",
+        f"must be a multiple of bus_width ({out['bus_width']})",
+    )
+    return out

@@ -1,0 +1,287 @@
+"""The asyncio server: connections, drain-then-shutdown, CLI entry.
+
+:class:`ReproServer` owns the listening socket, one coroutine per
+connection (persistent HTTP/1.1, one request at a time per connection),
+the :class:`~repro.service.batching.MicroBatcher`, and the
+:class:`~repro.service.result_cache.ResultCache`.  Shutdown is a
+*drain*: :meth:`ReproServer.begin_shutdown` (wired to SIGTERM/SIGINT by
+:func:`run_server`, callable directly from tests) closes the listener,
+lets every in-flight request finish and be answered — with
+``Connection: close`` so clients re-dial elsewhere — force-closes idle
+connections, and only then stops the batch worker.
+
+Metrics land in the *process-global* registry by default
+(``repro.obs.metrics``): the engine's own instrumentation
+(``engine.replay.dispatches``, ``engine.step_fallback.dispatches``,
+events-store hits) uses module-global counters, so sharing the registry
+is what lets ``GET /v1/stats`` report engine dispatch alongside queue
+depth and cache hit ratios in one snapshot.  Counter keys are
+partitioned by thread — ``service.batch.*``/``service.queue.*`` from
+the event loop, ``service.phase1.*``/``engine.*`` from the single batch
+worker — so the shared registry needs no lock.
+
+:class:`ServerThread` runs the whole loop on a daemon thread for tests
+and the load generator; ``python -m repro serve`` uses
+:func:`run_server` in the foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs import metrics, tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.service import http11
+from repro.service.app import ServiceApp, error_body
+from repro.service.batching import MicroBatcher
+from repro.service.http11 import HttpError
+from repro.service.result_cache import ResultCache
+
+
+@dataclass
+class ServerConfig:
+    """Everything tunable about one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port (tests, load generator)
+    queue_limit: int = 64
+    batch_window_s: float = 0.002
+    result_cache_bytes: int = 8 * 1024 * 1024
+    default_deadline_s: float = 30.0
+    events_memo_entries: int = 8
+    max_header_bytes: int = http11.DEFAULT_MAX_HEADER_BYTES
+    max_body_bytes: int = http11.DEFAULT_MAX_BODY_BYTES
+    drain_grace_s: float = 30.0
+
+
+class ReproServer:
+    """One listening socket plus its batcher, cache, and connections."""
+
+    def __init__(
+        self, config: ServerConfig | None = None, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config or ServerConfig()
+        self._registry_override = registry
+        self.registry: MetricsRegistry | None = None
+        self.app: ServiceApp | None = None
+        self.batcher: MicroBatcher | None = None
+        self.result_cache: ResultCache | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._port: int | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._draining = False
+        self._shutdown_requested = asyncio.Event()
+        self._drained = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful once started; resolves port 0)."""
+        assert self._port is not None, "server not started"
+        return self._port
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the batch scheduler."""
+        self.registry = (
+            self._registry_override
+            or metrics.current_metrics()
+            or metrics.enable_metrics()
+        )
+        self.result_cache = ResultCache(self.config.result_cache_bytes)
+        self.batcher = MicroBatcher(
+            self.registry,
+            max_pending=self.config.queue_limit,
+            batch_window_s=self.config.batch_window_s,
+            events_memo_entries=self.config.events_memo_entries,
+        )
+        self.batcher.start()
+        self.app = ServiceApp(
+            self.registry,
+            self.batcher,
+            self.result_cache,
+            default_deadline_s=self.config.default_deadline_s,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            # readuntil() overruns at the stream limit, which is how the
+            # header-block cap in http11.read_request actually triggers.
+            limit=self.config.max_header_bytes,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    def begin_shutdown(self) -> None:
+        """Request a drain (signal handlers, tests); returns immediately."""
+        self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`begin_shutdown`, then drain and stop."""
+        await self._shutdown_requested.wait()
+        await self._drain()
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight work, stop the batcher."""
+        self._draining = True
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_grace_s
+        while self._active_requests and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):  # idle keep-alive connections
+            writer.close()
+        assert self.batcher is not None
+        await self.batcher.drain()
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        """Block until a requested drain has completed."""
+        await self._drained.wait()
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await http11.read_request(
+                        reader,
+                        max_header_bytes=self.config.max_header_bytes,
+                        max_body_bytes=self.config.max_body_bytes,
+                    )
+                except HttpError as error:
+                    body = error_body(error.status, error.code, error.message)
+                    writer.write(
+                        http11.render_response(error.status, body, keep_alive=False)
+                    )
+                    await writer.drain()
+                    return
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return  # client vanished mid-request
+                if request is None:
+                    return  # clean close between requests
+                self._active_requests += 1
+                try:
+                    with tracing.span("service.request", path=request.path):
+                        assert self.app is not None
+                        status, body = await self.app.handle(request)
+                finally:
+                    self._active_requests -= 1
+                keep_alive = request.keep_alive and not self._draining
+                try:
+                    writer.write(
+                        http11.render_response(status, body, keep_alive=keep_alive)
+                    )
+                    await writer.drain()
+                except ConnectionError:
+                    return
+                if not keep_alive:
+                    return
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def run_server(config: ServerConfig | None = None) -> None:
+    """Foreground entry point: serve until SIGTERM/SIGINT, then drain."""
+    config = config or ServerConfig()
+
+    async def main() -> None:
+        server = ReproServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, server.begin_shutdown)
+        print(f"repro.service listening on {config.host}:{server.port}")
+        await server.serve_until_shutdown()
+        print("repro.service drained, bye")
+
+    asyncio.run(main())
+
+
+class ServerThread:
+    """A server on a daemon thread, for tests and the load generator.
+
+    Usage::
+
+        with ServerThread() as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            ...
+
+    ``stop()`` performs the full drain (the SIGTERM path) before the
+    thread joins, so anything in flight when the ``with`` block exits is
+    still answered.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.server = ReproServer(self.config, registry=registry)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        assert self._thread is None, "already started"
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("service thread failed to start")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def begin_shutdown(self) -> None:
+        """Trigger the drain from any thread without waiting for it."""
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self.server.begin_shutdown)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and join (idempotent)."""
+        if self._thread is None:
+            return
+        self.begin_shutdown()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not drain in time")
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

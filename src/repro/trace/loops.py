@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.trace.record import ALU_OP, Instruction, OpKind
 
 
@@ -120,6 +122,69 @@ def with_compute(
             yield ALU_OP
 
 
+def matmul_instructions(
+    a: Matrix, b: Matrix, c: Matrix, tile: int | None = None
+) -> list[Instruction]:
+    """Array-generated equivalent of ``list(matmul(a, b, c, tile))``.
+
+    The iterator form runs six nested Python loops and one
+    bounds-checked :meth:`Matrix.address` call per reference; here each
+    tile block's interleaved address pattern — ``(A[i,k], B[k,j])`` k
+    pairs then the ``C[i,j]`` load/store — is a single broadcast into a
+    ``(bi, bj, 2*bk + 2)`` array, and only the final
+    :class:`Instruction` materialization stays per-element.  The test
+    suite pins this path element-identical to the iterator, which
+    remains the executable specification.
+    """
+    if a.cols != b.rows or c.rows != a.rows or c.cols != b.cols:
+        raise ValueError(
+            f"shape mismatch: A {a.rows}x{a.cols}, B {b.rows}x{b.cols}, "
+            f"C {c.rows}x{c.cols}"
+        )
+    if tile is not None and tile <= 0:
+        raise ValueError(f"tile must be positive, got {tile}")
+    step = tile or max(a.rows, a.cols, b.cols)
+
+    # Each slot key is ``address * 4 + slot class`` (A load / B load /
+    # C load / C store), so one np.unique pass both dedups the heavily
+    # reused references and keeps their kind and operand size straight.
+    blocks: list[np.ndarray] = []
+    for i0 in range(0, a.rows, step):
+        i = np.arange(i0, min(i0 + step, a.rows))
+        for j0 in range(0, b.cols, step):
+            j = np.arange(j0, min(j0 + step, b.cols))
+            for k0 in range(0, a.cols, step):
+                k = np.arange(k0, min(k0 + step, a.cols))
+                width = 2 * len(k) + 2  # (A, B) pairs + C load + C store
+                block = np.empty((len(i), len(j), width), dtype=np.int64)
+                block[:, :, 0 : 2 * len(k) : 2] = (
+                    a.base
+                    + (i[:, None, None] * a.cols + k[None, None, :])
+                    * a.element_size
+                ) * 4
+                block[:, :, 1 : 2 * len(k) : 2] = (
+                    b.base
+                    + (k[None, None, :] * b.cols + j[None, :, None])
+                    * b.element_size
+                ) * 4 + 1
+                c_keys = (
+                    c.base
+                    + (i[:, None] * c.cols + j[None, :]) * c.element_size
+                ) * 4
+                block[:, :, 2 * len(k)] = c_keys + 2
+                block[:, :, 2 * len(k) + 1] = c_keys + 3
+                blocks.append(block.ravel())
+    keys = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
+    unique, inverse = np.unique(keys, return_inverse=True)
+    kinds = (OpKind.LOAD, OpKind.LOAD, OpKind.LOAD, OpKind.STORE)
+    sizes = (a.element_size, b.element_size, c.element_size, c.element_size)
+    table = [
+        Instruction(kinds[key & 3], key >> 2, sizes[key & 3])
+        for key in unique.tolist()
+    ]
+    return list(map(table.__getitem__, inverse.tolist()))
+
+
 def square_matmul_trace(
     n: int,
     tile: int | None = None,
@@ -128,12 +193,23 @@ def square_matmul_trace(
 ) -> list[Instruction]:
     """Convenience: the full trace of an ``n x n`` matmul.
 
-    A at 0, B and C following contiguously.
+    A at 0, B and C following contiguously.  Built on the vectorized
+    :func:`matmul_instructions` path with ALU interleaving done by slice
+    assignment — the stream is element-identical to
+    ``list(with_compute(matmul(a, b, c, tile), alu_per_reference))``.
     """
+    if alu_per_reference < 0:
+        raise ValueError("alu_per_reference must be non-negative")
     a = Matrix(0, n, n, element_size)
     b = Matrix(a.bytes, n, n, element_size)
     c = Matrix(a.bytes + b.bytes, n, n, element_size)
-    return list(with_compute(matmul(a, b, c, tile), alu_per_reference))
+    references = matmul_instructions(a, b, c, tile)
+    if alu_per_reference == 0:
+        return references
+    stride = 1 + alu_per_reference
+    trace = [ALU_OP] * (len(references) * stride)
+    trace[::stride] = references
+    return trace
 
 
 #: Bump whenever the loop generators change the reference stream for a

@@ -5,8 +5,11 @@ import pytest
 from repro.cache.cache import CacheConfig
 from repro.core.multi_issue import multi_issue_execution_time
 from repro.core.params import SystemConfig, WorkloadCharacter
+from repro.core.stalling import StallPolicy
 from repro.cpu.processor import TimingSimulator
+from repro.cpu.replay import simulate, unsupported_reason
 from repro.memory.mainmem import MainMemory
+from repro.obs import metrics
 from repro.trace.spec92 import spec92_trace
 
 CACHE = CacheConfig(8192, 32, 2)
@@ -56,3 +59,48 @@ class TestMultiIssueSimulator:
     def test_issue_rate_validated(self):
         with pytest.raises(ValueError, match="issue_rate"):
             TimingSimulator(CACHE, MainMemory(8.0, 4), issue_rate=0.5)
+
+
+class TestStepFallbackContract:
+    """Multi-issue is *oracle-only* by contract: the unified dispatcher
+    must route ``issue_rate != 1`` to the step simulator and say so in
+    metrics, so a future replay extension cannot silently change which
+    engine answers (see docs/ENGINE.md, "Scope and dispatch")."""
+
+    def test_multi_issue_reason_token(self):
+        memory = MainMemory(8.0, 4)
+        assert unsupported_reason(CACHE, memory, StallPolicy.FULL_STALL) is None
+        assert (
+            unsupported_reason(
+                CACHE, memory, StallPolicy.FULL_STALL, issue_rate=2.0
+            )
+            == "multi-issue"
+        )
+
+    def test_dispatch_records_labelled_fallback(self):
+        trace = spec92_trace("ear", 3000, seed=9)
+        registry = metrics.enable_metrics()
+        try:
+            simulate(trace, CACHE, MainMemory(8.0, 4), issue_rate=2.0)
+        finally:
+            metrics.disable_metrics()
+        assert (
+            registry.counter("engine.step_fallback.dispatches", reason="multi-issue")
+            == 1
+        )
+
+    def test_single_issue_never_dispatches_to_step(self):
+        trace = spec92_trace("ear", 3000, seed=9)
+        registry = metrics.enable_metrics()
+        try:
+            simulate(trace, CACHE, MainMemory(8.0, 4), issue_rate=1.0)
+        finally:
+            metrics.disable_metrics()
+        counters = registry.snapshot()["counters"]
+        fallbacks = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("engine.step_fallback.")
+        }
+        assert fallbacks == {}
+        assert counters.get("engine.replay.dispatches{policy=FS}", 0) >= 0

@@ -1,0 +1,251 @@
+"""The micro-batch scheduler, exercised with injected compute."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.batching import EventsMemo, MicroBatcher, QueueFullError
+
+
+class Recorder:
+    """Injected phase-1/phase-2 with call accounting."""
+
+    def __init__(self, resolve_delay: float = 0.0) -> None:
+        self.resolved: list[str] = []
+        self.computed: list[dict] = []
+        self.resolve_delay = resolve_delay
+
+    def resolve(self, params):
+        import time
+
+        if self.resolve_delay:
+            time.sleep(self.resolve_delay)
+        self.resolved.append(params["key"])
+        return f"events:{params['key']}"
+
+    def compute(self, params, events):
+        assert events == f"events:{params['key']}"
+        self.computed.append(params)
+        return {"key": params["key"], "value": params["value"]}
+
+
+def make_batcher(recorder, registry=None, **kwargs):
+    registry = registry or MetricsRegistry()
+    kwargs.setdefault("batch_window_s", 0.005)
+    batcher = MicroBatcher(
+        registry,
+        resolve_events=recorder.resolve,
+        compute=recorder.compute,
+        **kwargs,
+    )
+    # The scheduler groups on the real events key in production; tests
+    # inject a trivial key function via params["key"].
+    return batcher, registry
+
+
+@pytest.fixture(autouse=True)
+def _key_by_param(monkeypatch):
+    from repro.service import batching
+
+    monkeypatch.setattr(
+        batching.queries, "events_key_of", lambda params: params["key"]
+    )
+
+
+class TestCoalescing:
+    def test_concurrent_same_key_resolve_once(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder)
+            batcher.start()
+            results = await asyncio.gather(
+                *(
+                    batcher.submit({"key": "shared", "value": i})
+                    for i in range(8)
+                )
+            )
+            await batcher.drain()
+            return results, registry
+
+        results, registry = asyncio.run(run())
+        assert [r["value"] for r in results] == list(range(8))
+        assert recorder.resolved == ["shared"]  # phase 1 exactly once
+        assert len(recorder.computed) == 8  # phase 2 per request
+        counters = registry.snapshot()["counters"]
+        assert counters["service.phase1.resolves"] == 1
+        assert counters["service.batch.requests"] == 8
+        assert counters["service.batch.groups"] == 1
+        assert counters["service.batch.coalesced"] == 7
+
+    def test_distinct_keys_resolve_separately(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder)
+            batcher.start()
+            await asyncio.gather(
+                batcher.submit({"key": "a", "value": 1}),
+                batcher.submit({"key": "b", "value": 2}),
+            )
+            await batcher.drain()
+            return registry
+
+        registry = asyncio.run(run())
+        assert sorted(recorder.resolved) == ["a", "b"]
+        counters = registry.snapshot()["counters"]
+        assert counters["service.batch.groups"] == 2
+
+    def test_memo_carries_across_batches(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder)
+            batcher.start()
+            await batcher.submit({"key": "hot", "value": 1})
+            await batcher.submit({"key": "hot", "value": 2})
+            await batcher.drain()
+            return registry
+
+        registry = asyncio.run(run())
+        assert recorder.resolved == ["hot"]  # second batch hit the memo
+        counters = registry.snapshot()["counters"]
+        assert counters["service.events_memo.hit"] == 1
+        assert counters["service.events_memo.miss"] == 1
+
+
+class TestBackpressure:
+    def test_queue_limit_rejects_immediately(self):
+        recorder = Recorder(resolve_delay=0.05)
+
+        async def run():
+            batcher, registry = make_batcher(
+                recorder, max_pending=2, batch_window_s=0.2
+            )
+            batcher.start()
+            first = asyncio.ensure_future(
+                batcher.submit({"key": "a", "value": 1})
+            )
+            second = asyncio.ensure_future(
+                batcher.submit({"key": "b", "value": 2})
+            )
+            await asyncio.sleep(0.01)  # both now pending in the window
+            with pytest.raises(QueueFullError):
+                await batcher.submit({"key": "c", "value": 3})
+            await asyncio.gather(first, second)
+            await batcher.drain()
+            return registry
+
+        registry = asyncio.run(run())
+        assert registry.snapshot()["counters"]["service.queue.rejected"] == 1
+
+    def test_submit_after_drain_rejected(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, _ = make_batcher(recorder)
+            batcher.start()
+            await batcher.submit({"key": "a", "value": 1})
+            await batcher.drain()
+            with pytest.raises(QueueFullError, match="shutting down"):
+                await batcher.submit({"key": "b", "value": 2})
+
+        asyncio.run(run())
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(MetricsRegistry(), max_pending=0)
+        with pytest.raises(ValueError):
+            EventsMemo(0)
+
+
+class TestFailurePaths:
+    def test_compute_error_propagates_to_its_request_only(self):
+        recorder = Recorder()
+        original = recorder.compute
+
+        def compute(params, events):
+            if params["value"] == 13:
+                raise ValueError("unlucky")
+            return original(params, events)
+
+        recorder.compute = compute
+
+        async def run():
+            batcher, _ = make_batcher(recorder)
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit({"key": "k", "value": 13}),
+                batcher.submit({"key": "k", "value": 2}),
+                return_exceptions=True,
+            )
+            await batcher.drain()
+            return results
+
+        failed, ok = asyncio.run(run())
+        assert isinstance(failed, ValueError)
+        assert ok["value"] == 2
+
+    def test_resolve_error_fails_whole_group(self):
+        recorder = Recorder()
+        recorder.resolve = lambda params: (_ for _ in ()).throw(
+            RuntimeError("no events")
+        )
+
+        async def run():
+            batcher, _ = make_batcher(recorder)
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit({"key": "k", "value": 1}),
+                batcher.submit({"key": "k", "value": 2}),
+                return_exceptions=True,
+            )
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_cancelled_request_is_skipped_not_raced(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder, batch_window_s=0.05)
+            batcher.start()
+            doomed = asyncio.ensure_future(
+                batcher.submit({"key": "k", "value": 1})
+            )
+            survivor = asyncio.ensure_future(
+                batcher.submit({"key": "k", "value": 2})
+            )
+            await asyncio.sleep(0.01)
+            doomed.cancel()  # deadline path: handler abandons the wait
+            result = await survivor
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await batcher.drain()
+            return result, registry
+
+        result, registry = asyncio.run(run())
+        assert result["value"] == 2
+        assert [p["value"] for p in recorder.computed] == [2]
+        counters = registry.snapshot()["counters"]
+        assert counters["service.batch.abandoned"] == 1
+        assert batcher_depth_zero(registry)
+
+
+def batcher_depth_zero(registry):
+    histogram = registry.snapshot()["histograms"]["service.queue.depth"]
+    return histogram["count"] >= 1
+
+
+class TestEventsMemo:
+    def test_lru_bound(self):
+        memo = EventsMemo(2)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        assert memo.get("a") == 1  # refresh
+        memo.put("c", 3)  # evicts b
+        assert memo.get("b") is None
+        assert memo.get("a") == 1 and memo.get("c") == 3

@@ -1,0 +1,112 @@
+"""The hand-rolled HTTP/1.1 framing layer."""
+
+import asyncio
+
+import pytest
+
+from repro.service.http11 import (
+    HttpError,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **limits):
+    """Drive read_request over an in-memory stream."""
+
+    async def run():
+        reader = asyncio.StreamReader(limit=limits.get("max_header_bytes", 16384))
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/health"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = b'{"params": {}}'
+        raw = (
+            b"POST /v1/simulate HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.body == body
+
+    def test_connection_close_honoured(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request_line"
+
+    def test_non_http_version_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / SPDY/3\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_method(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"DELETE /v1/simulate HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 405
+
+    def test_malformed_header_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.code == "bad_header"
+
+    def test_bad_content_length(self):
+        for value in (b"banana", b"-5"):
+            with pytest.raises(HttpError) as excinfo:
+                parse(b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n")
+            assert excinfo.value.code == "bad_content_length"
+
+    def test_oversized_body_rejected_before_reading(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw, max_body_bytes=1024)
+        assert excinfo.value.status == 413
+
+    def test_oversized_headers_rejected(self):
+        raw = b"GET / HTTP/1.1\r\nX-Filler: " + b"a" * 4096 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw, max_header_bytes=1024)
+        assert excinfo.value.status == 431
+
+    def test_chunked_encoding_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.code == "unsupported_transfer_encoding"
+
+
+class TestRenderResponse:
+    def test_roundtrip_fields(self):
+        raw = render_response(200, b'{"ok": true}', keep_alive=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok": true}'
+
+    def test_close_and_unusual_status(self):
+        raw = render_response(429, b"{}", keep_alive=False)
+        assert raw.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Connection: close" in raw

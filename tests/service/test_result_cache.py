@@ -1,0 +1,103 @@
+"""The content-addressed, byte-bounded result cache."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.service.result_cache import (
+    ResultCache,
+    result_key,
+    simulate_key_material,
+)
+
+CONFIG = CacheConfig(8192, 32, 2)
+
+
+def material(**overrides):
+    base = dict(
+        trace_fingerprint="spec92/1/swm256/8000/7",
+        config=CONFIG,
+        policy="FS",
+        memory_cycle=8.0,
+        bus_width=4,
+        write_buffer_depth=None,
+        pipelined_q=None,
+        issue_rate=1.0,
+    )
+    base.update(overrides)
+    return simulate_key_material(**base)
+
+
+class TestKeyMaterial:
+    def test_every_field_discriminates(self):
+        base = material()
+        variants = [
+            material(trace_fingerprint="spec92/1/ear/8000/7"),
+            material(config=CacheConfig(16384, 32, 2)),
+            material(config=CacheConfig(8192, 64, 2)),
+            material(policy="BNL3"),
+            material(memory_cycle=16.0),
+            material(bus_width=8),
+            material(write_buffer_depth=4),
+            material(pipelined_q=2.0),
+            material(issue_rate=2.0),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_material_is_human_readable_and_key_is_hex(self):
+        text = material()
+        assert "swm256" in text and "FS" in text
+        key = result_key(text)
+        assert len(key) == 64
+        assert int(key, 16) >= 0  # hex digest
+
+    def test_same_material_same_key(self):
+        assert result_key(material()) == result_key(material())
+
+
+class TestResultCache:
+    def test_hit_and_miss_accounting(self):
+        cache = ResultCache(1024)
+        assert cache.get("k") is None
+        cache.put("k", b"payload")
+        assert cache.get("k") == b"payload"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert cache.size_bytes == 7
+        assert len(cache) == 1
+
+    def test_lru_eviction_by_bytes(self):
+        cache = ResultCache(10)
+        cache.put("a", b"aaaa")
+        cache.put("b", b"bbbb")
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", b"cccc")  # 12 bytes > 10: evict b
+        assert cache.get("b") is None
+        assert cache.get("a") == b"aaaa"
+        assert cache.get("c") == b"cccc"
+        assert cache.evictions == 1
+        assert cache.size_bytes <= 10
+
+    def test_oversized_payload_not_cached(self):
+        cache = ResultCache(4)
+        cache.put("big", b"xxxxxxxx")
+        assert len(cache) == 0
+        assert cache.get("big") is None
+
+    def test_replacing_entry_updates_bytes(self):
+        cache = ResultCache(100)
+        cache.put("k", b"aaaa")
+        cache.put("k", b"bb")
+        assert cache.size_bytes == 2
+        assert len(cache) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(100)
+        cache.put("k", b"aaaa")
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0 and cache.size_bytes == 0
+        assert cache.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)

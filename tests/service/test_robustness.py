@@ -1,0 +1,212 @@
+"""The robustness contract: deadlines, backpressure, drain, bad input.
+
+Each test gets its own server — these tests deliberately wedge, drain,
+or overflow it.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import ServerConfig, ServerThread, ServiceClient, ServiceError
+
+SLOW_TRACE = {"kind": "matmul", "n": 64}  # ~1s+ of cold phase-1 extraction
+QUICK_TRACE = {"kind": "spec92", "name": "swm256", "instructions": 2000, "seed": 7}
+
+
+def start_server(**overrides):
+    config = ServerConfig(**{"batch_window_s": 0.001, **overrides})
+    return ServerThread(config, registry=MetricsRegistry()).start()
+
+
+def raw_request(port, payload: bytes, path="/v1/simulate", method="POST"):
+    """Send arbitrary bytes as a request body, return (status, envelope)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30.0)
+    try:
+        try:
+            conn.request(method, path, body=payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # The server rejects an oversized body from its headers alone
+            # and may close before the client finishes sending it; the
+            # error response is already on the wire.
+            pass
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestDeadlines:
+    def test_deadline_timeout_is_a_structured_error(self):
+        handle = start_server()
+        try:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            with pytest.raises(ServiceError) as excinfo:
+                client.simulate(trace=SLOW_TRACE, deadline_ms=25.0)
+            assert excinfo.value.status == 504
+            assert excinfo.value.code == "deadline_exceeded"
+            # The server survives: the abandoned compute finishes in the
+            # background and the connection stays usable.
+            assert client.health() == {"status": "ok"}
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_deadline_only_cancels_its_own_request(self):
+        handle = start_server()
+        try:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            outcome = {}
+
+            def doomed():
+                c = ServiceClient("127.0.0.1", handle.port)
+                try:
+                    c.simulate(trace=SLOW_TRACE, deadline_ms=25.0)
+                    outcome["doomed"] = "completed"
+                except ServiceError as error:
+                    outcome["doomed"] = error.code
+                finally:
+                    c.close()
+
+            thread = threading.Thread(target=doomed)
+            thread.start()
+            survivor = client.simulate(trace=QUICK_TRACE)
+            thread.join()
+            assert outcome["doomed"] == "deadline_exceeded"
+            assert survivor["result"]["cycles"] > 0
+            client.close()
+        finally:
+            handle.stop()
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_not_hangs(self):
+        # queue_limit=1 and a long batch window: the first request parks
+        # in the window, the second must bounce immediately.
+        handle = start_server(queue_limit=1, batch_window_s=0.5)
+        try:
+            first_result = {}
+
+            def first():
+                c = ServiceClient("127.0.0.1", handle.port)
+                try:
+                    first_result["envelope"] = c.simulate(trace=QUICK_TRACE)
+                finally:
+                    c.close()
+
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            thread = threading.Thread(target=first)
+            thread.start()
+            time.sleep(0.1)  # first request is now queued in the window
+            started = time.monotonic()
+            with pytest.raises(ServiceError) as excinfo:
+                client.simulate(trace=QUICK_TRACE)
+            elapsed = time.monotonic() - started
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "backpressure"
+            assert elapsed < 0.4  # rejected inside the batch window
+            thread.join()
+            assert first_result["envelope"]["result"]["cycles"] > 0
+            client.close()
+        finally:
+            handle.stop()
+
+
+class TestDrainOnShutdown:
+    def test_in_flight_requests_answered_then_sockets_close(self):
+        handle = start_server(batch_window_s=0.3)
+        outcome = {}
+
+        def in_flight():
+            c = ServiceClient("127.0.0.1", handle.port)
+            try:
+                outcome["envelope"] = c.simulate(trace=QUICK_TRACE)
+            except Exception as error:  # pragma: no cover - surfaced below
+                outcome["error"] = error
+            finally:
+                c.close()
+
+        probe = ServiceClient("127.0.0.1", handle.port)
+        probe.wait_ready()
+        probe.close()
+        thread = threading.Thread(target=in_flight)
+        thread.start()
+        time.sleep(0.1)  # request now parked in the batch window
+        handle.stop()  # the SIGTERM path: drain, then join
+        thread.join()
+        assert "error" not in outcome
+        assert outcome["envelope"]["result"]["cycles"] > 0
+        # After the drain the listener is gone.
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", handle.server.port), timeout=1.0)
+
+    def test_idle_keep_alive_connections_do_not_block_drain(self):
+        handle = start_server()
+        client = ServiceClient("127.0.0.1", handle.port)
+        client.wait_ready()  # leaves an idle keep-alive connection open
+        started = time.monotonic()
+        handle.stop(timeout=10.0)
+        assert time.monotonic() - started < 5.0
+        client.close()
+
+
+class TestMalformedInput:
+    @pytest.fixture()
+    def server(self):
+        handle = start_server()
+        client = ServiceClient("127.0.0.1", handle.port)
+        client.wait_ready()
+        yield handle
+        client.close()
+        handle.stop()
+
+    def test_invalid_json_body(self, server):
+        status, envelope = raw_request(server.port, b"{not json")
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid_json"
+
+    def test_non_object_body(self, server):
+        status, envelope = raw_request(server.port, b"[1, 2, 3]")
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid_json"
+
+    def test_unknown_top_level_key(self, server):
+        status, envelope = raw_request(server.port, b'{"prams": {}}')
+        assert status == 400
+        assert "params" in envelope["error"]["message"]
+
+    def test_schema_error_carries_json_path(self, server):
+        payload = json.dumps(
+            {"params": {"trace": {"kind": "spec92", "name": "doom"}}}
+        ).encode()
+        status, envelope = raw_request(server.port, payload)
+        assert status == 400
+        assert envelope["error"]["code"] == "schema_error"
+        assert "$.params.trace.name" in envelope["error"]["message"]
+
+    def test_unphysical_params_rejected_not_crashing(self, server):
+        # Structurally valid but domain-invalid: pipelined turnaround
+        # longer than the memory cycle is rejected by the domain layer.
+        payload = json.dumps(
+            {"params": {"memory_cycle": 2.0, "pipelined_q": 100.0}}
+        ).encode()
+        status, envelope = raw_request(server.port, payload)
+        assert status == 400
+        assert envelope["error"]["code"] in ("invalid_params", "schema_error")
+
+    def test_oversized_body_is_bounded(self, server):
+        status, envelope = raw_request(server.port, b" " * (2 * 1024 * 1024))
+        assert status == 413
+        assert envelope["error"]["code"] == "body_too_large"
+
+    def test_unsupported_method_on_known_path(self, server):
+        status, envelope = raw_request(server.port, b"{}", method="PUT")
+        assert status == 405

@@ -1,0 +1,144 @@
+"""Request validation: defaults, bounds, and JSON-path error messages."""
+
+import pytest
+
+from repro.obs.schemas import SchemaError
+from repro.service.schemas import (
+    MAX_INSTRUCTIONS,
+    validate_advise,
+    validate_execution_time,
+    validate_ranking,
+    validate_simulate,
+    validate_tradeoff,
+)
+
+
+class TestExecutionTime:
+    def test_defaults_fill_in(self):
+        out = validate_execution_time({"hit_ratio": 0.95})
+        assert out["bus_width"] == 4
+        assert out["memory_cycle"] == 8.0
+        assert out["policy"] == "FS"
+        assert out["flush_ratio"] == 0.5
+
+    def test_hit_ratio_required_and_bounded(self):
+        with pytest.raises(SchemaError, match=r"\$\.params\.hit_ratio"):
+            validate_execution_time({})
+        with pytest.raises(SchemaError, match=r"\$\.params\.hit_ratio"):
+            validate_execution_time({"hit_ratio": 1.5})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            validate_execution_time({"hit_ratio": 0.9, "hit_rato": 0.9})
+
+    def test_not_an_object(self):
+        with pytest.raises(SchemaError, match=r"\$\.params"):
+            validate_execution_time([1, 2])
+
+
+class TestTradeoff:
+    def test_partial_stalling_needs_phi(self):
+        with pytest.raises(SchemaError, match="stall_factor"):
+            validate_tradeoff(
+                {"feature": "partial-stalling", "base_hit_ratio": 0.9}
+            )
+        out = validate_tradeoff(
+            {
+                "feature": "partial-stalling",
+                "base_hit_ratio": 0.9,
+                "stall_factor": 0.4,
+            }
+        )
+        assert out["stall_factor"] == 0.4
+
+    def test_feature_choice_enforced(self):
+        with pytest.raises(SchemaError, match=r"\$\.params\.feature"):
+            validate_tradeoff({"feature": "warp-drive", "base_hit_ratio": 0.9})
+
+
+class TestRanking:
+    def test_betas_required_and_bounded(self):
+        with pytest.raises(SchemaError, match=r"\$\.params\.betas"):
+            validate_ranking({"base_hit_ratio": 0.9})
+        with pytest.raises(SchemaError, match=r"betas\[1\]"):
+            validate_ranking({"base_hit_ratio": 0.9, "betas": [2.0, 0.5]})
+        with pytest.raises(SchemaError, match=r"\$\.params\.betas"):
+            validate_ranking({"base_hit_ratio": 0.9, "betas": [2.0] * 65})
+
+    def test_stall_factors_must_parallel_betas(self):
+        with pytest.raises(SchemaError, match="parallel"):
+            validate_ranking(
+                {
+                    "base_hit_ratio": 0.9,
+                    "betas": [2.0, 4.0],
+                    "stall_factors": [0.4],
+                }
+            )
+
+
+class TestAdvise:
+    def test_defaults(self):
+        out = validate_advise({})
+        assert out["cache_kib"] == 8
+        assert out["stall_factor"] is None
+
+
+class TestSimulate:
+    def test_defaults_give_quick_spec92(self):
+        out = validate_simulate({})
+        assert out["trace"] == {
+            "kind": "spec92",
+            "name": "swm256",
+            "instructions": 8_000,
+            "seed": 7,
+        }
+        assert out["cache"] == {
+            "total_bytes": 8192,
+            "line_size": 32,
+            "associativity": 2,
+        }
+        assert out["policy"] == "FS"
+        assert out["issue_rate"] == 1.0
+        assert out["deadline_ms"] is None
+
+    def test_trace_bounds(self):
+        with pytest.raises(SchemaError, match="instructions"):
+            validate_simulate(
+                {
+                    "trace": {
+                        "kind": "spec92",
+                        "name": "swm256",
+                        "instructions": MAX_INSTRUCTIONS + 1,
+                    }
+                }
+            )
+        with pytest.raises(SchemaError, match=r"\$\.params\.trace\.name"):
+            validate_simulate({"trace": {"kind": "spec92", "name": "doom"}})
+        with pytest.raises(SchemaError, match=r"\$\.params\.trace\.n"):
+            validate_simulate({"trace": {"kind": "matmul", "n": 4096}})
+
+    def test_matmul_trace_normalised(self):
+        out = validate_simulate({"trace": {"kind": "matmul", "n": 16}})
+        assert out["trace"] == {
+            "kind": "matmul",
+            "n": 16,
+            "tile": None,
+            "element_size": 8,
+            "alu_per_reference": 2,
+        }
+
+    def test_geometry_power_of_two(self):
+        with pytest.raises(SchemaError, match="power of two"):
+            validate_simulate({"cache": {"total_bytes": 3000}})
+
+    def test_line_size_must_cover_bus(self):
+        with pytest.raises(SchemaError, match="multiple of bus_width"):
+            validate_simulate({"cache": {"line_size": 4}, "bus_width": 8})
+
+    def test_unknown_keys_rejected_everywhere(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            validate_simulate({"warp": 9})
+        with pytest.raises(SchemaError, match="unknown"):
+            validate_simulate({"trace": {"kind": "spec92", "nam": "swm256"}})
+        with pytest.raises(SchemaError, match="unknown"):
+            validate_simulate({"cache": {"bytes": 8192}})

@@ -6,6 +6,7 @@ from repro.cache.cache import Cache, CacheConfig
 from repro.trace.loops import (
     Matrix,
     matmul,
+    matmul_instructions,
     matvec,
     square_matmul_trace,
     with_compute,
@@ -86,6 +87,53 @@ class TestMatmul:
         a = Matrix(0, 2, 2)
         with pytest.raises(ValueError, match="tile"):
             list(matmul(a, Matrix(64, 2, 2), Matrix(128, 2, 2), tile=0))
+
+
+class TestVectorizedMatmul:
+    """The array path is pinned element-identical to the iterator,
+    which stays in the module as the executable specification."""
+
+    @pytest.mark.parametrize(
+        "rows,inner,cols,tile",
+        [
+            (5, 5, 5, None),
+            (7, 5, 9, 3),  # non-square, tile not dividing any axis
+            (8, 8, 8, 4),
+            (6, 6, 6, 8),  # tile larger than the matrices
+            (1, 1, 1, None),
+            (4, 4, 4, 1),
+        ],
+    )
+    def test_matches_iterator(self, rows, inner, cols, tile):
+        a = Matrix(0, rows, inner)
+        b = Matrix(a.bytes, inner, cols)
+        c = Matrix(a.bytes + b.bytes, rows, cols)
+        assert matmul_instructions(a, b, c, tile) == list(matmul(a, b, c, tile))
+
+    def test_matches_iterator_mixed_element_sizes(self):
+        a = Matrix(0, 6, 4, element_size=8)
+        b = Matrix(a.bytes, 4, 5, element_size=4)
+        c = Matrix(a.bytes + b.bytes, 6, 5, element_size=2)
+        assert matmul_instructions(a, b, c, 3) == list(matmul(a, b, c, 3))
+
+    @pytest.mark.parametrize(
+        "n,tile,alu", [(9, None, 2), (9, 4, 2), (8, 8, 0), (6, 4, 3)]
+    )
+    def test_square_trace_matches_generator_composition(self, n, tile, alu):
+        a = Matrix(0, n, n)
+        b = Matrix(a.bytes, n, n)
+        c = Matrix(a.bytes + b.bytes, n, n)
+        expected = list(with_compute(matmul(a, b, c, tile), alu))
+        assert square_matmul_trace(n, tile, 8, alu) == expected
+
+    def test_validation_matches_iterator(self):
+        a = Matrix(0, 2, 2)
+        with pytest.raises(ValueError, match="shape"):
+            matmul_instructions(a, Matrix(100, 3, 2), Matrix(200, 2, 2))
+        with pytest.raises(ValueError, match="tile"):
+            matmul_instructions(a, Matrix(64, 2, 2), Matrix(128, 2, 2), tile=0)
+        with pytest.raises(ValueError):
+            square_matmul_trace(4, alu_per_reference=-1)
 
 
 class TestCacheBehaviour:
