@@ -1,0 +1,24 @@
+"""Shared environment provenance for committed bench scoreboards.
+
+Both ``bench_engine_replay.py`` and ``bench_service.py`` embed this
+block so ``python -m repro.obs.bench_history`` entries are attributable
+to a code version and machine *shape* (python, platform, logical cpu
+count) without recording anything host-identifying — no hostname, no
+username, no paths.
+"""
+
+import os
+import platform
+import sys
+
+
+def bench_provenance() -> dict:
+    """The ``provenance`` object required by the bench schemas."""
+    from repro.obs import manifest
+
+    return {
+        "git_sha": manifest.git_revision(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }

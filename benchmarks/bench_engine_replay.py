@@ -120,9 +120,11 @@ def collect(full: bool = False) -> dict:
     import shutil
     import tempfile
 
+    from _provenance import bench_provenance
+
     from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
     from repro.experiments._phi import clear_caches
-    from repro.obs import manifest, metrics
+    from repro.obs import metrics
     from repro.obs.schemas import BENCH_ENGINE_SCHEMA
 
     bench_trace = spec92_trace("nasa7", 60_000, seed=7)
@@ -195,9 +197,6 @@ def collect(full: bool = False) -> dict:
         shutil.rmtree(store_dir, ignore_errors=True)
         clear_caches()
 
-    import platform
-    import sys
-
     return {
         "schema": BENCH_ENGINE_SCHEMA,
         "benchmarks": {k: round(v, 4) for k, v in benchmarks.items()},
@@ -208,11 +207,7 @@ def collect(full: bool = False) -> dict:
         ),
         "dispatch": dispatch,
         "metrics": snapshot,
-        "provenance": {
-            "git_sha": manifest.git_revision(),
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-        },
+        "provenance": bench_provenance(),
     }
 
 

@@ -35,8 +35,10 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from _provenance import bench_provenance
+
 from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
-from repro.obs import manifest, metrics
+from repro.obs import metrics
 from repro.obs.metrics import percentile
 from repro.obs.schemas import BENCH_SERVICE_SCHEMA, validate_bench_service
 from repro.service import ServerConfig, ServerThread, ServiceClient
@@ -73,6 +75,7 @@ def run_level(port: int, level: int, registry) -> tuple[dict, set[str]]:
     """Drive one concurrency level; returns (scoreboard entry, keys)."""
     latencies: list[float] = []
     errors: list[Exception] = []
+    worker_stats: list = []
     lock = threading.Lock()
     barrier = threading.Barrier(level)
     keys: set[str] = set()
@@ -104,6 +107,8 @@ def run_level(port: int, level: int, registry) -> tuple[dict, set[str]]:
                 with lock:
                     latencies.append((time.perf_counter() - started) * 1000.0)
         finally:
+            with lock:
+                worker_stats.append(connection.stats)
             connection.close()
 
     before_requests = registry.counter("service.batch.requests")
@@ -126,6 +131,19 @@ def run_level(port: int, level: int, registry) -> tuple[dict, set[str]]:
     hits = registry.counter("service.result_cache.hits") - before_hits
     misses = registry.counter("service.result_cache.misses") - before_misses
     lookups = hits + misses
+    # The client-side view of the same run: per-call wall time as the
+    # caller experienced it (ServiceClient instrumentation), plus the
+    # reconnect-retry count — zero on a healthy, non-draining server.
+    client_latencies = [v for s in worker_stats for v in s.latencies()]
+    client_section = {
+        "calls": sum(s.calls for s in worker_stats),
+        "retries": sum(s.retries for s in worker_stats),
+        "errors": sum(s.errors for s in worker_stats),
+        "latency_ms": {
+            "p50": round(percentile(client_latencies, 50.0), 3),
+            "p99": round(percentile(client_latencies, 99.0), 3),
+        },
+    }
     entry = {
         "clients": level,
         "requests": len(latencies),
@@ -139,6 +157,7 @@ def run_level(port: int, level: int, registry) -> tuple[dict, set[str]]:
             "mean": round(statistics.fmean(latencies), 3),
             "max": round(max(latencies), 3),
         },
+        "client": client_section,
     }
     if errors:
         entry["first_error"] = repr(errors[0])
@@ -246,10 +265,7 @@ def collect() -> dict:
                 "replay_calls": registry.counter("engine.replay.calls"),
                 "step_calls": registry.counter("engine.step.calls"),
             },
-            "provenance": {
-                "git_sha": manifest.git_revision(),
-                "python": sys.version.split()[0],
-            },
+            "provenance": bench_provenance(),
         }
     finally:
         handle.stop()

@@ -1,19 +1,26 @@
 """CI smoke for the tradeoff-query service: the real binary, end to end.
 
-Launches ``python -m repro serve`` as a subprocess, drives it with
-concurrent mixed requests (analytic + simulation, repeats for cache
-hits), writes every captured response envelope plus the stats snapshot
-to disk, and SIGTERMs the server to exercise the drain path.  The
-captured payloads are then validated offline::
+Launches ``python -m repro serve`` as a subprocess (with a structured
+access log), drives it with concurrent mixed requests (analytic +
+simulation, repeats for cache hits) carrying pinned
+``X-Repro-Request-Id`` headers, scrapes ``/metrics`` and
+``/v1/debug/trace``, writes every captured response envelope plus the
+stats snapshot and the span-ring tail to disk, and SIGTERMs the server
+to exercise the drain path.  The captured payloads are then validated
+offline::
 
     PYTHONPATH=src python scripts/service_smoke.py --payload-dir payloads
     PYTHONPATH=src python -m repro.obs.validate \
-        --service-response payloads/*.json
+        --service-response payloads/*.json \
+        --access-log payloads/access_log.jsonl
 
 Exit is non-zero if any request errors, if a *cached-config* simulation
 dispatched to the step simulator (the replay engine must cover every
-repeated query the smoke issues), or if the server fails to drain
-cleanly on SIGTERM.
+repeated query the smoke issues), if the server fails to drain cleanly
+on SIGTERM, or if the three observability views disagree: the metrics
+exposition must parse with a rolling-window p99 for every endpoint the
+smoke hit, every ``request_id`` in the span ring must appear in the
+access log, and the pinned simulate ids must appear in both.
 """
 
 import argparse
@@ -27,6 +34,9 @@ from pathlib import Path
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.obs.access_log import read_access_log
+from repro.obs.live import parse_exposition
+from repro.obs.schemas import SchemaError, validate_access_log_record
 from repro.service import ServiceClient
 from repro.util.jsonout import write_json
 
@@ -48,10 +58,10 @@ ANALYTIC_REQUESTS = [
 ]
 
 
-def launch_server() -> tuple[subprocess.Popen, int]:
+def launch_server(access_log: Path) -> tuple[subprocess.Popen, int]:
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--batch-window-ms", "1"],
+         "--batch-window-ms", "1", "--access-log", str(access_log)],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -76,11 +86,27 @@ def main(argv=None) -> int:
         default="service_payloads",
         help="directory for captured response envelopes",
     )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        help="server access-log path (default: PAYLOAD_DIR/access_log.jsonl)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="span-ring tail export "
+        "(default: PAYLOAD_DIR/trace/trace_tail.json, outside the "
+        "--service-response glob)",
+    )
     args = parser.parse_args(argv)
     payload_dir = Path(args.payload_dir)
     payload_dir.mkdir(parents=True, exist_ok=True)
+    access_log_path = Path(args.access_log or payload_dir / "access_log.jsonl")
+    trace_out = Path(
+        args.trace_out or payload_dir / "trace" / "trace_tail.json"
+    )
 
-    process, port = launch_server()
+    process, port = launch_server(access_log_path)
     captured: dict[str, dict] = {}
     failures: list[str] = []
     lock = threading.Lock()
@@ -100,14 +126,24 @@ def main(argv=None) -> int:
         finally:
             client.close()
 
+    pinned_ids: set[str] = set()
+    span_ids: set[str] = set()
+
     def simulate_worker(worker_id: int) -> None:
         client = ServiceClient("127.0.0.1", port)
         try:
             # Two passes over the same configs: the second is the
             # cached-config pass that must not touch the step engine.
+            # Every request pins its own X-Repro-Request-Id, so the
+            # access log and the span ring can be cross-checked by id.
             for round_id in range(2):
                 for index, params in enumerate(SIMULATE_CONFIGS):
-                    envelope = client.simulate(**params)
+                    request_id = f"smoke-w{worker_id}-r{round_id}-c{index}"
+                    with lock:
+                        pinned_ids.add(request_id)
+                    envelope = client.request(
+                        "POST", "/v1/simulate", params, request_id=request_id
+                    )
                     if envelope["result"]["engine"] != "replay":
                         failures.append(
                             f"config {index} served by "
@@ -129,8 +165,37 @@ def main(argv=None) -> int:
             thread.start()
         for thread in threads:
             thread.join()
-        stats = probe.stats()
+        stats = probe.stats_envelope()
         record("stats", stats)
+
+        # The live-observability surfaces, scraped while still serving.
+        metrics_text = probe.metrics_text()
+        samples = parse_exposition(metrics_text)
+        (payload_dir / "metrics.prom").write_text(metrics_text)
+        p99_endpoints = {
+            labels["endpoint"]
+            for labels, _ in samples.get("repro_sli_request_latency_ms", [])
+            if labels.get("quantile") == "0.99"
+        }
+        for endpoint in ("simulate", "execution-time", "tradeoff"):
+            if endpoint not in p99_endpoints:
+                failures.append(
+                    f"/metrics has no rolling-window p99 for {endpoint!r}"
+                )
+        trace_document = probe.debug_trace(last=4096)
+        write_json(trace_out, trace_document)
+        if not trace_document.get("enabled"):
+            failures.append("/v1/debug/trace reports tracing disabled")
+        span_ids.update(
+            event["args"]["request_id"]
+            for event in trace_document.get("traceEvents", [])
+            if "request_id" in event.get("args", {})
+        )
+        if not pinned_ids <= span_ids:
+            failures.append(
+                f"pinned ids missing from the span ring: "
+                f"{sorted(pinned_ids - span_ids)[:5]}"
+            )
         probe.close()
 
         counters = stats["counters"]
@@ -155,13 +220,38 @@ def main(argv=None) -> int:
     if "drained" not in tail:
         failures.append(f"server did not report a drain: {tail!r}")
 
+    # Cross-check the access log (complete now that the drain closed it)
+    # against the span ring: every id a span saw must belong to a logged
+    # request, and the pinned simulate ids must appear in both views.
+    try:
+        records = read_access_log(access_log_path)
+        for index, entry in enumerate(records, start=1):
+            validate_access_log_record(entry)
+    except (OSError, ValueError, SchemaError) as error:
+        records = []
+        failures.append(f"access log invalid: {error}")
+    if not records:
+        failures.append(f"access log {access_log_path} is empty")
+    logged_ids = {entry["request_id"] for entry in records}
+    if not span_ids <= logged_ids:
+        failures.append(
+            f"span request ids missing from the access log: "
+            f"{sorted(span_ids - logged_ids)[:5]}"
+        )
+    if not pinned_ids <= logged_ids:
+        failures.append(
+            f"pinned ids missing from the access log: "
+            f"{sorted(pinned_ids - logged_ids)[:5]}"
+        )
+
     for name, envelope in sorted(captured.items()):
         write_json(payload_dir / f"{name}.json", envelope)
     print(
         f"captured {len(captured)} envelopes to {payload_dir}/ "
         f"({stats['result_cache']['hits']} cache hits, "
         f"{counters.get('engine.replay.calls', 0)} replay calls, "
-        f"{counters.get('engine.step.calls', 0)} step calls)"
+        f"{counters.get('engine.step.calls', 0)} step calls); "
+        f"{len(records)} access-log records, {len(span_ids)} traced ids"
     )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

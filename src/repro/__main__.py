@@ -186,6 +186,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="deadline for requests that do not send deadline_ms",
     )
+    serve.add_argument(
+        "--access-log",
+        metavar="FILE",
+        default=None,
+        help="append one JSONL access-log line per served request",
+    )
+    serve.add_argument(
+        "--span-ring-capacity",
+        type=int,
+        default=4096,
+        help="bounded span ring for /v1/debug/trace (0 disables)",
+    )
     return parser
 
 
@@ -325,6 +337,8 @@ def _cmd_serve(options: argparse.Namespace) -> int:
             batch_window_s=options.batch_window_ms / 1000.0,
             result_cache_bytes=int(options.result_cache_mib * 1024 * 1024),
             default_deadline_s=options.default_deadline_s,
+            access_log_path=options.access_log,
+            span_ring_capacity=options.span_ring_capacity,
         )
     )
     return 0

@@ -36,10 +36,16 @@ Opt-out / redirection:
 * ``REPRO_EVENTS_CACHE_DIR=<path>`` overrides the default location
   ``$XDG_CACHE_HOME/repro/events`` (``~/.cache/repro/events``).
 
-Determinism note: the store intentionally records **no metrics
-counters** — a cold and a warm run must produce byte-identical metrics
-snapshots.  Cache activity is visible through span tracing
-(``events_store.load`` / ``events_store.save``) and debug logging only.
+Determinism note: the store intentionally records no metrics counters
+on its normal hit/miss paths — a cold and a warm run must produce
+byte-identical metrics snapshots.  Cache activity is visible through
+span tracing (``events_store.load`` / ``events_store.save``) and debug
+logging.  The one exception is the **diagnostic-only**
+``events_store.corrupt_reextract`` counter, bumped when a present entry
+fails to load (corrupt payload, truncated sidecar) and silently falls
+back to re-extraction; :func:`repro.obs.manifest.stable_view` strips it
+(see :data:`~repro.obs.manifest.DIAGNOSTIC_COUNTERS`) so the
+determinism contract is unchanged.
 """
 
 from __future__ import annotations
@@ -63,7 +69,7 @@ from repro.cache.events import (
     extract_events,
 )
 from repro.cache.stats import CacheStats
-from repro.obs import tracing
+from repro.obs import metrics, tracing
 from repro.trace.record import Instruction
 
 log = logging.getLogger("repro.events_store")
@@ -197,7 +203,17 @@ def load(trace_fingerprint: str, config: CacheConfig) -> EventStream | None:
             )
     except Exception as exc:  # noqa: BLE001 - any corruption => re-extract
         if not isinstance(exc, FileNotFoundError):
-            log.debug("events_store: load failed for %s: %s", key[:12], exc)
+            # A present-but-unloadable entry is worth a signal: the data
+            # is regenerated transparently, but repeated corruption means
+            # a sick disk or a concurrent writer bug.  Diagnostic-only —
+            # stable_view strips the counter (DIAGNOSTIC_COUNTERS).
+            metrics.inc("events_store.corrupt_reextract")
+            log.warning(
+                "events_store: corrupt entry %s (%s: %s); re-extracting",
+                key[:12],
+                type(exc).__name__,
+                exc,
+            )
         return None
 
 

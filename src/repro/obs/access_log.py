@@ -1,0 +1,105 @@
+"""Structured JSONL access logs for the serving layer.
+
+One JSON object per line, one line per served request — including the
+observability endpoints themselves — with the request id, routing,
+status, latency, and the batch/coalesce/cache outcome the handler
+annotated via :func:`repro.obs.live.annotate`.  Lines are rendered with
+:func:`repro.util.jsonout.dump_json_line` (sorted keys, stable floats) and
+flushed per line, so a SIGTERM'd server leaves a complete log and a
+tail-follower sees requests as they finish.
+
+``python -m repro.obs.validate --access-log FILE`` validates every line
+against :data:`ACCESS_LOG_SCHEMA`
+(:func:`repro.obs.schemas.validate_access_log_record`); the CI smoke
+also cross-checks that the ``request_id`` of every span in the
+``/v1/debug/trace`` export appears in the access log for the same run.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, IO
+
+from repro.util.jsonout import dump_json_line
+
+#: Schema tag carried by every access-log line.
+ACCESS_LOG_SCHEMA = "repro.obs.access_log/1"
+
+
+def access_record(
+    *,
+    request_id: str,
+    method: str,
+    path: str,
+    endpoint: str,
+    status: int,
+    latency_ms: float,
+    error_code: str | None = None,
+    **annotations: Any,
+) -> dict[str, Any]:
+    """Assemble one schema-tagged access-log record.
+
+    ``annotations`` carries the optional outcome fields the handler
+    accumulated (``cache`` hit/miss, ``batched``, ``deadline_ms`` /
+    ``deadline_left_ms``); ``None``-valued annotations are dropped so
+    absent outcomes stay absent rather than null.
+    """
+    record: dict[str, Any] = {
+        "schema": ACCESS_LOG_SCHEMA,
+        "ts": round(time.time(), 6),
+        "request_id": request_id,
+        "method": method,
+        "path": path,
+        "endpoint": endpoint,
+        "status": status,
+        "latency_ms": round(latency_ms, 3),
+    }
+    if error_code is not None:
+        record["error_code"] = error_code
+    for key, value in annotations.items():
+        if value is not None:
+            record[key] = value
+    return record
+
+
+class AccessLog:
+    """Append-only JSONL writer with per-line flush."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self.lines_written = 0
+
+    def log(self, record: dict[str, Any]) -> None:
+        """Write one record (silently dropped after :meth:`close`)."""
+        handle = self._handle
+        if handle is None:
+            return
+        handle.write(dump_json_line(record) + "\n")
+        handle.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_access_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL access log back into records (tests, the smoke)."""
+    import json
+
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records

@@ -33,6 +33,13 @@ MANIFEST_SCHEMA = "repro.obs.manifest/1"
 #: Everything else is covered by the determinism guarantee.
 VOLATILE_KEYS = ("provenance", "wall_time_s")
 
+#: Diagnostic-only counters that may legitimately differ between
+#: otherwise identical runs (e.g. a corrupt events-store entry on one
+#: machine triggers a silent re-extract).  :func:`stable_view` strips
+#: them so the cold/warm snapshot-identity contract is judged on the
+#: deterministic remainder.
+DIAGNOSTIC_COUNTERS = frozenset({"events_store.corrupt_reextract"})
+
 
 def git_revision() -> str | None:
     """Best-effort git SHA of the working tree; ``None`` off-repo."""
@@ -130,8 +137,26 @@ def build_manifest(
 
 
 def stable_view(manifest: dict[str, Any]) -> dict[str, Any]:
-    """The manifest minus its volatile fields (the deterministic part)."""
-    return {k: v for k, v in manifest.items() if k not in VOLATILE_KEYS}
+    """The manifest minus its volatile fields (the deterministic part).
+
+    Strips :data:`VOLATILE_KEYS` at the top level and the
+    :data:`DIAGNOSTIC_COUNTERS` from the metrics snapshot, without
+    mutating the input.
+    """
+    view = {k: v for k, v in manifest.items() if k not in VOLATILE_KEYS}
+    metrics = view.get("metrics")
+    if isinstance(metrics, dict) and isinstance(metrics.get("counters"), dict):
+        counters = metrics["counters"]
+        if any(key in counters for key in DIAGNOSTIC_COUNTERS):
+            view["metrics"] = {
+                **metrics,
+                "counters": {
+                    k: v
+                    for k, v in counters.items()
+                    if k not in DIAGNOSTIC_COUNTERS
+                },
+            }
+    return view
 
 
 def write_manifest(

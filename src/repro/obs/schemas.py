@@ -23,15 +23,29 @@ class SchemaError(ValueError):
 #: Committed engine scoreboard (``BENCH_engine.json``).  ``/2`` added
 #: ``all_quick_s`` and the per-engine ``dispatch`` section, and made
 #: ``dispatch.step_calls == 0`` a validity requirement: every registry
-#: experiment must go through the replay engine.
-BENCH_ENGINE_SCHEMA = "repro.bench.engine/2"
+#: experiment must go through the replay engine.  ``/3`` made the
+#: environment provenance (python version, cpu count, platform — all
+#: hostname-free) required, so ``bench_history`` entries built from a
+#: scoreboard are attributable to the machine that produced them.
+BENCH_ENGINE_SCHEMA = "repro.bench.engine/3"
 
 #: Committed service scoreboard (``BENCH_service.json``), written by
 #: ``benchmarks/bench_service.py``.  Validity requires the batching and
 #: engine invariants, not particular timings: zero step-simulator
 #: dispatches, one phase-1 extraction per distinct (trace, geometry)
 #: key, and a batch-coalescing ratio above 1 at 16 concurrent clients.
-BENCH_SERVICE_SCHEMA = "repro.bench.service/1"
+#: ``/2`` added required environment provenance (as for the engine
+#: scoreboard) and the per-level client-side view (``client.retries``
+#: and client-measured latency percentiles).
+BENCH_SERVICE_SCHEMA = "repro.bench.service/2"
+
+#: One line of the serving layer's JSONL access log (see
+#: :mod:`repro.obs.access_log`).
+ACCESS_LOG_SCHEMA = "repro.obs.access_log/1"
+
+#: One appended entry of ``results/bench_history.jsonl`` (see
+#: :mod:`repro.obs.bench_history`).
+BENCH_HISTORY_SCHEMA = "repro.obs.bench_history/1"
 
 #: Envelope of every successful ``repro.service`` JSON response.
 SERVICE_RESPONSE_SCHEMA = "repro.service.response/1"
@@ -130,6 +144,39 @@ def validate_metrics(document: Any) -> None:
     _validate_snapshot_body(document, "$")
 
 
+def validate_bench_provenance(document: Any, path: str = "$") -> None:
+    """Validate the environment-provenance block of a bench scoreboard.
+
+    Required by the ``/3`` engine and ``/2`` service schemas: python
+    version, logical cpu count, and platform string (all hostname-free);
+    ``git_sha`` is present but may be null off-repo.
+    """
+    provenance = document.get("provenance")
+    _require(
+        isinstance(provenance, dict), f"{path}.provenance", "must be an object"
+    )
+    for field in ("python", "platform"):
+        _require(
+            isinstance(provenance.get(field), str) and provenance[field],
+            f"{path}.provenance.{field}",
+            "must be a non-empty string",
+        )
+    cpu_count = provenance.get("cpu_count")
+    _require(
+        isinstance(cpu_count, int) and not isinstance(cpu_count, bool)
+        and cpu_count >= 1,
+        f"{path}.provenance.cpu_count",
+        "must be a positive integer",
+    )
+    _require("git_sha" in provenance, f"{path}.provenance.git_sha", "is required")
+    git_sha = provenance["git_sha"]
+    _require(
+        git_sha is None or (isinstance(git_sha, str) and git_sha),
+        f"{path}.provenance.git_sha",
+        "must be a non-empty string or null",
+    )
+
+
 def validate_bench_engine(document: Any) -> None:
     """Validate a committed engine scoreboard (``BENCH_engine.json``).
 
@@ -183,6 +230,7 @@ def validate_bench_engine(document: Any) -> None:
     for key, value in reasons.items():
         _require_number(value, f"$.dispatch.step_fallback_reasons[{key!r}]")
     _validate_snapshot_body(document.get("metrics"), "$.metrics")
+    validate_bench_provenance(document)
 
 
 def validate_service_response(document: Any) -> None:
@@ -317,6 +365,22 @@ def validate_bench_service(document: Any) -> None:
             f"{path}.latency_ms",
             "p50 must be <= p99",
         )
+        client = level.get("client")
+        _require(isinstance(client, dict), f"{path}.client", "must be an object")
+        _require_number(client.get("retries"), f"{path}.client.retries")
+        _require(
+            client["retries"] >= 0, f"{path}.client.retries", "must be >= 0"
+        )
+        client_latency = client.get("latency_ms")
+        _require(
+            isinstance(client_latency, dict),
+            f"{path}.client.latency_ms",
+            "must be an object",
+        )
+        for field in ("p50", "p99"):
+            _require_number(
+                client_latency.get(field), f"{path}.client.latency_ms.{field}"
+            )
     _require(
         levels["16"]["coalescing_ratio"] > 1.0,
         "$.levels['16'].coalescing_ratio",
@@ -356,6 +420,96 @@ def validate_bench_service(document: Any) -> None:
         "$.dispatch.step_calls",
         "must be 0: a service query fell back to the step simulator",
     )
+    validate_bench_provenance(document)
+
+
+def validate_access_log_record(document: Any) -> None:
+    """Validate one line of the serving layer's JSONL access log."""
+    _require(isinstance(document, dict), "$", "record must be a JSON object")
+    _require(
+        document.get("schema") == ACCESS_LOG_SCHEMA,
+        "$.schema",
+        f"must be {ACCESS_LOG_SCHEMA!r}",
+    )
+    _require_number(document.get("ts"), "$.ts")
+    _require(
+        isinstance(document.get("request_id"), str) and document["request_id"],
+        "$.request_id",
+        "must be a non-empty string",
+    )
+    for field in ("method", "path", "endpoint"):
+        _require(
+            isinstance(document.get(field), str) and document[field],
+            f"$.{field}",
+            "must be a non-empty string",
+        )
+    status = document.get("status")
+    _require(
+        isinstance(status, int) and not isinstance(status, bool)
+        and 100 <= status <= 599,
+        "$.status",
+        "must be an HTTP status integer",
+    )
+    _require_number(document.get("latency_ms"), "$.latency_ms")
+    _require(document["latency_ms"] >= 0, "$.latency_ms", "must be >= 0")
+    if "cache" in document:
+        _require(
+            document["cache"] in ("hit", "miss"),
+            "$.cache",
+            "must be 'hit' or 'miss'",
+        )
+    if "batched" in document:
+        _require(
+            isinstance(document["batched"], bool), "$.batched", "must be a bool"
+        )
+    if "error_code" in document:
+        _require(
+            isinstance(document["error_code"], str) and document["error_code"],
+            "$.error_code",
+            "must be a non-empty string",
+        )
+    for optional in ("deadline_ms", "deadline_left_ms"):
+        if optional in document:
+            _require_number(document[optional], f"$.{optional}")
+
+
+def validate_access_log(lines: Any) -> None:
+    """Validate a parsed access log (a list of line records)."""
+    _require(isinstance(lines, list), "$", "access log must be a list of records")
+    for i, record in enumerate(lines):
+        try:
+            validate_access_log_record(record)
+        except SchemaError as error:
+            raise SchemaError(f"line {i + 1}: {error}") from None
+
+
+def validate_bench_history_entry(document: Any) -> None:
+    """Validate one appended ``bench_history.jsonl`` entry."""
+    _require(isinstance(document, dict), "$", "entry must be a JSON object")
+    _require(
+        document.get("schema") == BENCH_HISTORY_SCHEMA,
+        "$.schema",
+        f"must be {BENCH_HISTORY_SCHEMA!r}",
+    )
+    _require(
+        isinstance(document.get("recorded_at"), str) and document["recorded_at"],
+        "$.recorded_at",
+        "must be a non-empty string",
+    )
+    git_sha = document.get("git_sha")
+    _require(
+        git_sha is None or isinstance(git_sha, str),
+        "$.git_sha",
+        "must be a string or null",
+    )
+    metrics = document.get("metrics")
+    _require(isinstance(metrics, dict), "$.metrics", "must be an object")
+    _require(len(metrics) > 0, "$.metrics", "must not be empty")
+    for key, value in metrics.items():
+        _require_number(value, f"$.metrics[{key!r}]")
+        _require(value >= 0, f"$.metrics[{key!r}]", "must be >= 0")
+    sources = document.get("sources")
+    _require(isinstance(sources, dict), "$.sources", "must be an object")
 
 
 def validate_manifest(document: Any) -> None:

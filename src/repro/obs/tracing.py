@@ -30,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
@@ -151,7 +152,7 @@ class Tracer:
             for tid, label in sorted(self._thread_names.items())
         ]
         return {
-            "traceEvents": meta + self.events,
+            "traceEvents": meta + list(self.events),
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.obs.tracing"},
         }
@@ -164,12 +165,37 @@ class Tracer:
 #: The process-wide tracer, or ``None`` while tracing is disabled.
 _ACTIVE: Tracer | None = None
 
+#: Optional hook returning ambient span arguments (the serving layer's
+#: request id; see :mod:`repro.obs.live`).  Only consulted while a
+#: tracer is active, so the disabled fast path is untouched.
+_CONTEXT_PROVIDER: Callable[[], dict[str, Any]] | None = None
+
+
+def set_context_provider(
+    provider: Callable[[], dict[str, Any]] | None,
+) -> None:
+    """Install the ambient-span-argument hook (``None`` to clear).
+
+    The provider is called once per span *open* while tracing is
+    enabled; whatever it returns is merged under the caller's explicit
+    arguments, so an explicit ``request_id=...`` always wins.
+    """
+    global _CONTEXT_PROVIDER
+    _CONTEXT_PROVIDER = provider
+
 
 def enable_tracing(tid: int = 0, name: str = "runner") -> Tracer:
     """Install (and return) a fresh process-wide tracer."""
     global _ACTIVE
     _ACTIVE = Tracer(tid=tid, name=name)
     return _ACTIVE
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Install a caller-built tracer (e.g. a bounded ring) process-wide."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
 
 
 def disable_tracing() -> Tracer | None:
@@ -198,4 +224,9 @@ def span(name: str, **args: Any) -> _LiveSpan | _NullSpan:
     tracer = _ACTIVE
     if tracer is None:
         return _NULL_SPAN
+    provider = _CONTEXT_PROVIDER
+    if provider is not None:
+        ambient = provider()
+        if ambient:
+            args = {**ambient, **args}
     return _LiveSpan(tracer, name, args)

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.obs.validate --trace trace.json \\
         --metrics metrics.json --manifest results/figure1.meta.json \\
-        --bench BENCH_engine.json
+        --bench BENCH_engine.json --access-log results/access.jsonl
 
 Exit status 0 when every given artifact validates, 1 otherwise.  CI
 runs this over the smoke run's artifacts so a schema regression fails
@@ -23,6 +23,7 @@ from typing import Any
 from repro.obs import logs
 from repro.obs.schemas import (
     SchemaError,
+    validate_access_log_record,
     validate_bench_engine,
     validate_bench_service,
     validate_chrome_trace,
@@ -60,6 +61,14 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "per (trace, geometry) key, or a 16-client coalescing ratio <= 1",
     )
     parser.add_argument(
+        "--access-log",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="serving-layer JSONL access log; every line must validate "
+        "against repro.obs.access_log/1",
+    )
+    parser.add_argument(
         "--service-response",
         action="extend",
         nargs="+",
@@ -77,11 +86,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         or args.manifest
         or args.bench
         or args.bench_service
+        or args.access_log
         or args.service_response
     ):
         parser.error(
             "nothing to validate: pass --trace/--metrics/--manifest/"
-            "--bench/--bench-service/--service-response"
+            "--bench/--bench-service/--access-log/--service-response"
         )
     return args
 
@@ -95,6 +105,27 @@ def _check(path: str, validator: Callable[[Any], None]) -> bool:
         logger.error("%s: INVALID: %s", path, error)
         return False
     print(f"{path}: ok")
+    return True
+
+
+def _check_access_log(path: str) -> bool:
+    """Validate every line of a JSONL access log."""
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        n_records = 0
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                validate_access_log_record(json.loads(line))
+            except (json.JSONDecodeError, SchemaError) as error:
+                raise SchemaError(f"line {lineno}: {error}") from None
+            n_records += 1
+    except (OSError, SchemaError) as error:
+        logger.error("%s: INVALID: %s", path, error)
+        return False
+    print(f"{path}: ok ({n_records} records)")
     return True
 
 
@@ -113,6 +144,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok &= _check(path, validate_bench_engine)
     for path in args.bench_service:
         ok &= _check(path, validate_bench_service)
+    for path in args.access_log:
+        ok &= _check_access_log(path)
     for path in args.service_response:
         ok &= _check(path, validate_service_response)
     return 0 if ok else 1

@@ -31,7 +31,15 @@ import time
 from collections import deque
 from typing import Any
 
-from repro.obs import tracing
+from collections.abc import Callable
+
+from repro.obs import live, tracing
+from repro.obs.access_log import AccessLog, access_record
+from repro.obs.live import (
+    RollingWindow,
+    render_prometheus,
+    trace_tail_document,
+)
 from repro.obs.metrics import MetricsRegistry, percentile
 from repro.obs.schemas import (
     SERVICE_ERROR_SCHEMA,
@@ -67,7 +75,18 @@ _ANALYTIC = {
 }
 
 _POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate"}
-_GET_ENDPOINTS = frozenset({"health", "stats"})
+_GET_ENDPOINTS = frozenset(
+    {"health", "stats", "healthz", "readyz", "metrics", "debug-trace"}
+)
+
+#: Operational endpoints served outside the ``/v1/`` namespace, where
+#: load balancers and scrapers conventionally look for them.
+_OPS_PATHS = {"/healthz": "healthz", "/readyz": "readyz", "/metrics": "metrics"}
+
+#: Default response content type; ``/metrics`` overrides it with the
+#: Prometheus text exposition type.
+JSON_CONTENT_TYPE = "application/json"
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def error_body(status: int, code: str, message: str) -> bytes:
@@ -89,36 +108,52 @@ class ServiceApp:
         batcher: MicroBatcher,
         result_cache: ResultCache,
         default_deadline_s: float = DEFAULT_DEADLINE_S,
+        window: RollingWindow | None = None,
+        access_log: AccessLog | None = None,
+        tracer: tracing.Tracer | None = None,
+        is_ready: Callable[[], bool] | None = None,
     ) -> None:
         self.registry = registry
         self.batcher = batcher
         self.result_cache = result_cache
         self.default_deadline_s = default_deadline_s
+        self.window = window
+        self.access_log = access_log
+        self.tracer = tracer
+        self.is_ready = is_ready if is_ready is not None else (lambda: True)
         self._latency_ms: dict[str, deque[float]] = {}
 
     # -- entry point ------------------------------------------------------
 
-    async def handle(self, request: Request) -> tuple[int, bytes]:
-        """One request in, one (status, JSON body) out; never raises."""
+    async def handle(self, request: Request) -> tuple[int, bytes, str]:
+        """One request in, one (status, body, content type) out; never raises."""
         endpoint = self._endpoint_of(request.path)
         started = time.perf_counter()
+        error_code: str | None = None
+        content_type = JSON_CONTENT_TYPE
         try:
-            status, body = await self._dispatch(endpoint, request)
+            status, body, content_type = await self._dispatch(endpoint, request)
         except HttpError as error:
+            error_code = error.code
             status, body = error.status, error_body(
                 error.status, error.code, error.message
             )
         except SchemaError as error:
+            error_code = "schema_error"
             status, body = 400, error_body(400, "schema_error", str(error))
         except queries.InvalidQuery as error:
+            error_code = "invalid_params"
             status, body = 400, error_body(400, "invalid_params", str(error))
         except QueueFullError as error:
+            error_code = "backpressure"
             status, body = 429, error_body(429, "backpressure", str(error))
         except asyncio.TimeoutError:
+            error_code = "deadline_exceeded"
             status, body = 504, error_body(
                 504, "deadline_exceeded", "request deadline elapsed"
             )
         except Exception as error:  # noqa: BLE001 - last-resort boundary
+            error_code = "internal_error"
             status, body = 500, error_body(
                 500, "internal_error", f"{type(error).__name__}: {error}"
             )
@@ -129,18 +164,44 @@ class ServiceApp:
         self._latency_ms.setdefault(
             label, deque(maxlen=LATENCY_WINDOW)
         ).append(elapsed_ms)
-        return status, body
+        if self.window is not None:
+            self.window.record(label, status, elapsed_ms)
+        if self.access_log is not None:
+            annotations = live.current_annotations()
+            deadline_ms = annotations.get("deadline_ms")
+            if isinstance(deadline_ms, (int, float)):
+                annotations["deadline_left_ms"] = round(
+                    deadline_ms - elapsed_ms, 3
+                )
+            self.access_log.log(
+                access_record(
+                    request_id=live.current_request_id() or "-",
+                    method=request.method,
+                    path=request.path,
+                    endpoint=label,
+                    status=status,
+                    latency_ms=elapsed_ms,
+                    error_code=error_code,
+                    **annotations,
+                )
+            )
+        return status, body, content_type
 
     @staticmethod
     def _endpoint_of(path: str) -> str | None:
         path = path.partition("?")[0]
+        ops = _OPS_PATHS.get(path)
+        if ops is not None:
+            return ops
+        if path == "/v1/debug/trace":
+            return "debug-trace"
         if not path.startswith("/v1/"):
             return None
         return path[len("/v1/") :] or None
 
     async def _dispatch(
         self, endpoint: str | None, request: Request
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, bytes, str]:
         if endpoint is None or endpoint not in (_POST_ENDPOINTS | _GET_ENDPOINTS):
             raise HttpError(404, "not_found", f"no such endpoint {request.path!r}")
         expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
@@ -151,19 +212,37 @@ class ServiceApp:
                 f"{endpoint} requires {expected}, got {request.method}",
             )
         if endpoint == "health":
-            return 200, self._success(endpoint, {"status": "ok"})
+            return 200, self._success(endpoint, {"status": "ok"}), JSON_CONTENT_TYPE
+        if endpoint == "healthz":
+            # Liveness: the process is up and the loop responds — true
+            # even while draining, so orchestrators don't kill a server
+            # that is still answering in-flight work.
+            body = dump_json({"status": "ok"}).encode("utf-8")
+            return 200, body, JSON_CONTENT_TYPE
+        if endpoint == "readyz":
+            if not self.is_ready():
+                raise HttpError(
+                    503, "draining", "server is draining; send new work elsewhere"
+                )
+            body = dump_json({"status": "ready"}).encode("utf-8")
+            return 200, body, JSON_CONTENT_TYPE
+        if endpoint == "metrics":
+            return 200, self._metrics_body(), METRICS_CONTENT_TYPE
+        if endpoint == "debug-trace":
+            return 200, self._trace_tail_body(request.path), JSON_CONTENT_TYPE
         if endpoint == "stats":
-            return 200, self._stats_body()
+            return 200, self._stats_body(), JSON_CONTENT_TYPE
         with tracing.span("service.parse", endpoint=endpoint):
             params = self._parse_params(request.body)
         if endpoint == "simulate":
-            return await self._simulate(params)
+            status, body = await self._simulate(params)
+            return status, body, JSON_CONTENT_TYPE
         validate, query = _ANALYTIC[endpoint]
         with tracing.span("service.dispatch", endpoint=endpoint):
             validated = validate(params)
             result = query(validated)
         with tracing.span("service.serialize", endpoint=endpoint):
-            return 200, self._success(endpoint, result)
+            return 200, self._success(endpoint, result), JSON_CONTENT_TYPE
 
     @staticmethod
     def _parse_params(body: bytes) -> Any:
@@ -208,12 +287,14 @@ class ServiceApp:
             payload = self.result_cache.get(key)
         if payload is not None:
             self.registry.inc("service.result_cache.hits")
+            live.annotate(cache="hit")
             with tracing.span("service.serialize", endpoint="simulate"):
                 return 200, self._success(
                     "simulate", json.loads(payload), cached=True
                 )
         self.registry.inc("service.result_cache.misses")
         deadline_ms = validated["deadline_ms"]
+        live.annotate(cache="miss", batched=True, deadline_ms=deadline_ms)
         deadline_s = (
             deadline_ms / 1000.0
             if deadline_ms is not None
@@ -227,6 +308,47 @@ class ServiceApp:
             result_bytes = dump_json(result).encode("utf-8")
             self.result_cache.put(key, result_bytes)
             return 200, self._success("simulate", result, cached=False)
+
+    # -- live observability -------------------------------------------------
+
+    def _metrics_body(self) -> bytes:
+        """``GET /metrics``: the Prometheus text exposition."""
+        gauges = {
+            "service.ready": 1.0 if self.is_ready() else 0.0,
+            "service.queue.depth_now": float(self.batcher.queue_depth),
+            "service.queue.limit": float(self.batcher.max_pending),
+            "service.result_cache.entries": float(len(self.result_cache)),
+            "service.result_cache.bytes": float(self.result_cache.size_bytes),
+            "service.result_cache.capacity_bytes": float(
+                self.result_cache.capacity_bytes
+            ),
+        }
+        window_summary = (
+            self.window.summary() if self.window is not None else None
+        )
+        text = render_prometheus(
+            self.registry.snapshot(), window_summary, gauges
+        )
+        return text.encode("utf-8")
+
+    def _trace_tail_body(self, path: str) -> bytes:
+        """``GET /v1/debug/trace?last=N``: the span ring buffer tail."""
+        last: int | None = None
+        for item in path.partition("?")[2].split("&"):
+            name, _, value = item.partition("=")
+            if name == "last" and value:
+                try:
+                    last = int(value)
+                except ValueError:
+                    raise HttpError(
+                        400,
+                        "bad_query",
+                        f"last must be an integer, got {value!r}",
+                    ) from None
+        tracer = (
+            self.tracer if self.tracer is not None else tracing.current_tracer()
+        )
+        return dump_json(trace_tail_document(tracer, last)).encode("utf-8")
 
     # -- envelopes ---------------------------------------------------------
 

@@ -39,6 +39,7 @@ from typing import Any
 
 from repro.cache.events import EventStream
 from repro.obs import tracing
+from repro.obs.live import current_request_id, request_context
 from repro.obs.metrics import MetricsRegistry
 from repro.service import queries
 
@@ -54,6 +55,7 @@ class _Pending:
     key: str
     params: dict[str, Any]
     future: asyncio.Future
+    request_id: str | None = None
 
 
 class EventsMemo:
@@ -136,7 +138,15 @@ class MicroBatcher:
             )
         key = queries.events_key_of(params)
         future = asyncio.get_running_loop().create_future()
-        entry = _Pending(key=key, params=params, future=future)
+        entry = _Pending(
+            key=key,
+            params=params,
+            future=future,
+            # run_in_executor does not propagate contextvars, so the
+            # ingress request id is captured here and re-entered on the
+            # worker thread — phase-2 spans then carry it.
+            request_id=current_request_id(),
+        )
         self._pending += 1
         self._registry.observe("service.queue.depth", self._pending)
         future.add_done_callback(self._on_done)
@@ -174,7 +184,10 @@ class MicroBatcher:
             )
             self._registry.observe("service.batch.size", len(batch))
             with tracing.span(
-                "service.batch", requests=len(batch), groups=len(groups)
+                "service.batch",
+                requests=len(batch),
+                groups=len(groups),
+                request_ids=[e.request_id for e in batch if e.request_id],
             ):
                 outcomes = await loop.run_in_executor(
                     self._executor, self._compute_batch, list(groups.values())
@@ -206,7 +219,11 @@ class MicroBatcher:
             if events is None:
                 self._registry.inc("service.events_memo.miss")
                 try:
-                    with tracing.span("service.phase1", key=key[:12]):
+                    with tracing.span(
+                        "service.phase1",
+                        key=key[:12],
+                        request_ids=[e.request_id for e in live if e.request_id],
+                    ):
                         events = self._resolve_events(live[0].params)
                 except Exception as error:  # noqa: BLE001 - reported per request
                     for entry in live:
@@ -221,8 +238,9 @@ class MicroBatcher:
                     self._registry.inc("service.batch.abandoned")
                     continue
                 try:
-                    with tracing.span("service.phase2", key=key[:12]):
-                        result = self._compute(entry.params, events)
+                    with request_context(entry.request_id):
+                        with tracing.span("service.phase2", key=key[:12]):
+                            result = self._compute(entry.params, events)
                 except Exception as error:  # noqa: BLE001 - reported per request
                     outcomes.append((entry, False, error))
                 else:

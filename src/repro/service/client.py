@@ -5,6 +5,15 @@ closed-loop load-generator thread maps one-to-one onto a server-side
 connection coroutine.  Methods mirror the endpoints; each returns the
 decoded ``result`` object and raises :class:`ServiceError` (carrying
 the structured error envelope) on any non-200 answer.
+
+Every client also keeps :class:`ClientStats` — per-call wall time (the
+client-side view, including the network and any reconnect), a retry
+counter for the drain-time reconnect path, and an error count — which
+``benchmarks/bench_service.py`` surfaces next to the server-side
+latency so the two views can be compared.  The server's
+``X-Repro-Request-Id`` echo is captured per call as
+:attr:`ServiceClient.last_request_id`, and callers can pin their own id
+by passing ``request_id=`` to :meth:`ServiceClient.request`.
 """
 
 from __future__ import annotations
@@ -13,7 +22,14 @@ import http.client
 import json
 import socket
 import time
+from collections import deque
 from typing import Any
+
+from repro.obs.live import REQUEST_ID_HEADER
+from repro.obs.metrics import percentile
+
+#: Client-side latency samples retained for the stats percentiles.
+CLIENT_LATENCY_WINDOW = 4096
 
 
 class ServiceError(Exception):
@@ -26,6 +42,44 @@ class ServiceError(Exception):
         self.message = message
 
 
+class ClientStats:
+    """Per-client call accounting: wall times, retries, errors."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.retries = 0
+        self.errors = 0
+        self._latency_ms: deque[float] = deque(maxlen=CLIENT_LATENCY_WINDOW)
+
+    def record(self, latency_ms: float, error: bool) -> None:
+        """Fold one finished round trip into the stats."""
+        self.calls += 1
+        if error:
+            self.errors += 1
+        self._latency_ms.append(latency_ms)
+
+    def latency_percentile(self, q: float) -> float:
+        """Client-side latency percentile over the retained window."""
+        return percentile(list(self._latency_ms), q)
+
+    def latencies(self) -> list[float]:
+        """The retained per-call wall times, in arrival order."""
+        return list(self._latency_ms)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready view (what ``bench_service.py`` embeds)."""
+        values = list(self._latency_ms)
+        return {
+            "calls": self.calls,
+            "retries": self.retries,
+            "errors": self.errors,
+            "latency_ms": {
+                "p50": round(percentile(values, 50.0), 3) if values else 0.0,
+                "p99": round(percentile(values, 99.0), 3) if values else 0.0,
+            },
+        }
+
+
 class ServiceClient:
     """One keep-alive connection to a running service."""
 
@@ -33,6 +87,8 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.stats = ClientStats()
+        self.last_request_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing ---------------------------------------------------------
@@ -56,15 +112,13 @@ class ServiceClient:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def request(
-        self, method: str, path: str, params: dict[str, Any] | None = None
-    ) -> dict[str, Any]:
-        """One round trip; returns the decoded response envelope."""
-        body = None
-        headers = {}
-        if params is not None:
-            body = json.dumps({"params": params})
-            headers["Content-Type"] = "application/json"
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: str | None,
+        headers: dict[str, str],
+    ) -> tuple[http.client.HTTPResponse, bytes]:
         conn = self._connection()
         try:
             conn.request(method, path, body=body, headers=headers)
@@ -74,21 +128,67 @@ class ServiceClient:
             # A draining server answers with Connection: close; retry the
             # request once on a fresh connection before giving up.
             self.close()
+            self.stats.retries += 1
             conn = self._connection()
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             payload = response.read()
         if response.getheader("Connection", "keep-alive").lower() == "close":
             self.close()
-        envelope = json.loads(payload)
-        if response.status != 200:
-            error = envelope.get("error", {})
-            raise ServiceError(
-                response.status,
-                error.get("code", "unknown"),
-                error.get("message", payload.decode("utf-8", "replace")),
+        self.last_request_id = response.getheader(REQUEST_ID_HEADER)
+        return response, payload
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, Any] | None = None,
+        request_id: str | None = None,
+    ) -> dict[str, Any]:
+        """One round trip; returns the decoded response envelope."""
+        body = None
+        headers: dict[str, str] = {}
+        if request_id is not None:
+            headers[REQUEST_ID_HEADER] = request_id
+        if params is not None:
+            body = json.dumps({"params": params})
+            headers["Content-Type"] = "application/json"
+        started = time.perf_counter()
+        error = True
+        try:
+            response, payload = self._round_trip(method, path, body, headers)
+            envelope = json.loads(payload)
+            if response.status != 200:
+                envelope_error = envelope.get("error", {})
+                raise ServiceError(
+                    response.status,
+                    envelope_error.get("code", "unknown"),
+                    envelope_error.get(
+                        "message", payload.decode("utf-8", "replace")
+                    ),
+                )
+            error = False
+            return envelope
+        finally:
+            self.stats.record(
+                (time.perf_counter() - started) * 1000.0, error=error
             )
-        return envelope
+
+    def get_text(
+        self, path: str, request_id: str | None = None
+    ) -> tuple[int, str]:
+        """Fetch a text endpoint (``/metrics``); returns (status, text)."""
+        headers = {REQUEST_ID_HEADER: request_id} if request_id else {}
+        started = time.perf_counter()
+        error = True
+        try:
+            response, payload = self._round_trip("GET", path, None, headers)
+            error = response.status != 200
+            return response.status, payload.decode("utf-8")
+        finally:
+            self.stats.record(
+                (time.perf_counter() - started) * 1000.0, error=error
+            )
 
     # -- endpoints --------------------------------------------------------
 
@@ -108,7 +208,29 @@ class ServiceClient:
     def health(self) -> dict[str, Any]:
         return self.request("GET", "/v1/health")["result"]
 
-    def stats(self) -> dict[str, Any]:
+    def healthz(self) -> dict[str, Any]:
+        """Liveness probe (stays 200 during drain)."""
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> dict[str, Any]:
+        """Readiness probe (raises ``ServiceError(503)`` during drain)."""
+        return self.request("GET", "/readyz")
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body of ``GET /metrics``."""
+        status, text = self.get_text("/metrics")
+        if status != 200:
+            raise ServiceError(status, "metrics_failed", text)
+        return text
+
+    def debug_trace(self, last: int | None = None) -> dict[str, Any]:
+        """The span ring tail (``GET /v1/debug/trace?last=N``)."""
+        path = "/v1/debug/trace"
+        if last is not None:
+            path += f"?last={last}"
+        return self.request("GET", path)
+
+    def stats_envelope(self) -> dict[str, Any]:
         """The full stats envelope (snapshot + queue + caches + latency)."""
         return self.request("GET", "/v1/stats")
 

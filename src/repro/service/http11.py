@@ -147,15 +147,29 @@ async def read_request(
 
 
 def render_response(
-    status: int, body: bytes, keep_alive: bool, content_type: str = "application/json"
+    status: int,
+    body: bytes,
+    keep_alive: bool,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
-    """Serialize one HTTP/1.1 response (headers + body)."""
+    """Serialize one HTTP/1.1 response (headers + body).
+
+    ``extra_headers`` values are sanitized against CR/LF so a
+    caller-supplied string (an echoed request id) can never split the
+    header block.
+    """
     reason = _REASONS.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = ""
+    for name, value in (extra_headers or {}).items():
+        clean = str(value).replace("\r", "").replace("\n", "")
+        extra += f"{name}: {clean}\r\n"
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: {connection}\r\n"
         "\r\n"
     )

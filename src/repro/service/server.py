@@ -33,7 +33,8 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.obs import metrics, tracing
+from repro.obs import live, metrics, tracing
+from repro.obs.access_log import AccessLog
 from repro.obs.metrics import MetricsRegistry
 from repro.service import http11
 from repro.service.app import ServiceApp, error_body
@@ -56,6 +57,10 @@ class ServerConfig:
     max_header_bytes: int = http11.DEFAULT_MAX_HEADER_BYTES
     max_body_bytes: int = http11.DEFAULT_MAX_BODY_BYTES
     drain_grace_s: float = 30.0
+    access_log_path: str | None = None
+    span_ring_capacity: int = 4096  # 0 disables the server-owned ring
+    sli_window_s: float = 60.0
+    sli_bucket_s: float = 1.0
 
 
 class ReproServer:
@@ -72,6 +77,9 @@ class ReproServer:
         self.result_cache: ResultCache | None = None
         self._server: asyncio.base_events.Server | None = None
         self._port: int | None = None
+        self.window: live.RollingWindow | None = None
+        self.access_log: AccessLog | None = None
+        self._installed_tracer: tracing.Tracer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._active_requests = 0
         self._draining = False
@@ -101,11 +109,28 @@ class ReproServer:
             events_memo_entries=self.config.events_memo_entries,
         )
         self.batcher.start()
+        # A server-owned bounded ring keeps span tracing on for the whole
+        # run (it feeds /v1/debug/trace) without unbounded growth; an
+        # externally installed tracer takes precedence.
+        if tracing.current_tracer() is None and self.config.span_ring_capacity > 0:
+            self._installed_tracer = tracing.install_tracer(
+                live.RingTracer(capacity=self.config.span_ring_capacity)
+            )
+        self.window = live.RollingWindow(
+            window_s=self.config.sli_window_s,
+            bucket_s=self.config.sli_bucket_s,
+        )
+        if self.config.access_log_path:
+            self.access_log = AccessLog(self.config.access_log_path)
         self.app = ServiceApp(
             self.registry,
             self.batcher,
             self.result_cache,
             default_deadline_s=self.config.default_deadline_s,
+            window=self.window,
+            access_log=self.access_log,
+            tracer=tracing.current_tracer(),
+            is_ready=lambda: not self._draining,
         )
         self._server = await asyncio.start_server(
             self._handle_connection,
@@ -139,6 +164,14 @@ class ReproServer:
             writer.close()
         assert self.batcher is not None
         await self.batcher.drain()
+        if self.access_log is not None:
+            self.access_log.close()
+        if (
+            self._installed_tracer is not None
+            and tracing.current_tracer() is self._installed_tracer
+        ):
+            tracing.disable_tracing()
+            self._installed_tracer = None
         self._drained.set()
 
     async def wait_drained(self) -> None:
@@ -170,17 +203,31 @@ class ReproServer:
                     return  # client vanished mid-request
                 if request is None:
                     return  # clean close between requests
+                request_id = live.request_id_from_header(
+                    request.headers.get("x-repro-request-id")
+                )
                 self._active_requests += 1
                 try:
-                    with tracing.span("service.request", path=request.path):
-                        assert self.app is not None
-                        status, body = await self.app.handle(request)
+                    with live.request_context(request_id):
+                        with tracing.span("service.request", path=request.path):
+                            assert self.app is not None
+                            status, body, content_type = await self.app.handle(
+                                request
+                            )
                 finally:
                     self._active_requests -= 1
                 keep_alive = request.keep_alive and not self._draining
                 try:
                     writer.write(
-                        http11.render_response(status, body, keep_alive=keep_alive)
+                        http11.render_response(
+                            status,
+                            body,
+                            keep_alive=keep_alive,
+                            content_type=content_type,
+                            extra_headers={
+                                live.REQUEST_ID_HEADER: request_id
+                            },
+                        )
                     )
                     await writer.drain()
                 except ConnectionError:

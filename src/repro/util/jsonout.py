@@ -21,6 +21,16 @@ def dump_json(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, indent=2) + "\n"
 
 
+def dump_json_line(obj: Any) -> str:
+    """Render ``obj`` as one compact JSON line (for JSONL streams).
+
+    Same determinism contract as :func:`dump_json` (sorted keys, plain
+    ``repr`` floats), but single-line so each record is one line of an
+    append-only log.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
 def write_json(path: str | Path, obj: Any) -> Path:
     """Write ``obj`` as stable JSON; creates parent dirs, returns path."""
     target = Path(path)

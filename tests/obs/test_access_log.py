@@ -1,0 +1,163 @@
+"""Structured access logs: record shape, writer, validation, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import validate as validate_cli
+from repro.obs.access_log import (
+    ACCESS_LOG_SCHEMA,
+    AccessLog,
+    access_record,
+    read_access_log,
+)
+from repro.obs.schemas import (
+    SchemaError,
+    validate_access_log,
+    validate_access_log_record,
+)
+
+
+def _record(**overrides):
+    record = access_record(
+        request_id="req-1",
+        method="POST",
+        path="/v1/simulate",
+        endpoint="simulate",
+        status=200,
+        latency_ms=12.3456,
+    )
+    record.update(overrides)
+    return record
+
+
+class TestAccessRecord:
+    def test_shape_and_schema_tag(self):
+        record = _record()
+        assert record["schema"] == ACCESS_LOG_SCHEMA
+        assert record["latency_ms"] == 12.346  # rounded to 3 places
+        assert record["ts"] > 0
+        validate_access_log_record(record)
+
+    def test_none_annotations_are_dropped(self):
+        record = access_record(
+            request_id="req-2",
+            method="GET",
+            path="/v1/stats",
+            endpoint="stats",
+            status=200,
+            latency_ms=0.5,
+            cache=None,
+            batched=None,
+            deadline_ms=None,
+        )
+        assert "cache" not in record
+        assert "batched" not in record
+        assert "deadline_ms" not in record
+        validate_access_log_record(record)
+
+    def test_error_code_and_annotations_kept(self):
+        record = access_record(
+            request_id="req-3",
+            method="POST",
+            path="/v1/simulate",
+            endpoint="simulate",
+            status=504,
+            latency_ms=30.0,
+            error_code="deadline_exceeded",
+            cache="miss",
+            batched=True,
+            deadline_ms=25.0,
+            deadline_left_ms=-5.0,
+        )
+        assert record["error_code"] == "deadline_exceeded"
+        assert record["cache"] == "miss"
+        validate_access_log_record(record)
+
+
+class TestRecordValidation:
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            ({"schema": "bogus/9"}, "schema"),
+            ({"request_id": ""}, "request_id"),
+            ({"status": "200"}, "status"),
+            ({"status": 99}, "status"),
+            ({"status": True}, "status"),
+            ({"latency_ms": -1.0}, "latency_ms"),
+            ({"cache": "warm"}, "cache"),
+            ({"batched": "yes"}, "batched"),
+            ({"error_code": ""}, "error_code"),
+            ({"deadline_ms": "25"}, "deadline_ms"),
+        ],
+    )
+    def test_rejects_bad_records(self, overrides, fragment):
+        with pytest.raises(SchemaError) as excinfo:
+            validate_access_log_record(_record(**overrides))
+        assert fragment in str(excinfo.value)
+
+    def test_rejects_missing_required_field(self):
+        record = _record()
+        del record["endpoint"]
+        with pytest.raises(SchemaError):
+            validate_access_log_record(record)
+
+    def test_list_wrapper_reports_line_numbers(self):
+        with pytest.raises(SchemaError) as excinfo:
+            validate_access_log([_record(), _record(status=99)])
+        assert str(excinfo.value).startswith("line 2:")
+
+
+class TestAccessLogWriter:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "logs" / "access.jsonl"  # parent auto-created
+        with AccessLog(path) as log:
+            log.log(_record())
+            log.log(_record(request_id="req-2"))
+            assert log.lines_written == 2
+        records = read_access_log(path)
+        assert [r["request_id"] for r in records] == ["req-1", "req-2"]
+        for record in records:
+            validate_access_log_record(record)
+
+    def test_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path) as log:
+            log.log(_record())
+        with AccessLog(path) as log:
+            log.log(_record(request_id="req-2"))
+        assert len(read_access_log(path)) == 2
+
+    def test_close_is_idempotent_and_drops_late_writes(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        log.log(_record())
+        log.close()
+        log.close()
+        log.log(_record(request_id="late"))  # silently dropped
+        assert log.lines_written == 1
+        assert len(read_access_log(log.path)) == 1
+
+
+class TestValidateCli:
+    def _write(self, path, records):
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+
+    def test_valid_log_passes(self, tmp_path, capsys):
+        path = tmp_path / "access.jsonl"
+        self._write(path, [_record(), _record(request_id="req-2")])
+        assert validate_cli.main(["--access-log", str(path)]) == 0
+        assert "ok (2 records)" in capsys.readouterr().out
+
+    def test_bad_line_fails_with_line_number(self, tmp_path, capsys):
+        path = tmp_path / "access.jsonl"
+        self._write(path, [_record(), _record(status=99)])
+        assert validate_cli.main(["--access-log", str(path)]) == 1
+        assert "line 2" in capsys.readouterr().err
+
+    def test_unparseable_line_fails(self, tmp_path, capsys):
+        path = tmp_path / "access.jsonl"
+        path.write_text("{not json}\n", encoding="utf-8")
+        assert validate_cli.main(["--access-log", str(path)]) == 1
+        assert "line 1" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""The bench-history regression gate (``python -m repro.obs.bench_history``)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import bench_history, schemas
+from repro.obs.bench_history import (
+    Regression,
+    baseline_of,
+    collect_metrics,
+    gate,
+    load_history,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _engine_document(**benchmark_overrides):
+    benchmarks = {
+        "phase1_extract_60k_s": 0.06,
+        "phase2_replay_point_s": 0.002,
+        "step_simulator_point_s": 0.1,
+        "figure1_quick_s": 0.14,
+        "all_quick_s": 2.8,
+    }
+    benchmarks.update(benchmark_overrides)
+    return {
+        "schema": schemas.BENCH_ENGINE_SCHEMA,
+        "benchmarks": benchmarks,
+        "speedup_replay_vs_step": 50.0,
+        "dispatch": {
+            "replay_calls": 288,
+            "step_calls": 0,
+            "step_fallback_reasons": {},
+        },
+        "metrics": {"counters": {}, "histograms": {}},
+        "provenance": {
+            "git_sha": "0" * 40,
+            "python": "3.11.7",
+            "platform": "Linux-test",
+            "cpu_count": 8,
+        },
+    }
+
+
+def _history_entry(metrics):
+    return {
+        "schema": schemas.BENCH_HISTORY_SCHEMA,
+        "recorded_at": "2026-08-01T00:00:00+00:00",
+        "git_sha": "0" * 40,
+        "sources": {"engine": "BENCH_engine.json"},
+        "metrics": metrics,
+    }
+
+
+def _write_history(path, entries):
+    path.write_text(
+        "".join(json.dumps(entry) + "\n" for entry in entries),
+        encoding="utf-8",
+    )
+
+
+class TestCollectMetrics:
+    def test_extracts_engine_headlines(self):
+        metrics = collect_metrics(_engine_document(), None)
+        assert metrics["engine.phase1_extract_60k_s"] == 0.06
+        assert metrics["engine.all_quick_s"] == 2.8
+        assert not any(name.startswith("service.") for name in metrics)
+
+    def test_extracts_service_headlines(self):
+        service = {
+            "warm_cache": {"p50_ms": 0.4},
+            "levels": {
+                "16": {"latency_ms": {"p50": 1.5}, "throughput_rps": 900.0}
+            },
+        }
+        metrics = collect_metrics(None, service)
+        assert metrics == {
+            "service.warm_cache.p50_ms": 0.4,
+            "service.levels.16.latency_p50_ms": 1.5,
+            "service.levels.16.throughput_rps": 900.0,
+        }
+
+    def test_missing_paths_are_skipped_not_fatal(self):
+        metrics = collect_metrics({"benchmarks": {}}, {"levels": {}})
+        assert metrics == {}
+
+
+class TestBaseline:
+    def test_median_over_recent_entries(self):
+        history = [
+            _history_entry({"m": value}) for value in (1.0, 100.0, 3.0)
+        ]
+        assert baseline_of(history, "m") == 3.0
+
+    def test_depth_limits_the_window(self):
+        history = [
+            _history_entry({"m": value}) for value in (100.0, 1.0, 2.0, 3.0)
+        ]
+        assert baseline_of(history, "m", depth=3) == 2.0
+
+    def test_absent_metric_has_no_baseline(self):
+        assert baseline_of([_history_entry({"other": 1.0})], "m") is None
+
+
+class TestGate:
+    def test_within_tolerance_passes(self):
+        history = [_history_entry({"engine.phase1_extract_60k_s": 0.06})]
+        assert gate({"engine.phase1_extract_60k_s": 0.07}, history) == []
+
+    def test_lower_is_better_regression(self):
+        history = [_history_entry({"engine.phase1_extract_60k_s": 0.06})]
+        regressions = gate({"engine.phase1_extract_60k_s": 0.12}, history)
+        assert [r.name for r in regressions] == [
+            "engine.phase1_extract_60k_s"
+        ]
+        assert regressions[0].ratio == pytest.approx(2.0)
+        assert "2.00x" in regressions[0].describe()
+
+    def test_higher_is_better_regression(self):
+        history = [
+            _history_entry({"service.levels.16.throughput_rps": 1000.0})
+        ]
+        assert gate({"service.levels.16.throughput_rps": 900.0}, history) == []
+        regressions = gate(
+            {"service.levels.16.throughput_rps": 400.0}, history
+        )
+        assert len(regressions) == 1
+        assert "below" in regressions[0].describe()
+
+    def test_improvement_is_not_a_regression(self):
+        history = [_history_entry({"engine.phase1_extract_60k_s": 0.06})]
+        assert gate({"engine.phase1_extract_60k_s": 0.01}, history) == []
+
+    def test_no_history_passes_trivially(self):
+        assert gate({"engine.phase1_extract_60k_s": 1e9}, []) == []
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_bad_line_reports_its_number(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _write_history(path, [_history_entry({"m": 1.0})])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": "wrong"}\n')
+        with pytest.raises(schemas.SchemaError, match="line 2"):
+            load_history(path)
+
+
+class TestMainGate:
+    """End-to-end CLI behaviour, including the pinned regression fixture."""
+
+    def _setup(self, tmp_path, phase1_s=0.06, history_values=(0.06, 0.06, 0.06)):
+        engine = tmp_path / "BENCH_engine.json"
+        engine.write_text(
+            json.dumps(_engine_document(phase1_extract_60k_s=phase1_s))
+        )
+        history = tmp_path / "bench_history.jsonl"
+        _write_history(
+            history,
+            [
+                _history_entry({"engine.phase1_extract_60k_s": value})
+                for value in history_values
+            ],
+        )
+        return engine, history
+
+    def _run(self, engine, history, *extra):
+        return bench_history.main(
+            [
+                "--engine",
+                str(engine),
+                "--service",
+                str(engine.parent / "absent_service.json"),
+                "--history",
+                str(history),
+                *extra,
+            ]
+        )
+
+    def test_synthetic_2x_regression_exits_2(self, tmp_path, capsys):
+        engine, history = self._setup(tmp_path, phase1_s=0.12)
+        assert self._run(engine, history, "--check") == 2
+        assert "FAIL" in capsys.readouterr().out
+        # A failing run must not poison the baseline even without --check.
+        before = history.read_text()
+        assert self._run(engine, history) == 2
+        assert history.read_text() == before
+
+    def test_passing_run_appends_a_valid_entry(self, tmp_path, capsys):
+        engine, history = self._setup(tmp_path)
+        assert self._run(engine, history) == 0
+        assert "PASS" in capsys.readouterr().out
+        entries = load_history(history)
+        assert len(entries) == 4
+        schemas.validate_bench_history_entry(entries[-1])
+        assert entries[-1]["metrics"]["engine.phase1_extract_60k_s"] == 0.06
+
+    def test_check_mode_does_not_append(self, tmp_path):
+        engine, history = self._setup(tmp_path)
+        before = history.read_text()
+        assert self._run(engine, history, "--check") == 0
+        assert history.read_text() == before
+
+    def test_missing_history_passes_and_seeds_it(self, tmp_path):
+        engine, _ = self._setup(tmp_path)
+        fresh = tmp_path / "results" / "bench_history.jsonl"
+        assert self._run(engine, fresh) == 0
+        assert len(load_history(fresh)) == 1
+
+    def test_missing_engine_scoreboard_is_bad_input(self, tmp_path):
+        history = tmp_path / "bench_history.jsonl"
+        assert (
+            self._run(tmp_path / "absent_engine.json", history) == 1
+        )
+
+    def test_threshold_is_tunable(self, tmp_path):
+        engine, history = self._setup(tmp_path, phase1_s=0.07)
+        assert self._run(engine, history, "--check") == 0
+        assert self._run(engine, history, "--check", "--threshold", "0.1") == 2
+
+
+class TestCommittedArtifacts:
+    """The CI gate must pass on what the repo actually commits."""
+
+    def test_committed_scoreboards_pass_the_gate(self):
+        assert bench_history.main(
+            [
+                "--engine",
+                str(REPO_ROOT / "BENCH_engine.json"),
+                "--service",
+                str(REPO_ROOT / "BENCH_service.json"),
+                "--history",
+                str(REPO_ROOT / "results" / "bench_history.jsonl"),
+                "--check",
+            ]
+        ) == 0
+
+    def test_committed_history_validates(self):
+        entries = load_history(REPO_ROOT / "results" / "bench_history.jsonl")
+        assert entries, "results/bench_history.jsonl must seed the baseline"
+        for entry in entries:
+            schemas.validate_bench_history_entry(entry)

@@ -28,6 +28,12 @@ def _document():
             "step_fallback_reasons": {},
         },
         "metrics": {"counters": {}, "histograms": {}},
+        "provenance": {
+            "git_sha": "0" * 40,
+            "python": "3.11.7",
+            "platform": "Linux-test",
+            "cpu_count": 8,
+        },
     }
 
 
@@ -62,6 +68,18 @@ class TestValidateBenchEngine:
         document = _document()
         document["dispatch"]["replay_calls"] = 0
         with pytest.raises(schemas.SchemaError, match="replay_calls"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_missing_provenance(self):
+        document = _document()
+        del document["provenance"]
+        with pytest.raises(schemas.SchemaError, match="provenance"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_bad_cpu_count(self):
+        document = _document()
+        document["provenance"]["cpu_count"] = 0
+        with pytest.raises(schemas.SchemaError, match="cpu_count"):
             schemas.validate_bench_engine(document)
 
 

@@ -148,6 +148,63 @@ class TestDrainOnShutdown:
         with pytest.raises(OSError):
             socket.create_connection(("127.0.0.1", handle.server.port), timeout=1.0)
 
+    def test_readyz_flips_during_drain_while_in_flight_completes(self):
+        """During the SIGTERM drain window the server is alive but not
+        ready: ``/readyz`` answers 503 (``draining``), ``/healthz`` stays
+        200, and the request parked in the batch window still completes.
+        """
+        handle = start_server(batch_window_s=0.5)
+        outcome = {}
+
+        def in_flight():
+            c = ServiceClient("127.0.0.1", handle.port)
+            try:
+                outcome["envelope"] = c.simulate(trace=QUICK_TRACE)
+            except Exception as error:  # pragma: no cover - surfaced below
+                outcome["error"] = error
+            finally:
+                c.close()
+
+        # The listener closes when the drain starts, so the probes must
+        # ride keep-alive connections established while still serving.
+        probe_ready = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=10.0
+        )
+        probe_health = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=10.0
+        )
+        try:
+            for probe in (probe_ready, probe_health):
+                probe.request("GET", "/readyz")
+                response = probe.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read()) == {"status": "ready"}
+
+            thread = threading.Thread(target=in_flight)
+            thread.start()
+            time.sleep(0.15)  # request now parked in the batch window
+            handle.begin_shutdown()  # the SIGTERM path, without joining
+            time.sleep(0.05)  # let the drain flip the readiness gate
+
+            probe_ready.request("GET", "/readyz")
+            response = probe_ready.getresponse()
+            envelope = json.loads(response.read())
+            assert response.status == 503
+            assert envelope["error"]["code"] == "draining"
+
+            probe_health.request("GET", "/healthz")
+            response = probe_health.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read()) == {"status": "ok"}
+
+            thread.join()
+            assert "error" not in outcome
+            assert outcome["envelope"]["result"]["cycles"] > 0
+        finally:
+            probe_ready.close()
+            probe_health.close()
+            handle.stop()
+
     def test_idle_keep_alive_connections_do_not_block_drain(self):
         handle = start_server()
         client = ServiceClient("127.0.0.1", handle.port)

@@ -78,7 +78,7 @@ class TestAnalyticEndpoints:
                 "POST", "/v1/tradeoff",
                 {"feature": "write-buffers", "base_hit_ratio": 0.9},
             ),
-            client.stats(),
+            client.stats_envelope(),
             client.simulate(trace=TRACE_PARAMS),
         ):
             validate_service_response(envelope)
@@ -164,7 +164,7 @@ class TestSimulateEndpoint:
 
     def test_stats_report_queue_caches_and_latency(self, server):
         _, client, _ = server
-        stats = client.stats()
+        stats = client.stats_envelope()
         assert stats["queue"]["limit"] == 64
         assert stats["result_cache"]["capacity_bytes"] == 8 * 1024 * 1024
         assert stats["latency"]["simulate"]["count"] >= 1
