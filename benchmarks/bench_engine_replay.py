@@ -1,9 +1,14 @@
 """Benchmark: the two-phase engine's stages in isolation.
 
-Three measurements bracket the engine (see docs/ENGINE.md):
+The measurements bracket the engine (see docs/ENGINE.md):
 
-* phase 1 — one functional cache pass over a 60k-instruction trace,
-  producing the compact event stream;
+* phase 1, stepping — one functional ``Cache`` pass over a
+  60k-instruction trace, producing the compact event stream (the oracle
+  path);
+* phase 1, reuse — the same stream via the reuse-distance engine:
+  profile the trace once, derive the geometry's events from it, plus
+  the *marginal* cost of deriving one more geometry from a warm
+  profile (the number a geometry sweep actually pays per point);
 * phase 2 — one timing replay over that stream, i.e. the marginal cost
   of a (policy, ``beta_m``) grid point (compare ``test_step_simulator``
   below: the cost of the same point through the legacy step simulator);
@@ -47,6 +52,13 @@ def events(trace):
 
 def test_phase1_extraction(benchmark, trace):
     benchmark(extract_events, trace, CACHE)
+
+
+def test_phase1_reuse(benchmark, trace):
+    """Profile + derive through the reuse engine (same stream, cold)."""
+    from repro.cache.reuse import build_profile, derive_events
+
+    benchmark(lambda: derive_events(build_profile(trace), CACHE))
 
 
 def test_phase2_replay_point(benchmark, events):
@@ -98,6 +110,40 @@ def _dispatch_counts(snapshot: dict) -> dict:
         "replay_calls": counters.get("engine.replay.calls", 0),
         "step_calls": counters.get("engine.step.calls", 0),
         "step_fallback_reasons": reasons,
+        "phase1": _phase1_dispatch_counts(snapshot),
+    }
+
+
+def _phase1_dispatch_counts(snapshot: dict) -> dict:
+    """Reuse-vs-step phase-1 extraction counts from a metrics snapshot.
+
+    Parses the labeled ``engine.phase1.dispatches{engine=…,reason=…}``
+    counters.  Only *cold* extractions dispatch (warm runs load streams
+    from disk), so on an LRU-only registry sweep ``step_calls`` must be
+    0 — the /4 scoreboard schema rejects anything else.
+    """
+    counters = snapshot["counters"]
+    prefix = "engine.phase1.dispatches{"
+    reuse_calls = 0
+    step_calls = 0
+    step_reasons: dict = {}
+    for key, value in counters.items():
+        if not key.startswith(prefix):
+            continue
+        labels = dict(
+            part.split("=", 1)
+            for part in key[len(prefix):].rstrip("}").split(",")
+        )
+        if labels.get("engine") == "reuse":
+            reuse_calls += value
+        else:
+            reason = labels.get("reason", "unknown")
+            step_calls += value
+            step_reasons[reason] = step_reasons.get(reason, 0) + value
+    return {
+        "reuse_calls": reuse_calls,
+        "step_calls": step_calls,
+        "step_reasons": step_reasons,
     }
 
 
@@ -119,10 +165,12 @@ def collect(full: bool = False) -> dict:
     import os
     import shutil
     import tempfile
+    import time
 
     from _provenance import bench_provenance
 
     from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
+    from repro.cache.reuse import build_profile, derive_events
     from repro.experiments._phi import clear_caches
     from repro.obs import metrics
     from repro.obs.schemas import BENCH_ENGINE_SCHEMA
@@ -141,10 +189,30 @@ def collect(full: bool = False) -> dict:
     registry = metrics.enable_metrics()
     clear_caches()
     try:
+        # Marginal derivation cost: distinct (line_size, n_sets) views so
+        # the profile's set-view memo cannot serve any of them.
+        marginal_configs = [
+            CacheConfig(size, 32, 2)
+            for size in (1024, 2048, 4096, 16384, 32768)
+        ]
+
+        def _derive_marginal() -> float:
+            profile = build_profile(bench_trace)
+            derive_events(profile, CACHE)  # warm the shared line view
+            started = time.perf_counter()
+            for config in marginal_configs:
+                derive_events(profile, config)
+            return (time.perf_counter() - started) / len(marginal_configs)
+
         benchmarks = {
             "phase1_extract_60k_s": _timed(
                 lambda: extract_events(bench_trace, CACHE), rounds=3
             ),
+            "phase1_reuse_s": _timed(
+                lambda: derive_events(build_profile(bench_trace), CACHE),
+                rounds=3,
+            ),
+            "phase1_derive_marginal_s": _derive_marginal(),
             "phase2_replay_point_s": _timed(
                 lambda: replay(
                     bench_events, memory, StallPolicy.BUS_NOT_LOCKED_1
@@ -238,6 +306,11 @@ def main(argv=None) -> int:
     print(
         f"--all --quick dispatch: replay={dispatch['replay_calls']} "
         f"step={dispatch['step_calls']}"
+    )
+    phase1 = dispatch["phase1"]
+    print(
+        f"--all --quick phase 1:  reuse={phase1['reuse_calls']} "
+        f"step={phase1['step_calls']}"
     )
     print(f"wrote {path}")
     return 0

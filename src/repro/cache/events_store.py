@@ -221,16 +221,58 @@ def get_or_extract(
     trace_fingerprint: str,
     config: CacheConfig,
     trace_factory: Callable[[], Sequence[Instruction]],
+    profile_factory: Callable[[], "object"] | None = None,
 ) -> EventStream:
     """The main entry point: disk hit, or extract + persist.
 
     ``trace_factory`` is only invoked on a miss, so warm runs skip trace
     generation entirely (a significant cost for the loop-nest traces).
+    ``profile_factory``, when given, builds the
+    :class:`repro.cache.reuse.ReuseProfile` directly — generators whose
+    reference stream is analytically known (the loop nests) use it to
+    skip both Instruction materialization and the per-reference
+    ``build_profile`` loop; it must be byte-identical to
+    ``build_profile(trace_factory())`` and is ignored on the stepping
+    fallback paths.
     """
     cached = load(trace_fingerprint, config)
     if cached is not None:
         log.debug("events_store: hit %s", trace_fingerprint)
         return cached
-    events = extract_events(trace_factory(), config)
+    events = _extract(trace_fingerprint, config, trace_factory, profile_factory)
     save(trace_fingerprint, config, events)
     return events
+
+
+def _extract(
+    trace_fingerprint: str,
+    config: CacheConfig,
+    trace_factory: Callable[[], Sequence[Instruction]],
+    profile_factory: Callable[[], "object"] | None = None,
+) -> EventStream:
+    """Extract one stream through the fastest exact engine available.
+
+    LRU/write-back/write-allocate geometries derive from the per-trace
+    reuse profile (:mod:`repro.cache.reuse`) — byte-identical to
+    stepping, one shared O(refs log refs) pass per trace instead of a
+    pure-Python cache pass per geometry.  Everything else, and any run
+    with ``REPRO_REUSE_PROFILE=0``, steps :class:`repro.cache.Cache`.
+    Either way the choice is recorded in the diagnostic-only
+    ``engine.phase1.dispatches{engine=,reason=}`` counter (mirroring
+    ``engine.step_fallback.dispatches``; stripped by ``stable_view``
+    because warm runs never reach this function at all).
+    """
+    from repro.cache import reuse, reuse_store
+
+    if not reuse_store.reuse_enabled():
+        metrics.inc("engine.phase1.dispatches", engine="step", reason="disabled")
+        return extract_events(trace_factory(), config)
+    reason = reuse.unsupported_reason(config)
+    if reason is not None:
+        metrics.inc("engine.phase1.dispatches", engine="step", reason=reason)
+        return extract_events(trace_factory(), config)
+    profile = reuse_store.get_or_build(
+        trace_fingerprint, trace_factory, profile_factory
+    )
+    metrics.inc("engine.phase1.dispatches", engine="reuse", reason="lru_wb_wa")
+    return reuse.derive_events(profile, config)

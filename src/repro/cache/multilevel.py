@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cache.cache import Cache, CacheConfig
 from repro.trace.record import Instruction, OpKind
 
@@ -148,4 +150,56 @@ def single_level_equivalent(
     """
     hierarchy = TwoLevelCache(l1_config, l2_config, l2_hit_cycles)
     stats = hierarchy.run(instructions)
+    return stats, effective_memory_cycle(stats, l2_hit_cycles, memory_cycle)
+
+
+def stats_via_events(events, l2_config: CacheConfig) -> MultilevelStats:
+    """:class:`MultilevelStats` from an L1 event stream; steps only the L2.
+
+    The L2 never sees the raw reference stream — only the L1's miss and
+    copy-back traffic, which the phase-1 event stream
+    (:class:`repro.cache.events.EventStream`) records in full: per fill,
+    an optional write of the dirty victim line followed by the fill read
+    (the exact sequence :meth:`TwoLevelCache.access` issues).  Replaying
+    that far shorter stream through a fresh :class:`Cache` reproduces
+    :meth:`TwoLevelCache.run` bit for bit while the L1 side comes from
+    phase 1 — usually the reuse engine or the on-disk store, with no
+    stepping at all.
+    """
+    if l2_config.line_size < events.config.line_size:
+        raise ValueError(
+            "L2 line must be at least the L1 line "
+            f"({l2_config.line_size} < {events.config.line_size})"
+        )
+    if l2_config.total_bytes < events.config.total_bytes:
+        raise ValueError("L2 must be at least as large as L1")
+    l2 = Cache(l2_config)
+    miss_pos = np.flatnonzero(events.is_miss)
+    addresses = (events.line[miss_pos] + events.offset[miss_pos]).tolist()
+    victims = events.flush_line[miss_pos].tolist()
+    read, write = l2.read, l2.write
+    for address, victim in zip(addresses, victims):
+        if victim >= 0:
+            write(victim)
+        read(address)
+    l1 = events.stats
+    l2_stats = l2.stats
+    return MultilevelStats(
+        l1_accesses=l1.accesses,
+        l1_misses=l1.misses,
+        l2_accesses=l2_stats.read_hits + l2_stats.read_misses,
+        l2_misses=l2_stats.read_misses,
+    )
+
+
+def single_level_equivalent_from_events(
+    events,
+    l2_config: CacheConfig,
+    l2_hit_cycles: float,
+    memory_cycle: float,
+) -> tuple[MultilevelStats, float]:
+    """:func:`single_level_equivalent` driven by an L1 event stream."""
+    if l2_hit_cycles < 1:
+        raise ValueError(f"l2_hit_cycles must be >= 1, got {l2_hit_cycles}")
+    stats = stats_via_events(events, l2_config)
     return stats, effective_memory_cycle(stats, l2_hit_cycles, memory_cycle)

@@ -1,0 +1,207 @@
+"""Content-addressed store of per-trace :class:`ReuseProfile`\\ s.
+
+The reuse engine (:mod:`repro.cache.reuse`) needs one profile per
+*trace* — not per (trace, geometry) like the event streams — so the
+store here is keyed on the trace fingerprint alone.  A cold LRU sweep
+then pays one trace generation + one profiling pass, after which every
+geometry derives from the same arrays.
+
+Layout mirrors :mod:`repro.cache.events_store` deliberately: ``.npz``
+payload (the arrays in :data:`~repro.cache.reuse.PROFILE_ARRAYS`) plus a
+JSON sidecar, both written atomically into the *same* directory as the
+event streams — so ``REPRO_EVENTS_CACHE_DIR`` redirects both stores and
+wiping one cold-start wipes the other.  Persistence obeys the same
+``REPRO_EVENTS_CACHE`` opt-out.
+
+Two knobs are specific to this store:
+
+* ``REPRO_REUSE_PROFILE=0`` (or ``off``) disables the reuse engine
+  entirely — every phase-1 extraction steps :class:`repro.cache.Cache`
+  as before (the runner's ``--no-reuse-profile`` flag sets this, which
+  also propagates to ``--jobs`` worker processes);
+* a small in-process memo keeps the most recent profiles (with their
+  lazily built line/set views) alive across the many
+  ``get_or_extract`` calls of one sweep, so the expensive stack-distance
+  arithmetic is shared, not just the reference arrays.
+
+Determinism note: like the events store, normal hit/miss paths record
+no metrics counters.  The one exception is the diagnostic-only
+``reuse_store.corrupt_reextract`` counter (a present entry that fails to
+load, silently rebuilt); :func:`repro.obs.manifest.stable_view` strips
+it so cold/warm metrics snapshots stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache import events_store
+from repro.cache.reuse import (
+    PROFILE_ARRAYS,
+    PROFILE_SCHEMA_VERSION,
+    ReuseProfile,
+    build_profile,
+)
+from repro.obs import metrics, tracing
+from repro.trace.record import Instruction
+
+log = logging.getLogger("repro.reuse_store")
+
+#: Bump when the on-disk layout (file naming, sidecar format) changes.
+PROFILE_STORE_VERSION = 1
+
+#: Set to ``0``/``off``/``false`` to disable the reuse engine (phase 1
+#: falls back to stepping ``Cache`` for every geometry).
+REUSE_PROFILE_ENV = "REPRO_REUSE_PROFILE"
+
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
+
+#: In-process memo bound: profiles for this many distinct traces (each
+#: holds the reference arrays plus memoized set views).  Registry sweeps
+#: touch 7 traces; the bound only protects pathological callers.
+_MAX_MEMO = 8
+
+_memo: dict[str, ReuseProfile] = {}
+
+
+def reuse_enabled() -> bool:
+    """Whether the reuse engine is active (checked per call, so tests
+    and ``--no-reuse-profile`` can flip it at runtime)."""
+    value = os.environ.get(REUSE_PROFILE_ENV)
+    return value is None or value.strip().lower() not in _DISABLED_VALUES
+
+
+def key_material(trace_fingerprint: str) -> str:
+    """The human-readable string whose SHA-256 addresses one profile."""
+    return (
+        f"reuse/{PROFILE_STORE_VERSION}"
+        f"|profile/{PROFILE_SCHEMA_VERSION}"
+        f"|trace/{trace_fingerprint}"
+    )
+
+
+def entry_key(trace_fingerprint: str) -> str:
+    """Content address (hex SHA-256) of one trace's profile."""
+    material = key_material(trace_fingerprint)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _paths(key: str) -> tuple[Path, Path]:
+    root = events_store.cache_dir()
+    return root / f"{key}.profile.npz", root / f"{key}.profile.json"
+
+
+def save(trace_fingerprint: str, profile: ReuseProfile) -> None:
+    """Persist one profile (best-effort: failures only log)."""
+    if not events_store.cache_enabled():
+        return
+    key = entry_key(trace_fingerprint)
+    npz_path, meta_path = _paths(key)
+    meta = {
+        "store_version": PROFILE_STORE_VERSION,
+        "profile_schema_version": PROFILE_SCHEMA_VERSION,
+        "key_material": key_material(trace_fingerprint),
+        "n_instructions": profile.n_instructions,
+    }
+    arrays = {name: getattr(profile, name) for name in PROFILE_ARRAYS}
+
+    def _write_npz(tmp: str) -> None:
+        with open(tmp, "wb") as handle:  # a file object keeps the name as-is
+            np.savez(handle, **arrays)
+
+    def _write_meta(tmp: str) -> None:
+        Path(tmp).write_text(
+            json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    try:
+        with tracing.span("reuse_store.save", key=key[:12]):
+            npz_path.parent.mkdir(parents=True, exist_ok=True)
+            events_store._atomic_write(npz_path, _write_npz)
+            events_store._atomic_write(meta_path, _write_meta)
+    except OSError as exc:
+        log.debug("reuse_store: save failed for %s: %s", key[:12], exc)
+
+
+def load(trace_fingerprint: str) -> ReuseProfile | None:
+    """Load one profile, or None on miss/corruption/schema mismatch."""
+    if not events_store.cache_enabled():
+        return None
+    key = entry_key(trace_fingerprint)
+    npz_path, meta_path = _paths(key)
+    try:
+        with tracing.span("reuse_store.load", key=key[:12]):
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if (
+                meta.get("store_version") != PROFILE_STORE_VERSION
+                or meta.get("profile_schema_version") != PROFILE_SCHEMA_VERSION
+                or meta.get("key_material") != key_material(trace_fingerprint)
+            ):
+                return None
+            with np.load(npz_path) as payload:
+                arrays = {name: payload[name] for name in PROFILE_ARRAYS}
+            return ReuseProfile(
+                n_instructions=int(meta["n_instructions"]), **arrays
+            )
+    except Exception as exc:  # noqa: BLE001 - any corruption => rebuild
+        if not isinstance(exc, FileNotFoundError):
+            # Diagnostic-only (stable_view strips it): the profile is
+            # rebuilt transparently, but repeated corruption means a
+            # sick disk or a concurrent writer bug.
+            metrics.inc("reuse_store.corrupt_reextract")
+            log.warning(
+                "reuse_store: corrupt profile %s (%s: %s); rebuilding",
+                key[:12],
+                type(exc).__name__,
+                exc,
+            )
+        return None
+
+
+def get_or_build(
+    trace_fingerprint: str,
+    trace_factory: Callable[[], Sequence[Instruction]],
+    profile_factory: Callable[[], ReuseProfile] | None = None,
+) -> ReuseProfile:
+    """Memoized profile for one trace: memo hit, disk hit, or build.
+
+    ``trace_factory`` only runs when neither the memo nor the disk has
+    the profile, so a geometry fan over one trace generates the trace at
+    most once — and usually never, on warm stores.  When
+    ``profile_factory`` is given it replaces
+    ``build_profile(trace_factory())`` on that cold path; callers must
+    guarantee it produces byte-identical arrays (loop-nest generators
+    derive them analytically, see
+    :func:`repro.trace.loops.square_matmul_profile_arrays`).  The memo
+    obeys the ``REPRO_EVENTS_CACHE`` opt-out along with the disk files:
+    that env promises full recomputation, in-process or not.
+    """
+    caching = events_store.cache_enabled()
+    if caching:
+        profile = _memo.get(trace_fingerprint)
+        if profile is not None:
+            return profile
+    profile = load(trace_fingerprint)
+    if profile is None:
+        if profile_factory is not None:
+            profile = profile_factory()
+        else:
+            profile = build_profile(trace_factory())
+        save(trace_fingerprint, profile)
+    if caching:
+        if len(_memo) >= _MAX_MEMO:
+            _memo.pop(next(iter(_memo)))
+        _memo[trace_fingerprint] = profile
+    return profile
+
+
+def clear_memory() -> None:
+    """Drop the in-process profile memo (tests; not the disk store)."""
+    _memo.clear()

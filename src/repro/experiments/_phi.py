@@ -24,7 +24,7 @@ from functools import lru_cache
 
 from repro.cache.cache import CacheConfig
 from repro.cache.events import EventStream
-from repro.cache import events_store
+from repro.cache import events_store, reuse_store
 from repro.core.stalling import StallPolicy
 from repro.cpu.replay import replay, supports_replay
 from repro.cpu.stall_measure import average_stall_percentages
@@ -64,7 +64,7 @@ def _memo_counter(name: str, cached, before_hits: int) -> None:
     metrics.inc(f"phi.{name}_memo.{'hit' if hit else 'miss'}")
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
 def _spec92_traces_cached(
     n_instructions: int, seed: int
 ) -> dict[str, tuple[Instruction, ...]]:
@@ -90,6 +90,22 @@ def spec92_traces(
     return _spec92_traces_cached(n_instructions, seed)
 
 
+def _spec92_profile(name: str, n_instructions: int, seed: int):
+    """Reuse profile for one stand-in, built from the generator's arrays.
+
+    The synthetic builder draws the reference positions/addresses as
+    numpy arrays before it ever materializes Instruction objects, so the
+    reuse engine's cold path can take them directly —
+    :meth:`~repro.trace.spec92.WorkloadProfile.profile_arrays` pins this
+    byte-identical to profiling the materialized trace.
+    """
+    from repro.cache.reuse import ReuseProfile
+
+    return ReuseProfile(
+        *SPEC92_PROFILES[name].profile_arrays(n_instructions, seed=seed)
+    )
+
+
 def _extract_one(
     name: str, n_instructions: int, seed: int, geometry: tuple[int, int, int]
 ) -> EventStream:
@@ -110,6 +126,7 @@ def _extract_one(
         trace_fingerprint(name, n_instructions, seed),
         config,
         lambda: SPEC92_PROFILES[name].trace(n_instructions, seed=seed),
+        profile_factory=lambda: _spec92_profile(name, n_instructions, seed),
     )
 
 
@@ -183,7 +200,6 @@ def _spec92_event_streams_cached(
                 for name, future in futures.items():
                     streams[name] = future.result()
     elif missing:
-        traces = spec92_traces(n_instructions, seed)
         for name in missing:
             with tracing.span(
                 "phase1.extract",
@@ -195,7 +211,15 @@ def _spec92_event_streams_cached(
                 streams[name] = events_store.get_or_extract(
                     trace_fingerprint(name, n_instructions, seed),
                     config,
-                    lambda name=name: traces[name],
+                    # The bulk memo keeps step-fallback extractions at
+                    # the same length to one generation pass; the reuse
+                    # path never materializes the trace at all.
+                    lambda name=name: spec92_traces(n_instructions, seed)[
+                        name
+                    ],
+                    profile_factory=lambda name=name: _spec92_profile(
+                        name, n_instructions, seed
+                    ),
                 )
     # Deterministic order regardless of which entries were disk hits.
     streams = {name: streams[name] for name in SPEC92_PROFILES}
@@ -238,7 +262,14 @@ def _spec92_stream_cached(
         return events_store.get_or_extract(
             trace_fingerprint(name, n_instructions, seed),
             config,
-            lambda: SPEC92_PROFILES[name].trace(n_instructions, seed=seed),
+            # The bulk per-(length, seed) memo: every caller of this
+            # entry point sweeps all six programs, so materializing them
+            # together lets experiments at the same length share one
+            # generation pass.
+            lambda: spec92_traces(n_instructions, seed)[name],
+            profile_factory=lambda: _spec92_profile(
+                name, n_instructions, seed
+            ),
         )
 
 
@@ -391,7 +422,8 @@ def measured_phi_percentages(
 
 
 def clear_caches() -> None:
-    """Reset every memo cache (traces, event streams, phi points).
+    """Reset every memo cache (traces, event streams, reuse profiles,
+    phi points).
 
     The runner calls this per experiment while metrics collection is on
     so each experiment's counters describe a cold start — independent of
@@ -404,6 +436,7 @@ def clear_caches() -> None:
     _spec92_event_streams_cached.cache_clear()
     _spec92_stream_cached.cache_clear()
     _phi_point_memo.clear()
+    reuse_store.clear_memory()
 
 
 def floor_phi_to_table2(phi: float) -> float:

@@ -14,11 +14,13 @@ unchanged.  This experiment demonstrates it:
 
 from __future__ import annotations
 
+from repro.cache import events_store
 from repro.cache.cache import CacheConfig
-from repro.cache.multilevel import single_level_equivalent
+from repro.cache.multilevel import single_level_equivalent_from_events
 from repro.core.bus_width import miss_volume_ratio_for_doubling
 from repro.core.params import SystemConfig
 from repro.core.pipelined import pipelined_miss_volume_ratio
+from repro.experiments._phi import spec92_events
 from repro.experiments.base import ExperimentResult
 from repro.trace.spec92 import SPEC92_PROFILES
 from repro.util.tables import format_table
@@ -28,24 +30,55 @@ L2 = CacheConfig(128 * 1024, 32, 4)
 L2_HIT_CYCLES = 2.0
 MEMORY_CYCLE = 12.0
 
+#: Bump when :func:`_build_ws_trace` changes the reference stream for a
+#: given (hot_kib, length) pair (invalidates the events store).
+_WS_GENERATOR_VERSION = 1
+_WS_SEED = 11
 
-def _l2_sized_traces(length: int) -> dict[str, list]:
-    """Workloads whose working sets land between L1 and L2 — the regime
-    an L2 is built for (the SPEC92 stand-ins mostly stream past it)."""
+
+def _ws_builder(hot_kib: int):
     import random
 
     from repro.trace.synthetic import SyntheticTraceBuilder, working_set
 
-    traces = {}
-    for name, hot_kib in (("ws-16K", 16), ("ws-32K", 32)):
-        rng = random.Random(11)
-        builder = SyntheticTraceBuilder(seed=11, loadstore_fraction=0.3)
-        pattern = working_set(
-            0, hot_kib * 1024, 1 << 20, hot_probability=0.97, rng=rng, align=8
-        )
-        # Long enough that the hot set is resident, not compulsory-missing.
-        traces[name] = builder.build(pattern, max(length, 6 * hot_kib * 256))
-    return traces
+    rng = random.Random(_WS_SEED)
+    builder = SyntheticTraceBuilder(seed=_WS_SEED, loadstore_fraction=0.3)
+    pattern = working_set(
+        0, hot_kib * 1024, 1 << 20, hot_probability=0.97, rng=rng, align=8
+    )
+    return builder, pattern
+
+
+def _build_ws_trace(hot_kib: int, length: int) -> list:
+    """One workload whose working set lands between L1 and L2 — the
+    regime an L2 is built for (the SPEC92 stand-ins mostly stream past
+    it).  Deterministic in (hot_kib, length); see the fingerprint."""
+    builder, pattern = _ws_builder(hot_kib)
+    # Long enough that the hot set is resident, not compulsory-missing.
+    return builder.build(pattern, max(length, 6 * hot_kib * 256))
+
+
+def _ws_profile(hot_kib: int, length: int):
+    """Reuse profile of :func:`_build_ws_trace`, no Instruction objects.
+
+    Same builder, same RNG draws — ``build_reference_arrays`` yields the
+    arrays :func:`repro.cache.reuse.build_profile` would extract from
+    the materialized trace."""
+    from repro.cache.reuse import ReuseProfile
+
+    builder, pattern = _ws_builder(hot_kib)
+    n = max(length, 6 * hot_kib * 256)
+    index, address, is_store, size = builder.build_reference_arrays(
+        pattern, n
+    )
+    return ReuseProfile(n, index, address, is_store, size)
+
+
+def _ws_fingerprint(hot_kib: int, length: int) -> str:
+    return (
+        f"ws/{_WS_GENERATOR_VERSION}/{hot_kib}K/{length}/{_WS_SEED}"
+        "/0.97/0.3/1048576"
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -58,15 +91,25 @@ def run(quick: bool = False) -> ExperimentResult:
             f"(8K L1 + 128K L2, L2 hit {L2_HIT_CYCLES:g}, memory {MEMORY_CYCLE:g})"
         ),
     )
-    traces = {
-        name: profile.trace(length, seed=7)
-        for name, profile in SPEC92_PROFILES.items()
+    # Phase-1 event streams for the L1 geometry; the hierarchy then only
+    # steps the (far shorter) L1 miss/copy-back stream through the L2.
+    streams = {
+        name: spec92_events(name, length, L1, seed=7)
+        for name in SPEC92_PROFILES
     }
-    traces.update(_l2_sized_traces(length))
+    for name, hot_kib in (("ws-16K", 16), ("ws-32K", 32)):
+        streams[name] = events_store.get_or_extract(
+            _ws_fingerprint(hot_kib, length),
+            L1,
+            lambda hot_kib=hot_kib: _build_ws_trace(hot_kib, length),
+            profile_factory=lambda hot_kib=hot_kib: _ws_profile(
+                hot_kib, length
+            ),
+        )
     rows = []
-    for name, trace in traces.items():
-        stats, beta_eff = single_level_equivalent(
-            trace, L1, L2, L2_HIT_CYCLES, MEMORY_CYCLE
+    for name, events in streams.items():
+        stats, beta_eff = single_level_equivalent_from_events(
+            events, L2, L2_HIT_CYCLES, MEMORY_CYCLE
         )
         config = SystemConfig(4, 32, beta_eff, pipeline_turnaround=2.0)
         bus_r = miss_volume_ratio_for_doubling(config, 0.5)

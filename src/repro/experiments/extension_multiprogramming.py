@@ -13,9 +13,9 @@ exactly when the paper's single-program characterization stays valid.
 from __future__ import annotations
 
 from repro.cache.cache import CacheConfig
+from repro.experiments._phi import spec92_traces
 from repro.experiments.base import ExperimentResult
-from repro.trace.multiprogram import measure_pollution
-from repro.trace.spec92 import SPEC92_PROFILES
+from repro.trace.multiprogram import pollution_sweep
 
 CACHE = CacheConfig(8192, 32, 2)
 TASKS = ("ear", "doduc", "swm256")
@@ -27,9 +27,8 @@ def run(quick: bool = False) -> ExperimentResult:
     """Pollution factor versus scheduling quantum."""
     quanta = QUICK_QUANTA if quick else FULL_QUANTA
     length = 5_000 if quick else 20_000
-    traces = [
-        SPEC92_PROFILES[name].trace(length, seed=7) for name in TASKS
-    ]
+    all_traces = spec92_traces(length, seed=7)
+    traces = [all_traces[name] for name in TASKS]
     result = ExperimentResult(
         experiment_id="extension_multiprogramming",
         title=(
@@ -39,12 +38,9 @@ def run(quick: bool = False) -> ExperimentResult:
         x_label="scheduling quantum (instructions)",
         x_values=[float(q) for q in quanta],
     )
-    factors = []
-    solo = None
-    for quantum in quanta:
-        comparison = measure_pollution(traces, CACHE, quantum)
-        solo = comparison.solo_miss_ratio
-        factors.append(comparison.pollution_factor)
+    comparisons = pollution_sweep(traces, CACHE, list(quanta))
+    solo = comparisons[-1].solo_miss_ratio if comparisons else None
+    factors = [comparison.pollution_factor for comparison in comparisons]
     result.add_series("miss-ratio inflation (x)", factors)
     result.notes.append(
         f"solo miss ratio {solo:.1%}; smallest quantum inflates it "

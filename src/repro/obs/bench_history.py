@@ -82,6 +82,12 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         "lower",
     ),
     HeadlineMetric(
+        "engine.phase1_reuse_s",
+        "engine",
+        ("benchmarks", "phase1_reuse_s"),
+        "lower",
+    ),
+    HeadlineMetric(
         "engine.phase2_replay_point_s",
         "engine",
         ("benchmarks", "phase2_replay_point_s"),

@@ -35,10 +35,24 @@ VOLATILE_KEYS = ("provenance", "wall_time_s")
 
 #: Diagnostic-only counters that may legitimately differ between
 #: otherwise identical runs (e.g. a corrupt events-store entry on one
-#: machine triggers a silent re-extract).  :func:`stable_view` strips
-#: them so the cold/warm snapshot-identity contract is judged on the
-#: deterministic remainder.
-DIAGNOSTIC_COUNTERS = frozenset({"events_store.corrupt_reextract"})
+#: machine triggers a silent re-extract, and phase-1 engine dispatches
+#: only fire on store misses — cold runs count them, warm runs never
+#: reach the dispatcher).  :func:`stable_view` strips them — matched on
+#: the counter's base name, before any ``{label=...}`` suffix — so the
+#: cold/warm snapshot-identity contract is judged on the deterministic
+#: remainder.
+DIAGNOSTIC_COUNTERS = frozenset(
+    {
+        "events_store.corrupt_reextract",
+        "reuse_store.corrupt_reextract",
+        "engine.phase1.dispatches",
+    }
+)
+
+
+def _counter_base(key: str) -> str:
+    """Counter name with any ``{label=...}`` suffix removed."""
+    return key.split("{", 1)[0]
 
 
 def git_revision() -> str | None:
@@ -147,13 +161,13 @@ def stable_view(manifest: dict[str, Any]) -> dict[str, Any]:
     metrics = view.get("metrics")
     if isinstance(metrics, dict) and isinstance(metrics.get("counters"), dict):
         counters = metrics["counters"]
-        if any(key in counters for key in DIAGNOSTIC_COUNTERS):
+        if any(_counter_base(key) in DIAGNOSTIC_COUNTERS for key in counters):
             view["metrics"] = {
                 **metrics,
                 "counters": {
                     k: v
                     for k, v in counters.items()
-                    if k not in DIAGNOSTIC_COUNTERS
+                    if _counter_base(k) not in DIAGNOSTIC_COUNTERS
                 },
             }
     return view

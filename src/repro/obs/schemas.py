@@ -27,7 +27,12 @@ class SchemaError(ValueError):
 #: environment provenance (python version, cpu count, platform — all
 #: hostname-free) required, so ``bench_history`` entries built from a
 #: scoreboard are attributable to the machine that produced them.
-BENCH_ENGINE_SCHEMA = "repro.bench.engine/3"
+#: ``/4`` added the reuse-engine phase-1 headlines (``phase1_reuse_s``,
+#: ``phase1_derive_marginal_s``) and the ``dispatch.phase1`` section,
+#: with ``phase1.step_calls == 0`` a validity requirement: the registry
+#: sweep is LRU-only, so every cold extraction must come from the reuse
+#: engine, never from stepping ``Cache``.
+BENCH_ENGINE_SCHEMA = "repro.bench.engine/4"
 
 #: Committed service scoreboard (``BENCH_service.json``), written by
 #: ``benchmarks/bench_service.py``.  Validity requires the batching and
@@ -180,9 +185,10 @@ def validate_bench_provenance(document: Any, path: str = "$") -> None:
 def validate_bench_engine(document: Any) -> None:
     """Validate a committed engine scoreboard (``BENCH_engine.json``).
 
-    Beyond shape, this enforces the engine-coverage invariant: the
+    Beyond shape, this enforces the engine-coverage invariants: the
     ``--all --quick`` dispatch counts must show zero step-simulator
-    calls (CI fails otherwise; see docs/ENGINE.md).
+    calls in phase 2 *and* zero ``Cache``-stepping extractions in
+    phase 1 (CI fails otherwise; see docs/ENGINE.md).
     """
     _require(isinstance(document, dict), "$", "bench must be a JSON object")
     _require(
@@ -194,6 +200,8 @@ def validate_bench_engine(document: Any) -> None:
     _require(isinstance(benchmarks, dict), "$.benchmarks", "must be an object")
     for required in (
         "phase1_extract_60k_s",
+        "phase1_reuse_s",
+        "phase1_derive_marginal_s",
         "phase2_replay_point_s",
         "step_simulator_point_s",
         "figure1_quick_s",
@@ -229,6 +237,32 @@ def validate_bench_engine(document: Any) -> None:
     )
     for key, value in reasons.items():
         _require_number(value, f"$.dispatch.step_fallback_reasons[{key!r}]")
+    phase1 = dispatch.get("phase1")
+    _require(
+        isinstance(phase1, dict), "$.dispatch.phase1", "must be an object"
+    )
+    for field in ("reuse_calls", "step_calls"):
+        _require_number(phase1.get(field), f"$.dispatch.phase1.{field}")
+    _require(
+        phase1["reuse_calls"] > 0,
+        "$.dispatch.phase1.reuse_calls",
+        "must be positive (the reuse engine ran)",
+    )
+    _require(
+        phase1["step_calls"] == 0,
+        "$.dispatch.phase1.step_calls",
+        "must be 0: the registry sweep is LRU-only, yet a phase-1 "
+        "extraction stepped Cache (reasons in "
+        "$.dispatch.phase1.step_reasons)",
+    )
+    step_reasons = phase1.get("step_reasons")
+    _require(
+        isinstance(step_reasons, dict),
+        "$.dispatch.phase1.step_reasons",
+        "must be an object",
+    )
+    for key, value in step_reasons.items():
+        _require_number(value, f"$.dispatch.phase1.step_reasons[{key!r}]")
     _validate_snapshot_body(document.get("metrics"), "$.metrics")
     validate_bench_provenance(document)
 

@@ -10,6 +10,18 @@ sweeping ``beta_m`` over a shared trace therefore pay for one functional
 pass, not sixteen — the batch-coalescing ratio the load generator
 reports (``service.batch.requests / service.batch.groups``).
 
+Groups are additionally ordered by the *trace-alone* key
+(:func:`repro.service.queries.trace_key_of`): service geometries are
+all LRU/write-back, so phase 1 runs on the reuse engine and its
+expensive half — trace generation plus the reuse-distance profiling
+pass — depends on the trace only (``docs/ENGINE.md``).  A batch fanning
+one trace across several geometries therefore resolves those groups
+back-to-back: the first builds the trace's
+:class:`~repro.cache.reuse.ReuseProfile`, the rest derive their event
+streams from the profile memo without regenerating anything
+(``service.batch.trace_groups`` / ``service.batch.geometry_coalesced``
+count the fan).
+
 Robustness contract:
 
 * the queue is *bounded*; a submit that would exceed ``max_pending``
@@ -53,6 +65,7 @@ class _Pending:
     """One queued request and the future its handler awaits."""
 
     key: str
+    trace_key: str
     params: dict[str, Any]
     future: asyncio.Future
     request_id: str | None = None
@@ -140,6 +153,7 @@ class MicroBatcher:
         future = asyncio.get_running_loop().create_future()
         entry = _Pending(
             key=key,
+            trace_key=queries.trace_key_of(params),
             params=params,
             future=future,
             # run_in_executor does not propagate contextvars, so the
@@ -176,21 +190,38 @@ class MicroBatcher:
             groups: OrderedDict[str, list[_Pending]] = OrderedDict()
             for entry in batch:
                 groups.setdefault(entry.key, []).append(entry)
+            # Second-level grouping: geometry fans over one trace.  The
+            # service's cache geometries are all LRU/write-back, so the
+            # expensive half of phase 1 — trace generation plus the
+            # reuse-distance profiling pass — depends on the trace
+            # alone.  Scheduling a trace's geometry groups back-to-back
+            # keeps its profile hot in the reuse store's small memo:
+            # the first group pays for the profile, the rest derive
+            # their event streams from it analytically.
+            by_trace: OrderedDict[str, list[list[_Pending]]] = OrderedDict()
+            for key, group in groups.items():
+                by_trace.setdefault(group[0].trace_key, []).append(group)
             self._registry.inc("service.batch.batches")
             self._registry.inc("service.batch.requests", len(batch))
             self._registry.inc("service.batch.groups", len(groups))
             self._registry.inc(
                 "service.batch.coalesced", len(batch) - len(groups)
             )
+            self._registry.inc("service.batch.trace_groups", len(by_trace))
+            self._registry.inc(
+                "service.batch.geometry_coalesced", len(groups) - len(by_trace)
+            )
             self._registry.observe("service.batch.size", len(batch))
+            ordered = [g for fan in by_trace.values() for g in fan]
             with tracing.span(
                 "service.batch",
                 requests=len(batch),
                 groups=len(groups),
+                trace_groups=len(by_trace),
                 request_ids=[e.request_id for e in batch if e.request_id],
             ):
                 outcomes = await loop.run_in_executor(
-                    self._executor, self._compute_batch, list(groups.values())
+                    self._executor, self._compute_batch, ordered
                 )
             for entry, ok, value in outcomes:
                 if entry.future.done():
@@ -205,7 +236,12 @@ class MicroBatcher:
     def _compute_batch(
         self, groups: list[list[_Pending]]
     ) -> list[tuple[_Pending, bool, Any]]:
-        """Resolve phase 1 once per group, then phase 2 per request."""
+        """Resolve phase 1 once per group, then phase 2 per request.
+
+        ``groups`` arrives trace-adjacent (see :meth:`_run`): groups
+        sharing a trace run consecutively so the reuse-profile memo hit
+        is guaranteed regardless of how many traces the batch spans.
+        """
         outcomes: list[tuple[_Pending, bool, Any]] = []
         for group in groups:
             live = [e for e in group if not e.future.done()]

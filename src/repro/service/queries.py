@@ -240,6 +240,20 @@ def events_key_of(params: dict[str, Any]) -> str:
     )
 
 
+def trace_key_of(params: dict[str, Any]) -> str:
+    """The trace-alone identity phase-1 *profile* work coalesces on.
+
+    Service cache geometries are always LRU/write-back/write-allocate
+    (:func:`cache_config_of` builds plain :class:`CacheConfig`\\ s), so
+    every simulate request is reuse-engine eligible and its expensive
+    phase-1 half — trace generation plus the reuse-distance profiling
+    pass — depends on the trace only.  The batch scheduler groups on
+    this key to run geometry fans over one trace back-to-back (see
+    :mod:`repro.service.batching`).
+    """
+    return trace_fingerprint_of(params["trace"])
+
+
 def _trace_factory(trace: dict[str, Any]):
     if trace["kind"] == "spec92":
         return lambda: spec92_trace(

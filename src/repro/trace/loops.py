@@ -122,19 +122,15 @@ def with_compute(
             yield ALU_OP
 
 
-def matmul_instructions(
+def _matmul_slot_keys(
     a: Matrix, b: Matrix, c: Matrix, tile: int | None = None
-) -> list[Instruction]:
-    """Array-generated equivalent of ``list(matmul(a, b, c, tile))``.
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(unique, inverse)`` slot keys of the matmul reference stream.
 
-    The iterator form runs six nested Python loops and one
-    bounds-checked :meth:`Matrix.address` call per reference; here each
-    tile block's interleaved address pattern — ``(A[i,k], B[k,j])`` k
-    pairs then the ``C[i,j]`` load/store — is a single broadcast into a
-    ``(bi, bj, 2*bk + 2)`` array, and only the final
-    :class:`Instruction` materialization stays per-element.  The test
-    suite pins this path element-identical to the iterator, which
-    remains the executable specification.
+    Each tile block's interleaved address pattern — ``(A[i,k], B[k,j])``
+    k pairs then the ``C[i,j]`` load/store — is a single broadcast into
+    a ``(bi, bj, 2*bk + 2)`` array; ``unique[inverse]`` reconstructs the
+    full stream's keys in reference order.
     """
     if a.cols != b.rows or c.rows != a.rows or c.cols != b.cols:
         raise ValueError(
@@ -176,6 +172,22 @@ def matmul_instructions(
                 blocks.append(block.ravel())
     keys = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
     unique, inverse = np.unique(keys, return_inverse=True)
+    return unique, inverse
+
+
+def matmul_instructions(
+    a: Matrix, b: Matrix, c: Matrix, tile: int | None = None
+) -> list[Instruction]:
+    """Array-generated equivalent of ``list(matmul(a, b, c, tile))``.
+
+    The iterator form runs six nested Python loops and one
+    bounds-checked :meth:`Matrix.address` call per reference; here the
+    address pattern comes from :func:`_matmul_slot_keys` in bulk, and
+    only the final :class:`Instruction` materialization stays
+    per-element.  The test suite pins this path element-identical to the
+    iterator, which remains the executable specification.
+    """
+    unique, inverse = _matmul_slot_keys(a, b, c, tile)
     kinds = (OpKind.LOAD, OpKind.LOAD, OpKind.LOAD, OpKind.STORE)
     sizes = (a.element_size, b.element_size, c.element_size, c.element_size)
     table = [
@@ -183,6 +195,38 @@ def matmul_instructions(
         for key in unique.tolist()
     ]
     return list(map(table.__getitem__, inverse.tolist()))
+
+
+def square_matmul_profile_arrays(
+    n: int,
+    tile: int | None = None,
+    element_size: int = 8,
+    alu_per_reference: int = 2,
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reference arrays of :func:`square_matmul_trace`, no objects built.
+
+    Returns ``(n_instructions, index, address, is_store, size)`` — the
+    exact arrays ``repro.cache.reuse.build_profile`` would extract from
+    the materialized trace, derived without constructing a single
+    :class:`Instruction`.  This works because the trace layout is
+    analytically known: references sit at every ``1 + alu_per_reference``
+    positions (ALU padding in between), and the slot keys carry address,
+    kind, and operand size.  The test suite pins this byte-identical to
+    the ``build_profile(square_matmul_trace(...))`` arrays.
+    """
+    if alu_per_reference < 0:
+        raise ValueError("alu_per_reference must be non-negative")
+    a = Matrix(0, n, n, element_size)
+    b = Matrix(a.bytes, n, n, element_size)
+    c = Matrix(a.bytes + b.bytes, n, n, element_size)
+    unique, inverse = _matmul_slot_keys(a, b, c, tile)
+    slot = (unique & 3)[inverse]
+    address = (unique >> 2)[inverse]
+    is_store = slot == 3
+    size = np.full(len(inverse), np.int64(element_size))
+    stride = 1 + alu_per_reference
+    index = np.arange(len(inverse), dtype=np.int64) * stride
+    return len(inverse) * stride, index, address, is_store, size
 
 
 def square_matmul_trace(

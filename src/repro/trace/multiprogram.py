@@ -93,6 +93,51 @@ class MultiprogramComparison:
         return self.interleaved_miss_ratio / self.solo_miss_ratio
 
 
+def _step(cache, instructions) -> None:
+    for inst in instructions:
+        if inst.kind is OpKind.LOAD:
+            cache.read(inst.address)
+        elif inst.kind is OpKind.STORE:
+            cache.write(inst.address)
+
+
+def pollution_sweep(
+    traces: list[list[Instruction]],
+    cache_config,
+    quanta: list[int],
+) -> list[MultiprogramComparison]:
+    """:func:`measure_pollution` across several quanta, sharing the
+    quantum-independent work.
+
+    The rebased address spaces and the solo baseline (each task on a
+    private, fresh cache) do not depend on the quantum; a sweep pays for
+    them once, and per quantum only the shared interleaved run steps a
+    cache.
+    """
+    from repro.cache.cache import Cache
+
+    spaces = disjoint_address_spaces(traces)
+    solo_hits = solo_accesses = 0
+    for trace in spaces:
+        cache = Cache(cache_config)
+        _step(cache, trace)
+        solo_hits += cache.stats.hits
+        solo_accesses += cache.stats.accesses
+    solo_mr = 1.0 - (solo_hits / solo_accesses if solo_accesses else 0.0)
+
+    comparisons = []
+    for quantum in quanta:
+        shared = Cache(cache_config)
+        _step(shared, interleave(spaces, quantum))
+        comparisons.append(
+            MultiprogramComparison(
+                solo_miss_ratio=solo_mr,
+                interleaved_miss_ratio=shared.stats.miss_ratio,
+            )
+        )
+    return comparisons
+
+
 def measure_pollution(
     traces: list[list[Instruction]],
     cache_config,
@@ -104,28 +149,4 @@ def measure_pollution(
     interleaved run shares one cache across quanta.  The gap is the
     Section 3.4 effect.
     """
-    from repro.cache.cache import Cache
-
-    def run(cache, instructions) -> None:
-        for inst in instructions:
-            if inst.kind is OpKind.LOAD:
-                cache.read(inst.address)
-            elif inst.kind is OpKind.STORE:
-                cache.write(inst.address)
-
-    spaces = disjoint_address_spaces(traces)
-    solo_hits = solo_accesses = 0
-    for trace in spaces:
-        cache = Cache(cache_config)
-        run(cache, trace)
-        solo_hits += cache.stats.hits
-        solo_accesses += cache.stats.accesses
-
-    shared = Cache(cache_config)
-    run(shared, interleave(spaces, quantum))
-
-    solo_mr = 1.0 - (solo_hits / solo_accesses if solo_accesses else 0.0)
-    return MultiprogramComparison(
-        solo_miss_ratio=solo_mr,
-        interleaved_miss_ratio=shared.stats.miss_ratio,
-    )
+    return pollution_sweep(traces, cache_config, [quantum])[0]

@@ -64,8 +64,7 @@ class WorkloadProfile:
         builder = _PATTERNS[self.name]
         return builder(rng)
 
-    def trace(self, n_instructions: int, seed: int = 0) -> list[Instruction]:
-        """Materialize an instruction stream for this profile."""
+    def _builder(self, seed: int) -> tuple[random.Random, SyntheticTraceBuilder]:
         # zlib.crc32 is deterministic across processes (unlike hash(),
         # which is salted and would make traces irreproducible run-to-run).
         rng = random.Random(seed ^ zlib.crc32(self.name.encode()))
@@ -74,7 +73,28 @@ class WorkloadProfile:
             loadstore_fraction=self.loadstore_fraction,
             store_fraction=self.store_fraction,
         )
+        return rng, builder
+
+    def trace(self, n_instructions: int, seed: int = 0) -> list[Instruction]:
+        """Materialize an instruction stream for this profile."""
+        rng, builder = self._builder(seed)
         return builder.build(self.pattern(rng), n_instructions)
+
+    def profile_arrays(
+        self, n_instructions: int, seed: int = 0
+    ) -> tuple[int, "object", "object", "object", "object"]:
+        """``(n_instructions, index, address, is_store, size)`` — the
+        reference arrays of :meth:`trace`, without materializing it.
+
+        Same RNG draws as :meth:`trace`, so byte-identical to profiling
+        the materialized stream; the reuse engine's phase 1 consumes
+        this directly (``repro.cache.reuse.ReuseProfile``).
+        """
+        rng, builder = self._builder(seed)
+        index, address, is_store, size = builder.build_reference_arrays(
+            self.pattern(rng), n_instructions
+        )
+        return n_instructions, index, address, is_store, size
 
 
 def _nasa7(rng: random.Random) -> Iterator[int]:

@@ -298,13 +298,18 @@ class SyntheticTraceBuilder:
         self.store_fraction = store_fraction
         self.operand_size = operand_size
 
-    def build(
+    def build_reference_arrays(
         self, pattern: Iterable[int], n_instructions: int
-    ) -> list[Instruction]:
-        """Materialize ``n_instructions`` instructions around ``pattern``.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The reference stream of :meth:`build`, as parallel arrays.
 
-        Memory operations are spread pseudo-randomly at the configured
-        density; each consumes the next pattern address, in order.
+        Returns ``(index, address, is_store, size)`` — the memory
+        references' positions within the instruction stream, their
+        addresses, store flags and operand sizes, drawn with the exact
+        RNG sequence :meth:`build` uses.  Consumers that only need the
+        references (the reuse-distance profiler) read these directly and
+        skip Instruction materialization; the test suite pins them
+        byte-identical to profiling the materialized trace.
         """
         if n_instructions <= 0:
             raise ValueError("n_instructions must be positive")
@@ -313,6 +318,20 @@ class SyntheticTraceBuilder:
         positions = np.flatnonzero(is_memory)
         is_store = generator.random(positions.shape[0]) < self.store_fraction
         addresses = _as_stream(pattern).take(positions.shape[0])
+        sizes = np.full(positions.shape[0], np.int64(self.operand_size))
+        return positions, addresses, is_store, sizes
+
+    def build(
+        self, pattern: Iterable[int], n_instructions: int
+    ) -> list[Instruction]:
+        """Materialize ``n_instructions`` instructions around ``pattern``.
+
+        Memory operations are spread pseudo-randomly at the configured
+        density; each consumes the next pattern address, in order.
+        """
+        positions, addresses, is_store, _ = self.build_reference_arrays(
+            pattern, n_instructions
+        )
 
         instructions: list[Instruction] = [ALU_OP] * n_instructions
         size = self.operand_size

@@ -7,6 +7,8 @@ from repro.cache.multilevel import (
     TwoLevelCache,
     effective_memory_cycle,
     single_level_equivalent,
+    single_level_equivalent_from_events,
+    stats_via_events,
 )
 from repro.trace.record import ALU_OP, load, store
 from repro.trace.spec92 import spec92_trace
@@ -100,3 +102,53 @@ class TestEffectiveCycle:
             trace, CacheConfig(8192, 32, 2), CacheConfig(262144, 32, 4), 2.0, 12.0
         )[1]
         assert large <= small + 1e-9
+
+
+class TestStatsViaEvents:
+    """The events-driven L2 derivation == stepping the full hierarchy.
+
+    The L1 EventStream records exactly the miss/copy-back traffic the
+    L1 hands the L2, so replaying only that short stream through a
+    fresh L2 must reproduce ``TwoLevelCache``'s stats bit for bit.
+    """
+
+    @pytest.mark.parametrize("name", ["ear", "swm256", "doduc"])
+    def test_matches_stepped_hierarchy(self, name):
+        from repro.cache.events import extract_events
+
+        trace = spec92_trace(name, 5000, seed=7)
+        l1, l2 = CacheConfig(1024, 32, 2), CacheConfig(8192, 32, 4)
+        hierarchy = TwoLevelCache(l1, l2)
+        for inst in trace:
+            if inst.kind.is_memory:
+                hierarchy.access(inst)
+        oracle = hierarchy.stats()
+        derived = stats_via_events(extract_events(trace, l1), l2)
+        assert derived == oracle
+
+    def test_matches_single_level_equivalent(self):
+        from repro.cache.events import extract_events
+
+        trace = spec92_trace("hydro2d", 4000, seed=7)
+        l1, l2 = CacheConfig(8192, 32, 2), CacheConfig(65536, 32, 4)
+        stepped_stats, stepped_beta = single_level_equivalent(
+            trace, l1, l2, 2.0, 12.0
+        )
+        fast_stats, fast_beta = single_level_equivalent_from_events(
+            extract_events(trace, l1), l2, 2.0, 12.0
+        )
+        assert fast_stats == stepped_stats
+        assert fast_beta == stepped_beta
+
+    def test_geometry_validated(self):
+        from repro.cache.events import extract_events
+
+        events = extract_events([load(0)], CacheConfig(2048, 32, 2))
+        with pytest.raises(ValueError, match="L2 line"):
+            stats_via_events(events, CacheConfig(8192, 16, 4))
+        with pytest.raises(ValueError, match="at least as large"):
+            stats_via_events(events, CacheConfig(1024, 32, 4))
+        with pytest.raises(ValueError):
+            single_level_equivalent_from_events(
+                events, CacheConfig(8192, 32, 4), 0.5, 12.0
+            )

@@ -1,0 +1,284 @@
+"""The reuse-distance phase-1 engine vs. the stepping oracle: bitwise.
+
+``derive_events`` promises *byte identity* with ``extract_events`` for
+every LRU/write-back/write-allocate geometry — event arrays and
+``CacheStats`` both.  This suite pins that promise across the registry
+grid (sizes, associativities, line sizes; matmul, SPEC92 stand-in and
+adversarial synthetic traces), checks the fallback classification for
+everything else, and property-tests the stack-distance arithmetic the
+derivation rests on against brute-force oracles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.cache.events import EVENT_ARRAYS, extract_events
+from repro.cache.reuse import (
+    _count_greater_left,
+    build_profile,
+    derive_events,
+    supports,
+    unsupported_reason,
+)
+from repro.cache.write_policy import AllocatePolicy, WritePolicy
+from repro.trace.loops import square_matmul_trace
+from repro.trace.record import ALU_OP, Instruction, OpKind, load, store
+from repro.trace.spec92 import spec92_trace
+
+#: LRU/write-back/write-allocate registry grid: sizes from thrashing to
+#: Figure 1's 8K, associativities 1..8, line sizes 16..128.
+GEOMETRIES = [
+    CacheConfig(8192, 32, 2),  # the paper's Figure 1 cache
+    CacheConfig(1024, 16, 1),  # direct-mapped, short lines
+    CacheConfig(512, 64, 4),  # tiny + long lines: heavy thrashing
+    CacheConfig(4096, 32, 4),
+    CacheConfig(256, 16, 2),
+    CacheConfig(2048, 64, 8),
+    CacheConfig(16384, 128, 4),
+]
+
+
+def assert_streams_equal(oracle, fast):
+    assert fast.n_instructions == oracle.n_instructions
+    assert fast.config == oracle.config
+    for name in EVENT_ARRAYS:
+        a, b = getattr(oracle, name), getattr(fast, name)
+        assert a.dtype == b.dtype, name
+        np.testing.assert_array_equal(a, b, err_msg=name)
+    assert dataclasses.asdict(fast.stats) == dataclasses.asdict(oracle.stats)
+
+
+def _store_thrash():
+    trace = []
+    for i in range(300):
+        trace.append(store((i * 32) % 1024))
+        trace.append(ALU_OP)
+        trace.append(load(((i + 3) * 32) % 1024))
+    return trace
+
+
+def _traces():
+    return {
+        "ear": spec92_trace("ear", 2500, seed=7),
+        "swm256": spec92_trace("swm256", 2500, seed=7),
+        "doduc": spec92_trace("doduc", 2500, seed=7),
+        "wave5": spec92_trace("wave5", 2500, seed=7),
+        "matmul": square_matmul_trace(12, tile=4),
+        "matmul-untiled": square_matmul_trace(10),
+        "store-thrash": _store_thrash(),
+        "single-line": [load(0), store(4), load(8)] * 50,
+        "alu-only": [ALU_OP] * 40,
+        "empty": [],
+    }
+
+
+class TestBitwiseEquivalence:
+    """reuse-derived EventStream == stepped EventStream, everywhere."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return _traces()
+
+    @pytest.fixture(scope="class")
+    def profiles(self, traces):
+        return {name: build_profile(trace) for name, trace in traces.items()}
+
+    @pytest.mark.parametrize("config", GEOMETRIES, ids=str)
+    def test_registry_grid(self, traces, profiles, config):
+        for name, trace in traces.items():
+            oracle = extract_events(trace, config)
+            fast = derive_events(profiles[name], config)
+            assert_streams_equal(oracle, fast)
+
+    def test_one_profile_serves_every_geometry(self, traces):
+        """The per-trace profile is geometry-independent by design."""
+        profile = build_profile(traces["doduc"])
+        for config in GEOMETRIES:
+            assert_streams_equal(
+                extract_events(traces["doduc"], config),
+                derive_events(profile, config),
+            )
+
+    def test_stats_match_field_by_field(self, traces, profiles):
+        config = CacheConfig(512, 32, 2)
+        oracle = extract_events(traces["store-thrash"], config).stats
+        fast = derive_events(profiles["store-thrash"], config).stats
+        assert fast.flushed_lines == oracle.flushed_lines
+        assert fast.evictions == oracle.evictions
+        assert fast.write_allocate_fills == oracle.write_allocate_fills
+
+
+class TestFallbackClassification:
+    """Everything outside LRU/WB/WA steps the oracle, with a reason."""
+
+    def test_lru_wb_wa_supported(self):
+        assert supports(CacheConfig(8192, 32, 2))
+        assert unsupported_reason(CacheConfig(8192, 32, 2)) is None
+
+    def test_reason_tokens(self):
+        assert (
+            unsupported_reason(CacheConfig(8192, 32, 2, replacement="fifo"))
+            == "replacement=fifo"
+        )
+        assert (
+            unsupported_reason(
+                CacheConfig(
+                    8192, 32, 2, write_policy=WritePolicy.WRITE_THROUGH
+                )
+            )
+            == "write_policy=write-through"
+        )
+        assert (
+            unsupported_reason(
+                CacheConfig(
+                    8192, 32, 2, allocate_policy=AllocatePolicy.WRITE_AROUND
+                )
+            )
+            == "allocate=write-around"
+        )
+
+    def test_derive_rejects_unsupported(self):
+        profile = build_profile([load(0)])
+        with pytest.raises(ValueError, match="reuse engine cannot derive"):
+            derive_events(
+                profile, CacheConfig(8192, 32, 2, replacement="random")
+            )
+
+
+# -- property tests for the stack-distance arithmetic --------------------
+
+
+def _naive_greater_left(values):
+    return [
+        sum(1 for k in range(i) if values[k] > values[i])
+        for i in range(len(values))
+    ]
+
+
+class TestCountGreaterLeft:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=0, max_size=200
+        )
+    )
+    def test_matches_brute_force(self, values):
+        """Ties and negatives included; sizes straddle the block width."""
+        got = _count_greater_left(np.asarray(values, dtype=np.int64))
+        assert got.tolist() == _naive_greater_left(values)
+
+    @pytest.mark.parametrize("n", [0, 1, 31, 32, 33, 63, 64, 65, 257])
+    def test_block_boundaries(self, n):
+        rng = np.random.default_rng(n)
+        values = rng.integers(-3, 4, size=n).astype(np.int64)
+        got = _count_greater_left(values)
+        assert got.tolist() == _naive_greater_left(values.tolist())
+
+    def test_descending_is_worst_case(self):
+        values = np.arange(100, 0, -1, dtype=np.int64)
+        assert _count_greater_left(values).tolist() == list(range(100))
+
+
+def _naive_stack_distances(line_ids, set_ids):
+    """Per reference: distinct same-set lines touched since the previous
+    touch of its line; ``None`` for cold references."""
+    last_seen: dict[int, int] = {}
+    distances: list[int | None] = []
+    for i, (line, set_id) in enumerate(zip(line_ids, set_ids)):
+        prev = last_seen.get(line)
+        if prev is None:
+            distances.append(None)
+        else:
+            window = {
+                line_ids[k]
+                for k in range(prev + 1, i)
+                if set_ids[k] == set_id
+            }
+            window.discard(line)
+            distances.append(len(window))
+        last_seen[line] = i
+    return distances
+
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=0x3FF), min_size=1, max_size=250
+)
+
+
+class TestStackDistances:
+    @settings(max_examples=100, deadline=None)
+    @given(addrs=addresses, line_shift=st.sampled_from([4, 5, 6]))
+    def test_set_view_matches_naive(self, addrs, line_shift):
+        n_sets = 4
+        trace = [load(a * 4) for a in addrs]
+        profile = build_profile(trace)
+        view = profile.set_view(1 << line_shift, n_sets)
+        line_ids = [(a * 4) >> line_shift for a in addrs]
+        set_ids = [line & (n_sets - 1) for line in line_ids]
+        naive = _naive_stack_distances(line_ids, set_ids)
+        for i, expected in enumerate(naive):
+            if expected is None:
+                assert view.sd[i] >= len(addrs)  # cold sentinel
+            else:
+                assert view.sd[i] == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        addrs=addresses,
+        config=st.sampled_from(
+            [
+                CacheConfig(256, 16, 1),
+                CacheConfig(256, 32, 2),
+                CacheConfig(512, 32, 2),
+                CacheConfig(1024, 64, 4),
+            ]
+        ),
+        store_mask=st.integers(min_value=0, max_value=7),
+    )
+    def test_mattson_inclusion_vs_oracle(self, addrs, config, store_mask):
+        """Hit iff stack distance < associativity — checked end to end
+        (miss flags, victims, dirtiness, stats) against stepping."""
+        trace = [
+            Instruction(
+                OpKind.STORE if (i & 7) == store_mask else OpKind.LOAD,
+                a * 4,
+                4,
+            )
+            for i, a in enumerate(addrs)
+        ]
+        assert_streams_equal(
+            extract_events(trace, config),
+            derive_events(build_profile(trace), config),
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    stream=st.lists(
+        st.one_of(
+            st.just(ALU_OP),
+            st.builds(
+                Instruction,
+                st.sampled_from([OpKind.LOAD, OpKind.STORE]),
+                st.integers(min_value=0, max_value=0x7FF).map(lambda a: a * 4),
+                st.just(4),
+            ),
+        ),
+        min_size=0,
+        max_size=250,
+    ),
+    config=st.sampled_from(GEOMETRIES),
+)
+def test_derive_equals_extract_property(stream, config):
+    """Random mixed ALU/load/store streams over the whole grid."""
+    assert_streams_equal(
+        extract_events(stream, config),
+        derive_events(build_profile(stream), config),
+    )

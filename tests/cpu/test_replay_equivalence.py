@@ -480,6 +480,67 @@ class TestFsSweep:
             replay_fs_sweep(events, (8.0,), 4)
 
 
+class TestReusePhase1Equivalence:
+    """End-to-end over the reuse engine: profile -> derived EventStream
+    -> replay must equal stepping the cache *and* the timing oracle.
+
+    The phase-1 equivalence (derived stream == extracted stream) is
+    pinned array-by-array in ``tests/cache/test_reuse.py``; here the
+    derived stream feeds the actual phase-2 replay so a representation
+    mismatch anywhere in the chain would surface as a cycle-count
+    difference.
+    """
+
+    GEOMETRIES = (
+        CacheConfig(8192, 32, 2),
+        CacheConfig(1024, 16, 1),
+        CacheConfig(512, 64, 4),
+    )
+
+    @pytest.mark.parametrize("name", ["ear", "swm256", "doduc"])
+    def test_replay_over_derived_stream(self, name):
+        from repro.cache.reuse import build_profile, derive_events
+
+        trace = spec92_trace(name, 2500, seed=7)
+        profile = build_profile(trace)
+        for config in self.GEOMETRIES:
+            derived = derive_events(profile, config)
+            for policy in (StallPolicy.FULL_STALL, StallPolicy.BUS_NOT_LOCKED_3):
+                for beta in (2.0, 8.0):
+                    memory = MainMemory(beta, 4)
+                    oracle = TimingSimulator(
+                        config, memory, policy=policy
+                    ).run(trace)
+                    fast = replay(derived, memory, policy)
+                    assert_results_equal(oracle, fast)
+
+    def test_derived_stream_through_simulate(self):
+        from repro.cache.reuse import build_profile, derive_events
+
+        trace = spec92_trace("wave5", 2000, seed=7)
+        config = CacheConfig(8192, 32, 2)
+        derived = derive_events(build_profile(trace), config)
+        memory = MainMemory(8.0, 4)
+        result = simulate(
+            (), config, memory, policy=StallPolicy.FULL_STALL, events=derived
+        )
+        oracle = TimingSimulator(
+            config, memory, policy=StallPolicy.FULL_STALL
+        ).run(trace)
+        assert_results_equal(oracle, result)
+
+    def test_derived_stream_mshr_replay(self):
+        from repro.cache.reuse import build_profile, derive_events
+
+        trace = spec92_trace("ear", 2000, seed=7)
+        config = CacheConfig(1024, 16, 1)
+        derived = derive_events(build_profile(trace), config)
+        memory = MainMemory(8.0, 4)
+        oracle = MSHRSimulator(config, memory, mshr_count=4).run(trace)
+        fast = replay_mshr(derived, memory, mshr_count=4)
+        assert_results_equal(oracle, fast)
+
+
 class TestEventStreamDerived:
     def test_inter_miss_distances_match_legacy(self):
         """EventStream's Eq. (8) distances == stall_measure.miss_distances."""

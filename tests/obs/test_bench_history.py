@@ -20,6 +20,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 def _engine_document(**benchmark_overrides):
     benchmarks = {
         "phase1_extract_60k_s": 0.06,
+        "phase1_reuse_s": 0.03,
+        "phase1_derive_marginal_s": 0.005,
         "phase2_replay_point_s": 0.002,
         "step_simulator_point_s": 0.1,
         "figure1_quick_s": 0.14,
@@ -34,6 +36,11 @@ def _engine_document(**benchmark_overrides):
             "replay_calls": 288,
             "step_calls": 0,
             "step_fallback_reasons": {},
+            "phase1": {
+                "reuse_calls": 42,
+                "step_calls": 0,
+                "step_reasons": {},
+            },
         },
         "metrics": {"counters": {}, "histograms": {}},
         "provenance": {

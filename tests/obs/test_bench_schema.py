@@ -16,6 +16,8 @@ def _document():
         "schema": schemas.BENCH_ENGINE_SCHEMA,
         "benchmarks": {
             "phase1_extract_60k_s": 0.06,
+            "phase1_reuse_s": 0.03,
+            "phase1_derive_marginal_s": 0.005,
             "phase2_replay_point_s": 0.002,
             "step_simulator_point_s": 0.1,
             "figure1_quick_s": 0.14,
@@ -26,6 +28,11 @@ def _document():
             "replay_calls": 288,
             "step_calls": 0,
             "step_fallback_reasons": {},
+            "phase1": {
+                "reuse_calls": 42,
+                "step_calls": 0,
+                "step_reasons": {},
+            },
         },
         "metrics": {"counters": {}, "histograms": {}},
         "provenance": {
@@ -80,6 +87,33 @@ class TestValidateBenchEngine:
         document = _document()
         document["provenance"]["cpu_count"] = 0
         with pytest.raises(schemas.SchemaError, match="cpu_count"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_missing_phase1_reuse_headline(self):
+        document = _document()
+        del document["benchmarks"]["phase1_reuse_s"]
+        with pytest.raises(schemas.SchemaError, match="phase1_reuse_s"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_phase1_stepping(self):
+        """The CI perf-smoke contract: an LRU-only sweep must never
+        step Cache in phase 1."""
+        document = _document()
+        document["dispatch"]["phase1"]["step_calls"] = 2
+        document["dispatch"]["phase1"]["step_reasons"] = {"disabled": 2}
+        with pytest.raises(schemas.SchemaError, match="phase1.step_calls"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_zero_reuse_calls(self):
+        document = _document()
+        document["dispatch"]["phase1"]["reuse_calls"] = 0
+        with pytest.raises(schemas.SchemaError, match="reuse_calls"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_missing_phase1_section(self):
+        document = _document()
+        del document["dispatch"]["phase1"]
+        with pytest.raises(schemas.SchemaError, match="phase1"):
             schemas.validate_bench_engine(document)
 
 

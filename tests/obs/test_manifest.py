@@ -85,6 +85,45 @@ class TestStability:
         second = _build(wall_time_s=99.9)
         assert manifest.stable_view(first) == manifest.stable_view(second)
 
+    def test_diagnostic_counters_stripped(self):
+        """Cold/warm determinism: diagnostic-only counters — including
+        labeled ones, matched on the base name before '{' — vanish from
+        the stable view; everything else survives untouched."""
+        snapshot = _snapshot()
+        snapshot["counters"]["events_store.corrupt_reextract"] = 1
+        snapshot["counters"]["reuse_store.corrupt_reextract"] = 2
+        snapshot["counters"][
+            "engine.phase1.dispatches{engine=reuse,reason=lru_wb_wa}"
+        ] = 7
+        snapshot["counters"][
+            "engine.phase1.dispatches{engine=step,reason=disabled}"
+        ] = 3
+        document = _build(metrics_snapshot=snapshot)
+        stable = manifest.stable_view(document)
+        remaining = stable["metrics"]["counters"]
+        for key in remaining:
+            assert manifest._counter_base(key) not in (
+                manifest.DIAGNOSTIC_COUNTERS
+            )
+        assert remaining["eq2.total_cycles"] == 1000.0
+        # The input document is not mutated.
+        assert (
+            "reuse_store.corrupt_reextract"
+            in document["metrics"]["counters"]
+        )
+
+    def test_cold_and_warm_snapshots_agree(self):
+        """A cold run counts phase-1 dispatches; a warm run never reaches
+        the dispatcher.  Their stable views must still be equal."""
+        cold = _snapshot()
+        cold["counters"][
+            "engine.phase1.dispatches{engine=reuse,reason=lru_wb_wa}"
+        ] = 42
+        warm = _snapshot()
+        assert manifest.stable_view(
+            _build(metrics_snapshot=cold)
+        ) == manifest.stable_view(_build(metrics_snapshot=warm))
+
 
 class TestWrite:
     def test_write_path_and_round_trip(self, tmp_path):

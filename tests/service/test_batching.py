@@ -51,6 +51,13 @@ def _key_by_param(monkeypatch):
     monkeypatch.setattr(
         batching.queries, "events_key_of", lambda params: params["key"]
     )
+    # Trace-alone key for the second-level grouping; defaults to the
+    # events key so tests that don't care see one trace per group.
+    monkeypatch.setattr(
+        batching.queries,
+        "trace_key_of",
+        lambda params: params.get("trace", params["key"]),
+    )
 
 
 class TestCoalescing:
@@ -113,6 +120,72 @@ class TestCoalescing:
         counters = registry.snapshot()["counters"]
         assert counters["service.events_memo.hit"] == 1
         assert counters["service.events_memo.miss"] == 1
+
+
+class TestTraceCoalescing:
+    def test_geometry_fan_counts_one_trace_group(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder)
+            batcher.start()
+            await asyncio.gather(
+                batcher.submit({"key": "t/g1", "trace": "t", "value": 1}),
+                batcher.submit({"key": "t/g2", "trace": "t", "value": 2}),
+            )
+            await batcher.drain()
+            return registry
+
+        registry = asyncio.run(run())
+        # Phase 1 still runs once per (trace, geometry) group...
+        assert sorted(recorder.resolved) == ["t/g1", "t/g2"]
+        counters = registry.snapshot()["counters"]
+        assert counters["service.batch.groups"] == 2
+        # ...but the scheduler sees one trace fanned over two geometries.
+        assert counters["service.batch.trace_groups"] == 1
+        assert counters["service.batch.geometry_coalesced"] == 1
+
+    def test_interleaved_fans_resolve_trace_adjacent(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder)
+            batcher.start()
+            await asyncio.gather(
+                batcher.submit({"key": "a1", "trace": "A", "value": 1}),
+                batcher.submit({"key": "b1", "trace": "B", "value": 2}),
+                batcher.submit({"key": "a2", "trace": "A", "value": 3}),
+                batcher.submit({"key": "b2", "trace": "B", "value": 4}),
+            )
+            await batcher.drain()
+            return registry
+
+        registry = asyncio.run(run())
+        # Groups sharing a trace run back-to-back (profile memo stays
+        # hot), in first-arrival order within and across traces.
+        assert recorder.resolved == ["a1", "a2", "b1", "b2"]
+        counters = registry.snapshot()["counters"]
+        assert counters["service.batch.groups"] == 4
+        assert counters["service.batch.trace_groups"] == 2
+        assert counters["service.batch.geometry_coalesced"] == 2
+
+    def test_distinct_traces_not_coalesced(self):
+        recorder = Recorder()
+
+        async def run():
+            batcher, registry = make_batcher(recorder)
+            batcher.start()
+            await asyncio.gather(
+                batcher.submit({"key": "x", "trace": "X", "value": 1}),
+                batcher.submit({"key": "y", "trace": "Y", "value": 2}),
+            )
+            await batcher.drain()
+            return registry
+
+        registry = asyncio.run(run())
+        counters = registry.snapshot()["counters"]
+        assert counters["service.batch.trace_groups"] == 2
+        assert counters["service.batch.geometry_coalesced"] == 0
 
 
 class TestBackpressure:

@@ -8,6 +8,7 @@ from repro.trace.loops import (
     matmul,
     matmul_instructions,
     matvec,
+    square_matmul_profile_arrays,
     square_matmul_trace,
     with_compute,
 )
@@ -134,6 +135,51 @@ class TestVectorizedMatmul:
             matmul_instructions(a, Matrix(64, 2, 2), Matrix(128, 2, 2), tile=0)
         with pytest.raises(ValueError):
             square_matmul_trace(4, alu_per_reference=-1)
+
+
+class TestProfileArrays:
+    """The analytic reuse-profile path is pinned byte-identical to
+    profiling the materialized trace (the reuse engine depends on it)."""
+
+    @pytest.mark.parametrize(
+        "n,tile,alu", [(9, None, 2), (9, 4, 2), (8, 8, 0), (6, 4, 3), (1, None, 2)]
+    )
+    def test_matches_build_profile(self, n, tile, alu):
+        import numpy as np
+
+        from repro.cache.reuse import PROFILE_ARRAYS, build_profile
+
+        built = build_profile(
+            square_matmul_trace(n, tile, alu_per_reference=alu)
+        )
+        n_instructions, index, address, is_store, size = (
+            square_matmul_profile_arrays(n, tile, alu_per_reference=alu)
+        )
+        assert n_instructions == built.n_instructions
+        analytic = dict(
+            index=index, address=address, is_store=is_store, size=size
+        )
+        for name in PROFILE_ARRAYS:
+            assert analytic[name].dtype == getattr(built, name).dtype, name
+            np.testing.assert_array_equal(
+                analytic[name], getattr(built, name), err_msg=name
+            )
+
+    def test_element_size_respected(self):
+        import numpy as np
+
+        _, _, address4, _, size4 = square_matmul_profile_arrays(
+            4, element_size=4
+        )
+        _, _, address8, _, size8 = square_matmul_profile_arrays(
+            4, element_size=8
+        )
+        assert np.all(size4 == 4) and np.all(size8 == 8)
+        assert address8.max() > address4.max()  # larger matrices
+
+    def test_rejects_negative_alu(self):
+        with pytest.raises(ValueError):
+            square_matmul_profile_arrays(4, alu_per_reference=-1)
 
 
 class TestCacheBehaviour:

@@ -83,3 +83,30 @@ class TestPollution:
         trace = spec92_trace("ear", 4000, seed=7)
         comparison = measure_pollution([trace], CacheConfig(8192, 32, 2), 100)
         assert comparison.pollution_factor == pytest.approx(1.0)
+
+
+class TestPollutionSweep:
+    """pollution_sweep shares the solo baseline across quanta; results
+    must equal independent measure_pollution calls exactly."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return [
+            spec92_trace(name, 3000, seed=7)
+            for name in ("ear", "doduc", "swm256")
+        ]
+
+    def test_matches_per_quantum_measurement(self, traces):
+        from repro.trace.multiprogram import pollution_sweep
+
+        config = CacheConfig(8192, 32, 2)
+        quanta = [50, 100, 2000]
+        swept = pollution_sweep(traces, config, quanta)
+        for quantum, comparison in zip(quanta, swept):
+            single = measure_pollution(traces, config, quantum)
+            assert comparison == single
+
+    def test_empty_quanta(self, traces):
+        from repro.trace.multiprogram import pollution_sweep
+
+        assert pollution_sweep(traces, CacheConfig(8192, 32, 2), []) == []

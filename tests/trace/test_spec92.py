@@ -59,3 +59,33 @@ class TestCharacter:
         assert footprints["ear"] <= min(
             footprints[name] for name in ("nasa7", "swm256", "wave5", "hydro2d")
         )
+
+
+class TestProfileArrays:
+    """profile_arrays shares trace()'s RNG draws: profiling the arrays
+    is byte-identical to profiling the materialized stand-in trace."""
+
+    @pytest.mark.parametrize("name", sorted(SPEC92_PROFILES))
+    def test_matches_materialized_trace(self, name):
+        import numpy as np
+
+        from repro.cache.reuse import PROFILE_ARRAYS, ReuseProfile, build_profile
+
+        built = build_profile(spec92_trace(name, 1500, seed=7))
+        analytic = ReuseProfile(
+            *SPEC92_PROFILES[name].profile_arrays(1500, seed=7)
+        )
+        assert analytic.n_instructions == built.n_instructions
+        for field in PROFILE_ARRAYS:
+            assert (
+                getattr(analytic, field).dtype == getattr(built, field).dtype
+            ), field
+            np.testing.assert_array_equal(
+                getattr(analytic, field), getattr(built, field), err_msg=field
+            )
+
+    def test_seed_changes_arrays(self):
+        profile = SPEC92_PROFILES["ear"]
+        _, _, a0, _, _ = profile.profile_arrays(800, seed=0)
+        _, _, a1, _, _ = profile.profile_arrays(800, seed=1)
+        assert a0.tolist() != a1.tolist()

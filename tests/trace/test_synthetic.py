@@ -127,3 +127,48 @@ class TestBuilder:
         builder = SyntheticTraceBuilder()
         with pytest.raises(ValueError):
             builder.build(sequential_sweep(0, 64), 0)
+
+
+class TestReferenceArrays:
+    """build_reference_arrays is the array twin of build(): same RNG
+    draws, so profiling the arrays == profiling the materialized trace."""
+
+    def _pair(self, **kwargs):
+        pattern_args = (0, 1 << 20, 8)
+        first = SyntheticTraceBuilder(seed=5, **kwargs)
+        second = SyntheticTraceBuilder(seed=5, **kwargs)
+        trace = first.build(sequential_sweep(*pattern_args), 3000)
+        arrays = second.build_reference_arrays(
+            sequential_sweep(*pattern_args), 3000
+        )
+        return trace, arrays
+
+    def test_matches_materialized_trace(self):
+        import numpy as np
+
+        from repro.cache.reuse import PROFILE_ARRAYS, build_profile
+
+        trace, (index, address, is_store, size) = self._pair(
+            loadstore_fraction=0.3, store_fraction=0.3
+        )
+        built = build_profile(trace)
+        analytic = dict(
+            index=index, address=address, is_store=is_store, size=size
+        )
+        for name in PROFILE_ARRAYS:
+            assert analytic[name].dtype == getattr(built, name).dtype, name
+            np.testing.assert_array_equal(
+                analytic[name], getattr(built, name), err_msg=name
+            )
+
+    def test_all_memory_all_store_edges(self):
+        trace, (index, _, is_store, _) = self._pair(
+            loadstore_fraction=1.0, store_fraction=1.0
+        )
+        assert index.shape[0] == len(trace)
+        assert bool(is_store.all())
+
+    def test_rejects_empty(self):
+        builder = SyntheticTraceBuilder()
+        with pytest.raises(ValueError):
+            builder.build_reference_arrays(sequential_sweep(0, 64), 0)
