@@ -198,6 +198,55 @@ def run_warm_cache(port: int) -> tuple[dict, set[str]]:
     )
 
 
+#: Sampling parameters for the profiled load window.
+PROFILE_WINDOW_S = 1.0
+PROFILE_HZ = 397  # prime, like the profiler default
+
+
+def run_profiled_window(port: int) -> dict:
+    """One ``/v1/debug/profile`` window under live load; phase table.
+
+    Exercises the wired endpoint end to end: a background client drives
+    uncached simulate traffic (a private ``beta_m`` range) while another
+    requests the sampling window over HTTP, so the returned
+    ``phase_breakdown`` attributes the serving stack's own self-time
+    (``service.phase2``, ``service.request``, …) under traffic.
+    """
+    stop = threading.Event()
+
+    def hammer() -> None:
+        connection = ServiceClient("127.0.0.1", port)
+        beta = 0
+        try:
+            while not stop.is_set():
+                beta += 1
+                connection.simulate(
+                    trace=LEVEL_TRACES[16],
+                    memory_cycle=200.0 + (beta % 512) / 8.0,
+                )
+        finally:
+            connection.close()
+
+    load = threading.Thread(target=hammer, name="lg-profile")
+    load.start()
+    connection = ServiceClient("127.0.0.1", port)
+    try:
+        document = connection.debug_profile(
+            seconds=PROFILE_WINDOW_S, hz=PROFILE_HZ
+        )
+    finally:
+        stop.set()
+        load.join()
+        connection.close()
+    return {
+        "source": "debug_profile_under_load",
+        "profile_id": document["id"],
+        "hz": document["hz"],
+        "duration_s": document["duration_s"],
+        "phases": document["phases"],
+    }
+
+
 def collect() -> dict:
     """Run the whole load-generation session; returns the document."""
     store_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
@@ -231,6 +280,18 @@ def collect() -> dict:
             f"warm cache: p50 {warm['p50_ms']} ms vs cold "
             f"{warm['cold_compute_ms']} ms ({warm['speedup']}x)"
         )
+        phase_breakdown = run_profiled_window(handle.port)
+        top = sorted(
+            phase_breakdown["phases"].items(),
+            key=lambda item: item[1]["self_s"],
+            reverse=True,
+        )[:4]
+        print(
+            "profiled window phases: "
+            + ", ".join(
+                f"{name} {entry['fraction']:.0%}" for name, entry in top
+            )
+        )
         document = {
             "schema": BENCH_SERVICE_SCHEMA,
             "server": {
@@ -261,6 +322,7 @@ def collect() -> dict:
                 ),
             },
             "warm_cache": warm,
+            "phase_breakdown": phase_breakdown,
             "dispatch": {
                 "replay_calls": registry.counter("engine.replay.calls"),
                 "step_calls": registry.counter("engine.step.calls"),

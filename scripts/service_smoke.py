@@ -3,7 +3,9 @@
 Launches ``python -m repro serve`` as a subprocess (with a structured
 access log), drives it with concurrent mixed requests (analytic +
 simulation, repeats for cache hits) carrying pinned
-``X-Repro-Request-Id`` headers, scrapes ``/metrics`` and
+``X-Repro-Request-Id`` headers, scrapes ``/metrics``,
+``/v1/debug/profile`` (a short sampling window whose document must
+validate and whose id must be annotated on its access-log record) and
 ``/v1/debug/trace``, writes every captured response envelope plus the
 stats snapshot and the span-ring tail to disk, and SIGTERMs the server
 to exercise the drain path.  The captured payloads are then validated
@@ -36,7 +38,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.obs.access_log import read_access_log
 from repro.obs.live import parse_exposition
-from repro.obs.schemas import SchemaError, validate_access_log_record
+from repro.obs.schemas import (
+    SchemaError,
+    validate_access_log_record,
+    validate_profile,
+)
 from repro.service import ServiceClient
 from repro.util.jsonout import write_json
 
@@ -182,6 +188,17 @@ def main(argv=None) -> int:
                 failures.append(
                     f"/metrics has no rolling-window p99 for {endpoint!r}"
                 )
+        # A short profiling window while traffic is still possible; the
+        # document must validate and its id must land in the access log
+        # as the debug-profile request's annotation.
+        profile_document = probe.debug_profile(seconds=0.3, hz=199)
+        try:
+            validate_profile(profile_document)
+        except SchemaError as error:
+            failures.append(f"/v1/debug/profile document invalid: {error}")
+        profile_id = profile_document.get("id")
+        write_json(payload_dir / "trace" / "profile.json", profile_document)
+
         trace_document = probe.debug_trace(last=4096)
         write_json(trace_out, trace_document)
         if not trace_document.get("enabled"):
@@ -242,6 +259,19 @@ def main(argv=None) -> int:
         failures.append(
             f"pinned ids missing from the access log: "
             f"{sorted(pinned_ids - logged_ids)[:5]}"
+        )
+    annotated = [
+        entry for entry in records if entry.get("profile_id") == profile_id
+    ]
+    if profile_id is None or len(annotated) != 1:
+        failures.append(
+            f"expected exactly one access-log record annotated with "
+            f"profile_id={profile_id!r}, found {len(annotated)}"
+        )
+    elif annotated[0]["endpoint"] != "debug-profile":
+        failures.append(
+            f"profile_id annotation on endpoint "
+            f"{annotated[0]['endpoint']!r}, expected 'debug-profile'"
         )
 
     for name, envelope in sorted(captured.items()):

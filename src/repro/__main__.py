@@ -198,6 +198,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="bounded span ring for /v1/debug/trace (0 disables)",
     )
+    serve.add_argument(
+        "--profile-max-seconds",
+        type=float,
+        default=10.0,
+        help="longest /v1/debug/profile sampling window accepted",
+    )
     return parser
 
 
@@ -339,6 +345,7 @@ def _cmd_serve(options: argparse.Namespace) -> int:
             default_deadline_s=options.default_deadline_s,
             access_log_path=options.access_log,
             span_ring_capacity=options.span_ring_capacity,
+            profile_max_seconds=options.profile_max_seconds,
         )
     )
     return 0

@@ -156,7 +156,7 @@ def replay(
     else:
         kernel = _replay_general
         args = (events, memory, policy, write_buffer_depth)
-    if not tracing.tracing_enabled():
+    if not tracing.spans_active():
         return kernel(*args)
     with tracing.span(
         "phase2.replay",
@@ -532,7 +532,7 @@ def replay_mshr(
             f"MainMemory only (got memory={type(memory).__name__}, "
             f"config={config})"
         )
-    if not tracing.tracing_enabled():
+    if not tracing.spans_active():
         return _replay_mshr(events, memory, mshr_count, load_use_distance)
     with tracing.span(
         "phase2.replay_mshr",

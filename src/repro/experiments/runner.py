@@ -39,6 +39,7 @@ from typing import Any
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import logs, manifest, metrics, tracing
+from repro.obs import profile as profile_mod
 
 logger = logging.getLogger(__name__)
 
@@ -98,6 +99,18 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "byte-identical either way; see docs/ENGINE.md)",
     )
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=profile_mod.DEFAULT_HZ,
+        default=None,
+        type=int,
+        metavar="HZ",
+        help="sample wall-clock stacks during each experiment (default "
+        f"{profile_mod.DEFAULT_HZ} Hz; spell a custom rate --profile=HZ) "
+        "and write a span-attributed <id>.profile.json beside the "
+        "manifest; requires --out",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help="record spans into a Chrome-trace JSON (view in Perfetto)",
@@ -122,6 +135,13 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.profile is not None:
+        if not 1 <= args.profile <= 1000:
+            parser.error(
+                f"--profile must be within [1, 1000] Hz, got {args.profile}"
+            )
+        if not args.out and not args.report and not args.list:
+            parser.error("--profile writes <id>.profile.json, so it needs --out")
     return args
 
 
@@ -131,8 +151,15 @@ def _run_one(
     with_tracing: bool = False,
     with_metrics: bool = False,
     worker: bool = False,
-) -> tuple[ExperimentResult, float, dict[str, Any] | None, list | None]:
-    """Run one experiment; returns (result, seconds, metrics, spans).
+    profile_hz: int | None = None,
+) -> tuple[
+    ExperimentResult,
+    float,
+    dict[str, Any] | None,
+    list | None,
+    dict[str, Any] | None,
+]:
+    """Run one experiment; returns (result, seconds, metrics, spans, profile).
 
     Top-level so it pickles for :class:`ProcessPoolExecutor`.  Collection
     is scoped per experiment: a fresh metrics registry is installed and
@@ -143,6 +170,10 @@ def _run_one(
     append to its useless copy of the parent's tracer) and its events
     are returned for the parent to adopt; in the parent, spans land on
     the already-active tracer.
+
+    ``profile_hz`` wraps the experiment in a :class:`SamplingProfiler`
+    window (one per experiment, so with ``--jobs N`` each worker process
+    samples itself) and returns the plain-dict profile document.
     """
     local_tracer = None
     if with_tracing and worker:
@@ -157,10 +188,18 @@ def _run_one(
         from repro.experiments._phi import clear_caches
 
         clear_caches()
+    profiler = None
+    if profile_hz is not None:
+        profiler = profile_mod.SamplingProfiler(hz=profile_hz).start()
     started = time.perf_counter()
-    with tracing.span("runner.run", experiment=experiment_id, quick=quick):
-        result = run_experiment(experiment_id, quick=quick)
+    try:
+        with tracing.span("runner.run", experiment=experiment_id, quick=quick):
+            result = run_experiment(experiment_id, quick=quick)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     elapsed = time.perf_counter() - started
+    profile_document = profiler.document() if profiler is not None else None
     snapshot = None
     if registry is not None:
         snapshot = registry.snapshot()
@@ -169,7 +208,7 @@ def _run_one(
     if local_tracer is not None:
         events = local_tracer.events
         tracing.disable_tracing()
-    return result, elapsed, snapshot, events
+    return result, elapsed, snapshot, events, profile_document
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -246,6 +285,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     with_tracing,
                     with_metrics,
                     True,
+                    args.profile,
                 )
                 for experiment_id in ids
             ]
@@ -267,7 +307,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             set_phase1_jobs(args.jobs)
         try:
             outcomes = [
-                _run_one(experiment_id, args.quick, with_tracing, with_metrics)
+                _run_one(
+                    experiment_id,
+                    args.quick,
+                    with_tracing,
+                    with_metrics,
+                    profile_hz=args.profile,
+                )
                 for experiment_id in ids
             ]
         finally:
@@ -277,7 +323,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 set_phase1_jobs(1)
 
     status = 0
-    for experiment_id, (result, elapsed, snapshot, _events) in zip(ids, outcomes):
+    for experiment_id, (result, elapsed, snapshot, _events, profile_doc) in zip(
+        ids, outcomes
+    ):
         logger.info("%s finished in %.1fs", experiment_id, elapsed)
         print(result.render())
         print(f"[{experiment_id} finished in {elapsed:.1f}s]")
@@ -301,7 +349,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                     metrics_snapshot=snapshot,
                 ),
             )
-            for path in (*written, manifest_path):
+            extra = [manifest_path]
+            if profile_doc is not None:
+                from pathlib import Path
+
+                from repro.util.jsonout import write_json
+
+                extra.append(
+                    write_json(
+                        Path(args.out) / f"{experiment_id}.profile.json",
+                        profile_doc,
+                    )
+                )
+            for path in (*written, *extra):
                 print(f"  wrote {path}")
 
     if args.metrics and aggregate is not None:

@@ -11,6 +11,11 @@ package exposes the same decomposition live, for the code itself:
     Labeled counters/histograms from the hot layers (cache events,
     engine dispatch, φ memoization) plus the per-run Eq. (2) cycle
     breakdown with a sums-to-total self-check.
+``repro.obs.profile``
+    Wall-clock sampling profiler with span-joined phase attribution:
+    folded stacks, Perfetto export, optional ``tracemalloc`` heap
+    snapshots (``--profile`` on the runner, ``/v1/debug/profile`` on
+    the service).
 ``repro.obs.manifest``
     ``<id>.meta.json`` provenance for every ``--out`` run.
 ``repro.obs.logs``
@@ -46,11 +51,22 @@ from repro.obs.metrics import (
     observe,
     record_timing,
 )
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    PROFILE_SCHEMA,
+    ProfilerActiveError,
+    SamplingProfiler,
+    active_profiler,
+    chrome_trace,
+    folded_text,
+    phase_self_seconds,
+)
 from repro.obs.schemas import (
     SchemaError,
     validate_chrome_trace,
     validate_manifest,
     validate_metrics,
+    validate_profile,
 )
 from repro.obs.tracing import (
     Tracer,
@@ -58,19 +74,28 @@ from repro.obs.tracing import (
     disable_tracing,
     enable_tracing,
     span,
+    spans_active,
     tracing_enabled,
 )
 
 __all__ = [
+    "DEFAULT_HZ",
     "MANIFEST_SCHEMA",
+    "PROFILE_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "VOLATILE_KEYS",
     "EQ2_TERMS",
     "Eq2MismatchError",
     "MetricsRegistry",
+    "ProfilerActiveError",
+    "SamplingProfiler",
     "SchemaError",
     "Tracer",
+    "active_profiler",
     "build_manifest",
+    "chrome_trace",
+    "folded_text",
+    "phase_self_seconds",
     "current_metrics",
     "current_tracer",
     "disable_metrics",
@@ -84,10 +109,12 @@ __all__ = [
     "observe",
     "record_timing",
     "span",
+    "spans_active",
     "stable_view",
     "tracing_enabled",
     "validate_chrome_trace",
     "validate_manifest",
     "validate_metrics",
+    "validate_profile",
     "write_manifest",
 ]

@@ -61,6 +61,9 @@ REGRESSION_THRESHOLD = 0.25
 #: How many of the most recent history entries feed the median baseline.
 BASELINE_DEPTH = 10
 
+#: Phase-level deltas printed per source in an exit-2 attribution.
+ATTRIBUTION_TOP = 5
+
 
 @dataclass(frozen=True)
 class HeadlineMetric:
@@ -179,6 +182,67 @@ def collect_metrics(
     return metrics
 
 
+def collect_phases(
+    engine: dict[str, Any] | None, service: dict[str, Any] | None
+) -> dict[str, float]:
+    """Flatten both scoreboards' ``phase_breakdown`` tables.
+
+    Returns ``{"<source>.<phase>": self_seconds}`` — the view history
+    entries store (under ``phases``) and regression attribution diffs.
+    """
+    phases: dict[str, float] = {}
+    for source, document in (("engine", engine), ("service", service)):
+        if not isinstance(document, dict):
+            continue
+        breakdown = document.get("phase_breakdown")
+        if not isinstance(breakdown, dict):
+            continue
+        table = breakdown.get("phases")
+        if not isinstance(table, dict):
+            continue
+        for name, entry in table.items():
+            value = entry.get("self_s") if isinstance(entry, dict) else None
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                phases[f"{source}.{name}"] = float(value)
+    return phases
+
+
+def phase_deltas(
+    phases: dict[str, float],
+    history: Sequence[dict[str, Any]],
+    source: str,
+    depth: int = BASELINE_DEPTH,
+) -> list[tuple[float, str, float, float]]:
+    """Per-phase self-time deltas vs history baselines, for one source.
+
+    Returns ``(delta_s, phase, current_s, baseline_s)`` tuples sorted
+    biggest increase first — the "where did the time go" answer for a
+    regressed ``source`` (``engine`` or ``service``).  The baseline is
+    the median over the recent entries that recorded the phase; a phase
+    with no history (or absent from the current run) diffs against 0.
+    """
+    prefix = source + "."
+    keys = {key for key in phases if key.startswith(prefix)}
+    for entry in history:
+        keys.update(
+            key
+            for key in (entry.get("phases") or {})
+            if key.startswith(prefix)
+        )
+    deltas: list[tuple[float, str, float, float]] = []
+    for key in keys:
+        values = [
+            entry["phases"][key]
+            for entry in history
+            if key in (entry.get("phases") or {})
+        ][-depth:]
+        baseline = float(statistics.median(values)) if values else 0.0
+        current = phases.get(key, 0.0)
+        deltas.append((current - baseline, key, current, baseline))
+    deltas.sort(key=lambda item: (-item[0], item[1]))
+    return deltas
+
+
 def load_history(path: Path) -> list[dict[str, Any]]:
     """Parse + validate the history JSONL (missing file: empty history)."""
     if not path.exists():
@@ -247,10 +311,12 @@ def gate(
 
 
 def make_entry(
-    metrics: dict[str, float], sources: dict[str, str]
+    metrics: dict[str, float],
+    sources: dict[str, str],
+    phases: dict[str, float] | None = None,
 ) -> dict[str, Any]:
     """Assemble one schema-tagged history entry for the current run."""
-    return {
+    entry: dict[str, Any] = {
         "schema": BENCH_HISTORY_SCHEMA,
         "recorded_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -259,6 +325,9 @@ def make_entry(
         "sources": sources,
         "metrics": metrics,
     }
+    if phases:
+        entry["phases"] = phases
+    return entry
 
 
 def append_entry(path: Path, entry: dict[str, Any]) -> None:
@@ -349,6 +418,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     regressions = gate(
         metrics, history, threshold=args.threshold, depth=args.depth
     )
+    phases = collect_phases(engine, service)
     if regressions:
         for regression in regressions:
             logger.error("%s", regression.describe())
@@ -356,11 +426,34 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"FAIL: {len(regressions)} headline metric(s) regressed beyond "
             f"{args.threshold:.0%} of the history baseline"
         )
+        # Name the guilty phase: diff the regressed source's
+        # phase_breakdown against its history baseline, biggest
+        # self-time increase first.
+        for source in sorted({r.name.split(".", 1)[0] for r in regressions}):
+            deltas = phase_deltas(phases, history, source, depth=args.depth)[
+                :ATTRIBUTION_TOP
+            ]
+            if not deltas:
+                print(
+                    f"attribution ({source}): no phase_breakdown recorded "
+                    "yet — re-run the bench to collect one"
+                )
+                continue
+            print(
+                f"attribution ({source} phase self-time vs history baseline):"
+            )
+            for delta, key, current, baseline in deltas:
+                print(
+                    f"  {key:40s} {current:8.3f}s vs {baseline:8.3f}s "
+                    f"({delta:+.3f}s)"
+                )
         return 2
 
     if not args.check:
         entry = make_entry(
-            metrics, {"engine": args.engine, "service": args.service}
+            metrics,
+            {"engine": args.engine, "service": args.service},
+            phases=phases,
         )
         append_entry(Path(args.history), entry)
         print(

@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.obs.manifest import MANIFEST_SCHEMA
 from repro.obs.metrics import SNAPSHOT_SCHEMA
+from repro.obs.profile import PROFILE_SCHEMA
 
 
 class SchemaError(ValueError):
@@ -31,8 +32,14 @@ class SchemaError(ValueError):
 #: ``phase1_derive_marginal_s``) and the ``dispatch.phase1`` section,
 #: with ``phase1.step_calls == 0`` a validity requirement: the registry
 #: sweep is LRU-only, so every cold extraction must come from the reuse
-#: engine, never from stepping ``Cache``.
-BENCH_ENGINE_SCHEMA = "repro.bench.engine/4"
+#: engine, never from stepping ``Cache``.  ``/5`` added the
+#: ``phase_breakdown`` section (a span-attributed self-time table from a
+#: profiled ``--all --quick`` pass; see :mod:`repro.obs.profile`) and
+#: ``profiler_overhead`` (full figure1 with the sampler on vs off — the
+#: 5% budget is enforced by the bench script, not the validator, so a
+#: noisy machine cannot make a committed scoreboard retroactively
+#: invalid).
+BENCH_ENGINE_SCHEMA = "repro.bench.engine/5"
 
 #: Committed service scoreboard (``BENCH_service.json``), written by
 #: ``benchmarks/bench_service.py``.  Validity requires the batching and
@@ -41,8 +48,10 @@ BENCH_ENGINE_SCHEMA = "repro.bench.engine/4"
 #: key, and a batch-coalescing ratio above 1 at 16 concurrent clients.
 #: ``/2`` added required environment provenance (as for the engine
 #: scoreboard) and the per-level client-side view (``client.retries``
-#: and client-measured latency percentiles).
-BENCH_SERVICE_SCHEMA = "repro.bench.service/2"
+#: and client-measured latency percentiles).  ``/3`` added the
+#: ``phase_breakdown`` section: a span-attributed self-time table from a
+#: profiled load window (see :mod:`repro.obs.profile`).
+BENCH_SERVICE_SCHEMA = "repro.bench.service/3"
 
 #: One line of the serving layer's JSONL access log (see
 #: :mod:`repro.obs.access_log`).
@@ -182,6 +191,128 @@ def validate_bench_provenance(document: Any, path: str = "$") -> None:
     )
 
 
+def _validate_phase_table(phases: Any, path: str) -> None:
+    """Validate a ``{phase: {samples, self_s, fraction}}`` table."""
+    _require(isinstance(phases, dict), path, "must be an object")
+    _require(len(phases) > 0, path, "must not be empty")
+    for name, entry in phases.items():
+        entry_path = f"{path}[{name!r}]"
+        _require(
+            isinstance(name, str) and name, path, "phase names must be strings"
+        )
+        _require(isinstance(entry, dict), entry_path, "must be an object")
+        for field in ("samples", "self_s", "fraction"):
+            _require(field in entry, f"{entry_path}.{field}", "is required")
+            _require_number(entry[field], f"{entry_path}.{field}")
+            _require(
+                entry[field] >= 0, f"{entry_path}.{field}", "must be >= 0"
+            )
+        _require(
+            entry["fraction"] <= 1.0,
+            f"{entry_path}.fraction",
+            "must be within [0, 1]",
+        )
+
+
+def validate_profile(document: Any) -> None:
+    """Validate a sampling-profiler document (``repro.obs.profile/1``).
+
+    Checks the folded-stack lines (``frames... count``), the phase
+    self-time table, the optional heap report, and provenance.
+    """
+    _require(isinstance(document, dict), "$", "profile must be a JSON object")
+    _require(
+        document.get("schema") == PROFILE_SCHEMA,
+        "$.schema",
+        f"must be {PROFILE_SCHEMA!r}",
+    )
+    _require(
+        isinstance(document.get("id"), str) and document["id"],
+        "$.id",
+        "must be a non-empty string",
+    )
+    hz = document.get("hz")
+    _require(
+        isinstance(hz, int) and not isinstance(hz, bool) and 1 <= hz <= 1000,
+        "$.hz",
+        "must be an integer within [1, 1000]",
+    )
+    for field in ("duration_s", "samples", "thread_samples"):
+        _require_number(document.get(field), f"$.{field}")
+        _require(document[field] >= 0, f"$.{field}", "must be >= 0")
+    threads = document.get("threads")
+    _require(isinstance(threads, dict), "$.threads", "must be an object")
+    for name, count in threads.items():
+        _require_number(count, f"$.threads[{name!r}]")
+    folded = document.get("folded")
+    _require(isinstance(folded, list), "$.folded", "must be a list")
+    for i, line in enumerate(folded):
+        path = f"$.folded[{i}]"
+        _require(isinstance(line, str), path, "must be a string")
+        frames, _, count = line.rpartition(" ")
+        _require(
+            bool(frames) and count.isdigit() and int(count) > 0,
+            path,
+            "must be a collapsed stack: 'thread;frame;... count'",
+        )
+    _validate_phase_table(document.get("phases"), "$.phases")
+    heap = document.get("heap")
+    if heap is not None:
+        _require(isinstance(heap, dict), "$.heap", "must be an object or null")
+        for field in ("traced_kib", "peak_kib"):
+            _require_number(heap.get(field), f"$.heap.{field}")
+        top = heap.get("top")
+        _require(isinstance(top, list), "$.heap.top", "must be a list")
+        for i, site in enumerate(top):
+            path = f"$.heap.top[{i}]"
+            _require(isinstance(site, dict), path, "must be an object")
+            _require(
+                isinstance(site.get("site"), str) and site["site"],
+                f"{path}.site",
+                "must be a non-empty string",
+            )
+            for field in ("size_kib", "count"):
+                _require_number(site.get(field), f"{path}.{field}")
+    provenance = document.get("provenance")
+    _require(isinstance(provenance, dict), "$.provenance", "must be an object")
+    for field in ("python", "created_at"):
+        _require(
+            isinstance(provenance.get(field), str) and provenance[field],
+            f"$.provenance.{field}",
+            "must be a non-empty string",
+        )
+
+
+def validate_phase_breakdown(document: Any, path: str = "$") -> None:
+    """Validate a bench scoreboard's ``phase_breakdown`` section.
+
+    Required by the ``/5`` engine and ``/3`` service schemas: which
+    workload was profiled, the sampling parameters, and the
+    span-attributed self-time table.
+    """
+    breakdown = document.get("phase_breakdown")
+    _require(
+        isinstance(breakdown, dict),
+        f"{path}.phase_breakdown",
+        "must be an object",
+    )
+    prefix = f"{path}.phase_breakdown"
+    for field in ("source", "profile_id"):
+        _require(
+            isinstance(breakdown.get(field), str) and breakdown[field],
+            f"{prefix}.{field}",
+            "must be a non-empty string",
+        )
+    hz = breakdown.get("hz")
+    _require(
+        isinstance(hz, int) and not isinstance(hz, bool) and hz >= 1,
+        f"{prefix}.hz",
+        "must be a positive integer",
+    )
+    _require_number(breakdown.get("duration_s"), f"{prefix}.duration_s")
+    _validate_phase_table(breakdown.get("phases"), f"{prefix}.phases")
+
+
 def validate_bench_engine(document: Any) -> None:
     """Validate a committed engine scoreboard (``BENCH_engine.json``).
 
@@ -264,6 +395,22 @@ def validate_bench_engine(document: Any) -> None:
     for key, value in step_reasons.items():
         _require_number(value, f"$.dispatch.phase1.step_reasons[{key!r}]")
     _validate_snapshot_body(document.get("metrics"), "$.metrics")
+    validate_phase_breakdown(document)
+    overhead = document.get("profiler_overhead")
+    _require(
+        isinstance(overhead, dict), "$.profiler_overhead", "must be an object"
+    )
+    for field in ("off_s", "on_s", "ratio"):
+        _require_number(overhead.get(field), f"$.profiler_overhead.{field}")
+        _require(
+            overhead[field] > 0, f"$.profiler_overhead.{field}", "must be > 0"
+        )
+    hz = overhead.get("hz")
+    _require(
+        isinstance(hz, int) and not isinstance(hz, bool) and hz >= 1,
+        "$.profiler_overhead.hz",
+        "must be a positive integer",
+    )
     validate_bench_provenance(document)
 
 
@@ -454,6 +601,7 @@ def validate_bench_service(document: Any) -> None:
         "$.dispatch.step_calls",
         "must be 0: a service query fell back to the step simulator",
     )
+    validate_phase_breakdown(document)
     validate_bench_provenance(document)
 
 
@@ -505,6 +653,12 @@ def validate_access_log_record(document: Any) -> None:
     for optional in ("deadline_ms", "deadline_left_ms"):
         if optional in document:
             _require_number(document[optional], f"$.{optional}")
+    if "profile_id" in document:
+        _require(
+            isinstance(document["profile_id"], str) and document["profile_id"],
+            "$.profile_id",
+            "must be a non-empty string",
+        )
 
 
 def validate_access_log(lines: Any) -> None:
@@ -544,6 +698,14 @@ def validate_bench_history_entry(document: Any) -> None:
         _require(value >= 0, f"$.metrics[{key!r}]", "must be >= 0")
     sources = document.get("sources")
     _require(isinstance(sources, dict), "$.sources", "must be an object")
+    phases = document.get("phases")
+    if phases is not None:
+        _require(
+            isinstance(phases, dict), "$.phases", "must be an object or absent"
+        )
+        for key, value in phases.items():
+            _require_number(value, f"$.phases[{key!r}]")
+            _require(value >= 0, f"$.phases[{key!r}]", "must be >= 0")
 
 
 def validate_manifest(document: Any) -> None:

@@ -29,6 +29,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable
 from pathlib import Path
@@ -59,16 +60,71 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+#: Per-thread stacks of open span names (``{thread_ident: [name, ...]}``),
+#: or ``None`` while no profiler is sampling.  The sampling profiler
+#: (:mod:`repro.obs.profile`) installs a plain dict here so it can read
+#: every thread's innermost active span from its sampler thread; list
+#: append/pop and dict access are GIL-atomic, so no lock is needed.
+_PHASE_STACKS: dict[int, list[str]] | None = None
+
+
+def _push_phase(name: str) -> list[str] | None:
+    """Push ``name`` onto this thread's phase stack (if tracking is on).
+
+    Returns the stack the name landed on so the span can pop *that*
+    list on exit even if the profiler swaps the tracking dict mid-span.
+    """
+    stacks = _PHASE_STACKS
+    if stacks is None:
+        return None
+    ident = threading.get_ident()
+    stack = stacks.get(ident)
+    if stack is None:
+        stack = stacks[ident] = []
+    stack.append(name)
+    return stack
+
+
+class _PhaseSpan:
+    """Span recorded only for phase attribution (tracing itself is off).
+
+    Handed out while a profiler's phase tracking is active but no tracer
+    is installed: no clock is read and no event is allocated — the span
+    only pushes/pops its name on the thread's phase stack so samples can
+    be bucketed by the innermost active span.
+    """
+
+    __slots__ = ("name", "_stack")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stack: list[str] | None = None
+
+    def set(self, **args: Any) -> "_PhaseSpan":
+        """Accept (and drop) late argument updates."""
+        return self
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._stack = _push_phase(self.name)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._stack:
+            self._stack.pop()
+        return False
+
+
 class _LiveSpan:
     """One open span; appends a complete event to its tracer on exit."""
 
-    __slots__ = ("_tracer", "name", "args", "_start")
+    __slots__ = ("_tracer", "name", "args", "_start", "_phase_stack")
 
     def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
         self._tracer = tracer
         self.name = name
         self.args = args
         self._start = 0.0
+        self._phase_stack: list[str] | None = None
 
     def set(self, **args: Any) -> "_LiveSpan":
         """Attach arguments discovered mid-span (e.g. result counts)."""
@@ -76,11 +132,14 @@ class _LiveSpan:
         return self
 
     def __enter__(self) -> "_LiveSpan":
+        self._phase_stack = _push_phase(self.name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         end = time.perf_counter()
+        if self._phase_stack:
+            self._phase_stack.pop()
         tracer = self._tracer
         tracer.events.append(
             {
@@ -210,19 +269,53 @@ def tracing_enabled() -> bool:
     return _ACTIVE is not None
 
 
+def set_phase_stacks(stacks: dict[int, list[str]] | None) -> None:
+    """Install (or clear, with ``None``) the profiler's phase tracking.
+
+    While a dict is installed, every opened span pushes its name onto
+    ``stacks[thread_ident]`` and pops it on exit — even when no tracer
+    is active — so the sampling profiler can attribute wall-clock
+    samples to the innermost open span per thread.  Owned by
+    :mod:`repro.obs.profile`; everything else should treat this as
+    read-only.
+    """
+    global _PHASE_STACKS
+    _PHASE_STACKS = stacks
+
+
+def phase_stacks() -> dict[int, list[str]] | None:
+    """The installed phase-tracking dict, or ``None``."""
+    return _PHASE_STACKS
+
+
+def spans_active() -> bool:
+    """Whether opening spans has any observable effect right now.
+
+    True while a tracer is recording *or* a profiler's phase tracking is
+    installed.  Hot paths that skip their span entirely for speed (the
+    replay kernels) must gate on this, not :func:`tracing_enabled`, or
+    profiled runs lose their phase attribution.
+    """
+    return _ACTIVE is not None or _PHASE_STACKS is not None
+
+
 def current_tracer() -> Tracer | None:
     """The active tracer, or ``None``."""
     return _ACTIVE
 
 
-def span(name: str, **args: Any) -> _LiveSpan | _NullSpan:
+def span(name: str, **args: Any) -> _LiveSpan | _PhaseSpan | _NullSpan:
     """Open a span on the active tracer; no-op when tracing is off.
 
-    The fast path is a single global load and one shared object return —
-    safe to leave in hot code permanently.
+    The fast path is two global loads and one shared object return —
+    safe to leave in hot code permanently.  While a profiler's phase
+    tracking is installed but no tracer is active, a lightweight
+    phase-only span is returned instead (no clock read, no event).
     """
     tracer = _ACTIVE
     if tracer is None:
+        if _PHASE_STACKS is not None:
+            return _PhaseSpan(name)
         return _NULL_SPAN
     provider = _CONTEXT_PROVIDER
     if provider is not None:

@@ -29,6 +29,7 @@ from repro.obs.schemas import (
     validate_chrome_trace,
     validate_manifest,
     validate_metrics,
+    validate_profile,
     validate_service_response,
 )
 
@@ -61,6 +62,14 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "per (trace, geometry) key, or a 16-client coalescing ratio <= 1",
     )
     parser.add_argument(
+        "--profile",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="sampling-profiler document (repro.obs.profile/1), as "
+        "written by `--profile` runs or GET /v1/debug/profile",
+    )
+    parser.add_argument(
         "--access-log",
         action="append",
         default=[],
@@ -86,12 +95,14 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         or args.manifest
         or args.bench
         or args.bench_service
+        or args.profile
         or args.access_log
         or args.service_response
     ):
         parser.error(
             "nothing to validate: pass --trace/--metrics/--manifest/"
-            "--bench/--bench-service/--access-log/--service-response"
+            "--bench/--bench-service/--profile/--access-log/"
+            "--service-response"
         )
     return args
 
@@ -144,6 +155,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok &= _check(path, validate_bench_engine)
     for path in args.bench_service:
         ok &= _check(path, validate_bench_service)
+    for path in args.profile:
+        ok &= _check(path, validate_profile)
     for path in args.access_log:
         ok &= _check_access_log(path)
     for path in args.service_response:

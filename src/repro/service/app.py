@@ -76,8 +76,21 @@ _ANALYTIC = {
 
 _POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate"}
 _GET_ENDPOINTS = frozenset(
-    {"health", "stats", "healthz", "readyz", "metrics", "debug-trace"}
+    {
+        "health",
+        "stats",
+        "healthz",
+        "readyz",
+        "metrics",
+        "debug-trace",
+        "debug-profile",
+    }
 )
+
+#: Longest profiling window ``/v1/debug/profile`` accepts.  Kept well
+#: under the drain grace period so an in-flight window never pins a
+#: terminating server.
+DEFAULT_PROFILE_MAX_SECONDS = 10.0
 
 #: Operational endpoints served outside the ``/v1/`` namespace, where
 #: load balancers and scrapers conventionally look for them.
@@ -112,6 +125,7 @@ class ServiceApp:
         access_log: AccessLog | None = None,
         tracer: tracing.Tracer | None = None,
         is_ready: Callable[[], bool] | None = None,
+        profile_max_seconds: float = DEFAULT_PROFILE_MAX_SECONDS,
     ) -> None:
         self.registry = registry
         self.batcher = batcher
@@ -121,6 +135,7 @@ class ServiceApp:
         self.access_log = access_log
         self.tracer = tracer
         self.is_ready = is_ready if is_ready is not None else (lambda: True)
+        self.profile_max_seconds = profile_max_seconds
         self._latency_ms: dict[str, deque[float]] = {}
 
     # -- entry point ------------------------------------------------------
@@ -195,6 +210,8 @@ class ServiceApp:
             return ops
         if path == "/v1/debug/trace":
             return "debug-trace"
+        if path == "/v1/debug/profile":
+            return "debug-profile"
         if not path.startswith("/v1/"):
             return None
         return path[len("/v1/") :] or None
@@ -230,6 +247,12 @@ class ServiceApp:
             return 200, self._metrics_body(), METRICS_CONTENT_TYPE
         if endpoint == "debug-trace":
             return 200, self._trace_tail_body(request.path), JSON_CONTENT_TYPE
+        if endpoint == "debug-profile":
+            return (
+                200,
+                await self._debug_profile_body(request.path),
+                JSON_CONTENT_TYPE,
+            )
         if endpoint == "stats":
             return 200, self._stats_body(), JSON_CONTENT_TYPE
         with tracing.span("service.parse", endpoint=endpoint):
@@ -349,6 +372,74 @@ class ServiceApp:
             self.tracer if self.tracer is not None else tracing.current_tracer()
         )
         return dump_json(trace_tail_document(tracer, last)).encode("utf-8")
+
+    async def _debug_profile_body(self, path: str) -> bytes:
+        """``GET /v1/debug/profile?seconds=N&hz=M``: on-demand sampling.
+
+        Runs one :class:`~repro.obs.profile.SamplingProfiler` window over
+        the live process and returns the ``repro.obs.profile/1`` document
+        (the raw artifact, like ``/v1/debug/trace`` — not the service
+        envelope, so it validates offline as-is).  The event loop keeps
+        serving during the window; concurrent requests therefore show up
+        in the samples, which is the point.  A second window while one is
+        active is 409; a draining server refuses new windows with 503.
+        """
+        from repro.obs.profile import (
+            DEFAULT_HZ,
+            ProfilerActiveError,
+            SamplingProfiler,
+        )
+
+        seconds, hz = 1.0, DEFAULT_HZ
+        for item in path.partition("?")[2].split("&"):
+            name, _, value = item.partition("=")
+            if not value:
+                continue
+            if name == "seconds":
+                try:
+                    seconds = float(value)
+                except ValueError:
+                    raise HttpError(
+                        400,
+                        "bad_query",
+                        f"seconds must be a number, got {value!r}",
+                    ) from None
+            elif name == "hz":
+                try:
+                    hz = int(value)
+                except ValueError:
+                    raise HttpError(
+                        400,
+                        "bad_query",
+                        f"hz must be an integer, got {value!r}",
+                    ) from None
+        if not 0 < seconds <= self.profile_max_seconds:
+            raise HttpError(
+                400,
+                "bad_query",
+                f"seconds must be within (0, {self.profile_max_seconds:g}], "
+                f"got {seconds:g}",
+            )
+        if not 1 <= hz <= 1000:
+            raise HttpError(
+                400, "bad_query", f"hz must be within [1, 1000], got {hz}"
+            )
+        if not self.is_ready():
+            raise HttpError(
+                503,
+                "draining",
+                "server is draining; not starting a profile window",
+            )
+        try:
+            profiler = SamplingProfiler(hz=hz).start()
+        except ProfilerActiveError as error:
+            raise HttpError(409, "profile_active", str(error)) from None
+        live.annotate(profile_id=profiler.id)
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            profiler.stop()
+        return dump_json(profiler.document()).encode("utf-8")
 
     # -- envelopes ---------------------------------------------------------
 

@@ -230,6 +230,25 @@ class ServiceClient:
             path += f"?last={last}"
         return self.request("GET", path)
 
+    def debug_profile(
+        self, seconds: float | None = None, hz: int | None = None
+    ) -> dict[str, Any]:
+        """One on-demand sampling window (``GET /v1/debug/profile``).
+
+        Blocks for ``seconds`` while the server samples itself; returns
+        the ``repro.obs.profile/1`` document.  Raises
+        ``ServiceError(409)`` if a window is already running.
+        """
+        query = []
+        if seconds is not None:
+            query.append(f"seconds={seconds:g}")
+        if hz is not None:
+            query.append(f"hz={hz}")
+        path = "/v1/debug/profile"
+        if query:
+            path += "?" + "&".join(query)
+        return self.request("GET", path)
+
     def stats_envelope(self) -> dict[str, Any]:
         """The full stats envelope (snapshot + queue + caches + latency)."""
         return self.request("GET", "/v1/stats")

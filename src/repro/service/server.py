@@ -61,6 +61,7 @@ class ServerConfig:
     span_ring_capacity: int = 4096  # 0 disables the server-owned ring
     sli_window_s: float = 60.0
     sli_bucket_s: float = 1.0
+    profile_max_seconds: float = 10.0  # /v1/debug/profile window cap
 
 
 class ReproServer:
@@ -131,6 +132,7 @@ class ReproServer:
             access_log=self.access_log,
             tracer=tracing.current_tracer(),
             is_ready=lambda: not self._draining,
+            profile_max_seconds=self.config.profile_max_seconds,
         )
         self._server = await asyncio.start_server(
             self._handle_connection,

@@ -17,7 +17,19 @@ from repro.obs.bench_history import (
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 
-def _engine_document(**benchmark_overrides):
+def _phase_table(self_times):
+    total = sum(self_times.values()) or 1.0
+    return {
+        name: {
+            "samples": int(self_s * 500),
+            "self_s": self_s,
+            "fraction": round(self_s / total, 6),
+        }
+        for name, self_s in self_times.items()
+    }
+
+
+def _engine_document(phases=None, **benchmark_overrides):
     benchmarks = {
         "phase1_extract_60k_s": 0.06,
         "phase1_reuse_s": 0.03,
@@ -42,6 +54,23 @@ def _engine_document(**benchmark_overrides):
                 "step_reasons": {},
             },
         },
+        "phase_breakdown": {
+            "source": "all_quick_cold",
+            "profile_id": "prof-test00000001",
+            "hz": 500,
+            "duration_s": 2.8,
+            "phases": _phase_table(
+                phases
+                if phases is not None
+                else {"phase1.extract": 1.0, "phase2.replay": 1.2}
+            ),
+        },
+        "profiler_overhead": {
+            "off_s": 0.9,
+            "on_s": 0.92,
+            "ratio": 1.0222,
+            "hz": 97,
+        },
         "metrics": {"counters": {}, "histograms": {}},
         "provenance": {
             "git_sha": "0" * 40,
@@ -52,14 +81,17 @@ def _engine_document(**benchmark_overrides):
     }
 
 
-def _history_entry(metrics):
-    return {
+def _history_entry(metrics, phases=None):
+    entry = {
         "schema": schemas.BENCH_HISTORY_SCHEMA,
         "recorded_at": "2026-08-01T00:00:00+00:00",
         "git_sha": "0" * 40,
         "sources": {"engine": "BENCH_engine.json"},
         "metrics": metrics,
     }
+    if phases is not None:
+        entry["phases"] = phases
+    return entry
 
 
 def _write_history(path, entries):
@@ -197,6 +229,71 @@ class TestMainGate:
         before = history.read_text()
         assert self._run(engine, history) == 2
         assert history.read_text() == before
+
+    def test_regression_report_names_the_regressed_phase(
+        self, tmp_path, capsys
+    ):
+        # Synthetic regression: the phase1 headline doubles AND the
+        # profiler's phase table shows phase1.extract absorbing the
+        # extra self-time. The exit-2 report must attribute the drift
+        # to that phase by name.
+        engine = tmp_path / "BENCH_engine.json"
+        engine.write_text(
+            json.dumps(
+                _engine_document(
+                    phase1_extract_60k_s=0.12,
+                    phases={"phase1.extract": 2.5, "phase2.replay": 1.2},
+                )
+            )
+        )
+        history = tmp_path / "bench_history.jsonl"
+        _write_history(
+            history,
+            [
+                _history_entry(
+                    {"engine.phase1_extract_60k_s": 0.06},
+                    phases={
+                        "engine.phase1.extract": 1.0,
+                        "engine.phase2.replay": 1.2,
+                    },
+                )
+                for _ in range(3)
+            ],
+        )
+        assert self._run(engine, history, "--check") == 2
+        out = capsys.readouterr().out
+        assert "attribution" in out
+        lines = [l for l in out.splitlines() if "engine.phase1.extract" in l]
+        assert lines, out
+        assert "+1.500s" in lines[0]
+        # The unchanged phase must rank below the regressed one.
+        attribution_block = out[out.index("attribution") :]
+        assert attribution_block.index("engine.phase1.extract") < (
+            attribution_block.index("engine.phase2.replay")
+            if "engine.phase2.replay" in attribution_block
+            else len(attribution_block)
+        )
+
+    def test_regression_without_history_phases_prints_fallback(
+        self, tmp_path, capsys
+    ):
+        # Old history entries carry no phase table; attribution still
+        # ranks against a 0.0 baseline rather than crashing or going
+        # silent.
+        engine, history = self._setup(tmp_path, phase1_s=0.12)
+        assert self._run(engine, history, "--check") == 2
+        out = capsys.readouterr().out
+        assert "attribution" in out
+        assert "engine.phase2.replay" in out
+
+    def test_passing_run_records_phases_for_future_attribution(
+        self, tmp_path
+    ):
+        engine, history = self._setup(tmp_path)
+        assert self._run(engine, history) == 0
+        entries = load_history(history)
+        assert entries[-1]["phases"]["engine.phase1.extract"] == 1.0
+        assert entries[-1]["phases"]["engine.phase2.replay"] == 1.2
 
     def test_passing_run_appends_a_valid_entry(self, tmp_path, capsys):
         engine, history = self._setup(tmp_path)

@@ -34,6 +34,30 @@ def _document():
                 "step_reasons": {},
             },
         },
+        "phase_breakdown": {
+            "source": "all_quick_cold",
+            "profile_id": "prof-test00000001",
+            "hz": 500,
+            "duration_s": 2.8,
+            "phases": {
+                "phase1.extract": {
+                    "samples": 500,
+                    "self_s": 1.0,
+                    "fraction": 0.4545,
+                },
+                "phase2.replay": {
+                    "samples": 600,
+                    "self_s": 1.2,
+                    "fraction": 0.5455,
+                },
+            },
+        },
+        "profiler_overhead": {
+            "off_s": 0.9,
+            "on_s": 0.92,
+            "ratio": 1.0222,
+            "hz": 97,
+        },
         "metrics": {"counters": {}, "histograms": {}},
         "provenance": {
             "git_sha": "0" * 40,
@@ -115,6 +139,41 @@ class TestValidateBenchEngine:
         del document["dispatch"]["phase1"]
         with pytest.raises(schemas.SchemaError, match="phase1"):
             schemas.validate_bench_engine(document)
+
+    def test_rejects_missing_phase_breakdown(self):
+        """Schema /5 makes the profiler's phase table mandatory."""
+        document = _document()
+        del document["phase_breakdown"]
+        with pytest.raises(schemas.SchemaError, match="phase_breakdown"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_empty_phase_table(self):
+        document = _document()
+        document["phase_breakdown"]["phases"] = {}
+        with pytest.raises(schemas.SchemaError, match="phases"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_bad_phase_fraction(self):
+        document = _document()
+        document["phase_breakdown"]["phases"]["phase1.extract"][
+            "fraction"
+        ] = 1.5
+        with pytest.raises(schemas.SchemaError, match="fraction"):
+            schemas.validate_bench_engine(document)
+
+    def test_rejects_nonpositive_overhead_ratio(self):
+        document = _document()
+        document["profiler_overhead"]["ratio"] = 0
+        with pytest.raises(schemas.SchemaError, match="ratio"):
+            schemas.validate_bench_engine(document)
+
+    def test_overhead_above_budget_still_validates(self):
+        """The 5% budget is enforced by the bench script's exit code,
+        not the schema: a noisy machine must not retro-invalidate a
+        committed scoreboard."""
+        document = _document()
+        document["profiler_overhead"]["ratio"] = 1.3
+        schemas.validate_bench_engine(document)
 
 
 class TestValidateCli:

@@ -312,3 +312,68 @@ class TestExposition:
             parse_exposition("this is not a metric line\n")
         with pytest.raises(ValueError):
             parse_exposition("repro_ok 1")  # missing trailing newline
+
+
+class TestEngineCounterExposition:
+    """Audit: the engine's dispatch and corruption counters must render
+    as labelled Prometheus families, exactly as the emit sites write
+    them (events_store, replay, reuse_store)."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        # The same (name, labels) shapes the engine emits:
+        registry.inc(
+            "engine.phase1.dispatches", engine="reuse", reason="lru_wb_wa"
+        )
+        registry.inc(
+            "engine.phase1.dispatches", engine="step", reason="disabled"
+        )
+        registry.inc("engine.step_fallback.dispatches", reason="bus_locked")
+        registry.inc("events_store.corrupt_reextract")
+        registry.inc("reuse_store.corrupt_reextract")
+        return registry
+
+    def test_dispatch_counters_render_with_labels(self):
+        text = render_prometheus(self._registry().snapshot())
+        samples = parse_exposition(text)
+        phase1 = dict(
+            (tuple(sorted(labels.items())), value)
+            for labels, value in samples["repro_engine_phase1_dispatches_total"]
+        )
+        assert phase1[
+            (("engine", "reuse"), ("reason", "lru_wb_wa"))
+        ] == 1.0
+        assert phase1[(("engine", "step"), ("reason", "disabled"))] == 1.0
+        assert samples["repro_engine_step_fallback_dispatches_total"] == [
+            ({"reason": "bus_locked"}, 1.0)
+        ]
+
+    def test_corruption_counters_render(self):
+        samples = parse_exposition(
+            render_prometheus(self._registry().snapshot())
+        )
+        assert samples["repro_events_store_corrupt_reextract_total"] == [
+            ({}, 1.0)
+        ]
+        assert samples["repro_reuse_store_corrupt_reextract_total"] == [
+            ({}, 1.0)
+        ]
+
+    def test_module_level_inc_reaches_the_exposition(self):
+        """The engines emit through ``metrics.inc(...)`` with keyword
+        labels; that path must land in the exposition verbatim."""
+        from repro.obs import metrics as metrics_mod
+
+        registry = metrics_mod.enable_metrics()
+        try:
+            metrics_mod.inc(
+                "engine.phase1.dispatches", engine="reuse", reason="lru_wb_wa"
+            )
+        finally:
+            metrics_mod.disable_metrics()
+        samples = parse_exposition(render_prometheus(registry.snapshot()))
+        assert samples["repro_engine_phase1_dispatches_total"] == [
+            ({"engine": "reuse", "reason": "lru_wb_wa"}, 1.0)
+        ]

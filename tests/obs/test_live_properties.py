@@ -1,0 +1,171 @@
+"""Property tests for the SLI primitives (hypothesis).
+
+Pins the boundary behaviour the example tests can't sweep: quantile
+extremes (empty sketch, ``q`` exactly 0 and 1, bin-edge values) and
+rolling-window pruning across arbitrary clock schedules.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.live import QuantileSketch, RollingWindow
+
+# Latencies across the sketch's full dynamic range, plus exact bin
+# edges (MIN * GROWTH**k) where float rounding in the log-bin mapping
+# is likeliest to slip by one.
+_EDGE_VALUES = [
+    QuantileSketch.MIN_VALUE_MS * QuantileSketch.GROWTH**k
+    for k in range(0, QuantileSketch.N_BINS + 2, 7)
+]
+latencies = st.one_of(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    st.sampled_from(_EDGE_VALUES),
+)
+qs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestQuantileSketchProperties:
+    @given(q=qs)
+    def test_empty_sketch_is_zero_for_any_q(self, q):
+        assert QuantileSketch().quantile(q) == 0.0
+
+    @given(values=st.lists(latencies, min_size=1, max_size=64), q=qs)
+    def test_quantile_bounded_by_extremes(self, values, q):
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        assert (
+            sketch.quantile(0.0)
+            <= sketch.quantile(q)
+            <= sketch.quantile(1.0)
+        )
+
+    @given(values=st.lists(latencies, min_size=1, max_size=64))
+    def test_q1_covers_the_maximum(self, values):
+        """quantile(1.0) reports a bin upper edge at or above every
+        observation (modulo float rounding at exact bin edges)."""
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        top = min(max(values), sketch.upper_edge(QuantileSketch.N_BINS - 1))
+        assert sketch.quantile(1.0) >= top * (1.0 - 1e-9)
+
+    @given(values=st.lists(latencies, min_size=1, max_size=64))
+    def test_q0_is_positive_and_at_most_one_bin_above_the_minimum(
+        self, values
+    ):
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        q0 = sketch.quantile(0.0)
+        assert q0 > 0.0
+        floor = max(min(values), QuantileSketch.MIN_VALUE_MS)
+        # rank-1 lands in the minimum's bin: one GROWTH step of slack.
+        assert q0 <= floor * QuantileSketch.GROWTH * (1.0 + 1e-9)
+
+    @given(
+        values=st.lists(latencies, min_size=1, max_size=64),
+        split=st.integers(min_value=0, max_value=64),
+    )
+    def test_merge_equals_bulk_add(self, values, split):
+        split = min(split, len(values))
+        a, b, combined = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        for value in values[:split]:
+            a.add(value)
+        for value in values[split:]:
+            b.add(value)
+        for value in values:
+            combined.add(value)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.total == combined.total == len(values)
+
+    @given(values=st.lists(latencies, min_size=1, max_size=32))
+    def test_monotone_in_q(self, values):
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        grid = [i / 10 for i in range(11)]
+        reported = [sketch.quantile(q) for q in grid]
+        assert reported == sorted(reported)
+
+
+# A schedule is a list of (advance_s, endpoint) ops: march the clock,
+# then record one 200 with 1 ms latency.
+schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.sampled_from(["simulate", "health"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class _Clock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRollingWindowProperties:
+    @settings(deadline=None)
+    @given(ops=schedules)
+    def test_summary_counts_match_bucket_arithmetic(self, ops):
+        """The window keeps exactly the records whose bucket index is
+        within ``n_buckets`` of the current one — the model the pruning
+        code must implement without off-by-ones."""
+        clock = _Clock()
+        window = RollingWindow(window_s=10.0, bucket_s=1.0, clock=clock)
+        recorded = []  # (bucket_index, endpoint)
+        for advance, endpoint in ops:
+            clock.now += advance
+            window.record(endpoint, 200, 1.0)
+            recorded.append((int(clock.now / 1.0), endpoint))
+        now_index = int(clock.now / 1.0)
+        floor = now_index - window.n_buckets + 1
+        expected = {}
+        for index, endpoint in recorded:
+            if index >= floor:
+                expected[endpoint] = expected.get(endpoint, 0) + 1
+        summary = window.summary()
+        assert {
+            endpoint: entry["count"] for endpoint, entry in summary.items()
+        } == expected
+
+    @given(ops=schedules)
+    def test_fresh_record_is_always_visible(self, ops):
+        clock = _Clock()
+        window = RollingWindow(window_s=5.0, bucket_s=0.5, clock=clock)
+        for advance, endpoint in ops:
+            clock.now += advance
+            window.record(endpoint, 200, 1.0)
+            assert window.summary()[endpoint]["count"] >= 1
+
+    @given(ops=schedules, advance=st.floats(min_value=11.0, max_value=1e6))
+    def test_window_eventually_empties(self, ops, advance):
+        clock = _Clock()
+        window = RollingWindow(window_s=10.0, bucket_s=1.0, clock=clock)
+        for step, endpoint in ops:
+            clock.now += step
+            window.record(endpoint, 200, 1.0)
+        clock.now += advance
+        assert window.summary() == {}
+
+    @given(
+        window_s=st.floats(min_value=0.1, max_value=120.0),
+        bucket_s=st.floats(min_value=0.05, max_value=120.0),
+    )
+    def test_geometry_validation_is_total(self, window_s, bucket_s):
+        """Any (window_s, bucket_s) pair either constructs a usable
+        window or raises ValueError — never a broken instance."""
+        try:
+            window = RollingWindow(window_s=window_s, bucket_s=bucket_s)
+        except ValueError:
+            assert window_s < bucket_s
+            return
+        assert window.n_buckets >= 1
+        assert not math.isnan(window.window_s)

@@ -5,13 +5,15 @@ tests drive it with real requests and then cross-check the three views
 of the same traffic (Prometheus exposition, access log, span ring).
 """
 
+import threading
+
 import pytest
 
 from repro.obs import tracing
 from repro.obs.access_log import read_access_log
 from repro.obs.live import RingTracer, parse_exposition
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.schemas import validate_access_log_record
+from repro.obs.schemas import validate_access_log_record, validate_profile
 from repro.service import ServerConfig, ServerThread, ServiceClient, ServiceError
 
 TRACE = {"kind": "spec92", "name": "swm256", "instructions": 2000, "seed": 7}
@@ -191,6 +193,89 @@ class TestTraceTailAndAccessLog:
         record = by_id["deadline-1"]
         assert record["deadline_ms"] == 20000.0
         assert 0.0 < record["deadline_left_ms"] < 20000.0
+
+
+class TestDebugProfile:
+    def test_window_attributes_concurrent_traffic(self, handle, client):
+        stop = threading.Event()
+
+        def hammer():
+            seed = 100
+            with ServiceClient("127.0.0.1", handle.port) as load:
+                while not stop.is_set():
+                    seed += 1
+                    load.simulate(
+                        trace={**TRACE, "seed": seed}, memory_cycle=6.0
+                    )
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            document = client.debug_profile(seconds=0.6, hz=300)
+        finally:
+            stop.set()
+            thread.join()
+        validate_profile(document)
+        assert document["hz"] == 300
+        # Requests served during the window open spans after the
+        # profiler installed phase tracking, so their samples are
+        # attributed to service phases.
+        assert any(phase.startswith("service.") for phase in document["phases"])
+
+    def test_profile_id_is_annotated_in_access_log(self, handle, client):
+        document = client.debug_profile(seconds=0.1)
+        records = [
+            r
+            for r in _access_records(handle)
+            if r.get("profile_id") == document["id"]
+        ]
+        assert len(records) == 1
+        assert records[0]["endpoint"] == "debug-profile"
+        validate_access_log_record(records[0])
+
+    def test_concurrent_window_is_409(self, handle):
+        outcome = {}
+
+        def long_window():
+            with ServiceClient("127.0.0.1", handle.port) as first:
+                outcome["document"] = first.debug_profile(seconds=0.8)
+
+        thread = threading.Thread(target=long_window)
+        thread.start()
+        try:
+            import time
+
+            time.sleep(0.25)
+            with ServiceClient("127.0.0.1", handle.port) as second:
+                with pytest.raises(ServiceError) as info:
+                    second.debug_profile(seconds=0.1)
+            assert info.value.status == 409
+            assert info.value.code == "profile_active"
+        finally:
+            thread.join()
+        validate_profile(outcome["document"])
+
+    def test_bad_query_bounds(self, client):
+        for path in (
+            "/v1/debug/profile?seconds=0",
+            "/v1/debug/profile?seconds=9999",
+            "/v1/debug/profile?hz=0",
+            "/v1/debug/profile?hz=fast",
+        ):
+            with pytest.raises(ServiceError) as info:
+                client.request("GET", path)
+            assert info.value.status == 400
+            assert info.value.code == "bad_query"
+
+    def test_draining_server_refuses_new_windows(self, handle, client):
+        handle.server._draining = True
+        try:
+            with pytest.raises(ServiceError) as info:
+                client.debug_profile(seconds=0.1)
+            assert info.value.status == 503
+            assert info.value.code == "draining"
+        finally:
+            handle.server._draining = False
 
 
 class TestClientStats:
