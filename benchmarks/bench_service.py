@@ -19,6 +19,15 @@ three serving layers at once:
 * across the whole run, phase-1 extraction happens exactly once per
   distinct key (``coalescing.phase1_extractions`` vs ``distinct_keys``).
 
+The closed-loop levels are followed by an **open-loop capacity** probe
+(schema ``/4``): Poisson arrivals at a ladder of offered rates over a
+pre-warmed key set, latency measured from the *intended* arrival time
+(so queueing under overload is charged, not hidden — no coordinated
+omission), once against a single-process server and once against a
+2-worker fleet (:mod:`repro.service.router`).  The ``capacity``
+headline is the highest offered rate each topology sustains with
+p99 <= 50 ms and nothing shed; the bench-history gate tracks both.
+
 ``python -m repro.obs.validate --bench-service BENCH_service.json``
 enforces those invariants plus zero errors and zero step-simulator
 dispatches; CI regenerates and validates the document on every push.
@@ -26,6 +35,7 @@ dispatches; CI regenerates and validates the document on every push.
 
 import argparse
 import os
+import random
 import shutil
 import statistics
 import sys
@@ -41,7 +51,13 @@ from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
 from repro.obs import metrics
 from repro.obs.metrics import percentile
 from repro.obs.schemas import BENCH_SERVICE_SCHEMA, validate_bench_service
-from repro.service import ServerConfig, ServerThread, ServiceClient
+from repro.service import (
+    FleetConfig,
+    FleetThread,
+    ServerConfig,
+    ServerThread,
+    ServiceClient,
+)
 from repro.service import queries, schemas as request_schemas
 
 #: One shared trace per level keeps the (trace, geometry) key hot while
@@ -198,6 +214,173 @@ def run_warm_cache(port: int) -> tuple[dict, set[str]]:
     )
 
 
+#: The open-loop capacity probe: SLO, offered-rate ladder, timing.
+SLO_P99_MS = 50.0
+CAPACITY_LADDER = (50.0, 100.0, 200.0, 400.0)
+CAPACITY_RUNG_S = 1.5
+CAPACITY_POOL = 16  # sender threads; overload shows up as queue delay
+CAPACITY_WARM_POINTS = 32
+CAPACITY_SEED = 20260808
+CAPACITY_TRACE = {
+    "kind": "spec92",
+    "name": "swm256",
+    "instructions": 4000,
+    "seed": 23,
+}
+
+
+def _capacity_params(i: int) -> dict:
+    # A private beta range over one trace: after warming, every request
+    # is a result-cache hit, so the probe measures the serving layer
+    # (parsing, routing, cache lookup, serialization), which is the part
+    # a fleet multiplies.
+    return {
+        "trace": CAPACITY_TRACE,
+        "memory_cycle": 300.0 + (i % CAPACITY_WARM_POINTS),
+    }
+
+
+def _warm_capacity_keys(port: int) -> None:
+    connection = ServiceClient("127.0.0.1", port)
+    try:
+        for i in range(CAPACITY_WARM_POINTS):
+            connection.simulate(**_capacity_params(i))
+        for i in range(CAPACITY_WARM_POINTS):
+            assert connection.simulate(**_capacity_params(i))["cached"]
+    finally:
+        connection.close()
+
+
+def run_capacity_rung(port: int, offered_rps: float, seed: int) -> dict:
+    """One open-loop rung: Poisson arrivals at ``offered_rps``.
+
+    The arrival schedule is drawn up front from a seeded RNG (the same
+    offered rate replays the same arrivals run to run); each sender
+    sleeps until its request's *intended* arrival time and the latency
+    clock starts there, so time spent waiting for a free sender or a
+    busy server is charged to the rung rather than silently dropped.
+    """
+    rng = random.Random(seed)
+    schedule: list[float] = []
+    t = 0.0
+    while t < CAPACITY_RUNG_S:
+        schedule.append(t)
+        t += rng.expovariate(offered_rps)
+    lock = threading.Lock()
+    next_index = [0]
+    ok_ms: list[float] = []
+    shed = [0]
+    errors = [0]
+    epoch = time.perf_counter() + 0.05  # let every sender reach the loop
+
+    def sender() -> None:
+        from repro.service import ServiceError
+
+        connection = ServiceClient("127.0.0.1", port)
+        try:
+            while True:
+                with lock:
+                    i = next_index[0]
+                    if i >= len(schedule):
+                        return
+                    next_index[0] = i + 1
+                intended = epoch + schedule[i]
+                delay = intended - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    connection.simulate(**_capacity_params(i))
+                except ServiceError as error:
+                    with lock:
+                        if error.status == 429:
+                            shed[0] += 1
+                        else:
+                            errors[0] += 1
+                except Exception:  # noqa: BLE001 - scoreboard data
+                    with lock:
+                        errors[0] += 1
+                else:
+                    with lock:
+                        ok_ms.append(
+                            (time.perf_counter() - intended) * 1000.0
+                        )
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=sender, name=f"cap-{i}")
+        for i in range(CAPACITY_POOL)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.perf_counter() - epoch, CAPACITY_RUNG_S)
+    return {
+        "offered_rps": offered_rps,
+        "achieved_rps": round(len(ok_ms) / elapsed, 1),
+        "p50_ms": round(percentile(ok_ms, 50.0), 3) if ok_ms else 0.0,
+        "p99_ms": round(percentile(ok_ms, 99.0), 3) if ok_ms else 0.0,
+        "shed": shed[0],
+        "errors": errors[0],
+        "sustained": bool(ok_ms)
+        and percentile(ok_ms, 99.0) <= SLO_P99_MS
+        and shed[0] == 0
+        and errors[0] == 0,
+    }
+
+
+def run_capacity(port: int, workers: int) -> dict:
+    """Ladder the offered rate against one topology; returns the entry."""
+    _warm_capacity_keys(port)
+    curve = []
+    max_sustained = 0.0
+    for rung_number, offered in enumerate(CAPACITY_LADDER):
+        rung = run_capacity_rung(
+            port, offered, seed=CAPACITY_SEED + rung_number
+        )
+        sustained = rung.pop("sustained")
+        if sustained:
+            max_sustained = max(max_sustained, offered)
+        curve.append(rung)
+        print(
+            f"capacity[{workers}w] offered {offered:g} rps: "
+            f"achieved {rung['achieved_rps']:g}, p99 {rung['p99_ms']:g} ms, "
+            f"shed {rung['shed']}, errors {rung['errors']}"
+            + ("" if sustained else "  (over SLO)")
+        )
+    return {
+        "workers": workers,
+        "max_sustained_rps": max_sustained,
+        "curve": curve,
+    }
+
+
+def run_capacity_section() -> dict:
+    """The single-vs-fleet capacity comparison (its own servers).
+
+    Both topologies get the same admission watermark so the 429 path is
+    part of what the ladder exercises; both run over the same shared
+    events-store directory, so phase-1 extraction for the capacity trace
+    is paid once.
+    """
+    single_config = ServerConfig(batch_window_s=0.002, shed_watermark=32)
+    with ServerThread(single_config, registry=metrics.MetricsRegistry()) as handle:
+        probe = ServiceClient("127.0.0.1", handle.port)
+        probe.wait_ready()
+        probe.close()
+        single = run_capacity(handle.port, workers=1)
+    fleet_config = FleetConfig(
+        base=ServerConfig(batch_window_s=0.002, shed_watermark=32), workers=2
+    )
+    with FleetThread(fleet_config, registry=metrics.MetricsRegistry()) as handle:
+        probe = ServiceClient("127.0.0.1", handle.port)
+        probe.wait_ready(timeout=30.0)
+        probe.close()
+        fleet = run_capacity(handle.port, workers=2)
+    return {"slo_p99_ms": SLO_P99_MS, "single": single, "fleet": fleet}
+
+
 #: Sampling parameters for the profiled load window.
 PROFILE_WINDOW_S = 1.0
 PROFILE_HZ = 397  # prime, like the profiler default
@@ -281,6 +464,12 @@ def collect() -> dict:
             f"{warm['cold_compute_ms']} ms ({warm['speedup']}x)"
         )
         phase_breakdown = run_profiled_window(handle.port)
+        capacity = run_capacity_section()
+        print(
+            f"capacity: single {capacity['single']['max_sustained_rps']:g} "
+            f"rps, fleet {capacity['fleet']['max_sustained_rps']:g} rps "
+            f"(p99 <= {SLO_P99_MS:g} ms)"
+        )
         top = sorted(
             phase_breakdown["phases"].items(),
             key=lambda item: item[1]["self_s"],
@@ -322,6 +511,7 @@ def collect() -> dict:
                 ),
             },
             "warm_cache": warm,
+            "capacity": capacity,
             "phase_breakdown": phase_breakdown,
             "dispatch": {
                 "replay_calls": registry.counter("engine.replay.calls"),

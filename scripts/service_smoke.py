@@ -23,15 +23,29 @@ on SIGTERM, or if the three observability views disagree: the metrics
 exposition must parse with a rolling-window p99 for every endpoint the
 smoke hit, every ``request_id`` in the span ring must appear in the
 access log, and the pinned simulate ids must appear in both.
+
+With ``--workers N`` (N > 1) the same smoke drives the sharded fleet:
+the router is launched with N workers, one worker is SIGKILLed while
+the mixed traffic is in flight (every request must still succeed —
+forwarding retries through the restart), the supervisor must respawn
+the slot with a fresh pid, and ``--compare-results DIR`` asserts each
+captured simulate ``result`` object is byte-identical to the one a
+prior single-process run wrote to DIR::
+
+    PYTHONPATH=src python scripts/service_smoke.py --payload-dir single
+    PYTHONPATH=src python scripts/service_smoke.py --payload-dir fleet \
+        --workers 2 --compare-results single
 """
 
 import argparse
+import json
 import os
 import re
 import signal
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -44,7 +58,7 @@ from repro.obs.schemas import (
     validate_profile,
 )
 from repro.service import ServiceClient
-from repro.util.jsonout import write_json
+from repro.util.jsonout import dump_json, write_json
 
 SIMULATE_CONFIGS = [
     {
@@ -64,10 +78,11 @@ ANALYTIC_REQUESTS = [
 ]
 
 
-def launch_server(access_log: Path) -> tuple[subprocess.Popen, int]:
+def launch_server(access_log: Path, workers: int = 1) -> tuple[subprocess.Popen, int]:
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--batch-window-ms", "1", "--access-log", str(access_log)],
+         "--batch-window-ms", "1", "--access-log", str(access_log),
+         "--workers", str(workers)],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -83,6 +98,17 @@ def launch_server(access_log: Path) -> tuple[subprocess.Popen, int]:
         process.kill()
         raise SystemExit(f"server did not announce a port: {line!r}")
     return process, int(match.group(1))
+
+
+def counter_total(counters: dict, name: str) -> float:
+    """Sum a counter across the fleet: the router re-keys each worker's
+    counters with a ``worker=`` label, so ``engine.step.calls`` becomes
+    ``engine.step.calls{worker=w0}`` in the merged snapshot."""
+    return sum(
+        value
+        for key, value in counters.items()
+        if key == name or key.startswith(name + "{")
+    )
 
 
 def main(argv=None) -> int:
@@ -104,6 +130,20 @@ def main(argv=None) -> int:
         "(default: PAYLOAD_DIR/trace/trace_tail.json, outside the "
         "--service-response glob)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fleet size; above 1 the smoke SIGKILLs a worker mid-run "
+        "and asserts the supervisor respawns it (default: 1)",
+    )
+    parser.add_argument(
+        "--compare-results",
+        default=None,
+        metavar="DIR",
+        help="payload dir from a prior run; every captured simulate "
+        "result object must be byte-identical to its counterpart there",
+    )
     args = parser.parse_args(argv)
     payload_dir = Path(args.payload_dir)
     payload_dir.mkdir(parents=True, exist_ok=True)
@@ -112,7 +152,7 @@ def main(argv=None) -> int:
         args.trace_out or payload_dir / "trace" / "trace_tail.json"
     )
 
-    process, port = launch_server(access_log_path)
+    process, port = launch_server(access_log_path, workers=args.workers)
     captured: dict[str, dict] = {}
     failures: list[str] = []
     lock = threading.Lock()
@@ -164,15 +204,58 @@ def main(argv=None) -> int:
     try:
         probe = ServiceClient("127.0.0.1", port)
         probe.wait_ready(timeout=30.0)
+        victim_pid = None
+        if args.workers > 1:
+            fleet_before = probe.stats_envelope().get("fleet", {})
+            victim_pid = (
+                fleet_before.get("workers", {}).get("w0", {}).get("pid")
+            )
+            if victim_pid is None:
+                failures.append("fleet stats carry no pid for worker w0")
         threads = [threading.Thread(target=analytic_worker)] + [
             threading.Thread(target=simulate_worker, args=(i,)) for i in range(4)
         ]
         for thread in threads:
             thread.start()
+        if victim_pid is not None:
+            # Kill a worker while the mixed traffic is in flight: every
+            # request must still succeed — the router retries transport
+            # failures through the restart — and the supervisor must
+            # respawn the slot with a fresh pid before we finish.
+            time.sleep(0.3)
+            os.kill(victim_pid, signal.SIGKILL)
         for thread in threads:
             thread.join()
+        if victim_pid is not None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                fleet_now = probe.stats_envelope().get("fleet", {})
+                w0 = fleet_now.get("workers", {}).get("w0", {})
+                if (
+                    w0.get("alive")
+                    and w0.get("pid") != victim_pid
+                    and fleet_now.get("restarts", 0) >= 1
+                ):
+                    break
+                time.sleep(0.2)
+            else:
+                failures.append(
+                    f"worker w0 (pid {victim_pid}) was not respawned "
+                    f"within 30s of SIGKILL"
+                )
         stats = probe.stats_envelope()
         record("stats", stats)
+        if args.workers > 1:
+            fleet_section = stats.get("fleet", {})
+            workers_info = fleet_section.get("workers", {})
+            if len(workers_info) != args.workers:
+                failures.append(
+                    f"fleet stats list {len(workers_info)} workers, "
+                    f"expected {args.workers}"
+                )
+            for name, info in workers_info.items():
+                if not (info.get("alive") and info.get("reachable")):
+                    failures.append(f"worker {name} not alive+reachable: {info}")
 
         # The live-observability surfaces, scraped while still serving.
         metrics_text = probe.metrics_text()
@@ -188,6 +271,10 @@ def main(argv=None) -> int:
                 failures.append(
                     f"/metrics has no rolling-window p99 for {endpoint!r}"
                 )
+        if args.workers > 1 and (
+            f"repro_fleet_workers {args.workers}" not in metrics_text
+        ):
+            failures.append("merged /metrics is missing the fleet gauges")
         # A short profiling window while traffic is still possible; the
         # document must validate and its id must land in the access log
         # as the debug-profile request's annotation.
@@ -216,12 +303,14 @@ def main(argv=None) -> int:
         probe.close()
 
         counters = stats["counters"]
-        step_calls = counters.get("engine.step.calls", 0)
+        step_calls = counter_total(counters, "engine.step.calls")
         if step_calls:
             failures.append(f"{step_calls} step-simulator dispatches (want 0)")
         if stats["result_cache"]["hits"] == 0:
             failures.append("no result-cache hits despite repeated configs")
-        if counters.get("service.phase1.resolves", 0) > len(SIMULATE_CONFIGS):
+        if counter_total(counters, "service.phase1.resolves") > len(
+            SIMULATE_CONFIGS
+        ):
             failures.append("phase-1 ran more than once per distinct key")
     finally:
         process.send_signal(signal.SIGTERM)
@@ -274,13 +363,43 @@ def main(argv=None) -> int:
             f"{annotated[0]['endpoint']!r}, expected 'debug-profile'"
         )
 
+    # Byte-identity across topologies: the fleet run must serialize the
+    # same result objects a single-process run produced for every
+    # simulate point (the router forwards worker bodies verbatim and
+    # sharding must not change what gets computed).
+    if args.compare_results is not None:
+        reference_dir = Path(args.compare_results)
+        compared = 0
+        for name, envelope in sorted(captured.items()):
+            if not name.startswith("simulate_"):
+                continue
+            reference_path = reference_dir / f"{name}.json"
+            if not reference_path.exists():
+                failures.append(f"no reference envelope {reference_path}")
+                continue
+            reference = json.loads(reference_path.read_text())
+            if dump_json(reference["result"]) != dump_json(envelope["result"]):
+                failures.append(
+                    f"{name}: result differs from the run in {reference_dir}/"
+                )
+            compared += 1
+        if compared == 0:
+            failures.append(
+                f"no simulate envelopes to compare against {reference_dir}/"
+            )
+        else:
+            print(
+                f"compared {compared} simulate results against "
+                f"{reference_dir}/"
+            )
+
     for name, envelope in sorted(captured.items()):
         write_json(payload_dir / f"{name}.json", envelope)
     print(
         f"captured {len(captured)} envelopes to {payload_dir}/ "
         f"({stats['result_cache']['hits']} cache hits, "
-        f"{counters.get('engine.replay.calls', 0)} replay calls, "
-        f"{counters.get('engine.step.calls', 0)} step calls); "
+        f"{counter_total(counters, 'engine.replay.calls')} replay calls, "
+        f"{counter_total(counters, 'engine.step.calls')} step calls); "
         f"{len(records)} access-log records, {len(span_ids)} traced ids"
     )
     for failure in failures:

@@ -204,6 +204,45 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="longest /v1/debug/profile sampling window accepted",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes; >1 runs the sharded fleet "
+        "(default: the machine's CPU count)",
+    )
+    serve.add_argument(
+        "--worker-id",
+        default=None,
+        help=argparse.SUPPRESS,  # set by the fleet router on its workers
+    )
+    serve.add_argument(
+        "--keepalive-timeout",
+        type=float,
+        default=75.0,
+        help="close idle keep-alive connections after this many seconds "
+        "(0 disables the timeout)",
+    )
+    serve.add_argument(
+        "--shed-watermark",
+        type=int,
+        default=None,
+        help="shed cache-miss simulate work with 429 once the batch "
+        "queue is this deep (default: no admission control)",
+    )
+    serve.add_argument(
+        "--disk-cache-dir",
+        metavar="DIR",
+        default=None,
+        help="enable the disk-backed result cache in this directory "
+        "(shared across fleet workers; survives restarts)",
+    )
+    serve.add_argument(
+        "--disk-cache-mib",
+        type=float,
+        default=64.0,
+        help="byte budget for the disk-backed result cache",
+    )
     return parser
 
 
@@ -333,21 +372,38 @@ def _cmd_sweep(options: argparse.Namespace) -> int:
 
 
 def _cmd_serve(options: argparse.Namespace) -> int:
+    import os
+
     from repro.service.server import ServerConfig, run_server
 
-    run_server(
-        ServerConfig(
-            host=options.host,
-            port=options.port,
-            queue_limit=options.queue_limit,
-            batch_window_s=options.batch_window_ms / 1000.0,
-            result_cache_bytes=int(options.result_cache_mib * 1024 * 1024),
-            default_deadline_s=options.default_deadline_s,
-            access_log_path=options.access_log,
-            span_ring_capacity=options.span_ring_capacity,
-            profile_max_seconds=options.profile_max_seconds,
-        )
+    workers = options.workers if options.workers is not None else os.cpu_count() or 1
+    if workers < 1:
+        print(f"error: --workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        host=options.host,
+        port=options.port,
+        queue_limit=options.queue_limit,
+        batch_window_s=options.batch_window_ms / 1000.0,
+        result_cache_bytes=int(options.result_cache_mib * 1024 * 1024),
+        default_deadline_s=options.default_deadline_s,
+        access_log_path=options.access_log,
+        span_ring_capacity=options.span_ring_capacity,
+        profile_max_seconds=options.profile_max_seconds,
+        keepalive_timeout_s=(
+            options.keepalive_timeout if options.keepalive_timeout > 0 else None
+        ),
+        shed_watermark=options.shed_watermark,
+        worker_id=options.worker_id,
+        disk_cache_dir=options.disk_cache_dir,
+        disk_cache_bytes=int(options.disk_cache_mib * 1024 * 1024),
     )
+    if workers > 1:
+        from repro.service.router import FleetConfig, run_fleet
+
+        run_fleet(FleetConfig(base=config, workers=workers))
+    else:
+        run_server(config)
     return 0
 
 

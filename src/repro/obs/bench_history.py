@@ -123,6 +123,18 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         ("levels", "16", "throughput_rps"),
         "higher",
     ),
+    HeadlineMetric(
+        "service.capacity.single.max_sustained_rps",
+        "service",
+        ("capacity", "single", "max_sustained_rps"),
+        "higher",
+    ),
+    HeadlineMetric(
+        "service.capacity.fleet.max_sustained_rps",
+        "service",
+        ("capacity", "fleet", "max_sustained_rps"),
+        "higher",
+    ),
 )
 
 _DIRECTIONS = {metric.name: metric.direction for metric in HEADLINE_METRICS}

@@ -134,12 +134,37 @@ def current_annotations() -> dict[str, Any]:
     return dict(context.annotations) if context is not None else {}
 
 
+#: Process-wide fleet identity (``w0``..``wN-1``), set once at worker
+#: startup.  ``None`` means "not a fleet worker" (single-process serve,
+#: tests, CLI runs) and adds nothing anywhere.
+_WORKER_ID: str | None = None
+
+
+def set_worker_id(worker: str | None) -> None:
+    """Declare this process's fleet worker id (``None`` clears it).
+
+    Stamped into every span's ``args`` (via the context provider below)
+    and into every access-log record (the server annotates it), so a
+    merged fleet trace or log attributes work to the worker that did it.
+    """
+    global _WORKER_ID
+    _WORKER_ID = worker or None
+
+
+def current_worker_id() -> str | None:
+    """This process's fleet worker id, or ``None`` outside a fleet."""
+    return _WORKER_ID
+
+
 def _span_context() -> dict[str, Any]:
-    """Provider hook: stamp the request id into every live span."""
+    """Provider hook: stamp request id + worker id into every live span."""
+    out: dict[str, Any] = {}
+    if _WORKER_ID is not None:
+        out["worker"] = _WORKER_ID
     context = _CONTEXT.get()
-    if context is None:
-        return {}
-    return {"request_id": context.request_id}
+    if context is not None:
+        out["request_id"] = context.request_id
+    return out
 
 
 tracing.set_context_provider(_span_context)

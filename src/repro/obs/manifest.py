@@ -45,6 +45,7 @@ DIAGNOSTIC_COUNTERS = frozenset(
     {
         "events_store.corrupt_reextract",
         "reuse_store.corrupt_reextract",
+        "result_store.corrupt_recompute",
         "engine.phase1.dispatches",
     }
 )

@@ -50,8 +50,14 @@ BENCH_ENGINE_SCHEMA = "repro.bench.engine/5"
 #: scoreboard) and the per-level client-side view (``client.retries``
 #: and client-measured latency percentiles).  ``/3`` added the
 #: ``phase_breakdown`` section: a span-attributed self-time table from a
-#: profiled load window (see :mod:`repro.obs.profile`).
-BENCH_SERVICE_SCHEMA = "repro.bench.service/3"
+#: profiled load window (see :mod:`repro.obs.profile`).  ``/4`` added
+#: the ``capacity`` headline: open-loop (Poisson-arrival)
+#: latency-under-load curves and the max sustained request rate with
+#: p99 ≤ the stated SLO, measured for a single-process server and for
+#: the sharded fleet.  The validator checks structure and internal
+#: consistency, *not* that the fleet beats the single process — on a
+#: one-core CI box it legitimately may not.
+BENCH_SERVICE_SCHEMA = "repro.bench.service/4"
 
 #: One line of the serving layer's JSONL access log (see
 #: :mod:`repro.obs.access_log`).
@@ -69,6 +75,9 @@ SERVICE_ERROR_SCHEMA = "repro.service.error/1"
 
 #: Envelope of the ``/v1/stats`` response.
 SERVICE_STATS_SCHEMA = "repro.service.stats/1"
+
+#: Header line of the ``/v1/sweep`` streaming (JSONL) response.
+SERVICE_SWEEP_SCHEMA = "repro.service.sweep/1"
 
 
 def require(condition: bool, path: str, message: str) -> None:
@@ -601,8 +610,156 @@ def validate_bench_service(document: Any) -> None:
         "$.dispatch.step_calls",
         "must be 0: a service query fell back to the step simulator",
     )
+    _validate_capacity(document.get("capacity"))
     validate_phase_breakdown(document)
     validate_bench_provenance(document)
+
+
+def _validate_capacity(capacity: Any) -> None:
+    """Validate the ``/4`` open-loop ``capacity`` headline section."""
+    _require(isinstance(capacity, dict), "$.capacity", "must be an object")
+    slo = capacity.get("slo_p99_ms")
+    _require_number(slo, "$.capacity.slo_p99_ms")
+    _require(slo > 0, "$.capacity.slo_p99_ms", "must be > 0")
+    for section in ("single", "fleet"):
+        path = f"$.capacity.{section}"
+        entry = capacity.get(section)
+        _require(isinstance(entry, dict), path, "must be an object")
+        workers = entry.get("workers")
+        _require(
+            isinstance(workers, int) and not isinstance(workers, bool)
+            and workers >= 1,
+            f"{path}.workers",
+            "must be a positive integer",
+        )
+        _require_number(
+            entry.get("max_sustained_rps"), f"{path}.max_sustained_rps"
+        )
+        _require(
+            entry["max_sustained_rps"] >= 0,
+            f"{path}.max_sustained_rps",
+            "must be >= 0",
+        )
+        curve = entry.get("curve")
+        _require(
+            isinstance(curve, list) and curve,
+            f"{path}.curve",
+            "must be a non-empty list of load rungs",
+        )
+        for i, rung in enumerate(curve):
+            rung_path = f"{path}.curve[{i}]"
+            _require(isinstance(rung, dict), rung_path, "must be an object")
+            for field in (
+                "offered_rps",
+                "achieved_rps",
+                "p50_ms",
+                "p99_ms",
+                "shed",
+                "errors",
+            ):
+                _require_number(rung.get(field), f"{rung_path}.{field}")
+                _require(
+                    rung[field] >= 0, f"{rung_path}.{field}", "must be >= 0"
+                )
+            _require(
+                rung["offered_rps"] > 0,
+                f"{rung_path}.offered_rps",
+                "must be > 0",
+            )
+            _require(
+                rung["p50_ms"] <= rung["p99_ms"],
+                rung_path,
+                "p50_ms must be <= p99_ms",
+            )
+    _require(
+        capacity["fleet"]["workers"] > 1,
+        "$.capacity.fleet.workers",
+        "must be > 1 (otherwise it is not a fleet)",
+    )
+
+
+def validate_sweep_stream(records: Any) -> None:
+    """Validate a parsed ``/v1/sweep`` JSONL stream (a list of records).
+
+    The framing contract (see ``docs/SERVICE.md``): a header line
+    carrying the ``repro.service.sweep/1`` tag and the total point
+    count, one line per grid point (``result`` on success, ``error``
+    otherwise), and a final summary line with ``done: true`` and the
+    error count.  Point lines may arrive in any order — the fleet
+    router interleaves shards as they complete — but every index in
+    ``[0, points)`` must appear exactly once.
+    """
+    _require(
+        isinstance(records, list) and len(records) >= 2,
+        "$",
+        "stream must be a list with at least header and summary lines",
+    )
+    header = records[0]
+    _require(isinstance(header, dict), "$[0]", "header must be an object")
+    _require(
+        header.get("schema") == SERVICE_SWEEP_SCHEMA,
+        "$[0].schema",
+        f"must be {SERVICE_SWEEP_SCHEMA!r}",
+    )
+    points = header.get("points")
+    _require(
+        isinstance(points, int) and not isinstance(points, bool) and points >= 0,
+        "$[0].points",
+        "must be a non-negative integer",
+    )
+    summary = records[-1]
+    _require(isinstance(summary, dict), "$[-1]", "summary must be an object")
+    _require(summary.get("done") is True, "$[-1].done", "must be true")
+    _require_number(summary.get("errors"), "$[-1].errors")
+    _require(
+        summary.get("points") == points,
+        "$[-1].points",
+        "must match the header's point count",
+    )
+    seen: set[int] = set()
+    errors = 0
+    for i, record in enumerate(records[1:-1], start=1):
+        path = f"$[{i}]"
+        _require(isinstance(record, dict), path, "must be an object")
+        index = record.get("index")
+        _require(
+            isinstance(index, int) and not isinstance(index, bool)
+            and 0 <= index < points,
+            f"{path}.index",
+            f"must be an integer within [0, {points})",
+        )
+        _require(index not in seen, f"{path}.index", "duplicate point index")
+        seen.add(index)
+        _require(
+            isinstance(record.get("point"), dict),
+            f"{path}.point",
+            "must be an object",
+        )
+        if "error" in record:
+            errors += 1
+            error = record["error"]
+            _require(isinstance(error, dict), f"{path}.error", "must be an object")
+            _require(
+                isinstance(error.get("code"), str) and error["code"],
+                f"{path}.error.code",
+                "must be a non-empty string",
+            )
+        else:
+            _require(
+                isinstance(record.get("result"), dict),
+                f"{path}.result",
+                "must be an object",
+            )
+    _require(
+        len(seen) == points,
+        "$",
+        f"stream carries {len(seen)} distinct points, header promised {points}",
+    )
+    _require(
+        summary["errors"] == errors,
+        "$[-1].errors",
+        f"summary says {summary['errors']!r}, stream carries {errors}",
+    )
 
 
 def validate_access_log_record(document: Any) -> None:
@@ -657,6 +814,12 @@ def validate_access_log_record(document: Any) -> None:
         _require(
             isinstance(document["profile_id"], str) and document["profile_id"],
             "$.profile_id",
+            "must be a non-empty string",
+        )
+    if "worker" in document:
+        _require(
+            isinstance(document["worker"], str) and document["worker"],
+            "$.worker",
             "must be a non-empty string",
         )
 

@@ -14,8 +14,15 @@ Dispatch is two-tier, mirroring the engine split the service fronts:
   event loop;
 * ``simulate`` first consults the content-addressed
   :class:`~repro.service.result_cache.ResultCache` (a hit costs one
-  dict lookup and returns the *identical* result bytes) and otherwise
-  awaits the micro-batch scheduler under the request's deadline.
+  dict lookup and returns the *identical* result bytes), then the
+  optional disk-backed
+  :class:`~repro.service.disk_cache.DiskResultCache` (a hit is promoted
+  into memory), and otherwise awaits the micro-batch scheduler under
+  the request's deadline;
+* ``sweep`` streams a whole parameter grid as chunked JSONL — one line
+  per grid point, produced through the same caches and batcher in
+  bounded chunks, so a million-point grid never materialises in memory
+  (see :class:`StreamBody` and ``docs/SERVICE.md``).
 
 The ``result`` sub-object of a simulate response is byte-identical to
 :func:`repro.service.queries.timing_result_dict` rendered through
@@ -45,18 +52,20 @@ from repro.obs.schemas import (
     SERVICE_ERROR_SCHEMA,
     SERVICE_RESPONSE_SCHEMA,
     SERVICE_STATS_SCHEMA,
+    SERVICE_SWEEP_SCHEMA,
     SchemaError,
 )
 from repro.service import queries
 from repro.service import schemas as request_schemas
 from repro.service.batching import MicroBatcher, QueueFullError
+from repro.service.disk_cache import DiskResultCache
 from repro.service.http11 import HttpError, Request
 from repro.service.result_cache import (
     ResultCache,
     result_key,
     simulate_key_material,
 )
-from repro.util.jsonout import dump_json
+from repro.util.jsonout import dump_json, dump_json_line
 
 #: Fallback deadline for requests that do not send ``deadline_ms``.
 DEFAULT_DEADLINE_S = 30.0
@@ -74,7 +83,7 @@ _ANALYTIC = {
     "advise": (request_schemas.validate_advise, queries.advise_query),
 }
 
-_POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate"}
+_POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate", "sweep"}
 _GET_ENDPOINTS = frozenset(
     {
         "health",
@@ -112,6 +121,26 @@ def error_body(status: int, code: str, message: str) -> bytes:
     ).encode("utf-8")
 
 
+class StreamBody:
+    """A response body produced incrementally (chunked JSONL).
+
+    :meth:`ServiceApp.handle` returns one of these instead of ``bytes``
+    for streaming endpoints; the connection handler in
+    :mod:`repro.service.server` then writes a chunked transfer-encoded
+    response, draining the async iterator one chunk at a time.  The
+    per-request accounting (metrics, SLI window, access log) is wrapped
+    around the iterator and fires when the stream finishes — including
+    when the client disconnects mid-stream and the generator is closed.
+    """
+
+    def __init__(self, chunks: Any, content_type: str = "application/x-ndjson") -> None:
+        self._chunks = chunks
+        self.content_type = content_type
+
+    def __aiter__(self) -> Any:
+        return self._chunks.__aiter__()
+
+
 class ServiceApp:
     """Routes parsed requests to queries; transport-independent."""
 
@@ -126,6 +155,8 @@ class ServiceApp:
         tracer: tracing.Tracer | None = None,
         is_ready: Callable[[], bool] | None = None,
         profile_max_seconds: float = DEFAULT_PROFILE_MAX_SECONDS,
+        disk_cache: DiskResultCache | None = None,
+        shed_watermark: int | None = None,
     ) -> None:
         self.registry = registry
         self.batcher = batcher
@@ -136,16 +167,28 @@ class ServiceApp:
         self.tracer = tracer
         self.is_ready = is_ready if is_ready is not None else (lambda: True)
         self.profile_max_seconds = profile_max_seconds
+        self.disk_cache = disk_cache
+        self.shed_watermark = shed_watermark
         self._latency_ms: dict[str, deque[float]] = {}
 
     # -- entry point ------------------------------------------------------
 
-    async def handle(self, request: Request) -> tuple[int, bytes, str]:
-        """One request in, one (status, body, content type) out; never raises."""
+    async def handle(
+        self, request: Request
+    ) -> tuple[int, bytes | StreamBody, str]:
+        """One request in, one (status, body, content type) out; never raises.
+
+        The body is ``bytes`` for ordinary endpoints and a
+        :class:`StreamBody` for the streaming ones (``/v1/sweep``); a
+        streaming body defers the per-request accounting to the moment
+        the stream completes, so the access log records the true
+        wall-clock of the whole stream.
+        """
         endpoint = self._endpoint_of(request.path)
         started = time.perf_counter()
         error_code: str | None = None
         content_type = JSON_CONTENT_TYPE
+        body: bytes | StreamBody
         try:
             status, body, content_type = await self._dispatch(endpoint, request)
         except HttpError as error:
@@ -172,6 +215,24 @@ class ServiceApp:
             status, body = 500, error_body(
                 500, "internal_error", f"{type(error).__name__}: {error}"
             )
+        if isinstance(body, StreamBody):
+            return (
+                status,
+                self._accounted_stream(request, endpoint, status, started, body),
+                content_type,
+            )
+        self._account(request, endpoint, status, started, error_code)
+        return status, body, content_type
+
+    def _account(
+        self,
+        request: Request,
+        endpoint: str | None,
+        status: int,
+        started: float,
+        error_code: str | None,
+    ) -> None:
+        """Per-request accounting: counters, SLI window, access log."""
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         label = endpoint or "unknown"
         self.registry.inc("service.requests", endpoint=label, status=status)
@@ -188,6 +249,9 @@ class ServiceApp:
                 annotations["deadline_left_ms"] = round(
                     deadline_ms - elapsed_ms, 3
                 )
+            worker = live.current_worker_id()
+            if worker is not None:
+                annotations.setdefault("worker", worker)
             self.access_log.log(
                 access_record(
                     request_id=live.current_request_id() or "-",
@@ -200,7 +264,29 @@ class ServiceApp:
                     **annotations,
                 )
             )
-        return status, body, content_type
+
+    def _accounted_stream(
+        self,
+        request: Request,
+        endpoint: str | None,
+        status: int,
+        started: float,
+        body: StreamBody,
+    ) -> StreamBody:
+        """Wrap a stream so accounting fires when it finishes (or dies)."""
+
+        async def run() -> Any:
+            error_code: str | None = None
+            try:
+                async for chunk in body:
+                    yield chunk
+            except Exception:
+                error_code = "stream_error"
+                raise
+            finally:
+                self._account(request, endpoint, status, started, error_code)
+
+        return StreamBody(run(), content_type=body.content_type)
 
     @staticmethod
     def _endpoint_of(path: str) -> str | None:
@@ -218,7 +304,7 @@ class ServiceApp:
 
     async def _dispatch(
         self, endpoint: str | None, request: Request
-    ) -> tuple[int, bytes, str]:
+    ) -> tuple[int, bytes | StreamBody, str]:
         if endpoint is None or endpoint not in (_POST_ENDPOINTS | _GET_ENDPOINTS):
             raise HttpError(404, "not_found", f"no such endpoint {request.path!r}")
         expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
@@ -257,6 +343,8 @@ class ServiceApp:
             return 200, self._stats_body(), JSON_CONTENT_TYPE
         with tracing.span("service.parse", endpoint=endpoint):
             params = self._parse_params(request.body)
+        if endpoint == "sweep":
+            return 200, self._sweep(params), "application/x-ndjson"
         if endpoint == "simulate":
             status, body = await self._simulate(params)
             return status, body, JSON_CONTENT_TYPE
@@ -292,22 +380,53 @@ class ServiceApp:
 
     # -- the simulation endpoint ------------------------------------------
 
+    @staticmethod
+    def _result_key_of(validated: dict[str, Any]) -> str:
+        """The content-addressed result key for one validated request."""
+        return result_key(
+            simulate_key_material(
+                queries.trace_fingerprint_of(validated["trace"]),
+                queries.cache_config_of(validated),
+                validated["policy"],
+                validated["memory_cycle"],
+                validated["bus_width"],
+                validated["write_buffer_depth"],
+                validated["pipelined_q"],
+                validated["issue_rate"],
+            )
+        )
+
+    def _cache_lookup(self, key: str) -> bytes | None:
+        """Two-tier lookup: memory first, then disk (promoting on hit)."""
+        payload = self.result_cache.get(key)
+        if payload is not None:
+            return payload
+        if self.disk_cache is not None:
+            payload = self.disk_cache.get(key)
+            if payload is not None:
+                self.result_cache.put(key, payload)
+                return payload
+        return None
+
+    def _cache_store(self, key: str, payload: bytes) -> None:
+        """Store a freshly computed result in both cache tiers."""
+        self.result_cache.put(key, payload)
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, payload)
+
+    def _deadline_s_of(self, validated: dict[str, Any]) -> float:
+        deadline_ms = validated["deadline_ms"]
+        return (
+            deadline_ms / 1000.0
+            if deadline_ms is not None
+            else self.default_deadline_s
+        )
+
     async def _simulate(self, params: Any) -> tuple[int, bytes]:
         with tracing.span("service.dispatch", endpoint="simulate"):
             validated = request_schemas.validate_simulate(params)
-            key = result_key(
-                simulate_key_material(
-                    queries.trace_fingerprint_of(validated["trace"]),
-                    queries.cache_config_of(validated),
-                    validated["policy"],
-                    validated["memory_cycle"],
-                    validated["bus_width"],
-                    validated["write_buffer_depth"],
-                    validated["pipelined_q"],
-                    validated["issue_rate"],
-                )
-            )
-            payload = self.result_cache.get(key)
+            key = self._result_key_of(validated)
+            payload = self._cache_lookup(key)
         if payload is not None:
             self.registry.inc("service.result_cache.hits")
             live.annotate(cache="hit")
@@ -316,21 +435,158 @@ class ServiceApp:
                     "simulate", json.loads(payload), cached=True
                 )
         self.registry.inc("service.result_cache.misses")
+        if (
+            self.shed_watermark is not None
+            and self.batcher.queue_depth >= self.shed_watermark
+        ):
+            # Admission control: above the watermark a cache miss is shed
+            # *before* it joins the queue, so queued work keeps meeting
+            # its deadlines instead of everyone timing out together.
+            self.registry.inc("service.admission.shed")
+            raise HttpError(
+                429,
+                "shed",
+                f"queue depth at admission watermark "
+                f"({self.shed_watermark}); retry with backoff",
+            )
         deadline_ms = validated["deadline_ms"]
         live.annotate(cache="miss", batched=True, deadline_ms=deadline_ms)
-        deadline_s = (
-            deadline_ms / 1000.0
-            if deadline_ms is not None
-            else self.default_deadline_s
-        )
         with tracing.span("service.batch_wait", key=key[:12]):
             result = await asyncio.wait_for(
-                self.batcher.submit(validated), timeout=deadline_s
+                self.batcher.submit(validated),
+                timeout=self._deadline_s_of(validated),
             )
         with tracing.span("service.serialize", endpoint="simulate"):
             result_bytes = dump_json(result).encode("utf-8")
-            self.result_cache.put(key, result_bytes)
+            self._cache_store(key, result_bytes)
             return 200, self._success("simulate", result, cached=False)
+
+    # -- the sweep endpoint ------------------------------------------------
+
+    #: Grid points submitted to the batcher at once per sweep stream.
+    #: Bounded so a sweep can never occupy the whole admission queue;
+    #: one chunk also forms one coalescing opportunity for the batcher.
+    SWEEP_CHUNK = 32
+
+    def _sweep(self, params: Any) -> StreamBody:
+        """``POST /v1/sweep``: validate eagerly, then stream the grid.
+
+        Validation happens before the stream head is committed, so a bad
+        request is still an ordinary 400 envelope.  Everything after the
+        first byte of the body is point-level: a point that fails mid-
+        stream becomes an ``error`` line, never a broken connection.
+        """
+        with tracing.span("service.dispatch", endpoint="sweep"):
+            validated = request_schemas.validate_sweep(params)
+            total = request_schemas.sweep_point_count(validated)
+        live.annotate(sweep_points=total)
+        return StreamBody(self._sweep_lines(validated, total))
+
+    async def _sweep_lines(self, validated: dict[str, Any], total: int) -> Any:
+        header = {
+            "schema": SERVICE_SWEEP_SCHEMA,
+            "points": total,
+            "grid": {
+                "caches": len(validated["caches"]),
+                "policies": len(validated["policies"]),
+                "memory_cycles": len(validated["memory_cycles"]),
+            },
+        }
+        yield (dump_json_line(header) + "\n").encode("utf-8")
+        chunk_size = max(1, min(self.SWEEP_CHUNK, self.batcher.max_pending))
+        errors = 0
+        batch: list[tuple[int, dict[str, Any], dict[str, Any]]] = []
+        for item in request_schemas.sweep_grid(validated):
+            batch.append(item)
+            if len(batch) >= chunk_size:
+                lines, failed = await self._sweep_chunk(batch)
+                errors += failed
+                yield lines
+                batch = []
+        if batch:
+            lines, failed = await self._sweep_chunk(batch)
+            errors += failed
+            yield lines
+        summary = {"done": True, "errors": errors, "points": total}
+        yield (dump_json_line(summary) + "\n").encode("utf-8")
+
+    async def _sweep_chunk(
+        self, batch: list[tuple[int, dict[str, Any], dict[str, Any]]]
+    ) -> tuple[bytes, int]:
+        """Resolve one bounded chunk of grid points; returns (lines, errors).
+
+        Cache hits resolve synchronously; the misses are submitted to
+        the micro-batcher *together* so shared (trace, geometry) keys in
+        the chunk coalesce into shared phase-1 work, exactly as
+        concurrent ``/v1/simulate`` requests would.
+        """
+        resolved: list[tuple[int, dict[str, Any], Any, bool]] = []
+        pending: list[tuple[int, dict[str, Any], str, dict[str, Any]]] = []
+        for index, point, params in batch:
+            key = self._result_key_of(params)
+            payload = self._cache_lookup(key)
+            if payload is not None:
+                self.registry.inc("service.result_cache.hits")
+                resolved.append((index, point, json.loads(payload), True))
+            else:
+                self.registry.inc("service.result_cache.misses")
+                pending.append((index, point, key, params))
+        if pending:
+            with tracing.span("service.batch_wait", points=len(pending)):
+                outcomes = await asyncio.gather(
+                    *(
+                        asyncio.wait_for(
+                            self.batcher.submit(params),
+                            timeout=self._deadline_s_of(params),
+                        )
+                        for _, _, _, params in pending
+                    ),
+                    return_exceptions=True,
+                )
+            for (index, point, key, _params), outcome in zip(pending, outcomes):
+                if isinstance(outcome, BaseException):
+                    resolved.append((index, point, outcome, False))
+                else:
+                    self._cache_store(
+                        key, dump_json(outcome).encode("utf-8")
+                    )
+                    resolved.append((index, point, outcome, False))
+        lines: list[str] = []
+        failed = 0
+        for index, point, outcome, cached in sorted(resolved):
+            if isinstance(outcome, BaseException):
+                failed += 1
+                status, code = self._classify_point_error(outcome)
+                record: dict[str, Any] = {
+                    "error": {
+                        "code": code,
+                        "message": str(outcome) or type(outcome).__name__,
+                        "status": status,
+                    },
+                    "index": index,
+                    "point": point,
+                }
+                self.registry.inc("service.sweep.errors")
+            else:
+                record = {
+                    "cached": cached,
+                    "index": index,
+                    "point": point,
+                    "result": outcome,
+                }
+            self.registry.inc("service.sweep.points")
+            lines.append(dump_json_line(record) + "\n")
+        return "".join(lines).encode("utf-8"), failed
+
+    @staticmethod
+    def _classify_point_error(error: BaseException) -> tuple[int, str]:
+        if isinstance(error, QueueFullError):
+            return 429, "backpressure"
+        if isinstance(error, asyncio.TimeoutError):
+            return 504, "deadline_exceeded"
+        if isinstance(error, queries.InvalidQuery):
+            return 400, "invalid_params"
+        return 500, "internal_error"
 
     # -- live observability -------------------------------------------------
 
@@ -346,6 +602,11 @@ class ServiceApp:
                 self.result_cache.capacity_bytes
             ),
         }
+        if self.disk_cache is not None:
+            gauges["service.disk_cache.entries"] = float(len(self.disk_cache))
+            gauges["service.disk_cache.bytes"] = float(
+                self.disk_cache.size_bytes
+            )
         window_summary = (
             self.window.summary() if self.window is not None else None
         )
@@ -481,4 +742,9 @@ class ServiceApp:
             },
             "latency": latency,
         }
+        if self.disk_cache is not None:
+            stats["disk_cache"] = self.disk_cache.stats()
+        worker = live.current_worker_id()
+        if worker is not None:
+            stats["worker"] = worker
         return dump_json(stats).encode("utf-8")

@@ -14,15 +14,25 @@ latency so the two views can be compared.  The server's
 ``X-Repro-Request-Id`` echo is captured per call as
 :attr:`ServiceClient.last_request_id`, and callers can pin their own id
 by passing ``request_id=`` to :meth:`ServiceClient.request`.
+
+Busy-server backoff is **opt-in**: constructed with ``busy_retries=N``,
+a client answers 429 (backpressure/shed) and 503 (draining) with capped
+exponential backoff and deterministic jitter — the jitter stream is
+seeded (``backoff_seed``), so a retry schedule is reproducible run to
+run.  The default stays ``busy_retries=0`` because immediate 429s are
+themselves part of the service's contract (the robustness suite pins
+that a full queue answers *without* delay).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from collections import deque
+from collections.abc import Iterator
 from typing import Any
 
 from repro.obs.live import REQUEST_ID_HEADER
@@ -30,6 +40,35 @@ from repro.obs.metrics import percentile
 
 #: Client-side latency samples retained for the stats percentiles.
 CLIENT_LATENCY_WINDOW = 4096
+
+#: Statuses that mean "healthy but refusing new work right now" — the
+#: only ones the opt-in backoff loop retries.
+BUSY_STATUSES = frozenset({429, 503})
+
+#: Default first-retry delay for the opt-in backoff loop.
+DEFAULT_BACKOFF_BASE_S = 0.05
+
+#: Default ceiling on any single backoff sleep.
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+def backoff_delays(
+    base_s: float, cap_s: float, seed: int
+) -> Iterator[float]:
+    """The capped-exponential, deterministically jittered delay stream.
+
+    Attempt *k* sleeps ``min(cap, base * 2**k) * u`` where ``u`` is
+    drawn uniformly from [0.5, 1.0) by a :class:`random.Random` seeded
+    with ``seed`` — "equal jitter"-style: never more than the cap,
+    never less than half the nominal delay, and the exact sequence is
+    reproducible from the seed.
+    """
+    rng = random.Random(seed)
+    attempt = 0
+    while True:
+        nominal = min(cap_s, base_s * (2.0**attempt))
+        yield nominal * rng.uniform(0.5, 1.0)
+        attempt += 1
 
 
 class ServiceError(Exception):
@@ -49,6 +88,8 @@ class ClientStats:
         self.calls = 0
         self.retries = 0
         self.errors = 0
+        self.backoffs = 0
+        self.backoff_wait_s = 0.0
         self._latency_ms: deque[float] = deque(maxlen=CLIENT_LATENCY_WINDOW)
 
     def record(self, latency_ms: float, error: bool) -> None:
@@ -73,6 +114,8 @@ class ClientStats:
             "calls": self.calls,
             "retries": self.retries,
             "errors": self.errors,
+            "backoffs": self.backoffs,
+            "backoff_wait_s": round(self.backoff_wait_s, 6),
             "latency_ms": {
                 "p50": round(percentile(values, 50.0), 3) if values else 0.0,
                 "p99": round(percentile(values, 99.0), 3) if values else 0.0,
@@ -83,13 +126,27 @@ class ClientStats:
 class ServiceClient:
     """One keep-alive connection to a running service."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        busy_retries: int = 0,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        backoff_seed: int = 0,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.busy_retries = busy_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.backoff_seed = backoff_seed
         self.stats = ClientStats()
         self.last_request_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
+        self._sleep = time.sleep  # swappable in tests
 
     # -- plumbing ---------------------------------------------------------
 
@@ -139,6 +196,41 @@ class ServiceClient:
         return response, payload
 
     def request(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, Any] | None = None,
+        request_id: str | None = None,
+    ) -> dict[str, Any]:
+        """One logical call; returns the decoded response envelope.
+
+        With ``busy_retries > 0``, a 429/503 answer is retried up to
+        that many times with capped-exponential, seeded-jitter backoff
+        (see :func:`backoff_delays`); every other failure — and the
+        default configuration — surfaces immediately.
+        """
+        if self.busy_retries <= 0:
+            return self._request_once(method, path, params, request_id)
+        delays = backoff_delays(
+            self.backoff_base_s, self.backoff_cap_s, self.backoff_seed
+        )
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(method, path, params, request_id)
+            except ServiceError as error:
+                if (
+                    error.status not in BUSY_STATUSES
+                    or attempts >= self.busy_retries
+                ):
+                    raise
+                delay = next(delays)
+                self.stats.backoffs += 1
+                self.stats.backoff_wait_s += delay
+                self._sleep(delay)
+                attempts += 1
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -268,3 +360,58 @@ class ServiceClient:
     def simulate(self, **params: Any) -> dict[str, Any]:
         """The full simulate envelope (``result`` plus ``cached``)."""
         return self.request("POST", "/v1/simulate", params)
+
+    def sweep(self, **params: Any) -> Iterator[dict[str, Any]]:
+        """Stream ``POST /v1/sweep``: yields decoded JSONL records.
+
+        The first record is the stream header
+        (``repro.service.sweep/1``), then one record per grid point as
+        the server (or the fleet's shards) completes it, then the
+        ``{"done": true}`` summary.  A missing summary means the stream
+        was truncated.  Runs on a dedicated connection — the server
+        closes streaming connections when done — so the client's
+        keep-alive connection stays usable for other calls.  Lazily
+        evaluated: the request is sent, and any non-200 raised, at the
+        first ``next()``.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        started = time.perf_counter()
+        error = True
+        try:
+            conn.request(
+                "POST",
+                "/v1/sweep",
+                body=json.dumps({"params": params}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            self.last_request_id = response.getheader(REQUEST_ID_HEADER)
+            if response.status != 200:
+                envelope_error = {}
+                try:
+                    envelope_error = json.loads(response.read()).get("error", {})
+                except (ValueError, http.client.HTTPException):
+                    pass
+                raise ServiceError(
+                    response.status,
+                    envelope_error.get("code", "unknown"),
+                    envelope_error.get("message", "sweep request failed"),
+                )
+            while True:
+                # http.client decodes the chunked framing; each read
+                # returns payload bytes, and the service frames one JSON
+                # record per line.
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+            error = False
+        finally:
+            conn.close()
+            self.stats.record(
+                (time.perf_counter() - started) * 1000.0, error=error
+            )

@@ -4,7 +4,13 @@ The reproduction environment is stdlib-only, so the service speaks a
 deliberately small slice of HTTP/1.1 directly over asyncio streams:
 
 * request line + headers + optional ``Content-Length`` body (no chunked
-  transfer encoding, no trailers, no upgrades);
+  *request* bodies, no trailers, no upgrades);
+* chunked *response* bodies for the streaming endpoints
+  (:func:`render_stream_head` / :func:`encode_chunk` on the sending
+  side, :func:`read_chunk` on the router's fan-in side);
+* client-side response parsing (:func:`render_request` /
+  :func:`read_response`) for the fleet router's persistent worker
+  connections;
 * persistent connections by default (``Connection: close`` honoured in
   both directions);
 * hard limits on header-block and body size, enforced *before* any
@@ -41,6 +47,7 @@ _REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -144,6 +151,186 @@ async def read_request(
             "chunked transfer encoding is not supported",
         )
     return Request(method=method, path=path, headers=headers, body=body)
+
+
+@dataclass
+class Response:
+    """One parsed HTTP response (the router's view of a worker answer)."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the server kept the connection open."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    @property
+    def chunked(self) -> bool:
+        return "chunked" in self.headers.get("transfer-encoding", "").lower()
+
+
+async def read_response_head(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+) -> Response:
+    """Read one response's status line + headers (body not consumed).
+
+    Used by the fleet router on its worker-side connections.  Raises
+    ``ConnectionError``/``asyncio.IncompleteReadError`` when the worker
+    vanished, :class:`HttpError` (502-flavoured) on garbage.
+    """
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise ConnectionError("worker closed the connection") from None
+        raise
+    except asyncio.LimitOverrunError:
+        raise HttpError(
+            502, "bad_upstream", "worker response header block too large"
+        ) from None
+    if len(blob) > max_header_bytes:
+        raise HttpError(
+            502, "bad_upstream", "worker response header block too large"
+        )
+    head, _, _ = blob.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(
+            502, "bad_upstream", f"malformed status line {lines[0]!r}"
+        )
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(
+            502, "bad_upstream", f"malformed status line {lines[0]!r}"
+        ) from None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(502, "bad_upstream", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return Response(status=status, headers=headers)
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Response:
+    """Read one complete non-chunked response off the stream.
+
+    The router's request/response path: every ordinary worker answer
+    carries ``Content-Length``.  Chunked upstream bodies (a worker's
+    ``/v1/sweep``) are consumed incrementally via
+    :func:`read_chunk` instead.
+    """
+    response = await read_response_head(reader, max_header_bytes)
+    if response.chunked:
+        raise HttpError(
+            502, "bad_upstream", "unexpected chunked response body"
+        )
+    length_text = response.headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(
+            502, "bad_upstream", f"bad Content-Length {length_text!r}"
+        ) from None
+    if length < 0 or length > max_body_bytes:
+        raise HttpError(
+            502, "bad_upstream", f"unacceptable Content-Length {length}"
+        )
+    if length:
+        response.body = await reader.readexactly(length)
+    return response
+
+
+async def read_chunk(reader: asyncio.StreamReader) -> bytes:
+    """One chunk of a chunked response body; ``b""`` on the last chunk.
+
+    The caller loops until the empty chunk, after which trailers (none
+    are sent by this service) and the final CRLF are consumed.
+    """
+    size_line = await reader.readuntil(b"\r\n")
+    try:
+        size = int(size_line.strip().split(b";")[0], 16)
+    except ValueError:
+        raise HttpError(
+            502, "bad_upstream", f"bad chunk size line {size_line!r}"
+        ) from None
+    if size == 0:
+        await reader.readuntil(b"\r\n")  # the terminating CRLF
+        return b""
+    data = await reader.readexactly(size)
+    await reader.readexactly(2)  # chunk-trailing CRLF
+    return data
+
+
+def render_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+    host: str = "",
+) -> bytes:
+    """Serialize one HTTP/1.1 request (the router's worker-side egress)."""
+    extra = ""
+    for name, value in (headers or {}).items():
+        clean = str(value).replace("\r", "").replace("\n", "")
+        extra += f"{name}: {clean}\r\n"
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host or 'fleet'}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def render_stream_head(
+    status: int,
+    content_type: str = "application/x-ndjson",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Headers opening a chunked (streaming) response.
+
+    Streaming responses always close the connection when done — the
+    sweep endpoint trades keep-alive for not having to promise a length.
+    """
+    reason = _REASONS.get(status, "Unknown")
+    extra = ""
+    for name, value in (extra_headers or {}).items():
+        clean = str(value).replace("\r", "").replace("\n", "")
+        extra += f"{name}: {clean}\r\n"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        f"{extra}"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """Frame one non-empty chunk of a chunked body."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    """The terminal zero-length chunk ending a chunked body."""
+    return b"0\r\n\r\n"
 
 
 def render_response(

@@ -24,11 +24,15 @@ __all__ = [
     "SchemaError",
     "MAX_INSTRUCTIONS",
     "MAX_MATMUL_N",
+    "MAX_SWEEP_POINTS",
     "validate_execution_time",
     "validate_tradeoff",
     "validate_ranking",
     "validate_advise",
     "validate_simulate",
+    "validate_sweep",
+    "sweep_grid",
+    "sweep_point_count",
 ]
 
 #: Largest trace a single simulate request may ask for.
@@ -36,6 +40,10 @@ MAX_INSTRUCTIONS = 500_000
 
 #: Largest square-matmul dimension a single simulate request may ask for.
 MAX_MATMUL_N = 96
+
+#: Largest grid one ``/v1/sweep`` request may expand to.  The stream
+#: never buffers the grid, so this bounds *work*, not memory.
+MAX_SWEEP_POINTS = 1_000_000
 
 #: The analytic feature names accepted by ``/v1/tradeoff``.
 FEATURES = ("doubling-bus", "write-buffers", "pipelined-memory", "partial-stalling")
@@ -431,3 +439,137 @@ def validate_simulate(params: Any) -> dict[str, Any]:
         f"must be a multiple of bus_width ({out['bus_width']})",
     )
     return out
+
+
+def validate_sweep(params: Any) -> dict[str, Any]:
+    """``/v1/sweep``: a (geometry x policy x beta_m) grid over one trace.
+
+    The grid is the cross product ``caches x policies x memory_cycles``
+    — exactly the empirical-grid shape the paper's methodology is swept
+    with (Figures 3-5 ask the same question at many betas; the related
+    split-cache studies sweep geometry).  Grid *enumeration* is
+    deterministic and cache-major (see :func:`sweep_grid`), which is
+    what lets the fleet router shard a sweep by geometry and re-merge
+    the stream (``docs/SERVICE.md``, "Fleet mode").
+    """
+    params = _object(params, "$.params")
+    _reject_unknown(
+        params,
+        {
+            "trace",
+            "caches",
+            "policies",
+            "memory_cycles",
+            "bus_width",
+            "write_buffer_depth",
+            "pipelined_q",
+            "issue_rate",
+            "deadline_ms",
+        },
+        "$.params",
+    )
+    out: dict[str, Any] = {
+        "trace": _validate_trace(params.get("trace", {"kind": "spec92"})),
+        "bus_width": _integer(params, "bus_width", "$.params", default=4, minimum=1),
+        "write_buffer_depth": _integer(
+            params, "write_buffer_depth", "$.params", minimum=0
+        ),
+        "pipelined_q": _number(params, "pipelined_q", "$.params", minimum=1.0),
+        "issue_rate": _number(
+            params, "issue_rate", "$.params", default=1.0, minimum=1.0
+        ),
+        "deadline_ms": _number(params, "deadline_ms", "$.params", minimum=1.0),
+    }
+
+    caches = params.get("caches", [{}])
+    require(
+        isinstance(caches, list) and caches and len(caches) <= 64,
+        "$.params.caches",
+        "must be a non-empty list of at most 64 cache specs",
+    )
+    out["caches"] = [_validate_cache(spec) for spec in caches]
+    for i, cache in enumerate(out["caches"]):
+        require(
+            cache["line_size"] % out["bus_width"] == 0,
+            f"$.params.caches[{i}].line_size",
+            f"must be a multiple of bus_width ({out['bus_width']})",
+        )
+
+    policies = params.get("policies", ["FS"])
+    require(
+        isinstance(policies, list) and policies,
+        "$.params.policies",
+        "must be a non-empty list of stall policies",
+    )
+    for i, policy in enumerate(policies):
+        require(
+            isinstance(policy, str) and policy in _POLICIES,
+            f"$.params.policies[{i}]",
+            f"must be one of {list(_POLICIES)}",
+        )
+    out["policies"] = list(policies)
+
+    betas = params.get("memory_cycles")
+    require(
+        isinstance(betas, list) and betas,
+        "$.params.memory_cycles",
+        "must be a non-empty list of numbers",
+    )
+    for i, beta in enumerate(betas):
+        require_number(beta, f"$.params.memory_cycles[{i}]")
+        require(beta >= 1.0, f"$.params.memory_cycles[{i}]", "must be >= 1")
+    out["memory_cycles"] = [float(beta) for beta in betas]
+
+    points = len(out["caches"]) * len(out["policies"]) * len(out["memory_cycles"])
+    require(
+        points <= MAX_SWEEP_POINTS,
+        "$.params",
+        f"grid expands to {points} points, more than the "
+        f"{MAX_SWEEP_POINTS}-point limit",
+    )
+    return out
+
+
+def sweep_point_count(validated: dict[str, Any]) -> int:
+    """How many points a validated sweep expands to."""
+    return (
+        len(validated["caches"])
+        * len(validated["policies"])
+        * len(validated["memory_cycles"])
+    )
+
+
+def sweep_grid(validated: dict[str, Any]):
+    """Lazily expand a validated sweep into ``(index, point, params)``.
+
+    A generator — a million-point grid is never materialized.
+    Enumeration is **cache-major** (geometry outer, then policy, then
+    beta_m): consecutive points share an events-store key, so they
+    coalesce in one worker's micro-batch, and a geometry subset of the
+    grid is itself a valid sub-grid — the property the fleet router's
+    sharding relies on to forward one sub-sweep per worker and rewrite
+    local indices back to global ones.
+    """
+    index = 0
+    for cache_index, cache in enumerate(validated["caches"]):
+        for policy in validated["policies"]:
+            for beta in validated["memory_cycles"]:
+                point = {
+                    "cache_index": cache_index,
+                    "cache": cache,
+                    "policy": policy,
+                    "memory_cycle": beta,
+                }
+                params = {
+                    "trace": validated["trace"],
+                    "cache": cache,
+                    "policy": policy,
+                    "memory_cycle": beta,
+                    "bus_width": validated["bus_width"],
+                    "write_buffer_depth": validated["write_buffer_depth"],
+                    "pipelined_q": validated["pipelined_q"],
+                    "issue_rate": validated["issue_rate"],
+                    "deadline_ms": validated["deadline_ms"],
+                }
+                yield index, point, params
+                index += 1

@@ -36,9 +36,11 @@ from dataclasses import dataclass
 from repro.obs import live, metrics, tracing
 from repro.obs.access_log import AccessLog
 from repro.obs.metrics import MetricsRegistry
+from repro.service import disk_cache as disk_cache_mod
 from repro.service import http11
-from repro.service.app import ServiceApp, error_body
+from repro.service.app import ServiceApp, StreamBody, error_body
 from repro.service.batching import MicroBatcher
+from repro.service.disk_cache import DiskResultCache
 from repro.service.http11 import HttpError
 from repro.service.result_cache import ResultCache
 
@@ -62,6 +64,19 @@ class ServerConfig:
     sli_window_s: float = 60.0
     sli_bucket_s: float = 1.0
     profile_max_seconds: float = 10.0  # /v1/debug/profile window cap
+    # Idle keep-alive connections are closed after this many seconds
+    # without a request (None = never).
+    keepalive_timeout_s: float | None = 75.0
+    # Admission control: cache-miss simulate work is shed with 429 once
+    # the batch queue is at least this deep (None = disabled).
+    shed_watermark: int | None = None
+    # Fleet identity: stamped into spans, access-log records, and
+    # /v1/stats when set (workers get w0..wN-1 from the router).
+    worker_id: str | None = None
+    # Disk-backed result cache: off unless a directory is configured
+    # (or REPRO_RESULT_CACHE_DIR overrides one in).
+    disk_cache_dir: str | None = None
+    disk_cache_bytes: int = disk_cache_mod.DEFAULT_CAPACITY_BYTES
 
 
 class ReproServer:
@@ -76,6 +91,7 @@ class ReproServer:
         self.app: ServiceApp | None = None
         self.batcher: MicroBatcher | None = None
         self.result_cache: ResultCache | None = None
+        self.disk_cache: DiskResultCache | None = None
         self._server: asyncio.base_events.Server | None = None
         self._port: int | None = None
         self.window: live.RollingWindow | None = None
@@ -102,7 +118,17 @@ class ReproServer:
             or metrics.current_metrics()
             or metrics.enable_metrics()
         )
+        if self.config.worker_id is not None:
+            live.set_worker_id(self.config.worker_id)
         self.result_cache = ResultCache(self.config.result_cache_bytes)
+        if (
+            self.config.disk_cache_dir is not None
+            and disk_cache_mod.cache_enabled()
+        ):
+            self.disk_cache = DiskResultCache(
+                disk_cache_mod.resolve_cache_dir(self.config.disk_cache_dir),
+                capacity_bytes=self.config.disk_cache_bytes,
+            )
         self.batcher = MicroBatcher(
             self.registry,
             max_pending=self.config.queue_limit,
@@ -123,17 +149,7 @@ class ReproServer:
         )
         if self.config.access_log_path:
             self.access_log = AccessLog(self.config.access_log_path)
-        self.app = ServiceApp(
-            self.registry,
-            self.batcher,
-            self.result_cache,
-            default_deadline_s=self.config.default_deadline_s,
-            window=self.window,
-            access_log=self.access_log,
-            tracer=tracing.current_tracer(),
-            is_ready=lambda: not self._draining,
-            profile_max_seconds=self.config.profile_max_seconds,
-        )
+        self.app = self._make_app()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
@@ -143,6 +159,27 @@ class ReproServer:
             limit=self.config.max_header_bytes,
         )
         self._port = self._server.sockets[0].getsockname()[1]
+
+    def _make_app(self) -> ServiceApp:
+        """Build the request-handling app; the fleet router overrides
+        this to swap in its sharding/forwarding app on the same server
+        skeleton (see :mod:`repro.service.router`)."""
+        assert self.registry is not None
+        assert self.batcher is not None
+        assert self.result_cache is not None
+        return ServiceApp(
+            self.registry,
+            self.batcher,
+            self.result_cache,
+            default_deadline_s=self.config.default_deadline_s,
+            window=self.window,
+            access_log=self.access_log,
+            tracer=tracing.current_tracer(),
+            is_ready=lambda: not self._draining,
+            profile_max_seconds=self.config.profile_max_seconds,
+            disk_cache=self.disk_cache,
+            shed_watermark=self.config.shed_watermark,
+        )
 
     def begin_shutdown(self) -> None:
         """Request a drain (signal handlers, tests); returns immediately."""
@@ -186,8 +223,22 @@ class ReproServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._writers.add(writer)
+        loop = asyncio.get_running_loop()
+        keepalive = self.config.keepalive_timeout_s
         try:
             while True:
+                # Idle keep-alive: a plain timer handle, not wait_for —
+                # arming and cancelling it is a heap operation, so the
+                # warm hot path never pays for a wrapper task.  When it
+                # fires, close() sends a FIN and the pending read lands
+                # on the clean-EOF path below.  A client mid-request is
+                # unaffected — the timer spans the wait for the *next*
+                # request and is disarmed as soon as one is read.
+                idle_timer = (
+                    loop.call_later(keepalive, writer.close)
+                    if keepalive is not None
+                    else None
+                )
                 try:
                     request = await http11.read_request(
                         reader,
@@ -203,8 +254,11 @@ class ReproServer:
                     return
                 except (ConnectionError, asyncio.IncompleteReadError):
                     return  # client vanished mid-request
+                finally:
+                    if idle_timer is not None:
+                        idle_timer.cancel()
                 if request is None:
-                    return  # clean close between requests
+                    return  # clean close (client EOF or idle expiry)
                 request_id = live.request_id_from_header(
                     request.headers.get("x-repro-request-id")
                 )
@@ -216,6 +270,15 @@ class ReproServer:
                             status, body, content_type = await self.app.handle(
                                 request
                             )
+                            if isinstance(body, StreamBody):
+                                # Streams write inside the request
+                                # context and span so mid-stream work is
+                                # attributed like any other; they always
+                                # close the connection when done.
+                                await self._write_stream(
+                                    writer, status, body, content_type, request_id
+                                )
+                                return
                 finally:
                     self._active_requests -= 1
                 keep_alive = request.keep_alive and not self._draining
@@ -243,6 +306,55 @@ class ReproServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _write_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: StreamBody,
+        content_type: str,
+        request_id: str,
+    ) -> None:
+        """Drain one streaming body as a chunked transfer-encoded response.
+
+        The stream's own accounting wrapper (see
+        :meth:`~repro.service.app.ServiceApp.handle`) fires from the
+        ``finally`` of the underlying generator, so it runs whether the
+        stream completes or the client disconnects mid-way — which is
+        why the generator is closed explicitly here, not left to GC.
+        """
+        writer.write(
+            http11.render_stream_head(
+                status,
+                content_type=content_type,
+                extra_headers={live.REQUEST_ID_HEADER: request_id},
+            )
+        )
+        stream = body.__aiter__()
+        try:
+            while True:
+                try:
+                    chunk = await stream.__anext__()
+                except StopAsyncIteration:
+                    break
+                writer.write(http11.encode_chunk(chunk))
+                await writer.drain()
+            writer.write(http11.last_chunk())
+            await writer.drain()
+        except ConnectionError:
+            pass  # client went away mid-stream
+        except Exception:  # noqa: BLE001 - truncation is the error signal
+            # A generator failure after the head is committed cannot
+            # become an error envelope; the missing summary line tells
+            # the client the stream is truncated.
+            pass
+        finally:
+            aclose = getattr(stream, "aclose", None)
+            if aclose is not None:
+                try:
+                    await aclose()
+                except Exception:  # noqa: BLE001 - closing is best-effort
+                    pass
 
 
 def run_server(config: ServerConfig | None = None) -> None:

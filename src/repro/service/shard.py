@@ -1,0 +1,129 @@
+"""Consistent-hash ring sharding events-store keys across fleet workers.
+
+The fleet router (:mod:`repro.service.router`) must send every
+``/v1/simulate`` request for the same *(trace, geometry)* events-store
+key to the same worker process, or micro-batch coalescing and the
+reuse-profile memo stop winning (``docs/SERVICE.md``).  A plain
+``hash(key) % N`` would do that — until a worker dies or the fleet is
+resized, at which point *every* key moves and every worker's memo goes
+cold at once.
+
+:class:`HashRing` is the classic fix: each worker owns
+:data:`DEFAULT_REPLICAS` pseudo-random points on a 2^64 ring (the
+truncated SHA-256 of ``"<node>#<i>"``), and a key belongs to the first
+worker point clockwise of the key's own hash.  Properties (pinned by
+``tests/property/test_property_shard.py``):
+
+* **deterministic** — ownership is a pure function of the node set, so
+  every router instance, restart, and test agrees;
+* **stable slots** — workers are named by slot (``w0``..``wN-1``), so a
+  *restarted* worker re-owns exactly its predecessor's range;
+* **bounded movement** — adding a node only moves keys *to* it
+  (expected ``K/N`` of them); removing a node only moves *its* keys,
+  which scatter over the survivors.  No key ever moves between two
+  surviving nodes;
+* **full coverage** — every key has exactly one owner while the ring is
+  non-empty.
+
+Everything is stdlib (``hashlib`` + ``bisect``); ownership lookup is
+O(log(nodes * replicas)).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+#: Virtual points per node.  More points smooth the load split between
+#: nodes (the share a node owns concentrates around 1/N); 64 keeps the
+#: worst-case imbalance low single-digit percent for small fleets while
+#: the ring stays a few hundred entries.
+DEFAULT_REPLICAS = 64
+
+
+def ring_hash(value: str) -> int:
+    """Position of ``value`` on the 2^64 ring (truncated SHA-256)."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual points."""
+
+    def __init__(
+        self, nodes: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        # Sorted (point, node) pairs; the node tie-break makes ownership
+        # deterministic even on a (vanishingly unlikely) hash collision.
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """The current node set."""
+        return frozenset(self._nodes)
+
+    def _node_points(self, node: str) -> list[tuple[int, str]]:
+        return [
+            (ring_hash(f"{node}#{index}"), node)
+            for index in range(self.replicas)
+        ]
+
+    def add(self, node: str) -> None:
+        """Add a node (idempotent)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        """Remove a node (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        gone = set(self._node_points(node))
+        self._points = [point for point in self._points if point not in gone]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (raises on an empty ring)."""
+        if not self._points:
+            raise ValueError("cannot shard over an empty ring")
+        position = ring_hash(key)
+        # First ring point at or clockwise of the key, wrapping at 2^64.
+        index = bisect.bisect_left(self._points, (position, ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """Keys-per-node histogram (diagnostics and tests)."""
+        counts = {node: 0 for node in sorted(self._nodes)}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+
+def worker_names(n: int) -> list[str]:
+    """The stable slot names a fleet of ``n`` workers shards over.
+
+    Slot identity — not pid, not port — is what a respawned worker
+    inherits, so a restart re-owns the dead worker's range unchanged.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one worker, got {n}")
+    return [f"w{slot}" for slot in range(n)]

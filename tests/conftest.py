@@ -9,6 +9,7 @@ import pytest
 from repro.cache.cache import CacheConfig
 from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
 from repro.core.params import SystemConfig
+from repro.service.disk_cache import RESULT_CACHE_DIR_ENV
 from repro.trace.record import ALU_OP, Instruction, OpKind
 
 
@@ -28,6 +29,25 @@ def _isolated_events_cache(tmp_path_factory):
         os.environ.pop(EVENTS_CACHE_DIR_ENV, None)
     else:
         os.environ[EVENTS_CACHE_DIR_ENV] = previous
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the disk-backed result cache at a per-session temp dir.
+
+    The cache is off unless a server configures a directory, but the
+    env override wins over any configured path — redirecting it keeps a
+    test server with ``disk_cache_dir`` set (and worker subprocesses,
+    which inherit the environment) out of the user's real cache.
+    """
+    directory = tmp_path_factory.mktemp("result-cache")
+    previous = os.environ.get(RESULT_CACHE_DIR_ENV)
+    os.environ[RESULT_CACHE_DIR_ENV] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop(RESULT_CACHE_DIR_ENV, None)
+    else:
+        os.environ[RESULT_CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture

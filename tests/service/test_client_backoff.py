@@ -1,0 +1,136 @@
+"""The client's opt-in busy-server backoff: determinism and policy."""
+
+import itertools
+
+import pytest
+
+from repro.service.client import (
+    DEFAULT_BACKOFF_BASE_S,
+    DEFAULT_BACKOFF_CAP_S,
+    ServiceClient,
+    ServiceError,
+    backoff_delays,
+)
+
+
+def take(n, iterator):
+    return list(itertools.islice(iterator, n))
+
+
+class TestDelayStream:
+    def test_same_seed_same_schedule(self):
+        a = take(8, backoff_delays(0.05, 2.0, seed=42))
+        b = take(8, backoff_delays(0.05, 2.0, seed=42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = take(8, backoff_delays(0.05, 2.0, seed=1))
+        b = take(8, backoff_delays(0.05, 2.0, seed=2))
+        assert a != b
+
+    def test_capped_exponential_with_equal_jitter(self):
+        delays = take(12, backoff_delays(0.05, 2.0, seed=7))
+        for attempt, delay in enumerate(delays):
+            nominal = min(2.0, 0.05 * 2.0**attempt)
+            assert nominal / 2.0 <= delay <= nominal
+        # The tail is capped: every late delay fits under the cap.
+        assert all(d <= 2.0 for d in delays[-4:])
+
+    def test_delays_grow_until_the_cap(self):
+        delays = take(10, backoff_delays(0.05, 2.0, seed=3))
+        nominals = [min(2.0, 0.05 * 2.0**k) for k in range(10)]
+        assert nominals == sorted(nominals)
+        assert max(delays) <= 2.0
+
+
+def busy_error(status=429, code="backpressure"):
+    return ServiceError(status, code, "busy")
+
+
+class FlakyOnce:
+    """Stub transport: fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, error=None):
+        self.remaining = failures
+        self.calls = 0
+        self.error = error or busy_error()
+
+    def __call__(self, method, path, params=None, request_id=None):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error
+        return {"result": "ok"}
+
+
+def make_client(**kwargs) -> tuple[ServiceClient, list]:
+    client = ServiceClient("127.0.0.1", 1, **kwargs)
+    slept: list[float] = []
+    client._sleep = slept.append
+    return client, slept
+
+
+class TestRetryLoop:
+    def test_default_is_no_retry(self):
+        client, slept = make_client()
+        client._request_once = FlakyOnce(1)
+        with pytest.raises(ServiceError):
+            client.request("POST", "/v1/simulate", {})
+        assert slept == []
+        assert client.stats.backoffs == 0
+
+    def test_retries_busy_then_succeeds(self):
+        client, slept = make_client(busy_retries=3, backoff_seed=42)
+        client._request_once = FlakyOnce(2)
+        assert client.request("POST", "/v1/simulate", {}) == {"result": "ok"}
+        assert client.stats.backoffs == 2
+        assert client.stats.backoff_wait_s == pytest.approx(sum(slept))
+        # The sleeps are the seeded schedule, reproducible run to run.
+        assert slept == take(2, backoff_delays(
+            DEFAULT_BACKOFF_BASE_S, DEFAULT_BACKOFF_CAP_S, seed=42
+        ))
+
+    def test_gives_up_after_the_retry_budget(self):
+        client, slept = make_client(busy_retries=2)
+        stub = FlakyOnce(10)
+        client._request_once = stub
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/simulate", {})
+        assert excinfo.value.status == 429
+        assert stub.calls == 3  # the original try plus two retries
+        assert len(slept) == 2
+
+    def test_retries_503_draining(self):
+        client, slept = make_client(busy_retries=1)
+        client._request_once = FlakyOnce(1, busy_error(503, "draining"))
+        assert client.request("GET", "/readyz") == {"result": "ok"}
+        assert len(slept) == 1
+
+    def test_never_retries_client_errors(self):
+        client, slept = make_client(busy_retries=5)
+        stub = FlakyOnce(1, busy_error(400, "invalid_params"))
+        client._request_once = stub
+        with pytest.raises(ServiceError):
+            client.request("POST", "/v1/simulate", {})
+        assert stub.calls == 1
+        assert slept == []
+
+    def test_fresh_schedule_per_logical_request(self):
+        """Each request() restarts the seeded delay stream, so two calls
+        with the same seed observe the same schedule."""
+        client, slept = make_client(busy_retries=2, backoff_seed=9)
+        client._request_once = FlakyOnce(2)
+        client.request("POST", "/v1/simulate", {})
+        first = list(slept)
+        slept.clear()
+        client._request_once = FlakyOnce(2)
+        client.request("POST", "/v1/simulate", {})
+        assert slept == first
+
+    def test_summary_surfaces_backoff_stats(self):
+        client, _ = make_client(busy_retries=1)
+        client._request_once = FlakyOnce(1)
+        client.request("POST", "/v1/simulate", {})
+        summary = client.stats.summary()
+        assert summary["backoffs"] == 1
+        assert summary["backoff_wait_s"] > 0.0

@@ -1,0 +1,244 @@
+"""The sharded fleet over real processes: identity, restart, merging.
+
+One module-scoped 2-worker fleet serves most tests (worker spawn is the
+expensive part); the restart test deliberately SIGKILLs a worker and
+runs last-ish but is order-independent — the supervisor restores the
+slot either way.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.stalling import StallPolicy
+from repro.cpu.replay import simulate
+from repro.memory.mainmem import MainMemory
+from repro.obs.schemas import validate_sweep_stream
+from repro.service import (
+    FleetConfig,
+    FleetThread,
+    ServerConfig,
+    ServerThread,
+    ServiceClient,
+)
+from repro.service.queries import timing_result_dict
+from repro.trace.spec92 import spec92_trace
+from repro.util.jsonout import dump_json
+
+TRACE = {"kind": "spec92", "name": "ear", "instructions": 2000, "seed": 13}
+CACHES = [
+    {"total_bytes": 4096, "line_size": 32, "associativity": 1},
+    {"total_bytes": 8192, "line_size": 32, "associativity": 2},
+    {"total_bytes": 16384, "line_size": 32, "associativity": 2},
+]
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    config = FleetConfig(
+        base=ServerConfig(batch_window_s=0.001), workers=2
+    )
+    with FleetThread(config) as handle:
+        client = ServiceClient("127.0.0.1", handle.port)
+        client.wait_ready(timeout=30.0)
+        yield handle, client
+        client.close()
+
+
+class TestForwarding:
+    def test_result_byte_identical_to_direct_simulate(self, fleet):
+        """The acceptance pin: a fleet-served result is byte-for-byte
+        the single-engine serialization, whichever worker computed it."""
+        _, client = fleet
+        for cache in CACHES:
+            envelope = client.simulate(
+                trace=TRACE, cache=cache, policy="FS", memory_cycle=8.0
+            )
+            direct = simulate(
+                spec92_trace("ear", 2000, seed=13),
+                CacheConfig(
+                    cache["total_bytes"],
+                    cache["line_size"],
+                    cache["associativity"],
+                ),
+                MainMemory(8.0, 4),
+                policy=StallPolicy.FULL_STALL,
+            )
+            expected = dump_json(timing_result_dict(direct, "replay")).encode()
+            assert dump_json(envelope["result"]).encode() == expected
+
+    def test_repeat_hits_the_owning_workers_cache(self, fleet):
+        _, client = fleet
+        params = dict(trace=TRACE, policy="BNL3", memory_cycle=16.0)
+        cold = client.simulate(**params)
+        warm = client.simulate(**params)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert dump_json(cold["result"]) == dump_json(warm["result"])
+
+    def test_error_envelopes_relay_verbatim(self, fleet):
+        """A worker's structured error passes through the router
+        unchanged (here: a deadline the worker cannot meet)."""
+        from repro.service import ServiceError
+
+        _, client = fleet
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate(trace={"kind": "matmul", "n": 48}, deadline_ms=1.0)
+        assert excinfo.value.status == 504
+        assert excinfo.value.code == "deadline_exceeded"
+
+
+class TestShardedSweep:
+    def test_sweep_multiplexes_shards_into_one_valid_stream(self, fleet):
+        _, client = fleet
+        records = list(
+            client.sweep(
+                trace=TRACE,
+                caches=CACHES,
+                policies=["FS", "BNL3"],
+                memory_cycles=[8.0, 16.0],
+            )
+        )
+        validate_sweep_stream(records)
+        assert records[0]["points"] == 12
+        assert records[-1] == {"done": True, "errors": 0, "points": 12}
+        by_index = {r["index"]: r for r in records[1:-1]}
+        assert sorted(by_index) == list(range(12))
+        # Cross-check a few points against the simulate endpoint.
+        for index in (0, 5, 11):
+            point = by_index[index]["point"]
+            envelope = client.simulate(
+                trace=TRACE,
+                cache=point["cache"],
+                policy=point["policy"],
+                memory_cycle=point["memory_cycle"],
+            )
+            assert dump_json(by_index[index]["result"]) == dump_json(
+                envelope["result"]
+            )
+
+
+class TestMergedObservability:
+    def test_stats_carries_the_fleet_section(self, fleet):
+        _, client = fleet
+        client.simulate(trace=TRACE, memory_cycle=24.0)
+        stats = client.stats_envelope()
+        workers = stats["fleet"]["workers"]
+        assert sorted(workers) == ["w0", "w1"]
+        for info in workers.values():
+            assert info["alive"] is True
+            assert info["reachable"] is True
+            assert isinstance(info["pid"], int)
+        forwarded = stats["fleet"]["forward_latency_ms"]
+        assert forwarded["p99_ms"] >= forwarded["p50_ms"] >= 0.0
+
+    def test_worker_counters_are_labelled_not_summed(self, fleet):
+        _, client = fleet
+        client.simulate(trace=TRACE, memory_cycle=32.0)
+        counters = client.stats_envelope()["counters"]
+        worker_keys = [k for k in counters if "worker=w" in k]
+        assert worker_keys, f"no worker-labelled counters in {list(counters)[:8]}"
+        assert any(k.startswith("service.requests") for k in worker_keys)
+        assert any(
+            k.startswith("service.router.forwarded") for k in counters
+        )
+
+    def test_metrics_exposes_fleet_gauges(self, fleet):
+        _, client = fleet
+        text = client.metrics_text()
+        assert "repro_fleet_workers 2" in text
+        assert "repro_fleet_workers_alive" in text
+
+
+class TestWorkerRestart:
+    def test_killed_worker_is_respawned_into_its_slot(self, fleet):
+        _, client = fleet
+        stats = client.stats_envelope()
+        victim_pid = stats["fleet"]["workers"]["w0"]["pid"]
+        base_restarts = stats["fleet"]["restarts"]
+        os.kill(victim_pid, signal.SIGKILL)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            fleet_stats = client.stats_envelope()["fleet"]
+            w0 = fleet_stats["workers"]["w0"]
+            if (
+                w0["alive"]
+                and w0["pid"] != victim_pid
+                and fleet_stats["restarts"] > base_restarts
+            ):
+                break
+            time.sleep(0.2)
+        else:
+            pytest.fail("worker w0 was not respawned within 30s")
+        # The slot re-owns its range: requests keep working and results
+        # stay byte-identical to the pre-kill serialization.
+        envelope = client.simulate(
+            trace=TRACE, cache=CACHES[0], policy="FS", memory_cycle=8.0
+        )
+        direct = simulate(
+            spec92_trace("ear", 2000, seed=13),
+            CacheConfig(4096, 32, 1),
+            MainMemory(8.0, 4),
+            policy=StallPolicy.FULL_STALL,
+        )
+        assert dump_json(envelope["result"]) == dump_json(
+            timing_result_dict(direct, "replay")
+        )
+
+
+class TestWarmBoot:
+    def test_cold_restart_serves_from_the_disk_cache(
+        self, tmp_path, monkeypatch
+    ):
+        """The disk tier outlives the process: a brand-new server over
+        the same directory answers the very first request cached, with
+        identical result bytes."""
+        from repro.service.disk_cache import RESULT_CACHE_DIR_ENV
+
+        monkeypatch.setenv(RESULT_CACHE_DIR_ENV, str(tmp_path))
+        params = dict(trace=TRACE, policy="BL", memory_cycle=12.0)
+        config = ServerConfig(
+            batch_window_s=0.001, disk_cache_dir=str(tmp_path)
+        )
+        with ServerThread(config) as first:
+            client = ServiceClient("127.0.0.1", first.port)
+            client.wait_ready()
+            cold = client.simulate(**params)
+            assert cold["cached"] is False
+            client.close()
+        with ServerThread(config) as second:
+            client = ServiceClient("127.0.0.1", second.port)
+            client.wait_ready()
+            warm = client.simulate(**params)
+            client.close()
+        assert warm["cached"] is True
+        assert dump_json(warm["result"]) == dump_json(cold["result"])
+
+    def test_kill_switch_forces_recompute(self, tmp_path, monkeypatch):
+        from repro.service.disk_cache import (
+            RESULT_CACHE_DIR_ENV,
+            RESULT_CACHE_ENV,
+        )
+
+        monkeypatch.setenv(RESULT_CACHE_DIR_ENV, str(tmp_path))
+        params = dict(trace=TRACE, policy="FS", memory_cycle=48.0)
+        config = ServerConfig(
+            batch_window_s=0.001, disk_cache_dir=str(tmp_path)
+        )
+        with ServerThread(config) as first:
+            client = ServiceClient("127.0.0.1", first.port)
+            client.wait_ready()
+            cold = client.simulate(**params)
+            client.close()
+        monkeypatch.setenv(RESULT_CACHE_ENV, "0")
+        with ServerThread(config) as second:
+            client = ServiceClient("127.0.0.1", second.port)
+            client.wait_ready()
+            recomputed = client.simulate(**params)
+            client.close()
+        assert recomputed["cached"] is False
+        assert dump_json(recomputed["result"]) == dump_json(cold["result"])

@@ -267,3 +267,108 @@ class TestMalformedInput:
     def test_unsupported_method_on_known_path(self, server):
         status, envelope = raw_request(server.port, b"{}", method="PUT")
         assert status == 405
+
+
+class TestKeepaliveTimeout:
+    def test_idle_connection_closed_after_timeout(self):
+        handle = start_server(keepalive_timeout_s=0.3)
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=10.0
+            )
+            conn.request("GET", "/v1/health")
+            assert conn.getresponse().read()  # first request is served
+            # The server closes the idle connection quietly: the raw
+            # socket reads EOF instead of another response.
+            sock = conn.sock
+            sock.settimeout(5.0)
+            assert sock.recv(64) == b""
+            conn.close()
+            # A fresh connection is served normally.
+            client = ServiceClient("127.0.0.1", handle.port)
+            assert client.health() == {"status": "ok"}
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_active_connection_survives_within_timeout(self):
+        handle = start_server(keepalive_timeout_s=1.0)
+        try:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            for _ in range(3):
+                time.sleep(0.2)  # idle, but under the timeout each time
+                assert client.health() == {"status": "ok"}
+            assert client.stats.retries == 0  # one connection throughout
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_timeout_disabled_with_none(self):
+        handle = start_server(keepalive_timeout_s=None)
+        try:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            time.sleep(0.5)
+            assert client.health() == {"status": "ok"}
+            assert client.stats.retries == 0
+            client.close()
+        finally:
+            handle.stop()
+
+
+class TestAdmissionControl:
+    def test_watermark_sheds_cache_miss_work(self):
+        """At the watermark, a cache-miss simulate is refused *before*
+        joining the queue — 429 with the dedicated "shed" code."""
+        handle = start_server(shed_watermark=0)
+        try:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            with pytest.raises(ServiceError) as excinfo:
+                client.simulate(trace=QUICK_TRACE)
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "shed"
+            # Analytic work is never shed — it doesn't queue.
+            assert client.execution_time(hit_ratio=0.9)["cpi"] > 0
+            stats = client.stats_envelope()
+            assert stats["counters"]["service.admission.shed"] >= 1
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_backoff_client_retries_shed_deterministically(self):
+        """The opt-in backoff loop pairs with admission control: a
+        perpetually shedding server exhausts the budget on the seeded
+        schedule."""
+        handle = start_server(shed_watermark=0)
+        try:
+            client = ServiceClient(
+                "127.0.0.1", handle.port, busy_retries=2, backoff_seed=5
+            )
+            waited = []
+            client._sleep = waited.append
+            client.wait_ready()
+            with pytest.raises(ServiceError) as excinfo:
+                client.simulate(trace=QUICK_TRACE)
+            assert excinfo.value.code == "shed"
+            assert client.stats.backoffs == 2
+            from repro.service.client import backoff_delays
+            import itertools
+            expected = list(itertools.islice(
+                backoff_delays(client.backoff_base_s, client.backoff_cap_s, 5), 2
+            ))
+            assert waited == expected
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_no_watermark_means_no_shedding(self):
+        handle = start_server()  # shed_watermark defaults to None
+        try:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.wait_ready()
+            assert client.simulate(trace=QUICK_TRACE)["cached"] is False
+            client.close()
+        finally:
+            handle.stop()

@@ -1,0 +1,82 @@
+"""The consistent-hash ring that places fleet shards."""
+
+import pytest
+
+from repro.service.shard import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    ring_hash,
+    worker_names,
+)
+
+
+class TestRingHash:
+    def test_deterministic(self):
+        assert ring_hash("abc") == ring_hash("abc")
+
+    def test_distinct_inputs_differ(self):
+        assert ring_hash("w0#0") != ring_hash("w1#0")
+
+    def test_64_bit_range(self):
+        for value in ("", "x", "a-long-shard-key"):
+            assert 0 <= ring_hash(value) < 2**64
+
+
+class TestWorkerNames:
+    def test_stable_slot_names(self):
+        assert worker_names(3) == ["w0", "w1", "w2"]
+
+    def test_prefix_property(self):
+        # Growing the fleet appends slots; existing names never change,
+        # which is what keeps most keys in place on a resize.
+        assert worker_names(4)[:2] == worker_names(2)
+
+
+class TestHashRing:
+    def test_owner_is_deterministic(self):
+        ring = HashRing(worker_names(4))
+        keys = [f"key-{i}" for i in range(200)]
+        first = [ring.owner(k) for k in keys]
+        again = [ring.owner(k) for k in keys]
+        assert first == again
+
+    def test_owner_always_a_member(self):
+        ring = HashRing(worker_names(3))
+        assert all(ring.owner(f"k{i}") in ring.nodes for i in range(100))
+
+    def test_empty_ring_refuses(self):
+        ring = HashRing([])
+        with pytest.raises(ValueError):
+            ring.owner("anything")
+
+    def test_remove_moves_only_the_leavers_keys(self):
+        ring = HashRing(worker_names(4))
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove("w2")
+        for key in keys:
+            after = ring.owner(key)
+            if before[key] != "w2":
+                assert after == before[key]
+            else:
+                assert after != "w2"
+
+    def test_rejoin_restores_exact_ownership(self):
+        # The restart story: a respawned worker reuses its slot name, so
+        # the ring places every key exactly where it was.
+        ring = HashRing(worker_names(4))
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove("w1")
+        ring.add("w1")
+        assert {k: ring.owner(k) for k in keys} == before
+
+    def test_spread_uses_every_node(self):
+        ring = HashRing(worker_names(4))
+        owners = {ring.owner(f"key-{i}") for i in range(2000)}
+        assert owners == set(worker_names(4))
+
+    def test_replicas_default(self):
+        ring = HashRing(worker_names(2))
+        assert len(ring) == 2
+        assert DEFAULT_REPLICAS > 1
