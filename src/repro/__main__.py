@@ -17,6 +17,12 @@ sweep
     Evaluate a feature's traded hit ratio over custom parameter grids.
 serve
     Start the HTTP/JSON tradeoff-query server (see ``docs/SERVICE.md``).
+campaign
+    Declarative sweep campaigns: submit, resume, diff, promote
+    (see ``docs/CAMPAIGNS.md``).
+cache
+    Offline store maintenance (``cache gc --budget-mib N``) for the
+    events / reuse-profile / result stores.
 """
 
 from __future__ import annotations
@@ -243,6 +249,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=64.0,
         help="byte budget for the disk-backed result cache",
     )
+    serve.add_argument(
+        "--campaign-dir",
+        metavar="DIR",
+        default=None,
+        help="enable the /v1/campaigns endpoints with this registry "
+        "directory (campaigns run in the server as background work)",
+    )
     return parser
 
 
@@ -397,6 +410,7 @@ def _cmd_serve(options: argparse.Namespace) -> int:
         worker_id=options.worker_id,
         disk_cache_dir=options.disk_cache_dir,
         disk_cache_bytes=int(options.disk_cache_mib * 1024 * 1024),
+        campaign_dir=options.campaign_dir,
     )
     if workers > 1:
         from repro.service.router import FleetConfig, run_fleet
@@ -430,6 +444,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.runner import main as runner_main
 
         return runner_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        # Same wholesale delegation: the campaign CLI owns its parsing.
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.util.store_gc import main as cache_main
+
+        return cache_main(argv[1:])
     options = _build_parser().parse_args(argv)
     logs.configure(verbosity=options.verbose, level=options.log_level)
     tracer = tracing.enable_tracing() if options.trace_out else None

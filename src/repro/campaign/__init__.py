@@ -1,0 +1,35 @@
+"""Experiment-campaign orchestration (`repro.campaign`).
+
+A *campaign* is a declarative JSON document describing a cross-product
+grid — traces × cache geometries × stall policies × β\\ :sub:`m` — with
+exclusion rules and per-point deadlines (:mod:`repro.campaign.spec`).
+Campaigns are content-addressed by the SHA-256 of their normalized
+spec, registered in an on-disk registry with the same atomic
+write+sidecar discipline as the events store
+(:mod:`repro.campaign.registry`), executed resumably in checkpointed
+chunks through the existing ``simulate()`` / service ``/v1/sweep``
+paths (:mod:`repro.campaign.executor`), and compared / promoted as
+cohorts (:mod:`repro.campaign.compare`).
+
+Every point keys into the same content-addressed stores the service
+uses, so an interrupted campaign resumes with zero re-simulation and
+its final artifacts are byte-identical to an uninterrupted run — the
+determinism contract the rest of the repository pins, one level up.
+
+Surfaces: ``python -m repro campaign {submit,status,resume,diff,
+promote,list}`` (:mod:`repro.campaign.cli`), and the service endpoints
+``POST /v1/campaigns`` / ``GET /v1/campaigns/{id}[/results]``
+(:mod:`repro.campaign.service`).  See ``docs/CAMPAIGNS.md``.
+"""
+
+from repro.campaign.spec import (  # noqa: F401
+    CAMPAIGN_SPEC_SCHEMA,
+    campaign_id,
+    iter_points,
+    point_count,
+    validate_spec,
+)
+from repro.campaign.registry import (  # noqa: F401
+    Campaign,
+    CampaignRegistry,
+)

@@ -822,6 +822,14 @@ def validate_access_log_record(document: Any) -> None:
             "$.worker",
             "must be a non-empty string",
         )
+    if "campaign" in document:
+        # Campaign-annotated requests carry the (truncated) campaign id
+        # so a grep over the access log isolates one campaign's traffic.
+        _require(
+            isinstance(document["campaign"], str) and document["campaign"],
+            "$.campaign",
+            "must be a non-empty string",
+        )
 
 
 def validate_access_log(lines: Any) -> None:

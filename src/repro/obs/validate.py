@@ -87,6 +87,16 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "stats envelopes); accepts several files per flag so a shell "
         "glob over a smoke run's payload directory just works",
     )
+    parser.add_argument(
+        "--campaign",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="campaign registry directory (one campaign): validates the "
+        "spec's canonical form and content address, the state "
+        "checkpoint's checksum, every done point's artifact, and — when "
+        "present — the results.jsonl framing and summary checksum",
+    )
     parser.add_argument("-v", "--verbose", action="count", default=0)
     args = parser.parse_args(argv)
     if not (
@@ -98,11 +108,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         or args.profile
         or args.access_log
         or args.service_response
+        or args.campaign
     ):
         parser.error(
             "nothing to validate: pass --trace/--metrics/--manifest/"
             "--bench/--bench-service/--profile/--access-log/"
-            "--service-response"
+            "--service-response/--campaign"
         )
     return args
 
@@ -140,6 +151,25 @@ def _check_access_log(path: str) -> bool:
     return True
 
 
+def _check_campaign(path: str) -> bool:
+    """Validate one campaign registry directory end to end."""
+    # Imported lazily: campaign validation pulls in the service schemas,
+    # which plain artifact validation should not pay for.
+    from repro.campaign.registry import validate_campaign_dir
+
+    try:
+        counts = validate_campaign_dir(path)
+    except (OSError, json.JSONDecodeError, SchemaError) as error:
+        logger.error("%s: INVALID: %s", path, error)
+        return False
+    print(
+        f"{path}: ok (campaign {counts['campaign'][:12]}: "
+        f"{counts['done']}/{counts['points']} done, "
+        f"{counts['errors']} errors, {counts['excluded']} excluded)"
+    )
+    return True
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit status."""
     args = _parse_args(argv)
@@ -161,6 +191,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok &= _check_access_log(path)
     for path in args.service_response:
         ok &= _check(path, validate_service_response)
+    for path in args.campaign:
+        ok &= _check_campaign(path)
     return 0 if ok else 1
 
 

@@ -83,7 +83,7 @@ _ANALYTIC = {
     "advise": (request_schemas.validate_advise, queries.advise_query),
 }
 
-_POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate", "sweep"}
+_POST_ENDPOINTS = frozenset(_ANALYTIC) | {"simulate", "sweep", "campaigns"}
 _GET_ENDPOINTS = frozenset(
     {
         "health",
@@ -93,6 +93,9 @@ _GET_ENDPOINTS = frozenset(
         "metrics",
         "debug-trace",
         "debug-profile",
+        "campaigns",
+        "campaign-status",
+        "campaign-results",
     }
 )
 
@@ -169,6 +172,10 @@ class ServiceApp:
         self.profile_max_seconds = profile_max_seconds
         self.disk_cache = disk_cache
         self.shed_watermark = shed_watermark
+        #: Assigned by the server after construction when it was started
+        #: with ``--campaign-dir`` (a CampaignService); None => the
+        #: campaign endpoints answer 503 ``campaigns_disabled``.
+        self.campaign_service: Any = None
         self._latency_ms: dict[str, deque[float]] = {}
 
     # -- entry point ------------------------------------------------------
@@ -298,6 +305,13 @@ class ServiceApp:
             return "debug-trace"
         if path == "/v1/debug/profile":
             return "debug-profile"
+        if path == "/v1/campaigns":
+            return "campaigns"
+        if path.startswith("/v1/campaigns/"):
+            rest = path[len("/v1/campaigns/") :]
+            if rest.endswith("/results"):
+                return "campaign-results"
+            return "campaign-status"
         if not path.startswith("/v1/"):
             return None
         return path[len("/v1/") :] or None
@@ -307,12 +321,20 @@ class ServiceApp:
     ) -> tuple[int, bytes | StreamBody, str]:
         if endpoint is None or endpoint not in (_POST_ENDPOINTS | _GET_ENDPOINTS):
             raise HttpError(404, "not_found", f"no such endpoint {request.path!r}")
-        expected = "GET" if endpoint in _GET_ENDPOINTS else "POST"
-        if request.method != expected:
+        allowed = {
+            method
+            for method, members in (
+                ("GET", _GET_ENDPOINTS),
+                ("POST", _POST_ENDPOINTS),
+            )
+            if endpoint in members
+        }
+        if request.method not in allowed:
             raise HttpError(
                 405,
                 "method_not_allowed",
-                f"{endpoint} requires {expected}, got {request.method}",
+                f"{endpoint} requires {' or '.join(sorted(allowed))}, "
+                f"got {request.method}",
             )
         if endpoint == "health":
             return 200, self._success(endpoint, {"status": "ok"}), JSON_CONTENT_TYPE
@@ -341,6 +363,35 @@ class ServiceApp:
             )
         if endpoint == "stats":
             return 200, self._stats_body(), JSON_CONTENT_TYPE
+        if endpoint == "campaigns":
+            if request.method == "GET":
+                return (
+                    200,
+                    self._success(
+                        endpoint,
+                        {"campaigns": self._campaigns_service().list()},
+                    ),
+                    JSON_CONTENT_TYPE,
+                )
+            return 200, self._campaigns_submit(request), JSON_CONTENT_TYPE
+        if endpoint == "campaign-status":
+            campaign = self._campaign_of(request.path)
+            live.annotate(campaign=campaign.id[:12])
+            return (
+                200,
+                self._success(
+                    endpoint, self._campaigns_service().describe(campaign.id)
+                ),
+                JSON_CONTENT_TYPE,
+            )
+        if endpoint == "campaign-results":
+            campaign = self._campaign_of(request.path)
+            live.annotate(campaign=campaign.id[:12])
+            return (
+                200,
+                StreamBody(self._campaign_result_chunks(campaign)),
+                "application/x-ndjson",
+            )
         with tracing.span("service.parse", endpoint=endpoint):
             params = self._parse_params(request.body)
         if endpoint == "sweep":
@@ -588,6 +639,84 @@ class ServiceApp:
             return 400, "invalid_params"
         return 500, "internal_error"
 
+    # -- the campaign endpoints ---------------------------------------------
+
+    def _campaigns_service(self) -> Any:
+        if self.campaign_service is None:
+            raise HttpError(
+                503,
+                "campaigns_disabled",
+                "server started without --campaign-dir",
+            )
+        return self.campaign_service
+
+    def _campaign_of(self, path: str) -> Any:
+        """Resolve ``/v1/campaigns/{ref}[/results]`` to a campaign."""
+        rest = path.partition("?")[0][len("/v1/campaigns/") :]
+        ref = rest[: -len("/results")] if rest.endswith("/results") else rest
+        if not ref:
+            raise HttpError(404, "not_found", "empty campaign reference")
+        try:
+            return self._campaigns_service().find(ref)
+        except KeyError as error:
+            raise HttpError(404, "not_found", str(error)) from None
+
+    def _campaigns_submit(self, request: Request) -> bytes:
+        service = self._campaigns_service()
+        with tracing.span("service.parse", endpoint="campaigns"):
+            params = self._parse_params(request.body)
+        if not isinstance(params, dict) or "spec" not in params:
+            raise HttpError(
+                400,
+                "invalid_json",
+                "campaign submission must send {'params': {'spec': ...}}",
+            )
+        with tracing.span("service.dispatch", endpoint="campaigns"):
+            view = service.submit(params["spec"])
+        live.annotate(campaign=view["campaign"][:12])
+        return self._success("campaigns", view)
+
+    async def _campaign_result_chunks(self, campaign: Any) -> Any:
+        """The campaign's results stream as chunked JSONL.
+
+        The registry's generator is synchronous (state + artifacts are
+        local files); yielding control between lines keeps a long stream
+        from monopolising the event loop.
+        """
+        for line in campaign.result_lines():
+            yield line
+            await asyncio.sleep(0)
+
+    async def resolve_point(self, validated: dict[str, Any]) -> dict[str, Any]:
+        """One campaign point through the interactive caches + batcher.
+
+        The per-point resolver behind :class:`~repro.campaign.service
+        .CampaignService` — returns the bare result object (the envelope
+        is a transport concern; artifacts store canonical result bytes).
+        The router overrides this to forward to the owning worker.
+        """
+        key = self._result_key_of(validated)
+        payload = self._cache_lookup(key)
+        if payload is not None:
+            self.registry.inc("service.result_cache.hits")
+            return json.loads(payload)
+        self.registry.inc("service.result_cache.misses")
+        result = await asyncio.wait_for(
+            self.batcher.submit(validated),
+            timeout=self._deadline_s_of(validated),
+        )
+        self._cache_store(key, dump_json(result).encode("utf-8"))
+        return result
+
+    def classify_point_error_doc(self, error: BaseException) -> dict[str, Any]:
+        """A resolver failure as the structured point-error object."""
+        status, code = self._classify_point_error(error)
+        return {
+            "code": code,
+            "message": str(error) or type(error).__name__,
+            "status": status,
+        }
+
     # -- live observability -------------------------------------------------
 
     def _metrics_body(self) -> bytes:
@@ -606,6 +735,17 @@ class ServiceApp:
             gauges["service.disk_cache.entries"] = float(len(self.disk_cache))
             gauges["service.disk_cache.bytes"] = float(
                 self.disk_cache.size_bytes
+            )
+        if self.campaign_service is not None:
+            campaign_stats = self.campaign_service.stats()
+            gauges["service.campaigns.registered"] = float(
+                campaign_stats["campaigns"]
+            )
+            gauges["service.campaigns.running"] = float(
+                campaign_stats["running"]
+            )
+            gauges["service.campaigns.complete"] = float(
+                campaign_stats["complete"]
             )
         window_summary = (
             self.window.summary() if self.window is not None else None
@@ -744,6 +884,8 @@ class ServiceApp:
         }
         if self.disk_cache is not None:
             stats["disk_cache"] = self.disk_cache.stats()
+        if self.campaign_service is not None:
+            stats["campaigns"] = self.campaign_service.stats()
         worker = live.current_worker_id()
         if worker is not None:
             stats["worker"] = worker

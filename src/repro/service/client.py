@@ -361,7 +361,9 @@ class ServiceClient:
         """The full simulate envelope (``result`` plus ``cached``)."""
         return self.request("POST", "/v1/simulate", params)
 
-    def sweep(self, **params: Any) -> Iterator[dict[str, Any]]:
+    def sweep(
+        self, resume_retries: int = 0, **params: Any
+    ) -> Iterator[dict[str, Any]]:
         """Stream ``POST /v1/sweep``: yields decoded JSONL records.
 
         The first record is the stream header
@@ -373,7 +375,60 @@ class ServiceClient:
         keep-alive connection stays usable for other calls.  Lazily
         evaluated: the request is sent, and any non-200 raised, at the
         first ``next()``.
+
+        ``resume_retries`` opts into client-side mid-stream resume,
+        mirroring the router's sub-stream policy one level up: a
+        transport failure (server restart, cut connection, truncated
+        stream) re-issues the whole request and the points already
+        yielded are deduplicated by their global index, so the caller
+        still sees each index exactly once.  The re-issued grid is
+        served from the result caches, so a resume re-streams cheaply
+        rather than re-simulating.  The summary's ``errors`` count is
+        rewritten to match the error lines actually yielded, keeping
+        the merged stream valid under ``validate_sweep_stream``.  The
+        default stays 0: a truncated stream raises, as before.
         """
+        yielded: set[int] = set()
+        header_emitted = False
+        emitted_errors = 0
+        attempts = 0
+        while True:
+            failure: Exception | None = None
+            try:
+                for record in self._sweep_attempt(params):
+                    if "index" not in record:
+                        if "done" in record:  # the summary: stream is whole
+                            summary = dict(record)
+                            summary["errors"] = emitted_errors
+                            yield summary
+                            return
+                        if not header_emitted:  # the header
+                            header_emitted = True
+                            yield record
+                        continue
+                    index = record["index"]
+                    if index in yielded:
+                        continue
+                    yielded.add(index)
+                    if "error" in record:
+                        emitted_errors += 1
+                    yield record
+            except (OSError, http.client.HTTPException, ValueError) as exc:
+                failure = exc
+            # Either a transport failure or an EOF without a summary.
+            attempts += 1
+            if attempts > resume_retries:
+                if failure is not None:
+                    raise failure
+                raise ServiceError(
+                    0, "truncated", "sweep stream ended without a summary"
+                )
+            self.stats.retries += 1
+
+    def _sweep_attempt(
+        self, params: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        """One raw sweep stream over a dedicated connection."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -415,3 +470,72 @@ class ServiceClient:
             self.stats.record(
                 (time.perf_counter() - started) * 1000.0, error=error
             )
+
+    # -- campaigns ---------------------------------------------------------
+
+    def submit_campaign(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/campaigns``: submit (or resume) a campaign spec."""
+        return self.request("POST", "/v1/campaigns", {"spec": spec})["result"]
+
+    def campaigns(self) -> list[dict[str, Any]]:
+        """``GET /v1/campaigns``: every registered campaign's status."""
+        return self.request("GET", "/v1/campaigns")["result"]["campaigns"]
+
+    def campaign_status(self, ref: str) -> dict[str, Any]:
+        """``GET /v1/campaigns/{ref}``: one campaign's progress view."""
+        return self.request("GET", f"/v1/campaigns/{ref}")["result"]
+
+    def campaign_results(self, ref: str) -> Iterator[dict[str, Any]]:
+        """``GET /v1/campaigns/{ref}/results``: stream the results JSONL
+        (header, terminal points so far, summary) on a dedicated
+        connection, one decoded record per yield."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        started = time.perf_counter()
+        error = True
+        try:
+            conn.request("GET", f"/v1/campaigns/{ref}/results")
+            response = conn.getresponse()
+            self.last_request_id = response.getheader(REQUEST_ID_HEADER)
+            if response.status != 200:
+                envelope_error = {}
+                try:
+                    envelope_error = json.loads(response.read()).get("error", {})
+                except (ValueError, http.client.HTTPException):
+                    pass
+                raise ServiceError(
+                    response.status,
+                    envelope_error.get("code", "unknown"),
+                    envelope_error.get("message", "campaign results failed"),
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+            error = False
+        finally:
+            conn.close()
+            self.stats.record(
+                (time.perf_counter() - started) * 1000.0, error=error
+            )
+
+    def wait_campaign(
+        self, ref: str, timeout: float = 60.0, poll_s: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll a campaign's status until complete (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.campaign_status(ref)
+            if view["progress"]["complete"]:
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {ref!r} still has "
+                    f"{view['progress']['pending']} pending points "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll_s)

@@ -44,6 +44,7 @@ from pathlib import Path
 
 from repro.obs import metrics, tracing
 from repro.service.result_cache import RESULT_CACHE_VERSION
+from repro.util import store_gc
 
 log = logging.getLogger("repro.result_store")
 
@@ -237,38 +238,18 @@ class DiskResultCache:
             pass
 
     def _enforce_budget(self, keep: str | None = None) -> None:
-        """Evict oldest-used entries until the directory fits the budget."""
-        entries: list[tuple[float, int, str]] = []  # (mtime, bytes, key)
-        total = 0
-        try:
-            for bin_path in self.directory.glob("*.bin"):
-                key = bin_path.stem
-                try:
-                    size = bin_path.stat().st_size
-                    meta_path = self.directory / f"{key}.json"
-                    mtime = meta_path.stat().st_mtime
-                except OSError:
-                    continue
-                total += size
-                entries.append((mtime, size, key))
-        except OSError:
-            return
-        if total <= self.capacity_bytes:
-            return
-        entries.sort()
-        for _, size, key in entries:
-            if total <= self.capacity_bytes:
-                break
-            if key == keep:
-                continue
-            bin_path, meta_path = self._paths(key)
-            try:
-                bin_path.unlink(missing_ok=True)
-                meta_path.unlink(missing_ok=True)
-            except OSError:
-                continue
-            total -= size
-            self.evictions += 1
+        """Evict oldest-used entries until the directory fits the budget.
+
+        The planning (oldest sidecar mtime first, orphans ignored) is
+        the shared :mod:`repro.util.store_gc` helper — the same policy
+        ``python -m repro cache gc`` applies offline.
+        """
+        entries, _orphans = store_gc.scan_store(self.directory, ".bin", ".json")
+        for entry in store_gc.plan_evictions(
+            entries, self.capacity_bytes, keep=keep
+        ):
+            if store_gc.remove_entry(entry):
+                self.evictions += 1
 
     def stats(self) -> dict[str, object]:
         """JSON-ready view for ``/v1/stats``."""

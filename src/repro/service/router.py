@@ -75,6 +75,15 @@ _LISTENING_RE = re.compile(r"listening on .*:(\d+)")
 SWEEP_RESUME_LIMIT = 3
 
 
+class ForwardedPointError(RuntimeError):
+    """A worker answered a forwarded campaign point with an error
+    envelope; carries the structured point-error doc verbatim."""
+
+    def __init__(self, doc: dict[str, Any]) -> None:
+        super().__init__(doc.get("message", "worker error"))
+        self.doc = doc
+
+
 @dataclass
 class FleetConfig:
     """One fleet: the router's own server config plus fleet knobs.
@@ -497,6 +506,56 @@ class RouterApp(ServiceApp):
         # relayed verbatim: byte-identical to a single-process answer.
         return response.status, response.body
 
+    # -- campaign point resolution ------------------------------------------
+
+    async def resolve_point(self, validated: dict[str, Any]) -> dict[str, Any]:
+        """One campaign point, forwarded to the owning worker.
+
+        Campaigns run on the *router* (workers are spawned without a
+        campaign dir), so the background executor rides the same
+        consistent-hash forwarding as interactive ``/v1/simulate`` —
+        including the retry-through-restart path, which is what lets a
+        SIGKILLed worker cost a campaign nothing but latency.
+        """
+        wire = {
+            key: value for key, value in validated.items() if value is not None
+        }
+        shard_key = queries.events_key_of(validated)
+        owner = self.fleet.owner_of(shard_key)
+        response = await self.fleet.forward(
+            owner,
+            "POST",
+            "/v1/simulate",
+            body=json.dumps({"params": wire}).encode("utf-8"),
+        )
+        self.registry.inc(
+            "service.router.forwarded", worker=owner, status=response.status
+        )
+        envelope = json.loads(response.body)
+        if response.status != 200:
+            error = (
+                envelope.get("error", {}) if isinstance(envelope, dict) else {}
+            )
+            raise ForwardedPointError(
+                {
+                    "code": error.get("code", "bad_upstream"),
+                    "message": error.get("message", "worker error"),
+                    "status": response.status,
+                }
+            )
+        return envelope["result"]
+
+    def classify_point_error_doc(self, error: BaseException) -> dict[str, Any]:
+        if isinstance(error, ForwardedPointError):
+            return error.doc
+        if isinstance(error, HttpError):
+            return {
+                "code": error.code,
+                "message": error.message,
+                "status": error.status,
+            }
+        return super().classify_point_error_doc(error)
+
     # -- sharded sweep streaming -------------------------------------------
 
     def _sweep(self, params: Any) -> StreamBody:
@@ -805,6 +864,8 @@ class RouterApp(ServiceApp):
         }
         if disk_totals is not None:
             stats["disk_cache"] = disk_totals
+        if self.campaign_service is not None:
+            stats["campaigns"] = self.campaign_service.stats()
         return dump_json(stats).encode("utf-8")
 
     async def _merged_metrics_body(self) -> bytes:
@@ -817,6 +878,17 @@ class RouterApp(ServiceApp):
             "fleet.workers_alive": float(alive),
             "fleet.restarts": float(self.fleet.restarts_total),
         }
+        if self.campaign_service is not None:
+            campaign_stats = self.campaign_service.stats()
+            gauges["service.campaigns.registered"] = float(
+                campaign_stats["campaigns"]
+            )
+            gauges["service.campaigns.running"] = float(
+                campaign_stats["running"]
+            )
+            gauges["service.campaigns.complete"] = float(
+                campaign_stats["complete"]
+            )
         window_summary = (
             self.window.summary() if self.window is not None else None
         )

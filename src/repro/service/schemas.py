@@ -31,6 +31,8 @@ __all__ = [
     "validate_advise",
     "validate_simulate",
     "validate_sweep",
+    "validate_trace_spec",
+    "validate_cache_spec",
     "sweep_grid",
     "sweep_point_count",
 ]
@@ -317,19 +319,23 @@ def validate_advise(params: Any) -> dict[str, Any]:
     return out
 
 
-def _validate_trace(spec: Any) -> dict[str, Any]:
-    spec = _object(spec, "$.params.trace")
-    kind = _choice(
-        spec, "kind", ("spec92", "matmul"), "$.params.trace", required=True
-    )
+def validate_trace_spec(
+    spec: Any, path: str = "$.params.trace"
+) -> dict[str, Any]:
+    """One trace spec (spec92 or matmul), normalized with defaults.
+
+    Shared between the simulate/sweep request validators and the
+    campaign spec validator (:mod:`repro.campaign.spec`), which passes
+    its own ``path`` so errors point into the campaign document.
+    """
+    spec = _object(spec, path)
+    kind = _choice(spec, "kind", ("spec92", "matmul"), path, required=True)
     if kind == "spec92":
-        _reject_unknown(
-            spec, {"kind", "name", "instructions", "seed"}, "$.params.trace"
-        )
+        _reject_unknown(spec, {"kind", "name", "instructions", "seed"}, path)
         name = spec.get("name", "swm256")
         require(
             isinstance(name, str) and name in SPEC92_PROFILES,
-            "$.params.trace.name",
+            f"{path}.name",
             f"must be one of {sorted(SPEC92_PROFILES)}",
         )
         return {
@@ -338,64 +344,69 @@ def _validate_trace(spec: Any) -> dict[str, Any]:
             "instructions": _integer(
                 spec,
                 "instructions",
-                "$.params.trace",
+                path,
                 default=8_000,
                 minimum=1,
                 maximum=MAX_INSTRUCTIONS,
             ),
-            "seed": _integer(spec, "seed", "$.params.trace", default=7, minimum=0),
+            "seed": _integer(spec, "seed", path, default=7, minimum=0),
         }
     _reject_unknown(
         spec,
         {"kind", "n", "tile", "element_size", "alu_per_reference"},
-        "$.params.trace",
+        path,
     )
     tile = None
     if spec.get("tile") is not None:
-        tile = _integer(spec, "tile", "$.params.trace", minimum=1)
+        tile = _integer(spec, "tile", path, minimum=1)
     return {
         "kind": "matmul",
         "n": _integer(
-            spec, "n", "$.params.trace", minimum=1, maximum=MAX_MATMUL_N, required=True
+            spec, "n", path, minimum=1, maximum=MAX_MATMUL_N, required=True
         ),
         "tile": tile,
         "element_size": _integer(
-            spec, "element_size", "$.params.trace", default=8, minimum=1
+            spec, "element_size", path, default=8, minimum=1
         ),
         "alu_per_reference": _integer(
-            spec, "alu_per_reference", "$.params.trace", default=2, minimum=0
+            spec, "alu_per_reference", path, default=2, minimum=0
         ),
     }
 
 
-def _validate_cache(spec: Any) -> dict[str, Any]:
-    spec = _object(spec, "$.params.cache")
-    _reject_unknown(
-        spec, {"total_bytes", "line_size", "associativity"}, "$.params.cache"
-    )
+def validate_cache_spec(
+    spec: Any, path: str = "$.params.cache"
+) -> dict[str, Any]:
+    """One cache-geometry spec, normalized with defaults (shared like
+    :func:`validate_trace_spec`)."""
+    spec = _object(spec, path)
+    _reject_unknown(spec, {"total_bytes", "line_size", "associativity"}, path)
     out = {
         "total_bytes": _integer(
             spec,
             "total_bytes",
-            "$.params.cache",
+            path,
             default=8192,
             minimum=1,
             maximum=1 << 24,
         ),
-        "line_size": _integer(
-            spec, "line_size", "$.params.cache", default=32, minimum=1
-        ),
+        "line_size": _integer(spec, "line_size", path, default=32, minimum=1),
         "associativity": _integer(
-            spec, "associativity", "$.params.cache", default=2, minimum=1
+            spec, "associativity", path, default=2, minimum=1
         ),
     }
     for name in ("total_bytes", "line_size"):
         require(
             out[name] & (out[name] - 1) == 0,
-            f"$.params.cache.{name}",
+            f"{path}.{name}",
             "must be a power of two",
         )
     return out
+
+
+# Internal aliases predating the shared (path-parameterized) names.
+_validate_trace = validate_trace_spec
+_validate_cache = validate_cache_spec
 
 
 def validate_simulate(params: Any) -> dict[str, Any]:

@@ -77,6 +77,10 @@ class ServerConfig:
     # (or REPRO_RESULT_CACHE_DIR overrides one in).
     disk_cache_dir: str | None = None
     disk_cache_bytes: int = disk_cache_mod.DEFAULT_CAPACITY_BYTES
+    # Campaign registry: the /v1/campaigns endpoints are enabled only
+    # when a directory is configured (REPRO_CAMPAIGN_DIR overrides the
+    # location, not the opt-in).
+    campaign_dir: str | None = None
 
 
 class ReproServer:
@@ -92,6 +96,7 @@ class ReproServer:
         self.batcher: MicroBatcher | None = None
         self.result_cache: ResultCache | None = None
         self.disk_cache: DiskResultCache | None = None
+        self.campaign_service = None  # set in start() with --campaign-dir
         self._server: asyncio.base_events.Server | None = None
         self._port: int | None = None
         self.window: live.RollingWindow | None = None
@@ -150,6 +155,24 @@ class ReproServer:
         if self.config.access_log_path:
             self.access_log = AccessLog(self.config.access_log_path)
         self.app = self._make_app()
+        if self.config.campaign_dir is not None:
+            # Imported here so servers without campaigns never pay for
+            # the campaign package.
+            from repro.campaign.registry import (
+                CampaignRegistry,
+                resolve_registry_dir,
+            )
+            from repro.campaign.service import CampaignService
+
+            self.campaign_service = CampaignService(
+                CampaignRegistry(
+                    resolve_registry_dir(self.config.campaign_dir)
+                ),
+                self.app.resolve_point,
+                self.app.classify_point_error_doc,
+                self.registry,
+            )
+            self.app.campaign_service = self.campaign_service
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
@@ -201,6 +224,12 @@ class ReproServer:
             await asyncio.sleep(0.01)
         for writer in list(self._writers):  # idle keep-alive connections
             writer.close()
+        # Stop background campaigns while the batcher (and, on the
+        # router, the fleet) still works: each task checkpoints its
+        # partial chunk on the way out, so a drained server resumes
+        # exactly where it stopped when the spec is re-submitted.
+        if self.campaign_service is not None:
+            await self.campaign_service.shutdown()
         assert self.batcher is not None
         await self.batcher.drain()
         if self.access_log is not None:

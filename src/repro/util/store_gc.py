@@ -1,0 +1,271 @@
+"""Shared eviction for the content-addressed on-disk stores.
+
+Three stores share one layout discipline — a payload file plus a JSON
+sidecar, both written atomically, content-addressed by SHA-256 key:
+
+* the events store (``<key>.npz`` + ``<key>.json``,
+  :mod:`repro.cache.events_store`);
+* the reuse-profile store (``<key>.profile.npz`` +
+  ``<key>.profile.json``, :mod:`repro.cache.reuse_store`, sharing the
+  events directory);
+* the disk result cache (``<key>.bin`` + ``<key>.json``,
+  :mod:`repro.service.disk_cache`).
+
+They also share an eviction *policy* — oldest sidecar mtime first (the
+sidecar is the recency signal; the disk cache refreshes it on hit) —
+which this module implements once.  :class:`DiskResultCache` calls
+:func:`plan_evictions` from its online budget enforcement, and
+``python -m repro cache gc`` uses the same planner offline over all
+three stores, so the two paths can never disagree about what "oldest
+first" means.
+
+A payload without a readable sidecar is an **orphan**: it can never be
+loaded (every store validates the sidecar before trusting the payload),
+but it may also be the first half of an in-flight atomic write.  The
+online path therefore ignores orphans entirely; the offline ``gc``
+command removes them only once they are older than
+:data:`ORPHAN_GRACE_S`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: An orphan payload younger than this is assumed to be a write in
+#: flight (payload landed, sidecar next) and is left alone.
+ORPHAN_GRACE_S = 60.0
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One (payload, sidecar) pair of a content-addressed store."""
+
+    key: str
+    payload: Path
+    sidecar: Path
+    size: int  # payload bytes (what the byte budget counts)
+    mtime: float  # sidecar mtime (the recency signal)
+
+
+def scan_store(
+    directory: Path,
+    payload_suffix: str,
+    sidecar_suffix: str,
+    exclude_suffix: str | None = None,
+) -> tuple[list[StoreEntry], list[Path]]:
+    """Enumerate a store directory: complete pairs plus orphan payloads.
+
+    ``exclude_suffix`` skips payloads of a co-located store (the reuse
+    store's ``.profile.npz`` files live in the events directory).
+    Unreadable files are skipped, never raised — a concurrent writer or
+    evictor is normal operation for these directories.
+    """
+    entries: list[StoreEntry] = []
+    orphans: list[Path] = []
+    try:
+        payloads = sorted(directory.glob(f"*{payload_suffix}"))
+    except OSError:
+        return [], []
+    for payload in payloads:
+        name = payload.name
+        if exclude_suffix is not None and name.endswith(exclude_suffix):
+            continue
+        key = name[: -len(payload_suffix)]
+        sidecar = directory / f"{key}{sidecar_suffix}"
+        try:
+            size = payload.stat().st_size
+            mtime = sidecar.stat().st_mtime
+        except OSError:
+            orphans.append(payload)
+            continue
+        entries.append(StoreEntry(key, payload, sidecar, size, mtime))
+    return entries, orphans
+
+
+def plan_evictions(
+    entries: list[StoreEntry],
+    capacity_bytes: int,
+    keep: str | None = None,
+) -> list[StoreEntry]:
+    """The entries to evict, oldest sidecar first, to fit the budget.
+
+    ``keep`` names a key that is never planned for eviction (the entry
+    a writer just stored).  Ties on mtime break by size then key, so
+    the plan is deterministic for a given directory state.
+    """
+    total = sum(entry.size for entry in entries)
+    if total <= capacity_bytes:
+        return []
+    plan: list[StoreEntry] = []
+    for entry in sorted(entries, key=lambda e: (e.mtime, e.size, e.key)):
+        if total <= capacity_bytes:
+            break
+        if entry.key == keep:
+            continue
+        plan.append(entry)
+        total -= entry.size
+    return plan
+
+
+def remove_entry(entry: StoreEntry) -> bool:
+    """Unlink one pair (best-effort); True when the payload is gone."""
+    try:
+        entry.payload.unlink(missing_ok=True)
+        entry.sidecar.unlink(missing_ok=True)
+    except OSError:
+        return False
+    return True
+
+
+# -- the offline ``python -m repro cache gc`` command ---------------------
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Where one store lives and how its files are named."""
+
+    name: str
+    directory: Path
+    payload_suffix: str
+    sidecar_suffix: str
+    exclude_suffix: str | None = None
+
+
+def known_stores() -> dict[str, StoreSpec]:
+    """The three content-addressed stores ``cache gc`` manages.
+
+    Directories resolve through each store's own rules (env overrides
+    included), so ``gc`` always looks where the writers write.
+    """
+    from repro.cache import events_store
+    from repro.service import disk_cache
+
+    events_dir = events_store.cache_dir()
+    return {
+        "events": StoreSpec(
+            "events", events_dir, ".npz", ".json", exclude_suffix=".profile.npz"
+        ),
+        "reuse": StoreSpec(
+            "reuse", events_dir, ".profile.npz", ".profile.json"
+        ),
+        "results": StoreSpec(
+            "results", disk_cache.resolve_cache_dir(None), ".bin", ".json"
+        ),
+    }
+
+
+def gc_store(
+    spec: StoreSpec,
+    budget_bytes: int,
+    dry_run: bool = False,
+    now: float | None = None,
+) -> dict[str, Any]:
+    """Trim one store to the byte budget; returns a JSON-ready report.
+
+    Evicts complete pairs oldest-first until the payload footprint fits
+    the budget, and removes orphan payloads older than
+    :data:`ORPHAN_GRACE_S`.  With ``dry_run`` nothing is unlinked; the
+    report carries what *would* go.
+    """
+    import time
+
+    now = time.time() if now is None else now
+    entries, orphans = scan_store(
+        spec.directory,
+        spec.payload_suffix,
+        spec.sidecar_suffix,
+        exclude_suffix=spec.exclude_suffix,
+    )
+    total = sum(entry.size for entry in entries)
+    plan = plan_evictions(entries, budget_bytes)
+    stale_orphans = []
+    for orphan in orphans:
+        try:
+            if now - orphan.stat().st_mtime >= ORPHAN_GRACE_S:
+                stale_orphans.append(orphan)
+        except OSError:
+            continue
+    evicted = 0
+    evicted_bytes = 0
+    orphans_removed = 0
+    for entry in plan:
+        if dry_run or remove_entry(entry):
+            evicted += 1
+            evicted_bytes += entry.size
+    for orphan in stale_orphans:
+        if dry_run:
+            orphans_removed += 1
+            continue
+        try:
+            orphan.unlink(missing_ok=True)
+            orphans_removed += 1
+        except OSError:
+            continue
+    return {
+        "store": spec.name,
+        "directory": str(spec.directory),
+        "entries": len(entries),
+        "bytes": total,
+        "budget_bytes": budget_bytes,
+        "evicted": evicted,
+        "evicted_bytes": evicted_bytes,
+        "orphans_removed": orphans_removed,
+        "bytes_after": total - evicted_bytes,
+        "dry_run": dry_run,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro cache gc``: trim the on-disk stores."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Manage the content-addressed on-disk stores.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    gc = commands.add_parser(
+        "gc", help="evict oldest-used entries down to a byte budget"
+    )
+    gc.add_argument(
+        "--budget-mib",
+        type=float,
+        required=True,
+        help="per-store payload byte budget",
+    )
+    gc.add_argument(
+        "--store",
+        choices=["events", "reuse", "results", "all"],
+        default="all",
+        help="which store to trim (default: all three)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without unlinking anything",
+    )
+    options = parser.parse_args(argv)
+    budget = int(options.budget_mib * 1024 * 1024)
+    if budget <= 0:
+        parser.error(f"--budget-mib must be > 0, got {options.budget_mib:g}")
+    stores = known_stores()
+    selected = (
+        list(stores.values())
+        if options.store == "all"
+        else [stores[options.store]]
+    )
+    for spec in selected:
+        report = gc_store(spec, budget, dry_run=options.dry_run)
+        verb = "would evict" if options.dry_run else "evicted"
+        print(
+            f"{report['store']}: {report['entries']} entries, "
+            f"{report['bytes']} bytes in {report['directory']}; "
+            f"{verb} {report['evicted']} entries "
+            f"({report['evicted_bytes']} bytes), "
+            f"{report['orphans_removed']} orphans -> "
+            f"{report['bytes_after']} bytes"
+        )
+    return 0

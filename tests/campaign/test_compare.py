@@ -1,0 +1,157 @@
+"""Cohort comparison: Eq. (2) deltas, physical-identity joins."""
+
+import pytest
+
+from repro.campaign import compare
+from repro.campaign.executor import run_campaign
+from repro.campaign.registry import CampaignRegistry
+from repro.campaign.spec import validate_spec
+from repro.service import queries
+
+TRACE = {"kind": "spec92", "name": "ear", "instructions": 400}
+
+
+def _result(instructions, cycles, read, flush, write):
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "cpi": cycles / instructions,
+        "read_miss_stall_cycles": read,
+        "flush_stall_cycles": flush,
+        "write_stall_cycles": write,
+    }
+
+
+def _record(spec, index, cache_index, policy, beta, result):
+    return {
+        "index": index,
+        "point": {
+            "trace_index": 0,
+            "cache_index": cache_index,
+            "cache": spec["caches"][cache_index],
+            "policy": policy,
+            "memory_cycle": beta,
+        },
+        "result": result,
+    }
+
+
+class TestEq2Terms:
+    def test_terms_sum_to_cpi_exactly(self):
+        result = _result(100, 250.0, 30.0, 20.0, 10.0)
+        terms = compare.eq2_terms(result)
+        assert terms == {
+            "execute_cpi": 1.9,
+            "read_stall_cpi": 0.3,
+            "flush_stall_cpi": 0.2,
+            "write_buffer_stall_cpi": 0.1,
+        }
+        assert sum(terms.values()) == pytest.approx(result["cpi"])
+
+
+class TestDiffCohorts:
+    def test_joins_on_physical_identity(self):
+        spec_a = validate_spec(
+            {
+                "traces": [TRACE],
+                "caches": [{"total_bytes": 4096}, {"total_bytes": 8192}],
+                "memory_cycles": [8.0],
+            }
+        )
+        # B swapped one cache size: one shared point, one per side.
+        spec_b = validate_spec(
+            {
+                "traces": [TRACE],
+                "caches": [{"total_bytes": 8192}, {"total_bytes": 16384}],
+                "memory_cycles": [8.0],
+            }
+        )
+        cohort_a = compare.load_cohort(
+            spec_a,
+            [
+                _record(spec_a, 0, 0, "FS", 8.0, _result(100, 300, 50, 0, 0)),
+                _record(spec_a, 1, 1, "FS", 8.0, _result(100, 250, 30, 0, 0)),
+            ],
+        )
+        cohort_b = compare.load_cohort(
+            spec_b,
+            [
+                _record(spec_b, 0, 0, "FS", 8.0, _result(100, 240, 20, 0, 0)),
+                _record(spec_b, 1, 1, "FS", 8.0, _result(100, 220, 10, 0, 0)),
+            ],
+        )
+        report = compare.diff_cohorts(
+            spec_a, cohort_a, spec_b, cohort_b, include_hit_ratio=False
+        )
+        assert report["matched"] == 1
+        assert report["only_a"] == 1
+        assert report["only_b"] == 1
+        (row,) = report["rows"]
+        # The shared point is the 8K cache: B is index 0 there, A is 1.
+        assert row["cache"]["total_bytes"] == 8192
+        assert row["delta_cycles"] == -10.0
+        assert row["delta_cpi"] == pytest.approx(-0.1)
+        assert row["delta_eq2"]["read_stall_cpi"] == pytest.approx(-0.1)
+        assert row["delta_eq2"]["execute_cpi"] == pytest.approx(0.0)
+
+    def test_load_cohort_skips_non_result_records(self):
+        spec = validate_spec({"traces": [TRACE]})
+        cohort = compare.load_cohort(
+            spec,
+            [
+                {"schema": "repro.campaign.results/1", "points": 1},
+                {"index": 0, "point": {}, "error": {"code": "x"}},
+                {"done": True},
+            ],
+        )
+        assert cohort == {}
+
+
+class TestResolveAndRender:
+    @pytest.fixture(scope="class")
+    def cohorts(self, tmp_path_factory):
+        registry = CampaignRegistry(tmp_path_factory.mktemp("cmp"))
+        doc = {
+            "name": "cmp",
+            "traces": [TRACE],
+            "caches": [{"total_bytes": 4096, "line_size": 32}],
+            "memory_cycles": [4.0, 8.0],
+        }
+        campaign, _ = registry.submit(doc)
+        assert run_campaign(campaign)["progress"]["complete"]
+        registry.promote(campaign, "cmp-base")
+        return registry
+
+    def test_campaign_diffed_against_its_own_baseline(self, cohorts):
+        label_a, spec_a, cohort_a = compare.resolve_cohort(cohorts, "cmp-base")
+        label_b, spec_b, cohort_b = compare.resolve_cohort(cohorts, "cmp")
+        assert label_a == "baseline:cmp-base"
+        assert label_b == "cmp"
+        report = compare.diff_cohorts(spec_a, cohort_a, spec_b, cohort_b)
+        assert report["matched"] == 2
+        assert report["only_a"] == report["only_b"] == 0
+        for row in report["rows"]:
+            assert row["delta_cycles"] == 0.0
+            assert row["delta_cpi"] == 0.0
+            # Hit ratios recover through the (warm) events store.
+            assert row["delta_hit_ratio"] == 0.0
+            assert 0.0 <= row["hit_ratio_a"] <= 1.0
+        rendered = compare.render_diff(label_a, label_b, report)
+        assert "A=baseline:cmp-base" in rendered
+        assert "4096/32/a2" in rendered
+        assert "dCPI" in rendered
+
+    def test_unknown_ref_raises(self, cohorts):
+        with pytest.raises(KeyError, match="neither a campaign nor"):
+            compare.resolve_cohort(cohorts, "nope")
+
+    def test_hit_ratio_matches_events_store(self, cohorts):
+        campaign = cohorts.find("cmp")
+        _, spec, cohort = compare.resolve_cohort(cohorts, "cmp")
+        entry = next(iter(cohort.values()))
+        from repro.campaign import spec as spec_mod
+
+        params = spec_mod.point_params(spec, entry["point"])
+        expected = queries.resolve_events(params).stats.hit_ratio
+        assert compare._hit_ratio_of(spec, entry["point"]) == expected
+        assert campaign.progress()["complete"]

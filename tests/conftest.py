@@ -8,6 +8,7 @@ import pytest
 
 from repro.cache.cache import CacheConfig
 from repro.cache.events_store import EVENTS_CACHE_DIR_ENV
+from repro.campaign.registry import CAMPAIGN_DIR_ENV
 from repro.core.params import SystemConfig
 from repro.service.disk_cache import RESULT_CACHE_DIR_ENV
 from repro.trace.record import ALU_OP, Instruction, OpKind
@@ -48,6 +49,25 @@ def _isolated_result_cache(tmp_path_factory):
         os.environ.pop(RESULT_CACHE_DIR_ENV, None)
     else:
         os.environ[RESULT_CACHE_DIR_ENV] = previous
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_campaign_registry(tmp_path_factory):
+    """Point the campaign registry at a per-session temp dir.
+
+    The env override beats any configured ``--registry`` /
+    ``campaign_dir`` path, so even a test server configured with a
+    real-looking directory stays out of ``~/.cache/repro/campaigns``.
+    Tests that need a private registry monkeypatch the same variable.
+    """
+    directory = tmp_path_factory.mktemp("campaigns")
+    previous = os.environ.get(CAMPAIGN_DIR_ENV)
+    os.environ[CAMPAIGN_DIR_ENV] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop(CAMPAIGN_DIR_ENV, None)
+    else:
+        os.environ[CAMPAIGN_DIR_ENV] = previous
 
 
 @pytest.fixture
