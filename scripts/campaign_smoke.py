@@ -14,13 +14,19 @@ then breaks things on purpose:
 After the resumed run completes, the registry the fleet wrote is
 compared byte-for-byte against an in-process ``run_campaign`` of the
 same spec into a fresh registry — the crash, the worker death, and the
-service path must all be invisible in the final artifacts.  CI then
-runs ``python -m repro.obs.validate --campaign REG/<id>`` over the
-directory and uploads it as a build artifact::
+service path must all be invisible in the final artifacts.  The span
+spools every fleet process left behind (``--span-spool-dir`` fans one
+root out into ``router``/``w0``/..) must validate end to end — the
+phase-1 crash leaves an unsealed active file the phase-2 restart seals
+— and assemble into a campaign-filtered Perfetto timeline carrying the
+executor's ``campaign.*`` spans.  CI then runs ``python -m
+repro.obs.validate --campaign REG/<id>`` over the directory and uploads
+it as a build artifact::
 
     PYTHONPATH=src python scripts/campaign_smoke.py --registry campaign_smoke
     PYTHONPATH=src python -m repro.obs.validate \
-        --campaign campaign_smoke/$(ls campaign_smoke | grep -v baselines)
+        --campaign campaign_smoke/$(ls campaign_smoke | grep -v baselines) \
+        --spans campaign_smoke_spans/router
 """
 
 import argparse
@@ -51,11 +57,14 @@ SPEC = {
 }  # 16 points
 
 
-def launch_fleet(registry: Path, workers: int) -> tuple[subprocess.Popen, int]:
+def launch_fleet(
+    registry: Path, workers: int, span_spool: Path
+) -> tuple[subprocess.Popen, int]:
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--batch-window-ms", "1", "--workers", str(workers),
-         "--campaign-dir", str(registry)],
+         "--campaign-dir", str(registry),
+         "--span-spool-dir", str(span_spool)],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -92,13 +101,24 @@ def main(argv=None) -> int:
         help="registry directory the fleet writes (uploaded by CI)",
     )
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--span-spool",
+        default=None,
+        help="span-spool root the fleet writes one subdirectory per "
+        "process into (default: REGISTRY_spans); validated and "
+        "assembled into a campaign timeline at exit",
+    )
     args = parser.parse_args(argv)
     registry_dir = Path(args.registry).resolve()
     registry_dir.mkdir(parents=True, exist_ok=True)
+    span_spool = Path(
+        args.span_spool
+        or registry_dir.parent / f"{registry_dir.name}_spans"
+    ).resolve()
     failures: list = []
 
     # -- phase 1: submit, SIGKILL a worker, SIGTERM the router mid-run --
-    process, port = launch_fleet(registry_dir, args.workers)
+    process, port = launch_fleet(registry_dir, args.workers, span_spool)
     client = ServiceClient("127.0.0.1", port)
     client.wait_ready(timeout=60.0)
     view = client.submit_campaign(SPEC)
@@ -122,7 +142,7 @@ def main(argv=None) -> int:
     print(f"drained with {checkpointed} points checkpointed")
 
     # -- phase 2: restart, re-POST the same spec, run to completion ----
-    process, port = launch_fleet(registry_dir, args.workers)
+    process, port = launch_fleet(registry_dir, args.workers, span_spool)
     client = ServiceClient("127.0.0.1", port)
     client.wait_ready(timeout=60.0)
     booted = client.campaign_status(campaign_id)["progress"]
@@ -174,6 +194,51 @@ def main(argv=None) -> int:
             f"byte-identity: fleet and local results.jsonl match "
             f"({server_campaign.results_path.stat().st_size} bytes)"
         )
+
+    # -- phase 4: the span spools the fleet left must validate and ----
+    # assemble into a campaign-filtered timeline (the crash in phase 1
+    # left an unsealed active file; the phase-2 restart sealed it, so
+    # the whole spool is checksummed end to end).
+    from repro.obs.cli import assemble_timeline
+    from repro.obs.schemas import SchemaError, validate_chrome_trace
+    from repro.obs.span_spool import validate_spool
+
+    spool_dirs = sorted(
+        entry for entry in span_spool.iterdir() if entry.is_dir()
+    ) if span_spool.is_dir() else []
+    if not spool_dirs:
+        failures.append(f"fleet left no span spools under {span_spool}")
+    total_spans = 0
+    for spool_dir in spool_dirs:
+        try:
+            counts = validate_spool(str(spool_dir))
+        except (OSError, SchemaError) as error:
+            failures.append(f"span spool {spool_dir.name} invalid: {error}")
+            continue
+        total_spans += counts["records"]
+    try:
+        timeline = assemble_timeline(
+            str(span_spool), str(registry_dir / campaign_id)
+        )
+        validate_chrome_trace(timeline)
+        campaign_spans = [
+            e
+            for e in timeline["traceEvents"]
+            if e.get("ph") == "X"
+            and e.get("name", "").startswith("campaign.")
+        ]
+        if not campaign_spans:
+            failures.append(
+                "campaign timeline carries no campaign.* spans"
+            )
+        else:
+            print(
+                f"span spools ok: {total_spans} spans across "
+                f"{len(spool_dirs)} processes, campaign timeline has "
+                f"{len(campaign_spans)} campaign spans"
+            )
+    except (OSError, ValueError, KeyError, SchemaError) as error:
+        failures.append(f"campaign timeline assembly failed: {error}")
 
     if failures:
         print("FAILURES:")

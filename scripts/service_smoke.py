@@ -290,10 +290,81 @@ def main(argv=None) -> int:
         write_json(trace_out, trace_document)
         if not trace_document.get("enabled"):
             failures.append("/v1/debug/trace reports tracing disabled")
+        if args.workers > 1:
+            # Distributed-tracing pin: one forwarded request must yield
+            # a merged document where the router's forward span fathers
+            # the worker's ingress span under one trace id.  The merged
+            # doc is kept for the CI artifact upload.
+            probe.simulate(
+                trace={
+                    "kind": "spec92",
+                    "name": "swm256",
+                    "instructions": 3000,
+                    "seed": 997,
+                },
+                memory_cycle=6.0,
+            )
+            fleet_trace_id = probe.last_trace_id
+            stitched = None
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                merged = probe.debug_trace(trace_id=fleet_trace_id)
+                spans = [
+                    e
+                    for e in merged.get("traceEvents", [])
+                    if e.get("ph") == "X"
+                ]
+                forwards = [
+                    e
+                    for e in spans
+                    if e["name"] == "service.forward" and e["pid"] == 0
+                ]
+                worker_spans = [e for e in spans if e["pid"] >= 1]
+                if forwards and worker_spans:
+                    stitched = (merged, forwards[0], spans, worker_spans)
+                    break
+                time.sleep(0.2)
+            if stitched is None:
+                failures.append(
+                    f"merged trace for {fleet_trace_id} never assembled "
+                    f"router and worker spans"
+                )
+            else:
+                merged, forward, spans, worker_spans = stitched
+                write_json(payload_dir / "trace" / "fleet_trace.json", merged)
+                if not all(
+                    e.get("args", {}).get("trace_id") == fleet_trace_id
+                    for e in spans
+                ):
+                    failures.append(
+                        "merged trace mixes trace ids despite the filter"
+                    )
+                if not any(
+                    e["args"].get("parent_span_id")
+                    == forward["args"]["span_id"]
+                    for e in worker_spans
+                ):
+                    failures.append(
+                        "no worker span names the router's forward span "
+                        "as its parent"
+                    )
+                if not any(
+                    e.get("ph") == "f"
+                    for e in merged.get("traceEvents", [])
+                    if e.get("cat") == "repro.flow"
+                ):
+                    failures.append(
+                        "merged trace carries no forward flow events"
+                    )
+        # The ring<->access-log invariant covers the router's own spans.
+        # In fleet mode the merged document also carries worker tracks
+        # (pid >= 1) whose internal scrape requests (/v1/stats,
+        # /v1/debug/spans) mint worker-side ids the router never logs.
         span_ids.update(
             event["args"]["request_id"]
             for event in trace_document.get("traceEvents", [])
             if "request_id" in event.get("args", {})
+            and (args.workers == 1 or event.get("pid") == 0)
         )
         if not pinned_ids <= span_ids:
             failures.append(

@@ -23,6 +23,10 @@ campaign
 cache
     Offline store maintenance (``cache gc --budget-mib N``) for the
     events / reuse-profile / result stores.
+obs
+    Observability consumers: ``obs timeline`` assembles an offline
+    fleet timeline from span spools (see ``docs/OBSERVABILITY.md``);
+    ``obs validate`` is an alias for ``repro.obs.validate``.
 """
 
 from __future__ import annotations
@@ -203,6 +207,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="bounded span ring for /v1/debug/trace (0 disables)",
+    )
+    serve.add_argument(
+        "--span-spool-dir",
+        metavar="DIR",
+        default=None,
+        help="spool finished spans to checksummed JSONL under this "
+        "directory (fleet: one subdirectory per process; merge with "
+        "`repro obs timeline --spool DIR`)",
     )
     serve.add_argument(
         "--profile-max-seconds",
@@ -402,6 +414,7 @@ def _cmd_serve(options: argparse.Namespace) -> int:
         default_deadline_s=options.default_deadline_s,
         access_log_path=options.access_log,
         span_ring_capacity=options.span_ring_capacity,
+        span_spool_dir=options.span_spool_dir,
         profile_max_seconds=options.profile_max_seconds,
         keepalive_timeout_s=(
             options.keepalive_timeout if options.keepalive_timeout > 0 else None
@@ -453,6 +466,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.util.store_gc import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Observability consumers (timeline assembly, validation) own
+        # their parsing, like the other delegated sub-CLIs.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     options = _build_parser().parse_args(argv)
     logs.configure(verbosity=options.verbose, level=options.log_level)
     tracer = tracing.enable_tracing() if options.trace_out else None

@@ -101,7 +101,13 @@ class _Checkpointer:
     def flush(self) -> None:
         if self._since_save == 0:
             return
-        self.campaign.save_state(self.status)
+        with tracing.span(
+            "campaign.chunk",
+            campaign=self.campaign.id[:12],
+            chunk=self.chunks,
+            points=self._since_save,
+        ):
+            self.campaign.save_state(self.status)
         self._since_save = 0
         self.chunks += 1
         metrics.inc("campaign.checkpoints")

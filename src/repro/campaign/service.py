@@ -32,6 +32,7 @@ from typing import Any, Awaitable, Callable, Iterator
 from repro.campaign import spec as spec_mod
 from repro.campaign.executor import DEFAULT_CHUNK, _Checkpointer
 from repro.campaign.registry import Campaign, CampaignRegistry
+from repro.obs import live, tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.util.jsonout import dump_json
 
@@ -121,7 +122,17 @@ class CampaignService:
                     continue
                 params = spec_mod.point_params(campaign.spec, cp.point)
                 try:
-                    result = await self.resolver(params)
+                    # Each point gets a fresh trace root so the fleet's
+                    # forwarded resolve carries a traceparent and the
+                    # worker's spans join this point's tree — the spans
+                    # carry the campaign id for spool-side filtering.
+                    with tracing.trace_context((live.new_trace_id(), "")):
+                        with tracing.span(
+                            "campaign.point",
+                            campaign=campaign.id[:12],
+                            index=cp.index,
+                        ):
+                            result = await self.resolver(params)
                 except asyncio.CancelledError:
                     raise
                 except BaseException as error:  # noqa: BLE001 - per point

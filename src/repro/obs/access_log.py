@@ -23,8 +23,12 @@ from typing import Any, IO
 
 from repro.util.jsonout import dump_json_line
 
-#: Schema tag carried by every access-log line.
-ACCESS_LOG_SCHEMA = "repro.obs.access_log/1"
+#: Schema tag carried by every access-log line.  ``/2`` added the
+#: optional ``trace_id``/``span_id`` fields (the request's distributed
+#: trace identity, when one was active), so a slow access-log line joins
+#: directly to its span tree — and a span's ``trace_id`` greps straight
+#: back to the log.  The validator still accepts ``/1`` records.
+ACCESS_LOG_SCHEMA = "repro.obs.access_log/2"
 
 
 def access_record(

@@ -16,6 +16,18 @@ Request-context propagation
     request, so phase-1/phase-2 spans in a Chrome-trace export show
     which coalesced batch served which requests.
 
+Distributed trace context
+    Alongside the request id, every ingress request gets a W3C-style
+    trace identity: the inbound ``traceparent`` header when well-formed
+    (:func:`parse_traceparent` is strict — anything malformed is
+    discarded and a fresh root is minted), installed with
+    :func:`repro.obs.tracing.trace_context` so every span records
+    ``trace_id``/``span_id``/``parent_span_id``.  The router re-emits
+    ``traceparent`` on forwarded requests (:func:`current_traceparent`),
+    making its ``service.forward`` span the parent of the worker's
+    spans; the batcher re-enters the context on the batch thread, so the
+    tree survives both the process hop and the thread hop.
+
 :class:`RingTracer`
     A :class:`~repro.obs.tracing.Tracer` whose event list is a bounded
     ring (``collections.deque`` with ``maxlen``) — safe to leave
@@ -56,6 +68,15 @@ from repro.obs.tracing import Tracer
 #: The ingress/egress header carrying the request id (any casing).
 REQUEST_ID_HEADER = "X-Repro-Request-Id"
 
+#: The inbound W3C-style trace-context header
+#: (``00-<32 hex trace>-<16 hex span>-<2 hex flags>``).
+TRACEPARENT_HEADER = "traceparent"
+
+#: The egress header echoing the request's trace id, so a caller can
+#: immediately pull ``/v1/debug/trace?trace_id=...`` for the request it
+#: just made (mirrors the :data:`REQUEST_ID_HEADER` echo).
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+
 #: Schema tag of the ``/v1/debug/trace`` document (also a valid Chrome
 #: trace: ``traceEvents`` is the ring tail, so Perfetto loads it as-is).
 TRACE_TAIL_SCHEMA = "repro.obs.trace_tail/1"
@@ -64,6 +85,14 @@ TRACE_TAIL_SCHEMA = "repro.obs.trace_tail/1"
 MAX_REQUEST_ID_LEN = 64
 
 _ID_SANITIZE = re.compile(r"[^A-Za-z0-9._:-]")
+
+#: A well-formed ``traceparent`` is exactly this long; anything longer
+#: is rejected before the regex even runs.
+MAX_TRACEPARENT_LEN = 55
+
+_TRACEPARENT_RE = re.compile(
+    r"^00-(?P<trace_id>[0-9a-f]{32})-(?P<span_id>[0-9a-f]{16})-[0-9a-f]{2}$"
+)
 
 
 # -- request-context propagation -----------------------------------------
@@ -94,6 +123,70 @@ def request_id_from_header(value: str | None) -> str:
         if cleaned:
             return cleaned
     return new_request_id()
+
+
+# -- distributed trace context -------------------------------------------
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-character trace id."""
+    return uuid.uuid4().hex
+
+
+def parse_traceparent(value: str | None) -> tuple[str, str] | None:
+    """Strictly parse a ``traceparent`` into ``(trace_id, span_id)``.
+
+    Unlike :func:`request_id_from_header`'s strip-the-bad-characters
+    sanitization, trace identity is all-or-nothing: a header that is
+    missing, oversized, wrongly delimited, uppercase, or carries an
+    all-zero trace or span id returns ``None`` — the caller mints a
+    fresh context instead of propagating a mangled one.
+    """
+    if not value:
+        return None
+    cleaned = value.strip()
+    if len(cleaned) > MAX_TRACEPARENT_LEN:
+        return None
+    match = _TRACEPARENT_RE.match(cleaned)
+    if match is None:
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
+
+def trace_context_from_header(value: str | None) -> tuple[str, str]:
+    """Honour a well-formed inbound ``traceparent`` or mint a fresh root.
+
+    Returns the ``(trace_id, parent_span_id)`` pair to install with
+    :func:`repro.obs.tracing.trace_context`; a fresh root has an empty
+    parent id, so the first span opened under it becomes the trace root.
+    """
+    parsed = parse_traceparent(value)
+    if parsed is not None:
+        return parsed
+    return new_trace_id(), ""
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render a ``traceparent`` header value (sampled flag set)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def current_traceparent() -> str | None:
+    """An outbound ``traceparent`` for the ambient trace, or ``None``.
+
+    The parent half is the innermost open traced span's id; when no span
+    has recorded one (span ring disabled), an ephemeral span id is
+    minted so the *trace id* still propagates downstream.
+    """
+    context = tracing.current_trace_context()
+    if context is None:
+        return None
+    trace_id, span_id = context
+    return format_traceparent(trace_id, span_id or tracing.new_span_id())
 
 
 @contextmanager
@@ -184,13 +277,21 @@ class RingTracer(Tracer):
     """
 
     def __init__(
-        self, capacity: int = 4096, pid: int = 0, tid: int = 0, name: str = "service"
+        self,
+        capacity: int = 4096,
+        pid: int = 0,
+        tid: int = 0,
+        name: str = "service",
+        sink: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         super().__init__(pid=pid, tid=tid, name=name)
         self.capacity = capacity
         self.recorded = 0
+        #: Optional per-event tap (the span spool's ``append``); called
+        #: with each finished span before it lands in the ring.
+        self.sink = sink
         self.events = _RingEvents(self, capacity)  # type: ignore[assignment]
 
     def tail(self, last: int | None = None) -> list[dict[str, Any]]:
@@ -212,17 +313,25 @@ class _RingEvents(deque):
 
     def append(self, event: dict[str, Any]) -> None:  # type: ignore[override]
         self._tracer.recorded += 1
+        sink = self._tracer.sink
+        if sink is not None:
+            sink(event)
         super().append(event)
 
 
 def trace_tail_document(
-    tracer: Tracer | None, last: int | None = None
+    tracer: Tracer | None,
+    last: int | None = None,
+    trace_id: str | None = None,
 ) -> dict[str, Any]:
     """The ``/v1/debug/trace`` payload: a schema-tagged Chrome trace.
 
     The document is Perfetto-loadable (``traceEvents`` holds the tail)
     and carries the ring bookkeeping so callers can tell truncation from
-    a quiet server.
+    a quiet server, plus a ``clock`` section (``perf_counter`` now and
+    the tracer epoch) so a cross-process collector can rebase the events
+    onto its own timeline.  ``trace_id`` filters the tail (after the
+    ``last`` cut) to one request's spans.
     """
     if tracer is None:
         return {
@@ -230,6 +339,7 @@ def trace_tail_document(
             "enabled": False,
             "traceEvents": [],
             "displayTimeUnit": "ms",
+            "clock": {"perf_counter": time.perf_counter(), "epoch": None},
             "otherData": {"producer": "repro.obs.live"},
         }
     if isinstance(tracer, RingTracer):
@@ -240,6 +350,12 @@ def trace_tail_document(
         if last is not None:
             events = events[-last:] if last > 0 else []
         ring = {"capacity": None, "recorded": len(tracer.events)}
+    if trace_id is not None:
+        events = [
+            event
+            for event in events
+            if event.get("args", {}).get("trace_id") == trace_id
+        ]
     document = tracer.chrome_trace()
     document["traceEvents"] = [
         event for event in document["traceEvents"] if event.get("ph") == "M"
@@ -247,6 +363,10 @@ def trace_tail_document(
     document["schema"] = TRACE_TAIL_SCHEMA
     document["enabled"] = True
     document["ring"] = ring
+    document["clock"] = {
+        "perf_counter": time.perf_counter(),
+        "epoch": tracer.epoch,
+    }
     return document
 
 
@@ -319,13 +439,21 @@ SLI_QUANTILES = (("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99))
 class _WindowEntry:
     """Per-(bucket, endpoint) accumulation."""
 
-    __slots__ = ("count", "errors", "latency_sum_ms", "sketch")
+    __slots__ = (
+        "count", "errors", "latency_sum_ms", "sketch",
+        "slow_ms", "slow_trace_id",
+    )
 
     def __init__(self) -> None:
         self.count = 0
         self.errors = 0
         self.latency_sum_ms = 0.0
         self.sketch = QuantileSketch()
+        # The slowest traced request in this entry — the exemplar
+        # surfaced next to the p99 (the window max is always an upper
+        # witness for the p99 estimate).
+        self.slow_ms = -1.0
+        self.slow_trace_id: str | None = None
 
 
 class RollingWindow:
@@ -363,8 +491,19 @@ class RollingWindow:
                 break
             del self._buckets[oldest]
 
-    def record(self, endpoint: str, status: int, latency_ms: float) -> None:
-        """Fold one served request into the current bucket."""
+    def record(
+        self,
+        endpoint: str,
+        status: int,
+        latency_ms: float,
+        trace_id: str | None = None,
+    ) -> None:
+        """Fold one served request into the current bucket.
+
+        ``trace_id`` (when the request carried a trace context) feeds
+        the per-endpoint exemplar: the slowest traced request in the
+        window is exposed next to the p99 quantile.
+        """
         index = int(self._clock() / self.bucket_s)
         self._prune(index)
         bucket = self._buckets.get(index)
@@ -378,6 +517,9 @@ class RollingWindow:
             entry.errors += 1
         entry.latency_sum_ms += latency_ms
         entry.sketch.add(latency_ms)
+        if trace_id is not None and latency_ms >= entry.slow_ms:
+            entry.slow_ms = latency_ms
+            entry.slow_trace_id = trace_id
 
     def summary(self) -> dict[str, dict[str, Any]]:
         """Per-endpoint SLIs over the live window, endpoints sorted."""
@@ -393,8 +535,15 @@ class RollingWindow:
                 into.errors += entry.errors
                 into.latency_sum_ms += entry.latency_sum_ms
                 into.sketch.merge(entry.sketch)
-        return {
-            endpoint: {
+                if (
+                    entry.slow_trace_id is not None
+                    and entry.slow_ms >= into.slow_ms
+                ):
+                    into.slow_ms = entry.slow_ms
+                    into.slow_trace_id = entry.slow_trace_id
+        out: dict[str, dict[str, Any]] = {}
+        for endpoint, entry in sorted(merged.items()):
+            view: dict[str, Any] = {
                 "count": entry.count,
                 "errors": entry.errors,
                 "latency_sum_ms": entry.latency_sum_ms,
@@ -403,8 +552,13 @@ class RollingWindow:
                     for label, q in SLI_QUANTILES
                 },
             }
-            for endpoint, entry in sorted(merged.items())
-        }
+            if entry.slow_trace_id is not None:
+                view["exemplar"] = {
+                    "trace_id": entry.slow_trace_id,
+                    "latency_ms": entry.slow_ms,
+                }
+            out[endpoint] = view
+        return out
 
 
 # -- Prometheus text exposition ------------------------------------------
@@ -412,11 +566,13 @@ class RollingWindow:
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 _KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
 
-#: One exposition sample line: ``name{labels} value``.
+#: One exposition sample line: ``name{labels} value`` with an optional
+#: OpenMetrics-style exemplar suffix (`` # {labels} value``).
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})? "
-    r"(?P<value>[^ ]+)$"
+    r"(?P<value>[^ ]+)"
+    r"(?: # \{(?P<exemplar_labels>[^}]*)\} (?P<exemplar_value>[^ ]+))?$"
 )
 
 
@@ -525,13 +681,23 @@ def render_prometheus(
             )
         lines.append("# TYPE repro_sli_request_latency_ms summary")
         for endpoint, entry in window_summary.items():
+            exemplar = entry.get("exemplar")
             for label, _ in SLI_QUANTILES:
                 value = entry["quantiles_ms"][label]
-                lines.append(
+                sample = (
                     "repro_sli_request_latency_ms"
                     f'{_format_labels({"endpoint": endpoint, "quantile": label})} '
                     f"{_format_value(round(value, 6))}"
                 )
+                if label == "0.99" and exemplar is not None:
+                    # OpenMetrics-style exemplar: the slowest traced
+                    # request in the window, linking the quantile to a
+                    # renderable trace (`/v1/debug/trace?trace_id=...`).
+                    sample += (
+                        f' # {{trace_id="{exemplar["trace_id"]}"}} '
+                        f"{_format_value(round(exemplar['latency_ms'], 6))}"
+                    )
+                lines.append(sample)
             lines.append(
                 "repro_sli_request_latency_ms_count"
                 f'{_format_labels({"endpoint": endpoint})} '
@@ -576,6 +742,13 @@ def parse_exposition(text: str) -> dict[str, list[tuple[dict[str, str], float]]]
             raise ValueError(
                 f"line {lineno}: bad sample value: {line!r}"
             ) from error
+        if match.group("exemplar_value") is not None:
+            try:
+                float(match.group("exemplar_value"))
+            except ValueError as error:
+                raise ValueError(
+                    f"line {lineno}: bad exemplar value: {line!r}"
+                ) from error
         samples.setdefault(match.group("name"), []).append((labels, value))
     if not text.endswith("\n"):
         raise ValueError("exposition text must end with a newline")

@@ -10,6 +10,7 @@ smoke run's artifacts via ``python -m repro.obs.validate``.
 
 from __future__ import annotations
 
+import re
 from typing import Any
 
 from repro.obs.manifest import MANIFEST_SCHEMA
@@ -60,8 +61,19 @@ BENCH_ENGINE_SCHEMA = "repro.bench.engine/5"
 BENCH_SERVICE_SCHEMA = "repro.bench.service/4"
 
 #: One line of the serving layer's JSONL access log (see
-#: :mod:`repro.obs.access_log`).
-ACCESS_LOG_SCHEMA = "repro.obs.access_log/1"
+#: :mod:`repro.obs.access_log`).  ``/2`` added the optional
+#: ``trace_id``/``span_id`` fields so log↔trace joins work from either
+#: side; ``/1`` records (without them) still validate.
+ACCESS_LOG_SCHEMA = "repro.obs.access_log/2"
+
+#: Access-log schema tags accepted on read (back-compat).
+ACCESS_LOG_SCHEMAS = ("repro.obs.access_log/1", ACCESS_LOG_SCHEMA)
+
+#: One line of a per-process span spool (see :mod:`repro.obs.span_spool`).
+SPANS_SCHEMA = "repro.obs.spans/1"
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
 
 #: One appended entry of ``results/bench_history.jsonl`` (see
 #: :mod:`repro.obs.bench_history`).
@@ -130,6 +142,58 @@ def validate_chrome_trace(document: Any) -> None:
         if "args" in event:
             _require(
                 isinstance(event["args"], dict), f"{path}.args", "must be an object"
+            )
+
+
+def validate_span_record(document: Any) -> None:
+    """Validate one span-spool line (``repro.obs.spans/1``).
+
+    A spool record is a finished Chrome ``"X"`` event plus the spool's
+    own framing: the schema tag, a per-process append index (``seq``)
+    and the wall-clock end time (``wall_end``) that offline mergers use
+    to align spans across processes.  Trace-identity args, when present,
+    must be well-formed hex ids.
+    """
+    _require(isinstance(document, dict), "$", "record must be a JSON object")
+    _require(
+        document.get("schema") == SPANS_SCHEMA,
+        "$.schema",
+        f"must be {SPANS_SCHEMA!r}",
+    )
+    seq = document.get("seq")
+    _require(
+        isinstance(seq, int) and not isinstance(seq, bool) and seq >= 0,
+        "$.seq",
+        "must be a non-negative integer",
+    )
+    _require_number(document.get("wall_end"), "$.wall_end")
+    _require(
+        isinstance(document.get("name"), str) and document["name"],
+        "$.name",
+        "must be a non-empty string",
+    )
+    _require(document.get("ph") == "X", "$.ph", "must be 'X' (a complete span)")
+    for field in ("ts", "dur"):
+        _require_number(document.get(field), f"$.{field}")
+    _require(document["dur"] >= 0, "$.dur", "must be >= 0")
+    _require_number(document.get("pid"), "$.pid")
+    _require_number(document.get("tid"), "$.tid")
+    args = document.get("args")
+    _require(isinstance(args, dict), "$.args", "must be an object")
+    if "trace_id" in args:
+        _require(
+            isinstance(args["trace_id"], str)
+            and bool(_TRACE_ID_RE.match(args["trace_id"])),
+            "$.args.trace_id",
+            "must be 32 lowercase hex characters",
+        )
+    for field in ("span_id", "parent_span_id"):
+        if field in args:
+            _require(
+                isinstance(args[field], str)
+                and bool(_SPAN_ID_RE.match(args[field])),
+                f"$.args.{field}",
+                "must be 16 lowercase hex characters",
             )
 
 
@@ -766,9 +830,9 @@ def validate_access_log_record(document: Any) -> None:
     """Validate one line of the serving layer's JSONL access log."""
     _require(isinstance(document, dict), "$", "record must be a JSON object")
     _require(
-        document.get("schema") == ACCESS_LOG_SCHEMA,
+        document.get("schema") in ACCESS_LOG_SCHEMAS,
         "$.schema",
-        f"must be {ACCESS_LOG_SCHEMA!r}",
+        f"must be one of {ACCESS_LOG_SCHEMAS!r}",
     )
     _require_number(document.get("ts"), "$.ts")
     _require(
@@ -829,6 +893,20 @@ def validate_access_log_record(document: Any) -> None:
             isinstance(document["campaign"], str) and document["campaign"],
             "$.campaign",
             "must be a non-empty string",
+        )
+    if "trace_id" in document:
+        _require(
+            isinstance(document["trace_id"], str)
+            and bool(_TRACE_ID_RE.match(document["trace_id"])),
+            "$.trace_id",
+            "must be 32 lowercase hex characters",
+        )
+    if "span_id" in document:
+        _require(
+            isinstance(document["span_id"], str)
+            and bool(_SPAN_ID_RE.match(document["span_id"])),
+            "$.span_id",
+            "must be 16 lowercase hex characters",
         )
 
 

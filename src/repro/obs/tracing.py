@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Callable
+import uuid
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
 from typing import Any
 
@@ -39,6 +42,54 @@ from repro.util.jsonout import write_json
 
 #: Chrome trace category attached to every span event.
 CATEGORY = "repro"
+
+#: Ambient distributed-trace identity: ``(trace_id, span_id)`` where the
+#: span id is the innermost open traced span (or the inbound parent id
+#: before the first span opens, or ``""`` for a fresh root).  ``None``
+#: outside any traced request, which keeps non-request spans and the
+#: tracing-off fast path byte-identical to the pre-tracing behaviour.
+_TRACE_CONTEXT: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-character span id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_context() -> tuple[str, str] | None:
+    """The ambient ``(trace_id, span_id)`` pair, or ``None``.
+
+    The span id half is the id callers should use as the *parent* of any
+    work they hand off (an outbound ``traceparent``, a batch-thread
+    re-entry); it may be ``""`` when the context was minted fresh and no
+    traced span has opened yet.
+    """
+    return _TRACE_CONTEXT.get()
+
+
+@contextmanager
+def trace_context(
+    context: tuple[str, str] | None,
+) -> Iterator[tuple[str, str] | None]:
+    """Install a ``(trace_id, parent_span_id)`` pair for a ``with`` block.
+
+    Every span opened inside the block mints its own span id, stamps
+    ``trace_id``/``span_id``/``parent_span_id`` into its args, and
+    becomes the parent of spans nested below it.  ``None`` yields
+    without installing anything, so call sites that may run outside a
+    request need no conditional (mirrors
+    :func:`repro.obs.live.request_context`).
+    """
+    if context is None:
+        yield None
+        return
+    token = _TRACE_CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _TRACE_CONTEXT.reset(token)
 
 
 class _NullSpan:
@@ -115,9 +166,19 @@ class _PhaseSpan:
 
 
 class _LiveSpan:
-    """One open span; appends a complete event to its tracer on exit."""
+    """One open span; appends a complete event to its tracer on exit.
 
-    __slots__ = ("_tracer", "name", "args", "_start", "_phase_stack")
+    While a trace context is installed (:func:`trace_context`), the span
+    mints its own span id on entry, stamps the trace identity into its
+    ``args``, and becomes the ambient parent for spans opened below it —
+    including across ``await`` points, since the identity rides a
+    :mod:`contextvars` context.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "args", "_start", "_phase_stack",
+        "span_id", "_trace_token",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
         self._tracer = tracer
@@ -125,6 +186,8 @@ class _LiveSpan:
         self.args = args
         self._start = 0.0
         self._phase_stack: list[str] | None = None
+        self.span_id: str | None = None
+        self._trace_token = None
 
     def set(self, **args: Any) -> "_LiveSpan":
         """Attach arguments discovered mid-span (e.g. result counts)."""
@@ -133,11 +196,23 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         self._phase_stack = _push_phase(self.name)
+        context = _TRACE_CONTEXT.get()
+        if context is not None:
+            trace_id, parent_id = context
+            self.span_id = new_span_id()
+            self.args["trace_id"] = trace_id
+            self.args["span_id"] = self.span_id
+            if parent_id:
+                self.args["parent_span_id"] = parent_id
+            self._trace_token = _TRACE_CONTEXT.set((trace_id, self.span_id))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         end = time.perf_counter()
+        if self._trace_token is not None:
+            _TRACE_CONTEXT.reset(self._trace_token)
+            self._trace_token = None
         if self._phase_stack:
             self._phase_stack.pop()
         tracer = self._tracer

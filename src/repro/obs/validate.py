@@ -97,6 +97,16 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "checkpoint's checksum, every done point's artifact, and — when "
         "present — the results.jsonl framing and summary checksum",
     )
+    parser.add_argument(
+        "--spans",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="span-spool directory (see repro.obs.span_spool): verifies "
+        "every finalized segment against its checksum sidecar and every "
+        "line against repro.obs.spans/1; the crash-tolerant active file "
+        "is validated line by line",
+    )
     parser.add_argument("-v", "--verbose", action="count", default=0)
     args = parser.parse_args(argv)
     if not (
@@ -109,11 +119,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         or args.access_log
         or args.service_response
         or args.campaign
+        or args.spans
     ):
         parser.error(
             "nothing to validate: pass --trace/--metrics/--manifest/"
             "--bench/--bench-service/--profile/--access-log/"
-            "--service-response/--campaign"
+            "--service-response/--campaign/--spans"
         )
     return args
 
@@ -170,6 +181,24 @@ def _check_campaign(path: str) -> bool:
     return True
 
 
+def _check_spans(path: str) -> bool:
+    """Validate one span-spool directory (segments + active file)."""
+    # Imported lazily, like the campaign validator: plain artifact
+    # validation should not pay for the spool machinery.
+    from repro.obs.span_spool import validate_spool
+
+    try:
+        counts = validate_spool(path)
+    except (OSError, json.JSONDecodeError, SchemaError) as error:
+        logger.error("%s: INVALID: %s", path, error)
+        return False
+    print(
+        f"{path}: ok ({counts['records']} spans, "
+        f"{counts['segments']} sealed segments)"
+    )
+    return True
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit status."""
     args = _parse_args(argv)
@@ -193,6 +222,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ok &= _check(path, validate_service_response)
     for path in args.campaign:
         ok &= _check_campaign(path)
+    for path in args.spans:
+        ok &= _check_spans(path)
     return 0 if ok else 1
 
 

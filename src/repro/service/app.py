@@ -92,6 +92,7 @@ _GET_ENDPOINTS = frozenset(
         "readyz",
         "metrics",
         "debug-trace",
+        "debug-spans",
         "debug-profile",
         "campaigns",
         "campaign-status",
@@ -160,6 +161,7 @@ class ServiceApp:
         profile_max_seconds: float = DEFAULT_PROFILE_MAX_SECONDS,
         disk_cache: DiskResultCache | None = None,
         shed_watermark: int | None = None,
+        span_spool: Any = None,
     ) -> None:
         self.registry = registry
         self.batcher = batcher
@@ -172,6 +174,7 @@ class ServiceApp:
         self.profile_max_seconds = profile_max_seconds
         self.disk_cache = disk_cache
         self.shed_watermark = shed_watermark
+        self.span_spool = span_spool
         #: Assigned by the server after construction when it was started
         #: with ``--campaign-dir`` (a CampaignService); None => the
         #: campaign endpoints answer 503 ``campaigns_disabled``.
@@ -242,13 +245,19 @@ class ServiceApp:
         """Per-request accounting: counters, SLI window, access log."""
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         label = endpoint or "unknown"
+        trace_context = tracing.current_trace_context()
         self.registry.inc("service.requests", endpoint=label, status=status)
         self.registry.observe("service.latency_ms", elapsed_ms, endpoint=label)
         self._latency_ms.setdefault(
             label, deque(maxlen=LATENCY_WINDOW)
         ).append(elapsed_ms)
         if self.window is not None:
-            self.window.record(label, status, elapsed_ms)
+            self.window.record(
+                label,
+                status,
+                elapsed_ms,
+                trace_id=trace_context[0] if trace_context else None,
+            )
         if self.access_log is not None:
             annotations = live.current_annotations()
             deadline_ms = annotations.get("deadline_ms")
@@ -259,6 +268,14 @@ class ServiceApp:
             worker = live.current_worker_id()
             if worker is not None:
                 annotations.setdefault("worker", worker)
+            if trace_context is not None:
+                # The trace identity joins this line to its span tree:
+                # span_id is the request's root span (when tracing is
+                # recording), trace_id greps across every process the
+                # request touched.
+                annotations.setdefault("trace_id", trace_context[0])
+                if trace_context[1]:
+                    annotations.setdefault("span_id", trace_context[1])
             self.access_log.log(
                 access_record(
                     request_id=live.current_request_id() or "-",
@@ -303,6 +320,8 @@ class ServiceApp:
             return ops
         if path == "/v1/debug/trace":
             return "debug-trace"
+        if path == "/v1/debug/spans":
+            return "debug-spans"
         if path == "/v1/debug/profile":
             return "debug-profile"
         if path == "/v1/campaigns":
@@ -355,6 +374,8 @@ class ServiceApp:
             return 200, self._metrics_body(), METRICS_CONTENT_TYPE
         if endpoint == "debug-trace":
             return 200, self._trace_tail_body(request.path), JSON_CONTENT_TYPE
+        if endpoint == "debug-spans":
+            return 200, self._spans_body(request.path), JSON_CONTENT_TYPE
         if endpoint == "debug-profile":
             return (
                 200,
@@ -755,12 +776,16 @@ class ServiceApp:
         )
         return text.encode("utf-8")
 
-    def _trace_tail_body(self, path: str) -> bytes:
-        """``GET /v1/debug/trace?last=N``: the span ring buffer tail."""
+    @staticmethod
+    def _trace_query(path: str) -> tuple[int | None, str | None]:
+        """Parse the shared ``?last=N&trace_id=T`` trace-export query."""
         last: int | None = None
+        trace_id: str | None = None
         for item in path.partition("?")[2].split("&"):
             name, _, value = item.partition("=")
-            if name == "last" and value:
+            if not value:
+                continue
+            if name == "last":
                 try:
                     last = int(value)
                 except ValueError:
@@ -769,10 +794,35 @@ class ServiceApp:
                         "bad_query",
                         f"last must be an integer, got {value!r}",
                     ) from None
+            elif name == "trace_id":
+                trace_id = value
+        return last, trace_id
+
+    def _trace_tail_body(self, path: str) -> bytes:
+        """``GET /v1/debug/trace?last=N&trace_id=T``: the span ring tail."""
+        last, trace_id = self._trace_query(path)
         tracer = (
             self.tracer if self.tracer is not None else tracing.current_tracer()
         )
-        return dump_json(trace_tail_document(tracer, last)).encode("utf-8")
+        document = trace_tail_document(tracer, last, trace_id=trace_id)
+        return dump_json(document).encode("utf-8")
+
+    def _spans_body(self, path: str) -> bytes:
+        """``GET /v1/debug/spans``: this process's ring, collector-shaped.
+
+        Same document as ``/v1/debug/trace`` plus the worker identity —
+        the route a fleet router scrapes from each worker to assemble the
+        merged cross-process timeline (the ``clock`` block carried by the
+        document is what lets the router rebase this process's
+        ``perf_counter`` timestamps into its own timeline).
+        """
+        last, trace_id = self._trace_query(path)
+        tracer = (
+            self.tracer if self.tracer is not None else tracing.current_tracer()
+        )
+        document = trace_tail_document(tracer, last, trace_id=trace_id)
+        document["worker"] = live.current_worker_id()
+        return dump_json(document).encode("utf-8")
 
     async def _debug_profile_body(self, path: str) -> bytes:
         """``GET /v1/debug/profile?seconds=N&hz=M``: on-demand sampling.
@@ -884,6 +934,8 @@ class ServiceApp:
         }
         if self.disk_cache is not None:
             stats["disk_cache"] = self.disk_cache.stats()
+        if self.span_spool is not None:
+            stats["span_spool"] = self.span_spool.stats()
         if self.campaign_service is not None:
             stats["campaigns"] = self.campaign_service.stats()
         worker = live.current_worker_id()

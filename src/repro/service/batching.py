@@ -69,6 +69,7 @@ class _Pending:
     params: dict[str, Any]
     future: asyncio.Future
     request_id: str | None = None
+    trace_context: tuple[str, str] | None = None
 
 
 class EventsMemo:
@@ -157,9 +158,12 @@ class MicroBatcher:
             params=params,
             future=future,
             # run_in_executor does not propagate contextvars, so the
-            # ingress request id is captured here and re-entered on the
-            # worker thread — phase-2 spans then carry it.
+            # ingress request id and trace identity are captured here
+            # and re-entered on the worker thread — phase-2 spans then
+            # carry the request id and parent onto the request's own
+            # span tree, not the batch's.
             request_id=current_request_id(),
+            trace_context=tracing.current_trace_context(),
         )
         self._pending += 1
         self._registry.observe("service.queue.depth", self._pending)
@@ -275,8 +279,9 @@ class MicroBatcher:
                     continue
                 try:
                     with request_context(entry.request_id):
-                        with tracing.span("service.phase2", key=key[:12]):
-                            result = self._compute(entry.params, events)
+                        with tracing.trace_context(entry.trace_context):
+                            with tracing.span("service.phase2", key=key[:12]):
+                                result = self._compute(entry.params, events)
                 except Exception as error:  # noqa: BLE001 - reported per request
                     outcomes.append((entry, False, error))
                 else:

@@ -35,7 +35,7 @@ from collections import deque
 from collections.abc import Iterator
 from typing import Any
 
-from repro.obs.live import REQUEST_ID_HEADER
+from repro.obs.live import REQUEST_ID_HEADER, TRACE_ID_HEADER, TRACEPARENT_HEADER
 from repro.obs.metrics import percentile
 
 #: Client-side latency samples retained for the stats percentiles.
@@ -145,6 +145,10 @@ class ServiceClient:
         self.backoff_seed = backoff_seed
         self.stats = ClientStats()
         self.last_request_id: str | None = None
+        #: Trace id the server minted (or adopted) for the last call,
+        #: from its ``X-Repro-Trace-Id`` echo — hand it straight to
+        #: ``debug_trace(trace_id=...)`` to pull that request's tree.
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
         self._sleep = time.sleep  # swappable in tests
 
@@ -193,6 +197,7 @@ class ServiceClient:
         if response.getheader("Connection", "keep-alive").lower() == "close":
             self.close()
         self.last_request_id = response.getheader(REQUEST_ID_HEADER)
+        self.last_trace_id = response.getheader(TRACE_ID_HEADER)
         return response, payload
 
     def request(
@@ -201,23 +206,30 @@ class ServiceClient:
         path: str,
         params: dict[str, Any] | None = None,
         request_id: str | None = None,
+        traceparent: str | None = None,
     ) -> dict[str, Any]:
         """One logical call; returns the decoded response envelope.
 
         With ``busy_retries > 0``, a 429/503 answer is retried up to
         that many times with capped-exponential, seeded-jitter backoff
         (see :func:`backoff_delays`); every other failure — and the
-        default configuration — surfaces immediately.
+        default configuration — surfaces immediately.  ``traceparent``
+        pins the request's W3C trace context (clients embedded in a
+        traced pipeline pass :func:`repro.obs.live.current_traceparent`);
+        without it the server mints a fresh trace id, echoed back as
+        :attr:`last_trace_id` either way.
         """
         if self.busy_retries <= 0:
-            return self._request_once(method, path, params, request_id)
+            return self._request_once(method, path, params, request_id, traceparent)
         delays = backoff_delays(
             self.backoff_base_s, self.backoff_cap_s, self.backoff_seed
         )
         attempts = 0
         while True:
             try:
-                return self._request_once(method, path, params, request_id)
+                return self._request_once(
+                    method, path, params, request_id, traceparent
+                )
             except ServiceError as error:
                 if (
                     error.status not in BUSY_STATUSES
@@ -236,12 +248,15 @@ class ServiceClient:
         path: str,
         params: dict[str, Any] | None = None,
         request_id: str | None = None,
+        traceparent: str | None = None,
     ) -> dict[str, Any]:
         """One round trip; returns the decoded response envelope."""
         body = None
         headers: dict[str, str] = {}
         if request_id is not None:
             headers[REQUEST_ID_HEADER] = request_id
+        if traceparent is not None:
+            headers[TRACEPARENT_HEADER] = traceparent
         if params is not None:
             body = json.dumps({"params": params})
             headers["Content-Type"] = "application/json"
@@ -315,11 +330,24 @@ class ServiceClient:
             raise ServiceError(status, "metrics_failed", text)
         return text
 
-    def debug_trace(self, last: int | None = None) -> dict[str, Any]:
-        """The span ring tail (``GET /v1/debug/trace?last=N``)."""
-        path = "/v1/debug/trace"
+    def debug_trace(
+        self, last: int | None = None, trace_id: str | None = None
+    ) -> dict[str, Any]:
+        """The span export (``GET /v1/debug/trace?last=N&trace_id=T``).
+
+        Against a fleet router this is the *merged* cross-process
+        document — one Perfetto process track per fleet member, flow
+        events on the forward edges; ``trace_id`` (typically
+        :attr:`last_trace_id`) narrows it to one request's tree.
+        """
+        query = []
         if last is not None:
-            path += f"?last={last}"
+            query.append(f"last={last}")
+        if trace_id is not None:
+            query.append(f"trace_id={trace_id}")
+        path = "/v1/debug/trace"
+        if query:
+            path += "?" + "&".join(query)
         return self.request("GET", path)
 
     def debug_profile(

@@ -48,7 +48,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs import live, tracing
-from repro.obs.live import QuantileSketch, render_prometheus
+from repro.obs.live import QuantileSketch, render_prometheus, trace_tail_document
 from repro.obs.metrics import percentile
 from repro.obs.schemas import SERVICE_STATS_SCHEMA, SERVICE_SWEEP_SCHEMA
 from repro.service import http11
@@ -120,6 +120,10 @@ class WorkerHandle:
         self.port: int | None = None
         self.generation = 0  # bumps on every (re)spawn; stale pools die
         self.restarts = 0  # respawns after the initial spawn
+        #: ``router perf_counter = worker perf_counter + offset`` — the
+        #: clock handshake result, re-measured on every (re)spawn since a
+        #: fresh process reads a fresh monotonic epoch.
+        self.clock_offset_s = 0.0
         self.lock = asyncio.Lock()
         self._pool: list[tuple[int, asyncio.StreamReader, asyncio.StreamWriter]] = []
 
@@ -173,6 +177,14 @@ class WorkerHandle:
             ]
         if base.access_log_path:
             cmd += ["--access-log", f"{base.access_log_path}.{self.name}"]
+        if base.span_spool_dir:
+            # One --span-spool-dir fans out into a subdirectory per
+            # process: the router claims <dir>/router, each worker its
+            # slot name — `repro obs timeline --spool <dir>` merges them.
+            cmd += [
+                "--span-spool-dir",
+                os.path.join(base.span_spool_dir, self.name),
+            ]
         return cmd
 
     def spawn(self) -> None:
@@ -216,7 +228,42 @@ class WorkerHandle:
                 f"{self.config.ready_timeout_s:g}s"
             )
         self.port = port
+        self.clock_offset_s = self._clock_handshake()
         self.generation += 1
+
+    def _clock_handshake(self) -> float:
+        """Measure this worker's ``perf_counter`` offset from ours.
+
+        ``time.perf_counter()`` epochs are process-local, so a worker's
+        span timestamps mean nothing in the router's timeline until the
+        two clocks are related.  One GET round trip to the worker's span
+        export does it: the document carries the worker's
+        ``perf_counter`` reading taken while building the response,
+        which corresponds — to within half the RTT, both processes being
+        on loopback — to the router-side midpoint of the request.  The
+        returned offset converts worker readings into the router's
+        domain (``router = worker + offset``); a failed handshake falls
+        back to 0, which merely degrades merged-timeline alignment for
+        this worker, never serving.
+        """
+        import http.client
+
+        assert self.port is not None
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=5.0
+            )
+            try:
+                t0 = time.perf_counter()
+                connection.request("GET", "/v1/debug/spans?last=0")
+                payload = connection.getresponse().read()
+                t1 = time.perf_counter()
+            finally:
+                connection.close()
+            worker_now = json.loads(payload)["clock"]["perf_counter"]
+            return (t0 + t1) / 2.0 - float(worker_now)
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0.0
 
     # -- pooled connections ------------------------------------------------
 
@@ -488,6 +535,13 @@ class RouterApp(ServiceApp):
             headers[live.REQUEST_ID_HEADER] = request_id
         started = time.perf_counter()
         with tracing.span("service.forward", worker=owner):
+            # Inside the span: the forward span is now the innermost
+            # traced span, so the outbound traceparent names it as the
+            # parent — the worker's ingress span becomes its child and
+            # the merged timeline can stitch the cross-process edge.
+            traceparent = live.current_traceparent()
+            if traceparent is not None:
+                headers[live.TRACEPARENT_HEADER] = traceparent
             response = await self.fleet.forward(
                 owner,
                 "POST",
@@ -522,11 +576,16 @@ class RouterApp(ServiceApp):
         }
         shard_key = queries.events_key_of(validated)
         owner = self.fleet.owner_of(shard_key)
+        headers: dict[str, str] = {}
+        traceparent = live.current_traceparent()
+        if traceparent is not None:
+            headers[live.TRACEPARENT_HEADER] = traceparent
         response = await self.fleet.forward(
             owner,
             "POST",
             "/v1/simulate",
             body=json.dumps({"params": wire}).encode("utf-8"),
+            headers=headers or None,
         )
         self.registry.inc(
             "service.router.forwarded", worker=owner, status=response.status
@@ -743,7 +802,166 @@ class RouterApp(ServiceApp):
             return 200, await self._merged_stats_body(), JSON_CONTENT_TYPE
         if endpoint == "metrics" and request.method == "GET":
             return 200, await self._merged_metrics_body(), METRICS_CONTENT_TYPE
+        if endpoint == "debug-trace" and request.method == "GET":
+            return (
+                200,
+                await self._merged_trace_body(request.path),
+                JSON_CONTENT_TYPE,
+            )
         return await super()._dispatch(endpoint, request)
+
+    async def _merged_trace_body(self, path: str) -> bytes:
+        """``GET /v1/debug/trace``: one Perfetto document for the fleet.
+
+        The router turns collector: it scrapes every worker's span ring
+        over ``/v1/debug/spans``, rebases each worker's ``perf_counter``
+        timestamps into its own timeline using the spawn-time clock
+        handshake (:meth:`WorkerHandle._clock_handshake`), and emits one
+        Chrome-trace document with a process track per fleet member plus
+        flow events stitching each ``service.forward`` span to the
+        worker spans it fathered.  ``?trace_id=`` narrows every track to
+        one request's tree; ``?last=N`` bounds each ring tail.  The
+        whole document is normalised so its earliest timestamp is zero —
+        a respawned worker's fresh (earlier) monotonic epoch can never
+        produce negative or pre-epoch timestamps.
+        """
+        last, trace_id = self._trace_query(path)
+        tracer = (
+            self.tracer if self.tracer is not None else tracing.current_tracer()
+        )
+        document = trace_tail_document(tracer, last, trace_id=trace_id)
+        if tracer is None or not document.get("enabled"):
+            return dump_json(document).encode("utf-8")
+
+        query = []
+        if last is not None:
+            query.append(f"last={last}")
+        if trace_id is not None:
+            query.append(f"trace_id={trace_id}")
+        suffix = "?" + "&".join(query) if query else ""
+
+        async def fetch(name: str) -> dict[str, Any] | None:
+            try:
+                response = await self.fleet.forward(
+                    name, "GET", "/v1/debug/spans" + suffix
+                )
+                if response.status != 200:
+                    return None
+                return json.loads(response.body)
+            except (HttpError, ValueError):
+                return None
+
+        names = self.fleet.names
+        docs = dict(
+            zip(names, await asyncio.gather(*(fetch(name) for name in names)))
+        )
+
+        # Synthetic pids give each fleet member its own process track
+        # regardless of OS pid reuse across respawns: router = 0,
+        # workers = ring order + 1.
+        events: list[dict[str, Any]] = []
+        meta: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": f"router (pid {os.getpid()})"},
+            }
+        ]
+        forward_spans: dict[str, dict[str, Any]] = {}
+        for event in document["traceEvents"]:
+            event = dict(event)
+            event["pid"] = 0
+            if event.get("ph") == "M":
+                meta.append(event)
+                continue
+            events.append(event)
+            span_id = event.get("args", {}).get("span_id")
+            if event.get("name") == "service.forward" and span_id:
+                forward_spans[span_id] = event
+
+        flows: list[dict[str, Any]] = []
+        for index, name in enumerate(names):
+            doc = docs.get(name)
+            if doc is None:
+                continue
+            pid = index + 1
+            handle = self.fleet.workers[name]
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{name} (pid {handle.pid})"},
+                }
+            )
+            epoch = doc.get("clock", {}).get("epoch")
+            if epoch is None:
+                continue  # worker ring disabled: track stays empty
+            # Rebase: worker-relative µs -> absolute worker seconds ->
+            # (handshake offset) -> absolute router seconds -> µs
+            # relative to the router tracer's epoch.
+            shift_us = (
+                epoch + handle.clock_offset_s - tracer.epoch
+            ) * 1_000_000.0
+            for event in doc.get("traceEvents", []):
+                event = dict(event)
+                event["pid"] = pid
+                if event.get("ph") == "M":
+                    meta.append(event)
+                    continue
+                event["ts"] = round(event["ts"] + shift_us, 3)
+                events.append(event)
+                parent = event.get("args", {}).get("parent_span_id")
+                source = forward_spans.get(parent) if parent else None
+                if source is not None:
+                    flow = {
+                        "name": "forward",
+                        "cat": "repro.flow",
+                        "id": parent,
+                    }
+                    flows.append(
+                        {
+                            **flow,
+                            "ph": "s",
+                            "ts": source["ts"],
+                            "pid": source["pid"],
+                            "tid": source["tid"],
+                        }
+                    )
+                    flows.append(
+                        {
+                            **flow,
+                            "ph": "f",
+                            "bp": "e",
+                            "ts": event["ts"],
+                            "pid": pid,
+                            "tid": event["tid"],
+                        }
+                    )
+
+        # Normalise the merged timeline to start at zero: respawned
+        # workers read fresh monotonic epochs that may predate the
+        # router's, and Perfetto dislikes negative timestamps.
+        base = min((event["ts"] for event in events + flows), default=0.0)
+        for event in events + flows:
+            event["ts"] = round(event["ts"] - base, 3)
+
+        document["traceEvents"] = meta + events + flows
+        document["fleet"] = {
+            name: {
+                "reachable": docs.get(name) is not None,
+                "pid": index + 1,
+                "clock_offset_s": round(
+                    self.fleet.workers[name].clock_offset_s, 6
+                ),
+            }
+            for index, name in enumerate(names)
+        }
+        document["otherData"] = {"producer": "repro.service.router"}
+        return dump_json(document).encode("utf-8")
 
     async def _collect_worker_stats(self) -> dict[str, dict[str, Any] | None]:
         async def fetch(name: str) -> dict[str, Any] | None:
@@ -937,8 +1155,15 @@ class RouterServer(ReproServer):
             tracer=tracing.current_tracer(),
             is_ready=lambda: not self._draining,
             profile_max_seconds=self.config.profile_max_seconds,
+            span_spool=self.span_spool,
             fleet=self.fleet,
         )
+
+    def _span_spool_dir(self) -> str:
+        # The router claims the `router` subdirectory of the shared
+        # spool root; _command() hands each worker its slot name.
+        assert self.config.span_spool_dir is not None
+        return os.path.join(self.config.span_spool_dir, "router")
 
     async def _drain(self) -> None:
         # Stop supervision first so draining workers are not "restarted",

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.obs import live, metrics, tracing
 from repro.obs.access_log import AccessLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span_spool import DEFAULT_BUDGET_BYTES, SpanSpool
 from repro.service import disk_cache as disk_cache_mod
 from repro.service import http11
 from repro.service.app import ServiceApp, StreamBody, error_body
@@ -61,6 +62,11 @@ class ServerConfig:
     drain_grace_s: float = 30.0
     access_log_path: str | None = None
     span_ring_capacity: int = 4096  # 0 disables the server-owned ring
+    # Durable span collection: finished spans are appended to a JSONL
+    # spool under this directory (see repro.obs.span_spool).  Off by
+    # default, and never active while tracing itself is disabled.
+    span_spool_dir: str | None = None
+    span_spool_bytes: int = DEFAULT_BUDGET_BYTES
     sli_window_s: float = 60.0
     sli_bucket_s: float = 1.0
     profile_max_seconds: float = 10.0  # /v1/debug/profile window cap
@@ -101,6 +107,7 @@ class ReproServer:
         self._port: int | None = None
         self.window: live.RollingWindow | None = None
         self.access_log: AccessLog | None = None
+        self.span_spool: SpanSpool | None = None
         self._installed_tracer: tracing.Tracer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._active_requests = 0
@@ -143,10 +150,24 @@ class ReproServer:
         self.batcher.start()
         # A server-owned bounded ring keeps span tracing on for the whole
         # run (it feeds /v1/debug/trace) without unbounded growth; an
-        # externally installed tracer takes precedence.
+        # externally installed tracer takes precedence.  The spool is
+        # the ring's durable tap and exists only when tracing does —
+        # tracing off means no spool, by contract.
         if tracing.current_tracer() is None and self.config.span_ring_capacity > 0:
+            if self.config.span_spool_dir:
+                self.span_spool = SpanSpool(
+                    self._span_spool_dir(),
+                    budget_bytes=self.config.span_spool_bytes,
+                )
             self._installed_tracer = tracing.install_tracer(
-                live.RingTracer(capacity=self.config.span_ring_capacity)
+                live.RingTracer(
+                    capacity=self.config.span_ring_capacity,
+                    sink=(
+                        self.span_spool.append
+                        if self.span_spool is not None
+                        else None
+                    ),
+                )
             )
         self.window = live.RollingWindow(
             window_s=self.config.sli_window_s,
@@ -183,6 +204,17 @@ class ReproServer:
         )
         self._port = self._server.sockets[0].getsockname()[1]
 
+    def _span_spool_dir(self) -> str:
+        """Where this process's span spool lives.
+
+        The fleet router overrides this to claim the ``router``
+        subdirectory, leaving ``<dir>/w0``.. to the workers it spawns,
+        so one ``--span-spool-dir`` fans out into one subdirectory per
+        process.
+        """
+        assert self.config.span_spool_dir is not None
+        return self.config.span_spool_dir
+
     def _make_app(self) -> ServiceApp:
         """Build the request-handling app; the fleet router overrides
         this to swap in its sharding/forwarding app on the same server
@@ -202,6 +234,7 @@ class ReproServer:
             profile_max_seconds=self.config.profile_max_seconds,
             disk_cache=self.disk_cache,
             shed_watermark=self.config.shed_watermark,
+            span_spool=self.span_spool,
         )
 
     def begin_shutdown(self) -> None:
@@ -240,6 +273,11 @@ class ReproServer:
         ):
             tracing.disable_tracing()
             self._installed_tracer = None
+        if self.span_spool is not None:
+            # Seals the active file into a checksummed segment, so a
+            # drained server leaves a spool the offline validator
+            # accepts end to end.
+            self.span_spool.close()
         self._drained.set()
 
     async def wait_drained(self) -> None:
@@ -291,23 +329,39 @@ class ReproServer:
                 request_id = live.request_id_from_header(
                     request.headers.get("x-repro-request-id")
                 )
+                # Trace identity: honour a well-formed inbound
+                # traceparent (the router's forward hop), mint a fresh
+                # root otherwise.  Malformed headers are discarded
+                # whole, mirroring the request-id sanitization.
+                trace_context = live.trace_context_from_header(
+                    request.headers.get("traceparent")
+                )
                 self._active_requests += 1
                 try:
                     with live.request_context(request_id):
-                        with tracing.span("service.request", path=request.path):
-                            assert self.app is not None
-                            status, body, content_type = await self.app.handle(
-                                request
-                            )
-                            if isinstance(body, StreamBody):
-                                # Streams write inside the request
-                                # context and span so mid-stream work is
-                                # attributed like any other; they always
-                                # close the connection when done.
-                                await self._write_stream(
-                                    writer, status, body, content_type, request_id
+                        with tracing.trace_context(trace_context):
+                            with tracing.span(
+                                "service.request", path=request.path
+                            ):
+                                assert self.app is not None
+                                status, body, content_type = (
+                                    await self.app.handle(request)
                                 )
-                                return
+                                if isinstance(body, StreamBody):
+                                    # Streams write inside the request
+                                    # context and span so mid-stream
+                                    # work is attributed like any other;
+                                    # they always close the connection
+                                    # when done.
+                                    await self._write_stream(
+                                        writer,
+                                        status,
+                                        body,
+                                        content_type,
+                                        request_id,
+                                        trace_context[0],
+                                    )
+                                    return
                 finally:
                     self._active_requests -= 1
                 keep_alive = request.keep_alive and not self._draining
@@ -319,7 +373,8 @@ class ReproServer:
                             keep_alive=keep_alive,
                             content_type=content_type,
                             extra_headers={
-                                live.REQUEST_ID_HEADER: request_id
+                                live.REQUEST_ID_HEADER: request_id,
+                                live.TRACE_ID_HEADER: trace_context[0],
                             },
                         )
                     )
@@ -343,6 +398,7 @@ class ReproServer:
         body: StreamBody,
         content_type: str,
         request_id: str,
+        trace_id: str,
     ) -> None:
         """Drain one streaming body as a chunked transfer-encoded response.
 
@@ -356,7 +412,10 @@ class ReproServer:
             http11.render_stream_head(
                 status,
                 content_type=content_type,
-                extra_headers={live.REQUEST_ID_HEADER: request_id},
+                extra_headers={
+                    live.REQUEST_ID_HEADER: request_id,
+                    live.TRACE_ID_HEADER: trace_id,
+                },
             )
         )
         stream = body.__aiter__()

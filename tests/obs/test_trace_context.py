@@ -1,0 +1,196 @@
+"""Trace context: W3C traceparent parsing, propagation, exemplars.
+
+The hardening contract is all-or-nothing: a traceparent that fails any
+check — shape, length, hex case, all-zero ids — is ignored wholesale
+and a fresh context minted, unlike request ids (which are cleaned
+character-wise).  A garbage header must never corrupt the span tree.
+"""
+
+import pytest
+
+from repro.obs import live, tracing
+from repro.obs.live import (
+    MAX_TRACEPARENT_LEN,
+    RollingWindow,
+    current_traceparent,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    render_prometheus,
+    trace_context_from_header,
+)
+
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+SPAN_ID = "00f067aa0ba902b7"
+VALID = f"00-{TRACE_ID}-{SPAN_ID}-01"
+
+
+class TestParseTraceparent:
+    def test_valid_header_parses(self):
+        assert parse_traceparent(VALID) == (TRACE_ID, SPAN_ID)
+
+    def test_flags_byte_is_accepted_but_ignored(self):
+        assert parse_traceparent(f"00-{TRACE_ID}-{SPAN_ID}-00") == (
+            TRACE_ID,
+            SPAN_ID,
+        )
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "00",
+            "garbage",
+            VALID + "-extra",  # oversized: trailing field
+            "01-" + VALID[3:],  # unknown version
+            f"00-{TRACE_ID.upper()}-{SPAN_ID}-01",  # uppercase hex
+            f"00-{TRACE_ID}-{SPAN_ID.upper()}-01",
+            f"00-{TRACE_ID[:-1]}-{SPAN_ID}-01",  # short trace id
+            f"00-{TRACE_ID}x-{SPAN_ID}-01",  # long trace id
+            f"00-{TRACE_ID}-{SPAN_ID[:-1]}-01",  # short span id
+            f"00-{'0' * 32}-{SPAN_ID}-01",  # all-zero trace id
+            f"00-{TRACE_ID}-{'0' * 16}-01",  # all-zero span id
+            f"00-{TRACE_ID}-{SPAN_ID}-1",  # short flags
+            f"00_{TRACE_ID}_{SPAN_ID}_01",  # wrong separators
+            "x" * 1000,  # oversized garbage
+        ],
+    )
+    def test_malformed_headers_are_rejected(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_valid_header_is_exactly_the_max_length(self):
+        assert len(VALID) == MAX_TRACEPARENT_LEN
+
+    def test_roundtrip_through_format(self):
+        assert parse_traceparent(format_traceparent(TRACE_ID, SPAN_ID)) == (
+            TRACE_ID,
+            SPAN_ID,
+        )
+
+
+class TestTraceContextFromHeader:
+    def test_valid_header_adopts_both_ids(self):
+        assert trace_context_from_header(VALID) == (TRACE_ID, SPAN_ID)
+
+    def test_invalid_header_mints_a_fresh_rootless_context(self):
+        trace_id, parent = trace_context_from_header("not-a-traceparent")
+        assert len(trace_id) == 32
+        assert int(trace_id, 16) != 0
+        assert parent == ""
+
+    def test_missing_header_mints_too(self):
+        trace_id, parent = trace_context_from_header(None)
+        assert len(trace_id) == 32
+        assert parent == ""
+
+    def test_fresh_mints_are_distinct(self):
+        assert new_trace_id() != new_trace_id()
+
+
+class TestContextPropagation:
+    def test_no_ambient_context_by_default(self):
+        assert tracing.current_trace_context() is None
+        assert current_traceparent() is None
+
+    def test_context_manager_installs_and_restores(self):
+        with tracing.trace_context((TRACE_ID, SPAN_ID)):
+            assert tracing.current_trace_context() == (TRACE_ID, SPAN_ID)
+        assert tracing.current_trace_context() is None
+
+    def test_none_context_is_a_no_op(self):
+        with tracing.trace_context(None):
+            assert tracing.current_trace_context() is None
+
+    def test_spans_mint_ids_and_chain_parents(self):
+        tracer = tracing.enable_tracing()
+        try:
+            with tracing.trace_context((TRACE_ID, SPAN_ID)):
+                with tracing.span("outer"):
+                    outer_ctx = tracing.current_trace_context()
+                    with tracing.span("inner"):
+                        pass
+        finally:
+            tracing.disable_tracing()
+        events = {e["name"]: e for e in tracer.events}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["args"]["trace_id"] == TRACE_ID
+        assert outer["args"]["parent_span_id"] == SPAN_ID
+        assert inner["args"]["trace_id"] == TRACE_ID
+        # The inner span's parent is the outer span, which re-pointed
+        # the ambient context at itself while open.
+        assert inner["args"]["parent_span_id"] == outer["args"]["span_id"]
+        assert outer_ctx == (TRACE_ID, outer["args"]["span_id"])
+        assert len(outer["args"]["span_id"]) == 16
+        assert outer["args"]["span_id"] != inner["args"]["span_id"]
+
+    def test_rootless_context_has_no_parent_field(self):
+        tracer = tracing.enable_tracing()
+        try:
+            with tracing.trace_context((TRACE_ID, "")):
+                with tracing.span("root"):
+                    pass
+        finally:
+            tracing.disable_tracing()
+        (event,) = [e for e in tracer.events if e["name"] == "root"]
+        assert event["args"]["trace_id"] == TRACE_ID
+        assert "parent_span_id" not in event["args"]
+
+    def test_spans_outside_a_context_stay_untagged(self):
+        tracer = tracing.enable_tracing()
+        try:
+            with tracing.span("plain"):
+                pass
+        finally:
+            tracing.disable_tracing()
+        (event,) = [e for e in tracer.events if e["name"] == "plain"]
+        assert "trace_id" not in event.get("args", {})
+
+    def test_current_traceparent_names_the_open_span(self):
+        tracing.enable_tracing()
+        try:
+            with tracing.trace_context((TRACE_ID, SPAN_ID)):
+                with tracing.span("forward"):
+                    header = current_traceparent()
+        finally:
+            tracing.disable_tracing()
+        trace_id, span_id = parse_traceparent(header)
+        assert trace_id == TRACE_ID
+        assert span_id != SPAN_ID  # the forward span, not the inbound parent
+
+    def test_current_traceparent_mints_a_span_id_when_rootless(self):
+        # Ring disabled: no live span ever opens, but the trace id must
+        # still cross the wire with a well-formed parent field.
+        with tracing.trace_context((TRACE_ID, "")):
+            header = current_traceparent()
+        trace_id, span_id = parse_traceparent(header)
+        assert trace_id == TRACE_ID
+        assert len(span_id) == 16
+
+
+class TestLatencyExemplars:
+    def test_p99_line_carries_the_slowest_trace_id(self):
+        window = RollingWindow(window_s=60.0, bucket_s=60.0)
+        for i in range(10):
+            window.record("simulate", 200, float(i), trace_id=None)
+        window.record("simulate", 200, 80.0, trace_id=TRACE_ID)
+        window.record("simulate", 200, 5.0, trace_id="a" * 32)
+        summary = window.summary()
+        exemplar = summary["simulate"]["exemplar"]
+        assert exemplar["trace_id"] == TRACE_ID
+        assert exemplar["latency_ms"] == pytest.approx(80.0)
+        text = render_prometheus(
+            {"counters": {}, "histograms": {}}, summary, {}
+        )
+        (p99_line,) = [
+            line
+            for line in text.splitlines()
+            if 'quantile="0.99"' in line and "simulate" in line
+        ]
+        assert f'# {{trace_id="{TRACE_ID}"}}' in p99_line
+        live.parse_exposition(text)  # exemplar syntax stays parseable
+
+    def test_untraced_windows_have_no_exemplar(self):
+        window = RollingWindow(window_s=60.0, bucket_s=60.0)
+        window.record("simulate", 200, 3.0)
+        assert "exemplar" not in window.summary()["simulate"]

@@ -55,7 +55,7 @@ class FlakyOnce:
         self.calls = 0
         self.error = error or busy_error()
 
-    def __call__(self, method, path, params=None, request_id=None):
+    def __call__(self, method, path, params=None, request_id=None, traceparent=None):
         self.calls += 1
         if self.remaining > 0:
             self.remaining -= 1

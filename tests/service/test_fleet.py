@@ -17,7 +17,7 @@ from repro.cache.cache import CacheConfig
 from repro.core.stalling import StallPolicy
 from repro.cpu.replay import simulate
 from repro.memory.mainmem import MainMemory
-from repro.obs.schemas import validate_sweep_stream
+from repro.obs.schemas import validate_chrome_trace, validate_sweep_stream
 from repro.service import (
     FleetConfig,
     FleetThread,
@@ -152,6 +152,130 @@ class TestMergedObservability:
         text = client.metrics_text()
         assert "repro_fleet_workers 2" in text
         assert "repro_fleet_workers_alive" in text
+
+
+class TestDistributedTracing:
+    # Spans land in the rings asynchronously to the response (the
+    # worker's ingress span closes after its body is written), so the
+    # merged document is polled briefly before asserting on it.
+    def _traced_tree(self, client, memory_cycle, seed=13):
+        trace = dict(TRACE, seed=seed)
+        envelope = client.simulate(trace=trace, memory_cycle=memory_cycle)
+        assert envelope["result"]["cycles"] > 0
+        trace_id = client.last_trace_id
+        assert trace_id and len(trace_id) == 32
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            document = client.debug_trace(trace_id=trace_id)
+            spans = [
+                e for e in document["traceEvents"] if e.get("ph") == "X"
+            ]
+            has_forward = any(
+                e["name"] == "service.forward" and e["pid"] == 0
+                for e in spans
+            )
+            if has_forward and any(e["pid"] >= 1 for e in spans):
+                return trace_id, document, spans
+            time.sleep(0.1)
+        pytest.fail("merged trace never assembled router and worker spans")
+
+    def test_forwarded_request_produces_one_stitched_trace(self, fleet):
+        """The acceptance pin: one forwarded request, one merged
+        Perfetto document with the router's forward span fathering the
+        worker's spans, flow events stitching the edge."""
+        _, client = fleet
+        trace_id, document, spans = self._traced_tree(client, 18.5)
+        validate_chrome_trace(document)
+        assert all(e["args"]["trace_id"] == trace_id for e in spans)
+        assert all(e["ts"] >= 0.0 for e in spans)
+        (forward,) = [e for e in spans if e["name"] == "service.forward"]
+        children = [
+            e
+            for e in spans
+            if e["pid"] >= 1
+            and e["args"].get("parent_span_id") == forward["args"]["span_id"]
+        ]
+        assert children, "no worker span names the forward span as parent"
+        assert {e["name"] for e in children} == {"service.request"}
+        # The flow pair rides the forward span's id from pid 0 to the
+        # worker's track.
+        flows = [
+            e
+            for e in document["traceEvents"]
+            if e.get("cat") == "repro.flow"
+            and e["id"] == forward["args"]["span_id"]
+        ]
+        assert {e["ph"] for e in flows} == {"s", "f"}
+        assert {e["pid"] for e in flows if e["ph"] == "s"} == {0}
+        assert all(e["pid"] >= 1 for e in flows if e["ph"] == "f")
+        # Both workers are first-class fleet members in the document.
+        assert sorted(document["fleet"]) == ["w0", "w1"]
+        assert all(m["reachable"] for m in document["fleet"].values())
+
+    def test_respawned_worker_realigns_into_the_timeline(self, fleet):
+        """Satellite pin: after SIGKILL + respawn, the fresh monotonic
+        epoch is re-handshaken, so the new worker's spans still nest
+        inside their forward spans instead of landing seconds away."""
+        _, client = fleet
+        stats = client.stats_envelope()
+        victim_pid = stats["fleet"]["workers"]["w1"]["pid"]
+        base_restarts = stats["fleet"]["restarts"]
+        os.kill(victim_pid, signal.SIGKILL)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            fleet_stats = client.stats_envelope()["fleet"]
+            w1 = fleet_stats["workers"]["w1"]
+            if (
+                w1["alive"]
+                and w1["pid"] != victim_pid
+                and fleet_stats["restarts"] > base_restarts
+            ):
+                break
+            time.sleep(0.2)
+        else:
+            pytest.fail("worker w1 was not respawned within 30s")
+
+        # Every post-respawn tree nests: a worker span starts after its
+        # forward span opened and ends before it closed, within the
+        # handshake's error budget (generous here; an uncorrected fresh
+        # epoch would be off by whole seconds).
+        slack_us = 250_000.0
+        saw_respawned = False
+        for step in range(16):
+            # Fresh seeds give well-spread cache keys, so the ring
+            # shards some of these onto the respawned slot.
+            trace_id, document, spans = self._traced_tree(
+                client, 40.0, seed=100 + step
+            )
+            (forward,) = [
+                e for e in spans if e["name"] == "service.forward"
+            ]
+            workers = [e for e in spans if e["pid"] >= 1]
+            assert workers
+            respawned_pid = document["fleet"]["w1"]["pid"]
+            for event in workers:
+                assert event["dur"] >= 0.0
+                assert event["ts"] >= forward["ts"] - slack_us
+                assert (
+                    event["ts"] + event["dur"]
+                    <= forward["ts"] + forward["dur"] + slack_us
+                )
+                if event["pid"] == respawned_pid:
+                    saw_respawned = True
+            if saw_respawned:
+                break
+        assert saw_respawned, "no request ever sharded to the respawned worker"
+        # The full merged timeline stays Perfetto-clean: normalised to
+        # ts 0, no negative timestamps or durations anywhere.
+        document = client.debug_trace()
+        validate_chrome_trace(document)
+        timed = [
+            e for e in document["traceEvents"] if e.get("ph") in ("X", "s", "f")
+        ]
+        assert timed
+        assert all(e["ts"] >= 0.0 for e in timed)
+        assert all(e["dur"] >= 0.0 for e in timed if e["ph"] == "X")
+        assert min(e["ts"] for e in timed) == 0.0
 
 
 class TestWorkerRestart:
